@@ -1,0 +1,193 @@
+// Command mmconf demonstrates a complete multimedia conference on one
+// machine: it boots several scalamedia nodes on an in-process lossy
+// network fabric, has one participant publish an audio and a video
+// stream, subscribes every other participant with adaptive playout and
+// lip-sync, exchanges chat messages over the causal group channel, and
+// prints per-participant media statistics at the end.
+//
+//	mmconf [-participants 4] [-duration 5s] [-loss 0.02] [-jitter 15ms]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"scalamedia"
+	"scalamedia/internal/media"
+	"scalamedia/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	participants := flag.Int("participants", 4, "number of conference participants")
+	duration := flag.Duration("duration", 5*time.Second, "length of the media exchange")
+	loss := flag.Float64("loss", 0.02, "network loss probability")
+	jitter := flag.Duration("jitter", 15*time.Millisecond, "network jitter bound")
+	flag.Parse()
+	if *participants < 2 {
+		fmt.Fprintln(os.Stderr, "mmconf: need at least 2 participants")
+		return 2
+	}
+
+	fab := transport.NewFabric(
+		transport.WithSeed(42),
+		transport.WithDefaultLink(transport.LinkConfig{
+			Delay:  2 * time.Millisecond,
+			Jitter: *jitter,
+			Loss:   *loss,
+		}),
+	)
+	defer fab.Close()
+
+	var chat sync.Map // "node/payload" presence set, for the printout
+	nodes := make([]*scalamedia.Node, 0, *participants)
+	for i := 1; i <= *participants; i++ {
+		ep, err := fab.Attach(scalamedia.NodeID(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmconf: attach: %v\n", err)
+			return 1
+		}
+		contact := scalamedia.NodeID(1)
+		if i == 1 {
+			contact = 0
+		}
+		self := scalamedia.NodeID(i)
+		node, err := scalamedia.Start(scalamedia.Config{
+			Self: self, Endpoint: ep, Group: 1, Contact: contact,
+			Tick: 5 * time.Millisecond,
+			OnEvent: func(ev scalamedia.Event) {
+				if ev.Kind == scalamedia.MessageReceived {
+					chat.Store(fmt.Sprintf("%s@%s:%s", ev.Node, self, ev.Payload), true)
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmconf: start node %d: %v\n", i, err)
+			return 1
+		}
+		defer node.Close()
+		nodes = append(nodes, node)
+	}
+
+	fmt.Printf("waiting for %d participants to assemble...\n", *participants)
+	deadline := time.Now().Add(30 * time.Second)
+	for nodes[0].View().Size() != *participants {
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "mmconf: session never assembled")
+			return 1
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("session assembled: view %s with %d members\n",
+		nodes[0].View().ID, nodes[0].View().Size())
+
+	// Participant 1 publishes audio + video.
+	audioSpec := media.TelephoneAudio(1, "speaker-audio")
+	videoSpec := media.PALVideo(2, "speaker-video")
+	audioOut, err := nodes[0].OpenSender(audioSpec, 8000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmconf: open audio: %v\n", err)
+		return 1
+	}
+	videoOut, err := nodes[0].OpenSender(videoSpec, 50000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmconf: open video: %v\n", err)
+		return 1
+	}
+
+	// Everyone else subscribes with adaptive playout and lip sync.
+	type viewer struct {
+		who   scalamedia.NodeID
+		audio *scalamedia.MediaReceiver
+		video *scalamedia.MediaReceiver
+		sync  *scalamedia.SyncGroup
+	}
+	var viewers []viewer
+	for _, n := range nodes[1:] {
+		a, err := n.OpenReceiver(scalamedia.ReceiverConfig{
+			Spec: audioSpec, Mode: scalamedia.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmconf: audio receiver: %v\n", err)
+			return 1
+		}
+		v, err := n.OpenReceiver(scalamedia.ReceiverConfig{
+			Spec: videoSpec, Mode: scalamedia.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmconf: video receiver: %v\n", err)
+			return 1
+		}
+		sg, err := n.Synchronize(0, a, v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmconf: sync: %v\n", err)
+			return 1
+		}
+		viewers = append(viewers, viewer{who: n.ID(), audio: a, video: v, sync: sg})
+	}
+
+	// Stream for the configured duration while chatting.
+	fmt.Printf("streaming audio+video for %v over a %.0f%%-loss network...\n",
+		*duration, *loss*100)
+	audioSrc := media.NewVoice(audioSpec, 160, 1<<30, time.Second, 1350*time.Millisecond, 7)
+	videoSrc := media.NewVBR(videoSpec, 1200, 6000, 12, 1<<30, 8)
+	start := time.Now()
+	nextChat := start
+	var af, vf media.Frame
+	var aok, vok bool
+	af, aok = audioSrc.Next()
+	vf, vok = videoSrc.Next()
+	for time.Since(start) < *duration {
+		elapsed := time.Since(start)
+		for aok && af.Capture <= elapsed {
+			audioOut.Send(af)
+			af, aok = audioSrc.Next()
+		}
+		for vok && vf.Capture <= elapsed {
+			videoOut.Send(vf)
+			vf, vok = videoSrc.Next()
+		}
+		if time.Now().After(nextChat) {
+			nextChat = nextChat.Add(time.Second)
+			msg := fmt.Sprintf("chat at t=%v", elapsed.Round(time.Second))
+			if err := nodes[1%len(nodes)].Send([]byte(msg)); err != nil {
+				fmt.Fprintf(os.Stderr, "mmconf: chat: %v\n", err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Let playout buffers drain.
+	time.Sleep(500 * time.Millisecond)
+
+	aFrames, aBytes := audioOut.Stats()
+	vFrames, vBytes := videoOut.Stats()
+	fmt.Printf("\nspeaker sent: audio %d pkts / %d B, video %d frames / %d B\n",
+		aFrames, aBytes, vFrames, vBytes)
+
+	fmt.Println("\nper-viewer media quality:")
+	fmt.Println("  viewer  a.recv  a.play  a.late  a.lost  v.recv  v.play  skew(ms)  corr")
+	for _, vw := range viewers {
+		as, vs := vw.audio.Stats(), vw.video.Stats()
+		skew, _ := vw.sync.Skew(0)
+		fmt.Printf("  %-6s  %6d  %6d  %6d  %6d  %6d  %6d  %8.1f  %4d\n",
+			vw.who, as.Received, as.Played, as.Late, as.Lost,
+			vs.Received, vs.Played,
+			float64(skew)/float64(time.Millisecond), vw.sync.Corrections())
+	}
+
+	var chatLines []string
+	chat.Range(func(k, _ any) bool {
+		chatLines = append(chatLines, k.(string))
+		return true
+	})
+	sort.Strings(chatLines)
+	fmt.Printf("\nchat messages delivered (sender@receiver): %d\n", len(chatLines))
+	return 0
+}

@@ -1,0 +1,122 @@
+// Command mmnode runs one live scalamedia node over UDP: it joins (or
+// bootstraps) a session group, prints every session event, and multicasts
+// each line read from standard input to the group.
+//
+// Bootstrap the first node, then join others through it:
+//
+//	mmnode -id 1 -listen 127.0.0.1:7001
+//	mmnode -id 2 -listen 127.0.0.1:7002 -contact 1 -peer 1=127.0.0.1:7001
+//	mmnode -id 3 -listen 127.0.0.1:7003 -contact 1 -peer 1=127.0.0.1:7001 -peer 2=127.0.0.1:7002
+//
+// Note that peers learn each other's node IDs through the membership
+// protocol but UDP addresses are static: give every node a -peer mapping
+// for each node it must reach.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"scalamedia"
+)
+
+// peerFlags collects repeated -peer id=addr mappings.
+type peerFlags map[scalamedia.NodeID]string
+
+func (p peerFlags) String() string { return fmt.Sprintf("%v", map[scalamedia.NodeID]string(p)) }
+
+func (p peerFlags) Set(v string) error {
+	idStr, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want id=addr, got %q", v)
+	}
+	idNum, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad node id %q: %w", idStr, err)
+	}
+	p[scalamedia.NodeID(idNum)] = addr
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	idFlag := flag.Uint64("id", 0, "node ID (required, nonzero)")
+	listen := flag.String("listen", "127.0.0.1:0", "UDP listen address")
+	group := flag.Uint("group", 1, "session group ID")
+	contact := flag.Uint64("contact", 0, "node ID to join through (0 bootstraps)")
+	peers := peerFlags{}
+	flag.Var(peers, "peer", "peer address mapping id=addr (repeatable)")
+	flag.Parse()
+
+	if *idFlag == 0 {
+		fmt.Fprintln(os.Stderr, "mmnode: -id is required and must be nonzero")
+		return 2
+	}
+
+	node, err := scalamedia.Start(scalamedia.Config{
+		Self:       scalamedia.NodeID(*idFlag),
+		ListenAddr: *listen,
+		Group:      scalamedia.GroupID(*group),
+		Contact:    scalamedia.NodeID(*contact),
+		Peers:      peers,
+		OnEvent: func(ev scalamedia.Event) {
+			switch ev.Kind {
+			case scalamedia.MessageReceived:
+				fmt.Printf("<%s> %s\n", ev.Node, ev.Payload)
+			case scalamedia.ParticipantJoined, scalamedia.ParticipantLeft:
+				fmt.Printf("[%s: %s; view %s has %d members]\n",
+					ev.Kind, ev.Node, ev.View.ID, ev.View.Size())
+			case scalamedia.StreamAnnounced, scalamedia.StreamWithdrawn:
+				fmt.Printf("[%s: %s %q by %s]\n",
+					ev.Kind, ev.Stream.Spec.ID, ev.Stream.Spec.Name, ev.Node)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmnode: %v\n", err)
+		return 1
+	}
+	defer node.Close()
+	fmt.Printf("mmnode %s listening on %s (group %d)\n", node.ID(), node.Addr(), *group)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	lines := make(chan string)
+	go func() {
+		scanner := bufio.NewScanner(os.Stdin)
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+
+	for {
+		select {
+		case <-sigs:
+			fmt.Println("mmnode: leaving session")
+			node.Leave()
+			return 0
+		case line, ok := <-lines:
+			if !ok {
+				node.Leave()
+				return 0
+			}
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			if err := node.Send([]byte(line)); err != nil {
+				fmt.Fprintf(os.Stderr, "mmnode: send: %v\n", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command mmsim runs one custom reliable-multicast simulation and prints
+// a summary: delivery latency statistics and per-kind datagram counts.
+// It is the exploratory companion to cmd/mmbench's fixed experiment
+// suite.
+//
+//	mmsim -n 32 -ordering causal -loss 0.05 -msgs 200 -senders 4
+//	mmsim -n 64 -hier -cluster 8 -loss 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"scalamedia/internal/hier"
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
+	"scalamedia/internal/trace"
+	"scalamedia/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	n := flag.Int("n", 16, "group size")
+	orderingName := flag.String("ordering", "fifo", "unordered|fifo|causal|total")
+	loss := flag.Float64("loss", 0.01, "datagram loss probability")
+	delay := flag.Duration("delay", time.Millisecond, "link propagation delay")
+	jitter := flag.Duration("jitter", 2*time.Millisecond, "max link jitter")
+	bandwidth := flag.Float64("bandwidth", 0, "link bandwidth in bytes/s (0 = unlimited)")
+	msgs := flag.Int("msgs", 100, "total multicasts")
+	senders := flag.Int("senders", 4, "number of sending members")
+	gap := flag.Duration("gap", 10*time.Millisecond, "mean inter-send gap per sender")
+	payload := flag.Int("payload", 64, "payload bytes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	hierMode := flag.Bool("hier", false, "use the hierarchical organization")
+	cluster := flag.Int("cluster", 8, "cluster size in -hier mode")
+	flag.Parse()
+
+	var ordering rmcast.Ordering
+	switch *orderingName {
+	case "unordered":
+		ordering = rmcast.Unordered
+	case "fifo":
+		ordering = rmcast.FIFO
+	case "causal":
+		ordering = rmcast.Causal
+	case "total":
+		ordering = rmcast.Total
+	default:
+		fmt.Fprintf(os.Stderr, "mmsim: unknown ordering %q\n", *orderingName)
+		return 2
+	}
+	if *senders > *n {
+		*senders = *n
+	}
+
+	link := netsim.Link{Delay: *delay, Jitter: *jitter, Loss: *loss, Bandwidth: *bandwidth}
+	sim := netsim.New(netsim.Config{
+		Seed:    *seed,
+		Profile: func(_, _ id.Node) netsim.Link { return link },
+	})
+
+	var members []id.Node
+	for i := 1; i <= *n; i++ {
+		members = append(members, id.Node(i))
+	}
+
+	type sendKey struct {
+		sender id.Node
+		seq    uint64
+	}
+	sentAt := make(map[sendKey]time.Time)
+	lat := &stats.Histogram{}
+	delivered := 0
+	record := func(env proto.Env, sender id.Node, seq uint64) {
+		delivered++
+		if t0, ok := sentAt[sendKey{sender, seq}]; ok {
+			lat.ObserveDuration(env.Now().Sub(t0))
+		}
+	}
+
+	// Build either the flat or the hierarchical stack, returning a
+	// "multicast as node X" function plus the per-sender seq tracker.
+	sent := make(map[id.Node]uint64)
+	var multicast func(nd id.Node, payload []byte)
+	if *hierMode {
+		topo := hier.Cluster(members, *cluster)
+		engines := map[id.Node]*hier.Engine{}
+		for _, m := range members {
+			m := m
+			sim.AddNode(m, func(env proto.Env) proto.Handler {
+				eng, err := hier.New(env, hier.Config{
+					LocalGroup: 1, WideGroup: 2, Topology: topo,
+					Ordering: ordering,
+					OnDeliver: func(d hier.Delivery) {
+						record(env, d.Origin, d.Seq)
+					},
+				})
+				if err != nil {
+					panic(err)
+				}
+				engines[m] = eng
+				return eng
+			})
+		}
+		multicast = func(nd id.Node, p []byte) {
+			sent[nd]++
+			sentAt[sendKey{nd, sent[nd]}] = sim.Now()
+			_ = engines[nd].Multicast(p)
+		}
+	} else {
+		view := member.NewView(1, members)
+		engines := map[id.Node]*rmcast.Engine{}
+		for _, m := range members {
+			m := m
+			sim.AddNode(m, func(env proto.Env) proto.Handler {
+				eng := rmcast.New(env, rmcast.Config{
+					Group: 1, Ordering: ordering,
+					OnDeliver: func(d rmcast.Delivery) {
+						record(env, d.Sender, d.Seq)
+					},
+				})
+				eng.SetView(view)
+				engines[m] = eng
+				return eng
+			})
+		}
+		multicast = func(nd id.Node, p []byte) {
+			sent[nd]++
+			sentAt[sendKey{nd, sent[nd]}] = sim.Now()
+			_ = engines[nd].Multicast(p)
+		}
+	}
+
+	// Poisson sends spread across the senders.
+	body := trace.New(*seed + 7).Payload(*payload)
+	perSender := *msgs / *senders
+	var lastSend time.Duration
+	for s := 0; s < *senders; s++ {
+		nd := members[s*(*n / *senders)]
+		for _, at := range trace.Arrivals(*seed+int64(s)*31, *gap, 10*time.Millisecond, perSender) {
+			at := at
+			if at > lastSend {
+				lastSend = at
+			}
+			sim.At(at, func() { multicast(nd, body) })
+		}
+	}
+
+	wallStart := time.Now()
+	sim.Run(lastSend + 5*time.Second)
+	wall := time.Since(wallStart)
+
+	expected := perSender * *senders * *n
+	mode := "flat"
+	if *hierMode {
+		mode = fmt.Sprintf("hier(cluster=%d)", *cluster)
+	}
+	fmt.Printf("mmsim: n=%d %s ordering=%s loss=%.1f%% delay=%v jitter=%v\n",
+		*n, mode, ordering, *loss*100, *delay, *jitter)
+	fmt.Printf("  deliveries: %d / %d expected (%.1f%%)\n",
+		delivered, expected, 100*float64(delivered)/float64(expected))
+	fmt.Printf("  latency ms: mean=%.2f p50=%.2f p99=%.2f max=%.2f\n",
+		lat.Mean(), lat.Percentile(50), lat.Percentile(99), lat.Max())
+
+	st := sim.Stats()
+	fmt.Printf("  datagrams (%d total, %d dropped):\n", st.TotalSent(), st.Dropped)
+	kinds := make([]wire.Kind, 0, len(st.SentByKind))
+	for k := range st.SentByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Printf("    %-12s %10d  (%d bytes)\n", k, st.SentByKind[k], st.BytesByKind[k])
+	}
+	fmt.Printf("  simulated %v of virtual time in %v of wall time\n",
+		lastSend+5*time.Second, wall.Round(time.Millisecond))
+	return 0
+}

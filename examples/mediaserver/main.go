@@ -1,0 +1,142 @@
+// Mediaserver: a media-on-demand scenario. One server node publishes
+// several constant- and variable-bit-rate "titles" under a QoS capacity
+// budget; admission control accepts streams until the budget is spent and
+// rejects the one that does not fit. Two clients subscribe to admitted
+// titles with fixed-delay playout (the right policy for stored media,
+// where startup latency matters less than smoothness).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"scalamedia"
+	"scalamedia/internal/media"
+	"scalamedia/internal/transport"
+)
+
+func main() {
+	fab := transport.NewFabric(
+		transport.WithSeed(3),
+		transport.WithDefaultLink(transport.LinkConfig{
+			Delay: 4 * time.Millisecond, Jitter: 6 * time.Millisecond, Loss: 0.01,
+		}),
+	)
+	defer fab.Close()
+
+	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, capacity float64) *scalamedia.Node {
+		ep, err := fab.Attach(self)
+		if err != nil {
+			log.Fatalf("attach %s: %v", self, err)
+		}
+		n, err := scalamedia.Start(scalamedia.Config{
+			Self: self, Endpoint: ep, Group: 1, Contact: contact,
+			Tick: 5 * time.Millisecond, MediaCapacity: capacity,
+		})
+		if err != nil {
+			log.Fatalf("start %s: %v", self, err)
+		}
+		return n
+	}
+
+	// The server has a 150 kB/s outbound media budget.
+	server := start(1, 0, 150_000)
+	defer server.Close()
+	clientA := start(2, 1, 0)
+	defer clientA.Close()
+	clientB := start(3, 1, 0)
+	defer clientB.Close()
+
+	for server.View().Size() != 3 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("media server and 2 clients assembled")
+
+	// Publish a catalogue. The budget fits the first two titles
+	// (60 + 80 = 140 kB/s); the third (60 kB/s more) must be refused.
+	type title struct {
+		spec media.StreamSpec
+		rate float64
+	}
+	catalogue := []title{
+		{media.PALVideo(1, "news-reel"), 60_000},
+		{media.PALVideo(2, "feature-film"), 80_000},
+		{media.PALVideo(3, "cartoon"), 60_000},
+	}
+	senders := map[scalamedia.StreamID]*scalamedia.MediaSender{}
+	for _, t := range catalogue {
+		s, err := server.OpenSender(t.spec, t.rate)
+		if err != nil {
+			if errors.Is(err, scalamedia.ErrNoCapacity) {
+				fmt.Printf("admission REFUSED for %q (%.0f kB/s): budget exhausted\n",
+					t.spec.Name, t.rate/1000)
+				continue
+			}
+			log.Fatalf("announce %q: %v", t.spec.Name, err)
+		}
+		fmt.Printf("admission granted for %q (%.0f kB/s)\n", t.spec.Name, t.rate/1000)
+		senders[t.spec.ID] = s
+	}
+
+	// Clients browse the replicated directory and subscribe.
+	time.Sleep(300 * time.Millisecond) // let announcements propagate
+	dir := clientA.Directory()
+	fmt.Printf("client directory lists %d titles:\n", len(dir))
+	for _, e := range dir {
+		fmt.Printf("  %s %q by %s at %.0f kB/s\n", e.Spec.ID, e.Spec.Name, e.Owner, e.MeanRate/1000)
+	}
+
+	subscribe := func(c *scalamedia.Node, sid scalamedia.StreamID) *scalamedia.MediaReceiver {
+		for _, e := range dir {
+			if e.Spec.ID != sid {
+				continue
+			}
+			r, err := c.OpenReceiver(scalamedia.ReceiverConfig{
+				Spec: e.Spec, Mode: scalamedia.FixedDelay, PlayoutDelay: 80 * time.Millisecond,
+			})
+			if err != nil {
+				log.Fatalf("subscribe: %v", err)
+			}
+			return r
+		}
+		log.Fatalf("title %s not in directory", sid)
+		return nil
+	}
+	recvA := subscribe(clientA, 1)
+	recvB := subscribe(clientB, 2)
+
+	// Play 3 seconds of both admitted titles.
+	fmt.Println("\nstreaming admitted titles for 3s...")
+	src1 := media.NewVBR(catalogue[0].spec, 2400, 9000, 12, 1<<30, 21)
+	src2 := media.NewVBR(catalogue[1].spec, 3200, 12000, 12, 1<<30, 22)
+	begin := time.Now()
+	f1, ok1 := src1.Next()
+	f2, ok2 := src2.Next()
+	policed := 0
+	for time.Since(begin) < 3*time.Second {
+		elapsed := time.Since(begin)
+		for ok1 && f1.Capture <= elapsed {
+			if !senders[1].Send(f1) {
+				policed++
+			}
+			f1, ok1 = src1.Next()
+		}
+		for ok2 && f2.Capture <= elapsed {
+			if !senders[2].Send(f2) {
+				policed++
+			}
+			f2, ok2 = src2.Next()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	sa, sb := recvA.Stats(), recvB.Stats()
+	fmt.Printf("\nclient A (%q): received %d, played %d, late %d, lost %d\n",
+		"news-reel", sa.Received, sa.Played, sa.Late, sa.Lost)
+	fmt.Printf("client B (%q): received %d, played %d, late %d, lost %d\n",
+		"feature-film", sb.Received, sb.Played, sb.Late, sb.Lost)
+	fmt.Printf("frames dropped by the token-bucket policer: %d\n", policed)
+}

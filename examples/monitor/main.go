@@ -1,0 +1,99 @@
+// Monitor: watches a group's membership live — joins, voluntary leaves
+// and crash evictions — from the point of view of one observer node. It
+// demonstrates the failure-detection and view-change machinery: a node
+// that leaves politely disappears in one view change; a node that crashes
+// is first suspected, then evicted by the coordinator after the flush
+// round.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scalamedia"
+	"scalamedia/internal/transport"
+)
+
+func main() {
+	fab := transport.NewFabric(transport.WithSeed(5),
+		transport.WithDefaultLink(transport.LinkConfig{Delay: 2 * time.Millisecond}))
+	defer fab.Close()
+
+	begin := time.Now()
+	stamp := func() string {
+		return fmt.Sprintf("%6.2fs", time.Since(begin).Seconds())
+	}
+
+	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, verbose bool) *scalamedia.Node {
+		ep, err := fab.Attach(self)
+		if err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+		cfg := scalamedia.Config{
+			Self: self, Endpoint: ep, Group: 1, Contact: contact,
+			Tick:           5 * time.Millisecond,
+			HeartbeatEvery: 50 * time.Millisecond,
+			SuspectAfter:   300 * time.Millisecond,
+		}
+		if verbose {
+			cfg.OnEvent = func(ev scalamedia.Event) {
+				switch ev.Kind {
+				case scalamedia.ParticipantJoined:
+					fmt.Printf("%s  view %-3s  + %s joined (%d members)\n",
+						stamp(), ev.View.ID, ev.Node, ev.View.Size())
+				case scalamedia.ParticipantLeft:
+					fmt.Printf("%s  view %-3s  - %s left/evicted (%d members)\n",
+						stamp(), ev.View.ID, ev.Node, ev.View.Size())
+				}
+			}
+		}
+		n, err := scalamedia.Start(cfg)
+		if err != nil {
+			log.Fatalf("start %s: %v", self, err)
+		}
+		return n
+	}
+
+	fmt.Println("monitor (node 1) bootstraps the group and watches membership:")
+	monitor := start(1, 0, true)
+	defer monitor.Close()
+
+	// Three workers join one after another.
+	workers := map[scalamedia.NodeID]*scalamedia.Node{}
+	for _, idn := range []scalamedia.NodeID{2, 3, 4} {
+		workers[idn] = start(idn, 1, false)
+		time.Sleep(400 * time.Millisecond)
+	}
+	waitSize(monitor, 4)
+	fmt.Printf("%s  group complete: %v\n", stamp(), monitor.View().Members)
+
+	// Node 3 leaves politely: one clean view change.
+	fmt.Printf("%s  node 3 announces departure...\n", stamp())
+	workers[3].Leave()
+	time.Sleep(200 * time.Millisecond)
+	workers[3].Close()
+	waitSize(monitor, 3)
+
+	// Node 4 crashes without a word: detected via heartbeat silence,
+	// then evicted.
+	fmt.Printf("%s  node 4 crashes silently...\n", stamp())
+	crashedAt := time.Now()
+	workers[4].Close()
+	waitSize(monitor, 2)
+	fmt.Printf("%s  crash eviction completed %.0fms after the crash\n",
+		stamp(), time.Since(crashedAt).Seconds()*1000)
+
+	fmt.Printf("%s  final view %s: %v\n", stamp(), monitor.View().ID, monitor.View().Members)
+}
+
+// waitSize blocks until the node's view has n members.
+func waitSize(n *scalamedia.Node, want int) {
+	deadline := time.Now().Add(30 * time.Second)
+	for n.View().Size() != want {
+		if time.Now().After(deadline) {
+			log.Fatalf("view never reached %d members (now %d)", want, n.View().Size())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,3 @@
+module scalamedia
+
+go 1.22

@@ -1,0 +1,181 @@
+// Package clocksync implements the clock-synchronization substrate of the
+// architecture: a Cristian-style probe/reply protocol that estimates the
+// offset between a node's local clock and a reference node's clock. The
+// media layers need loosely synchronized clocks to compare capture
+// timestamps across hosts; the early-90s systems this architecture
+// belongs to ran exactly this kind of software synchronization (DCE DTS,
+// Cristian 1989) rather than assuming NTP everywhere.
+//
+// The engine periodically sends a timestamped probe to the reference,
+// which answers with its local time; the client estimates
+//
+//	offset = localMidpoint − referenceTime
+//
+// and keeps the estimate from the lowest-RTT exchange in a sliding
+// window, the standard filter against asymmetric queueing delay.
+//
+// Because the simulator gives every node the same virtual clock, a
+// configurable LocalSkew models a skewed local oscillator; live
+// deployments leave it zero and measure real offsets.
+package clocksync
+
+import (
+	"encoding/binary"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// Defaults.
+const (
+	DefaultProbeEvery = 250 * time.Millisecond
+	DefaultWindow     = 8
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Group scopes the protocol traffic.
+	Group id.Group
+	// Reference is the node whose clock is truth. A node with itself as
+	// reference only serves replies.
+	Reference id.Node
+	// ProbeEvery is the probing period. Defaults to DefaultProbeEvery.
+	ProbeEvery time.Duration
+	// Window is the sample window size for the min-RTT filter.
+	// Defaults to DefaultWindow.
+	Window int
+	// LocalSkew offsets this node's local clock from the runtime clock,
+	// simulating oscillator skew under virtual time.
+	LocalSkew time.Duration
+}
+
+// sample is one completed probe exchange.
+type sample struct {
+	offset time.Duration
+	rtt    time.Duration
+}
+
+// Engine is the per-node synchronization state machine. It implements
+// proto.Handler.
+type Engine struct {
+	env proto.Env
+	cfg Config
+
+	nonce     uint64
+	inFlight  map[uint64]time.Time // nonce -> local send time
+	samples   []sample
+	lastProbe time.Time
+
+	exchanges uint64
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// New returns a synchronization engine.
+func New(env proto.Env, cfg Config) *Engine {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	return &Engine{
+		env:      env,
+		cfg:      cfg,
+		inFlight: make(map[uint64]time.Time),
+	}
+}
+
+// localNow returns the node's (possibly skewed) local clock.
+func (e *Engine) localNow() time.Time { return e.env.Now().Add(e.cfg.LocalSkew) }
+
+// Offset returns the estimated local-minus-reference clock offset and
+// whether any exchange has completed. A perfectly synchronized clock has
+// offset zero; a fast local clock has a positive offset.
+func (e *Engine) Offset() (time.Duration, bool) {
+	if len(e.samples) == 0 {
+		return 0, false
+	}
+	best := e.samples[0]
+	for _, s := range e.samples[1:] {
+		if s.rtt < best.rtt {
+			best = s
+		}
+	}
+	return best.offset, true
+}
+
+// Now returns the local clock corrected onto the reference timeline.
+// Before the first exchange it returns the uncorrected local clock.
+func (e *Engine) Now() time.Time {
+	off, ok := e.Offset()
+	if !ok {
+		return e.localNow()
+	}
+	return e.localNow().Add(-off)
+}
+
+// Exchanges returns how many probe round trips have completed.
+func (e *Engine) Exchanges() uint64 { return e.exchanges }
+
+// OnMessage serves probes and consumes replies.
+func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
+	if msg.Group != e.cfg.Group {
+		return
+	}
+	switch msg.Kind {
+	case wire.KindClockProbe:
+		var body [8]byte
+		binary.BigEndian.PutUint64(body[:], uint64(e.localNow().UnixNano()))
+		e.env.Send(from, &wire.Message{
+			Kind:  wire.KindClockReply,
+			Group: e.cfg.Group,
+			Aux:   msg.Aux, // echo nonce
+			Body:  body[:],
+		})
+	case wire.KindClockReply:
+		t0, ok := e.inFlight[msg.Aux]
+		if !ok || len(msg.Body) < 8 {
+			return
+		}
+		delete(e.inFlight, msg.Aux)
+		t1 := e.localNow()
+		refTime := time.Unix(0, int64(binary.BigEndian.Uint64(msg.Body)))
+		rtt := t1.Sub(t0)
+		if rtt < 0 {
+			return
+		}
+		mid := t0.Add(rtt / 2)
+		e.samples = append(e.samples, sample{offset: mid.Sub(refTime), rtt: rtt})
+		if len(e.samples) > e.cfg.Window {
+			e.samples = e.samples[1:]
+		}
+		e.exchanges++
+	}
+}
+
+// OnTick emits due probes and expires stale ones.
+func (e *Engine) OnTick(now time.Time) {
+	if e.cfg.Reference == id.None || e.cfg.Reference == e.env.Self() {
+		return
+	}
+	if now.Sub(e.lastProbe) < e.cfg.ProbeEvery {
+		return
+	}
+	e.lastProbe = now
+	// Expire probes older than two periods: their replies are lost.
+	for nonce, sent := range e.inFlight {
+		if e.localNow().Sub(sent) > 2*e.cfg.ProbeEvery {
+			delete(e.inFlight, nonce)
+		}
+	}
+	e.nonce++
+	e.inFlight[e.nonce] = e.localNow()
+	e.env.Send(e.cfg.Reference, &wire.Message{
+		Kind:  wire.KindClockProbe,
+		Group: e.cfg.Group,
+		Aux:   e.nonce,
+	})
+}

@@ -1,0 +1,183 @@
+package clocksync
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// buildPair wires a reference (node 1) and a client (node 2) with the
+// given client clock skew.
+func buildPair(s *netsim.Sim, skew time.Duration, link netsim.Link) (ref, client *Engine) {
+	sim := s
+	sim.AddNode(1, func(env proto.Env) proto.Handler {
+		ref = New(env, Config{Group: 1, Reference: 1})
+		return ref
+	})
+	sim.AddNode(2, func(env proto.Env) proto.Handler {
+		client = New(env, Config{
+			Group: 1, Reference: 1,
+			ProbeEvery: 100 * time.Millisecond,
+			LocalSkew:  skew,
+		})
+		return client
+	})
+	return ref, client
+}
+
+func TestOffsetEstimation(t *testing.T) {
+	tests := []struct {
+		name string
+		skew time.Duration
+	}{
+		{name: "fast clock", skew: 120 * time.Millisecond},
+		{name: "slow clock", skew: -75 * time.Millisecond},
+		{name: "aligned", skew: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := netsim.New(netsim.Config{
+				Seed:    101,
+				Profile: netsim.LANProfile(3*time.Millisecond, time.Millisecond, 0),
+			})
+			_, client := buildPair(s, tt.skew, netsim.Link{})
+			s.Run(3 * time.Second)
+
+			off, ok := client.Offset()
+			if !ok {
+				t.Fatal("no offset estimate")
+			}
+			err := off - tt.skew
+			if err < 0 {
+				err = -err
+			}
+			// Symmetric 3ms links: the midpoint estimate is near exact;
+			// allow the jitter bound.
+			if err > 2*time.Millisecond {
+				t.Fatalf("offset = %v, want %v ± 2ms", off, tt.skew)
+			}
+		})
+	}
+}
+
+func TestCorrectedNow(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    102,
+		Profile: netsim.LANProfile(2*time.Millisecond, 0, 0),
+	})
+	ref, client := buildPair(s, 200*time.Millisecond, netsim.Link{})
+	s.Run(2 * time.Second)
+
+	// Corrected client time must sit near the reference's local time.
+	diff := client.Now().Sub(ref.localNow())
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2*time.Millisecond {
+		t.Fatalf("corrected clock off by %v", diff)
+	}
+}
+
+func TestNowBeforeSyncReturnsLocal(t *testing.T) {
+	s := netsim.New(netsim.Config{})
+	var client *Engine
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		client = New(env, Config{Group: 1, Reference: 1, LocalSkew: time.Second})
+		return client
+	})
+	// No reference node exists; probes vanish.
+	s.Run(500 * time.Millisecond)
+	if _, ok := client.Offset(); ok {
+		t.Fatal("offset without any exchange")
+	}
+	want := client.localNow()
+	if !client.Now().Equal(want) {
+		t.Fatalf("pre-sync Now() = %v, want local %v", client.Now(), want)
+	}
+}
+
+func TestReferenceDoesNotProbe(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 103})
+	ref, client := buildPair(s, 50*time.Millisecond, netsim.Link{})
+	s.Run(2 * time.Second)
+	if ref.Exchanges() != 0 {
+		t.Fatalf("reference completed %d exchanges", ref.Exchanges())
+	}
+	if client.Exchanges() == 0 {
+		t.Fatal("client completed no exchanges")
+	}
+}
+
+func TestSurvivesLoss(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    104,
+		Profile: netsim.LANProfile(3*time.Millisecond, 2*time.Millisecond, 0.3),
+	})
+	_, client := buildPair(s, 80*time.Millisecond, netsim.Link{})
+	s.Run(5 * time.Second)
+	off, ok := client.Offset()
+	if !ok {
+		t.Fatal("no estimate despite 70% success rate")
+	}
+	err := off - 80*time.Millisecond
+	if err < 0 {
+		err = -err
+	}
+	if err > 3*time.Millisecond {
+		t.Fatalf("offset = %v under loss, want ~80ms", off)
+	}
+	// In-flight table must not leak expired probes.
+	if len(client.inFlight) > 4 {
+		t.Fatalf("inFlight leaked: %d entries", len(client.inFlight))
+	}
+}
+
+func TestAsymmetricDelayBiasBounded(t *testing.T) {
+	// Asymmetric paths bias Cristian's midpoint by (d1-d2)/2; verify the
+	// bias matches theory rather than exploding.
+	s := netsim.New(netsim.Config{
+		Seed: 105,
+		Profile: func(from, to id.Node) netsim.Link {
+			if from == 2 { // client -> ref slow
+				return netsim.Link{Delay: 10 * time.Millisecond}
+			}
+			return netsim.Link{Delay: 2 * time.Millisecond} // ref -> client fast
+		},
+	})
+	_, client := buildPair(s, 0, netsim.Link{})
+	s.Run(2 * time.Second)
+	off, ok := client.Offset()
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// Expected bias: (d_fwd - d_back)/2 = (10-2)/2 = 4ms; offset should
+	// be ~ -4ms (midpoint late relative to server stamp).
+	want := -4 * time.Millisecond
+	err := off - want
+	if err < 0 {
+		err = -err
+	}
+	if err > 2*time.Millisecond {
+		t.Fatalf("asymmetry bias = %v, want ~%v", off, want)
+	}
+}
+
+func TestIgnoresForeignGroup(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 106})
+	var client *Engine
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		// Reference serves group 9 only.
+		return New(env, Config{Group: 9, Reference: 1})
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		client = New(env, Config{Group: 1, Reference: 1})
+		return client
+	})
+	s.Run(2 * time.Second)
+	if client.Exchanges() != 0 {
+		t.Fatal("cross-group replies accepted")
+	}
+}

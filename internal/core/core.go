@@ -1,0 +1,135 @@
+// Package core integrates the architecture's layers into the group
+// communication service the paper describes: a membership engine and a
+// reliable multicast engine wired together so that view changes flush
+// unstable traffic (approximate virtual synchrony), plus the failure
+// detector the membership engine embeds. One Stack is one node's
+// attachment to one process group.
+//
+// A Stack is a proto.Handler: it runs identically under the
+// discrete-event simulator (internal/netsim) and in real time over UDP
+// (internal/noderun); the public root package scalamedia wraps the latter.
+package core
+
+import (
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/wire"
+)
+
+// Config parameterizes a Stack.
+type Config struct {
+	// Group is the process group to participate in.
+	Group id.Group
+	// Contact is an existing member to join through; id.None bootstraps
+	// a new group.
+	Contact id.Node
+	// Ordering is the multicast delivery discipline. Defaults to FIFO.
+	Ordering rmcast.Ordering
+
+	// Membership timing (zero values take the layer defaults).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	FlushTimeout   time.Duration
+	JoinRetry      time.Duration
+
+	// Multicast timing (zero values take the layer defaults).
+	ResendAfter    time.Duration
+	StabilizeEvery time.Duration
+
+	// OnView observes installed views.
+	OnView func(member.View)
+	// OnDeliver receives multicast messages.
+	OnDeliver func(rmcast.Delivery)
+	// OnEvicted fires if this node is removed from the group.
+	OnEvicted func()
+	// PrimaryPartition applies the membership majority rule; see
+	// member.Config.PrimaryPartition.
+	PrimaryPartition bool
+	// Snapshot and OnState enable application state transfer to joining
+	// members; see member.Config.
+	Snapshot func() []byte
+	OnState  func(member.View, []byte)
+}
+
+// Stack is one node's group communication service.
+type Stack struct {
+	env    proto.Env
+	cfg    Config
+	member *member.Engine
+	mcast  *rmcast.Engine
+}
+
+var _ proto.Handler = (*Stack)(nil)
+
+// NewStack builds and wires the layer engines.
+func NewStack(env proto.Env, cfg Config) *Stack {
+	s := &Stack{env: env, cfg: cfg}
+	s.mcast = rmcast.New(env, rmcast.Config{
+		Group:          cfg.Group,
+		Ordering:       cfg.Ordering,
+		ResendAfter:    cfg.ResendAfter,
+		StabilizeEvery: cfg.StabilizeEvery,
+		OnDeliver:      cfg.OnDeliver,
+	})
+	s.member = member.New(env, member.Config{
+		Group:            cfg.Group,
+		Contact:          cfg.Contact,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		SuspectAfter:     cfg.SuspectAfter,
+		FlushTimeout:     cfg.FlushTimeout,
+		JoinRetry:        cfg.JoinRetry,
+		PrimaryPartition: cfg.PrimaryPartition,
+		Snapshot:         cfg.Snapshot,
+		OnState:          cfg.OnState,
+		OnFlush:          s.mcast.Flush,
+		OnView: func(v member.View) {
+			s.mcast.SetView(v)
+			if cfg.OnView != nil {
+				cfg.OnView(v)
+			}
+		},
+		OnEvicted: func(member.View) {
+			if cfg.OnEvicted != nil {
+				cfg.OnEvicted()
+			}
+		},
+	})
+	return s
+}
+
+// Multicast sends payload to the group with the configured ordering.
+func (s *Stack) Multicast(payload []byte) error { return s.mcast.Multicast(payload) }
+
+// View returns the current membership view.
+func (s *Stack) View() member.View { return s.member.View() }
+
+// Joining reports whether admission is still pending.
+func (s *Stack) Joining() bool { return s.member.Joining() }
+
+// Evicted reports whether this node was removed from the group.
+func (s *Stack) Evicted() bool { return s.member.Evicted() }
+
+// Leave announces a voluntary departure.
+func (s *Stack) Leave() { s.member.Leave() }
+
+// Counters exposes the multicast protocol counters.
+func (s *Stack) Counters() rmcast.Counters { return s.mcast.Counters() }
+
+// Member exposes the membership engine (for suspicion queries).
+func (s *Stack) Member() *member.Engine { return s.member }
+
+// OnMessage dispatches a datagram to both engines.
+func (s *Stack) OnMessage(from id.Node, msg *wire.Message) {
+	s.member.OnMessage(from, msg)
+	s.mcast.OnMessage(from, msg)
+}
+
+// OnTick drives both engines.
+func (s *Stack) OnTick(now time.Time) {
+	s.member.OnTick(now)
+	s.mcast.OnTick(now)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestA2NackVsAckShape(t *testing.T) {
+	tab := AblationNackVsAck(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// ACK feedback per multicast must grow with n (implosion); NACK
+	// feedback stays small and roughly flat.
+	firstAck := cell(t, tab.Rows[0][1])
+	lastAck := cell(t, tab.Rows[len(tab.Rows)-1][1])
+	if lastAck <= firstAck {
+		t.Errorf("ACK feedback did not grow with n: %.2f -> %.2f", firstAck, lastAck)
+	}
+	lastNack := cell(t, tab.Rows[len(tab.Rows)-1][2])
+	if lastNack >= lastAck {
+		t.Errorf("NACK feedback %.2f not below ACK %.2f at max n", lastNack, lastAck)
+	}
+	// Both variants must deliver everything.
+	for _, row := range tab.Rows {
+		for _, col := range []int{5, 6} {
+			parts := strings.Split(row[col], "/")
+			if len(parts) != 2 || parts[0] != parts[1] {
+				t.Fatalf("incomplete delivery: %v", row)
+			}
+		}
+	}
+}
+
+func TestA3FECShape(t *testing.T) {
+	tab := AblationFEC(quick)
+	for _, row := range tab.Rows {
+		plain := cell(t, row[1])
+		withFEC := cell(t, row[2])
+		if withFEC >= plain {
+			t.Errorf("loss %s%%: FEC miss %.1f%% not below plain %.1f%%",
+				row[0], withFEC, plain)
+		}
+		rec, err := strconv.Atoi(row[3])
+		if err != nil || rec == 0 {
+			t.Errorf("no FEC recoveries at loss %s%%: %v", row[0], row)
+		}
+	}
+}
+
+func TestA4ResendTimerShape(t *testing.T) {
+	tab := AblationResendTimer(quick)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// p99 latency grows with the resend timer: slower repair.
+	firstP99 := cell(t, tab.Rows[0][2])
+	lastP99 := cell(t, tab.Rows[len(tab.Rows)-1][2])
+	if lastP99 <= firstP99 {
+		t.Errorf("p99 did not grow with the resend timer: %.1f -> %.1f",
+			firstP99, lastP99)
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true}
+
+// cell parses a table cell's leading float.
+func cell(t *testing.T, s string) float64 {
+	t.Helper()
+	fields := strings.Fields(strings.ReplaceAll(s, "/", " "))
+	if len(fields) == 0 {
+		t.Fatalf("empty cell %q", s)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(fields[0], "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestT1Shape(t *testing.T) {
+	tab := T1LatencyVsGroupSize(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		unordered := cell(t, row[1])
+		total := cell(t, row[4])
+		if unordered <= 0 || total <= 0 {
+			t.Fatalf("non-positive latency in row %v", row)
+		}
+		// Total ordering must cost at least as much as unordered.
+		if total < unordered {
+			t.Errorf("n=%s: total %.2f < unordered %.2f", row[0], total, unordered)
+		}
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	if !strings.Contains(sb.String(), "T1") {
+		t.Fatal("render missing ID")
+	}
+}
+
+func TestT2Shape(t *testing.T) {
+	tab := T2ThroughputVsGroupSize(quick)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for i := 1; i < len(row); i++ {
+			if cell(t, row[i]) <= 0 {
+				t.Fatalf("zero throughput: %v", row)
+			}
+		}
+	}
+}
+
+func TestT3Shape(t *testing.T) {
+	tab := T3ControlOverhead(quick)
+	for _, row := range tab.Rows {
+		flatCtl := cell(t, row[1])
+		hierCtl := cell(t, row[2])
+		if flatCtl <= 0 || hierCtl <= 0 {
+			t.Fatalf("zero overhead: %v", row)
+		}
+	}
+	// At the largest measured size, the hierarchy must have lower
+	// control overhead than the flat group — the paper's claim.
+	last := tab.Rows[len(tab.Rows)-1]
+	if cell(t, last[2]) >= cell(t, last[1]) {
+		t.Errorf("hier overhead %.2f not below flat %.2f at n=%s",
+			cell(t, last[2]), cell(t, last[1]), last[0])
+	}
+}
+
+func TestT4Shape(t *testing.T) {
+	tab := T4ViewChangeLatency(quick)
+	for _, row := range tab.Rows {
+		if !strings.Contains(row[5], "true/true") {
+			t.Fatalf("view change did not converge: %v", row)
+		}
+		mean := cell(t, row[1])
+		if mean < 100 || mean > 2000 {
+			t.Errorf("member-crash latency %.1fms outside plausible band", mean)
+		}
+	}
+}
+
+func TestT5Shape(t *testing.T) {
+	tab := T5PlayoutLoss(quick)
+	last := tab.Rows[len(tab.Rows)-1]
+	fixedLate := cell(t, last[1])
+	adaptLate := cell(t, last[2])
+	if fixedLate <= adaptLate {
+		t.Errorf("at max jitter, fixed late %.1f%% not worse than adaptive %.1f%%",
+			fixedLate, adaptLate)
+	}
+}
+
+func TestT6Shape(t *testing.T) {
+	tab := T6EndToEnd(quick)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if rate := cell(t, row[3]); rate < 0.99 {
+			t.Errorf("%s delivery rate %.3f < 0.99", row[0], rate)
+		}
+	}
+	// Hierarchy reduces control overhead even at quick scale.
+	if cell(t, tab.Rows[1][4]) >= cell(t, tab.Rows[0][4]) {
+		t.Errorf("hier ctl/dlv %.2f not below flat %.2f",
+			cell(t, tab.Rows[1][4]), cell(t, tab.Rows[0][4]))
+	}
+}
+
+func TestF1Shape(t *testing.T) {
+	fig := F1LatencyCDF(quick)
+	if len(fig.Series) != 4 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("empty series %s", s.Name)
+		}
+		if s.Y[len(s.Y)-1] != 1 {
+			t.Errorf("series %s CDF does not reach 1", s.Name)
+		}
+	}
+	var sb strings.Builder
+	fig.Render(&sb)
+	if !strings.Contains(sb.String(), "F1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestF2Shape(t *testing.T) {
+	fig := F2LatencyVsLoss(quick)
+	for _, s := range fig.Series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last <= first {
+			t.Errorf("series %s: latency did not grow with loss (%.2f -> %.2f)",
+				s.Name, first, last)
+		}
+	}
+}
+
+func TestF3Shape(t *testing.T) {
+	fig := F3AdaptivePlayout(quick)
+	// Delay series must grow with jitter for every K.
+	for _, s := range fig.Series {
+		if !strings.HasPrefix(s.Name, "delay") {
+			continue
+		}
+		if s.Y[len(s.Y)-1] <= s.Y[0] {
+			t.Errorf("series %s: playout delay flat (%.2f -> %.2f)",
+				s.Name, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestF4Shape(t *testing.T) {
+	fig := F4MediaSkew(quick)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	noSync, withSync := fig.Series[0], fig.Series[1]
+	if len(noSync.Y) < 5 || len(withSync.Y) < 5 {
+		t.Fatalf("too few samples: %d / %d", len(noSync.Y), len(withSync.Y))
+	}
+	// Uncorrected drift ends far above the corrected trace.
+	if noSync.Y[len(noSync.Y)-1] <= withSync.Y[len(withSync.Y)-1] {
+		t.Errorf("no-sync final skew %.1fms not above sync %.1fms",
+			noSync.Y[len(noSync.Y)-1], withSync.Y[len(withSync.Y)-1])
+	}
+}
+
+func TestF5Shape(t *testing.T) {
+	fig := F5Scalability(quick)
+	byName := map[string]Series{}
+	for _, s := range fig.Series {
+		byName[s.Name] = s
+	}
+	flatCtl, ok1 := byName["flat ctl/dlv"]
+	hierCtl, ok2 := byName["hier ctl/dlv"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing control series: %v", fig.Series)
+	}
+	last := len(flatCtl.Y) - 1
+	if hierCtl.Y[last] >= flatCtl.Y[last] {
+		t.Errorf("hier ctl %.2f not below flat ctl %.2f at n=%.0f",
+			hierCtl.Y[last], flatCtl.Y[last], flatCtl.X[last])
+	}
+}
+
+func TestF6Shape(t *testing.T) {
+	fig := F6ThroughputVsSize(quick)
+	tput := fig.Series[0]
+	if tput.Y[len(tput.Y)-1] <= tput.Y[0] {
+		t.Errorf("payload bandwidth did not grow with size: %.3f -> %.3f",
+			tput.Y[0], tput.Y[len(tput.Y)-1])
+	}
+}
+
+func TestAblationClusterSize(t *testing.T) {
+	tab := AblationClusterSize(quick)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cell(t, row[1]) <= 0 {
+			t.Fatalf("bad row %v", row)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := T1LatencyVsGroupSize(quick)
+	b := T1LatencyVsGroupSize(quick)
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("non-deterministic cell [%d][%d]: %q vs %q",
+					i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scalamedia/internal/hier"
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
+	"scalamedia/internal/trace"
+	"scalamedia/internal/wire"
+)
+
+// hierParams parameterizes runHier.
+type hierParams struct {
+	n           int
+	clusterSize int
+	senders     int
+	perSend     int
+	gap         time.Duration
+	link        netsim.Link
+	payload     int
+	seed        int64
+}
+
+// runHier drives one hierarchical group through the same workload shape
+// as runFlat and measures the same quantities.
+func runHier(p hierParams) flatResult {
+	if p.senders <= 0 || p.senders > p.n {
+		p.senders = p.n
+	}
+	if p.payload <= 0 {
+		p.payload = 64
+	}
+	sim := netsim.New(netsim.Config{
+		Seed:    p.seed,
+		Profile: func(_, _ id.Node) netsim.Link { return p.link },
+	})
+
+	var members []id.Node
+	for i := 1; i <= p.n; i++ {
+		members = append(members, id.Node(i))
+	}
+	topo := hier.Cluster(members, p.clusterSize)
+
+	type sendKey struct {
+		origin id.Node
+		seq    uint64
+	}
+	sentAt := make(map[sendKey]time.Time)
+	lat := &stats.Histogram{}
+	delivered := 0
+	sent := make(map[id.Node]uint64)
+
+	engines := make(map[id.Node]*hier.Engine, p.n)
+	for _, m := range members {
+		m := m
+		sim.AddNode(m, func(env proto.Env) proto.Handler {
+			eng, err := hier.New(env, hier.Config{
+				LocalGroup: 1,
+				WideGroup:  2,
+				Topology:   topo,
+				OnDeliver: func(d hier.Delivery) {
+					delivered++
+					if t0, ok := sentAt[sendKey{d.Origin, d.Seq}]; ok {
+						lat.ObserveDuration(env.Now().Sub(t0))
+					}
+				},
+			})
+			if err != nil {
+				panic(err) // static topology always contains m
+			}
+			engines[m] = eng
+			return eng
+		})
+	}
+
+	payload := trace.New(p.seed + 7).Payload(p.payload)
+	var lastSend time.Duration
+	for s := 0; s < p.senders; s++ {
+		// Spread senders across clusters.
+		sender := members[(s*p.clusterSize+1)%p.n]
+		arrivals := trace.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
+		for _, at := range arrivals {
+			at := at
+			if at > lastSend {
+				lastSend = at
+			}
+			sim.At(at, func() {
+				sent[sender]++
+				sentAt[sendKey{sender, sent[sender]}] = sim.Now()
+				_ = engines[sender].Multicast(payload)
+			})
+		}
+	}
+
+	start := time.Now()
+	sim.Run(lastSend + 5*time.Second)
+	wall := time.Since(start)
+
+	return flatResult{
+		Latencies: lat,
+		Net:       sim.Stats(),
+		Wall:      wall,
+		Delivered: delivered,
+		Expected:  p.senders * p.perSend * p.n,
+	}
+}
+
+// controlShare computes control datagrams (everything except the payload
+// data/retransmission kinds) per delivered application message.
+func controlShare(r flatResult) (perDelivery float64, totalPerDelivery float64) {
+	if r.Delivered == 0 {
+		return 0, 0
+	}
+	data := r.Net.SentByKind[wire.KindData] + r.Net.SentByKind[wire.KindRetrans]
+	ctl := r.Net.TotalSent() - data
+	return float64(ctl) / float64(r.Delivered),
+		float64(r.Net.TotalSent()) / float64(r.Delivered)
+}
+
+// T3ControlOverhead reproduces table T3: control datagrams per delivered
+// message, flat group versus hierarchy with 8-node clusters.
+func T3ControlOverhead(o Options) Table {
+	sizes := []int{16, 32, 64, 128}
+	per := 40
+	cluster := 8
+	if o.Quick {
+		sizes = []int{16, 32}
+		per = 12
+	}
+	t := Table{
+		ID:    "T3",
+		Title: fmt.Sprintf("Control overhead: flat vs hierarchical (cluster=%d)", cluster),
+		Columns: []string{"n", "flat ctl/dlv", "hier ctl/dlv",
+			"flat total/dlv", "hier total/dlv"},
+	}
+	for _, n := range sizes {
+		flat := runFlat(flatParams{
+			n: n, ordering: rmcast.FIFO, senders: 4, perSend: per,
+			gap: 10 * time.Millisecond, link: lanLink(0.01),
+			seed: o.seed(700 + int64(n)),
+		})
+		hr := runHier(hierParams{
+			n: n, clusterSize: cluster, senders: 4, perSend: per,
+			gap: 10 * time.Millisecond, link: lanLink(0.01),
+			seed: o.seed(700 + int64(n)),
+		})
+		fc, ft := controlShare(flat)
+		hc, ht := controlShare(hr)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			ratio(fc), ratio(hc), ratio(ft), ratio(ht),
+		})
+	}
+	return t
+}
+
+// F5Scalability reproduces figure F5: mean delivery latency versus group
+// size for the flat and hierarchical organizations.
+func F5Scalability(o Options) Figure {
+	sizes := []int{8, 16, 32, 64, 96, 128}
+	per := 30
+	cluster := 8
+	if o.Quick {
+		sizes = []int{8, 16, 32}
+		per = 10
+	}
+	f := Figure{
+		ID:     "F5",
+		Title:  fmt.Sprintf("Scalability: latency vs group size (cluster=%d)", cluster),
+		XLabel: "group size",
+		YLabel: "mean delivery latency (ms)",
+	}
+	flatS := Series{Name: "flat"}
+	hierS := Series{Name: "hierarchical"}
+	flatCtl := Series{Name: "flat ctl/dlv"}
+	hierCtl := Series{Name: "hier ctl/dlv"}
+	for _, n := range sizes {
+		flat := runFlat(flatParams{
+			n: n, ordering: rmcast.FIFO, senders: 4, perSend: per,
+			gap: 10 * time.Millisecond, link: lanLink(0.01),
+			seed: o.seed(800 + int64(n)),
+		})
+		hr := runHier(hierParams{
+			n: n, clusterSize: cluster, senders: 4, perSend: per,
+			gap: 10 * time.Millisecond, link: lanLink(0.01),
+			seed: o.seed(800 + int64(n)),
+		})
+		flatS.X = append(flatS.X, float64(n))
+		flatS.Y = append(flatS.Y, flat.Latencies.Mean())
+		hierS.X = append(hierS.X, float64(n))
+		hierS.Y = append(hierS.Y, hr.Latencies.Mean())
+		fc, _ := controlShare(flat)
+		hc, _ := controlShare(hr)
+		flatCtl.X = append(flatCtl.X, float64(n))
+		flatCtl.Y = append(flatCtl.Y, fc)
+		hierCtl.X = append(hierCtl.X, float64(n))
+		hierCtl.Y = append(hierCtl.Y, hc)
+	}
+	f.Series = []Series{flatS, hierS, flatCtl, hierCtl}
+	return f
+}
+
+// T6EndToEnd reproduces table T6: the end-to-end architecture comparison
+// on a conference-style workload at n=96.
+func T6EndToEnd(o Options) Table {
+	n, per, cluster := 96, 50, 8
+	if o.Quick {
+		n, per = 24, 15
+	}
+	t := Table{
+		ID:    "T6",
+		Title: fmt.Sprintf("End-to-end comparison, conference workload (n=%d)", n),
+		Columns: []string{"organization", "mean lat (ms)", "p99 lat (ms)",
+			"delivery rate", "ctl/dlv", "total dgrams/dlv"},
+	}
+	flat := runFlat(flatParams{
+		n: n, ordering: rmcast.FIFO, senders: 6, perSend: per,
+		gap: 20 * time.Millisecond, link: lanLink(0.01),
+		seed: o.seed(900),
+	})
+	hr := runHier(hierParams{
+		n: n, clusterSize: cluster, senders: 6, perSend: per,
+		gap: 20 * time.Millisecond, link: lanLink(0.01),
+		seed: o.seed(900),
+	})
+	add := func(name string, r flatResult) {
+		ctl, tot := controlShare(r)
+		t.Rows = append(t.Rows, []string{
+			name,
+			msf(r.Latencies.Mean()),
+			msf(r.Latencies.Percentile(99)),
+			fmt.Sprintf("%.3f", float64(r.Delivered)/float64(r.Expected)),
+			ratio(ctl), ratio(tot),
+		})
+	}
+	add("flat", flat)
+	add(fmt.Sprintf("hier(c=%d)", cluster), hr)
+	return t
+}
+
+// AblationClusterSize sweeps the hierarchy's cluster size at fixed n,
+// the design-choice ablation DESIGN.md calls out.
+func AblationClusterSize(o Options) Table {
+	n := 64
+	clusters := []int{4, 8, 16, 32, 64}
+	per := 30
+	if o.Quick {
+		n = 32
+		clusters = []int{4, 8, 16, 32}
+		per = 10
+	}
+	t := Table{
+		ID:      "A1",
+		Title:   fmt.Sprintf("Ablation: cluster size sensitivity (n=%d)", n),
+		Columns: []string{"cluster", "mean lat (ms)", "ctl/dlv", "total/dlv"},
+	}
+	for _, c := range clusters {
+		r := runHier(hierParams{
+			n: n, clusterSize: c, senders: 4, perSend: per,
+			gap: 10 * time.Millisecond, link: lanLink(0.01),
+			seed: o.seed(950),
+		})
+		ctl, tot := controlShare(r)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c), msf(r.Latencies.Mean()), ratio(ctl), ratio(tot),
+		})
+	}
+	return t
+}

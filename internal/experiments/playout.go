@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rtx"
+)
+
+// mediaAudioSpec returns the standard telephone audio spec used by the
+// media ablations.
+func mediaAudioSpec() media.StreamSpec { return media.TelephoneAudio(1, "mic") }
+
+// mediaCBR returns a CBR voice-packet source of count packets.
+func mediaCBR(spec media.StreamSpec, count int) media.Source {
+	return media.NewCBR(spec, 160, count)
+}
+
+// playoutResult summarizes one media playout run.
+type playoutResult struct {
+	stats rtx.Stats
+	sent  int
+}
+
+// runPlayout streams a talkspurt voice source across a jittery link into
+// one receiver with the given playout policy.
+func runPlayout(jitter time.Duration, mode rtx.PlayoutMode, fixedDelay time.Duration,
+	safety float64, packets int, seed int64) playoutResult {
+
+	spec := media.TelephoneAudio(1, "mic")
+	sim := netsim.New(netsim.Config{
+		Seed:    seed,
+		Profile: netsim.LANProfile(2*time.Millisecond, jitter, 0),
+	})
+	var sender *rtx.Sender
+	var recv *rtx.Receiver
+	sim.AddNode(1, func(env proto.Env) proto.Handler {
+		sender = rtx.NewSender(env, 1, spec)
+		sender.SetPeers([]id.Node{2})
+		return proto.NewMux()
+	})
+	sim.AddNode(2, func(env proto.Env) proto.Handler {
+		recv = rtx.NewReceiver(env, rtx.Config{
+			Group: 1, Stream: 1, Spec: spec,
+			Mode: mode, PlayoutDelay: fixedDelay, SafetyFactor: safety,
+		})
+		return recv
+	})
+	src := media.NewVoice(spec, 160, packets, time.Second, 1350*time.Millisecond, seed+3)
+	var last time.Duration
+	sent := 0
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		sent++
+		at := 10*time.Millisecond + frame.Capture
+		if at > last {
+			last = at
+		}
+		sim.At(at, func() { sender.Send(frame) })
+	}
+	sim.Run(last + 2*time.Second)
+	return playoutResult{stats: recv.Stats(), sent: sent}
+}
+
+// lateFraction is the share of arrived frames that missed playout.
+func (r playoutResult) lateFraction() float64 {
+	if r.stats.Received == 0 {
+		return 0
+	}
+	return float64(r.stats.Late) / float64(r.stats.Received)
+}
+
+// T5PlayoutLoss reproduces table T5: late-frame rate under increasing
+// jitter for fixed versus adaptive playout.
+func T5PlayoutLoss(o Options) Table {
+	jitters := []time.Duration{
+		2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+	}
+	packets := 800
+	if o.Quick {
+		// Keep the high-jitter points: they carry the comparison.
+		jitters = []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+		packets = 200
+	}
+	const fixedDelay = 30 * time.Millisecond
+	t := Table{
+		ID:    "T5",
+		Title: fmt.Sprintf("Playout: late frames vs jitter (voice, fixed delay %v)", fixedDelay),
+		Columns: []string{"jitter (ms)", "fixed late %", "adaptive late %",
+			"adaptive delay (ms)"},
+	}
+	for _, j := range jitters {
+		fixed := runPlayout(j, rtx.FixedDelay, fixedDelay, 0, packets, o.seed(1200))
+		adapt := runPlayout(j, rtx.Adaptive, fixedDelay, 0, packets, o.seed(1200))
+		t.Rows = append(t.Rows, []string{
+			ms(j),
+			fmt.Sprintf("%.1f", fixed.lateFraction()*100),
+			fmt.Sprintf("%.1f", adapt.lateFraction()*100),
+			ms(adapt.stats.PlayoutDelay),
+		})
+	}
+	return t
+}
+
+// F3AdaptivePlayout reproduces figure F3: the adaptive playout delay as a
+// function of network jitter, plus the safety-factor (K) ablation.
+func F3AdaptivePlayout(o Options) Figure {
+	jitters := []time.Duration{
+		2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 40 * time.Millisecond,
+	}
+	packets := 600
+	if o.Quick {
+		jitters = []time.Duration{5 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+		packets = 150
+	}
+	f := Figure{
+		ID:     "F3",
+		Title:  "Adaptive playout delay vs jitter, with safety-factor ablation",
+		XLabel: "jitter (ms)",
+		YLabel: "converged playout delay (ms) / late %",
+	}
+	for _, k := range []float64{1, 2, 4, 8} {
+		delayS := Series{Name: fmt.Sprintf("delay K=%g", k)}
+		lateS := Series{Name: fmt.Sprintf("late%% K=%g", k)}
+		for _, j := range jitters {
+			r := runPlayout(j, rtx.Adaptive, 30*time.Millisecond, k, packets, o.seed(1300))
+			x := float64(j) / float64(time.Millisecond)
+			delayS.X = append(delayS.X, x)
+			delayS.Y = append(delayS.Y, float64(r.stats.PlayoutDelay)/float64(time.Millisecond))
+			lateS.X = append(lateS.X, x)
+			lateS.Y = append(lateS.Y, r.lateFraction()*100)
+		}
+		f.Series = append(f.Series, delayS, lateS)
+	}
+	return f
+}

@@ -1,0 +1,236 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// detNode bundles a detector with its recorded events.
+type detNode struct {
+	det    *Detector
+	events []Event
+}
+
+// buildCluster creates n detectors monitoring each other in a simulation.
+func buildCluster(s *netsim.Sim, n int, hb, suspect time.Duration) map[id.Node]*detNode {
+	nodes := make(map[id.Node]*detNode, n)
+	var members []id.Node
+	for i := 1; i <= n; i++ {
+		members = append(members, id.Node(i))
+	}
+	for _, m := range members {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			dn := &detNode{}
+			dn.det = New(env, Config{
+				Group:          1,
+				HeartbeatEvery: hb,
+				SuspectAfter:   suspect,
+				OnEvent:        func(ev Event) { dn.events = append(dn.events, ev) },
+			})
+			dn.det.SetPeers(members)
+			nodes[m] = dn
+			return dn.det
+		})
+	}
+	return nodes
+}
+
+func TestNoFalseSuspicions(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 1})
+	nodes := buildCluster(s, 4, 50*time.Millisecond, 250*time.Millisecond)
+	s.Run(2 * time.Second)
+	for n, dn := range nodes {
+		if len(dn.events) != 0 {
+			t.Errorf("node %s raised events on a healthy network: %+v", n, dn.events)
+		}
+		if got := len(dn.det.Alive()); got != 3 {
+			t.Errorf("node %s Alive() = %d peers, want 3", n, got)
+		}
+	}
+}
+
+func TestCrashDetected(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 2})
+	nodes := buildCluster(s, 4, 50*time.Millisecond, 250*time.Millisecond)
+	s.At(500*time.Millisecond, func() { s.Crash(3) })
+	s.Run(2 * time.Second)
+
+	for n, dn := range nodes {
+		if n == 3 {
+			continue
+		}
+		if !dn.det.Suspected(3) {
+			t.Errorf("node %s did not suspect crashed node 3", n)
+			continue
+		}
+		var found *Event
+		for i := range dn.events {
+			if dn.events[i].Node == 3 && dn.events[i].Suspected {
+				found = &dn.events[i]
+				break
+			}
+		}
+		if found == nil {
+			t.Errorf("node %s has no suspicion event for node 3", n)
+			continue
+		}
+		// Detection latency should be close to SuspectAfter.
+		latency := found.At.Sub(time.Unix(0, 0).UTC().Add(500 * time.Millisecond))
+		if latency < 200*time.Millisecond || latency > 500*time.Millisecond {
+			t.Errorf("node %s detected crash after %v, want ~250-400ms", n, latency)
+		}
+		// No other node should be suspected.
+		for _, ev := range dn.events {
+			if ev.Node != 3 {
+				t.Errorf("node %s spuriously suspected %s", n, ev.Node)
+			}
+		}
+	}
+}
+
+func TestRecoveryClearsSuspicion(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 3})
+	nodes := buildCluster(s, 3, 50*time.Millisecond, 200*time.Millisecond)
+	s.At(300*time.Millisecond, func() { s.Crash(2) })
+	s.At(time.Second, func() { s.Restart(2) })
+	s.Run(2 * time.Second)
+
+	dn := nodes[1]
+	if dn.det.Suspected(2) {
+		t.Fatal("node 1 still suspects recovered node 2")
+	}
+	var sawSuspect, sawClear bool
+	for _, ev := range dn.events {
+		if ev.Node != 2 {
+			continue
+		}
+		if ev.Suspected {
+			sawSuspect = true
+		} else if sawSuspect {
+			sawClear = true
+		}
+	}
+	if !sawSuspect || !sawClear {
+		t.Fatalf("events = %+v, want suspect then clear for node 2", dn.events)
+	}
+}
+
+func TestLossToleratedBelowThreshold(t *testing.T) {
+	// 20% loss must not cause suspicions when the timeout allows 5
+	// missed heartbeats.
+	s := netsim.New(netsim.Config{
+		Seed:    4,
+		Profile: netsim.LANProfile(time.Millisecond, time.Millisecond, 0.2),
+	})
+	nodes := buildCluster(s, 3, 40*time.Millisecond, 400*time.Millisecond)
+	s.Run(3 * time.Second)
+	for n, dn := range nodes {
+		for _, ev := range dn.events {
+			if ev.Suspected {
+				t.Errorf("node %s suspected %s under mild loss", n, ev.Node)
+			}
+		}
+	}
+}
+
+func TestSetPeersForgetsRemoved(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 5})
+	nodes := buildCluster(s, 3, 50*time.Millisecond, 200*time.Millisecond)
+	s.At(100*time.Millisecond, func() {
+		nodes[1].det.SetPeers([]id.Node{1, 2}) // drop node 3 from monitoring
+		s.Crash(3)
+	})
+	s.Run(2 * time.Second)
+	if nodes[1].det.Suspected(3) {
+		t.Fatal("unmonitored node reported suspected")
+	}
+	for _, ev := range nodes[1].events {
+		if ev.Node == 3 {
+			t.Fatalf("event for unmonitored node: %+v", ev)
+		}
+	}
+}
+
+func TestSelfNeverMonitored(t *testing.T) {
+	s := netsim.New(netsim.Config{})
+	var det *Detector
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		det = New(env, Config{Group: 1})
+		det.SetPeers([]id.Node{1})
+		return det
+	})
+	s.Run(2 * time.Second)
+	if len(det.Alive()) != 0 {
+		t.Fatalf("self appears in monitored set: %v", det.Alive())
+	}
+	if det.Suspected(1) {
+		t.Fatal("self suspected")
+	}
+}
+
+func TestForeignGroupHeartbeatIgnored(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 6})
+	var d1 *Detector
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		d1 = New(env, Config{Group: 1, HeartbeatEvery: 50 * time.Millisecond, SuspectAfter: 200 * time.Millisecond})
+		d1.SetPeers([]id.Node{1, 2})
+		return d1
+	})
+	// Node 2 heartbeats on a different group only.
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		d := New(env, Config{Group: 9, HeartbeatEvery: 50 * time.Millisecond, SuspectAfter: 200 * time.Millisecond})
+		d.SetPeers([]id.Node{1, 2})
+		return d
+	})
+	s.Run(time.Second)
+	if !d1.Suspected(2) {
+		t.Fatal("foreign-group heartbeats kept the peer alive")
+	}
+}
+
+func TestNonHeartbeatTrafficCountsAsLiveness(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 7})
+	var d1 *Detector
+	var env2 proto.Env
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		d1 = New(env, Config{Group: 1, HeartbeatEvery: 50 * time.Millisecond, SuspectAfter: 200 * time.Millisecond})
+		d1.SetPeers([]id.Node{2})
+		return d1
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		env2 = env
+		return proto.NewMux() // node 2 runs no detector at all
+	})
+	// Node 2 sends data messages often enough to stay alive.
+	for off := 50 * time.Millisecond; off < 2*time.Second; off += 100 * time.Millisecond {
+		off := off
+		s.At(off, func() {
+			env2.Send(1, &wire.Message{Kind: wire.KindData, Group: 1, Seq: 1})
+		})
+	}
+	s.Run(2 * time.Second)
+	if d1.Suspected(2) {
+		t.Fatal("data traffic did not count as liveness")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := netsim.New(netsim.Config{})
+	var det *Detector
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		det = New(env, Config{})
+		return det
+	})
+	if det.cfg.HeartbeatEvery != DefaultHeartbeatEvery {
+		t.Fatalf("HeartbeatEvery = %v", det.cfg.HeartbeatEvery)
+	}
+	if det.cfg.SuspectAfter != DefaultSuspectAfter {
+		t.Fatalf("SuspectAfter = %v", det.cfg.SuspectAfter)
+	}
+}

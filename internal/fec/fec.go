@@ -1,0 +1,205 @@
+// Package fec implements the single-loss XOR forward-error-correction
+// scheme used by the real-time media channel: every block of K data
+// packets is followed by one parity packet whose payload is the XOR of
+// the (length-prefixed, zero-padded) data payloads. A receiver holding
+// any K-1 data packets of a block plus its parity reconstructs the
+// missing packet without a retransmission round trip — the right loss
+// repair for media whose playout deadline would expire before a NACK
+// could be served.
+//
+// The bandwidth cost is 1/K extra packets; the repair ceiling is one
+// loss per block. Both sides of that trade are measured by experiment A3.
+package fec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxBlock bounds K; larger blocks repair less and delay parity.
+const MaxBlock = 64
+
+// ErrBadBlock reports an invalid block size.
+var ErrBadBlock = errors.New("fec: block size must be in [2, 64]")
+
+// lenPrefix is the XORed length header size inside a parity payload.
+const lenPrefix = 2
+
+// Encoder accumulates data packets and emits one parity per block.
+// The zero value is not usable; call NewEncoder.
+type Encoder struct {
+	k     int
+	buf   []byte // running XOR, sized to the largest payload seen
+	count int
+	first uint64 // seq of the first packet in the current block
+}
+
+// NewEncoder returns an encoder producing one parity packet per k data
+// packets.
+func NewEncoder(k int) (*Encoder, error) {
+	if k < 2 || k > MaxBlock {
+		return nil, ErrBadBlock
+	}
+	return &Encoder{k: k}, nil
+}
+
+// K returns the block size.
+func (e *Encoder) K() int { return e.k }
+
+// xorInto XORs a length-prefixed payload into buf, growing buf as needed.
+func xorInto(buf, payload []byte) []byte {
+	need := lenPrefix + len(payload)
+	for len(buf) < need {
+		buf = append(buf, 0)
+	}
+	var hdr [lenPrefix]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(payload)))
+	for i := 0; i < lenPrefix; i++ {
+		buf[i] ^= hdr[i]
+	}
+	for i, b := range payload {
+		buf[lenPrefix+i] ^= b
+	}
+	return buf
+}
+
+// Add feeds one data packet (seq strictly increasing). When the block
+// completes it returns the parity payload and the block's first sequence
+// number with done == true; the returned slice is owned by the caller.
+func (e *Encoder) Add(seq uint64, payload []byte) (parity []byte, firstSeq uint64, done bool) {
+	if e.count == 0 {
+		e.first = seq
+		e.buf = e.buf[:0]
+	}
+	e.buf = xorInto(e.buf, payload)
+	e.count++
+	if e.count < e.k {
+		return nil, 0, false
+	}
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	first := e.first
+	e.count = 0
+	return out, first, true
+}
+
+// Decoder reconstructs missing packets from parities. It retains a
+// bounded number of incomplete blocks.
+type Decoder struct {
+	k      int
+	blocks map[uint64]*block // keyed by first seq of block
+	// Recovered counts successful reconstructions.
+	Recovered uint64
+}
+
+type block struct {
+	have   map[uint64][]byte
+	parity []byte
+}
+
+// maxBlocks bounds decoder memory: blocks older than this are dropped.
+const maxBlocks = 32
+
+// NewDecoder returns a decoder for block size k.
+func NewDecoder(k int) (*Decoder, error) {
+	if k < 2 || k > MaxBlock {
+		return nil, ErrBadBlock
+	}
+	return &Decoder{k: k, blocks: make(map[uint64]*block)}, nil
+}
+
+// blockOf returns the first sequence number of seq's block, given that
+// blocks start at firstSeq 1, 1+k, 1+2k, ...
+func (d *Decoder) blockOf(seq uint64) uint64 {
+	if seq == 0 {
+		return 0
+	}
+	return ((seq-1)/uint64(d.k))*uint64(d.k) + 1
+}
+
+// AddData feeds a received data packet. It returns a recovered packet
+// (seq + payload) if this arrival completed a block with its parity
+// present.
+func (d *Decoder) AddData(seq uint64, payload []byte) (recSeq uint64, recPayload []byte, ok bool) {
+	b := d.block(d.blockOf(seq))
+	if _, dup := b.have[seq]; dup {
+		return 0, nil, false
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.have[seq] = cp
+	return d.tryRecover(d.blockOf(seq))
+}
+
+// AddParity feeds a received parity packet for the block starting at
+// firstSeq. It may complete a recovery.
+func (d *Decoder) AddParity(firstSeq uint64, parity []byte) (recSeq uint64, recPayload []byte, ok bool) {
+	b := d.block(firstSeq)
+	if b.parity == nil {
+		cp := make([]byte, len(parity))
+		copy(cp, parity)
+		b.parity = cp
+	}
+	return d.tryRecover(firstSeq)
+}
+
+func (d *Decoder) block(first uint64) *block {
+	b, ok := d.blocks[first]
+	if !ok {
+		b = &block{have: make(map[uint64][]byte)}
+		d.blocks[first] = b
+		d.prune(first)
+	}
+	return b
+}
+
+// prune drops blocks far behind the newest to bound memory.
+func (d *Decoder) prune(newest uint64) {
+	if len(d.blocks) <= maxBlocks {
+		return
+	}
+	horizon := uint64(0)
+	if span := uint64(maxBlocks * d.k); newest > span {
+		horizon = newest - span
+	}
+	for first := range d.blocks {
+		if first < horizon {
+			delete(d.blocks, first)
+		}
+	}
+}
+
+// tryRecover reconstructs the single missing packet of a block when
+// exactly k-1 data packets and the parity are present.
+func (d *Decoder) tryRecover(first uint64) (uint64, []byte, bool) {
+	b, ok := d.blocks[first]
+	if !ok || b.parity == nil || len(b.have) != d.k-1 {
+		return 0, nil, false
+	}
+	// Find the missing sequence number.
+	var missing uint64
+	for s := first; s < first+uint64(d.k); s++ {
+		if _, ok := b.have[s]; !ok {
+			missing = s
+			break
+		}
+	}
+	// XOR parity with every received payload; what remains is the
+	// length-prefixed missing payload.
+	buf := make([]byte, len(b.parity))
+	copy(buf, b.parity)
+	for _, p := range b.have {
+		buf = xorInto(buf, p)
+	}
+	if len(buf) < lenPrefix {
+		return 0, nil, false
+	}
+	plen := int(binary.BigEndian.Uint16(buf))
+	if lenPrefix+plen > len(buf) {
+		return 0, nil, false // corrupt parity; refuse
+	}
+	payload := buf[lenPrefix : lenPrefix+plen]
+	delete(d.blocks, first) // block complete
+	d.Recovered++
+	return missing, payload, true
+}

@@ -1,0 +1,221 @@
+package fec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, k := range []int{-1, 0, 1, 65} {
+		if _, err := NewEncoder(k); !errors.Is(err, ErrBadBlock) {
+			t.Fatalf("NewEncoder(%d) err = %v", k, err)
+		}
+		if _, err := NewDecoder(k); !errors.Is(err, ErrBadBlock) {
+			t.Fatalf("NewDecoder(%d) err = %v", k, err)
+		}
+	}
+	if e, err := NewEncoder(4); err != nil || e.K() != 4 {
+		t.Fatalf("valid encoder rejected: %v", err)
+	}
+}
+
+func TestEncoderEmitsPerBlock(t *testing.T) {
+	e, _ := NewEncoder(3)
+	var parities int
+	for seq := uint64(1); seq <= 9; seq++ {
+		_, first, done := e.Add(seq, []byte{byte(seq)})
+		if done {
+			parities++
+			wantFirst := seq - 2
+			if first != wantFirst {
+				t.Fatalf("parity firstSeq = %d, want %d", first, wantFirst)
+			}
+		}
+	}
+	if parities != 3 {
+		t.Fatalf("parities = %d, want 3", parities)
+	}
+}
+
+func TestRecoverEachPosition(t *testing.T) {
+	const k = 4
+	payloads := [][]byte{
+		[]byte("alpha"), []byte("bb"), []byte("community"), []byte("d"),
+	}
+	for missing := 0; missing < k; missing++ {
+		missing := missing
+		t.Run(fmt.Sprintf("missing=%d", missing), func(t *testing.T) {
+			enc, _ := NewEncoder(k)
+			dec, _ := NewDecoder(k)
+			var parity []byte
+			var first uint64
+			for i, p := range payloads {
+				if pv, f, done := enc.Add(uint64(i+1), p); done {
+					parity, first = pv, f
+				}
+			}
+			for i, p := range payloads {
+				if i == missing {
+					continue
+				}
+				if _, _, ok := dec.AddData(uint64(i+1), p); ok {
+					t.Fatal("recovered before parity arrived")
+				}
+			}
+			seq, got, ok := dec.AddParity(first, parity)
+			if !ok {
+				t.Fatal("no recovery with k-1 data + parity")
+			}
+			if seq != uint64(missing+1) {
+				t.Fatalf("recovered seq %d, want %d", seq, missing+1)
+			}
+			if !bytes.Equal(got, payloads[missing]) {
+				t.Fatalf("recovered %q, want %q", got, payloads[missing])
+			}
+			if dec.Recovered != 1 {
+				t.Fatalf("Recovered = %d", dec.Recovered)
+			}
+		})
+	}
+}
+
+func TestParityBeforeData(t *testing.T) {
+	const k = 3
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	payloads := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	var parity []byte
+	var first uint64
+	for i, p := range payloads {
+		if pv, f, done := enc.Add(uint64(i+1), p); done {
+			parity, first = pv, f
+		}
+	}
+	if _, _, ok := dec.AddParity(first, parity); ok {
+		t.Fatal("recovered with no data")
+	}
+	if _, _, ok := dec.AddData(1, payloads[0]); ok {
+		t.Fatal("recovered with 1 of 3")
+	}
+	seq, got, ok := dec.AddData(3, payloads[2])
+	if !ok || seq != 2 || !bytes.Equal(got, payloads[1]) {
+		t.Fatalf("recovery = %d %q %t", seq, got, ok)
+	}
+}
+
+func TestNoRecoveryWithTwoLosses(t *testing.T) {
+	const k = 4
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	var parity []byte
+	var first uint64
+	for i := 1; i <= k; i++ {
+		if pv, f, done := enc.Add(uint64(i), []byte{byte(i)}); done {
+			parity, first = pv, f
+		}
+	}
+	dec.AddData(1, []byte{1})
+	dec.AddData(2, []byte{2})
+	if _, _, ok := dec.AddParity(first, parity); ok {
+		t.Fatal("recovered two losses from one parity")
+	}
+}
+
+func TestDuplicateDataIgnored(t *testing.T) {
+	dec, _ := NewDecoder(3)
+	dec.AddData(1, []byte("x"))
+	if _, _, ok := dec.AddData(1, []byte("x")); ok {
+		t.Fatal("duplicate triggered recovery")
+	}
+}
+
+func TestAllReceivedNoRecovery(t *testing.T) {
+	const k = 3
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	var parity []byte
+	var first uint64
+	for i := 1; i <= k; i++ {
+		p := []byte{byte(i)}
+		if pv, f, done := enc.Add(uint64(i), p); done {
+			parity, first = pv, f
+		}
+		dec.AddData(uint64(i), p)
+	}
+	if _, _, ok := dec.AddParity(first, parity); ok {
+		t.Fatal("recovery fired with nothing missing")
+	}
+}
+
+func TestDecoderPrunesOldBlocks(t *testing.T) {
+	dec, _ := NewDecoder(2)
+	// Feed many incomplete blocks.
+	for seq := uint64(1); seq < 1000; seq += 2 {
+		dec.AddData(seq, []byte{1})
+	}
+	if len(dec.blocks) > maxBlocks+1 {
+		t.Fatalf("decoder retains %d blocks", len(dec.blocks))
+	}
+}
+
+func TestRecoveryProperty(t *testing.T) {
+	// Property: for random payloads and any single loss position, the
+	// decoder reconstructs the missing payload exactly.
+	f := func(seedRaw int64, kRaw uint8, lossRaw uint8) bool {
+		k := int(kRaw%(MaxBlock-2)) + 2
+		rng := rand.New(rand.NewSource(seedRaw))
+		payloads := make([][]byte, k)
+		for i := range payloads {
+			payloads[i] = make([]byte, 1+rng.Intn(200))
+			rng.Read(payloads[i])
+		}
+		loss := int(lossRaw) % k
+		enc, _ := NewEncoder(k)
+		dec, _ := NewDecoder(k)
+		var parity []byte
+		var first uint64
+		for i, p := range payloads {
+			if pv, f, done := enc.Add(uint64(i+1), p); done {
+				parity, first = pv, f
+			}
+		}
+		var recSeq uint64
+		var rec []byte
+		var ok bool
+		for i, p := range payloads {
+			if i == loss {
+				continue
+			}
+			recSeq, rec, ok = dec.AddData(uint64(i+1), p)
+			if ok {
+				return false // premature
+			}
+		}
+		recSeq, rec, ok = dec.AddParity(first, parity)
+		return ok && recSeq == uint64(loss+1) && bytes.Equal(rec, payloads[loss])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLengthPayload(t *testing.T) {
+	const k = 2
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	var parity []byte
+	var first uint64
+	if _, _, done := enc.Add(1, nil); done {
+		t.Fatal("premature parity")
+	}
+	parity, first, _ = enc.Add(2, []byte("tail"))
+	dec.AddData(2, []byte("tail"))
+	seq, got, ok := dec.AddParity(first, parity)
+	if !ok || seq != 1 || len(got) != 0 {
+		t.Fatalf("zero-length recovery = %d %q %t", seq, got, ok)
+	}
+}

@@ -1,0 +1,140 @@
+// Package frag implements application-data-unit fragmentation for the
+// real-time media channel: a video frame larger than the network's
+// datagram budget is split into several packets that share the frame's
+// media timestamp, with the marker flag set only on the last — exactly
+// the RTP video packetization convention — and reassembled at the
+// receiver before playout.
+//
+// A frame missing any fragment is undecodable and is dropped whole, which
+// is the honest failure mode of frame-oriented codecs; the FEC layer
+// (internal/fec), operating per packet underneath, is what reduces how
+// often that happens.
+package frag
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrBadLimit reports a non-positive fragment size.
+var ErrBadLimit = errors.New("frag: fragment size must be positive")
+
+// Split cuts payload into fragments of at most limit bytes. It always
+// returns at least one fragment (an empty payload yields one empty
+// fragment), so the caller's marker logic is uniform.
+func Split(payload []byte, limit int) ([][]byte, error) {
+	if limit <= 0 {
+		return nil, ErrBadLimit
+	}
+	if len(payload) <= limit {
+		return [][]byte{payload}, nil
+	}
+	out := make([][]byte, 0, (len(payload)+limit-1)/limit)
+	for start := 0; start < len(payload); start += limit {
+		end := start + limit
+		if end > len(payload) {
+			end = len(payload)
+		}
+		out = append(out, payload[start:end])
+	}
+	return out, nil
+}
+
+// fragment is one buffered piece of a frame.
+type fragment struct {
+	seq     uint64
+	payload []byte
+}
+
+// group accumulates one frame's fragments, keyed by media timestamp.
+type group struct {
+	frags     []fragment
+	hasStart  bool
+	startSeq  uint64
+	hasMarker bool
+	markerSeq uint64
+}
+
+// maxGroups bounds the assembler's memory across lost-marker frames.
+const maxGroups = 16
+
+// Assembler reassembles frames from fragments at the receiver. Not safe
+// for concurrent use; it lives inside the receiver's event loop.
+type Assembler struct {
+	groups map[uint32]*group
+	// Dropped counts frames discarded incomplete.
+	Dropped uint64
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{groups: make(map[uint32]*group)}
+}
+
+// Add feeds one packet. When the packet completes its frame, the
+// reassembled payload is returned with ok == true. A frame's fragments
+// carry consecutive sequence numbers bracketed by the start and marker
+// flags; the frame is complete when every sequence number in
+// [startSeq, markerSeq] is present.
+func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byte) ([]byte, bool) {
+	g, exists := a.groups[ts]
+	if !exists {
+		g = &group{}
+		a.groups[ts] = g
+		a.prune(ts)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	g.frags = append(g.frags, fragment{seq: seq, payload: cp})
+	if start {
+		g.hasStart = true
+		g.startSeq = seq
+	}
+	if marker {
+		g.hasMarker = true
+		g.markerSeq = seq
+	}
+	if !g.hasStart || !g.hasMarker {
+		return nil, false
+	}
+	span := g.markerSeq - g.startSeq + 1
+	if uint64(len(g.frags)) < span {
+		return nil, false
+	}
+	sort.Slice(g.frags, func(i, j int) bool { return g.frags[i].seq < g.frags[j].seq })
+	// Duplicates would inflate the count; verify exact contiguity.
+	if uint64(len(g.frags)) != span || g.frags[0].seq != g.startSeq {
+		return nil, false
+	}
+	total := 0
+	for i, f := range g.frags {
+		if f.seq != g.startSeq+uint64(i) {
+			return nil, false
+		}
+		total += len(f.payload)
+	}
+	out := make([]byte, 0, total)
+	for _, f := range g.frags {
+		out = append(out, f.payload...)
+	}
+	delete(a.groups, ts)
+	return out, true
+}
+
+// prune drops the stalest groups once too many frames are in flight;
+// each drop is an incomplete (lost) frame.
+func (a *Assembler) prune(newest uint32) {
+	for len(a.groups) > maxGroups {
+		oldest := newest
+		for ts := range a.groups {
+			if ts < oldest {
+				oldest = ts
+			}
+		}
+		delete(a.groups, oldest)
+		a.Dropped++
+	}
+}
+
+// Pending returns the number of incomplete frames buffered.
+func (a *Assembler) Pending() int { return len(a.groups) }

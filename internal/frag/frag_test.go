@@ -1,0 +1,191 @@
+package frag
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplit(t *testing.T) {
+	tests := []struct {
+		name    string
+		size    int
+		limit   int
+		want    int
+		wantErr bool
+	}{
+		{name: "fits", size: 100, limit: 100, want: 1},
+		{name: "one over", size: 101, limit: 100, want: 2},
+		{name: "exact multiple", size: 300, limit: 100, want: 3},
+		{name: "empty", size: 0, limit: 10, want: 1},
+		{name: "bad limit", size: 10, limit: 0, wantErr: true},
+		{name: "negative limit", size: 10, limit: -3, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			payload := make([]byte, tt.size)
+			frags, err := Split(payload, tt.limit)
+			if tt.wantErr {
+				if !errors.Is(err, ErrBadLimit) {
+					t.Fatalf("err = %v", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(frags) != tt.want {
+				t.Fatalf("fragments = %d, want %d", len(frags), tt.want)
+			}
+		})
+	}
+}
+
+func TestSplitPreservesContent(t *testing.T) {
+	f := func(payload []byte, limitRaw uint8) bool {
+		limit := int(limitRaw)%200 + 1
+		frags, err := Split(payload, limit)
+		if err != nil {
+			return false
+		}
+		var joined []byte
+		for _, fr := range frags {
+			if len(fr) > limit {
+				return false
+			}
+			joined = append(joined, fr...)
+		}
+		return bytes.Equal(joined, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleInOrder(t *testing.T) {
+	a := NewAssembler()
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	frags, _ := Split(payload, 10)
+	seq := uint64(100)
+	for i, fr := range frags {
+		marker := i == len(frags)-1
+		out, ok := a.Add(seq, 9000, i == 0, marker, fr)
+		seq++
+		if i < len(frags)-1 {
+			if ok {
+				t.Fatal("premature completion")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(out, payload) {
+			t.Fatalf("reassembly = %q ok=%t", out, ok)
+		}
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+}
+
+func TestAssembleReordered(t *testing.T) {
+	a := NewAssembler()
+	payload := make([]byte, 95)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frags, _ := Split(payload, 10) // 10 fragments
+	order := rand.New(rand.NewSource(4)).Perm(len(frags))
+	var got []byte
+	var done bool
+	for _, i := range order {
+		out, ok := a.Add(uint64(200+i), 7777, i == 0, i == len(frags)-1, frags[i])
+		if ok {
+			got, done = out, true
+		}
+	}
+	if !done || !bytes.Equal(got, payload) {
+		t.Fatalf("reordered reassembly failed: done=%t", done)
+	}
+}
+
+func TestIncompleteNeverCompletes(t *testing.T) {
+	a := NewAssembler()
+	payload := make([]byte, 50)
+	frags, _ := Split(payload, 10)
+	for i, fr := range frags {
+		if i == 2 {
+			continue // lose the middle fragment
+		}
+		if _, ok := a.Add(uint64(i+1), 1, i == 0, i == len(frags)-1, fr); ok {
+			t.Fatal("completed with a missing fragment")
+		}
+	}
+	if a.Pending() != 1 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+}
+
+func TestInterleavedFrames(t *testing.T) {
+	a := NewAssembler()
+	f1, _ := Split(make([]byte, 25), 10)
+	f2, _ := Split(bytes.Repeat([]byte{9}, 25), 10)
+	// Interleave two frames' fragments (distinct timestamps).
+	if _, ok := a.Add(1, 100, true, false, f1[0]); ok {
+		t.Fatal("early")
+	}
+	if _, ok := a.Add(4, 200, true, false, f2[0]); ok {
+		t.Fatal("early")
+	}
+	if _, ok := a.Add(2, 100, false, false, f1[1]); ok {
+		t.Fatal("early")
+	}
+	if _, ok := a.Add(5, 200, false, false, f2[1]); ok {
+		t.Fatal("early")
+	}
+	out1, ok1 := a.Add(3, 100, false, true, f1[2])
+	out2, ok2 := a.Add(6, 200, false, true, f2[2])
+	if !ok1 || !ok2 {
+		t.Fatalf("completions = %t %t", ok1, ok2)
+	}
+	if len(out1) != 25 || len(out2) != 25 || out2[0] != 9 {
+		t.Fatalf("payloads mixed: %d/%d", len(out1), len(out2))
+	}
+}
+
+func TestPruneBoundsMemory(t *testing.T) {
+	a := NewAssembler()
+	for ts := uint32(1); ts <= 200; ts++ {
+		a.Add(uint64(ts), ts, true, false, []byte{1}) // never completes
+	}
+	if a.Pending() > maxGroups+1 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+	if a.Dropped == 0 {
+		t.Fatal("no drops counted")
+	}
+}
+
+func TestAssembleRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, limitRaw uint8, seedRaw int64) bool {
+		limit := int(limitRaw)%100 + 1
+		frags, err := Split(payload, limit)
+		if err != nil {
+			return false
+		}
+		a := NewAssembler()
+		order := rand.New(rand.NewSource(seedRaw)).Perm(len(frags))
+		var got []byte
+		var done bool
+		for _, i := range order {
+			out, ok := a.Add(uint64(1000+i), 42, i == 0, i == len(frags)-1, frags[i])
+			if ok {
+				got, done = out, true
+			}
+		}
+		return done && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

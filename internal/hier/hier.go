@@ -1,0 +1,288 @@
+// Package hier implements the scalability layer of the architecture: a
+// large process group organized as clusters (one per LAN segment or site,
+// in the paper's setting), each with a designated relay, connected by a
+// wide-area relay group.
+//
+// A multicast from a node is reliably multicast within its own cluster;
+// the cluster's relay forwards it — wrapped in an origin envelope — over
+// the relay group to the other clusters' relays, which re-multicast it
+// into their clusters. Every node therefore receives each message through
+// exactly one reliable intra-cluster channel, and per-origin FIFO order is
+// preserved end to end. The win over a flat group is that reliability and
+// stability traffic (NACKs, acknowledgment gossip) stays within a cluster
+// or within the small relay group, so per-node control overhead scales
+// with the cluster size rather than with the total group size — the
+// paper's headline scalability argument, measured by experiments T3 and
+// F5.
+//
+// Global causal or total order across clusters is deliberately not
+// provided: the hierarchy trades ordering strength for scale, and
+// applications needing those guarantees run them inside a cluster.
+package hier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/wire"
+)
+
+// Errors returned by the hierarchy.
+var (
+	// ErrNotInTopology reports a node absent from every cluster.
+	ErrNotInTopology = errors.New("hier: node not in topology")
+	// ErrBadEnvelope reports a relay payload that failed to decode.
+	ErrBadEnvelope = errors.New("hier: bad origin envelope")
+)
+
+// Topology is the static cluster layout of a hierarchical group.
+type Topology struct {
+	// Clusters lists the member nodes of each cluster. A node belongs
+	// to exactly one cluster. The lowest-ID node of each cluster is its
+	// relay.
+	Clusters [][]id.Node
+}
+
+// Cluster returns a uniform clustering of nodes into groups of at most
+// size, preserving input order.
+func Cluster(nodes []id.Node, size int) Topology {
+	if size < 1 {
+		size = 1
+	}
+	var t Topology
+	for start := 0; start < len(nodes); start += size {
+		end := start + size
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		cluster := make([]id.Node, end-start)
+		copy(cluster, nodes[start:end])
+		t.Clusters = append(t.Clusters, cluster)
+	}
+	return t
+}
+
+// ClusterOf returns the index of the cluster containing n, or -1.
+func (t Topology) ClusterOf(n id.Node) int {
+	for i, c := range t.Clusters {
+		for _, m := range c {
+			if m == n {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// RelayOf returns the relay (lowest-ID member) of cluster i.
+func (t Topology) RelayOf(i int) id.Node {
+	if i < 0 || i >= len(t.Clusters) || len(t.Clusters[i]) == 0 {
+		return id.None
+	}
+	relay := t.Clusters[i][0]
+	for _, m := range t.Clusters[i] {
+		if m < relay {
+			relay = m
+		}
+	}
+	return relay
+}
+
+// Relays returns every cluster's relay.
+func (t Topology) Relays() []id.Node {
+	out := make([]id.Node, 0, len(t.Clusters))
+	for i := range t.Clusters {
+		if r := t.RelayOf(i); r != id.None {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Size returns the total node count.
+func (t Topology) Size() int {
+	n := 0
+	for _, c := range t.Clusters {
+		n += len(c)
+	}
+	return n
+}
+
+// Delivery is one application message delivered by the hierarchy,
+// carrying the original sender rather than the relay hop.
+type Delivery struct {
+	Group   id.Group
+	Origin  id.Node
+	Seq     uint64 // origin's per-view sequence number
+	Payload []byte
+}
+
+// Config parameterizes a hierarchical engine.
+type Config struct {
+	// LocalGroup is the group ID used for intra-cluster multicast.
+	LocalGroup id.Group
+	// WideGroup is the group ID used between relays; it must differ
+	// from LocalGroup.
+	WideGroup id.Group
+	// Topology is the static cluster layout.
+	Topology Topology
+	// Ordering is the intra-cluster delivery discipline. Defaults to
+	// FIFO, which is also the end-to-end per-origin guarantee.
+	Ordering rmcast.Ordering
+	// OnDeliver receives application messages.
+	OnDeliver func(Delivery)
+}
+
+// Engine is the hierarchical multicast stack for one node: an
+// intra-cluster rmcast engine, plus — on relays — a wide-area rmcast
+// engine over the relay set. It implements proto.Handler.
+type Engine struct {
+	env proto.Env
+	cfg Config
+
+	cluster int
+	isRelay bool
+	local   *rmcast.Engine
+	wide    *rmcast.Engine // nil on non-relay nodes
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// envelope is the origin wrapper carried end to end.
+// Layout: origin node (8) | origin seq (8) | payload.
+const envelopeHeader = 16
+
+func packEnvelope(origin id.Node, seq uint64, payload []byte) []byte {
+	buf := make([]byte, envelopeHeader+len(payload))
+	binary.BigEndian.PutUint64(buf, uint64(origin))
+	binary.BigEndian.PutUint64(buf[8:], seq)
+	copy(buf[envelopeHeader:], payload)
+	return buf
+}
+
+func unpackEnvelope(buf []byte) (origin id.Node, seq uint64, payload []byte, err error) {
+	if len(buf) < envelopeHeader {
+		return 0, 0, nil, ErrBadEnvelope
+	}
+	origin = id.Node(binary.BigEndian.Uint64(buf))
+	seq = binary.BigEndian.Uint64(buf[8:])
+	return origin, seq, buf[envelopeHeader:], nil
+}
+
+// New builds the hierarchical engine for env.Self(). Views are installed
+// immediately from the static topology.
+func New(env proto.Env, cfg Config) (*Engine, error) {
+	if cfg.Ordering == 0 {
+		cfg.Ordering = rmcast.FIFO
+	}
+	if cfg.LocalGroup == cfg.WideGroup {
+		return nil, fmt.Errorf("hier: local and wide group IDs must differ (%s)", cfg.LocalGroup)
+	}
+	ci := cfg.Topology.ClusterOf(env.Self())
+	if ci < 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotInTopology, env.Self())
+	}
+	e := &Engine{
+		env:     env,
+		cfg:     cfg,
+		cluster: ci,
+		isRelay: cfg.Topology.RelayOf(ci) == env.Self(),
+	}
+	e.local = rmcast.New(env, rmcast.Config{
+		Group:     cfg.LocalGroup,
+		Ordering:  cfg.Ordering,
+		OnDeliver: e.onLocalDeliver,
+	})
+	e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
+	if e.isRelay {
+		e.wide = rmcast.New(env, rmcast.Config{
+			Group:     cfg.WideGroup,
+			Ordering:  rmcast.FIFO,
+			OnDeliver: e.onWideDeliver,
+		})
+		e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
+	}
+	return e, nil
+}
+
+// IsRelay reports whether this node relays for its cluster.
+func (e *Engine) IsRelay() bool { return e.isRelay }
+
+// Multicast sends payload to the whole hierarchical group.
+func (e *Engine) Multicast(payload []byte) error {
+	// The origin sequence number is the local engine's next send; wrap
+	// first so the envelope travels with the message everywhere.
+	env := packEnvelope(e.env.Self(), e.local.Counters().Sent+1, payload)
+	if err := e.local.Multicast(env); err != nil {
+		return fmt.Errorf("intra-cluster multicast: %w", err)
+	}
+	return nil
+}
+
+// onLocalDeliver handles a message arriving on the intra-cluster channel:
+// deliver it to the application, and — on the origin cluster's relay —
+// forward it to the other relays.
+func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
+	origin, seq, payload, err := unpackEnvelope(d.Payload)
+	if err != nil {
+		return
+	}
+	if e.cfg.OnDeliver != nil {
+		e.cfg.OnDeliver(Delivery{
+			Group:   e.cfg.LocalGroup,
+			Origin:  origin,
+			Seq:     seq,
+			Payload: payload,
+		})
+	}
+	if !e.isRelay || e.wide == nil {
+		return
+	}
+	// Forward only messages originating in our own cluster; messages
+	// from other clusters arrived via the relay group already.
+	if e.cfg.Topology.ClusterOf(origin) != e.cluster {
+		return
+	}
+	// Re-wrap verbatim: the envelope is already in d.Payload.
+	if err := e.wide.Multicast(d.Payload); err != nil {
+		// The relay group always has a view; an error here means the
+		// payload exceeded limits, which the local send bounded.
+		return
+	}
+}
+
+// onWideDeliver handles a message arriving on the relay channel:
+// re-multicast it into the local cluster (the relay's own delivery happens
+// through that local multicast, keeping per-cluster order uniform).
+func (e *Engine) onWideDeliver(d rmcast.Delivery) {
+	if d.Sender == e.env.Self() {
+		return // our own forward echoed back; cluster already has it
+	}
+	_ = e.local.Multicast(d.Payload)
+}
+
+// OnMessage routes datagrams to the constituent engines by group.
+func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
+	switch msg.Group {
+	case e.cfg.LocalGroup:
+		e.local.OnMessage(from, msg)
+	case e.cfg.WideGroup:
+		if e.wide != nil {
+			e.wide.OnMessage(from, msg)
+		}
+	}
+}
+
+// OnTick drives the constituent engines.
+func (e *Engine) OnTick(now time.Time) {
+	e.local.OnTick(now)
+	if e.wide != nil {
+		e.wide.OnTick(now)
+	}
+}

@@ -1,0 +1,38 @@
+// Package id defines the identifier types shared by every layer of the
+// architecture: nodes, groups, multimedia streams and views. Keeping them in
+// one leaf package avoids import cycles between the transport, membership
+// and multicast layers.
+package id
+
+import "fmt"
+
+// Node identifies a host process in the distributed system. Node IDs are
+// assigned by the deployment (or the simulator) and never reused.
+type Node uint64
+
+// None is the zero Node, used to mean "no node" (for example, no current
+// coordinator).
+const None Node = 0
+
+// String renders the node as "n<id>".
+func (n Node) String() string { return fmt.Sprintf("n%d", uint64(n)) }
+
+// Group identifies a process group (a multicast destination set).
+type Group uint32
+
+// String renders the group as "g<id>".
+func (g Group) String() string { return fmt.Sprintf("g%d", uint32(g)) }
+
+// Stream identifies one media stream within a session (an audio channel, a
+// video channel, ...).
+type Stream uint32
+
+// String renders the stream as "s<id>".
+func (s Stream) String() string { return fmt.Sprintf("s%d", uint32(s)) }
+
+// View numbers successive membership views of a group. Views are totally
+// ordered per group; view 0 never exists (the first installed view is 1).
+type View uint64
+
+// String renders the view as "v<id>".
+func (v View) String() string { return fmt.Sprintf("v%d", uint64(v)) }

@@ -1,0 +1,28 @@
+package id
+
+import "testing"
+
+func TestStringForms(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{Node(7).String(), "n7"},
+		{None.String(), "n0"},
+		{Group(3).String(), "g3"},
+		{Stream(12).String(), "s12"},
+		{View(9).String(), "v9"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+}
+
+func TestNoneIsZero(t *testing.T) {
+	var n Node
+	if n != None {
+		t.Fatal("zero Node is not None")
+	}
+}

@@ -1,0 +1,297 @@
+// Package media models the multimedia traffic the architecture carries:
+// timestamped frames belonging to audio or video streams, and synthetic
+// sources that generate the classic workloads of the multimedia-systems
+// literature — constant-bit-rate video, variable-bit-rate video with
+// periodic intra frames, and on/off talkspurt voice.
+//
+// Sources are deterministic given a seed, so the playout and
+// synchronization experiments are exactly reproducible. They stand in for
+// the hardware capture devices of the paper's era; the substitution
+// preserves the code paths under test (packetization, buffering,
+// synchronization), which depend only on timestamps and sizes.
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"scalamedia/internal/id"
+)
+
+// Kind distinguishes stream media types.
+type Kind int
+
+// The media kinds.
+const (
+	// Audio is a sampled voice/sound stream.
+	Audio Kind = iota + 1
+	// Video is a frame-oriented moving-picture stream.
+	Video
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Audio:
+		return "audio"
+	case Video:
+		return "video"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// StreamSpec describes one media stream.
+type StreamSpec struct {
+	// ID identifies the stream within its session.
+	ID id.Stream
+	// Kind is the media type.
+	Kind Kind
+	// Name is a human-readable label ("camera-1", "mic").
+	Name string
+	// ClockRate is the media clock frequency in ticks per second
+	// (8000 for telephone audio, 90000 for video, by convention).
+	ClockRate int
+	// FrameEvery is the nominal spacing between frames (packets for
+	// audio) in media time.
+	FrameEvery time.Duration
+}
+
+// TicksFor converts a duration of media time to clock ticks.
+func (s StreamSpec) TicksFor(d time.Duration) uint32 {
+	return uint32(float64(s.ClockRate) * d.Seconds())
+}
+
+// DurationFor converts clock ticks to media time.
+func (s StreamSpec) DurationFor(ticks uint32) time.Duration {
+	return time.Duration(float64(ticks) / float64(s.ClockRate) * float64(time.Second))
+}
+
+// Frame is one media data unit: a video frame or an audio packet.
+type Frame struct {
+	// Stream identifies the stream.
+	Stream id.Stream
+	// Seq numbers frames within the stream, starting at 1.
+	Seq uint64
+	// TS is the capture timestamp in media clock ticks.
+	TS uint32
+	// Capture is the capture instant as an offset from stream start.
+	// It equals the TS converted by the clock rate, kept as a duration
+	// for convenience.
+	Capture time.Duration
+	// Data is the encoded payload (synthetic bytes in this library).
+	Data []byte
+	// Marker flags the start of a talkspurt (audio) or the last packet
+	// of a video frame, matching RTP marker conventions.
+	Marker bool
+}
+
+// Source produces a stream's frames in capture order.
+type Source interface {
+	// Spec returns the stream description.
+	Spec() StreamSpec
+	// Next returns the next frame, or ok == false when the source is
+	// exhausted.
+	Next() (f Frame, ok bool)
+}
+
+// CBRSource emits fixed-size frames at a fixed rate: the constant-bit-rate
+// video model.
+type CBRSource struct {
+	spec      StreamSpec
+	frameSize int
+	remaining int
+	seq       uint64
+	elapsed   time.Duration
+}
+
+var _ Source = (*CBRSource)(nil)
+
+// NewCBR returns a CBR source producing count frames of frameSize bytes.
+func NewCBR(spec StreamSpec, frameSize, count int) *CBRSource {
+	return &CBRSource{spec: spec, frameSize: frameSize, remaining: count}
+}
+
+// Spec returns the stream description.
+func (s *CBRSource) Spec() StreamSpec { return s.spec }
+
+// Next returns the next constant-size frame.
+func (s *CBRSource) Next() (Frame, bool) {
+	if s.remaining <= 0 {
+		return Frame{}, false
+	}
+	s.remaining--
+	s.seq++
+	f := Frame{
+		Stream:  s.spec.ID,
+		Seq:     s.seq,
+		TS:      s.spec.TicksFor(s.elapsed),
+		Capture: s.elapsed,
+		Data:    make([]byte, s.frameSize),
+		Marker:  true, // every frame is a complete application data unit
+	}
+	s.elapsed += s.spec.FrameEvery
+	return f, true
+}
+
+// VBRSource emits variable-size frames: a periodic large intra frame
+// followed by smaller predicted frames with lognormal-ish noise — the
+// standard coarse VBR video model.
+type VBRSource struct {
+	spec      StreamSpec
+	rng       *rand.Rand
+	meanSize  int
+	iSize     int
+	gop       int // frames per intra period
+	remaining int
+	seq       uint64
+	elapsed   time.Duration
+}
+
+var _ Source = (*VBRSource)(nil)
+
+// NewVBR returns a VBR source: every gop-th frame is an intra frame of
+// about iSize bytes; others average meanSize with multiplicative noise.
+func NewVBR(spec StreamSpec, meanSize, iSize, gop, count int, seed int64) *VBRSource {
+	if gop < 1 {
+		gop = 12
+	}
+	return &VBRSource{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(seed)),
+		meanSize:  meanSize,
+		iSize:     iSize,
+		gop:       gop,
+		remaining: count,
+	}
+}
+
+// Spec returns the stream description.
+func (s *VBRSource) Spec() StreamSpec { return s.spec }
+
+// Next returns the next variable-size frame.
+func (s *VBRSource) Next() (Frame, bool) {
+	if s.remaining <= 0 {
+		return Frame{}, false
+	}
+	s.remaining--
+	base := s.meanSize
+	if s.seq%uint64(s.gop) == 0 {
+		base = s.iSize
+	}
+	// Multiplicative noise in [0.6, 1.4), deterministic per seed.
+	size := int(float64(base) * (0.6 + 0.8*s.rng.Float64()))
+	if size < 1 {
+		size = 1
+	}
+	s.seq++
+	f := Frame{
+		Stream:  s.spec.ID,
+		Seq:     s.seq,
+		TS:      s.spec.TicksFor(s.elapsed),
+		Capture: s.elapsed,
+		Data:    make([]byte, size),
+		Marker:  true,
+	}
+	s.elapsed += s.spec.FrameEvery
+	return f, true
+}
+
+// VoiceSource models conversational speech as alternating talkspurts and
+// silences with exponentially distributed durations (the Brady on/off
+// model). During a talkspurt it emits fixed-size packets every FrameEvery;
+// silence advances capture time without emitting.
+type VoiceSource struct {
+	spec       StreamSpec
+	rng        *rand.Rand
+	packetSize int
+	meanTalk   time.Duration
+	meanSilent time.Duration
+	remaining  int
+
+	seq        uint64
+	elapsed    time.Duration
+	spurtLeft  time.Duration
+	spurtStart bool
+}
+
+var _ Source = (*VoiceSource)(nil)
+
+// NewVoice returns a talkspurt voice source emitting count packets of
+// packetSize bytes, with the given mean talkspurt and silence durations.
+func NewVoice(spec StreamSpec, packetSize, count int, meanTalk, meanSilent time.Duration, seed int64) *VoiceSource {
+	return &VoiceSource{
+		spec:       spec,
+		rng:        rand.New(rand.NewSource(seed)),
+		packetSize: packetSize,
+		meanTalk:   meanTalk,
+		meanSilent: meanSilent,
+		remaining:  count,
+	}
+}
+
+// Spec returns the stream description.
+func (s *VoiceSource) Spec() StreamSpec { return s.spec }
+
+// exp draws an exponential duration with the given mean.
+func (s *VoiceSource) exp(mean time.Duration) time.Duration {
+	u := s.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(-math.Log(u) * float64(mean))
+}
+
+// Next returns the next voice packet; the first packet of each talkspurt
+// carries the marker flag.
+func (s *VoiceSource) Next() (Frame, bool) {
+	if s.remaining <= 0 {
+		return Frame{}, false
+	}
+	if s.spurtLeft <= 0 {
+		// Enter silence, then a fresh talkspurt.
+		s.elapsed += s.exp(s.meanSilent)
+		s.spurtLeft = s.exp(s.meanTalk)
+		s.spurtStart = true
+	}
+	s.remaining--
+	s.seq++
+	f := Frame{
+		Stream:  s.spec.ID,
+		Seq:     s.seq,
+		TS:      s.spec.TicksFor(s.elapsed),
+		Capture: s.elapsed,
+		Data:    make([]byte, s.packetSize),
+		Marker:  s.spurtStart,
+	}
+	s.spurtStart = false
+	s.elapsed += s.spec.FrameEvery
+	s.spurtLeft -= s.spec.FrameEvery
+	return f, true
+}
+
+// Standard stream spec constructors.
+
+// TelephoneAudio returns the classic 8 kHz / 20 ms-packet audio spec.
+func TelephoneAudio(sid id.Stream, name string) StreamSpec {
+	return StreamSpec{
+		ID:         sid,
+		Kind:       Audio,
+		Name:       name,
+		ClockRate:  8000,
+		FrameEvery: 20 * time.Millisecond,
+	}
+}
+
+// PALVideo returns a 25 fps / 90 kHz video spec.
+func PALVideo(sid id.Stream, name string) StreamSpec {
+	return StreamSpec{
+		ID:         sid,
+		Kind:       Video,
+		Name:       name,
+		ClockRate:  90000,
+		FrameEvery: 40 * time.Millisecond,
+	}
+}

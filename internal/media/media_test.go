@@ -1,0 +1,206 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	if Audio.String() != "audio" || Video.String() != "video" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Fatal("unknown kind string broken")
+	}
+}
+
+func TestSpecConversions(t *testing.T) {
+	spec := TelephoneAudio(1, "mic")
+	if got := spec.TicksFor(time.Second); got != 8000 {
+		t.Fatalf("TicksFor(1s) = %d, want 8000", got)
+	}
+	if got := spec.TicksFor(20 * time.Millisecond); got != 160 {
+		t.Fatalf("TicksFor(20ms) = %d, want 160", got)
+	}
+	if got := spec.DurationFor(8000); got != time.Second {
+		t.Fatalf("DurationFor(8000) = %v, want 1s", got)
+	}
+}
+
+func TestSpecConversionRoundTrip(t *testing.T) {
+	spec := PALVideo(1, "cam")
+	f := func(msRaw uint16) bool {
+		d := time.Duration(msRaw) * time.Millisecond
+		back := spec.DurationFor(spec.TicksFor(d))
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCBRSource(t *testing.T) {
+	spec := PALVideo(2, "cam")
+	src := NewCBR(spec, 1000, 5)
+	if src.Spec().ID != 2 {
+		t.Fatal("Spec() wrong")
+	}
+	var frames []Frame
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 5 {
+		t.Fatalf("produced %d frames, want 5", len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d seq = %d", i, f.Seq)
+		}
+		if len(f.Data) != 1000 {
+			t.Fatalf("frame %d size = %d", i, len(f.Data))
+		}
+		wantCapture := time.Duration(i) * 40 * time.Millisecond
+		if f.Capture != wantCapture {
+			t.Fatalf("frame %d capture = %v, want %v", i, f.Capture, wantCapture)
+		}
+		if f.TS != spec.TicksFor(wantCapture) {
+			t.Fatalf("frame %d TS = %d", i, f.TS)
+		}
+		if !f.Marker {
+			t.Fatalf("frame %d not marked", i)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source produced a frame")
+	}
+}
+
+func TestVBRSourceSizesVary(t *testing.T) {
+	spec := PALVideo(3, "cam")
+	src := NewVBR(spec, 800, 4000, 12, 48, 7)
+	sizes := map[int]bool{}
+	var iFrames, total int
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		total++
+		sizes[len(f.Data)] = true
+		if len(f.Data) > 2000 {
+			iFrames++
+		}
+	}
+	if total != 48 {
+		t.Fatalf("produced %d, want 48", total)
+	}
+	if len(sizes) < 10 {
+		t.Fatalf("VBR produced only %d distinct sizes", len(sizes))
+	}
+	// 48 frames, GOP 12 -> 4 intra frames, each much larger than mean.
+	if iFrames != 4 {
+		t.Fatalf("intra frames = %d, want 4", iFrames)
+	}
+}
+
+func TestVBRDeterministic(t *testing.T) {
+	collect := func() []int {
+		src := NewVBR(PALVideo(1, "c"), 800, 4000, 12, 30, 42)
+		var out []int
+		for {
+			f, ok := src.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, len(f.Data))
+		}
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("VBR not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestVoiceSourceTalkspurts(t *testing.T) {
+	spec := TelephoneAudio(4, "mic")
+	src := NewVoice(spec, 160, 500, time.Second, 1350*time.Millisecond, 11)
+	var frames []Frame
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(frames) != 500 {
+		t.Fatalf("produced %d, want 500", len(frames))
+	}
+	markers := 0
+	for i, f := range frames {
+		if f.Marker {
+			markers++
+		}
+		if len(f.Data) != 160 {
+			t.Fatalf("packet %d size = %d", i, len(f.Data))
+		}
+		if i == 0 {
+			continue
+		}
+		gap := f.Capture - frames[i-1].Capture
+		if gap < 20*time.Millisecond {
+			t.Fatalf("packet %d capture gap %v < packet spacing", i, gap)
+		}
+		// Silence gaps only appear at talkspurt starts.
+		if gap > 20*time.Millisecond && !f.Marker {
+			t.Fatalf("packet %d has a silence gap but no marker", i)
+		}
+	}
+	if markers < 3 {
+		t.Fatalf("only %d talkspurts in 10s of speech", markers)
+	}
+	// Capture time must be strictly monotonic.
+	for i := 1; i < len(frames); i++ {
+		if frames[i].TS <= frames[i-1].TS {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+}
+
+func TestVoiceFirstPacketMarked(t *testing.T) {
+	src := NewVoice(TelephoneAudio(1, "m"), 160, 10, time.Second, time.Second, 3)
+	f, ok := src.Next()
+	if !ok || !f.Marker {
+		t.Fatalf("first packet marker = %v", f.Marker)
+	}
+}
+
+func TestVoiceDeterministic(t *testing.T) {
+	collect := func() []uint32 {
+		src := NewVoice(TelephoneAudio(1, "m"), 160, 100, time.Second, time.Second, 99)
+		var out []uint32
+		for {
+			f, ok := src.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, f.TS)
+		}
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("voice not deterministic at %d", i)
+		}
+	}
+}

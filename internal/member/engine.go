@@ -1,0 +1,517 @@
+package member
+
+import (
+	"time"
+
+	"scalamedia/internal/failure"
+	"scalamedia/internal/id"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// Default protocol timing.
+const (
+	DefaultJoinRetry    = 200 * time.Millisecond
+	DefaultFlushTimeout = 600 * time.Millisecond
+)
+
+// Config parameterizes a membership engine.
+type Config struct {
+	// Group is the group this engine manages membership for.
+	Group id.Group
+	// Contact is an existing member to join through. id.None bootstraps
+	// a new group with the local node as its only member.
+	Contact id.Node
+	// JoinRetry is how often an un-admitted joiner re-sends its join
+	// request. Defaults to DefaultJoinRetry.
+	JoinRetry time.Duration
+	// FlushTimeout is how long the coordinator waits for FlushOK
+	// responses before evicting silent members from the proposal.
+	// Defaults to DefaultFlushTimeout.
+	FlushTimeout time.Duration
+	// HeartbeatEvery and SuspectAfter tune the embedded failure
+	// detector; zero values take the detector's defaults.
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	// OnView is called when a new view is installed, including the
+	// bootstrap view. Called from the event loop; must not block.
+	OnView func(View)
+	// OnFlush is called when the engine, as a member, has accepted a
+	// view proposal and must flush unstable multicast traffic before
+	// acknowledging. The multicast layer retransmits synchronously.
+	// Optional.
+	OnFlush func(proposed View)
+	// OnEvicted is called if the local node is removed from the group
+	// by a committed view (for example after a false suspicion).
+	// Optional.
+	OnEvicted func(View)
+	// PrimaryPartition, when true, applies the majority rule: a
+	// coordinator only installs a view containing a strict majority of
+	// the previous view. A minority partition blocks (no view changes)
+	// instead of splitting the group's brain; its members must rejoin
+	// after the partition heals.
+	PrimaryPartition bool
+	// Snapshot, when set, is called on the coordinator as it commits a
+	// view that admits new members; the returned application state is
+	// sent to each of them (best-effort, one datagram). Optional.
+	Snapshot func() []byte
+	// OnState receives the application state snapshot on a joining
+	// node. Optional.
+	OnState func(v View, state []byte)
+}
+
+// Engine is the membership state machine for one node and one group.
+// It implements proto.Handler and must only be used from the event loop.
+type Engine struct {
+	env proto.Env
+	cfg Config
+	det *failure.Detector
+
+	view    View // zero-ID means no view installed yet
+	joining bool
+	evicted bool
+	lastReq time.Time
+
+	// Coordinator-side state.
+	pendingJoin  map[id.Node]bool
+	pendingEvict map[id.Node]bool
+	proposal     *proposalState
+	highestSent  id.View // highest view number this node ever proposed
+
+	// Member-side state: the highest proposal accepted but not yet
+	// committed, retained so duplicate proposes re-ack idempotently.
+	accepted View
+}
+
+type proposalState struct {
+	view     View
+	acks     map[id.Node]bool
+	deadline time.Time
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// New returns a membership engine. If cfg.Contact is id.None the engine
+// installs a singleton bootstrap view on its first tick; otherwise it
+// starts joining through the contact.
+func New(env proto.Env, cfg Config) *Engine {
+	if cfg.JoinRetry <= 0 {
+		cfg.JoinRetry = DefaultJoinRetry
+	}
+	if cfg.FlushTimeout <= 0 {
+		cfg.FlushTimeout = DefaultFlushTimeout
+	}
+	e := &Engine{
+		env:          env,
+		cfg:          cfg,
+		joining:      cfg.Contact != id.None,
+		pendingJoin:  make(map[id.Node]bool),
+		pendingEvict: make(map[id.Node]bool),
+	}
+	e.det = failure.New(env, failure.Config{
+		Group:          cfg.Group,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		SuspectAfter:   cfg.SuspectAfter,
+	})
+	return e
+}
+
+// View returns the currently installed view (zero-ID if none yet).
+func (e *Engine) View() View { return e.view }
+
+// Joining reports whether the node is still waiting for admission.
+func (e *Engine) Joining() bool { return e.joining }
+
+// Evicted reports whether the node was removed from the group.
+func (e *Engine) Evicted() bool { return e.evicted }
+
+// Suspects returns the currently suspected members of the view.
+func (e *Engine) Suspects() []id.Node {
+	var out []id.Node
+	for _, m := range e.view.Members {
+		if e.det.Suspected(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// coordinator returns the node this engine currently believes coordinates
+// view changes: the lowest member of the installed view that is not
+// locally suspected. The local node is never suspected.
+func (e *Engine) coordinator() id.Node {
+	for _, m := range e.view.Members {
+		if m == e.env.Self() || !e.det.Suspected(m) {
+			return m
+		}
+	}
+	return id.None
+}
+
+// isCoordinator reports whether this node should be driving view changes.
+func (e *Engine) isCoordinator() bool {
+	return e.view.ID != 0 && e.coordinator() == e.env.Self()
+}
+
+// Leave announces a voluntary departure to the coordinator. The caller
+// should stop the node shortly after; delivery is best-effort and the
+// failure detector covers the loss case.
+func (e *Engine) Leave() {
+	coord := e.coordinator()
+	if coord == id.None || coord == e.env.Self() {
+		// Coordinator leaving: evict self locally so the next
+		// coordinator takes over via suspicion; nothing to send.
+		return
+	}
+	e.env.Send(coord, &wire.Message{
+		Kind:   wire.KindLeave,
+		Group:  e.cfg.Group,
+		Sender: e.env.Self(),
+	})
+}
+
+// OnMessage dispatches membership traffic; all other kinds still feed the
+// failure detector as liveness evidence.
+func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
+	e.det.OnMessage(from, msg)
+	if msg.Group != e.cfg.Group {
+		return
+	}
+	switch msg.Kind {
+	case wire.KindJoinReq:
+		e.onJoinReq(msg.Sender)
+	case wire.KindViewPropose:
+		e.onPropose(from, msg)
+	case wire.KindFlushOK:
+		e.onFlushOK(from, msg)
+	case wire.KindViewCommit:
+		e.onCommit(msg)
+	case wire.KindJoinAck:
+		if e.cfg.OnState != nil && msg.View >= e.view.ID {
+			e.cfg.OnState(e.view, msg.Body)
+		}
+	case wire.KindLeave:
+		e.onLeave(msg.Sender)
+	}
+}
+
+// OnTick drives join retries, bootstrap, proposal generation and proposal
+// timeouts.
+func (e *Engine) OnTick(now time.Time) {
+	e.det.OnTick(now)
+	if e.evicted {
+		return
+	}
+
+	// Bootstrap: no contact, no view -> singleton group.
+	if e.view.ID == 0 && e.cfg.Contact == id.None && !e.joining {
+		e.install(NewView(1, []id.Node{e.env.Self()}))
+		return
+	}
+
+	// Joining: retry the join request.
+	if e.joining {
+		if now.Sub(e.lastReq) >= e.cfg.JoinRetry {
+			e.lastReq = now
+			e.env.Send(e.cfg.Contact, &wire.Message{
+				Kind:   wire.KindJoinReq,
+				Group:  e.cfg.Group,
+				Sender: e.env.Self(),
+			})
+		}
+		return
+	}
+
+	if !e.isCoordinator() {
+		return
+	}
+
+	if e.proposal != nil {
+		e.checkProposal(now)
+		return
+	}
+	if len(e.pendingJoin) > 0 || e.anyEvictionPending() {
+		e.propose(now)
+	}
+}
+
+// anyEvictionPending reports whether any current member must go: sticky
+// evictions (voluntary leaves, flush timeouts) or live suspicions.
+func (e *Engine) anyEvictionPending() bool {
+	for m := range e.pendingEvict {
+		if e.view.Contains(m) {
+			return true
+		}
+	}
+	return len(e.Suspects()) > 0
+}
+
+// onJoinReq handles an admission request, forwarding it to the coordinator
+// when this node is not it.
+func (e *Engine) onJoinReq(joiner id.Node) {
+	if e.view.ID == 0 || joiner == id.None {
+		return
+	}
+	if !e.isCoordinator() {
+		if coord := e.coordinator(); coord != id.None && coord != e.env.Self() {
+			e.env.Send(coord, &wire.Message{
+				Kind:   wire.KindJoinReq,
+				Group:  e.cfg.Group,
+				Sender: joiner,
+			})
+		}
+		return
+	}
+	if e.view.Contains(joiner) || e.pendingJoin[joiner] {
+		return
+	}
+	e.pendingJoin[joiner] = true
+	delete(e.pendingEvict, joiner) // a rejoining node is alive again
+}
+
+// onLeave handles a voluntary departure announcement.
+func (e *Engine) onLeave(leaver id.Node) {
+	if !e.isCoordinator() || !e.view.Contains(leaver) {
+		return
+	}
+	e.pendingEvict[leaver] = true
+	delete(e.pendingJoin, leaver)
+}
+
+// propose starts a view change folding in pending joins and evictions.
+// Evictions combine the sticky set (voluntary leaves, flush timeouts)
+// with the detector's current suspicions, so a member suspected during a
+// transient partition and heard from again is not evicted.
+func (e *Engine) propose(now time.Time) {
+	evict := make(map[id.Node]bool, len(e.pendingEvict))
+	for m := range e.pendingEvict {
+		evict[m] = true
+	}
+	for _, m := range e.Suspects() {
+		evict[m] = true
+	}
+	next := make([]id.Node, 0, e.view.Size()+len(e.pendingJoin))
+	for _, m := range e.view.Members {
+		if !evict[m] {
+			next = append(next, m)
+		}
+	}
+	for j := range e.pendingJoin {
+		next = append(next, j)
+	}
+	if e.cfg.PrimaryPartition && e.view.ID != 0 {
+		survivors := 0
+		for _, m := range e.view.Members {
+			if !evict[m] {
+				survivors++
+			}
+		}
+		if survivors*2 <= e.view.Size() {
+			// Minority side: block rather than split the brain.
+			return
+		}
+	}
+	vid := e.view.ID
+	if e.highestSent > vid {
+		vid = e.highestSent
+	}
+	proposed := NewView(vid+1, next)
+	if !proposed.Contains(e.env.Self()) {
+		// A coordinator never proposes itself away; its own departure
+		// is handled by the next coordinator after it stops.
+		proposed = NewView(proposed.ID, append(proposed.Members, e.env.Self()))
+	}
+	e.highestSent = proposed.ID
+	e.proposal = &proposalState{
+		view:     proposed,
+		acks:     map[id.Node]bool{e.env.Self(): true},
+		deadline: now.Add(e.cfg.FlushTimeout),
+	}
+	// The coordinator flushes its own traffic like any member.
+	e.flushFor(proposed)
+	body := wire.AppendViewBody(nil, wire.ViewBody{View: proposed.ID, Members: proposed.Members})
+	for _, m := range proposed.Members {
+		if m == e.env.Self() {
+			continue
+		}
+		e.env.Send(m, &wire.Message{
+			Kind:  wire.KindViewPropose,
+			Group: e.cfg.Group,
+			View:  proposed.ID,
+			Body:  body,
+		})
+	}
+	e.maybeCommit()
+}
+
+// checkProposal re-sends or shrinks an outstanding proposal at deadline.
+func (e *Engine) checkProposal(now time.Time) {
+	p := e.proposal
+	if now.Before(p.deadline) {
+		return
+	}
+	// Members that failed to flush in time are treated as failed.
+	for _, m := range p.view.Members {
+		if !p.acks[m] {
+			e.pendingEvict[m] = true
+		}
+	}
+	e.proposal = nil
+	e.propose(now)
+}
+
+// onPropose handles a proposal as a (possibly joining) member.
+func (e *Engine) onPropose(from id.Node, msg *wire.Message) {
+	body, err := wire.DecodeViewBody(msg.Body)
+	if err != nil {
+		return
+	}
+	proposed := NewView(body.View, body.Members)
+	if !proposed.Contains(e.env.Self()) {
+		return
+	}
+	if proposed.ID <= e.view.ID {
+		return // stale proposal
+	}
+	if e.view.ID != 0 && !e.view.Contains(from) && !e.joining {
+		return // proposals only come from members of our current view
+	}
+	// Accept and flush even if a higher proposal was seen before: a
+	// takeover coordinator may legitimately propose a lower view number
+	// than a dead coordinator's unfinished proposal, and re-flushing is
+	// harmless.
+	if !proposed.Equal(e.accepted) {
+		e.accepted = proposed
+		e.flushFor(proposed)
+	}
+	e.env.Send(from, &wire.Message{
+		Kind:  wire.KindFlushOK,
+		Group: e.cfg.Group,
+		View:  proposed.ID,
+	})
+}
+
+// onFlushOK records a member's flush acknowledgment.
+func (e *Engine) onFlushOK(from id.Node, msg *wire.Message) {
+	p := e.proposal
+	if p == nil || msg.View != p.view.ID || !p.view.Contains(from) {
+		return
+	}
+	p.acks[from] = true
+	e.maybeCommit()
+}
+
+// maybeCommit installs and broadcasts the proposal once fully acked.
+func (e *Engine) maybeCommit() {
+	p := e.proposal
+	if p == nil {
+		return
+	}
+	for _, m := range p.view.Members {
+		if !p.acks[m] {
+			return
+		}
+	}
+	e.proposal = nil
+	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
+	// Notify evicted members too, so they learn their fate.
+	notified := map[id.Node]bool{e.env.Self(): true}
+	for _, m := range p.view.Members {
+		if notified[m] {
+			continue
+		}
+		notified[m] = true
+		e.env.Send(m, &wire.Message{
+			Kind:  wire.KindViewCommit,
+			Group: e.cfg.Group,
+			View:  p.view.ID,
+			Body:  body,
+		})
+	}
+	for _, m := range e.view.Members {
+		if notified[m] || !e.pendingEvict[m] {
+			continue
+		}
+		notified[m] = true
+		e.env.Send(m, &wire.Message{
+			Kind:  wire.KindViewCommit,
+			Group: e.cfg.Group,
+			View:  p.view.ID,
+			Body:  body,
+		})
+	}
+	// Clear the bookkeeping satisfied by this commit.
+	for j := range e.pendingJoin {
+		if p.view.Contains(j) {
+			delete(e.pendingJoin, j)
+		}
+	}
+	for m := range e.pendingEvict {
+		if !p.view.Contains(m) {
+			delete(e.pendingEvict, m)
+		}
+	}
+	// Application state transfer to the members this commit admitted.
+	if e.cfg.Snapshot != nil {
+		var joined []id.Node
+		for _, m := range p.view.Members {
+			if m != e.env.Self() && !e.view.Contains(m) {
+				joined = append(joined, m)
+			}
+		}
+		if len(joined) > 0 {
+			state := e.cfg.Snapshot()
+			for _, m := range joined {
+				e.env.Send(m, &wire.Message{
+					Kind:  wire.KindJoinAck,
+					Group: e.cfg.Group,
+					View:  p.view.ID,
+					Body:  state,
+				})
+			}
+		}
+	}
+	e.install(p.view)
+}
+
+// onCommit installs a committed view as a member.
+func (e *Engine) onCommit(msg *wire.Message) {
+	body, err := wire.DecodeViewBody(msg.Body)
+	if err != nil {
+		return
+	}
+	v := NewView(body.View, body.Members)
+	if v.ID <= e.view.ID {
+		return
+	}
+	if !v.Contains(e.env.Self()) {
+		if e.view.ID != 0 {
+			e.evicted = true
+			e.view = View{}
+			e.det.SetPeers(nil)
+			if e.cfg.OnEvicted != nil {
+				e.cfg.OnEvicted(v)
+			}
+		}
+		return
+	}
+	e.install(v)
+}
+
+// install makes v the current view and notifies subscribers.
+func (e *Engine) install(v View) {
+	e.view = v
+	e.joining = false
+	e.accepted = View{}
+	e.det.SetPeers(v.Members)
+	if e.cfg.OnView != nil {
+		e.cfg.OnView(v)
+	}
+}
+
+// flushFor invokes the flush hook for a proposed view.
+func (e *Engine) flushFor(proposed View) {
+	if e.cfg.OnFlush != nil {
+		e.cfg.OnFlush(proposed)
+	}
+}

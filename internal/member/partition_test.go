@@ -1,0 +1,151 @@
+package member
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// addPrimaryMember attaches an engine with the majority rule enabled.
+func addPrimaryMember(s *netsim.Sim, n, contact id.Node, snapshot func() []byte,
+	onState func(View, []byte)) *memberNode {
+	mn := &memberNode{}
+	s.AddNode(n, func(env proto.Env) proto.Handler {
+		mn.eng = New(env, Config{
+			Group:            1,
+			Contact:          contact,
+			HeartbeatEvery:   40 * time.Millisecond,
+			SuspectAfter:     200 * time.Millisecond,
+			FlushTimeout:     300 * time.Millisecond,
+			PrimaryPartition: true,
+			Snapshot:         snapshot,
+			OnState:          onState,
+			OnView:           func(v View) { mn.views = append(mn.views, v) },
+			OnEvicted:        func(View) { mn.evicted = true },
+		})
+		return mn.eng
+	})
+	return mn
+}
+
+func TestPrimaryPartitionMajorityContinues(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 121})
+	nodes := make(map[id.Node]*memberNode)
+	nodes[1] = addPrimaryMember(s, 1, id.None, nil, nil)
+	for n := id.Node(2); n <= 5; n++ {
+		nodes[n] = addPrimaryMember(s, n, 1, nil, nil)
+	}
+	s.Run(5 * time.Second)
+	if lastView(nodes[1]).Size() != 5 {
+		t.Fatalf("precondition: %+v", lastView(nodes[1]))
+	}
+	viewAtSplit := lastView(nodes[1])
+
+	// Partition 2 vs 3: nodes {1,2} minority, {3,4,5} majority.
+	s.At(5100*time.Millisecond, func() {
+		s.Partition([]id.Node{1, 2}, []id.Node{3, 4, 5})
+	})
+	s.Run(12 * time.Second)
+
+	// Majority side: installs a 3-member view.
+	for _, n := range []id.Node{3, 4, 5} {
+		v := lastView(nodes[n])
+		if v.Size() != 3 || v.Contains(1) || v.Contains(2) {
+			t.Fatalf("majority node %s view = %+v", n, v)
+		}
+	}
+	// Minority side: blocked — still in the pre-split view, no new view
+	// installed, no split-brain.
+	for _, n := range []id.Node{1, 2} {
+		v := lastView(nodes[n])
+		if !v.Equal(viewAtSplit) {
+			t.Fatalf("minority node %s moved to %+v (split brain)", n, v)
+		}
+	}
+}
+
+func TestPrimaryPartitionEvenSplitBlocksBoth(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 122})
+	nodes := make(map[id.Node]*memberNode)
+	nodes[1] = addPrimaryMember(s, 1, id.None, nil, nil)
+	for n := id.Node(2); n <= 4; n++ {
+		nodes[n] = addPrimaryMember(s, n, 1, nil, nil)
+	}
+	s.Run(4 * time.Second)
+	if lastView(nodes[1]).Size() != 4 {
+		t.Fatalf("precondition: %+v", lastView(nodes[1]))
+	}
+	before := lastView(nodes[1])
+	s.At(4100*time.Millisecond, func() {
+		s.Partition([]id.Node{1, 2}, []id.Node{3, 4})
+	})
+	s.Run(10 * time.Second)
+	// A 2/2 split has no strict majority: nobody may install a new view.
+	for n, mn := range nodes {
+		if !lastView(mn).Equal(before) {
+			t.Fatalf("node %s installed %+v during even split", n, lastView(mn))
+		}
+	}
+}
+
+func TestTransientSuspicionNotEvictedAfterHeal(t *testing.T) {
+	// A short partition that heals before the flush timeout should not
+	// permanently evict anyone: suspicion is evaluated at propose time.
+	s := netsim.New(netsim.Config{Seed: 123})
+	nodes := make(map[id.Node]*memberNode)
+	nodes[1] = addPrimaryMember(s, 1, id.None, nil, nil)
+	nodes[2] = addPrimaryMember(s, 2, 1, nil, nil)
+	nodes[3] = addPrimaryMember(s, 3, 1, nil, nil)
+	s.Run(3 * time.Second)
+	if lastView(nodes[1]).Size() != 3 {
+		t.Fatalf("precondition: %+v", lastView(nodes[1]))
+	}
+	// Cut node 3 off briefly (shorter than suspicion would take to
+	// drive a committed eviction), then heal well before the proposal
+	// could complete.
+	s.At(3100*time.Millisecond, func() { s.Partition([]id.Node{1, 2}, []id.Node{3}) })
+	s.At(3250*time.Millisecond, func() { s.Heal() })
+	s.Run(10 * time.Second)
+	v := lastView(nodes[1])
+	if !v.Contains(3) {
+		t.Fatalf("healed member evicted: %+v", v)
+	}
+}
+
+func TestStateTransferOnJoin(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 124})
+	state := []byte("app directory snapshot")
+	var got []byte
+	a := addPrimaryMember(s, 1, id.None, func() []byte { return state }, nil)
+	b := addPrimaryMember(s, 2, 1, nil, func(_ View, st []byte) {
+		got = append([]byte(nil), st...)
+	})
+	s.Run(3 * time.Second)
+	if lastView(a).Size() != 2 || lastView(b).Size() != 2 {
+		t.Fatalf("join failed: %+v / %+v", lastView(a), lastView(b))
+	}
+	if string(got) != string(state) {
+		t.Fatalf("state transfer = %q, want %q", got, state)
+	}
+}
+
+func TestVoluntaryLeaveIsSticky(t *testing.T) {
+	// A leaver that keeps running (still heartbeating) must still be
+	// evicted: voluntary departure does not depend on suspicion.
+	s := netsim.New(netsim.Config{Seed: 125})
+	a := addMember(s, 1, id.None)
+	b := addMember(s, 2, 1)
+	s.Run(2 * time.Second)
+	if lastView(a).Size() != 2 {
+		t.Fatalf("precondition: %+v", lastView(a))
+	}
+	s.At(2100*time.Millisecond, func() { b.eng.Leave() })
+	// Node 2 keeps running (no crash) — heartbeats continue.
+	s.Run(6 * time.Second)
+	if lastView(a).Contains(2) {
+		t.Fatalf("running leaver not evicted: %+v", lastView(a))
+	}
+}

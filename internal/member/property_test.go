@@ -1,0 +1,96 @@
+package member
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+)
+
+// TestViewAgreementProperty: across randomized join-then-crash scenarios,
+// no two nodes ever install different member lists for the same view ID
+// (the fundamental safety property of a membership service).
+func TestViewAgreementProperty(t *testing.T) {
+	for _, seed := range []int64{1, 9, 33, 77} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			s := netsim.New(netsim.Config{Seed: seed})
+			n := 4 + int(seed%4) // 4..7 nodes
+			nodes := make(map[id.Node]*memberNode, n)
+			nodes[1] = addMember(s, 1, id.None)
+			for m := id.Node(2); m <= id.Node(n); m++ {
+				nodes[m] = addMember(s, m, 1)
+			}
+			// Crash one non-coordinator node mid-life, chosen by seed.
+			victim := id.Node(2 + seed%int64(n-1))
+			s.At(time.Duration(3000+seed*37)*time.Millisecond, func() {
+				s.Crash(victim)
+			})
+			s.Run(15 * time.Second)
+
+			// Collect every installed view from every node.
+			byID := make(map[id.View]View)
+			for nd, mn := range nodes {
+				for _, v := range mn.views {
+					prev, ok := byID[v.ID]
+					if !ok {
+						byID[v.ID] = v
+						continue
+					}
+					if !prev.Equal(v) {
+						t.Fatalf("seed %d: node %s installed view %s = %v, but another node saw %v",
+							seed, nd, v.ID, v.Members, prev.Members)
+					}
+				}
+			}
+			// Liveness: survivors converge on a view excluding the victim.
+			for nd, mn := range nodes {
+				if nd == victim {
+					continue
+				}
+				final := lastView(mn)
+				if final.Contains(victim) {
+					t.Fatalf("seed %d: node %s still sees victim: %+v", seed, nd, final)
+				}
+				if final.Size() != n-1 {
+					t.Fatalf("seed %d: node %s final view %+v, want %d members",
+						seed, nd, final, n-1)
+				}
+			}
+		})
+	}
+}
+
+// TestViewIDsNeverRegress: a node's installed view IDs are strictly
+// increasing across arbitrary churn.
+func TestViewIDsNeverRegress(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 55})
+	nodes := make(map[id.Node]*memberNode)
+	nodes[1] = addMember(s, 1, id.None)
+	for m := id.Node(2); m <= 6; m++ {
+		nodes[m] = addMember(s, m, 1)
+	}
+	s.At(4*time.Second, func() { s.Crash(5) })
+	s.At(6*time.Second, func() { s.Crash(2) })
+	s.Run(15 * time.Second)
+	for nd, mn := range nodes {
+		for i := 1; i < len(mn.views); i++ {
+			if mn.views[i].ID <= mn.views[i-1].ID {
+				t.Fatalf("node %s: view ID regressed: %s then %s",
+					nd, mn.views[i-1].ID, mn.views[i].ID)
+			}
+		}
+	}
+	survivors := []id.Node{1, 3, 4, 6}
+	want := lastView(nodes[1])
+	if want.Size() != 4 {
+		t.Fatalf("final view = %+v", want)
+	}
+	for _, nd := range survivors {
+		if !lastView(nodes[nd]).Equal(want) {
+			t.Fatalf("node %s final view %+v != %+v", nd, lastView(nodes[nd]), want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package member implements the group membership service of the
+// architecture: agreement on a sequence of views (numbered member lists)
+// per group, driven by joins, voluntary leaves and failure-detector
+// suspicions.
+//
+// The protocol is coordinator-based, in the style of the early-90s group
+// communication systems the paper builds on (ISIS-family): the lowest-ID
+// live member of the current view coordinates changes. A change is a
+// two-phase exchange — ViewPropose, answered by FlushOK after each member
+// flushes its unstable multicast traffic, then ViewCommit — which gives the
+// multicast layer the hook it needs to approximate virtual synchrony:
+// messages sent in a view are flushed to the surviving members before the
+// next view is installed.
+package member
+
+import (
+	"sort"
+
+	"scalamedia/internal/id"
+)
+
+// View is one installed membership configuration: a group-unique,
+// monotonically increasing number plus the sorted member list.
+type View struct {
+	ID      id.View
+	Members []id.Node
+}
+
+// NewView returns a view with the member list copied, deduplicated and
+// sorted.
+func NewView(vid id.View, members []id.Node) View {
+	seen := make(map[id.Node]bool, len(members))
+	out := make([]id.Node, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return View{ID: vid, Members: out}
+}
+
+// Size returns the number of members.
+func (v View) Size() int { return len(v.Members) }
+
+// Contains reports whether n is a member.
+func (v View) Contains(n id.Node) bool { return v.Rank(n) >= 0 }
+
+// Rank returns n's index in the sorted member list, or -1. Ranks are the
+// dense indexes the multicast layer uses for vector-clock components.
+func (v View) Rank(n id.Node) int {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i] >= n })
+	if i < len(v.Members) && v.Members[i] == n {
+		return i
+	}
+	return -1
+}
+
+// Coordinator returns the default coordinator (the lowest-ID member), or
+// id.None for an empty view.
+func (v View) Coordinator() id.Node {
+	if len(v.Members) == 0 {
+		return id.None
+	}
+	return v.Members[0]
+}
+
+// Others returns all members except n. The result is freshly allocated.
+func (v View) Others(n id.Node) []id.Node {
+	out := make([]id.Node, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m != n {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two views have the same ID and members.
+func (v View) Equal(o View) bool {
+	if v.ID != o.ID || len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+// Package msync implements receiver-side inter-media synchronization
+// ("lip sync"): keeping the playout points of related streams — an audio
+// stream and its companion video stream — within a bounded skew of each
+// other, even as each stream's adaptive playout reacts to different
+// network jitter or as sender clocks drift apart.
+//
+// The controller follows the master/slave policy of the era's multimedia
+// architectures: one stream (conventionally audio, whose glitches are most
+// audible) is the master and adapts freely; every slave's playout delay is
+// steered toward presenting media captured at the same instant at the same
+// wall-clock time as the master. Skew is measured from the streams'
+// observed presentation lags and corrected gradually, bounded by MaxStep
+// per adjustment so video never visibly jumps.
+package msync
+
+import (
+	"time"
+
+	"scalamedia/internal/media"
+	"scalamedia/internal/rtx"
+)
+
+// Default policy values.
+const (
+	// DefaultMaxSkew is the largest tolerated skew before correction,
+	// the classic ±80ms lip-sync detectability bound.
+	DefaultMaxSkew = 80 * time.Millisecond
+	// DefaultMaxStep bounds one correction step.
+	DefaultMaxStep = 20 * time.Millisecond
+	// DefaultCheckEvery is the skew evaluation period.
+	DefaultCheckEvery = 100 * time.Millisecond
+)
+
+// lag tracks the latest observed presentation point of one stream: the
+// wall-clock playout instant together with the frame's capture offset.
+// The presentation lag of a stream is playedAt minus capture; skew between
+// two streams is the difference of their lags, computed without ever
+// subtracting a capture offset from a wall-clock time (which would
+// overflow time.Duration for distant epochs).
+type lag struct {
+	valid    bool
+	playedAt time.Time
+	capture  time.Duration
+}
+
+// Stream couples an rtx receiver with its lag bookkeeping.
+type Stream struct {
+	recv *rtx.Receiver
+	lag  lag
+}
+
+// observe records a played frame. Call it from the receiver's OnPlay.
+func (s *Stream) observe(f media.Frame, playedAt time.Time) {
+	s.lag = lag{valid: true, playedAt: playedAt, capture: f.Capture}
+}
+
+// Config parameterizes a Controller.
+type Config struct {
+	// MaxSkew is the tolerated skew before a correction is applied.
+	// Defaults to DefaultMaxSkew.
+	MaxSkew time.Duration
+	// MaxStep bounds a single playout-delay adjustment. Defaults to
+	// DefaultMaxStep.
+	MaxStep time.Duration
+	// CheckEvery is the evaluation period. Defaults to
+	// DefaultCheckEvery.
+	CheckEvery time.Duration
+	// OnSkew, if set, receives every measured master-slave skew sample
+	// (positive: slave presents later than master). Used by the F4
+	// experiment to trace skew over time.
+	OnSkew func(slave int, skew time.Duration, at time.Time)
+}
+
+// Controller synchronizes one master stream with its slaves. Create it,
+// then route each receiver's OnPlay through Master()/Slave(i) observers,
+// and call OnTick from the node's event loop (it is tick-driven but not a
+// full proto.Handler since it consumes no messages).
+type Controller struct {
+	cfg    Config
+	master Stream
+	slaves []*Stream
+
+	lastCheck   time.Time
+	corrections uint64
+}
+
+// New returns a controller for the given master and slave receivers.
+func New(cfg Config, master *rtx.Receiver, slaves ...*rtx.Receiver) *Controller {
+	if cfg.MaxSkew <= 0 {
+		cfg.MaxSkew = DefaultMaxSkew
+	}
+	if cfg.MaxStep <= 0 {
+		cfg.MaxStep = DefaultMaxStep
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = DefaultCheckEvery
+	}
+	c := &Controller{cfg: cfg}
+	c.master = Stream{recv: master}
+	for _, s := range slaves {
+		c.slaves = append(c.slaves, &Stream{recv: s})
+	}
+	return c
+}
+
+// ObserveMaster records a master-stream playout. Wire it into the master
+// receiver's OnPlay callback.
+func (c *Controller) ObserveMaster(f media.Frame, playedAt time.Time) {
+	c.master.observe(f, playedAt)
+}
+
+// ObserveSlave records a slave-stream playout for slave index i.
+func (c *Controller) ObserveSlave(i int, f media.Frame, playedAt time.Time) {
+	if i >= 0 && i < len(c.slaves) {
+		c.slaves[i].observe(f, playedAt)
+	}
+}
+
+// Corrections returns how many playout adjustments have been applied.
+func (c *Controller) Corrections() uint64 { return c.corrections }
+
+// Skew returns the latest measured skew of slave i relative to the master
+// (positive: slave late), and whether both streams have been observed.
+func (c *Controller) Skew(i int) (time.Duration, bool) {
+	if i < 0 || i >= len(c.slaves) {
+		return 0, false
+	}
+	s := c.slaves[i]
+	if !c.master.lag.valid || !s.lag.valid {
+		return 0, false
+	}
+	// skew = (slave playout - slave capture) - (master playout - master
+	// capture), regrouped to keep every subtraction small.
+	return s.lag.playedAt.Sub(c.master.lag.playedAt) -
+		(s.lag.capture - c.master.lag.capture), true
+}
+
+// OnTick evaluates skew and steers slave playout delays toward the
+// master's presentation timeline.
+func (c *Controller) OnTick(now time.Time) {
+	if now.Sub(c.lastCheck) < c.cfg.CheckEvery {
+		return
+	}
+	c.lastCheck = now
+	if !c.master.lag.valid {
+		return
+	}
+	for i, s := range c.slaves {
+		skew, ok := c.Skew(i)
+		if !ok {
+			continue
+		}
+		if c.cfg.OnSkew != nil {
+			c.cfg.OnSkew(i, skew, now)
+		}
+		if skew > c.cfg.MaxSkew || skew < -c.cfg.MaxSkew {
+			step := skew
+			if step > c.cfg.MaxStep {
+				step = c.cfg.MaxStep
+			}
+			if step < -c.cfg.MaxStep {
+				step = -c.cfg.MaxStep
+			}
+			// Steer both streams toward each other: the slave's
+			// timeline shifts earlier by half a step and the
+			// master's later by half. Pulling the master is what
+			// absorbs a slave whose data genuinely arrives late —
+			// a stream cannot present media it does not have yet.
+			s.recv.AdjustSync(-step / 2)
+			c.master.recv.AdjustSync(step / 2)
+			c.corrections++
+		}
+	}
+}

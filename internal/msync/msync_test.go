@@ -1,0 +1,193 @@
+package msync
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rtx"
+	"scalamedia/internal/wire"
+)
+
+// ctlTick adapts a Controller to proto.Handler so it ticks with the node.
+type ctlTick struct{ ctl *Controller }
+
+func (c ctlTick) OnMessage(id.Node, *wire.Message) {}
+func (c ctlTick) OnTick(now time.Time)             { c.ctl.OnTick(now) }
+
+// skewProbe measures skew without correcting, for no-sync baselines.
+type skewProbe struct {
+	ctl   *Controller
+	skews *[]time.Duration
+}
+
+func (p skewProbe) OnMessage(id.Node, *wire.Message) {}
+func (p skewProbe) OnTick(time.Time) {
+	if skew, ok := p.ctl.Skew(0); ok {
+		*p.skews = append(*p.skews, skew)
+	}
+}
+
+// syncRig is an audio (master) + video (slave) pair from node 1 to node 2.
+type syncRig struct {
+	audioSend *rtx.Sender
+	videoSend *rtx.Sender
+	audioRecv *rtx.Receiver
+	videoRecv *rtx.Receiver
+	ctl       *Controller
+	skews     []time.Duration
+}
+
+// buildRig wires the rig; videoDelay configures asymmetric network delay
+// for the video stream via a per-link... — netsim profiles are per node
+// pair, so instead the video sender's frames are scheduled with an extra
+// offset by the caller, modeling a slower video pipeline.
+func buildRig(s *netsim.Sim, withSync bool) *syncRig {
+	rig := &syncRig{}
+	audioSpec := media.TelephoneAudio(1, "mic")
+	videoSpec := media.PALVideo(2, "cam")
+
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		rig.audioSend = rtx.NewSender(env, 1, audioSpec)
+		rig.audioSend.SetPeers([]id.Node{2})
+		rig.videoSend = rtx.NewSender(env, 1, videoSpec)
+		rig.videoSend.SetPeers([]id.Node{2})
+		return proto.NewMux()
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		rig.audioRecv = rtx.NewReceiver(env, rtx.Config{
+			Group: 1, Stream: 1, Spec: audioSpec,
+			Mode: rtx.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+			OnPlay: func(f media.Frame, at time.Time) { rig.ctl.ObserveMaster(f, at) },
+		})
+		rig.videoRecv = rtx.NewReceiver(env, rtx.Config{
+			Group: 1, Stream: 2, Spec: videoSpec,
+			Mode: rtx.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+			OnPlay: func(f media.Frame, at time.Time) { rig.ctl.ObserveSlave(0, f, at) },
+		})
+		rig.ctl = New(Config{
+			MaxSkew:    40 * time.Millisecond,
+			MaxStep:    20 * time.Millisecond,
+			CheckEvery: 50 * time.Millisecond,
+			OnSkew: func(_ int, skew time.Duration, _ time.Time) {
+				rig.skews = append(rig.skews, skew)
+			},
+		}, rig.audioRecv, rig.videoRecv)
+		mux := proto.NewMux(rig.audioRecv, rig.videoRecv)
+		if withSync {
+			mux.Add(ctlTick{rig.ctl})
+		} else {
+			mux.Add(skewProbe{ctl: rig.ctl, skews: &rig.skews})
+		}
+		return mux
+	})
+	return rig
+}
+
+// feed schedules duration seconds of both streams; the video stream's
+// playout delay is inflated by pushing its frames videoLag later than
+// capture, modeling a slow camera/codec pipeline whose lag grows.
+func feed(s *netsim.Sim, rig *syncRig, dur, videoLagPerSec time.Duration) {
+	audioSrc := media.NewCBR(media.TelephoneAudio(1, "mic"), 160, int(dur/(20*time.Millisecond)))
+	for {
+		f, ok := audioSrc.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		s.At(10*time.Millisecond+frame.Capture, func() { rig.audioSend.Send(frame) })
+	}
+	videoSrc := media.NewCBR(media.PALVideo(2, "cam"), 2000, int(dur/(40*time.Millisecond)))
+	for {
+		f, ok := videoSrc.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		// Growing pipeline lag: frames fall progressively behind.
+		lag := time.Duration(float64(videoLagPerSec) * frame.Capture.Seconds())
+		s.At(10*time.Millisecond+frame.Capture+lag, func() { rig.videoSend.Send(frame) })
+	}
+}
+
+func TestSkewBoundedWithSync(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 51, Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, 0)})
+	rig := buildRig(s, true)
+	feed(s, rig, 10*time.Second, 30*time.Millisecond) // 30ms/s drift
+	s.Run(12 * time.Second)
+
+	if len(rig.skews) == 0 {
+		t.Fatal("no skew samples")
+	}
+	// After corrections, the tail of the skew trace stays bounded.
+	tail := rig.skews[len(rig.skews)/2:]
+	for i, skew := range tail {
+		if skew > 150*time.Millisecond || skew < -150*time.Millisecond {
+			t.Fatalf("skew sample %d = %v exceeds bound with sync on", i, skew)
+		}
+	}
+	if rig.ctl.Corrections() == 0 {
+		t.Fatal("controller never corrected despite drift")
+	}
+}
+
+func TestSkewGrowsWithoutSync(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 51, Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, 0)})
+	rig := buildRig(s, false)
+	feed(s, rig, 10*time.Second, 30*time.Millisecond)
+	s.Run(12 * time.Second)
+
+	if len(rig.skews) < 10 {
+		t.Fatalf("only %d skew samples", len(rig.skews))
+	}
+	first := rig.skews[len(rig.skews)/10]
+	last := rig.skews[len(rig.skews)-1]
+	if last <= first {
+		t.Fatalf("uncorrected skew did not grow: first=%v last=%v", first, last)
+	}
+	if last < 100*time.Millisecond {
+		t.Fatalf("uncorrected skew only %v after 10s of 30ms/s drift", last)
+	}
+	if rig.ctl.Corrections() != 0 {
+		t.Fatal("probe-only rig applied corrections")
+	}
+}
+
+func TestNoDriftNoCorrections(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 52, Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, 0)})
+	rig := buildRig(s, true)
+	feed(s, rig, 5*time.Second, 0)
+	s.Run(7 * time.Second)
+	// Identical network for both streams: skew stays inside MaxSkew and
+	// corrections stay rare (startup transients allowed).
+	if rig.ctl.Corrections() > 5 {
+		t.Fatalf("%d corrections on drift-free streams", rig.ctl.Corrections())
+	}
+}
+
+func TestSkewQueryEdges(t *testing.T) {
+	ctl := New(Config{}, nil)
+	if _, ok := ctl.Skew(0); ok {
+		t.Fatal("Skew valid with no slaves")
+	}
+	if _, ok := ctl.Skew(-1); ok {
+		t.Fatal("Skew(-1) valid")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	ctl := New(Config{}, nil)
+	if ctl.cfg.MaxSkew != DefaultMaxSkew || ctl.cfg.MaxStep != DefaultMaxStep ||
+		ctl.cfg.CheckEvery != DefaultCheckEvery {
+		t.Fatalf("defaults not applied: %+v", ctl.cfg)
+	}
+}
+
+func TestObserveSlaveOutOfRange(t *testing.T) {
+	ctl := New(Config{}, nil)
+	// Must not panic.
+	ctl.ObserveSlave(5, media.Frame{}, time.Now())
+}

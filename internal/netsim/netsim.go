@@ -1,0 +1,362 @@
+// Package netsim is a deterministic discrete-event network simulator. It
+// drives the same protocol engines that run live over UDP (see
+// internal/proto) under virtual time, which is what makes the paper-style
+// experiments reproducible: given one seed, every message arrival, loss and
+// timer tick happens at exactly the same virtual instant on every run.
+//
+// The simulator owns a single event queue ordered by virtual time. Node
+// handlers execute synchronously on the simulation goroutine; calls to
+// Env.Send enqueue future delivery events according to the configured link
+// profile (propagation delay, jitter, loss). Periodic OnTick events are
+// self-rescheduling.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// Link describes the directed network path between two nodes.
+type Link struct {
+	// Delay is the base one-way propagation delay.
+	Delay time.Duration
+	// Jitter is the maximum extra uniform random delay.
+	Jitter time.Duration
+	// Loss is the drop probability in [0, 1].
+	Loss float64
+	// Bandwidth is the link capacity in bytes per second; zero means
+	// unlimited. A finite bandwidth adds serialization time per
+	// datagram and FIFO queueing delay behind earlier traffic on the
+	// same directed link.
+	Bandwidth float64
+}
+
+// Profile maps a directed node pair to its link characteristics.
+type Profile func(from, to id.Node) Link
+
+// LANProfile returns a uniform profile resembling an early-90s campus LAN
+// segment: fixed base delay, small jitter, optional loss.
+func LANProfile(delay, jitter time.Duration, loss float64) Profile {
+	l := Link{Delay: delay, Jitter: jitter, Loss: loss}
+	return func(_, _ id.Node) Link { return l }
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Seed fixes all randomness. The zero seed is replaced by 1.
+	Seed int64
+	// Tick is the cadence of OnTick events. Defaults to 5ms.
+	Tick time.Duration
+	// Profile supplies link characteristics. Defaults to a 1ms LAN.
+	Profile Profile
+}
+
+// Stats aggregates transport-level traffic counts, used by the control
+// overhead experiments.
+type Stats struct {
+	// SentByKind counts datagrams submitted per message kind.
+	SentByKind map[wire.Kind]uint64
+	// BytesByKind counts encoded payload bytes per message kind.
+	BytesByKind map[wire.Kind]uint64
+	// Dropped counts datagrams lost to the link model, partitions or
+	// crashed receivers.
+	Dropped uint64
+	// Delivered counts datagrams handed to handlers.
+	Delivered uint64
+}
+
+// TotalSent returns the total datagram count.
+func (s *Stats) TotalSent() uint64 {
+	var t uint64
+	for _, n := range s.SentByKind {
+		t += n
+	}
+	return t
+}
+
+// TotalBytes returns the total encoded byte count.
+func (s *Stats) TotalBytes() uint64 {
+	var t uint64
+	for _, n := range s.BytesByKind {
+		t += n
+	}
+	return t
+}
+
+// Sim is a discrete-event simulation. It is not safe for concurrent use:
+// build the topology, schedule scripted actions with At, then call Run.
+type Sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	start time.Time
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	nodes map[id.Node]*simNode
+
+	partition map[id.Node]int
+	stats     Stats
+
+	// busyUntil models FIFO transmission queues per directed link.
+	busyUntil map[linkPair]time.Time
+}
+
+// linkPair keys the per-link transmission queue state.
+type linkPair struct{ from, to id.Node }
+
+// New returns an empty simulation.
+func New(cfg Config) *Sim {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = LANProfile(time.Millisecond, 0, 0)
+	}
+	start := time.Unix(0, 0).UTC()
+	return &Sim{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		start:     start,
+		now:       start,
+		nodes:     make(map[id.Node]*simNode),
+		partition: make(map[id.Node]int),
+		busyUntil: make(map[linkPair]time.Time),
+		stats: Stats{
+			SentByKind:  make(map[wire.Kind]uint64),
+			BytesByKind: make(map[wire.Kind]uint64),
+		},
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Elapsed returns the virtual time since simulation start.
+func (s *Sim) Elapsed() time.Duration { return s.now.Sub(s.start) }
+
+// Stats returns a copy of the traffic statistics.
+func (s *Sim) Stats() Stats {
+	cp := Stats{
+		SentByKind:  make(map[wire.Kind]uint64, len(s.stats.SentByKind)),
+		BytesByKind: make(map[wire.Kind]uint64, len(s.stats.BytesByKind)),
+		Dropped:     s.stats.Dropped,
+		Delivered:   s.stats.Delivered,
+	}
+	for k, v := range s.stats.SentByKind {
+		cp.SentByKind[k] = v
+	}
+	for k, v := range s.stats.BytesByKind {
+		cp.BytesByKind[k] = v
+	}
+	return cp
+}
+
+// AddNode attaches a node and builds its protocol stack. The build
+// function receives the node's Env and returns the handler that will see
+// its events. Ticks are staggered per node so the whole population does
+// not tick in lockstep.
+func (s *Sim) AddNode(n id.Node, build func(env proto.Env) proto.Handler) proto.Handler {
+	if _, ok := s.nodes[n]; ok {
+		panic(fmt.Sprintf("netsim: node %s added twice", n))
+	}
+	node := &simNode{sim: s, self: n, up: true}
+	s.nodes[n] = node
+	node.handler = build(node)
+	offset := time.Duration(s.rng.Int63n(int64(s.cfg.Tick)))
+	s.scheduleAt(s.now.Add(offset), func() { node.tick() })
+	return node.handler
+}
+
+// At schedules a scripted action at the given offset from simulation start.
+// Actions run on the simulation goroutine and may call into engines.
+func (s *Sim) At(offset time.Duration, f func()) {
+	at := s.start.Add(offset)
+	if at.Before(s.now) {
+		at = s.now
+	}
+	s.scheduleAt(at, f)
+}
+
+// Crash marks a node failed: it stops ticking, sending and receiving.
+func (s *Sim) Crash(n id.Node) {
+	if node, ok := s.nodes[n]; ok {
+		node.up = false
+	}
+}
+
+// Restart brings a crashed node back (same engine state; the membership
+// layer treats it as a recovered process).
+func (s *Sim) Restart(n id.Node) {
+	node, ok := s.nodes[n]
+	if !ok || node.up {
+		return
+	}
+	node.up = true
+	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick() })
+}
+
+// Partition splits the network into isolated groups, like
+// transport.Fabric.Partition. Unlisted nodes share group 0.
+func (s *Sim) Partition(groups ...[]id.Node) {
+	s.partition = make(map[id.Node]int)
+	for i, g := range groups {
+		for _, n := range g {
+			s.partition[n] = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (s *Sim) Heal() { s.partition = make(map[id.Node]int) }
+
+// Run processes events until virtual time reaches the given offset from
+// simulation start. It returns the number of events processed.
+func (s *Sim) Run(until time.Duration) int {
+	deadline := s.start.Add(until)
+	processed := 0
+	for s.queue.Len() > 0 {
+		ev := s.queue.peek()
+		if ev.at.After(deadline) {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.run()
+		processed++
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return processed
+}
+
+// scheduleAt enqueues an event at an absolute virtual time.
+func (s *Sim) scheduleAt(at time.Time, run func()) {
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, run: run})
+}
+
+// send models one datagram: encode, apply the link model, enqueue the
+// delivery. Called from handlers via simNode.Send.
+func (s *Sim) send(from, to id.Node, msg *wire.Message) {
+	msg.From = from
+	buf := msg.Marshal()
+	s.stats.SentByKind[msg.Kind]++
+	s.stats.BytesByKind[msg.Kind] += uint64(len(buf))
+
+	sender, ok := s.nodes[from]
+	if !ok || !sender.up {
+		return
+	}
+	link := s.cfg.Profile(from, to)
+	if s.partition[from] != s.partition[to] {
+		s.stats.Dropped++
+		return
+	}
+	if link.Loss > 0 && s.rng.Float64() < link.Loss {
+		s.stats.Dropped++
+		return
+	}
+	delay := link.Delay
+	if link.Jitter > 0 {
+		delay += time.Duration(s.rng.Int63n(int64(link.Jitter) + 1))
+	}
+	// Finite bandwidth: the datagram serializes after any earlier
+	// traffic queued on this directed link.
+	depart := s.now
+	if link.Bandwidth > 0 {
+		key := linkPair{from, to}
+		if busy, ok := s.busyUntil[key]; ok && busy.After(depart) {
+			depart = busy
+		}
+		tx := time.Duration(float64(len(buf)) / link.Bandwidth * float64(time.Second))
+		depart = depart.Add(tx)
+		s.busyUntil[key] = depart
+	}
+	delay += depart.Sub(s.now)
+	if delay <= 0 {
+		delay = time.Nanosecond // strictly-after-send delivery
+	}
+	s.scheduleAt(s.now.Add(delay), func() {
+		node, ok := s.nodes[to]
+		if !ok || !node.up {
+			s.stats.Dropped++
+			return
+		}
+		decoded, err := wire.Decode(buf)
+		if err != nil {
+			s.stats.Dropped++
+			return
+		}
+		s.stats.Delivered++
+		node.handler.OnMessage(from, decoded)
+	})
+}
+
+// simNode is one simulated host; it implements proto.Env for its handler.
+type simNode struct {
+	sim     *Sim
+	self    id.Node
+	handler proto.Handler
+	up      bool
+}
+
+var _ proto.Env = (*simNode)(nil)
+
+func (n *simNode) Self() id.Node  { return n.self }
+func (n *simNode) Now() time.Time { return n.sim.now }
+
+func (n *simNode) Send(to id.Node, msg *wire.Message) {
+	if !n.up {
+		return
+	}
+	n.sim.send(n.self, to, msg)
+}
+
+// tick delivers OnTick and reschedules itself while the node is up.
+func (n *simNode) tick() {
+	if !n.up {
+		return
+	}
+	n.handler.OnTick(n.sim.now)
+	n.sim.scheduleAt(n.sim.now.Add(n.sim.cfg.Tick), func() { n.tick() })
+}
+
+// event is one queue entry; seq breaks time ties deterministically in
+// insertion order.
+type event struct {
+	at  time.Time
+	seq uint64
+	run func()
+}
+
+// eventQueue is a min-heap of events.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+func (q eventQueue) peek() *event { return q[0] }

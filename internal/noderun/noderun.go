@@ -1,0 +1,136 @@
+// Package noderun drives a protocol stack in real time over a
+// transport.Endpoint. It is the live counterpart of internal/netsim: one
+// goroutine per node reads datagrams and a ticker, and dispatches both
+// into the node's proto.Handler, preserving the engines' single-threaded
+// execution model.
+package noderun
+
+import (
+	"sync"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/transport"
+	"scalamedia/internal/wire"
+)
+
+// DefaultTick is the protocol tick cadence used when none is configured.
+const DefaultTick = 10 * time.Millisecond
+
+// Runner executes one node's protocol stack on a real transport endpoint.
+type Runner struct {
+	ep   transport.Endpoint
+	tick time.Duration
+
+	handler proto.Handler
+
+	calls chan func() // externally injected calls, serialized with events
+
+	stopOnce sync.Once
+	stopping chan struct{}
+	done     chan struct{}
+}
+
+// env adapts the runner to proto.Env.
+type env struct{ r *Runner }
+
+var _ proto.Env = env{}
+
+func (e env) Self() id.Node  { return e.r.ep.Self() }
+func (e env) Now() time.Time { return time.Now() }
+func (e env) Send(to id.Node, msg *wire.Message) {
+	// Best-effort datagram semantics: local errors (closed endpoint,
+	// unknown peer during reconfiguration) are equivalent to loss, and
+	// the reliability layer recovers.
+	_ = e.r.ep.Send(to, msg)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithTick overrides the protocol tick cadence.
+func WithTick(d time.Duration) Option {
+	return func(r *Runner) {
+		if d > 0 {
+			r.tick = d
+		}
+	}
+}
+
+// Start builds a node's protocol stack with the given constructor and runs
+// it on ep until Stop is called. The constructor receives the node's Env,
+// exactly as under simulation.
+func Start(ep transport.Endpoint, build func(envp proto.Env) proto.Handler, opts ...Option) *Runner {
+	r := &Runner{
+		ep:       ep,
+		tick:     DefaultTick,
+		calls:    make(chan func(), 1),
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.handler = build(env{r: r})
+	go r.loop()
+	return r
+}
+
+// Do runs f on the event loop, serialized with message and tick handling,
+// and returns after f completes. Use it for application-initiated calls
+// into the engines (multicast sends, join requests). It returns false if
+// the runner has stopped without running f.
+func (r *Runner) Do(f func()) bool {
+	doneC := make(chan struct{})
+	wrapped := func() {
+		f()
+		close(doneC)
+	}
+	select {
+	case r.calls <- wrapped:
+	case <-r.stopping:
+		return false
+	}
+	select {
+	case <-doneC:
+		return true
+	case <-r.done:
+		// The loop drained r.calls while exiting without running f.
+		select {
+		case <-doneC:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Stop terminates the event loop and waits for it to exit. It does not
+// close the endpoint; the caller owns it. Stop is idempotent.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stopping) })
+	<-r.done
+}
+
+// loop is the node's single-threaded event loop.
+func (r *Runner) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stopping:
+			return
+		case in, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			r.handler.OnMessage(in.From, in.Msg)
+		case now := <-ticker.C:
+			r.handler.OnTick(now)
+		case f := <-r.calls:
+			f()
+		}
+	}
+}

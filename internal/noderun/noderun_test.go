@@ -1,0 +1,158 @@
+package noderun
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/transport"
+	"scalamedia/internal/wire"
+)
+
+// collector is a Handler that records events under a lock so tests can
+// inspect it while the loop runs.
+type collector struct {
+	env proto.Env
+
+	mu    sync.Mutex
+	msgs  []uint64
+	ticks int
+}
+
+func (c *collector) OnMessage(_ id.Node, msg *wire.Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, msg.Seq)
+	c.mu.Unlock()
+}
+
+func (c *collector) OnTick(time.Time) {
+	c.mu.Lock()
+	c.ticks++
+	c.mu.Unlock()
+}
+
+func (c *collector) messageCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) tickCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ticks
+}
+
+func TestRunnerDeliversMessages(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	epA, _ := f.Attach(1)
+	epB, _ := f.Attach(2)
+
+	var ca, cb *collector
+	ra := Start(epA, func(env proto.Env) proto.Handler { ca = &collector{env: env}; return ca })
+	rb := Start(epB, func(env proto.Env) proto.Handler { cb = &collector{env: env}; return cb })
+	defer ra.Stop()
+	defer rb.Stop()
+
+	ok := ra.Do(func() {
+		ca.env.Send(2, &wire.Message{Kind: wire.KindData, Seq: 42})
+	})
+	if !ok {
+		t.Fatal("Do returned false on a running runner")
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for cb.messageCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("message not delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunnerTicks(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	ep, _ := f.Attach(1)
+	var c *collector
+	r := Start(ep, func(env proto.Env) proto.Handler { c = &collector{env: env}; return c },
+		WithTick(5*time.Millisecond))
+	defer r.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.tickCount() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d ticks", c.tickCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRunnerStopIdempotent(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	ep, _ := f.Attach(1)
+	r := Start(ep, func(env proto.Env) proto.Handler { return &collector{env: env} })
+	r.Stop()
+	r.Stop()
+}
+
+func TestRunnerDoAfterStop(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	ep, _ := f.Attach(1)
+	r := Start(ep, func(env proto.Env) proto.Handler { return &collector{env: env} })
+	r.Stop()
+	if r.Do(func() {}) {
+		t.Fatal("Do succeeded after Stop")
+	}
+}
+
+func TestRunnerDoSerialized(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	ep, _ := f.Attach(1)
+	var c *collector
+	r := Start(ep, func(env proto.Env) proto.Handler { c = &collector{env: env}; return c })
+	defer r.Stop()
+
+	// Many concurrent Do calls mutating engine state must all run.
+	var wg sync.WaitGroup
+	counter := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Do(func() { counter++ })
+		}()
+	}
+	wg.Wait()
+	final := 0
+	r.Do(func() { final = counter })
+	if final != 50 {
+		t.Fatalf("counter = %d, want 50", final)
+	}
+}
+
+func TestRunnerStopsWhenEndpointCloses(t *testing.T) {
+	f := transport.NewFabric()
+	defer f.Close()
+	ep, _ := f.Attach(1)
+	r := Start(ep, func(env proto.Env) proto.Handler { return &collector{env: env} })
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("runner did not stop after endpoint close")
+	}
+}

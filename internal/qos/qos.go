@@ -1,0 +1,193 @@
+// Package qos implements the quality-of-service management of the
+// architecture: flow specifications for media streams, token-bucket
+// policing of senders, and admission control over a capacity budget.
+//
+// The model follows the early-90s integrated-services vocabulary the
+// paper's architecture layer would have used: an application declares a
+// FlowSpec (mean rate, peak rate, burst size, delay bound) per stream; an
+// admission controller accepts the flow only if the aggregate mean rate
+// stays within the provisioned capacity; an accepted flow receives a
+// token-bucket policer that the media sender consults before each frame.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scalamedia/internal/id"
+)
+
+// FlowSpec declares a stream's traffic contract.
+type FlowSpec struct {
+	// Stream identifies the flow.
+	Stream id.Stream
+	// MeanRate is the sustained rate in bytes per second.
+	MeanRate float64
+	// PeakRate is the short-term ceiling in bytes per second; zero
+	// means twice the mean.
+	PeakRate float64
+	// BurstBytes is the token-bucket depth; zero means one second of
+	// mean rate.
+	BurstBytes int
+	// MaxDelay is the end-to-end delay bound the application needs;
+	// informational to this layer (the transport simulator enforces
+	// actual delays).
+	MaxDelay time.Duration
+}
+
+// normalized returns the spec with defaults applied.
+func (f FlowSpec) normalized() FlowSpec {
+	if f.PeakRate <= 0 {
+		f.PeakRate = 2 * f.MeanRate
+	}
+	if f.BurstBytes <= 0 {
+		f.BurstBytes = int(f.MeanRate)
+		if f.BurstBytes < 1 {
+			f.BurstBytes = 1
+		}
+	}
+	return f
+}
+
+// Validate checks the spec for basic sanity.
+func (f FlowSpec) Validate() error {
+	if f.MeanRate <= 0 {
+		return fmt.Errorf("qos: flow %s: mean rate %.1f must be positive", f.Stream, f.MeanRate)
+	}
+	if f.PeakRate != 0 && f.PeakRate < f.MeanRate {
+		return fmt.Errorf("qos: flow %s: peak rate below mean rate", f.Stream)
+	}
+	return nil
+}
+
+// TokenBucket is a classic token-bucket policer/shaper. It is safe for
+// concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens (bytes) per second
+	burst  float64 // bucket depth
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a bucket that refills at rate bytes/second up to
+// burst bytes, starting full.
+func NewTokenBucket(rate float64, burst int) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Admit consumes bytes tokens if available at time now and reports whether
+// the traffic conforms. Non-conforming traffic consumes nothing.
+func (b *TokenBucket) Admit(bytes int, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() && now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if float64(bytes) > b.tokens {
+		return false
+	}
+	b.tokens -= float64(bytes)
+	return true
+}
+
+// Tokens returns the current token count (for tests).
+func (b *TokenBucket) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Admission errors.
+var (
+	// ErrOverCommitted reports a flow that does not fit the remaining
+	// capacity.
+	ErrOverCommitted = errors.New("qos: capacity exceeded")
+	// ErrDuplicateFlow reports a second admission for one stream.
+	ErrDuplicateFlow = errors.New("qos: flow already admitted")
+	// ErrUnknownFlow reports a release of an unadmitted stream.
+	ErrUnknownFlow = errors.New("qos: unknown flow")
+)
+
+// Controller performs admission control over a fixed capacity budget
+// (bytes per second of sustained rate). It is safe for concurrent use.
+type Controller struct {
+	mu       sync.Mutex
+	capacity float64
+	used     float64
+	flows    map[id.Stream]FlowSpec
+	buckets  map[id.Stream]*TokenBucket
+}
+
+// NewController returns a controller managing the given capacity in bytes
+// per second.
+func NewController(capacityBytesPerSec float64) *Controller {
+	return &Controller{
+		capacity: capacityBytesPerSec,
+		flows:    make(map[id.Stream]FlowSpec),
+		buckets:  make(map[id.Stream]*TokenBucket),
+	}
+}
+
+// Admit evaluates a flow spec. On success it returns the policer the
+// sender must consult.
+func (c *Controller) Admit(spec FlowSpec) (*TokenBucket, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.flows[spec.Stream]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateFlow, spec.Stream)
+	}
+	if c.used+spec.MeanRate > c.capacity {
+		return nil, fmt.Errorf("%w: flow %s needs %.0f B/s, %.0f of %.0f available",
+			ErrOverCommitted, spec.Stream, spec.MeanRate, c.capacity-c.used, c.capacity)
+	}
+	c.used += spec.MeanRate
+	c.flows[spec.Stream] = spec
+	b := NewTokenBucket(spec.PeakRate, spec.BurstBytes)
+	c.buckets[spec.Stream] = b
+	return b, nil
+}
+
+// Release returns a flow's capacity to the pool.
+func (c *Controller) Release(stream id.Stream) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec, ok := c.flows[stream]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, stream)
+	}
+	c.used -= spec.MeanRate
+	delete(c.flows, stream)
+	delete(c.buckets, stream)
+	return nil
+}
+
+// Available returns the uncommitted capacity in bytes per second.
+func (c *Controller) Available() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity - c.used
+}
+
+// Flows returns the admitted flow specs sorted by stream ID.
+func (c *Controller) Flows() []FlowSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FlowSpec, 0, len(c.flows))
+	for _, f := range c.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stream < out[j].Stream })
+	return out
+}

@@ -1,0 +1,182 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"scalamedia/internal/id"
+	"time"
+)
+
+func TestFlowSpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    FlowSpec
+		wantErr bool
+	}{
+		{name: "valid", spec: FlowSpec{Stream: 1, MeanRate: 8000}, wantErr: false},
+		{name: "zero mean", spec: FlowSpec{Stream: 1}, wantErr: true},
+		{name: "negative mean", spec: FlowSpec{Stream: 1, MeanRate: -5}, wantErr: true},
+		{name: "peak below mean", spec: FlowSpec{Stream: 1, MeanRate: 100, PeakRate: 50}, wantErr: true},
+		{name: "peak above mean", spec: FlowSpec{Stream: 1, MeanRate: 100, PeakRate: 300}, wantErr: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.spec.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%t", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTokenBucketBasics(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(1000, 500) // 1000 B/s, 500 B burst
+	if !b.Admit(500, now) {
+		t.Fatal("initial burst rejected")
+	}
+	if b.Admit(1, now) {
+		t.Fatal("empty bucket admitted")
+	}
+	// After 100ms, 100 tokens refilled.
+	now = now.Add(100 * time.Millisecond)
+	if !b.Admit(100, now) {
+		t.Fatal("refilled tokens rejected")
+	}
+	if b.Admit(10, now) {
+		t.Fatal("bucket over-admitted")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(1000, 200)
+	b.Admit(200, now) // drain
+	now = now.Add(time.Hour)
+	if !b.Admit(200, now) {
+		t.Fatal("refill failed")
+	}
+	if b.Admit(1, now) {
+		t.Fatal("bucket exceeded burst after long idle")
+	}
+}
+
+func TestTokenBucketNonConformingConsumesNothing(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewTokenBucket(100, 100)
+	if b.Admit(150, now) {
+		t.Fatal("oversize admitted")
+	}
+	if !b.Admit(100, now) {
+		t.Fatal("rejection consumed tokens")
+	}
+}
+
+func TestTokenBucketConformanceProperty(t *testing.T) {
+	// Property: over any sequence of admissions, admitted bytes never
+	// exceed burst + rate * elapsed.
+	f := func(sizes []uint16, gapsMs []uint8) bool {
+		const rate, burst = 10000.0, 2000
+		b := NewTokenBucket(rate, burst)
+		now := time.Unix(0, 0)
+		admitted := 0
+		var elapsed time.Duration
+		for i, sz := range sizes {
+			if i < len(gapsMs) {
+				gap := time.Duration(gapsMs[i]) * time.Millisecond
+				now = now.Add(gap)
+				elapsed += gap
+			}
+			if b.Admit(int(sz), now) {
+				admitted += int(sz)
+			}
+		}
+		bound := float64(burst) + rate*elapsed.Seconds() + 1
+		return float64(admitted) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	c := NewController(10000)
+	b1, err := c.Admit(FlowSpec{Stream: 1, MeanRate: 6000})
+	if err != nil || b1 == nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if got := c.Available(); got != 4000 {
+		t.Fatalf("Available = %g, want 4000", got)
+	}
+	// Second flow fits exactly.
+	if _, err := c.Admit(FlowSpec{Stream: 2, MeanRate: 4000}); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	// Third flow over-commits.
+	if _, err := c.Admit(FlowSpec{Stream: 3, MeanRate: 1}); !errors.Is(err, ErrOverCommitted) {
+		t.Fatalf("third admit err = %v, want ErrOverCommitted", err)
+	}
+	// Release frees capacity.
+	if err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(FlowSpec{Stream: 3, MeanRate: 1}); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestAdmissionDuplicate(t *testing.T) {
+	c := NewController(10000)
+	if _, err := c.Admit(FlowSpec{Stream: 1, MeanRate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Admit(FlowSpec{Stream: 1, MeanRate: 100}); !errors.Is(err, ErrDuplicateFlow) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	c := NewController(1000)
+	if err := c.Release(9); !errors.Is(err, ErrUnknownFlow) {
+		t.Fatalf("err = %v, want ErrUnknownFlow", err)
+	}
+}
+
+func TestAdmitInvalidSpec(t *testing.T) {
+	c := NewController(1000)
+	if _, err := c.Admit(FlowSpec{Stream: 1}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+}
+
+func TestFlowsSorted(t *testing.T) {
+	c := NewController(10000)
+	for _, sid := range []uint32{5, 1, 3} {
+		if _, err := c.Admit(FlowSpec{Stream: id.Stream(sid), MeanRate: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flows := c.Flows()
+	if len(flows) != 3 || flows[0].Stream != 1 || flows[1].Stream != 3 || flows[2].Stream != 5 {
+		t.Fatalf("Flows = %+v", flows)
+	}
+	// Defaults applied on admission.
+	if flows[0].PeakRate != 20 || flows[0].BurstBytes != 10 {
+		t.Fatalf("defaults not normalized: %+v", flows[0])
+	}
+}
+
+func TestBucketMatchesPeakRate(t *testing.T) {
+	c := NewController(100000)
+	b, err := c.Admit(FlowSpec{Stream: 1, MeanRate: 1000, PeakRate: 4000, BurstBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	b.Admit(100, now) // drain burst
+	// At peak rate 4000 B/s, 25ms refills 100 bytes.
+	if !b.Admit(100, now.Add(25*time.Millisecond)) {
+		t.Fatal("peak-rate refill wrong")
+	}
+}

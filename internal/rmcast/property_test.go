@@ -1,0 +1,183 @@
+package rmcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+)
+
+// propRun drives a randomized workload and returns each node's delivery
+// log plus the causal obligations recorded at send time.
+type propRun struct {
+	logs map[id.Node][]msgKey
+	// obligations[X] lists messages delivered at X's sender before X was
+	// sent: causal delivery requires them before X everywhere.
+	obligations map[msgKey][]msgKey
+	sent        []msgKey
+}
+
+// runProperty executes one randomized scenario.
+func runProperty(t *testing.T, ord Ordering, n, msgs int, loss float64, jitter time.Duration, seed int64) propRun {
+	t.Helper()
+	s := netsim.New(netsim.Config{
+		Seed:    seed,
+		Profile: netsim.LANProfile(time.Millisecond, jitter, loss),
+	})
+	nodes := buildStatic(s, n, ord)
+
+	pr := propRun{
+		logs:        make(map[id.Node][]msgKey),
+		obligations: make(map[msgKey][]msgKey),
+	}
+	// Wrap delivery recording.
+	for nd, rn := range nodes {
+		nd, rn := nd, rn
+		rn.eng.cfg.OnDeliver = func(d Delivery) {
+			rn.record(d)
+			pr.logs[nd] = append(pr.logs[nd], msgKey{d.Sender, d.Seq})
+		}
+	}
+	// Schedule sends round-robin with pseudo-random gaps from the seed.
+	gap := 3 * time.Millisecond
+	at := 10 * time.Millisecond
+	for i := 0; i < msgs; i++ {
+		sender := id.Node(i%n + 1)
+		sendAt := at
+		at += gap + time.Duration((seed+int64(i))%5)*time.Millisecond
+		i := i
+		s.At(sendAt, func() {
+			eng := nodes[sender].eng
+			key := msgKey{sender, eng.Counters().Sent + 1}
+			// Causal obligation: everything the sender delivered so far.
+			pr.obligations[key] = append([]msgKey(nil), pr.logs[sender]...)
+			pr.sent = append(pr.sent, key)
+			if err := eng.Multicast([]byte{byte(i)}); err != nil {
+				t.Errorf("multicast: %v", err)
+			}
+		})
+	}
+	s.Run(at + 8*time.Second)
+	return pr
+}
+
+// checkExactlyOnce verifies validity (everything delivered) and no
+// duplication at every node.
+func checkExactlyOnce(t *testing.T, pr propRun, n int) {
+	t.Helper()
+	for nd, log := range pr.logs {
+		if len(log) != len(pr.sent) {
+			t.Fatalf("node %s delivered %d of %d", nd, len(log), len(pr.sent))
+		}
+		seen := make(map[msgKey]bool, len(log))
+		for _, k := range log {
+			if seen[k] {
+				t.Fatalf("node %s delivered %v twice", nd, k)
+			}
+			seen[k] = true
+		}
+	}
+	if len(pr.logs) != n {
+		t.Fatalf("only %d nodes logged deliveries", len(pr.logs))
+	}
+}
+
+// checkFIFO verifies per-sender delivery order at every node.
+func checkFIFO(t *testing.T, pr propRun) {
+	t.Helper()
+	for nd, log := range pr.logs {
+		last := make(map[id.Node]uint64)
+		for _, k := range log {
+			if k.seq <= last[k.sender] {
+				t.Fatalf("node %s: FIFO violation for %s: %d after %d",
+					nd, k.sender, k.seq, last[k.sender])
+			}
+			last[k.sender] = k.seq
+		}
+	}
+}
+
+// checkCausal verifies each message's send-time obligations precede it.
+func checkCausal(t *testing.T, pr propRun) {
+	t.Helper()
+	for nd, log := range pr.logs {
+		pos := make(map[msgKey]int, len(log))
+		for i, k := range log {
+			pos[k] = i
+		}
+		for msg, deps := range pr.obligations {
+			mp, ok := pos[msg]
+			if !ok {
+				continue // validity is checked separately
+			}
+			for _, dep := range deps {
+				dp, ok := pos[dep]
+				if !ok || dp > mp {
+					t.Fatalf("node %s: causal violation: %v (pos %d) before its dependency %v (pos %d)",
+						nd, msg, mp, dep, dp)
+				}
+			}
+		}
+	}
+}
+
+// checkTotalAgreement verifies all nodes share one delivery sequence.
+func checkTotalAgreement(t *testing.T, pr propRun) {
+	t.Helper()
+	var ref []msgKey
+	var refNode id.Node
+	for nd, log := range pr.logs {
+		if ref == nil {
+			ref, refNode = log, nd
+			continue
+		}
+		for i := range ref {
+			if i >= len(log) || log[i] != ref[i] {
+				t.Fatalf("total order diverges between %s and %s at %d", refNode, nd, i)
+			}
+		}
+	}
+}
+
+func TestPropertyExactlyOnceUnderRandomLoss(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 101} {
+		seed := seed
+		for _, ord := range []Ordering{Unordered, FIFO, Causal, Total} {
+			ord := ord
+			t.Run(fmt.Sprintf("%s/seed%d", ord, seed), func(t *testing.T) {
+				loss := float64(seed%3) * 0.04 // 0, 4, 8 percent
+				jitter := time.Duration(seed%4) * 2 * time.Millisecond
+				pr := runProperty(t, ord, 4, 40, loss, jitter, seed)
+				checkExactlyOnce(t, pr, 4)
+			})
+		}
+	}
+}
+
+func TestPropertyFIFOUnderRandomSchedules(t *testing.T) {
+	for _, seed := range []int64{3, 11, 47} {
+		pr := runProperty(t, FIFO, 5, 50, 0.05, 5*time.Millisecond, seed)
+		checkExactlyOnce(t, pr, 5)
+		checkFIFO(t, pr)
+	}
+}
+
+func TestPropertyCausalUnderRandomSchedules(t *testing.T) {
+	for _, seed := range []int64{5, 13, 59} {
+		pr := runProperty(t, Causal, 4, 40, 0.05, 5*time.Millisecond, seed)
+		checkExactlyOnce(t, pr, 4)
+		checkFIFO(t, pr) // causal implies per-sender FIFO
+		checkCausal(t, pr)
+	}
+}
+
+func TestPropertyTotalAgreementUnderRandomSchedules(t *testing.T) {
+	for _, seed := range []int64{2, 17, 71} {
+		pr := runProperty(t, Total, 4, 40, 0.05, 5*time.Millisecond, seed)
+		checkExactlyOnce(t, pr, 4)
+		checkTotalAgreement(t, pr)
+		checkCausal(t, pr) // sequencer order respects send-time causality here
+	}
+}

@@ -1,0 +1,715 @@
+// Package rmcast implements the reliable multicast layer of the
+// architecture: sender-sequenced multicast over the unreliable datagram
+// transport, with negative-acknowledgment loss recovery, four delivery
+// orderings (unordered, FIFO, causal, total), receiver-driven stability
+// tracking for buffer garbage collection, and a flush hook that lets the
+// membership layer approximate virtual synchrony across view changes.
+//
+// # Protocol sketch
+//
+// Every member numbers its multicasts per view (1, 2, ...). Receivers
+// track the contiguous prefix received from each sender; gaps detected via
+// later messages or via the periodic stability gossip (which carries each
+// member's delivery horizon) trigger NACKs to the original sender, which
+// answers with retransmissions from its history buffer.
+//
+// Ordering is layered on top of the reliable per-sender streams:
+//
+//   - Unordered delivers every message on first receipt.
+//   - FIFO delivers each sender's stream in sequence order.
+//   - Causal stamps messages with a vector clock over the view's member
+//     ranks and delays delivery until causally deliverable.
+//   - Total routes all delivery through slots assigned by a sequencer
+//     (the view coordinator), giving one agreed delivery order.
+//
+// Stability gossip (KindStable) carries, for every sender, the highest
+// contiguously delivered sequence number. A message acknowledged by every
+// view member is stable: history buffers drop it. On a view change the
+// membership layer calls Flush, which retransmits every unstable message
+// to the proposed membership before the new view is installed.
+package rmcast
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/vclock"
+	"scalamedia/internal/wire"
+)
+
+// Ordering selects the delivery discipline.
+type Ordering int
+
+// The delivery orderings, weakest to strongest.
+const (
+	// Unordered delivers on first receipt, in arrival order.
+	Unordered Ordering = iota + 1
+	// FIFO delivers each sender's messages in send order.
+	FIFO
+	// Causal delivers in an order consistent with potential causality.
+	Causal
+	// Total delivers all messages in one agreed order on all members.
+	Total
+)
+
+// String returns the ordering's conventional name.
+func (o Ordering) String() string {
+	switch o {
+	case Unordered:
+		return "unordered"
+	case FIFO:
+		return "fifo"
+	case Causal:
+		return "causal"
+	case Total:
+		return "total"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Default protocol timing.
+const (
+	DefaultResendAfter    = 40 * time.Millisecond
+	DefaultStabilizeEvery = 150 * time.Millisecond
+)
+
+// Errors returned by Multicast.
+var (
+	// ErrNoView reports a multicast attempted before a view installed.
+	ErrNoView = errors.New("rmcast: no view installed")
+	// ErrPayloadTooLarge reports a payload above wire.MaxBody.
+	ErrPayloadTooLarge = errors.New("rmcast: payload too large")
+)
+
+// Delivery is one message handed to the application.
+type Delivery struct {
+	Group   id.Group
+	Sender  id.Node
+	Seq     uint64
+	View    id.View
+	Payload []byte
+}
+
+// Config parameterizes a multicast engine.
+type Config struct {
+	// Group scopes all traffic.
+	Group id.Group
+	// Ordering selects the delivery discipline. Defaults to FIFO.
+	Ordering Ordering
+	// OnDeliver receives application messages. Called from the event
+	// loop; must not block.
+	OnDeliver func(Delivery)
+	// ResendAfter is the gap age that triggers a NACK and the re-NACK
+	// interval. Defaults to DefaultResendAfter.
+	ResendAfter time.Duration
+	// StabilizeEvery is the stability gossip period. Defaults to
+	// DefaultStabilizeEvery.
+	StabilizeEvery time.Duration
+}
+
+// Counters exposes protocol event counts for tests and experiments.
+type Counters struct {
+	Sent         uint64 // application multicasts initiated
+	Delivered    uint64 // messages handed to OnDeliver
+	Duplicates   uint64 // redundant receptions discarded
+	NacksSent    uint64
+	NacksServed  uint64 // retransmissions sent in response to NACKs
+	Retransmits  uint64 // retransmissions received
+	FlushResends uint64 // messages re-sent by Flush
+	OrdersSent   uint64 // sequencer slot assignments broadcast
+}
+
+// msgKey identifies one multicast within a view.
+type msgKey struct {
+	sender id.Node
+	seq    uint64
+}
+
+// peerState tracks the reliable stream from one sender.
+type peerState struct {
+	next     uint64                   // lowest sequence number not yet contiguously received
+	buf      map[uint64]*wire.Message // received out-of-order messages >= next
+	early    map[uint64]bool          // delivered ahead of order (Unordered mode)
+	horizon  uint64                   // highest sequence known to exist
+	lastNack time.Time
+}
+
+// Engine is the reliable multicast state machine for one node and group.
+// It implements proto.Handler and must only be used from the event loop.
+type Engine struct {
+	env proto.Env
+	cfg Config
+
+	view member.View
+	rank int // local rank in view, -1 if none
+
+	// Sending state (per view).
+	nextSend uint64
+	vc       vclock.VC // causal clock over view ranks
+
+	// Receiving state (per view).
+	peers map[id.Node]*peerState
+
+	// History of delivered-but-unstable messages for flush and NACK
+	// service, keyed per view.
+	history map[msgKey]*wire.Message
+
+	// Causal holding pool: reliable-but-not-yet-deliverable messages.
+	causalPool []*wire.Message
+
+	// Total-order state.
+	totalNext uint64            // next slot to deliver
+	orders    map[uint64]msgKey // slot -> message
+	ordered   map[msgKey]bool   // messages already assigned a slot (sequencer)
+	stash     map[msgKey]*wire.Message
+	seqSlot   uint64 // sequencer: next slot to assign
+
+	// Stability: per-member ack vectors.
+	ackMatrix     map[id.Node]map[id.Node]uint64
+	lastGossip    time.Time
+	lastOrderNack time.Time
+
+	// Messages for a view newer than the installed one, replayed after
+	// installation.
+	futureBuf []*wire.Message
+
+	counters Counters
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// New returns a multicast engine with no view. Wire it to a membership
+// engine by calling SetView from Config.OnView and Flush from
+// Config.OnFlush.
+func New(env proto.Env, cfg Config) *Engine {
+	if cfg.Ordering == 0 {
+		cfg.Ordering = FIFO
+	}
+	if cfg.ResendAfter <= 0 {
+		cfg.ResendAfter = DefaultResendAfter
+	}
+	if cfg.StabilizeEvery <= 0 {
+		cfg.StabilizeEvery = DefaultStabilizeEvery
+	}
+	return &Engine{
+		env:       env,
+		cfg:       cfg,
+		rank:      -1,
+		peers:     make(map[id.Node]*peerState),
+		history:   make(map[msgKey]*wire.Message),
+		orders:    make(map[uint64]msgKey),
+		ordered:   make(map[msgKey]bool),
+		stash:     make(map[msgKey]*wire.Message),
+		ackMatrix: make(map[id.Node]map[id.Node]uint64),
+	}
+}
+
+// Counters returns a copy of the protocol event counters.
+func (e *Engine) Counters() Counters { return e.counters }
+
+// View returns the view the engine currently operates in.
+func (e *Engine) View() member.View { return e.view }
+
+// SetView installs a new view, resetting all per-view protocol state.
+// Sequence spaces, vector clocks and total-order slots are per view; the
+// preceding Flush has already pushed unstable traffic to the survivors.
+func (e *Engine) SetView(v member.View) {
+	e.view = v
+	e.rank = v.Rank(e.env.Self())
+	e.nextSend = 0
+	e.vc = vclock.New(v.Size())
+	e.peers = make(map[id.Node]*peerState)
+	e.history = make(map[msgKey]*wire.Message)
+	e.causalPool = nil
+	e.totalNext = 0
+	e.orders = make(map[uint64]msgKey)
+	e.ordered = make(map[msgKey]bool)
+	e.stash = make(map[msgKey]*wire.Message)
+	e.seqSlot = 0
+	e.ackMatrix = make(map[id.Node]map[id.Node]uint64)
+
+	// Replay buffered messages that were sent in this view.
+	pending := e.futureBuf
+	e.futureBuf = nil
+	for _, m := range pending {
+		if m.View == v.ID {
+			e.dispatch(m)
+		} else if m.View > v.ID {
+			e.futureBuf = append(e.futureBuf, m)
+		}
+	}
+}
+
+// Flush retransmits every unstable message in the local history to the
+// members of the proposed view. The membership layer calls it between
+// ViewPropose and FlushOK; receivers discard duplicates, so over-sending
+// is safe.
+func (e *Engine) Flush(proposed member.View) {
+	if e.view.ID == 0 {
+		return
+	}
+	for _, m := range e.history {
+		for _, dst := range proposed.Members {
+			if dst == e.env.Self() {
+				continue
+			}
+			r := *m
+			r.Kind = wire.KindRetrans
+			e.env.Send(dst, &r)
+			e.counters.FlushResends++
+		}
+	}
+}
+
+// Multicast sends payload to the current view. The local node delivers
+// its own message through the same pipeline as remote receivers.
+func (e *Engine) Multicast(payload []byte) error {
+	if e.view.ID == 0 || e.rank < 0 {
+		return ErrNoView
+	}
+	if len(payload) > wire.MaxBody {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
+	}
+	e.nextSend++
+	msg := &wire.Message{
+		Kind:   wire.KindData,
+		Group:  e.cfg.Group,
+		View:   e.view.ID,
+		Sender: e.env.Self(),
+		Seq:    e.nextSend,
+		Body:   append([]byte(nil), payload...),
+	}
+	switch e.cfg.Ordering {
+	case Causal:
+		msg.Flags |= wire.FlagCausal
+		// Stamp vc+1 for our rank without advancing the local clock;
+		// the clock advances when the message is delivered locally,
+		// keeping the deliverability test uniform for all receivers.
+		ts := e.vc.Clone()
+		ts.Tick(e.rank)
+		msg.TS = ts
+	case Total:
+		msg.Flags |= wire.FlagTotalOrder
+	}
+	e.counters.Sent++
+	for _, m := range e.view.Members {
+		if m == e.env.Self() {
+			continue
+		}
+		cp := *msg
+		e.env.Send(m, &cp)
+	}
+	// Local copy through the normal pipeline (it is always in order).
+	e.dispatch(msg)
+	return nil
+}
+
+// OnMessage handles one inbound datagram.
+func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
+	if msg.Group != e.cfg.Group {
+		return
+	}
+	switch msg.Kind {
+	case wire.KindData, wire.KindRetrans:
+		if msg.Kind == wire.KindRetrans {
+			e.counters.Retransmits++
+		}
+		e.routeData(msg)
+	case wire.KindNack:
+		e.onNack(from, msg)
+	case wire.KindOrder:
+		e.routeOrder(msg)
+	case wire.KindStable:
+		e.onStable(from, msg)
+	}
+}
+
+// routeData drops stale traffic, buffers future-view traffic and
+// dispatches current-view traffic.
+func (e *Engine) routeData(msg *wire.Message) {
+	switch {
+	case msg.View == e.view.ID && e.view.ID != 0:
+		e.dispatch(msg)
+	case msg.View > e.view.ID:
+		if len(e.futureBuf) < 4096 {
+			e.futureBuf = append(e.futureBuf, msg)
+		}
+	default:
+		e.counters.Duplicates++ // stale view: already flushed to us
+	}
+}
+
+func (e *Engine) routeOrder(msg *wire.Message) {
+	switch {
+	case msg.View == e.view.ID && e.view.ID != 0:
+		e.onOrder(msg)
+	case msg.View > e.view.ID:
+		if len(e.futureBuf) < 4096 {
+			e.futureBuf = append(e.futureBuf, msg)
+		}
+	}
+}
+
+// dispatch runs the reliability stage for a current-view message.
+func (e *Engine) dispatch(msg *wire.Message) {
+	if msg.Kind == wire.KindOrder {
+		e.onOrder(msg)
+		return
+	}
+	st := e.peer(msg.Sender)
+	if msg.Seq > st.horizon {
+		st.horizon = msg.Seq
+	}
+	if st.next == 0 {
+		st.next = 1
+	}
+	switch {
+	case msg.Seq < st.next:
+		e.counters.Duplicates++
+	case msg.Seq == st.next:
+		e.contiguous(msg, st)
+		st.next++
+		for {
+			nxt, ok := st.buf[st.next]
+			if !ok {
+				break
+			}
+			delete(st.buf, st.next)
+			e.contiguous(nxt, st)
+			st.next++
+		}
+	default: // gap
+		if _, dup := st.buf[msg.Seq]; dup || st.early[msg.Seq] {
+			e.counters.Duplicates++
+			return
+		}
+		st.buf[msg.Seq] = msg
+		if e.cfg.Ordering == Unordered {
+			// Deliver immediately; remember to skip on gap fill.
+			st.early[msg.Seq] = true
+			e.deliver(msg)
+		}
+	}
+}
+
+// contiguous processes a message that extends a sender's reliable prefix.
+func (e *Engine) contiguous(msg *wire.Message, st *peerState) {
+	key := msgKey{sender: msg.Sender, seq: msg.Seq}
+	e.history[key] = msg
+	switch e.cfg.Ordering {
+	case Unordered:
+		if st.early[msg.Seq] {
+			delete(st.early, msg.Seq) // already delivered ahead of order
+			return
+		}
+		e.deliver(msg)
+	case FIFO:
+		e.deliver(msg)
+	case Causal:
+		e.causalPool = append(e.causalPool, msg)
+		e.drainCausal()
+	case Total:
+		e.stash[key] = msg
+		e.sequenceIfMine(key)
+		e.drainTotal()
+	}
+}
+
+// deliver hands one message to the application.
+func (e *Engine) deliver(msg *wire.Message) {
+	e.counters.Delivered++
+	if e.cfg.OnDeliver == nil {
+		return
+	}
+	e.cfg.OnDeliver(Delivery{
+		Group:   msg.Group,
+		Sender:  msg.Sender,
+		Seq:     msg.Seq,
+		View:    msg.View,
+		Payload: msg.Body,
+	})
+}
+
+// drainCausal delivers every causally deliverable message in the pool.
+func (e *Engine) drainCausal() {
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < len(e.causalPool); i++ {
+			m := e.causalPool[i]
+			srank := e.view.Rank(m.Sender)
+			if srank < 0 {
+				// Sender left the view; deliver in arrival order.
+				e.causalPool = append(e.causalPool[:i], e.causalPool[i+1:]...)
+				e.deliver(m)
+				progress = true
+				break
+			}
+			if vclock.Deliverable(m.TS, e.vc, srank) {
+				e.causalPool = append(e.causalPool[:i], e.causalPool[i+1:]...)
+				e.vc = e.vc.Merge(m.TS)
+				e.deliver(m)
+				progress = true
+				break
+			}
+		}
+	}
+}
+
+// sequenceIfMine assigns a total-order slot when this node is the view's
+// sequencer and the message has no slot yet.
+func (e *Engine) sequenceIfMine(key msgKey) {
+	if e.view.Coordinator() != e.env.Self() || e.ordered[key] {
+		return
+	}
+	e.ordered[key] = true
+	slot := e.seqSlot
+	e.seqSlot++
+	e.orders[slot] = key
+	e.broadcastOrder(slot, key)
+	e.counters.OrdersSent++
+}
+
+// broadcastOrder announces one slot assignment to the other members.
+func (e *Engine) broadcastOrder(slot uint64, key msgKey) {
+	for _, m := range e.view.Members {
+		if m == e.env.Self() {
+			continue
+		}
+		e.env.Send(m, &wire.Message{
+			Kind:   wire.KindOrder,
+			Group:  e.cfg.Group,
+			View:   e.view.ID,
+			Sender: key.sender,
+			Seq:    key.seq,
+			Aux:    slot,
+		})
+	}
+}
+
+// onOrder records a sequencer slot assignment.
+func (e *Engine) onOrder(msg *wire.Message) {
+	key := msgKey{sender: msg.Sender, seq: msg.Seq}
+	if _, ok := e.orders[msg.Aux]; !ok {
+		e.orders[msg.Aux] = key
+	}
+	e.ordered[key] = true
+	e.drainTotal()
+}
+
+// drainTotal delivers stashed messages whose slots are contiguous.
+func (e *Engine) drainTotal() {
+	for {
+		key, ok := e.orders[e.totalNext]
+		if !ok {
+			return
+		}
+		m, ok := e.stash[key]
+		if !ok {
+			return // slot known, data still missing
+		}
+		delete(e.stash, key)
+		e.totalNext++
+		e.deliver(m)
+	}
+}
+
+// peer returns the receive state for a sender, creating it on first use.
+func (e *Engine) peer(n id.Node) *peerState {
+	st, ok := e.peers[n]
+	if !ok {
+		st = &peerState{
+			next:  1,
+			buf:   make(map[uint64]*wire.Message),
+			early: make(map[uint64]bool),
+		}
+		e.peers[n] = st
+	}
+	return st
+}
+
+// onNack serves a retransmission request for [msg.Seq, msg.Aux] of our own
+// traffic (or of any sender's traffic we still hold, which covers flush
+// assistance after the original sender failed). A NACK with Sender ==
+// id.None is an order request: the sequencer re-announces slot assignments
+// from slot msg.Seq upward.
+func (e *Engine) onNack(from id.Node, msg *wire.Message) {
+	if msg.View != e.view.ID {
+		return
+	}
+	if msg.Sender == id.None {
+		for slot := msg.Seq; slot < e.seqSlot && slot-msg.Seq < 1024; slot++ {
+			if key, ok := e.orders[slot]; ok {
+				e.env.Send(from, &wire.Message{
+					Kind:   wire.KindOrder,
+					Group:  e.cfg.Group,
+					View:   e.view.ID,
+					Sender: key.sender,
+					Seq:    key.seq,
+					Aux:    slot,
+				})
+				e.counters.NacksServed++
+			}
+		}
+		return
+	}
+	for seq := msg.Seq; seq <= msg.Aux && seq-msg.Seq < 1024; seq++ {
+		key := msgKey{sender: msg.Sender, seq: seq}
+		m, ok := e.history[key]
+		if !ok {
+			continue
+		}
+		r := *m
+		r.Kind = wire.KindRetrans
+		e.env.Send(from, &r)
+		e.counters.NacksServed++
+	}
+}
+
+// onStable merges a member's ack vector and garbage-collects stable state.
+func (e *Engine) onStable(from id.Node, msg *wire.Message) {
+	if msg.View != e.view.ID || !e.view.Contains(from) {
+		return
+	}
+	acks, _, err := wire.DecodeAckVector(msg.Body)
+	if err != nil {
+		return
+	}
+	row := make(map[id.Node]uint64, len(acks))
+	for _, a := range acks {
+		row[a.Sender] = a.Seq
+		// The gossip also reveals the sender's horizon: if a member
+		// has delivered seq s from some sender, s messages exist.
+		st := e.peer(a.Sender)
+		if a.Seq > st.horizon {
+			st.horizon = a.Seq
+		}
+	}
+	e.ackMatrix[from] = row
+	e.collectStable()
+}
+
+// ackVector builds this member's stability row: for every sender with
+// receive state, the highest contiguously delivered sequence number. The
+// local send stream appears as acked[self] = nextSend, since a sender
+// delivers its own messages on send.
+func (e *Engine) ackVector() []wire.AckEntry {
+	out := make([]wire.AckEntry, 0, len(e.peers))
+	for n, st := range e.peers {
+		out = append(out, wire.AckEntry{Sender: n, Seq: st.next - 1})
+	}
+	return out
+}
+
+// collectStable prunes history entries acknowledged by every view member.
+func (e *Engine) collectStable() {
+	if len(e.view.Members) == 0 {
+		return
+	}
+	stable := func(key msgKey) bool {
+		for _, m := range e.view.Members {
+			if m == e.env.Self() {
+				st, ok := e.peers[key.sender]
+				if !ok || st.next-1 < key.seq {
+					return false
+				}
+				continue
+			}
+			row, ok := e.ackMatrix[m]
+			if !ok || row[key.sender] < key.seq {
+				return false
+			}
+		}
+		return true
+	}
+	for key := range e.history {
+		if stable(key) {
+			delete(e.history, key)
+		}
+	}
+}
+
+// OnTick sends due NACKs, re-broadcasts unstable sequencer orders and
+// gossips stability.
+func (e *Engine) OnTick(now time.Time) {
+	if e.view.ID == 0 {
+		return
+	}
+	e.scanGaps(now)
+	e.scanOrderGaps(now)
+	if now.Sub(e.lastGossip) >= e.cfg.StabilizeEvery {
+		e.lastGossip = now
+		e.gossipStability()
+	}
+}
+
+// scanOrderGaps requests missing total-order slot assignments from the
+// sequencer when reliable messages are stuck in the stash.
+func (e *Engine) scanOrderGaps(now time.Time) {
+	if e.cfg.Ordering != Total || len(e.stash) == 0 {
+		return
+	}
+	seqr := e.view.Coordinator()
+	if seqr == id.None || seqr == e.env.Self() {
+		return
+	}
+	if now.Sub(e.lastOrderNack) < e.cfg.ResendAfter {
+		return
+	}
+	e.lastOrderNack = now
+	e.env.Send(seqr, &wire.Message{
+		Kind:   wire.KindNack,
+		Group:  e.cfg.Group,
+		View:   e.view.ID,
+		Sender: id.None, // order request marker
+		Seq:    e.totalNext,
+	})
+	e.counters.NacksSent++
+}
+
+// scanGaps NACKs senders with reception gaps older than ResendAfter.
+func (e *Engine) scanGaps(now time.Time) {
+	for n, st := range e.peers {
+		if n == e.env.Self() {
+			continue
+		}
+		if st.horizon < st.next {
+			continue // no known gap
+		}
+		if now.Sub(st.lastNack) < e.cfg.ResendAfter {
+			continue
+		}
+		st.lastNack = now
+		// Request the full missing range; the responder caps work.
+		e.env.Send(n, &wire.Message{
+			Kind:   wire.KindNack,
+			Group:  e.cfg.Group,
+			View:   e.view.ID,
+			Sender: n,
+			Seq:    st.next,
+			Aux:    st.horizon,
+		})
+		e.counters.NacksSent++
+	}
+}
+
+// gossipStability broadcasts this member's ack vector.
+func (e *Engine) gossipStability() {
+	body := wire.AppendAckVector(nil, e.ackVector())
+	for _, m := range e.view.Members {
+		if m == e.env.Self() {
+			continue
+		}
+		e.env.Send(m, &wire.Message{
+			Kind:  wire.KindStable,
+			Group: e.cfg.Group,
+			View:  e.view.ID,
+			Body:  body,
+		})
+	}
+}

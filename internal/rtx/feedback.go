@@ -1,0 +1,182 @@
+package rtx
+
+import (
+	"encoding/binary"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/wire"
+)
+
+// Receiver-report feedback: the media receiver periodically sends a
+// quality report (cumulative received/lost counts and jitter) back to the
+// stream's sender, in the RTCP tradition. The sender aggregates reports
+// across receivers and exposes a coarse rate-adaptation advice — the hook
+// a layered codec would use to drop or add enhancement layers.
+
+// Report is one receiver's view of a stream's quality.
+type Report struct {
+	From     id.Node
+	Received uint64
+	Lost     uint64
+	JitterMS float64
+	At       time.Time
+}
+
+// LossFraction returns cumulative lost / (lost + received).
+func (r Report) LossFraction() float64 {
+	total := r.Received + r.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Lost) / float64(total)
+}
+
+// Advice is the sender's rate-adaptation recommendation.
+type Advice int
+
+// The advice values.
+const (
+	// Hold keeps the current rate.
+	Hold Advice = iota + 1
+	// Decrease recommends shedding rate (a receiver suffers high loss).
+	Decrease
+	// Increase recommends probing for more rate (all receivers clean).
+	Increase
+)
+
+// String returns the advice name.
+func (a Advice) String() string {
+	switch a {
+	case Hold:
+		return "hold"
+	case Decrease:
+		return "decrease"
+	case Increase:
+		return "increase"
+	default:
+		return "Advice(?)"
+	}
+}
+
+// Adaptation thresholds, the conventional 1%/5% bands.
+const (
+	lowLossThreshold  = 0.01
+	highLossThreshold = 0.05
+)
+
+// reportBody encodes a receiver report payload.
+func reportBody(received, lost uint64, jitterMS float64) []byte {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf, received)
+	binary.BigEndian.PutUint64(buf[8:], lost)
+	binary.BigEndian.PutUint64(buf[16:], uint64(jitterMS*1000)) // microseconds
+	return buf
+}
+
+// parseReportBody decodes a receiver report payload.
+func parseReportBody(buf []byte) (received, lost uint64, jitterMS float64, ok bool) {
+	if len(buf) < 24 {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint64(buf),
+		binary.BigEndian.Uint64(buf[8:]),
+		float64(binary.BigEndian.Uint64(buf[16:])) / 1000,
+		true
+}
+
+// --- Receiver side ---
+
+// EnableReports makes the receiver send a quality report to the stream's
+// data sender every interval. Call before traffic flows.
+func (r *Receiver) EnableReports(every time.Duration) {
+	if every > 0 {
+		r.reportEvery = every
+	}
+}
+
+// maybeReport sends a due receiver report; called from OnTick.
+func (r *Receiver) maybeReport(now time.Time) {
+	if r.reportEvery <= 0 || r.lastSender == id.None {
+		return
+	}
+	if now.Sub(r.lastReport) < r.reportEvery {
+		return
+	}
+	r.lastReport = now
+	r.env.Send(r.lastSender, &wire.Message{
+		Kind:   wire.KindReport,
+		Group:  r.cfg.Group,
+		Stream: r.cfg.Stream,
+		Body:   reportBody(r.stats.Received, r.stats.Lost, r.jitterEst*1000),
+	})
+}
+
+// --- Sender side ---
+
+// OnMessage lets a Sender participate in a node's handler mux to consume
+// receiver reports for its stream. All other traffic is ignored.
+func (s *Sender) OnMessage(from id.Node, msg *wire.Message) {
+	if msg.Kind != wire.KindReport || msg.Group != s.group || msg.Stream != s.spec.ID {
+		return
+	}
+	received, lost, jitter, ok := parseReportBody(msg.Body)
+	if !ok {
+		return
+	}
+	if s.reports == nil {
+		s.reports = make(map[id.Node]Report)
+	}
+	s.reports[from] = Report{
+		From:     from,
+		Received: received,
+		Lost:     lost,
+		JitterMS: jitter,
+		At:       s.env.Now(),
+	}
+}
+
+// OnTick completes the proto.Handler shape for Sender; senders have no
+// periodic protocol work.
+func (s *Sender) OnTick(time.Time) {}
+
+// Reports returns the most recent report from each receiver.
+func (s *Sender) Reports() []Report {
+	out := make([]Report, 0, len(s.reports))
+	for _, r := range s.reports {
+		out = append(out, r)
+	}
+	return out
+}
+
+// WorstLoss returns the highest loss fraction across receivers and
+// whether any report has arrived.
+func (s *Sender) WorstLoss() (float64, bool) {
+	if len(s.reports) == 0 {
+		return 0, false
+	}
+	worst := 0.0
+	for _, r := range s.reports {
+		if f := r.LossFraction(); f > worst {
+			worst = f
+		}
+	}
+	return worst, true
+}
+
+// RateAdvice summarizes receiver feedback into an adaptation decision:
+// Decrease if any receiver reports loss above 5%, Increase if all are
+// below 1%, Hold otherwise (or with no feedback yet).
+func (s *Sender) RateAdvice() Advice {
+	worst, ok := s.WorstLoss()
+	switch {
+	case !ok:
+		return Hold
+	case worst > highLossThreshold:
+		return Decrease
+	case worst < lowLossThreshold:
+		return Increase
+	default:
+		return Hold
+	}
+}

@@ -1,0 +1,168 @@
+package rtx
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// buildFeedbackRig wires one sender (muxed so it sees reports) and n
+// receivers with reporting enabled, under the given loss.
+func buildFeedbackRig(s *netsim.Sim, nRecv int, loss float64) (*Sender, []*Receiver) {
+	spec := media.TelephoneAudio(1, "mic")
+	var snd *Sender
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		snd = NewSender(env, 1, spec)
+		var peers []id.Node
+		for i := 2; i <= nRecv+1; i++ {
+			peers = append(peers, id.Node(i))
+		}
+		snd.SetPeers(peers)
+		return proto.NewMux(snd)
+	})
+	recvs := make([]*Receiver, 0, nRecv)
+	for i := 2; i <= nRecv+1; i++ {
+		i := i
+		s.AddNode(id.Node(i), func(env proto.Env) proto.Handler {
+			r := NewReceiver(env, Config{
+				Group: 1, Stream: 1, Spec: spec,
+				Mode: FixedDelay, PlayoutDelay: 100 * time.Millisecond,
+			})
+			r.EnableReports(200 * time.Millisecond)
+			recvs = append(recvs, r)
+			return r
+		})
+	}
+	_ = loss
+	return snd, recvs
+}
+
+// driveStream schedules count packets at 20ms spacing.
+func driveStream(s *netsim.Sim, snd func() *Sender, count int) {
+	spec := media.TelephoneAudio(1, "mic")
+	src := media.NewCBR(spec, 160, count)
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		s.At(10*time.Millisecond+frame.Capture, func() { snd().Send(frame) })
+	}
+}
+
+func TestReportsReachSender(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 111})
+	snd, _ := buildFeedbackRig(s, 3, 0)
+	driveStream(s, func() *Sender { return snd }, 100)
+	s.Run(5 * time.Second)
+
+	reports := snd.Reports()
+	if len(reports) != 3 {
+		t.Fatalf("reports from %d receivers, want 3", len(reports))
+	}
+	for _, r := range reports {
+		if r.Received == 0 {
+			t.Fatalf("empty report from %s: %+v", r.From, r)
+		}
+		if r.LossFraction() != 0 {
+			t.Fatalf("loss on clean network: %+v", r)
+		}
+	}
+}
+
+func TestRateAdviceIncreaseWhenClean(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 112})
+	snd, _ := buildFeedbackRig(s, 2, 0)
+	driveStream(s, func() *Sender { return snd }, 100)
+	s.Run(5 * time.Second)
+	if got := snd.RateAdvice(); got != Increase {
+		t.Fatalf("advice = %s, want increase", got)
+	}
+}
+
+func TestRateAdviceDecreaseUnderLoss(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    113,
+		Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, 0.15),
+	})
+	snd, _ := buildFeedbackRig(s, 2, 0.15)
+	driveStream(s, func() *Sender { return snd }, 150)
+	s.Run(6 * time.Second)
+	worst, ok := snd.WorstLoss()
+	if !ok {
+		t.Fatal("no reports under loss")
+	}
+	if worst < highLossThreshold {
+		t.Fatalf("worst loss %.3f below threshold; seed unsuitable", worst)
+	}
+	if got := snd.RateAdvice(); got != Decrease {
+		t.Fatalf("advice = %s, want decrease", got)
+	}
+}
+
+func TestRateAdviceHoldWithoutReports(t *testing.T) {
+	s := netsim.New(netsim.Config{})
+	var snd *Sender
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		snd = NewSender(env, 1, media.TelephoneAudio(1, "m"))
+		return proto.NewMux(snd)
+	})
+	s.Run(100 * time.Millisecond)
+	if got := snd.RateAdvice(); got != Hold {
+		t.Fatalf("advice = %s, want hold", got)
+	}
+	if _, ok := snd.WorstLoss(); ok {
+		t.Fatal("WorstLoss ok without reports")
+	}
+}
+
+func TestSenderIgnoresForeignReports(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 114})
+	var snd *Sender
+	var env2 proto.Env
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		snd = NewSender(env, 1, media.TelephoneAudio(1, "m"))
+		return proto.NewMux(snd)
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		env2 = env
+		return proto.NewMux()
+	})
+	s.At(10*time.Millisecond, func() {
+		env2.Send(1, &wire.Message{Kind: wire.KindReport, Group: 9, Stream: 1,
+			Body: reportBody(10, 0, 0)})
+		env2.Send(1, &wire.Message{Kind: wire.KindReport, Group: 1, Stream: 99,
+			Body: reportBody(10, 0, 0)})
+		env2.Send(1, &wire.Message{Kind: wire.KindReport, Group: 1, Stream: 1,
+			Body: []byte{1, 2}}) // malformed
+	})
+	s.Run(time.Second)
+	if len(snd.Reports()) != 0 {
+		t.Fatalf("foreign/malformed reports accepted: %+v", snd.Reports())
+	}
+}
+
+func TestAdviceString(t *testing.T) {
+	if Hold.String() != "hold" || Decrease.String() != "decrease" || Increase.String() != "increase" {
+		t.Fatal("Advice.String broken")
+	}
+	if Advice(0).String() != "Advice(?)" {
+		t.Fatal("unknown advice")
+	}
+}
+
+func TestReportLossFraction(t *testing.T) {
+	if (Report{}).LossFraction() != 0 {
+		t.Fatal("empty report loss != 0")
+	}
+	r := Report{Received: 90, Lost: 10}
+	if got := r.LossFraction(); got != 0.1 {
+		t.Fatalf("loss fraction = %g", got)
+	}
+}

@@ -1,0 +1,159 @@
+package rtx
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// runFragScenario streams large VBR video frames with fragmentation.
+func runFragScenario(t *testing.T, maxFrag, frameSize, frames int, loss float64, seed int64) (Stats, []media.Frame) {
+	t.Helper()
+	spec := media.PALVideo(1, "cam")
+	s := netsim.New(netsim.Config{
+		Seed:    seed,
+		Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, loss),
+	})
+	var snd *Sender
+	var recv *Receiver
+	var played []media.Frame
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		snd = NewSender(env, 1, spec)
+		snd.SetPeers([]id.Node{2})
+		snd.SetMaxFragment(maxFrag)
+		return proto.NewMux()
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		recv = NewReceiver(env, Config{
+			Group: 1, Stream: 1, Spec: spec,
+			Mode: FixedDelay, PlayoutDelay: 150 * time.Millisecond,
+			Reassemble: true,
+			OnPlay:     func(f media.Frame, _ time.Time) { played = append(played, f) },
+		})
+		return recv
+	})
+	src := media.NewCBR(spec, frameSize, frames)
+	var last time.Duration
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		at := 10*time.Millisecond + frame.Capture
+		if at > last {
+			last = at
+		}
+		s.At(at, func() { snd.Send(frame) })
+	}
+	s.Run(last + 2*time.Second)
+	return recv.Stats(), played
+}
+
+func TestFragmentedFramesReassembled(t *testing.T) {
+	const frameSize, frames = 4500, 30
+	st, played := runFragScenario(t, 1000, frameSize, frames, 0, 131)
+	if len(played) != frames {
+		t.Fatalf("played %d of %d frames", len(played), frames)
+	}
+	for i, f := range played {
+		if len(f.Data) != frameSize {
+			t.Fatalf("frame %d reassembled to %d bytes, want %d", i, len(f.Data), frameSize)
+		}
+		if !f.Marker {
+			t.Fatalf("frame %d lost its marker", i)
+		}
+	}
+	// 4500 bytes at 1000/fragment = 5 packets per frame.
+	if st.Received != uint64(frames*5) {
+		t.Fatalf("received %d packets, want %d", st.Received, frames*5)
+	}
+	if st.FramesIncomplete != 0 {
+		t.Fatalf("incomplete frames on clean network: %d", st.FramesIncomplete)
+	}
+}
+
+func TestFragmentLossDropsWholeFrame(t *testing.T) {
+	const frames = 60
+	st, played := runFragScenario(t, 1000, 4500, frames, 0.05, 132)
+	if len(played) == frames {
+		t.Fatal("no frames lost despite 5% packet loss on 5-packet frames")
+	}
+	if len(played) == 0 {
+		t.Fatal("nothing played")
+	}
+	// Every played frame must still be whole.
+	for i, f := range played {
+		if len(f.Data) != 4500 {
+			t.Fatalf("frame %d partial: %d bytes", i, len(f.Data))
+		}
+	}
+	_ = st
+}
+
+func TestSmallFramesPassThroughWithReassembly(t *testing.T) {
+	// Frames under the limit still flow (single-fragment bracket).
+	_, played := runFragScenario(t, 1000, 400, 20, 0, 133)
+	if len(played) != 20 {
+		t.Fatalf("played %d of 20 small frames", len(played))
+	}
+	if len(played[0].Data) != 400 {
+		t.Fatalf("small frame size %d", len(played[0].Data))
+	}
+}
+
+func TestFragmentationPlusFEC(t *testing.T) {
+	// FEC under fragmentation repairs single packet losses, saving
+	// whole frames.
+	spec := media.PALVideo(1, "cam")
+	run := func(fecK int) int {
+		s := netsim.New(netsim.Config{
+			Seed:    134,
+			Profile: netsim.LANProfile(2*time.Millisecond, time.Millisecond, 0.04),
+		})
+		var snd *Sender
+		var played int
+		s.AddNode(1, func(env proto.Env) proto.Handler {
+			snd = NewSender(env, 1, spec)
+			snd.SetPeers([]id.Node{2})
+			snd.SetMaxFragment(1000)
+			if fecK > 0 {
+				snd.SetFEC(fecK)
+			}
+			return proto.NewMux()
+		})
+		s.AddNode(2, func(env proto.Env) proto.Handler {
+			return NewReceiver(env, Config{
+				Group: 1, Stream: 1, Spec: spec,
+				Mode: FixedDelay, PlayoutDelay: 200 * time.Millisecond,
+				Reassemble: true, FECBlock: fecK,
+				OnPlay: func(media.Frame, time.Time) { played++ },
+			})
+		})
+		src := media.NewCBR(spec, 4500, 60)
+		var last time.Duration
+		for {
+			f, ok := src.Next()
+			if !ok {
+				break
+			}
+			frame := f
+			at := 10*time.Millisecond + frame.Capture
+			if at > last {
+				last = at
+			}
+			s.At(at, func() { snd.Send(frame) })
+		}
+		s.Run(last + 2*time.Second)
+		return played
+	}
+	plain := run(0)
+	withFEC := run(4)
+	if withFEC <= plain {
+		t.Fatalf("FEC did not save frames: %d vs %d", withFEC, plain)
+	}
+}

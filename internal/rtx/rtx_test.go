@@ -1,0 +1,265 @@
+package rtx
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// mediaPair wires one sender (node 1) to one receiver (node 2) and
+// schedules the source's frames at their capture times.
+type mediaPair struct {
+	sender *Sender
+	recv   *Receiver
+	played []media.Frame
+}
+
+func buildPair(s *netsim.Sim, spec media.StreamSpec, mode PlayoutMode, delay time.Duration) *mediaPair {
+	mp := &mediaPair{}
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		mp.sender = NewSender(env, 1, spec)
+		mp.sender.SetPeers([]id.Node{1, 2}) // self filtered out
+		return proto.NewMux()
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		mp.recv = NewReceiver(env, Config{
+			Group:        1,
+			Stream:       spec.ID,
+			Spec:         spec,
+			Mode:         mode,
+			PlayoutDelay: delay,
+			OnPlay: func(f media.Frame, _ time.Time) {
+				mp.played = append(mp.played, f)
+			},
+		})
+		return mp.recv
+	})
+	return mp
+}
+
+// scheduleSource feeds every frame of src to the sender at its capture
+// offset (plus a small start delay).
+func scheduleSource(s *netsim.Sim, mp *mediaPair, src media.Source, start time.Duration) int {
+	count := 0
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		frame := f
+		count++
+		s.At(start+frame.Capture, func() { mp.sender.Send(frame) })
+	}
+	return count
+}
+
+func TestMediaDeliveryAndPlayout(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{Seed: 41, Profile: netsim.LANProfile(5*time.Millisecond, 0, 0)})
+	mp := buildPair(s, spec, FixedDelay, 50*time.Millisecond)
+	src := media.NewCBR(spec, 160, 50)
+	n := scheduleSource(s, mp, src, 10*time.Millisecond)
+	s.Run(5 * time.Second)
+
+	st := mp.recv.Stats()
+	if st.Received != uint64(n) {
+		t.Fatalf("received %d of %d", st.Received, n)
+	}
+	if len(mp.played) != n {
+		t.Fatalf("played %d of %d", len(mp.played), n)
+	}
+	if st.Late != 0 || st.Lost != 0 {
+		t.Fatalf("late=%d lost=%d on a clean network", st.Late, st.Lost)
+	}
+	// Playout preserves timestamp order.
+	for i := 1; i < len(mp.played); i++ {
+		if mp.played[i].TS <= mp.played[i-1].TS {
+			t.Fatalf("playout order violated at %d", i)
+		}
+	}
+	sent, bytes := mp.sender.Stats()
+	if sent != uint64(n) || bytes != uint64(n*160) {
+		t.Fatalf("sender stats = %d frames, %d bytes", sent, bytes)
+	}
+}
+
+func TestFixedPlayoutLateUnderJitter(t *testing.T) {
+	// With jitter far above the fixed delay, many frames must be late.
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{
+		Seed:    42,
+		Profile: netsim.LANProfile(2*time.Millisecond, 60*time.Millisecond, 0),
+	})
+	mp := buildPair(s, spec, FixedDelay, 15*time.Millisecond)
+	src := media.NewCBR(spec, 160, 200)
+	scheduleSource(s, mp, src, 10*time.Millisecond)
+	s.Run(10 * time.Second)
+
+	st := mp.recv.Stats()
+	if st.Late == 0 {
+		t.Fatalf("no late frames with 60ms jitter and 15ms delay: %+v", st)
+	}
+}
+
+func TestAdaptiveOutperformsFixedUnderJitter(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	run := func(mode PlayoutMode) Stats {
+		s := netsim.New(netsim.Config{
+			Seed:    43,
+			Profile: netsim.LANProfile(2*time.Millisecond, 40*time.Millisecond, 0),
+		})
+		mp := buildPair(s, spec, mode, 15*time.Millisecond)
+		src := media.NewVoice(spec, 160, 400, time.Second, time.Second, 5)
+		scheduleSource(s, mp, src, 10*time.Millisecond)
+		s.Run(30 * time.Second)
+		return mp.recv.Stats()
+	}
+	fixed := run(FixedDelay)
+	adaptive := run(Adaptive)
+	if adaptive.Late >= fixed.Late {
+		t.Fatalf("adaptive late=%d not better than fixed late=%d",
+			adaptive.Late, fixed.Late)
+	}
+	if adaptive.Played == 0 {
+		t.Fatal("adaptive played nothing")
+	}
+}
+
+func TestAdaptiveDelayTracksJitter(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	measure := func(jitter time.Duration) time.Duration {
+		s := netsim.New(netsim.Config{
+			Seed:    44,
+			Profile: netsim.LANProfile(2*time.Millisecond, jitter, 0),
+		})
+		mp := buildPair(s, spec, Adaptive, 40*time.Millisecond)
+		src := media.NewVoice(spec, 160, 400, 800*time.Millisecond, 800*time.Millisecond, 6)
+		scheduleSource(s, mp, src, 10*time.Millisecond)
+		s.Run(30 * time.Second)
+		return mp.recv.Stats().PlayoutDelay
+	}
+	low := measure(5 * time.Millisecond)
+	high := measure(50 * time.Millisecond)
+	if high <= low {
+		t.Fatalf("playout delay did not grow with jitter: low=%v high=%v", low, high)
+	}
+}
+
+func TestLossCounted(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{
+		Seed:    45,
+		Profile: netsim.LANProfile(2*time.Millisecond, 0, 0.3),
+	})
+	mp := buildPair(s, spec, FixedDelay, 60*time.Millisecond)
+	src := media.NewCBR(spec, 160, 300)
+	n := scheduleSource(s, mp, src, 10*time.Millisecond)
+	s.Run(15 * time.Second)
+
+	st := mp.recv.Stats()
+	if st.Received == uint64(n) {
+		t.Fatal("no loss despite 30% drop rate")
+	}
+	if st.Lost == 0 {
+		t.Fatalf("loss not detected: %+v", st)
+	}
+	// Received + lost should roughly account for the stream (tail
+	// losses after the last arrival are invisible, allow slack).
+	if st.Received+st.Lost < uint64(n)*8/10 {
+		t.Fatalf("accounting too low: received=%d lost=%d n=%d", st.Received, st.Lost, n)
+	}
+}
+
+func TestReceiverIgnoresOtherStreams(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{Seed: 46})
+	mp := buildPair(s, spec, FixedDelay, 50*time.Millisecond)
+	var env1 proto.Env
+	s.AddNode(3, func(env proto.Env) proto.Handler { env1 = env; return proto.NewMux() })
+	s.At(10*time.Millisecond, func() {
+		// Wrong stream, wrong group, wrong kind.
+		env1.Send(2, &wire.Message{Kind: wire.KindMedia, Group: 1, Stream: 99, MediaTS: 0, Seq: 1})
+		env1.Send(2, &wire.Message{Kind: wire.KindMedia, Group: 9, Stream: 1, MediaTS: 0, Seq: 1})
+		env1.Send(2, &wire.Message{Kind: wire.KindData, Group: 1, Stream: 1, Seq: 1})
+	})
+	s.Run(time.Second)
+	if got := mp.recv.Stats().Received; got != 0 {
+		t.Fatalf("foreign traffic consumed: %d", got)
+	}
+}
+
+func TestSetPlayoutDelay(t *testing.T) {
+	s := netsim.New(netsim.Config{})
+	spec := media.TelephoneAudio(1, "mic")
+	var recv *Receiver
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		recv = NewReceiver(env, Config{Group: 1, Stream: 1, Spec: spec})
+		return recv
+	})
+	recv.SetPlayoutDelay(123 * time.Millisecond)
+	if recv.PlayoutDelay() != 123*time.Millisecond {
+		t.Fatalf("PlayoutDelay = %v", recv.PlayoutDelay())
+	}
+	recv.SetPlayoutDelay(-5) // rejected
+	if recv.PlayoutDelay() != 123*time.Millisecond {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+type countingPolicer struct{ admitted, rejected int }
+
+func (p *countingPolicer) Admit(bytes int, _ time.Time) bool {
+	if p.admitted >= 3 {
+		p.rejected++
+		return false
+	}
+	p.admitted++
+	return true
+}
+
+func TestSenderPolicer(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{Seed: 47})
+	mp := buildPair(s, spec, FixedDelay, 50*time.Millisecond)
+	pol := &countingPolicer{}
+	s.At(time.Millisecond, func() { mp.sender.SetPolicer(pol) })
+	src := media.NewCBR(spec, 160, 10)
+	scheduleSource(s, mp, src, 10*time.Millisecond)
+	s.Run(2 * time.Second)
+	sent, _ := mp.sender.Stats()
+	if sent != 3 {
+		t.Fatalf("sent %d, want 3 (policer cap)", sent)
+	}
+	if pol.rejected != 7 {
+		t.Fatalf("rejected %d, want 7", pol.rejected)
+	}
+}
+
+func TestBufferedAndOrder(t *testing.T) {
+	spec := media.TelephoneAudio(1, "mic")
+	s := netsim.New(netsim.Config{
+		Seed:    48,
+		Profile: netsim.LANProfile(time.Millisecond, 30*time.Millisecond, 0),
+	})
+	mp := buildPair(s, spec, FixedDelay, 200*time.Millisecond)
+	src := media.NewCBR(spec, 160, 30)
+	scheduleSource(s, mp, src, 10*time.Millisecond)
+	s.Run(300 * time.Millisecond)
+	if mp.recv.Buffered() == 0 {
+		t.Fatal("nothing buffered with a 200ms playout delay")
+	}
+	s.Run(5 * time.Second)
+	if mp.recv.Buffered() != 0 {
+		t.Fatalf("%d frames stuck in buffer", mp.recv.Buffered())
+	}
+	for i := 1; i < len(mp.played); i++ {
+		if mp.played[i].TS <= mp.played[i-1].TS {
+			t.Fatalf("reordered playout at %d despite jitter", i)
+		}
+	}
+}

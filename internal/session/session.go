@@ -1,0 +1,377 @@
+// Package session implements the session-control layer of the
+// architecture: a multimedia session is a process group plus a replicated
+// directory of the media streams its participants offer. Stream
+// announcements and withdrawals travel as ordered reliable multicasts, so
+// every participant converges on the same directory; membership changes
+// withdraw a departed participant's streams automatically.
+//
+// Media data itself does not pass through this layer — senders and
+// receivers (internal/rtx) exchange timestamped frames directly — but the
+// directory tells every participant which streams exist, who produces
+// them, and what flow specification they declared, which is what the QoS
+// layer admits against.
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"scalamedia/internal/core"
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/member"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/wire"
+)
+
+// EventKind discriminates session events.
+type EventKind int
+
+// The session event kinds.
+const (
+	// ParticipantJoined reports a view that added the node.
+	ParticipantJoined EventKind = iota + 1
+	// ParticipantLeft reports a view that removed the node.
+	ParticipantLeft
+	// StreamAnnounced reports a new directory entry.
+	StreamAnnounced
+	// StreamWithdrawn reports a removed directory entry.
+	StreamWithdrawn
+	// MessageReceived reports an application data multicast.
+	MessageReceived
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case ParticipantJoined:
+		return "participant-joined"
+	case ParticipantLeft:
+		return "participant-left"
+	case StreamAnnounced:
+		return "stream-announced"
+	case StreamWithdrawn:
+		return "stream-withdrawn"
+	case MessageReceived:
+		return "message-received"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Announcement is one directory entry: a stream and its owner.
+type Announcement struct {
+	Owner id.Node
+	Spec  media.StreamSpec
+	// MeanRate is the declared sustained rate in bytes/second, for QoS
+	// admission at receivers.
+	MeanRate float64
+}
+
+// Event is one session notification.
+type Event struct {
+	Kind    EventKind
+	Node    id.Node      // joined/left participant, or message sender
+	Stream  Announcement // announced/withdrawn stream
+	Payload []byte       // application message
+	View    member.View  // view in effect
+}
+
+// Config parameterizes a session engine.
+type Config struct {
+	// Group and Contact configure the underlying core stack.
+	Group   id.Group
+	Contact id.Node
+	// Ordering is the control/application multicast discipline;
+	// defaults to Causal, so directory updates respect causality.
+	Ordering rmcast.Ordering
+	// OnEvent receives session notifications from the event loop.
+	OnEvent func(Event)
+
+	// Timing knobs forwarded to the core stack (zero = defaults).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+	FlushTimeout   time.Duration
+}
+
+// session-control opcodes, carried as the first payload byte of
+// KindSessionCtl-tagged multicasts.
+const (
+	opData     = 1
+	opAnnounce = 2
+	opWithdraw = 3
+)
+
+// Errors.
+var (
+	// ErrUnknownStream reports a withdrawal of an unannounced stream.
+	ErrUnknownStream = errors.New("session: unknown stream")
+	// ErrNotOwner reports a withdrawal by a non-owner.
+	ErrNotOwner = errors.New("session: not stream owner")
+)
+
+// Engine is one participant's session state. It implements proto.Handler.
+type Engine struct {
+	env   proto.Env
+	cfg   Config
+	stack *core.Stack
+
+	directory map[id.Stream]Announcement
+	prevView  member.View
+}
+
+var _ proto.Handler = (*Engine)(nil)
+
+// New builds a session engine and its underlying stack.
+func New(env proto.Env, cfg Config) *Engine {
+	if cfg.Ordering == 0 {
+		cfg.Ordering = rmcast.Causal
+	}
+	e := &Engine{
+		env:       env,
+		cfg:       cfg,
+		directory: make(map[id.Stream]Announcement),
+	}
+	e.stack = core.NewStack(env, core.Config{
+		Group:          cfg.Group,
+		Contact:        cfg.Contact,
+		Ordering:       cfg.Ordering,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		SuspectAfter:   cfg.SuspectAfter,
+		FlushTimeout:   cfg.FlushTimeout,
+		OnView:         e.onView,
+		OnDeliver:      e.onDeliver,
+		Snapshot:       e.snapshotDirectory,
+		OnState:        e.installDirectory,
+	})
+	return e
+}
+
+// snapshotDirectory serializes the stream directory for state transfer to
+// a joining participant.
+func (e *Engine) snapshotDirectory() []byte {
+	var buf []byte
+	var count [4]byte
+	binary.BigEndian.PutUint32(count[:], uint32(len(e.directory)))
+	buf = append(buf, count[:]...)
+	for _, a := range e.Directory() {
+		body := encodeAnnouncement(a)
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(body)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, body...)
+	}
+	return buf
+}
+
+// installDirectory merges a transferred directory snapshot; existing
+// entries (from announcements that raced ahead) win.
+func (e *Engine) installDirectory(v member.View, state []byte) {
+	if len(state) < 4 {
+		return
+	}
+	count := int(binary.BigEndian.Uint32(state))
+	off := 4
+	for i := 0; i < count; i++ {
+		if len(state) < off+2 {
+			return
+		}
+		l := int(binary.BigEndian.Uint16(state[off:]))
+		off += 2
+		if len(state) < off+l {
+			return
+		}
+		a, err := decodeAnnouncement(state[off : off+l])
+		off += l
+		if err != nil {
+			continue
+		}
+		if _, exists := e.directory[a.Spec.ID]; exists {
+			continue
+		}
+		e.directory[a.Spec.ID] = a
+		e.emit(Event{Kind: StreamAnnounced, Node: a.Owner, Stream: a, View: e.stack.View()})
+	}
+}
+
+// View returns the current session membership.
+func (e *Engine) View() member.View { return e.stack.View() }
+
+// Stack exposes the underlying group communication service.
+func (e *Engine) Stack() *core.Stack { return e.stack }
+
+// Directory returns the current stream directory sorted by stream ID.
+func (e *Engine) Directory() []Announcement {
+	out := make([]Announcement, 0, len(e.directory))
+	for _, a := range e.directory {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// Lookup returns the directory entry for a stream.
+func (e *Engine) Lookup(sid id.Stream) (Announcement, bool) {
+	a, ok := e.directory[sid]
+	return a, ok
+}
+
+// Send multicasts an application message to the session.
+func (e *Engine) Send(payload []byte) error {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = opData
+	copy(buf[1:], payload)
+	if err := e.stack.Multicast(buf); err != nil {
+		return fmt.Errorf("session send: %w", err)
+	}
+	return nil
+}
+
+// Announce publishes a stream this node will produce.
+func (e *Engine) Announce(spec media.StreamSpec, meanRate float64) error {
+	body := encodeAnnouncement(Announcement{Owner: e.env.Self(), Spec: spec, MeanRate: meanRate})
+	buf := append([]byte{opAnnounce}, body...)
+	if err := e.stack.Multicast(buf); err != nil {
+		return fmt.Errorf("announce %s: %w", spec.ID, err)
+	}
+	return nil
+}
+
+// Withdraw removes a stream this node previously announced.
+func (e *Engine) Withdraw(sid id.Stream) error {
+	a, ok := e.directory[sid]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownStream, sid)
+	}
+	if a.Owner != e.env.Self() {
+		return fmt.Errorf("%w: %s owned by %s", ErrNotOwner, sid, a.Owner)
+	}
+	var buf [5]byte
+	buf[0] = opWithdraw
+	binary.BigEndian.PutUint32(buf[1:], uint32(sid))
+	if err := e.stack.Multicast(buf[:]); err != nil {
+		return fmt.Errorf("withdraw %s: %w", sid, err)
+	}
+	return nil
+}
+
+// Leave departs the session.
+func (e *Engine) Leave() { e.stack.Leave() }
+
+// onView diffs membership and withdraws departed participants' streams.
+func (e *Engine) onView(v member.View) {
+	prev := e.prevView
+	e.prevView = v
+	// Departures first: their streams leave the directory.
+	for _, m := range prev.Members {
+		if !v.Contains(m) {
+			e.dropStreamsOf(m, v)
+			e.emit(Event{Kind: ParticipantLeft, Node: m, View: v})
+		}
+	}
+	for _, m := range v.Members {
+		if !prev.Contains(m) {
+			e.emit(Event{Kind: ParticipantJoined, Node: m, View: v})
+		}
+	}
+}
+
+func (e *Engine) dropStreamsOf(n id.Node, v member.View) {
+	for sid, a := range e.directory {
+		if a.Owner == n {
+			delete(e.directory, sid)
+			e.emit(Event{Kind: StreamWithdrawn, Node: n, Stream: a, View: v})
+		}
+	}
+}
+
+// onDeliver decodes a session-control multicast.
+func (e *Engine) onDeliver(d rmcast.Delivery) {
+	if len(d.Payload) == 0 {
+		return
+	}
+	op, body := d.Payload[0], d.Payload[1:]
+	switch op {
+	case opData:
+		e.emit(Event{Kind: MessageReceived, Node: d.Sender, Payload: body, View: e.stack.View()})
+	case opAnnounce:
+		a, err := decodeAnnouncement(body)
+		if err != nil || a.Owner != d.Sender {
+			return // malformed or spoofed announcement
+		}
+		e.directory[a.Spec.ID] = a
+		e.emit(Event{Kind: StreamAnnounced, Node: d.Sender, Stream: a, View: e.stack.View()})
+	case opWithdraw:
+		if len(body) < 4 {
+			return
+		}
+		sid := id.Stream(binary.BigEndian.Uint32(body))
+		a, ok := e.directory[sid]
+		if !ok || a.Owner != d.Sender {
+			return
+		}
+		delete(e.directory, sid)
+		e.emit(Event{Kind: StreamWithdrawn, Node: d.Sender, Stream: a, View: e.stack.View()})
+	}
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
+}
+
+// OnMessage forwards to the stack.
+func (e *Engine) OnMessage(from id.Node, msg *wire.Message) { e.stack.OnMessage(from, msg) }
+
+// OnTick forwards to the stack.
+func (e *Engine) OnTick(now time.Time) { e.stack.OnTick(now) }
+
+// encodeAnnouncement lays out: owner(8) rate(8 as bits) id(4) kind(1)
+// clockRate(4) frameEvery(8) nameLen(2) name.
+func encodeAnnouncement(a Announcement) []byte {
+	name := a.Spec.Name
+	if len(name) > 255 {
+		name = name[:255]
+	}
+	buf := make([]byte, 0, 35+len(name))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(a.Owner))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(int64(a.MeanRate*1000))) // milli-bytes/s
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(a.Spec.ID))
+	buf = append(buf, tmp[:4]...)
+	buf = append(buf, byte(a.Spec.Kind))
+	binary.BigEndian.PutUint32(tmp[:4], uint32(a.Spec.ClockRate))
+	buf = append(buf, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(a.Spec.FrameEvery))
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(name)))
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, name...)
+	return buf
+}
+
+func decodeAnnouncement(buf []byte) (Announcement, error) {
+	if len(buf) < 35 {
+		return Announcement{}, wire.ErrShortMessage
+	}
+	var a Announcement
+	a.Owner = id.Node(binary.BigEndian.Uint64(buf))
+	a.MeanRate = float64(int64(binary.BigEndian.Uint64(buf[8:]))) / 1000
+	a.Spec.ID = id.Stream(binary.BigEndian.Uint32(buf[16:]))
+	a.Spec.Kind = media.Kind(buf[20])
+	a.Spec.ClockRate = int(binary.BigEndian.Uint32(buf[21:]))
+	a.Spec.FrameEvery = time.Duration(binary.BigEndian.Uint64(buf[25:]))
+	nameLen := int(binary.BigEndian.Uint16(buf[33:]))
+	if len(buf) < 35+nameLen {
+		return Announcement{}, wire.ErrShortMessage
+	}
+	a.Spec.Name = string(buf[35 : 35+nameLen])
+	return a, nil
+}

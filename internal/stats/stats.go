@@ -1,0 +1,269 @@
+// Package stats provides the lightweight measurement primitives used by the
+// protocol layers and the experiment harness: counters, duration histograms
+// with percentile queries, and time series for figure rendering.
+//
+// All types are safe for concurrent use unless noted otherwise.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing concurrent counter.
+// The zero value is ready to use.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Histogram accumulates float64 samples and answers summary queries.
+// The zero value is ready to use. Samples are retained individually so
+// percentiles are exact; experiments are bounded so memory is not a concern.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two samples.
+func (h *Histogram) StdDev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// sortLocked sorts the sample buffer; callers hold h.mu.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using nearest-rank,
+// or 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sortLocked()
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return h.samples[rank-1]
+}
+
+// Min returns the smallest sample, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given resolution,
+// suitable for plotting an empirical CDF. It returns nil for an empty
+// histogram.
+func (h *Histogram) CDF(points int) []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 || points < 2 {
+		return nil
+	}
+	h.sortLocked()
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		idx := int(frac * float64(n-1))
+		out = append(out, CDFPoint{
+			Value:    h.samples[idx],
+			Fraction: float64(idx+1) / float64(n),
+		})
+	}
+	return out
+}
+
+// Summary returns a one-line digest for table rendering.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// Series is an append-only (x, y) time series used to render figures.
+// The zero value is ready to use.
+type Series struct {
+	mu sync.Mutex
+	xs []float64
+	ys []float64
+}
+
+// Append records one point.
+func (s *Series) Append(x, y float64) {
+	s.mu.Lock()
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+	s.mu.Unlock()
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// Points returns copies of the x and y slices.
+func (s *Series) Points() (xs, ys []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xs = make([]float64, len(s.xs))
+	ys = make([]float64, len(s.ys))
+	copy(xs, s.xs)
+	copy(ys, s.ys)
+	return xs, ys
+}
+
+// Registry is a named collection of counters and histograms, one per node
+// or per protocol instance. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterNames returns the sorted names of all counters.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero counter not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value() = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Fatalf("Mean() = %g, want 3", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min() = %g, want 1", got)
+	}
+	if got := h.Max(); got != 5 {
+		t.Fatalf("Max() = %g, want 5", got)
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Fatalf("p50 = %g, want 3", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Fatalf("p100 = %g, want 5", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Mean(); got != 250 {
+		t.Fatalf("duration recorded as %g ms, want 250", got)
+	}
+}
+
+func TestHistogramStdDev(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	if h.StdDev() != 0 {
+		t.Fatal("single sample should have zero stddev")
+	}
+	h.Observe(4)
+	if got := h.StdDev(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("StdDev() = %g, want 1", got)
+	}
+}
+
+func TestHistogramPercentileWithinRange(t *testing.T) {
+	// Property: any percentile lies between min and max, and percentiles
+	// are monotone in p.
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			h.Observe(v)
+		}
+		p := float64(pRaw%100) + 1
+		v := h.Percentile(p)
+		if v < h.Min() || v > h.Max() {
+			return false
+		}
+		return h.Percentile(50) <= h.Percentile(99)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	var h Histogram
+	if h.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cdf := h.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("CDF has %d points, want 11", len(cdf))
+	}
+	if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].Value < cdf[j].Value }) {
+		t.Fatal("CDF values not sorted")
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1 {
+		t.Fatalf("final CDF fraction = %g, want 1", last.Fraction)
+	}
+	if last.Value != 100 {
+		t.Fatalf("final CDF value = %g, want 100", last.Value)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	xs, ys := s.Points()
+	if s.Len() != 2 || len(xs) != 2 || len(ys) != 2 {
+		t.Fatalf("series length mismatch: Len=%d xs=%d ys=%d", s.Len(), len(xs), len(ys))
+	}
+	if xs[1] != 2 || ys[1] != 20 {
+		t.Fatalf("points = %v/%v", xs, ys)
+	}
+	// The returned slices must be copies.
+	xs[0] = 99
+	xs2, _ := s.Points()
+	if xs2[0] != 1 {
+		t.Fatal("Points() exposed internal slice")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	if got := r.Counter("a").Value(); got != 2 {
+		t.Fatalf("counter a = %d, want 2", got)
+	}
+	r.Histogram("h").Observe(1)
+	if got := r.Histogram("h").Count(); got != 1 {
+		t.Fatalf("histogram count = %d, want 1", got)
+	}
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("CounterNames() = %v", names)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 1600 {
+		t.Fatalf("histogram count = %d, want 1600", got)
+	}
+}

@@ -1,0 +1,97 @@
+// Package trace provides the deterministic workload generators used by
+// the experiment harness: seeded random distributions, Poisson arrival
+// processes and synthetic message payloads. Everything is reproducible
+// from a seed, which is what lets EXPERIMENTS.md quote exact measured
+// numbers.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Rand wraps a seeded source with the distributions the experiments use.
+// It is not safe for concurrent use; give each generator its own.
+type Rand struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed (zero is replaced by 1).
+func New(seed int64) *Rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform returns a sample in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.rng.Float64()
+}
+
+// Exp returns an exponential sample with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(u) * mean
+}
+
+// Normal returns a normal sample with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return r.rng.NormFloat64()*stddev + mean
+}
+
+// Pareto returns a bounded Pareto sample with the given scale and shape,
+// the classic heavy-tailed size distribution.
+func (r *Rand) Pareto(scale, shape float64) float64 {
+	u := r.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return scale / math.Pow(u, 1/shape)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int { return r.rng.Intn(n) }
+
+// Payload returns a deterministic pseudo-random payload of n bytes.
+func (r *Rand) Payload(n int) []byte {
+	b := make([]byte, n)
+	r.rng.Read(b) //nolint:errcheck // math/rand Read never fails
+	return b
+}
+
+// Poisson generates Poisson arrival offsets: successive event times with
+// exponential gaps of the given mean, starting after start.
+type Poisson struct {
+	rnd  *Rand
+	next time.Duration
+	gap  time.Duration
+}
+
+// NewPoisson returns an arrival process with the given mean inter-arrival
+// gap, beginning at start.
+func NewPoisson(seed int64, meanGap, start time.Duration) *Poisson {
+	return &Poisson{rnd: New(seed), next: start, gap: meanGap}
+}
+
+// Next returns the next arrival offset.
+func (p *Poisson) Next() time.Duration {
+	at := p.next
+	p.next += time.Duration(p.rnd.Exp(float64(p.gap)))
+	return at
+}
+
+// Arrivals returns the first n arrival offsets of a fresh process.
+func Arrivals(seed int64, meanGap, start time.Duration, n int) []time.Duration {
+	p := NewPoisson(seed, meanGap, start)
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = p.Next()
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Exp(10) != b.Exp(10) || a.Uniform(0, 1) != b.Uniform(0, 1) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroSeedReplaced(t *testing.T) {
+	a, b := New(0), New(1)
+	if a.Exp(1) != b.Exp(1) {
+		t.Fatal("zero seed not normalized to 1")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp(50)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-50) > 2 {
+		t.Fatalf("exp mean = %.2f, want ~50", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("uniform sample %g out of range", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(5)
+	var sum, ss float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Normal(100, 15)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(ss/n - mean*mean)
+	if math.Abs(mean-100) > 1 || math.Abs(std-15) > 1 {
+		t.Fatalf("normal moments = %.2f/%.2f, want 100/15", mean, std)
+	}
+}
+
+func TestParetoAboveScale(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(100, 1.5); v < 100 {
+			t.Fatalf("pareto sample %g below scale", v)
+		}
+	}
+}
+
+func TestPayload(t *testing.T) {
+	r := New(7)
+	p := r.Payload(64)
+	if len(p) != 64 {
+		t.Fatalf("payload length %d", len(p))
+	}
+	q := New(7).Payload(64)
+	if string(p) != string(q) {
+		t.Fatal("payload not deterministic")
+	}
+	zero := true
+	for _, b := range p {
+		if b != 0 {
+			zero = false
+		}
+	}
+	if zero {
+		t.Fatal("payload all zeros")
+	}
+}
+
+func TestPoissonMonotonic(t *testing.T) {
+	p := NewPoisson(8, 10*time.Millisecond, 100*time.Millisecond)
+	prev := time.Duration(-1)
+	for i := 0; i < 500; i++ {
+		at := p.Next()
+		if at <= prev {
+			t.Fatalf("arrival %d not increasing: %v after %v", i, at, prev)
+		}
+		if i == 0 && at != 100*time.Millisecond {
+			t.Fatalf("first arrival %v, want start offset", at)
+		}
+		prev = at
+	}
+}
+
+func TestArrivalsMeanGap(t *testing.T) {
+	arr := Arrivals(9, 10*time.Millisecond, 0, 5000)
+	if len(arr) != 5000 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	total := arr[len(arr)-1] - arr[0]
+	meanGap := total / time.Duration(len(arr)-1)
+	if meanGap < 8*time.Millisecond || meanGap > 12*time.Millisecond {
+		t.Fatalf("mean gap %v, want ~10ms", meanGap)
+	}
+}

@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/wire"
+)
+
+// LinkConfig describes the behaviour of one directed link in the fabric.
+// The zero value is a perfect link: no delay, no loss.
+type LinkConfig struct {
+	// Delay is the base one-way propagation delay.
+	Delay time.Duration
+	// Jitter is the maximum additional random delay; the actual extra
+	// delay is uniform in [0, Jitter].
+	Jitter time.Duration
+	// Loss is the probability in [0, 1] that a datagram is dropped.
+	Loss float64
+	// Duplicate is the probability in [0, 1] that a datagram is
+	// delivered twice.
+	Duplicate float64
+}
+
+// Fabric is an in-process network connecting endpoints through channels.
+// Datagrams are encoded and decoded through the wire format so endpoints
+// never share memory, and each traversal applies the link's delay, jitter,
+// loss and duplication. Fabric is safe for concurrent use.
+type Fabric struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[id.Node]*inprocEndpoint
+	links     map[linkKey]LinkConfig
+	def       LinkConfig
+	partition map[id.Node]int // partition group per node; absent = group 0
+	closed    bool
+	pending   sync.WaitGroup // in-flight delayed deliveries
+}
+
+type linkKey struct{ from, to id.Node }
+
+// FabricOption configures a Fabric.
+type FabricOption func(*Fabric)
+
+// WithSeed makes the fabric's loss/jitter decisions deterministic.
+func WithSeed(seed int64) FabricOption {
+	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDefaultLink sets the link configuration used for pairs without an
+// explicit SetLink call.
+func WithDefaultLink(cfg LinkConfig) FabricOption {
+	return func(f *Fabric) { f.def = cfg }
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric(opts ...FabricOption) *Fabric {
+	f := &Fabric{
+		rng:       rand.New(rand.NewSource(1)),
+		endpoints: make(map[id.Node]*inprocEndpoint),
+		links:     make(map[linkKey]LinkConfig),
+		partition: make(map[id.Node]int),
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Attach creates an endpoint for node. It fails if the node is already
+// attached or the fabric is closed.
+func (f *Fabric) Attach(node id.Node) (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := f.endpoints[node]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateNode, node)
+	}
+	ep := &inprocEndpoint{
+		fabric: f,
+		self:   node,
+		recv:   make(chan Inbound, RecvQueue),
+	}
+	f.endpoints[node] = ep
+	return ep, nil
+}
+
+// SetLink configures the directed link from one node to another.
+func (f *Fabric) SetLink(from, to id.Node, cfg LinkConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[linkKey{from, to}] = cfg
+}
+
+// SetLinkBoth configures the link in both directions.
+func (f *Fabric) SetLinkBoth(a, b id.Node, cfg LinkConfig) {
+	f.SetLink(a, b, cfg)
+	f.SetLink(b, a, cfg)
+}
+
+// Partition splits the network: nodes listed in groups[i] can only reach
+// nodes in the same group. Nodes not listed remain in group 0 together.
+func (f *Fabric) Partition(groups ...[]id.Node) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partition = make(map[id.Node]int)
+	for i, g := range groups {
+		for _, n := range g {
+			f.partition[n] = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (f *Fabric) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partition = make(map[id.Node]int)
+}
+
+// Close detaches every endpoint and waits for in-flight deliveries.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	eps := make([]*inprocEndpoint, 0, len(f.endpoints))
+	for _, ep := range f.endpoints {
+		eps = append(eps, ep)
+	}
+	f.mu.Unlock()
+	f.pending.Wait()
+	for _, ep := range eps {
+		ep.closeQueue()
+	}
+}
+
+// linkFor returns the effective config for a directed pair; callers hold no
+// lock.
+func (f *Fabric) linkFor(from, to id.Node) LinkConfig {
+	if cfg, ok := f.links[linkKey{from, to}]; ok {
+		return cfg
+	}
+	return f.def
+}
+
+// deliver routes an encoded datagram through the fabric. It is called with
+// f.mu held by Send and re-acquires no locks besides scheduling.
+func (f *Fabric) deliver(from, to id.Node, buf []byte) {
+	cfg := f.linkFor(from, to)
+	if f.partition[from] != f.partition[to] {
+		return // partitioned: silent drop
+	}
+	if cfg.Loss > 0 && f.rng.Float64() < cfg.Loss {
+		return
+	}
+	copies := 1
+	if cfg.Duplicate > 0 && f.rng.Float64() < cfg.Duplicate {
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		delay := cfg.Delay
+		if cfg.Jitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(cfg.Jitter) + 1))
+		}
+		f.scheduleDelivery(from, to, buf, delay)
+	}
+}
+
+func (f *Fabric) scheduleDelivery(from, to id.Node, buf []byte, delay time.Duration) {
+	f.pending.Add(1)
+	run := func() {
+		defer f.pending.Done()
+		f.mu.Lock()
+		ep, ok := f.endpoints[to]
+		closed := f.closed
+		f.mu.Unlock()
+		if !ok || closed {
+			return
+		}
+		msg, err := wire.Decode(buf)
+		if err != nil {
+			return // corrupt datagrams vanish, as on a real network
+		}
+		ep.enqueue(Inbound{From: from, Msg: msg})
+	}
+	if delay <= 0 {
+		go run()
+		return
+	}
+	time.AfterFunc(delay, run)
+}
+
+// inprocEndpoint is one node's attachment to a Fabric.
+type inprocEndpoint struct {
+	fabric *Fabric
+	self   id.Node
+	recv   chan Inbound
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Endpoint = (*inprocEndpoint)(nil)
+
+func (e *inprocEndpoint) Self() id.Node        { return e.self }
+func (e *inprocEndpoint) Recv() <-chan Inbound { return e.recv }
+
+func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	msg.From = e.self
+	buf := msg.Marshal()
+
+	f := e.fabric
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if _, ok := f.endpoints[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	f.deliver(e.self, to, buf)
+	return nil
+}
+
+// enqueue adds a datagram to the receive queue, dropping it when the queue
+// is full or the endpoint is closed (UDP semantics).
+func (e *inprocEndpoint) enqueue(in Inbound) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.recv <- in:
+	default:
+		// Queue overflow: drop, like a full socket buffer.
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+	f := e.fabric
+	f.mu.Lock()
+	delete(f.endpoints, e.self)
+	f.mu.Unlock()
+	close(e.recv)
+	return nil
+}
+
+// closeQueue is used by Fabric.Close after all deliveries have drained.
+func (e *inprocEndpoint) closeQueue() {
+	e.mu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	e.mu.Unlock()
+	if !alreadyClosed {
+		close(e.recv)
+	}
+}

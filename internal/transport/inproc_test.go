@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/wire"
+)
+
+func msg(kind wire.Kind, seq uint64) *wire.Message {
+	return &wire.Message{Kind: kind, Seq: seq, Body: []byte("payload")}
+}
+
+// recvOne waits for one inbound message with a timeout.
+func recvOne(t *testing.T, ep Endpoint) Inbound {
+	t.Helper()
+	select {
+	case in, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("receive channel closed")
+		}
+		return in
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	panic("unreachable")
+}
+
+func TestFabricBasicDelivery(t *testing.T) {
+	f := NewFabric(WithSeed(7))
+	defer f.Close()
+	a, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, msg(wire.KindData, 5)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.From != 1 {
+		t.Errorf("From = %s, want n1", in.From)
+	}
+	if in.Msg.Seq != 5 || in.Msg.Kind != wire.KindData {
+		t.Errorf("message = %+v", in.Msg)
+	}
+	if string(in.Msg.Body) != "payload" {
+		t.Errorf("body = %q", in.Msg.Body)
+	}
+}
+
+func TestFabricSelfSend(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Attach(1)
+	if err := a.Send(1, msg(wire.KindData, 1)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, a)
+	if in.From != 1 {
+		t.Errorf("self send From = %s", in.From)
+	}
+}
+
+func TestFabricDuplicateAttach(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	if _, err := f.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("second attach err = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestFabricUnknownPeer(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Attach(1)
+	if err := a.Send(99, msg(wire.KindData, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestFabricSendAfterClose(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Attach(1)
+	if _, err := f.Attach(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, msg(wire.KindData, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	f.Close()
+}
+
+func TestFabricCloseIdempotent(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Attach(1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close()
+}
+
+func TestFabricTotalLoss(t *testing.T) {
+	f := NewFabric(WithSeed(1), WithDefaultLink(LinkConfig{Loss: 1.0}))
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	for i := 0; i < 20; i++ {
+		if err := a.Send(2, msg(wire.KindData, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case in := <-b.Recv():
+		t.Fatalf("message delivered through 100%% loss link: %+v", in.Msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestFabricPartialLossStatistics(t *testing.T) {
+	f := NewFabric(WithSeed(42), WithDefaultLink(LinkConfig{Loss: 0.5}))
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if err := a.Send(2, msg(wire.KindData, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	timeout := time.After(2 * time.Second)
+drain:
+	for {
+		select {
+		case <-b.Recv():
+			received++
+		case <-timeout:
+			break drain
+		default:
+			// Allow in-flight goroutine deliveries to finish.
+			time.Sleep(10 * time.Millisecond)
+			select {
+			case <-b.Recv():
+				received++
+			default:
+				break drain
+			}
+		}
+	}
+	if received == 0 || received == sent {
+		t.Fatalf("received %d of %d with 50%% loss; expected strictly between", received, sent)
+	}
+	// With seed 42 the rate should be near 50%; allow a generous band.
+	if received < sent/4 || received > sent*3/4 {
+		t.Fatalf("received %d of %d, far from 50%%", received, sent)
+	}
+}
+
+func TestFabricDelay(t *testing.T) {
+	f := NewFabric(WithDefaultLink(LinkConfig{Delay: 30 * time.Millisecond}))
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	start := time.Now()
+	if err := a.Send(2, msg(wire.KindData, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestFabricDuplication(t *testing.T) {
+	f := NewFabric(WithSeed(3), WithDefaultLink(LinkConfig{Duplicate: 1.0}))
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	if err := a.Send(2, msg(wire.KindData, 9)); err != nil {
+		t.Fatal(err)
+	}
+	first := recvOne(t, b)
+	second := recvOne(t, b)
+	if first.Msg.Seq != 9 || second.Msg.Seq != 9 {
+		t.Fatalf("duplicates carry seq %d and %d, want 9 and 9",
+			first.Msg.Seq, second.Msg.Seq)
+	}
+}
+
+func TestFabricPartition(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	c, _ := f.Attach(3)
+
+	f.Partition([]id.Node{1, 2}, []id.Node{3})
+
+	// Same side: delivered.
+	if err := a.Send(2, msg(wire.KindData, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+
+	// Across the partition: dropped.
+	if err := a.Send(3, msg(wire.KindData, 2)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Recv():
+		t.Fatal("message crossed partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Healed: delivered.
+	f.Heal()
+	if err := a.Send(3, msg(wire.KindData, 3)); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, c)
+}
+
+func TestFabricPerLinkConfig(t *testing.T) {
+	f := NewFabric(WithSeed(5))
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	c, _ := f.Attach(3)
+	f.SetLink(1, 2, LinkConfig{Loss: 1.0})
+
+	if err := a.Send(2, msg(wire.KindData, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(3, msg(wire.KindData, 2)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, c)
+	if in.Msg.Seq != 2 {
+		t.Fatalf("node 3 got seq %d, want 2", in.Msg.Seq)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("lossy per-link config ignored")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestFabricMessageIsolation(t *testing.T) {
+	// Mutating a sent message after Send must not affect the receiver.
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	m := msg(wire.KindData, 1)
+	if err := a.Send(2, m); err != nil {
+		t.Fatal(err)
+	}
+	m.Body[0] = 'X'
+	m.Seq = 999
+	in := recvOne(t, b)
+	if in.Msg.Seq != 1 || string(in.Msg.Body) != "payload" {
+		t.Fatalf("receiver shares memory with sender: %+v", in.Msg)
+	}
+}
+
+func TestFabricRecvChannelClosedOnClose(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Attach(1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-a.Recv(); ok {
+		t.Fatal("Recv() open after Close()")
+	}
+	f.Close()
+}

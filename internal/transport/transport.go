@@ -1,0 +1,63 @@
+// Package transport provides the unreliable datagram abstraction beneath
+// the architecture. Every protocol layer sends and receives wire.Message
+// values through an Endpoint; the package offers two implementations:
+//
+//   - Fabric, an in-process network of channel-connected endpoints with
+//     configurable per-link delay, jitter, loss, duplication and network
+//     partitions — the substrate for protocol tests;
+//   - UDPEndpoint, a real UDP endpoint built on the net package for live
+//     deployments and the cmd/mmnode daemon.
+//
+// Large-scale experiments use the discrete-event simulator in
+// internal/netsim instead, which implements the same Endpoint interface
+// under virtual time.
+package transport
+
+import (
+	"errors"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/wire"
+)
+
+// RecvQueue is the depth of an endpoint's receive queue. Like a UDP socket
+// buffer, the queue drops the newest datagram when full; the reliable
+// multicast layer recovers the loss. The size is a deliberate, documented
+// exception to the channel-size-one default: it models a socket buffer.
+const RecvQueue = 1024
+
+// Inbound is one received datagram.
+type Inbound struct {
+	// From is the transport-level sender.
+	From id.Node
+	// Msg is the decoded message. The receiver owns it.
+	Msg *wire.Message
+}
+
+// Endpoint is one node's attachment to the network. Implementations are
+// safe for concurrent use. Send is best-effort: datagrams may be lost,
+// duplicated or reordered, exactly like UDP.
+type Endpoint interface {
+	// Self returns the local node ID.
+	Self() id.Node
+	// Send transmits one message to the given node. It returns an error
+	// only for local conditions (endpoint closed, unknown peer); network
+	// loss is silent.
+	Send(to id.Node, msg *wire.Message) error
+	// Recv returns the receive queue. The channel is closed when the
+	// endpoint is closed.
+	Recv() <-chan Inbound
+	// Close detaches the endpoint and releases its resources. Close is
+	// idempotent.
+	Close() error
+}
+
+// Errors common to all endpoint implementations.
+var (
+	// ErrClosed reports a send on a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnknownPeer reports a send to a node with no known address.
+	ErrUnknownPeer = errors.New("transport: unknown peer")
+	// ErrDuplicateNode reports attaching two endpoints with one node ID.
+	ErrDuplicateNode = errors.New("transport: node already attached")
+)

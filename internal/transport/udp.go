@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/wire"
+)
+
+// maxDatagram is the largest UDP payload the endpoint sends or receives.
+// Messages must fit in one datagram; the media layer fragments above this.
+const maxDatagram = 64 * 1024
+
+// UDPEndpoint is an Endpoint over a real UDP socket. Peers are registered
+// explicitly with AddPeer (the architecture's deployments use static or
+// session-distributed address maps; there is no discovery protocol at this
+// layer). UDPEndpoint is safe for concurrent use.
+type UDPEndpoint struct {
+	self id.Node
+	conn *net.UDPConn
+	recv chan Inbound
+
+	mu     sync.Mutex
+	peers  map[id.Node]*net.UDPAddr
+	closed bool
+
+	done chan struct{} // closed when the reader goroutine exits
+}
+
+var _ Endpoint = (*UDPEndpoint)(nil)
+
+// ListenUDP opens a UDP endpoint for node on the given local address
+// (for example "127.0.0.1:0").
+func ListenUDP(node id.Node, addr string) (*UDPEndpoint, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %q: %w", addr, err)
+	}
+	e := &UDPEndpoint{
+		self:  node,
+		conn:  conn,
+		recv:  make(chan Inbound, RecvQueue),
+		peers: make(map[id.Node]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}
+	go e.readLoop()
+	return e, nil
+}
+
+// LocalAddr returns the bound socket address, useful with port 0.
+func (e *UDPEndpoint) LocalAddr() *net.UDPAddr {
+	addr, _ := e.conn.LocalAddr().(*net.UDPAddr)
+	return addr
+}
+
+// AddPeer registers the UDP address for a remote node.
+func (e *UDPEndpoint) AddPeer(node id.Node, addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("resolve peer %q: %w", addr, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.peers[node] = uaddr
+	return nil
+}
+
+// Self returns the local node ID.
+func (e *UDPEndpoint) Self() id.Node { return e.self }
+
+// Recv returns the receive queue.
+func (e *UDPEndpoint) Recv() <-chan Inbound { return e.recv }
+
+// Send transmits one message as a single datagram.
+func (e *UDPEndpoint) Send(to id.Node, msg *wire.Message) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	addr, ok := e.peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	msg.From = e.self
+	buf := msg.Marshal()
+	if len(buf) > maxDatagram {
+		return fmt.Errorf("transport: message %d bytes exceeds datagram limit %d",
+			len(buf), maxDatagram)
+	}
+	if _, err := e.conn.WriteToUDP(buf, addr); err != nil {
+		return fmt.Errorf("udp write to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts the socket and waits for the reader goroutine to exit.
+func (e *UDPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.conn.Close()
+	<-e.done
+	close(e.recv)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("close udp socket: %w", err)
+	}
+	return nil
+}
+
+// readLoop pumps datagrams from the socket into the receive queue until the
+// socket closes.
+func (e *UDPEndpoint) readLoop() {
+	defer close(e.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed or fatally broken
+		}
+		msg, err := wire.Decode(buf[:n])
+		if err != nil {
+			continue // malformed datagrams vanish
+		}
+		select {
+		case e.recv <- Inbound{From: msg.From, Msg: msg}:
+		default:
+			// Queue overflow: drop, like a full socket buffer.
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"scalamedia/internal/wire"
+)
+
+// newUDPPair returns two loopback endpoints that know each other.
+func newUDPPair(t *testing.T) (a, b *UDPEndpoint) {
+	t.Helper()
+	a, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen a: %v", err)
+	}
+	b, err = ListenUDP(2, "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatalf("listen b: %v", err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, b := newUDPPair(t)
+	if err := a.Send(2, msg(wire.KindData, 11)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.From != 1 || in.Msg.Seq != 11 {
+		t.Fatalf("got from=%s seq=%d", in.From, in.Msg.Seq)
+	}
+	// And the reverse direction.
+	if err := b.Send(1, msg(wire.KindHeartbeat, 1)); err != nil {
+		t.Fatal(err)
+	}
+	back := recvOne(t, a)
+	if back.Msg.Kind != wire.KindHeartbeat {
+		t.Fatalf("reverse kind = %s", back.Msg.Kind)
+	}
+}
+
+func TestUDPSelf(t *testing.T) {
+	a, _ := newUDPPair(t)
+	if a.Self() != 1 {
+		t.Fatalf("Self() = %s", a.Self())
+	}
+}
+
+func TestUDPUnknownPeer(t *testing.T) {
+	a, _ := newUDPPair(t)
+	if err := a.Send(42, msg(wire.KindData, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestUDPSendAfterClose(t *testing.T) {
+	a, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, msg(wire.KindData, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	// Close must be idempotent.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPBadPeerAddress(t *testing.T) {
+	a, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.AddPeer(2, "not an address"); err == nil {
+		t.Fatal("AddPeer accepted garbage address")
+	}
+}
+
+func TestUDPOversizedMessage(t *testing.T) {
+	a, _ := newUDPPair(t)
+	big := &wire.Message{Kind: wire.KindData, Body: make([]byte, maxDatagram)}
+	if err := a.Send(2, big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestUDPIgnoresMalformedDatagrams(t *testing.T) {
+	a, b := newUDPPair(t)
+	// Throw raw garbage at b's socket; it must survive and keep working.
+	if _, err := a.conn.WriteToUDP([]byte{1, 2, 3}, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := a.Send(2, msg(wire.KindData, 77)); err != nil {
+		t.Fatal(err)
+	}
+	in := recvOne(t, b)
+	if in.Msg.Seq != 77 {
+		t.Fatalf("seq = %d, want 77", in.Msg.Seq)
+	}
+}
+
+func TestUDPRecvClosedAfterClose(t *testing.T) {
+	a, err := ListenUDP(9, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Fatal("unexpected message on closed endpoint")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv() not closed after Close()")
+	}
+}
+
+func TestUDPManyMessages(t *testing.T) {
+	a, b := newUDPPair(t)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, msg(wire.KindData, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := 0
+	deadline := time.After(3 * time.Second)
+	for got < n {
+		select {
+		case <-b.Recv():
+			got++
+		case <-deadline:
+			// Loopback UDP can drop under buffer pressure, but
+			// losing most of 100 small datagrams means a bug.
+			if got < n/2 {
+				t.Fatalf("received only %d of %d", got, n)
+			}
+			return
+		}
+	}
+}

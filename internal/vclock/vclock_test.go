@@ -1,0 +1,240 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	if got := l.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %d, want 0", got)
+	}
+	if got := l.Tick(); got != 1 {
+		t.Fatalf("first Tick() = %d, want 1", got)
+	}
+	if got := l.Tick(); got != 2 {
+		t.Fatalf("second Tick() = %d, want 2", got)
+	}
+}
+
+func TestLamportObserve(t *testing.T) {
+	tests := []struct {
+		name   string
+		local  uint64
+		remote uint64
+		want   uint64
+	}{
+		{name: "remote ahead", local: 2, remote: 10, want: 11},
+		{name: "remote behind", local: 7, remote: 3, want: 8},
+		{name: "remote equal", local: 5, remote: 5, want: 6},
+		{name: "both zero", local: 0, remote: 0, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l := Lamport{time: tt.local}
+			if got := l.Observe(tt.remote); got != tt.want {
+				t.Fatalf("Observe(%d) on %d = %d, want %d", tt.remote, tt.local, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLamportObserveMonotonic(t *testing.T) {
+	// Property: Observe always strictly increases the clock.
+	f := func(local, remote uint64) bool {
+		// Keep values well below overflow.
+		local %= 1 << 40
+		remote %= 1 << 40
+		l := Lamport{time: local}
+		return l.Observe(remote) > local && l.Now() > remote
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCTickAndEntry(t *testing.T) {
+	v := New(3)
+	v.Tick(0)
+	v.Tick(2)
+	v.Tick(2)
+	if got := v.Entry(0); got != 1 {
+		t.Errorf("Entry(0) = %d, want 1", got)
+	}
+	if got := v.Entry(1); got != 0 {
+		t.Errorf("Entry(1) = %d, want 0", got)
+	}
+	if got := v.Entry(2); got != 2 {
+		t.Errorf("Entry(2) = %d, want 2", got)
+	}
+	if got := v.Entry(99); got != 0 {
+		t.Errorf("Entry(out of range) = %d, want 0", got)
+	}
+}
+
+func TestVCCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Ordering
+	}{
+		{name: "equal", a: VC{1, 2, 3}, b: VC{1, 2, 3}, want: Equal},
+		{name: "before", a: VC{1, 2, 3}, b: VC{1, 3, 3}, want: Before},
+		{name: "after", a: VC{2, 2, 3}, b: VC{1, 2, 3}, want: After},
+		{name: "concurrent", a: VC{2, 1}, b: VC{1, 2}, want: Concurrent},
+		{name: "short vs long equal", a: VC{1, 2}, b: VC{1, 2, 0}, want: Equal},
+		{name: "short before long", a: VC{1, 2}, b: VC{1, 2, 1}, want: Before},
+		{name: "empty before nonzero", a: VC{}, b: VC{0, 1}, want: Before},
+		{name: "both empty", a: VC{}, b: VC{}, want: Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("%v.Compare(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVCCompareAntisymmetry(t *testing.T) {
+	// Property: a.Compare(b) and b.Compare(a) are consistent inverses.
+	f := func(a, b []uint32) bool {
+		va, vb := VC(a), VC(b)
+		x, y := va.Compare(vb), vb.Compare(va)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		case Concurrent:
+			return y == Concurrent
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCMerge(t *testing.T) {
+	a := VC{1, 5, 0}
+	b := VC{3, 2, 0, 7}
+	m := a.Merge(b)
+	want := VC{3, 5, 0, 7}
+	if m.Compare(want) != Equal {
+		t.Fatalf("Merge = %v, want %v", m, want)
+	}
+}
+
+func TestVCMergeIsUpperBound(t *testing.T) {
+	// Property: merge is an upper bound of both inputs.
+	f := func(a, b []uint32) bool {
+		m := VC(a).Clone().Merge(VC(b))
+		ra := m.Compare(VC(a))
+		rb := m.Compare(VC(b))
+		okA := ra == Equal || ra == After
+		okB := rb == Equal || rb == After
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCCloneIndependence(t *testing.T) {
+	a := VC{1, 2}
+	c := a.Clone()
+	c.Tick(0)
+	if a[0] != 1 {
+		t.Fatalf("Clone aliases original: %v", a)
+	}
+}
+
+func TestDeliverable(t *testing.T) {
+	tests := []struct {
+		name   string
+		ts     VC
+		local  VC
+		sender int
+		want   bool
+	}{
+		{
+			name: "next in sequence from sender, no deps",
+			ts:   VC{1, 0, 0}, local: VC{0, 0, 0}, sender: 0, want: true,
+		},
+		{
+			name: "gap from sender",
+			ts:   VC{2, 0, 0}, local: VC{0, 0, 0}, sender: 0, want: false,
+		},
+		{
+			name: "duplicate from sender",
+			ts:   VC{1, 0, 0}, local: VC{1, 0, 0}, sender: 0, want: false,
+		},
+		{
+			name: "missing causal dependency",
+			ts:   VC{1, 1, 0}, local: VC{0, 0, 0}, sender: 0, want: false,
+		},
+		{
+			name: "dependency satisfied",
+			ts:   VC{1, 1, 0}, local: VC{0, 1, 0}, sender: 0, want: true,
+		},
+		{
+			name: "longer local vector",
+			ts:   VC{1}, local: VC{0, 4, 2}, sender: 0, want: true,
+		},
+		{
+			name: "longer message vector with zero tail",
+			ts:   VC{0, 1, 0, 0}, local: VC{0, 0}, sender: 1, want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Deliverable(tt.ts, tt.local, tt.sender); got != tt.want {
+				t.Fatalf("Deliverable(%v, %v, %d) = %t, want %t",
+					tt.ts, tt.local, tt.sender, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeliverableAdvancesExactlyOne(t *testing.T) {
+	// Property: if a message is deliverable, merging its timestamp advances
+	// the sender component by exactly one and no component regresses.
+	f := func(seed []uint32, senderRaw uint8) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		local := VC(seed).Clone()
+		sender := int(senderRaw) % len(local)
+		ts := local.Clone().Tick(sender)
+		if !Deliverable(ts, local, sender) {
+			return false
+		}
+		merged := local.Clone().Merge(ts)
+		return merged.Entry(sender) == local.Entry(sender)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Equal.String() != "equal" || Concurrent.String() != "concurrent" {
+		t.Fatal("Ordering.String() broken")
+	}
+	if Ordering(42).String() != "Ordering(42)" {
+		t.Fatalf("unknown ordering string: %s", Ordering(42))
+	}
+}
+
+func TestVCString(t *testing.T) {
+	if got := (VC{1, 2, 3}).String(); got != "[1 2 3]" {
+		t.Fatalf("String() = %q, want %q", got, "[1 2 3]")
+	}
+	if got := (VC{}).String(); got != "[]" {
+		t.Fatalf("empty String() = %q, want %q", got, "[]")
+	}
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scalamedia/internal/id"
+)
+
+// Body payload helpers. Several protocol messages carry structured bodies:
+// membership messages carry node lists, stability messages carry per-sender
+// acknowledgment vectors. These helpers keep the encoding in one place.
+
+// MaxListEntries bounds the element count of any encoded list body.
+const MaxListEntries = 65536
+
+// AppendNodeList appends a length-prefixed list of node IDs to dst.
+func AppendNodeList(dst []byte, nodes []id.Node) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(nodes)))
+	dst = append(dst, n[:4]...)
+	for _, nd := range nodes {
+		binary.BigEndian.PutUint64(n[:], uint64(nd))
+		dst = append(dst, n[:]...)
+	}
+	return dst
+}
+
+// DecodeNodeList parses a node list from buf and returns the list and the
+// number of bytes consumed.
+func DecodeNodeList(buf []byte) ([]id.Node, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	if count > MaxListEntries {
+		return nil, 0, fmt.Errorf("%w: node list %d entries", ErrTooLarge, count)
+	}
+	need := 4 + 8*count
+	if len(buf) < need {
+		return nil, 0, ErrShortMessage
+	}
+	nodes := make([]id.Node, count)
+	off := 4
+	for i := range nodes {
+		nodes[i] = id.Node(binary.BigEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return nodes, need, nil
+}
+
+// AckEntry is one element of a stability vector: the highest contiguously
+// delivered sequence number this receiver has seen from Sender.
+type AckEntry struct {
+	Sender id.Node
+	Seq    uint64
+}
+
+// AppendAckVector appends a length-prefixed stability vector to dst.
+func AppendAckVector(dst []byte, acks []AckEntry) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(acks)))
+	dst = append(dst, n[:4]...)
+	for _, a := range acks {
+		binary.BigEndian.PutUint64(n[:], uint64(a.Sender))
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], a.Seq)
+		dst = append(dst, n[:]...)
+	}
+	return dst
+}
+
+// DecodeAckVector parses a stability vector from buf and returns it and the
+// number of bytes consumed.
+func DecodeAckVector(buf []byte) ([]AckEntry, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	if count > MaxListEntries {
+		return nil, 0, fmt.Errorf("%w: ack vector %d entries", ErrTooLarge, count)
+	}
+	need := 4 + 16*count
+	if len(buf) < need {
+		return nil, 0, ErrShortMessage
+	}
+	acks := make([]AckEntry, count)
+	off := 4
+	for i := range acks {
+		acks[i].Sender = id.Node(binary.BigEndian.Uint64(buf[off:]))
+		acks[i].Seq = binary.BigEndian.Uint64(buf[off+8:])
+		off += 16
+	}
+	return acks, need, nil
+}
+
+// ViewBody is the payload of JoinAck, ViewPropose and ViewCommit messages:
+// a view number plus the ordered member list.
+type ViewBody struct {
+	View    id.View
+	Members []id.Node
+}
+
+// AppendViewBody appends the encoded view body to dst.
+func AppendViewBody(dst []byte, v ViewBody) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(v.View))
+	dst = append(dst, n[:]...)
+	return AppendNodeList(dst, v.Members)
+}
+
+// DecodeViewBody parses a view body from buf.
+func DecodeViewBody(buf []byte) (ViewBody, error) {
+	if len(buf) < 8 {
+		return ViewBody{}, ErrShortMessage
+	}
+	v := ViewBody{View: id.View(binary.BigEndian.Uint64(buf))}
+	members, _, err := DecodeNodeList(buf[8:])
+	if err != nil {
+		return ViewBody{}, fmt.Errorf("view body: %w", err)
+	}
+	v.Members = members
+	return v, nil
+}

@@ -1,0 +1,280 @@
+// Package wire defines the binary message format shared by every protocol
+// in the architecture: the reliable multicast layer, the membership layer,
+// the failure detector, the hierarchical relay and the real-time media
+// channel all exchange wire.Message values.
+//
+// The encoding is a fixed big-endian header followed by a length-prefixed
+// vector timestamp and a length-prefixed opaque body. It is deliberately
+// simple: the experiments measure protocol behaviour, not codec cleverness,
+// and a fixed layout keeps per-message overhead predictable.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/vclock"
+)
+
+// Kind discriminates the protocol message types.
+type Kind uint8
+
+// All protocol message kinds.
+const (
+	// KindData carries an application multicast payload.
+	KindData Kind = iota + 1
+	// KindNack requests retransmission of the sequence range [Seq, Aux].
+	KindNack
+	// KindRetrans carries a retransmitted data message.
+	KindRetrans
+	// KindOrder is a sequencer announcement assigning total-order slot Aux
+	// to the message (Sender, Seq).
+	KindOrder
+	// KindStable gossips the receiver's delivered-prefix for buffer GC;
+	// the body encodes per-sender acknowledged sequence numbers.
+	KindStable
+	// KindHeartbeat is a failure-detector liveness beacon; Aux is the
+	// heartbeat counter.
+	KindHeartbeat
+	// KindJoinReq asks the group coordinator for admission.
+	KindJoinReq
+	// KindJoinAck answers a join request; the body encodes the view.
+	KindJoinAck
+	// KindViewPropose proposes a new view; the body encodes the view.
+	KindViewPropose
+	// KindFlush asks members to flush unstable messages before the view
+	// change completes.
+	KindFlush
+	// KindFlushOK acknowledges a flush.
+	KindFlushOK
+	// KindViewCommit installs a proposed view; the body encodes the view.
+	KindViewCommit
+	// KindLeave announces a voluntary departure.
+	KindLeave
+	// KindMedia carries one real-time media packet; Stream and MediaTS
+	// locate it in the stream, Flags may carry FlagMarker.
+	KindMedia
+	// KindRelay wraps an inter-cluster message in the hierarchical
+	// organization; the body is a nested encoded Message.
+	KindRelay
+	// KindSessionCtl carries session-control operations.
+	KindSessionCtl
+	// KindAck is a positive cumulative acknowledgment: the receiver has
+	// contiguously delivered Sender's stream up to Seq. Used by the
+	// ACK-based baseline multicast (rmcast.AckEngine).
+	KindAck
+	// KindClockProbe and KindClockReply carry the clock-synchronization
+	// substrate's request/response pair; Aux echoes the probe nonce and
+	// the reply body carries the responder's local time.
+	KindClockProbe
+	KindClockReply
+	// KindReport is a receiver quality report (loss, jitter) fed back
+	// to a media sender for rate adaptation.
+	KindReport
+)
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindNack:
+		return "nack"
+	case KindRetrans:
+		return "retrans"
+	case KindOrder:
+		return "order"
+	case KindStable:
+		return "stable"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindJoinReq:
+		return "join-req"
+	case KindJoinAck:
+		return "join-ack"
+	case KindViewPropose:
+		return "view-propose"
+	case KindFlush:
+		return "flush"
+	case KindFlushOK:
+		return "flush-ok"
+	case KindViewCommit:
+		return "view-commit"
+	case KindLeave:
+		return "leave"
+	case KindMedia:
+		return "media"
+	case KindRelay:
+		return "relay"
+	case KindSessionCtl:
+		return "session-ctl"
+	case KindAck:
+		return "ack"
+	case KindClockProbe:
+		return "clock-probe"
+	case KindClockReply:
+		return "clock-reply"
+	case KindReport:
+		return "report"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Message flag bits.
+const (
+	// FlagMarker marks the last media packet of an application data unit
+	// (the end of a video frame or a talkspurt).
+	FlagMarker uint8 = 1 << iota
+	// FlagTotalOrder marks data messages that must wait for a sequencer
+	// order announcement before delivery.
+	FlagTotalOrder
+	// FlagCausal marks data messages carrying a causal vector timestamp.
+	FlagCausal
+	// FlagParity marks a media packet carrying FEC parity for the block
+	// of data packets starting at Seq rather than media data.
+	FlagParity
+	// FlagFragStart marks the first fragment of a fragmented media
+	// frame; FlagMarker marks the last.
+	FlagFragStart
+)
+
+// Encoding limits. Messages violating them fail to decode; they bound the
+// memory a malformed datagram can make a node allocate.
+const (
+	// MaxTimestamp is the maximum number of vector-timestamp entries.
+	MaxTimestamp = 4096
+	// MaxBody is the maximum body length in bytes.
+	MaxBody = 1 << 20
+)
+
+// headerLen is the fixed portion of the encoding in bytes.
+const headerLen = 1 + 1 + 8 + 4 + 8 + 8 + 8 + 8 + 4 + 4
+
+// Decoding errors.
+var (
+	// ErrShortMessage reports a datagram shorter than the fixed header or
+	// its declared variable sections.
+	ErrShortMessage = errors.New("wire: short message")
+	// ErrBadKind reports an unknown message kind.
+	ErrBadKind = errors.New("wire: unknown message kind")
+	// ErrTooLarge reports a length field exceeding the encoding limits.
+	ErrTooLarge = errors.New("wire: section too large")
+)
+
+// Message is the envelope exchanged by all protocol layers. Fields not
+// meaningful for a given Kind are zero and cost their fixed header bytes;
+// see the Kind constants for per-kind field meaning.
+type Message struct {
+	Kind    Kind
+	Flags   uint8
+	From    id.Node   // transport-level sender (relay hop)
+	Group   id.Group  // destination group
+	View    id.View   // view the message was sent in
+	Sender  id.Node   // original application sender
+	Seq     uint64    // sender sequence number
+	Aux     uint64    // kind-specific (order slot, nack end, hb count)
+	Stream  id.Stream // media stream (KindMedia)
+	MediaTS uint32    // media clock timestamp (KindMedia)
+	TS      vclock.VC // causal timestamp (FlagCausal data)
+	Body    []byte
+}
+
+// EncodedLen returns the exact encoded size of the message in bytes.
+func (m *Message) EncodedLen() int {
+	return headerLen + 2 + 4*len(m.TS) + 4 + len(m.Body)
+}
+
+// Encode appends the binary encoding of m to dst and returns the extended
+// slice. Encode never fails; limits are enforced on decode.
+func (m *Message) Encode(dst []byte) []byte {
+	var hdr [headerLen]byte
+	hdr[0] = byte(m.Kind)
+	hdr[1] = m.Flags
+	binary.BigEndian.PutUint64(hdr[2:], uint64(m.From))
+	binary.BigEndian.PutUint32(hdr[10:], uint32(m.Group))
+	binary.BigEndian.PutUint64(hdr[14:], uint64(m.View))
+	binary.BigEndian.PutUint64(hdr[22:], uint64(m.Sender))
+	binary.BigEndian.PutUint64(hdr[30:], m.Seq)
+	binary.BigEndian.PutUint64(hdr[38:], m.Aux)
+	binary.BigEndian.PutUint32(hdr[46:], uint32(m.Stream))
+	binary.BigEndian.PutUint32(hdr[50:], m.MediaTS)
+	dst = append(dst, hdr[:]...)
+
+	var n [4]byte
+	binary.BigEndian.PutUint16(n[:2], uint16(len(m.TS)))
+	dst = append(dst, n[:2]...)
+	for _, t := range m.TS {
+		binary.BigEndian.PutUint32(n[:], t)
+		dst = append(dst, n[:]...)
+	}
+	binary.BigEndian.PutUint32(n[:], uint32(len(m.Body)))
+	dst = append(dst, n[:]...)
+	dst = append(dst, m.Body...)
+	return dst
+}
+
+// Marshal returns the binary encoding of m in a fresh slice.
+func (m *Message) Marshal() []byte {
+	return m.Encode(make([]byte, 0, m.EncodedLen()))
+}
+
+// Decode parses one message from buf. The returned message's TS and Body
+// are copies, so buf may be reused by the caller.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerLen+2+4 {
+		return nil, ErrShortMessage
+	}
+	m := &Message{
+		Kind:    Kind(buf[0]),
+		Flags:   buf[1],
+		From:    id.Node(binary.BigEndian.Uint64(buf[2:])),
+		Group:   id.Group(binary.BigEndian.Uint32(buf[10:])),
+		View:    id.View(binary.BigEndian.Uint64(buf[14:])),
+		Sender:  id.Node(binary.BigEndian.Uint64(buf[22:])),
+		Seq:     binary.BigEndian.Uint64(buf[30:]),
+		Aux:     binary.BigEndian.Uint64(buf[38:]),
+		Stream:  id.Stream(binary.BigEndian.Uint32(buf[46:])),
+		MediaTS: binary.BigEndian.Uint32(buf[50:]),
+	}
+	if m.Kind < KindData || m.Kind > KindReport {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+	}
+	off := headerLen
+	tsLen := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	if tsLen > MaxTimestamp {
+		return nil, fmt.Errorf("%w: timestamp %d entries", ErrTooLarge, tsLen)
+	}
+	if len(buf) < off+4*tsLen+4 {
+		return nil, ErrShortMessage
+	}
+	if tsLen > 0 {
+		m.TS = make(vclock.VC, tsLen)
+		for i := 0; i < tsLen; i++ {
+			m.TS[i] = binary.BigEndian.Uint32(buf[off:])
+			off += 4
+		}
+	}
+	bodyLen := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if bodyLen > MaxBody {
+		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+	}
+	if len(buf) < off+bodyLen {
+		return nil, ErrShortMessage
+	}
+	if bodyLen > 0 {
+		m.Body = make([]byte, bodyLen)
+		copy(m.Body, buf[off:off+bodyLen])
+	}
+	return m, nil
+}
+
+// String renders a compact human-readable form for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s from=%s grp=%s view=%s sender=%s seq=%d aux=%d body=%dB",
+		m.Kind, m.From, m.Group, m.View, m.Sender, m.Seq, m.Aux, len(m.Body))
+}

@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/vclock"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Kind:    KindData,
+		Flags:   FlagCausal | FlagMarker,
+		From:    id.Node(7),
+		Group:   id.Group(3),
+		View:    id.View(12),
+		Sender:  id.Node(9),
+		Seq:     42,
+		Aux:     1000,
+		Stream:  id.Stream(2),
+		MediaTS: 90000,
+		TS:      vclock.VC{1, 0, 5},
+		Body:    []byte("hello multimedia"),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	buf := m.Marshal()
+	if len(buf) != m.EncodedLen() {
+		t.Fatalf("Marshal length %d != EncodedLen %d", len(buf), m.EncodedLen())
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for k := KindData; k <= KindReport; k++ {
+		m := &Message{Kind: k, From: 1, Seq: uint64(k)}
+		got, err := Decode(m.Marshal())
+		if err != nil {
+			t.Fatalf("kind %s: %v", k, err)
+		}
+		if got.Kind != k || got.Seq != uint64(k) {
+			t.Fatalf("kind %s: round trip mismatch %+v", k, got)
+		}
+	}
+}
+
+func TestRoundTripEmptySections(t *testing.T) {
+	m := &Message{Kind: KindHeartbeat, From: 3, Aux: 17}
+	got, err := Decode(m.Marshal())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.TS != nil {
+		t.Fatalf("empty TS decoded as %v", got.TS)
+	}
+	if got.Body != nil {
+		t.Fatalf("empty body decoded as %v", got.Body)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := sampleMessage()
+	valid := m.Marshal()
+
+	tests := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{name: "empty", buf: nil, want: ErrShortMessage},
+		{name: "truncated header", buf: valid[:10], want: ErrShortMessage},
+		{name: "truncated timestamp", buf: valid[:headerLen+3], want: ErrShortMessage},
+		{name: "truncated body", buf: valid[:len(valid)-1], want: ErrShortMessage},
+		{
+			name: "bad kind",
+			buf: func() []byte {
+				b := bytes.Clone(valid)
+				b[0] = 0
+				return b
+			}(),
+			want: ErrBadKind,
+		},
+		{
+			name: "kind above range",
+			buf: func() []byte {
+				b := bytes.Clone(valid)
+				b[0] = 200
+				return b
+			}(),
+			want: ErrBadKind,
+		},
+		{
+			name: "oversized body length",
+			buf: func() []byte {
+				b := (&Message{Kind: KindData}).Marshal()
+				// Body length field sits after header + 2-byte empty TS.
+				off := headerLen + 2
+				b[off] = 0xff
+				b[off+1] = 0xff
+				b[off+2] = 0xff
+				b[off+3] = 0xff
+				return b
+			}(),
+			want: ErrTooLarge,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode(tt.buf)
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Decode() err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodeOversizedTimestamp(t *testing.T) {
+	b := (&Message{Kind: KindData}).Marshal()
+	b[headerLen] = 0xff
+	b[headerLen+1] = 0xff
+	_, err := Decode(b)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Decode() err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeCopiesBody(t *testing.T) {
+	m := &Message{Kind: KindData, Body: []byte("abcd")}
+	buf := m.Marshal()
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] = 'X'
+	if string(got.Body) != "abcd" {
+		t.Fatalf("decoded body aliases input buffer: %q", got.Body)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(flags uint8, from, sender, seq, aux uint64, grp, mts uint32, ts []uint32, body []byte) bool {
+		if len(ts) > MaxTimestamp {
+			ts = ts[:MaxTimestamp]
+		}
+		if len(body) > 4096 {
+			body = body[:4096]
+		}
+		m := &Message{
+			Kind:    KindData,
+			Flags:   flags,
+			From:    id.Node(from),
+			Group:   id.Group(grp),
+			Sender:  id.Node(sender),
+			Seq:     seq,
+			Aux:     aux,
+			MediaTS: mts,
+			TS:      vclock.VC(ts),
+			Body:    body,
+		}
+		got, err := Decode(m.Marshal())
+		if err != nil {
+			return false
+		}
+		if len(ts) == 0 {
+			got.TS = m.TS // nil vs empty equivalence
+		}
+		if len(body) == 0 {
+			got.Body = m.Body
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindViewCommit.String() != "view-commit" {
+		t.Fatal("Kind.String() broken")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("unknown kind string = %s", Kind(99))
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	s := sampleMessage().String()
+	if s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestNodeListRoundTrip(t *testing.T) {
+	nodes := []id.Node{1, 5, 9, 1 << 40}
+	buf := AppendNodeList(nil, nodes)
+	got, n, err := DecodeNodeList(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	if !reflect.DeepEqual(nodes, got) {
+		t.Fatalf("node list mismatch: %v vs %v", nodes, got)
+	}
+}
+
+func TestNodeListEmpty(t *testing.T) {
+	buf := AppendNodeList(nil, nil)
+	got, _, err := DecodeNodeList(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty list decoded as %v", got)
+	}
+}
+
+func TestNodeListErrors(t *testing.T) {
+	if _, _, err := DecodeNodeList(nil); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("nil buf err = %v", err)
+	}
+	buf := AppendNodeList(nil, []id.Node{1, 2})
+	if _, _, err := DecodeNodeList(buf[:6]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := DecodeNodeList(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge count err = %v", err)
+	}
+}
+
+func TestAckVectorRoundTrip(t *testing.T) {
+	acks := []AckEntry{{Sender: 3, Seq: 100}, {Sender: 9, Seq: 7}}
+	buf := AppendAckVector(nil, acks)
+	got, n, err := DecodeAckVector(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || !reflect.DeepEqual(acks, got) {
+		t.Fatalf("ack vector mismatch: %v vs %v (n=%d)", acks, got, n)
+	}
+}
+
+func TestAckVectorErrors(t *testing.T) {
+	if _, _, err := DecodeAckVector([]byte{1}); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short err = %v", err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := DecodeAckVector(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("huge err = %v", err)
+	}
+}
+
+func TestViewBodyRoundTrip(t *testing.T) {
+	v := ViewBody{View: id.View(4), Members: []id.Node{2, 4, 8}}
+	buf := AppendViewBody(nil, v)
+	got, err := DecodeViewBody(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Fatalf("view body mismatch: %+v vs %+v", v, got)
+	}
+}
+
+func TestViewBodyErrors(t *testing.T) {
+	if _, err := DecodeViewBody([]byte{1, 2}); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("short err = %v", err)
+	}
+	v := ViewBody{View: 1, Members: []id.Node{1}}
+	buf := AppendViewBody(nil, v)
+	if _, err := DecodeViewBody(buf[:10]); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("truncated member list err = %v", err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := sampleMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Marshal()
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := sampleMessage().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

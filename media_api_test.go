@@ -1,0 +1,116 @@
+package scalamedia
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scalamedia/internal/media"
+	"scalamedia/internal/transport"
+)
+
+// startLossyPair boots two nodes on a fabric with the given loss.
+func startLossyPair(t *testing.T, loss float64) (*Node, *Node) {
+	t.Helper()
+	fab := transport.NewFabric(
+		transport.WithSeed(9),
+		transport.WithDefaultLink(transport.LinkConfig{
+			Delay: 2 * time.Millisecond, Loss: loss,
+		}),
+	)
+	t.Cleanup(fab.Close)
+	epA, _ := fab.Attach(1)
+	epB, _ := fab.Attach(2)
+	a, err := Start(Config{Self: 1, Endpoint: epA, Group: 1,
+		Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Start(Config{Self: 2, Endpoint: epB, Group: 1, Contact: 1,
+		Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	waitFor(t, "pair view", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+	return a, b
+}
+
+func TestMediaFECOverPublicAPI(t *testing.T) {
+	a, b := startLossyPair(t, 0.05)
+	spec := media.TelephoneAudio(1, "mic")
+	sender, err := a.OpenSender(spec, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.EnableFEC(4); err != nil {
+		t.Fatalf("EnableFEC: %v", err)
+	}
+	if err := sender.EnableFEC(1); err == nil {
+		t.Fatal("EnableFEC(1) accepted")
+	}
+	recv, err := b.OpenReceiver(ReceiverConfig{
+		Spec: spec, Mode: FixedDelay, PlayoutDelay: 150 * time.Millisecond,
+		FECBlock: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := media.NewCBR(spec, 160, 200)
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		sender.Send(f)
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitFor(t, "fec recovery", func() bool {
+		st := recv.Stats()
+		return st.Recovered > 0
+	})
+}
+
+func TestQualityReportsOverPublicAPI(t *testing.T) {
+	a, b := startLossyPair(t, 0)
+	spec := media.TelephoneAudio(1, "mic")
+	sender, err := a.OpenSender(spec, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OpenReceiver(ReceiverConfig{
+		Spec: spec, Mode: FixedDelay, PlayoutDelay: 50 * time.Millisecond,
+		ReportEvery: 100 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sender.RateAdvice(); got != Hold {
+		t.Fatalf("pre-traffic advice = %s", got)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := media.NewCBR(spec, 160, 80)
+		for {
+			f, ok := src.Next()
+			if !ok {
+				return
+			}
+			sender.Send(f)
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	waitFor(t, "reports", func() bool { return len(sender.Reports()) == 1 })
+	if got := sender.RateAdvice(); got != Increase {
+		t.Fatalf("clean-network advice = %s, want increase", got)
+	}
+	rep := sender.Reports()[0]
+	if rep.From != 2 || rep.Received == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

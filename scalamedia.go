@@ -1,0 +1,540 @@
+// Package scalamedia is a Go implementation of the scalable architecture
+// for reliable distributed multimedia applications described by Panzieri
+// and Roccetti (ICDCS 1994; UBLCS-93-23): a layered communication
+// infrastructure combining
+//
+//   - reliable group multicast with selectable ordering (unordered, FIFO,
+//     causal, total) over unreliable datagrams,
+//   - group membership with failure detection and flush-based view
+//     changes (approximate virtual synchrony),
+//   - a hierarchical cluster organization for large groups,
+//   - a real-time media channel with jitter-adaptive playout and
+//     inter-media (lip-sync) synchronization, and
+//   - QoS flow specifications with token-bucket policing and admission
+//     control.
+//
+// This package is the live-deployment facade: a Node runs the whole stack
+// over real UDP (or any transport.Endpoint) with one goroutine event
+// loop. The same protocol engines run deterministically under virtual
+// time in the discrete-event simulator (internal/netsim), which is how
+// the repository reproduces the paper's evaluation; see DESIGN.md and
+// EXPERIMENTS.md.
+//
+// # Quick start
+//
+//	first, _ := scalamedia.Start(scalamedia.Config{
+//		Self: 1, ListenAddr: "127.0.0.1:7001", Group: 1,
+//	})
+//	second, _ := scalamedia.Start(scalamedia.Config{
+//		Self: 2, ListenAddr: "127.0.0.1:7002", Group: 1, Contact: 1,
+//		Peers:   map[scalamedia.NodeID]string{1: "127.0.0.1:7001"},
+//		OnEvent: func(ev scalamedia.Event) { fmt.Println(ev.Kind) },
+//	})
+//	first.AddPeer(2, "127.0.0.1:7002")
+//	// ... wait for the view to include both, then:
+//	first.Send([]byte("hello, group"))
+package scalamedia
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/media"
+	"scalamedia/internal/member"
+	"scalamedia/internal/msync"
+	"scalamedia/internal/noderun"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/qos"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/rtx"
+	"scalamedia/internal/session"
+	"scalamedia/internal/transport"
+	"scalamedia/internal/wire"
+)
+
+// Re-exported identifier and protocol types. The aliases make the public
+// API self-contained: users never import internal packages.
+type (
+	// NodeID identifies a host process.
+	NodeID = id.Node
+	// GroupID identifies a process group.
+	GroupID = id.Group
+	// StreamID identifies a media stream.
+	StreamID = id.Stream
+	// View is an installed membership configuration.
+	View = member.View
+	// Ordering selects the multicast delivery discipline.
+	Ordering = rmcast.Ordering
+	// Event is a session notification.
+	Event = session.Event
+	// EventKind discriminates session notifications.
+	EventKind = session.EventKind
+	// Announcement is a stream directory entry.
+	Announcement = session.Announcement
+	// StreamSpec describes a media stream.
+	StreamSpec = media.StreamSpec
+	// Frame is one media data unit.
+	Frame = media.Frame
+	// FlowSpec is a QoS traffic contract.
+	FlowSpec = qos.FlowSpec
+	// PlayoutMode selects fixed or adaptive playout buffering.
+	PlayoutMode = rtx.PlayoutMode
+	// MediaStats summarizes a media receiver.
+	MediaStats = rtx.Stats
+	// Advice is a media sender's rate-adaptation recommendation derived
+	// from receiver reports.
+	Advice = rtx.Advice
+	// QualityReport is one receiver's quality feedback.
+	QualityReport = rtx.Report
+)
+
+// Re-exported constants.
+const (
+	// Unordered delivers multicasts on first receipt.
+	Unordered = rmcast.Unordered
+	// FIFO delivers each sender's multicasts in send order.
+	FIFO = rmcast.FIFO
+	// Causal delivers multicasts respecting potential causality.
+	Causal = rmcast.Causal
+	// Total delivers multicasts in one agreed order everywhere.
+	Total = rmcast.Total
+
+	// FixedDelay plays media at capture time plus a constant delay.
+	FixedDelay = rtx.FixedDelay
+	// Adaptive adjusts the playout delay to measured jitter.
+	Adaptive = rtx.Adaptive
+
+	// Hold, Decrease and Increase re-export the rate-adaptation advice.
+	Hold     = rtx.Hold
+	Decrease = rtx.Decrease
+	Increase = rtx.Increase
+
+	// ParticipantJoined et al. re-export the session event kinds.
+	ParticipantJoined = session.ParticipantJoined
+	ParticipantLeft   = session.ParticipantLeft
+	StreamAnnounced   = session.StreamAnnounced
+	StreamWithdrawn   = session.StreamWithdrawn
+	MessageReceived   = session.MessageReceived
+)
+
+// Errors.
+var (
+	// ErrClosed reports an operation on a closed node.
+	ErrClosed = errors.New("scalamedia: node closed")
+	// ErrNoCapacity reports a media stream rejected by QoS admission.
+	ErrNoCapacity = qos.ErrOverCommitted
+)
+
+// Config parameterizes a Node.
+type Config struct {
+	// Self is this node's cluster-unique ID. Required, nonzero.
+	Self NodeID
+	// ListenAddr is the UDP listen address ("127.0.0.1:0" picks a
+	// port). Ignored when Endpoint is set.
+	ListenAddr string
+	// Endpoint overrides the transport (e.g. a transport.Fabric
+	// endpoint for in-process demos). When nil, a UDP endpoint is
+	// opened on ListenAddr.
+	Endpoint transport.Endpoint
+	// Group is the session group to participate in.
+	Group GroupID
+	// Contact is an existing member to join through; zero bootstraps a
+	// new session.
+	Contact NodeID
+	// Peers maps node IDs to UDP addresses (UDP transport only). More
+	// peers can be added later with AddPeer.
+	Peers map[NodeID]string
+	// Ordering is the session multicast discipline; defaults to Causal.
+	Ordering Ordering
+	// Tick overrides the protocol tick cadence.
+	Tick time.Duration
+	// MediaCapacity is the QoS budget for outgoing media in bytes per
+	// second; zero disables admission control.
+	MediaCapacity float64
+	// OnEvent receives session notifications. It is called from the
+	// node's event loop: do not block in it, and do not call Node
+	// methods from it directly (hand work to another goroutine
+	// instead) — they serialize through the same loop and would
+	// deadlock.
+	OnEvent func(Event)
+
+	// Failure-detection timing (zero = defaults).
+	HeartbeatEvery time.Duration
+	SuspectAfter   time.Duration
+}
+
+// Node is one live participant: a transport endpoint, an event loop and
+// the full protocol stack. All exported methods are safe for concurrent
+// use.
+type Node struct {
+	cfg    Config
+	ep     transport.Endpoint
+	udp    *transport.UDPEndpoint // nil when Endpoint was supplied
+	runner *noderun.Runner
+	sess   *session.Engine
+	mux    *proto.Mux
+	admit  *qos.Controller
+
+	mu      sync.Mutex
+	closed  bool
+	senders []*MediaSender
+}
+
+// Start opens the transport and launches the node.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Self == 0 {
+		return nil, errors.New("scalamedia: Config.Self must be nonzero")
+	}
+	n := &Node{cfg: cfg}
+	if cfg.Endpoint != nil {
+		n.ep = cfg.Endpoint
+	} else {
+		addr := cfg.ListenAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		udp, err := transport.ListenUDP(cfg.Self, addr)
+		if err != nil {
+			return nil, fmt.Errorf("open transport: %w", err)
+		}
+		for peer, paddr := range cfg.Peers {
+			if err := udp.AddPeer(peer, paddr); err != nil {
+				udp.Close()
+				return nil, fmt.Errorf("peer %s: %w", peer, err)
+			}
+		}
+		n.udp = udp
+		n.ep = udp
+	}
+	if cfg.MediaCapacity > 0 {
+		n.admit = qos.NewController(cfg.MediaCapacity)
+	}
+
+	var opts []noderun.Option
+	if cfg.Tick > 0 {
+		opts = append(opts, noderun.WithTick(cfg.Tick))
+	}
+	n.runner = noderun.Start(n.ep, func(env proto.Env) proto.Handler {
+		n.sess = session.New(env, session.Config{
+			Group:          cfg.Group,
+			Contact:        cfg.Contact,
+			Ordering:       cfg.Ordering,
+			HeartbeatEvery: cfg.HeartbeatEvery,
+			SuspectAfter:   cfg.SuspectAfter,
+			OnEvent:        n.onEvent,
+		})
+		n.mux = proto.NewMux(n.sess)
+		return n.mux
+	}, opts...)
+	return n, nil
+}
+
+// onEvent tracks views for media sender peer lists and forwards to the
+// application.
+func (n *Node) onEvent(ev Event) {
+	if ev.Kind == session.ParticipantJoined || ev.Kind == session.ParticipantLeft {
+		n.mu.Lock()
+		senders := append([]*MediaSender(nil), n.senders...)
+		n.mu.Unlock()
+		for _, ms := range senders {
+			ms.sender.SetPeers(ev.View.Members)
+		}
+	}
+	if n.cfg.OnEvent != nil {
+		n.cfg.OnEvent(ev)
+	}
+}
+
+// ID returns this node's ID.
+func (n *Node) ID() NodeID { return n.cfg.Self }
+
+// Addr returns the bound UDP address ("" for custom endpoints), useful
+// with port 0.
+func (n *Node) Addr() string {
+	if n.udp == nil {
+		return ""
+	}
+	return n.udp.LocalAddr().String()
+}
+
+// AddPeer registers a remote node's UDP address. It fails on custom
+// endpoints, which carry their own addressing.
+func (n *Node) AddPeer(peer NodeID, addr string) error {
+	if n.udp == nil {
+		return errors.New("scalamedia: AddPeer requires the UDP transport")
+	}
+	return n.udp.AddPeer(peer, addr)
+}
+
+// View returns the current session membership.
+func (n *Node) View() View {
+	var v View
+	n.runner.Do(func() { v = n.sess.View() })
+	return v
+}
+
+// Directory returns the current stream directory.
+func (n *Node) Directory() []Announcement {
+	var d []Announcement
+	n.runner.Do(func() { d = n.sess.Directory() })
+	return d
+}
+
+// Send multicasts an application message to the session.
+func (n *Node) Send(payload []byte) error {
+	err := ErrClosed
+	n.runner.Do(func() { err = n.sess.Send(payload) })
+	return err
+}
+
+// Leave announces departure; call Close afterwards.
+func (n *Node) Leave() {
+	n.runner.Do(func() { n.sess.Leave() })
+}
+
+// Close stops the event loop and the transport. Close is idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.runner.Stop()
+	if err := n.ep.Close(); err != nil {
+		return fmt.Errorf("close transport: %w", err)
+	}
+	return nil
+}
+
+// MediaSender publishes one media stream to the session.
+type MediaSender struct {
+	node   *Node
+	sender *rtx.Sender
+	spec   StreamSpec
+}
+
+// OpenSender announces a media stream (entered in every participant's
+// directory) and returns a sender for its frames. meanRate declares the
+// sustained rate in bytes per second; when the node has a QoS budget the
+// flow must fit it, and the returned sender is policed at the declared
+// peak (twice the mean by default).
+func (n *Node) OpenSender(spec StreamSpec, meanRate float64) (*MediaSender, error) {
+	var policer *qos.TokenBucket
+	if n.admit != nil {
+		var err error
+		policer, err = n.admit.Admit(qos.FlowSpec{Stream: spec.ID, MeanRate: meanRate})
+		if err != nil {
+			return nil, fmt.Errorf("admit stream %s: %w", spec.ID, err)
+		}
+	}
+	ms := &MediaSender{node: n}
+	ok := n.runner.Do(func() {
+		// Build inside the loop: rtx.Sender is loop-affine.
+		env := loopEnv{node: n}
+		ms.sender = rtx.NewSender(env, n.cfg.Group, spec)
+		ms.sender.SetPeers(n.sess.View().Members)
+		if policer != nil {
+			ms.sender.SetPolicer(policer)
+		}
+		ms.spec = spec
+		// Mux the sender so receiver quality reports reach it.
+		n.mux.Add(ms.sender)
+	})
+	if !ok {
+		return nil, ErrClosed
+	}
+	if err := n.announce(spec, meanRate); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.senders = append(n.senders, ms)
+	n.mu.Unlock()
+	return ms, nil
+}
+
+func (n *Node) announce(spec StreamSpec, meanRate float64) error {
+	err := ErrClosed
+	n.runner.Do(func() { err = n.sess.Announce(spec, meanRate) })
+	return err
+}
+
+// Send transmits one frame to every current participant. It reports
+// whether the frame conformed to the stream's QoS contract.
+func (ms *MediaSender) Send(f Frame) bool {
+	admitted := false
+	ms.node.runner.Do(func() { admitted = ms.sender.Send(f) })
+	return admitted
+}
+
+// Stats returns frames and bytes sent.
+func (ms *MediaSender) Stats() (frames, bytes uint64) {
+	ms.node.runner.Do(func() { frames, bytes = ms.sender.Stats() })
+	return frames, bytes
+}
+
+// EnableFEC turns on XOR forward error correction with block size k;
+// receivers must set ReceiverConfig.FECBlock to the same k.
+func (ms *MediaSender) EnableFEC(k int) error {
+	err := ErrClosed
+	ms.node.runner.Do(func() { err = ms.sender.SetFEC(k) })
+	return err
+}
+
+// SetMaxFragment enables fragmentation of frames larger than n bytes;
+// receivers must set ReceiverConfig.Reassemble.
+func (ms *MediaSender) SetMaxFragment(n int) {
+	ms.node.runner.Do(func() { ms.sender.SetMaxFragment(n) })
+}
+
+// RateAdvice summarizes receiver quality reports into a rate-adaptation
+// recommendation (Hold with no feedback yet).
+func (ms *MediaSender) RateAdvice() Advice {
+	advice := Hold
+	ms.node.runner.Do(func() { advice = ms.sender.RateAdvice() })
+	return advice
+}
+
+// Reports returns the latest quality report from each receiver.
+func (ms *MediaSender) Reports() []QualityReport {
+	var out []QualityReport
+	ms.node.runner.Do(func() { out = ms.sender.Reports() })
+	return out
+}
+
+// MediaReceiver consumes one media stream with playout buffering.
+type MediaReceiver struct {
+	node   *Node
+	recv   *rtx.Receiver
+	syncFn func(Frame, time.Time) // set by Synchronize; loop-affine
+}
+
+// ReceiverConfig parameterizes OpenReceiver.
+type ReceiverConfig struct {
+	// Spec describes the stream (use the directory announcement).
+	Spec StreamSpec
+	// Mode selects fixed or adaptive playout; defaults to Adaptive.
+	Mode PlayoutMode
+	// PlayoutDelay is the fixed/initial playout delay.
+	PlayoutDelay time.Duration
+	// FECBlock enables FEC repair; must match the sender's EnableFEC k.
+	FECBlock int
+	// Reassemble enables fragmented-frame reassembly; required when the
+	// sender uses SetMaxFragment.
+	Reassemble bool
+	// ReportEvery enables periodic quality reports back to the stream's
+	// sender; zero disables them.
+	ReportEvery time.Duration
+	// OnPlay receives frames at their playout points, from the node's
+	// event loop.
+	OnPlay func(f Frame, playedAt time.Time)
+}
+
+// OpenReceiver subscribes to a media stream.
+func (n *Node) OpenReceiver(cfg ReceiverConfig) (*MediaReceiver, error) {
+	mr := &MediaReceiver{node: n}
+	ok := n.runner.Do(func() {
+		env := loopEnv{node: n}
+		mr.recv = rtx.NewReceiver(env, rtx.Config{
+			Group:        n.cfg.Group,
+			Stream:       cfg.Spec.ID,
+			Spec:         cfg.Spec,
+			Mode:         cfg.Mode,
+			PlayoutDelay: cfg.PlayoutDelay,
+			FECBlock:     cfg.FECBlock,
+			Reassemble:   cfg.Reassemble,
+			OnPlay: func(f Frame, at time.Time) {
+				if mr.syncFn != nil {
+					mr.syncFn(f, at)
+				}
+				if cfg.OnPlay != nil {
+					cfg.OnPlay(f, at)
+				}
+			},
+		})
+		if cfg.ReportEvery > 0 {
+			mr.recv.EnableReports(cfg.ReportEvery)
+		}
+		n.mux.Add(mr.recv)
+	})
+	if !ok {
+		return nil, ErrClosed
+	}
+	return mr, nil
+}
+
+// Stats returns the receiver's playout statistics.
+func (mr *MediaReceiver) Stats() MediaStats {
+	var st MediaStats
+	mr.node.runner.Do(func() { st = mr.recv.Stats() })
+	return st
+}
+
+// SyncGroup keeps a master stream and its slaves lip-synced; see the
+// msync package for the policy.
+type SyncGroup struct {
+	node *Node
+	ctl  *msync.Controller
+}
+
+// syncTick drives the controller from the node's event loop.
+type syncTick struct{ ctl *msync.Controller }
+
+func (s syncTick) OnMessage(id.Node, *wire.Message) {}
+func (s syncTick) OnTick(now time.Time)             { s.ctl.OnTick(now) }
+
+// Synchronize binds slave receivers to a master (conventionally the audio
+// stream): their playout timelines are steered to stay within maxSkew of
+// the master's. Pass zero for the default 80ms bound.
+func (n *Node) Synchronize(maxSkew time.Duration, master *MediaReceiver, slaves ...*MediaReceiver) (*SyncGroup, error) {
+	sg := &SyncGroup{node: n}
+	ok := n.runner.Do(func() {
+		recvs := make([]*rtx.Receiver, len(slaves))
+		for i, s := range slaves {
+			recvs[i] = s.recv
+		}
+		sg.ctl = msync.New(msync.Config{MaxSkew: maxSkew}, master.recv, recvs...)
+		master.syncFn = sg.ctl.ObserveMaster
+		for i, s := range slaves {
+			i := i
+			s.syncFn = func(f Frame, at time.Time) { sg.ctl.ObserveSlave(i, f, at) }
+		}
+		n.mux.Add(syncTick{sg.ctl})
+	})
+	if !ok {
+		return nil, ErrClosed
+	}
+	return sg, nil
+}
+
+// Skew returns the latest measured skew of slave i relative to the
+// master (positive: slave late), and whether both streams have played.
+func (sg *SyncGroup) Skew(i int) (time.Duration, bool) {
+	var d time.Duration
+	var ok bool
+	sg.node.runner.Do(func() { d, ok = sg.ctl.Skew(i) })
+	return d, ok
+}
+
+// Corrections returns how many playout adjustments have been applied.
+func (sg *SyncGroup) Corrections() uint64 {
+	var c uint64
+	sg.node.runner.Do(func() { c = sg.ctl.Corrections() })
+	return c
+}
+
+// loopEnv adapts the node for engines constructed after startup; it is
+// only used from inside the event loop.
+type loopEnv struct{ node *Node }
+
+var _ proto.Env = loopEnv{}
+
+func (e loopEnv) Self() NodeID   { return e.node.cfg.Self }
+func (e loopEnv) Now() time.Time { return time.Now() }
+func (e loopEnv) Send(to NodeID, msg *wire.Message) {
+	_ = e.node.ep.Send(to, msg)
+}

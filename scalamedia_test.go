@@ -1,0 +1,261 @@
+package scalamedia
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scalamedia/internal/media"
+	"scalamedia/internal/transport"
+)
+
+// eventLog is a concurrency-safe session event recorder.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) add(ev Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) count(k EventKind) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *eventLog) firstPayload() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ev := range l.events {
+		if ev.Kind == MessageReceived {
+			return string(ev.Payload)
+		}
+	}
+	return ""
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// startFabricPair boots two nodes on an in-process fabric.
+func startFabricPair(t *testing.T) (*Node, *Node, *eventLog, *eventLog) {
+	t.Helper()
+	fab := transport.NewFabric(transport.WithSeed(1))
+	t.Cleanup(fab.Close)
+	epA, err := fab.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := fab.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logA, logB := &eventLog{}, &eventLog{}
+	a, err := Start(Config{
+		Self: 1, Endpoint: epA, Group: 1,
+		Tick:           5 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		SuspectAfter:   400 * time.Millisecond,
+		OnEvent:        logA.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Start(Config{
+		Self: 2, Endpoint: epB, Group: 1, Contact: 1,
+		Tick:           5 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		SuspectAfter:   400 * time.Millisecond,
+		OnEvent:        logB.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return a, b, logA, logB
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Fatal("zero Self accepted")
+	}
+}
+
+func TestNodeJoinSendReceive(t *testing.T) {
+	a, b, _, logB := startFabricPair(t)
+	waitFor(t, "view of size 2", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+	if err := a.Send([]byte("group hello")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "message at b", func() bool { return logB.count(MessageReceived) > 0 })
+	if got := logB.firstPayload(); got != "group hello" {
+		t.Fatalf("payload = %q", got)
+	}
+	if logB.count(ParticipantJoined) == 0 {
+		t.Fatal("no join events")
+	}
+}
+
+func TestNodeOverUDP(t *testing.T) {
+	logB := &eventLog{}
+	a, err := Start(Config{Self: 1, ListenAddr: "127.0.0.1:0", Group: 1,
+		Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Start(Config{
+		Self: 2, ListenAddr: "127.0.0.1:0", Group: 1, Contact: 1,
+		Peers:   map[NodeID]string{1: a.Addr()},
+		Tick:    5 * time.Millisecond,
+		OnEvent: logB.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.AddPeer(2, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "UDP view of size 2", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+	if err := a.Send([]byte("over udp")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "udp message", func() bool { return logB.count(MessageReceived) > 0 })
+	if a.ID() != 1 || a.Addr() == "" {
+		t.Fatalf("ID/Addr broken: %v %q", a.ID(), a.Addr())
+	}
+}
+
+func TestMediaOverFabric(t *testing.T) {
+	a, b, _, logB := startFabricPair(t)
+	waitFor(t, "view", func() bool { return a.View().Size() == 2 && b.View().Size() == 2 })
+
+	spec := media.TelephoneAudio(1, "mic")
+	sender, err := a.OpenSender(spec, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "directory at b", func() bool { return len(b.Directory()) == 1 })
+	dir := b.Directory()
+	if dir[0].Owner != 1 || dir[0].Spec.Name != "mic" {
+		t.Fatalf("directory = %+v", dir)
+	}
+
+	var played struct {
+		mu sync.Mutex
+		n  int
+	}
+	recv, err := b.OpenReceiver(ReceiverConfig{
+		Spec: dir[0].Spec,
+		Mode: FixedDelay, PlayoutDelay: 30 * time.Millisecond,
+		OnPlay: func(Frame, time.Time) {
+			played.mu.Lock()
+			played.n++
+			played.mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := media.NewCBR(spec, 160, 10)
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !sender.Send(f) {
+			t.Fatal("frame rejected without QoS budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitFor(t, "frames played", func() bool {
+		played.mu.Lock()
+		defer played.mu.Unlock()
+		return played.n == 10
+	})
+	st := recv.Stats()
+	if st.Received != 10 || st.Played != 10 {
+		t.Fatalf("receiver stats = %+v", st)
+	}
+	frames, bytes := sender.Stats()
+	if frames != 10 || bytes != 1600 {
+		t.Fatalf("sender stats = %d/%d", frames, bytes)
+	}
+	_ = logB
+}
+
+func TestQoSAdmissionOnSender(t *testing.T) {
+	fab := transport.NewFabric()
+	defer fab.Close()
+	ep, _ := fab.Attach(1)
+	n, err := Start(Config{Self: 1, Endpoint: ep, Group: 1,
+		Tick: 5 * time.Millisecond, MediaCapacity: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	waitFor(t, "bootstrap view", func() bool { return n.View().Size() == 1 })
+
+	if _, err := n.OpenSender(media.TelephoneAudio(1, "a"), 8000); err != nil {
+		t.Fatalf("first stream rejected: %v", err)
+	}
+	if _, err := n.OpenSender(media.PALVideo(2, "v"), 8000); err == nil {
+		t.Fatal("over-budget stream admitted")
+	}
+}
+
+func TestLeaveShrinksView(t *testing.T) {
+	a, b, logA, _ := startFabricPair(t)
+	waitFor(t, "view", func() bool { return a.View().Size() == 2 })
+	b.Leave()
+	b.Close()
+	waitFor(t, "view back to 1", func() bool { return a.View().Size() == 1 })
+	if logA.count(ParticipantLeft) == 0 {
+		t.Fatal("no leave event")
+	}
+}
+
+func TestCloseIdempotentAndSendAfterClose(t *testing.T) {
+	fab := transport.NewFabric()
+	defer fab.Close()
+	ep, _ := fab.Attach(1)
+	n, err := Start(Config{Self: 1, Endpoint: ep, Group: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send([]byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+}
