@@ -1,0 +1,32 @@
+# Tier-1 gate and common development targets. `make check` is what must
+# pass before a change lands; see scripts/check.sh and the "Chaos &
+# invariants" section of README.md.
+
+.PHONY: check test race chaos chaos-wide fuzz bench
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Default seeded chaos sweep (24 seeds; 8 with -short via `make check`).
+chaos:
+	go test -count=1 ./internal/chaos
+
+# Wider sweep for hunting rare schedules; adjust seeds as needed.
+chaos-wide:
+	go test -count=1 ./internal/chaos -run TestChaosSweep -chaos.seeds=200
+
+# Short fuzz pass over the wire codec and fragment reassembly.
+fuzz:
+	go test ./internal/wire -fuzz 'FuzzDecode$$' -fuzztime 30s
+	go test ./internal/wire -fuzz 'FuzzDecodeBodies$$' -fuzztime 30s
+	go test ./internal/frag -fuzz 'FuzzReassemble$$' -fuzztime 30s
+	go test ./internal/frag -fuzz 'FuzzSplitReassemble$$' -fuzztime 30s
+
+bench:
+	go test -bench=. -benchmem ./...

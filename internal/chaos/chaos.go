@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scalamedia/internal/core"
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+)
+
+// Scenario phases. Faults and workload only run inside the fault window;
+// the join window lets the group form cleanly and the settle window lets
+// recovery, evictions and stability GC quiesce before invariants run.
+const (
+	joinWindow   = 1500 * time.Millisecond
+	settleWindow = 5 * time.Second
+)
+
+// Protocol timing for chaos runs: compressed relative to the live
+// defaults so a few virtual seconds exercise many protocol rounds.
+const (
+	chaosHeartbeat    = 40 * time.Millisecond
+	chaosSuspectAfter = 200 * time.Millisecond
+	chaosFlushTimeout = 400 * time.Millisecond
+	chaosJoinRetry    = 100 * time.Millisecond
+	chaosResendAfter  = 40 * time.Millisecond
+	chaosStabilize    = 100 * time.Millisecond
+)
+
+// Options parameterizes a group scenario run.
+type Options struct {
+	// Seed fixes all randomness: the simulator, the workload and (when
+	// Schedule is nil) the generated fault schedule.
+	Seed int64
+	// Nodes is the group size. Defaults to 5.
+	Nodes int
+	// Ordering is the multicast discipline. Defaults to rmcast.FIFO.
+	Ordering rmcast.Ordering
+	// Msgs is the number of workload multicasts. Defaults to 60.
+	Msgs int
+	// Window is the fault/workload window length. Defaults to 6s.
+	Window time.Duration
+	// Schedule overrides the generated fault schedule.
+	Schedule Schedule
+}
+
+func (o *Options) defaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.Ordering == 0 {
+		o.Ordering = rmcast.FIFO
+	}
+	if o.Msgs <= 0 {
+		o.Msgs = 60
+	}
+	if o.Window <= 0 {
+		o.Window = 6 * time.Second
+	}
+}
+
+// SentRec records one successful workload multicast.
+type SentRec struct {
+	Sender id.Node
+	// PrefixLen is how many deliveries the sender had seen when it sent,
+	// recording the message's causal obligations as a prefix of the
+	// sender's delivery log.
+	PrefixLen int
+}
+
+// Delivery is one recorded application delivery.
+type Delivery struct {
+	rmcast.Delivery
+	At time.Duration
+}
+
+// ViewRec is one recorded view installation.
+type ViewRec struct {
+	View member.View
+	At   time.Duration
+}
+
+// NodeTrace is everything one node did during a run.
+type NodeTrace struct {
+	Node       id.Node
+	Views      []ViewRec
+	Deliveries []Delivery
+	// CrashedEver marks nodes the schedule crashed at least once.
+	CrashedEver bool
+	// Up, Evicted, Joining and FinalHistory capture end-of-run state.
+	Up           bool
+	Evicted      bool
+	Joining      bool
+	FinalView    member.View
+	FinalHistory int
+}
+
+// Trace is the full record of one group scenario run.
+type Trace struct {
+	Opts     Options
+	Schedule Schedule
+	Nodes    map[id.Node]*NodeTrace
+	Order    []id.Node // node iteration order, for deterministic reports
+	Sent     map[string]SentRec
+}
+
+// payloadKey encodes a workload payload: sender (8) | counter (8).
+func payloadKey(sender id.Node, counter uint64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf, uint64(sender))
+	binary.BigEndian.PutUint64(buf[8:], counter)
+	return buf
+}
+
+// payloadName renders a payload key for failure reports.
+func payloadName(key string) string {
+	if len(key) != 16 {
+		return fmt.Sprintf("%q", key)
+	}
+	b := []byte(key)
+	return fmt.Sprintf("n%d#%d",
+		binary.BigEndian.Uint64(b), binary.BigEndian.Uint64(b[8:]))
+}
+
+// Run executes one seeded group scenario: Nodes core stacks on the
+// simulator, a randomized multicast workload, and the fault schedule,
+// followed by a quiescent settle. The returned trace is checked with
+// Trace.Violations. Membership runs the primary-partition rule: without
+// it a healed split brain has no re-merge path and view convergence would
+// be unachievable by design.
+func Run(opts Options) *Trace {
+	opts.defaults()
+	sched := opts.Schedule
+	if sched == nil {
+		sched = Generate(opts.Seed, nodeIDs(opts.Nodes), opts.Window)
+	}
+	tr := &Trace{
+		Opts:     opts,
+		Schedule: sched,
+		Nodes:    make(map[id.Node]*NodeTrace),
+		Sent:     make(map[string]SentRec),
+	}
+
+	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
+	cur := base
+	sim := netsim.New(netsim.Config{
+		Seed:    opts.Seed,
+		Profile: func(_, _ id.Node) netsim.Link { return cur },
+	})
+
+	const group = id.Group(7)
+	stacks := make(map[id.Node]*core.Stack, opts.Nodes)
+	for _, n := range nodeIDs(opts.Nodes) {
+		n := n
+		nt := &NodeTrace{Node: n}
+		tr.Nodes[n] = nt
+		tr.Order = append(tr.Order, n)
+		contact := id.Node(1)
+		if n == 1 {
+			contact = id.None
+		}
+		sim.AddNode(n, func(env proto.Env) proto.Handler {
+			st := core.NewStack(env, core.Config{
+				Group:            group,
+				Contact:          contact,
+				Ordering:         opts.Ordering,
+				PrimaryPartition: true,
+				HeartbeatEvery:   chaosHeartbeat,
+				SuspectAfter:     chaosSuspectAfter,
+				FlushTimeout:     chaosFlushTimeout,
+				JoinRetry:        chaosJoinRetry,
+				ResendAfter:      chaosResendAfter,
+				StabilizeEvery:   chaosStabilize,
+				OnView: func(v member.View) {
+					nt.Views = append(nt.Views, ViewRec{View: v, At: sim.Elapsed()})
+				},
+				OnDeliver: func(d rmcast.Delivery) {
+					nt.Deliveries = append(nt.Deliveries, Delivery{Delivery: d, At: sim.Elapsed()})
+				},
+			})
+			stacks[n] = st
+			return st
+		})
+	}
+
+	for _, ev := range sched {
+		if ev.Kind == Crash {
+			tr.Nodes[ev.Node].CrashedEver = true
+		}
+	}
+	applyFaults(sim, sched, joinWindow, &cur, base)
+	// Safety net: whatever the schedule did, the settle window starts
+	// healed and with clean links.
+	sim.At(joinWindow+opts.Window, func() { sim.Heal(); cur = base })
+
+	// Workload: seeded senders spread across the fault window. A send is
+	// recorded only if the stack accepted it; a node that is down, still
+	// joining or evicted skips its slot.
+	wl := rand.New(rand.NewSource(opts.Seed + 1))
+	counters := make(map[id.Node]uint64)
+	for i := 0; i < opts.Msgs; i++ {
+		sender := id.Node(1 + wl.Intn(opts.Nodes))
+		at := joinWindow + time.Duration(wl.Int63n(int64(opts.Window)))
+		sim.At(at, func() {
+			st := stacks[sender]
+			if st == nil || !sim.Up(sender) || st.Evicted() || st.Joining() {
+				return
+			}
+			counters[sender]++
+			payload := payloadKey(sender, counters[sender])
+			// The causal-obligation prefix is captured before the send:
+			// Multicast self-delivers synchronously, and the message must
+			// not appear among its own obligations.
+			prefix := len(tr.Nodes[sender].Deliveries)
+			if err := st.Multicast(payload); err != nil {
+				counters[sender]--
+				return
+			}
+			tr.Sent[string(payload)] = SentRec{Sender: sender, PrefixLen: prefix}
+		})
+	}
+
+	sim.Run(joinWindow + opts.Window + settleWindow)
+
+	for n, nt := range tr.Nodes {
+		st := stacks[n]
+		nt.Up = sim.Up(n)
+		nt.Evicted = st.Evicted()
+		nt.Joining = st.Joining()
+		nt.FinalView = st.View()
+		nt.FinalHistory = st.HistoryLen()
+	}
+	return tr
+}
+
+// applyFaults schedules a fault script on the simulator, offset by off.
+// Bursts mutate the shared link value that every scenario's profile
+// closure reads; both run on the simulation goroutine, so no locking is
+// needed.
+func applyFaults(sim *netsim.Sim, sched Schedule, off time.Duration, cur *netsim.Link, base netsim.Link) {
+	for _, ev := range sched {
+		ev := ev
+		at := off + ev.At
+		switch ev.Kind {
+		case Crash:
+			sim.At(at, func() { sim.Crash(ev.Node) })
+		case Restart:
+			sim.At(at, func() { sim.Restart(ev.Node) })
+		case PartitionSplit:
+			sim.At(at, func() { sim.Partition(ev.Groups...) })
+		case Heal:
+			sim.At(at, func() { sim.Heal() })
+		case LossBurst:
+			sim.At(at, func() { cur.Loss = ev.Loss; cur.Jitter = 4 * time.Millisecond })
+			sim.At(at+ev.Dur, func() { cur.Loss = base.Loss; cur.Jitter = base.Jitter })
+		case DupBurst:
+			sim.At(at, func() { cur.Duplicate = ev.Dup })
+			sim.At(at+ev.Dur, func() { cur.Duplicate = base.Duplicate })
+		}
+	}
+}
+
+// nodeIDs returns 1..n.
+func nodeIDs(n int) []id.Node {
+	out := make([]id.Node, n)
+	for i := range out {
+		out[i] = id.Node(i + 1)
+	}
+	return out
+}

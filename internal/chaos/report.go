@@ -1,0 +1,20 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FailureReport formats invariant violations for a test failure: the
+// violations, the fault schedule that produced them, and the one-line
+// command that replays the exact run.
+func FailureReport(repro string, sched Schedule, violations []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "schedule: %s\n", sched)
+	fmt.Fprintf(&b, "repro: %s", repro)
+	return b.String()
+}

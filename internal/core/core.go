@@ -85,7 +85,14 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		PrimaryPartition: cfg.PrimaryPartition,
 		Snapshot:         cfg.Snapshot,
 		OnState:          cfg.OnState,
-		OnFlush:          s.mcast.Flush,
+		StabilityVector:  s.mcast.StabilityVector,
+		OnFlush: func(proposed member.View) {
+			// Freeze before flushing: nothing sent after the flush can
+			// slip into the old view behind the coordinator's
+			// flush-convergence gate.
+			s.mcast.Freeze()
+			s.mcast.Flush(proposed)
+		},
 		OnView: func(v member.View) {
 			s.mcast.SetView(v)
 			if cfg.OnView != nil {
@@ -118,6 +125,10 @@ func (s *Stack) Leave() { s.member.Leave() }
 
 // Counters exposes the multicast protocol counters.
 func (s *Stack) Counters() rmcast.Counters { return s.mcast.Counters() }
+
+// HistoryLen exposes the multicast layer's unstable-history size, used by
+// the chaos harness to verify stability garbage collection.
+func (s *Stack) HistoryLen() int { return s.mcast.HistoryLen() }
 
 // Member exposes the membership engine (for suspicion queries).
 func (s *Stack) Member() *member.Engine { return s.member }

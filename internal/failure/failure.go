@@ -11,6 +11,7 @@
 package failure
 
 import (
+	"sort"
 	"time"
 
 	"scalamedia/internal/id"
@@ -137,12 +138,19 @@ func (d *Detector) OnMessage(from id.Node, msg *wire.Message) {
 	}
 }
 
-// OnTick sends due heartbeats and updates suspicion state.
+// OnTick sends due heartbeats and updates suspicion state. Peers are
+// visited in ID order so the datagram and event sequence is the same on
+// every run of a seeded simulation.
 func (d *Detector) OnTick(now time.Time) {
+	peers := make([]id.Node, 0, len(d.peers))
+	for p := range d.peers {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	if now.Sub(d.lastBeat) >= d.cfg.HeartbeatEvery {
 		d.lastBeat = now
 		d.beats++
-		for p := range d.peers {
+		for _, p := range peers {
 			d.env.Send(p, &wire.Message{
 				Kind:  wire.KindHeartbeat,
 				Group: d.cfg.Group,
@@ -150,7 +158,8 @@ func (d *Detector) OnTick(now time.Time) {
 			})
 		}
 	}
-	for n, st := range d.peers {
+	for _, n := range peers {
+		st := d.peers[n]
 		if !st.suspected && now.Sub(st.lastHeard) > d.cfg.SuspectAfter {
 			st.suspected = true
 			d.emit(Event{Node: n, Suspected: true, At: now})

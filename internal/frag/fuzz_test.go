@@ -1,0 +1,80 @@
+package frag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReassemble drives an Assembler with an arbitrary packet sequence
+// decoded from the fuzz input — random sequence numbers, timestamps,
+// flags and payload splits — checking it never panics, never buffers
+// more than maxGroups frames, and that any frame it does complete is
+// internally consistent (its length is the sum of its fragments).
+func FuzzReassemble(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 3, 'a', 'b', 'c', 1, 1, 0})
+	f.Add(bytes.Repeat([]byte{0x80, 0x01, 2, 'x', 'y'}, 24))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := NewAssembler()
+		var seq uint64
+		for len(data) >= 3 {
+			ctl, tsb, plen := data[0], data[1], int(data[2]%8)
+			data = data[3:]
+			if plen > len(data) {
+				plen = len(data)
+			}
+			payload := data[:plen]
+			data = data[plen:]
+			// Bits of ctl: 0 start, 1 marker, 2 reuse previous seq
+			// (duplicate), remaining bits skew the timestamp so
+			// several frames interleave.
+			if ctl&4 == 0 {
+				seq++
+			}
+			ts := uint32(tsb) | uint32(ctl>>3)<<8
+			out, ok := a.Add(seq, ts, ctl&1 != 0, ctl&2 != 0, payload)
+			if ok && out == nil && plen > 0 {
+				t.Fatalf("completed frame lost its payload")
+			}
+			if a.Pending() > maxGroups {
+				t.Fatalf("assembler buffers %d frames, cap is %d", a.Pending(), maxGroups)
+			}
+		}
+	})
+}
+
+// FuzzSplitReassemble checks the sender-receiver contract end to end: any
+// payload split at any limit and fed to an assembler in order — start
+// flag on the first fragment, marker on the last, consecutive sequence
+// numbers, exactly as the media sender transmits — reassembles to the
+// original payload.
+func FuzzSplitReassemble(f *testing.F) {
+	f.Add([]byte("one fragment"), 100, uint64(1), uint32(0))
+	f.Add(bytes.Repeat([]byte{7}, 1000), 96, uint64(42), uint32(90000))
+	f.Add([]byte{}, 1, uint64(0), uint32(1))
+	f.Fuzz(func(t *testing.T, payload []byte, limit int, seq uint64, ts uint32) {
+		frags, err := Split(payload, limit)
+		if err != nil {
+			if limit > 0 {
+				t.Fatalf("Split(%d bytes, %d) = %v", len(payload), limit, err)
+			}
+			return
+		}
+		a := NewAssembler()
+		for i, fr := range frags {
+			out, ok := a.Add(seq+uint64(i), ts, i == 0, i == len(frags)-1, fr)
+			if i < len(frags)-1 {
+				if ok {
+					t.Fatalf("frame completed after %d of %d fragments", i+1, len(frags))
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("frame incomplete after all %d fragments", len(frags))
+			}
+			if !bytes.Equal(out, payload) {
+				t.Fatalf("reassembly mismatch: %d bytes in, %d out", len(payload), len(out))
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+package hier_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"scalamedia/internal/chaos"
+)
+
+// -hier.chaos.seed replays one failing hierarchical chaos run.
+var hierChaosSeed = flag.Int64("hier.chaos.seed", -1, "replay a single hier chaos seed")
+
+// TestHierChaos runs the hierarchical relay topology — clusters bridged
+// by relay nodes — under seeded transient faults (partitions heal, loss
+// and duplication bursts pass) and checks relay completeness: every
+// message sent anywhere reaches every node in every cluster, exactly
+// once, in per-origin FIFO order, with correct origin attribution.
+func TestHierChaos(t *testing.T) {
+	if *hierChaosSeed >= 0 {
+		runHierChaos(t, *hierChaosSeed)
+		return
+	}
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for i := int64(0); i < n; i++ {
+		seed := 3000 + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runHierChaos(t, seed)
+		})
+	}
+}
+
+func runHierChaos(t *testing.T, seed int64) {
+	tr := chaos.RunHier(chaos.HierOptions{Seed: seed})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			fmt.Sprintf("go test ./internal/hier -run TestHierChaos -hier.chaos.seed=%d", seed),
+			tr.Schedule, v))
+	}
+}

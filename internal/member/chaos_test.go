@@ -1,0 +1,47 @@
+package member_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"scalamedia/internal/chaos"
+)
+
+// -member.chaos.seed replays one failing membership chaos run.
+var memberChaosSeed = flag.Int64("member.chaos.seed", -1, "replay a single membership chaos seed")
+
+// TestMemberChaos drives the membership layer through seeded fault
+// schedules — crashes, restarts, partitions, loss and duplication bursts —
+// and checks the membership-centric invariants: view integrity (one ID,
+// one membership), view convergence (live nodes agree on a final view
+// that is exactly the live set whenever they can form a primary
+// component), and progress. The full multicast invariant catalogue runs
+// too; this matrix just biases the seeds differently from the top-level
+// sweep so the two don't retread the same schedules.
+func TestMemberChaos(t *testing.T) {
+	if *memberChaosSeed >= 0 {
+		runMemberChaos(t, *memberChaosSeed)
+		return
+	}
+	n := int64(9)
+	if testing.Short() {
+		n = 3
+	}
+	for i := int64(0); i < n; i++ {
+		seed := 1000 + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runMemberChaos(t, seed)
+		})
+	}
+}
+
+func runMemberChaos(t *testing.T, seed int64) {
+	tr := chaos.Run(chaos.Options{Seed: seed, Nodes: 3 + int(seed)%3})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			fmt.Sprintf("go test ./internal/member -run TestMemberChaos -member.chaos.seed=%d", seed),
+			tr.Schedule, v))
+	}
+}

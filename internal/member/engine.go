@@ -58,6 +58,13 @@ type Config struct {
 	// OnState receives the application state snapshot on a joining
 	// node. Optional.
 	OnState func(v View, state []byte)
+	// StabilityVector, when set, supplies the multicast layer's delivery
+	// state: per-sender contiguously delivered counts plus the count of
+	// totally-ordered slots delivered. FlushOK messages then carry it,
+	// and a coordinator withholds ViewCommit until every surviving
+	// member reports matching state — true virtual-synchrony agreement
+	// instead of the best-effort one-shot flush. Optional.
+	StabilityVector func() (acks []wire.AckEntry, orderedSlots uint64)
 }
 
 // Engine is the membership state machine for one node and one group.
@@ -72,21 +79,45 @@ type Engine struct {
 	evicted bool
 	lastReq time.Time
 
-	// Coordinator-side state.
+	// Coordinator-side state. pendingEvict entries are provisional: a
+	// member that failed to flush in time is slated for eviction, but any
+	// traffic heard from it cancels the sentence — except for voluntary
+	// leavers, tracked in left, whose departure is final.
 	pendingJoin  map[id.Node]bool
 	pendingEvict map[id.Node]bool
+	left         map[id.Node]bool
 	proposal     *proposalState
 	highestSent  id.View // highest view number this node ever proposed
 
+	// committedLog retains recent installed views so a coordinator can
+	// replay a missed commit to a straggler, stepping it through the
+	// same view sequence instead of letting it skip views.
+	committedLog []View
+
+	// lastEject rate-limits eviction notifications to stale non-members.
+	lastEject map[id.Node]time.Time
+
 	// Member-side state: the highest proposal accepted but not yet
-	// committed, retained so duplicate proposes re-ack idempotently.
-	accepted View
+	// committed, retained so duplicate proposes re-ack idempotently;
+	// acceptedFrom is its proposer, the target for periodic re-acks.
+	accepted     View
+	acceptedFrom id.Node
+	lastReflush  time.Time
 }
 
 type proposalState struct {
 	view     View
 	acks     map[id.Node]bool
+	vectors  map[id.Node]flushState
 	deadline time.Time
+}
+
+// flushState is one member's delivery state reported in its FlushOK, used
+// by the flush-convergence gate (see Config.StabilityVector).
+type flushState struct {
+	base  id.View // the view the member flushed from
+	acks  map[id.Node]uint64
+	slots uint64
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -107,6 +138,8 @@ func New(env proto.Env, cfg Config) *Engine {
 		joining:      cfg.Contact != id.None,
 		pendingJoin:  make(map[id.Node]bool),
 		pendingEvict: make(map[id.Node]bool),
+		left:         make(map[id.Node]bool),
+		lastEject:    make(map[id.Node]time.Time),
 	}
 	e.det = failure.New(env, failure.Config{
 		Group:          cfg.Group,
@@ -174,6 +207,12 @@ func (e *Engine) Leave() {
 // failure detector as liveness evidence.
 func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	e.det.OnMessage(from, msg)
+	// Hearing from a member slated for eviction cancels the provisional
+	// sentence (a flush timeout is only evidence of failure, and the
+	// node is demonstrably alive); voluntary leavers stay slated.
+	if e.pendingEvict[from] && !e.left[from] {
+		delete(e.pendingEvict, from)
+	}
 	if msg.Group != e.cfg.Group {
 		return
 	}
@@ -192,6 +231,8 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 		}
 	case wire.KindLeave:
 		e.onLeave(msg.Sender)
+	case wire.KindHeartbeat:
+		e.maybeEject(from)
 	}
 }
 
@@ -207,6 +248,40 @@ func (e *Engine) OnTick(now time.Time) {
 	if e.view.ID == 0 && e.cfg.Contact == id.None && !e.joining {
 		e.install(NewView(1, []id.Node{e.env.Self()}))
 		return
+	}
+
+	// A demoted coordinator — it proposed a view, then a lower-ranked
+	// live member reappeared and took the role back — folds its orphaned
+	// proposal into accepted-state so the stranded-flush recovery below
+	// applies to it like to any other member. Without this the node stays
+	// frozen forever: its multicast engine froze when the proposal
+	// flushed, and only a committed view lifts the freeze.
+	if e.proposal != nil && !e.isCoordinator() {
+		if e.proposal.view.ID > e.view.ID {
+			e.accepted = e.proposal.view
+			e.acceptedFrom = e.coordinator()
+		}
+		e.proposal = nil
+	}
+
+	// A member holding an accepted-but-uncommitted proposal re-flushes
+	// and re-acknowledges periodically: the flush retransmissions, the
+	// FlushOK and the ViewCommit are all best-effort datagrams, and a
+	// lost one must not strand the view change or the coordinator's
+	// flush-convergence gate. The re-ack also goes to the current
+	// coordinator when that is a different node — if the original
+	// proposer died, the surviving coordinator learns from the ack's
+	// future view number that a view change was abandoned midway and
+	// must be re-driven (see onFlushOK).
+	if e.accepted.ID > e.view.ID && e.acceptedFrom != id.None &&
+		now.Sub(e.lastReflush) >= e.cfg.JoinRetry {
+		e.lastReflush = now
+		e.flushFor(e.accepted)
+		e.sendFlushOK(e.acceptedFrom, e.accepted.ID)
+		if coord := e.coordinator(); coord != id.None &&
+			coord != e.acceptedFrom && coord != e.env.Self() {
+			e.sendFlushOK(coord, e.accepted.ID)
+		}
 	}
 
 	// Joining: retry the join request.
@@ -227,7 +302,18 @@ func (e *Engine) OnTick(now time.Time) {
 	}
 
 	if e.proposal != nil {
-		e.checkProposal(now)
+		// The coordinator re-sends the proposal to members yet to ack,
+		// re-flushes like any member while its proposal is out, and
+		// re-evaluates the gate against its own fresh state.
+		if now.Sub(e.lastReflush) >= e.cfg.JoinRetry {
+			e.lastReflush = now
+			e.sendProposal(e.proposal)
+			e.flushFor(e.proposal.view)
+			e.maybeCommit()
+		}
+		if e.proposal != nil {
+			e.checkProposal(now)
+		}
 		return
 	}
 	if len(e.pendingJoin) > 0 || e.anyEvictionPending() {
@@ -262,11 +348,19 @@ func (e *Engine) onJoinReq(joiner id.Node) {
 		}
 		return
 	}
-	if e.view.Contains(joiner) || e.pendingJoin[joiner] {
+	if e.view.Contains(joiner) {
+		// Already admitted: the joiner keeps asking because it missed
+		// the commit that let it in. Replay that commit.
+		e.repairCommit(joiner, 0)
+		return
+	}
+	if e.pendingJoin[joiner] {
 		return
 	}
 	e.pendingJoin[joiner] = true
-	delete(e.pendingEvict, joiner) // a rejoining node is alive again
+	// A rejoining node is alive again, and its former departure is over.
+	delete(e.pendingEvict, joiner)
+	delete(e.left, joiner)
 }
 
 // onLeave handles a voluntary departure announcement.
@@ -275,6 +369,7 @@ func (e *Engine) onLeave(leaver id.Node) {
 		return
 	}
 	e.pendingEvict[leaver] = true
+	e.left[leaver] = true
 	delete(e.pendingJoin, leaver)
 }
 
@@ -306,7 +401,13 @@ func (e *Engine) propose(now time.Time) {
 				survivors++
 			}
 		}
-		if survivors*2 <= e.view.Size() {
+		// The primary component is a strict majority of the old view, or
+		// exactly half of it provided it retains the old view's lowest
+		// member — the tie-break that keeps an even split (and the common
+		// two-member view losing one node) from wedging both sides.
+		primary := survivors*2 > e.view.Size() ||
+			(survivors*2 == e.view.Size() && !evict[e.view.Members[0]])
+		if !primary {
 			// Minority side: block rather than split the brain.
 			return
 		}
@@ -325,23 +426,32 @@ func (e *Engine) propose(now time.Time) {
 	e.proposal = &proposalState{
 		view:     proposed,
 		acks:     map[id.Node]bool{e.env.Self(): true},
+		vectors:  make(map[id.Node]flushState),
 		deadline: now.Add(e.cfg.FlushTimeout),
 	}
 	// The coordinator flushes its own traffic like any member.
 	e.flushFor(proposed)
-	body := wire.AppendViewBody(nil, wire.ViewBody{View: proposed.ID, Members: proposed.Members})
-	for _, m := range proposed.Members {
-		if m == e.env.Self() {
+	e.sendProposal(e.proposal)
+	e.maybeCommit()
+}
+
+// sendProposal (re)broadcasts an outstanding proposal to its members. The
+// proposal datagram is best-effort like everything else, so the OnTick
+// coordinator loop re-sends it periodically: a single lost propose must
+// not burn the whole flush window and read as a member failure.
+func (e *Engine) sendProposal(p *proposalState) {
+	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
+	for _, m := range p.view.Members {
+		if m == e.env.Self() || p.acks[m] {
 			continue
 		}
 		e.env.Send(m, &wire.Message{
 			Kind:  wire.KindViewPropose,
 			Group: e.cfg.Group,
-			View:  proposed.ID,
+			View:  p.view.ID,
 			Body:  body,
 		})
 	}
-	e.maybeCommit()
 }
 
 // checkProposal re-sends or shrinks an outstanding proposal at deadline.
@@ -382,23 +492,124 @@ func (e *Engine) onPropose(from id.Node, msg *wire.Message) {
 	// harmless.
 	if !proposed.Equal(e.accepted) {
 		e.accepted = proposed
+		e.lastReflush = e.env.Now()
 		e.flushFor(proposed)
 	}
-	e.env.Send(from, &wire.Message{
+	e.acceptedFrom = from
+	e.sendFlushOK(from, proposed.ID)
+}
+
+// sendFlushOK acknowledges a proposal, reporting the view being flushed
+// from (Seq) and, when the stability hook is wired, the local delivery
+// state the coordinator's flush-convergence gate compares.
+func (e *Engine) sendFlushOK(to id.Node, vid id.View) {
+	msg := &wire.Message{
 		Kind:  wire.KindFlushOK,
 		Group: e.cfg.Group,
-		View:  proposed.ID,
-	})
+		View:  vid,
+		Seq:   uint64(e.view.ID),
+	}
+	if e.cfg.StabilityVector != nil {
+		acks, slots := e.cfg.StabilityVector()
+		msg.Body = wire.AppendAckVector(nil, acks)
+		msg.Aux = slots
+	}
+	e.env.Send(to, msg)
 }
 
 // onFlushOK records a member's flush acknowledgment.
 func (e *Engine) onFlushOK(from id.Node, msg *wire.Message) {
 	p := e.proposal
 	if p == nil || msg.View != p.view.ID || !p.view.Contains(from) {
+		// A re-ack for a view this node already committed means the
+		// member missed the commit datagram: replay it.
+		if msg.View <= e.view.ID && e.view.Contains(from) {
+			e.repairCommit(from, id.View(msg.Seq))
+			return
+		}
+		// An ack for a FUTURE view reaching the coordinator means a
+		// member is stranded in a view change whose proposer died before
+		// committing. The member froze its multicast engine when it
+		// flushed, so it stays wedged until some view commits: re-drive
+		// the change under a view number above the abandoned one.
+		if e.isCoordinator() && p == nil && msg.View > e.view.ID &&
+			e.view.Contains(from) {
+			if e.highestSent < msg.View {
+				e.highestSent = msg.View
+			}
+			e.propose(e.env.Now())
+		}
 		return
 	}
 	p.acks[from] = true
+	if e.cfg.StabilityVector != nil {
+		st := flushState{
+			base:  id.View(msg.Seq),
+			slots: msg.Aux,
+			acks:  make(map[id.Node]uint64),
+		}
+		if acks, _, err := wire.DecodeAckVector(msg.Body); err == nil {
+			for _, a := range acks {
+				st.acks[a.Sender] = a.Seq
+			}
+		}
+		p.vectors[from] = st
+		// A member flushing from an older view than ours missed one or
+		// more commits; step it forward so the vectors it reports are
+		// comparable to everyone else's.
+		if st.base < e.view.ID {
+			e.repairCommit(from, st.base)
+		}
+	}
 	e.maybeCommit()
+}
+
+// repairCommit replays a missed ViewCommit to a node stuck in view base:
+// the smallest committed view newer than base that contains the node, so
+// the straggler steps through the same view sequence every other member
+// installed (replaying its per-view buffered traffic along the way).
+func (e *Engine) repairCommit(to id.Node, base id.View) {
+	if e.view.ID == 0 || base >= e.view.ID {
+		return
+	}
+	var best View
+	for _, v := range e.committedLog {
+		if v.ID > base && v.Contains(to) && (best.ID == 0 || v.ID < best.ID) {
+			best = v
+		}
+	}
+	if best.ID == 0 {
+		return
+	}
+	body := wire.AppendViewBody(nil, wire.ViewBody{View: best.ID, Members: best.Members})
+	e.env.Send(to, &wire.Message{
+		Kind:  wire.KindViewCommit,
+		Group: e.cfg.Group,
+		View:  best.ID,
+		Body:  body,
+	})
+}
+
+// maybeEject tells a non-member that keeps heartbeating at us which view
+// dropped it. A member that misses its own eviction commit — crashed or
+// partitioned away while it was sent — would otherwise stay in its stale
+// view forever, heartbeating into a group that no longer lists it.
+func (e *Engine) maybeEject(from id.Node) {
+	if !e.isCoordinator() || e.view.Contains(from) || e.pendingJoin[from] {
+		return
+	}
+	now := e.env.Now()
+	if last, ok := e.lastEject[from]; ok && now.Sub(last) < e.cfg.FlushTimeout {
+		return
+	}
+	e.lastEject[from] = now
+	body := wire.AppendViewBody(nil, wire.ViewBody{View: e.view.ID, Members: e.view.Members})
+	e.env.Send(from, &wire.Message{
+		Kind:  wire.KindViewCommit,
+		Group: e.cfg.Group,
+		View:  e.view.ID,
+		Body:  body,
+	})
 }
 
 // maybeCommit installs and broadcasts the proposal once fully acked.
@@ -411,6 +622,9 @@ func (e *Engine) maybeCommit() {
 		if !p.acks[m] {
 			return
 		}
+	}
+	if e.cfg.StabilityVector != nil && !e.flushConverged(p) {
+		return
 	}
 	e.proposal = nil
 	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
@@ -449,6 +663,7 @@ func (e *Engine) maybeCommit() {
 	for m := range e.pendingEvict {
 		if !p.view.Contains(m) {
 			delete(e.pendingEvict, m)
+			delete(e.left, m)
 		}
 	}
 	// Application state transfer to the members this commit admitted.
@@ -472,6 +687,66 @@ func (e *Engine) maybeCommit() {
 		}
 	}
 	e.install(p.view)
+}
+
+// flushConverged reports whether every survivor of the current view that
+// is carried into the proposal has (a) flushed from this same view and
+// (b) a delivery state matching the group-wide maximum: every message any
+// survivor delivered has reached all of them, and all have delivered the
+// same totally-ordered slot prefix. Committing earlier could install a
+// view in which one survivor delivered a message another never saw — the
+// virtual-synchrony agreement violation the flush exists to prevent.
+// Joiners are skipped: they carry no old-view state. Convergence is
+// guaranteed to make progress because survivors re-flush and re-ack
+// periodically until the commit arrives, and a survivor that stops
+// responding is evicted from the proposal at the flush deadline.
+func (e *Engine) flushConverged(p *proposalState) bool {
+	rows := make(map[id.Node]map[id.Node]uint64)
+	slots := make(map[id.Node]uint64)
+	for _, m := range p.view.Members {
+		if !e.view.Contains(m) {
+			continue // joiner: no old-view state to reconcile
+		}
+		if m == e.env.Self() {
+			selfAcks, selfSlots := e.cfg.StabilityVector()
+			row := make(map[id.Node]uint64, len(selfAcks))
+			for _, a := range selfAcks {
+				row[a.Sender] = a.Seq
+			}
+			rows[m], slots[m] = row, selfSlots
+			continue
+		}
+		st, ok := p.vectors[m]
+		if !ok || st.base != e.view.ID {
+			return false // no vector yet, or flushed from a stale view
+		}
+		rows[m], slots[m] = st.acks, st.slots
+	}
+	max := make(map[id.Node]uint64)
+	for _, row := range rows {
+		for sender, n := range row {
+			if n > max[sender] {
+				max[sender] = n
+			}
+		}
+	}
+	for _, row := range rows {
+		for sender, n := range max {
+			if row[sender] < n {
+				return false
+			}
+		}
+	}
+	var want uint64
+	first := true
+	for _, n := range slots {
+		if first {
+			want, first = n, false
+		} else if n != want {
+			return false
+		}
+	}
+	return true
 }
 
 // onCommit installs a committed view as a member.
@@ -503,6 +778,11 @@ func (e *Engine) install(v View) {
 	e.view = v
 	e.joining = false
 	e.accepted = View{}
+	e.acceptedFrom = id.None
+	e.committedLog = append(e.committedLog, v)
+	if len(e.committedLog) > 8 {
+		e.committedLog = e.committedLog[len(e.committedLog)-8:]
+	}
 	e.det.SetPeers(v.Members)
 	if e.cfg.OnView != nil {
 		e.cfg.OnView(v)

@@ -67,7 +67,7 @@ func TestPrimaryPartitionMajorityContinues(t *testing.T) {
 	}
 }
 
-func TestPrimaryPartitionEvenSplitBlocksBoth(t *testing.T) {
+func TestPrimaryPartitionEvenSplitLowestSideContinues(t *testing.T) {
 	s := netsim.New(netsim.Config{Seed: 122})
 	nodes := make(map[id.Node]*memberNode)
 	nodes[1] = addPrimaryMember(s, 1, id.None, nil, nil)
@@ -83,10 +83,20 @@ func TestPrimaryPartitionEvenSplitBlocksBoth(t *testing.T) {
 		s.Partition([]id.Node{1, 2}, []id.Node{3, 4})
 	})
 	s.Run(10 * time.Second)
-	// A 2/2 split has no strict majority: nobody may install a new view.
-	for n, mn := range nodes {
-		if !lastView(mn).Equal(before) {
-			t.Fatalf("node %s installed %+v during even split", n, lastView(mn))
+	// A 2/2 split has no strict majority; the tie-break awards the
+	// primary to the half holding the old view's lowest member. Side
+	// {1,2} continues with a 2-member view, side {3,4} stays blocked in
+	// the pre-split view — never both.
+	for _, n := range []id.Node{1, 2} {
+		v := lastView(nodes[n])
+		if v.Size() != 2 || !v.Contains(1) || !v.Contains(2) {
+			t.Fatalf("lowest-member side node %s view = %+v", n, v)
+		}
+	}
+	for _, n := range []id.Node{3, 4} {
+		if !lastView(nodes[n]).Equal(before) {
+			t.Fatalf("node %s installed %+v during even split (split brain)",
+				n, lastView(nodes[n]))
 		}
 	}
 }

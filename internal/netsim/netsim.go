@@ -30,6 +30,9 @@ type Link struct {
 	Jitter time.Duration
 	// Loss is the drop probability in [0, 1].
 	Loss float64
+	// Duplicate is the probability in [0, 1] that a datagram surviving
+	// loss is delivered twice, each copy with independent jitter.
+	Duplicate float64
 	// Bandwidth is the link capacity in bytes per second; zero means
 	// unlimited. A finite bandwidth adds serialization time per
 	// datagram and FIFO queueing delay behind earlier traffic on the
@@ -218,6 +221,24 @@ func (s *Sim) Partition(groups ...[]id.Node) {
 // Heal removes any partition.
 func (s *Sim) Heal() { s.partition = make(map[id.Node]int) }
 
+// SetProfile swaps the link profile at the current virtual time. The chaos
+// harness uses it to script loss and duplication bursts mid-run; traffic
+// already in flight keeps the conditions it was sent under.
+func (s *Sim) SetProfile(p Profile) {
+	if p != nil {
+		s.cfg.Profile = p
+	}
+}
+
+// Profile returns the current link profile.
+func (s *Sim) Profile() Profile { return s.cfg.Profile }
+
+// Up reports whether a node is attached and not crashed.
+func (s *Sim) Up(n id.Node) bool {
+	node, ok := s.nodes[n]
+	return ok && node.up
+}
+
 // Run processes events until virtual time reaches the given offset from
 // simulation start. It returns the number of events processed.
 func (s *Sim) Run(until time.Duration) int {
@@ -266,12 +287,9 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 		s.stats.Dropped++
 		return
 	}
-	delay := link.Delay
-	if link.Jitter > 0 {
-		delay += time.Duration(s.rng.Int63n(int64(link.Jitter) + 1))
-	}
 	// Finite bandwidth: the datagram serializes after any earlier
-	// traffic queued on this directed link.
+	// traffic queued on this directed link. Serialization happens once;
+	// duplication (below) models copies made inside the network.
 	depart := s.now
 	if link.Bandwidth > 0 {
 		key := linkPair{from, to}
@@ -282,24 +300,33 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 		depart = depart.Add(tx)
 		s.busyUntil[key] = depart
 	}
-	delay += depart.Sub(s.now)
-	if delay <= 0 {
-		delay = time.Nanosecond // strictly-after-send delivery
+	copies := 1
+	if link.Duplicate > 0 && s.rng.Float64() < link.Duplicate {
+		copies = 2
 	}
-	s.scheduleAt(s.now.Add(delay), func() {
-		node, ok := s.nodes[to]
-		if !ok || !node.up {
-			s.stats.Dropped++
-			return
+	for c := 0; c < copies; c++ {
+		delay := link.Delay + depart.Sub(s.now)
+		if link.Jitter > 0 {
+			delay += time.Duration(s.rng.Int63n(int64(link.Jitter) + 1))
 		}
-		decoded, err := wire.Decode(buf)
-		if err != nil {
-			s.stats.Dropped++
-			return
+		if delay <= 0 {
+			delay = time.Nanosecond // strictly-after-send delivery
 		}
-		s.stats.Delivered++
-		node.handler.OnMessage(from, decoded)
-	})
+		s.scheduleAt(s.now.Add(delay), func() {
+			node, ok := s.nodes[to]
+			if !ok || !node.up {
+				s.stats.Dropped++
+				return
+			}
+			decoded, err := wire.Decode(buf)
+			if err != nil {
+				s.stats.Dropped++
+				return
+			}
+			s.stats.Delivered++
+			node.handler.OnMessage(from, decoded)
+		})
+	}
 }
 
 // simNode is one simulated host; it implements proto.Env for its handler.

@@ -12,25 +12,53 @@ import (
 )
 
 // collector is a Handler that records events under a lock so tests can
-// inspect it while the loop runs.
+// inspect it while the loop runs. The changed channel pulses on every
+// recorded event, letting tests wait without polling sleeps.
 type collector struct {
 	env proto.Env
 
-	mu    sync.Mutex
-	msgs  []uint64
-	ticks int
+	mu      sync.Mutex
+	msgs    []uint64
+	ticks   int
+	changed chan struct{}
+}
+
+func newCollector(env proto.Env) *collector {
+	return &collector{env: env, changed: make(chan struct{}, 1)}
+}
+
+func (c *collector) pulse() {
+	select {
+	case c.changed <- struct{}{}:
+	default:
+	}
 }
 
 func (c *collector) OnMessage(_ id.Node, msg *wire.Message) {
 	c.mu.Lock()
 	c.msgs = append(c.msgs, msg.Seq)
 	c.mu.Unlock()
+	c.pulse()
 }
 
 func (c *collector) OnTick(time.Time) {
 	c.mu.Lock()
 	c.ticks++
 	c.mu.Unlock()
+	c.pulse()
+}
+
+// waitFor blocks until cond holds, woken by the collector's event pulses.
+func waitFor(t *testing.T, c *collector, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for !cond() {
+		select {
+		case <-c.changed:
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", what)
+		}
+	}
 }
 
 func (c *collector) messageCount() int {
@@ -52,8 +80,8 @@ func TestRunnerDeliversMessages(t *testing.T) {
 	epB, _ := f.Attach(2)
 
 	var ca, cb *collector
-	ra := Start(epA, func(env proto.Env) proto.Handler { ca = &collector{env: env}; return ca })
-	rb := Start(epB, func(env proto.Env) proto.Handler { cb = &collector{env: env}; return cb })
+	ra := Start(epA, func(env proto.Env) proto.Handler { ca = newCollector(env); return ca })
+	rb := Start(epB, func(env proto.Env) proto.Handler { cb = newCollector(env); return cb })
 	defer ra.Stop()
 	defer rb.Stop()
 
@@ -64,13 +92,7 @@ func TestRunnerDeliversMessages(t *testing.T) {
 		t.Fatal("Do returned false on a running runner")
 	}
 
-	deadline := time.Now().Add(2 * time.Second)
-	for cb.messageCount() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("message not delivered")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, cb, "message delivery", func() bool { return cb.messageCount() > 0 })
 }
 
 func TestRunnerTicks(t *testing.T) {
@@ -78,17 +100,11 @@ func TestRunnerTicks(t *testing.T) {
 	defer f.Close()
 	ep, _ := f.Attach(1)
 	var c *collector
-	r := Start(ep, func(env proto.Env) proto.Handler { c = &collector{env: env}; return c },
+	r := Start(ep, func(env proto.Env) proto.Handler { c = newCollector(env); return c },
 		WithTick(5*time.Millisecond))
 	defer r.Stop()
 
-	deadline := time.Now().Add(2 * time.Second)
-	for c.tickCount() < 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d ticks", c.tickCount())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, c, "three ticks", func() bool { return c.tickCount() >= 3 })
 }
 
 func TestRunnerStopIdempotent(t *testing.T) {

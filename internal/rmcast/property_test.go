@@ -22,9 +22,17 @@ type propRun struct {
 // runProperty executes one randomized scenario.
 func runProperty(t *testing.T, ord Ordering, n, msgs int, loss float64, jitter time.Duration, seed int64) propRun {
 	t.Helper()
+	link := netsim.Link{Delay: time.Millisecond, Jitter: jitter, Loss: loss}
+	return runPropertyLink(t, ord, n, msgs, link, seed)
+}
+
+// runPropertyLink is runProperty with full control of the link, letting
+// scenarios add duplication on top of loss and jitter.
+func runPropertyLink(t *testing.T, ord Ordering, n, msgs int, link netsim.Link, seed int64) propRun {
+	t.Helper()
 	s := netsim.New(netsim.Config{
 		Seed:    seed,
-		Profile: netsim.LANProfile(time.Millisecond, jitter, loss),
+		Profile: func(_, _ id.Node) netsim.Link { return link },
 	})
 	nodes := buildStatic(s, n, ord)
 
@@ -179,5 +187,33 @@ func TestPropertyTotalAgreementUnderRandomSchedules(t *testing.T) {
 		checkExactlyOnce(t, pr, 4)
 		checkTotalAgreement(t, pr)
 		checkCausal(t, pr) // sequencer order respects send-time causality here
+	}
+}
+
+// TestPropertyOrderSafetyUnderLossAndDuplication turns on datagram
+// duplication alongside loss and jitter: every packet has a 20% chance of
+// arriving twice, on top of 8% loss. The strong orderings must shrug both
+// off — duplicates discarded, gaps repaired — and still deliver exactly
+// once in causal (respectively total) order.
+func TestPropertyOrderSafetyUnderLossAndDuplication(t *testing.T) {
+	link := netsim.Link{
+		Delay:     time.Millisecond,
+		Jitter:    4 * time.Millisecond,
+		Loss:      0.08,
+		Duplicate: 0.2,
+	}
+	for _, seed := range []int64{9, 31, 77, 131} {
+		seed := seed
+		t.Run(fmt.Sprintf("causal/seed%d", seed), func(t *testing.T) {
+			pr := runPropertyLink(t, Causal, 4, 40, link, seed)
+			checkExactlyOnce(t, pr, 4)
+			checkFIFO(t, pr)
+			checkCausal(t, pr)
+		})
+		t.Run(fmt.Sprintf("total/seed%d", seed), func(t *testing.T) {
+			pr := runPropertyLink(t, Total, 4, 40, link, seed)
+			checkExactlyOnce(t, pr, 4)
+			checkTotalAgreement(t, pr)
+		})
 	}
 }

@@ -32,6 +32,7 @@ package rmcast
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"scalamedia/internal/id"
@@ -178,6 +179,13 @@ type Engine struct {
 	// installation.
 	futureBuf []*wire.Message
 
+	// View-change freeze: while a view proposal is being flushed, new
+	// multicasts and new sequencer slot assignments are deferred so the
+	// membership layer's flush-convergence check stays authoritative
+	// (see Freeze).
+	frozen    bool
+	sendQueue [][]byte
+
 	counters Counters
 }
 
@@ -219,6 +227,7 @@ func (e *Engine) View() member.View { return e.view }
 // Sequence spaces, vector clocks and total-order slots are per view; the
 // preceding Flush has already pushed unstable traffic to the survivors.
 func (e *Engine) SetView(v member.View) {
+	e.drainForViewChange()
 	e.view = v
 	e.rank = v.Rank(e.env.Self())
 	e.nextSend = 0
@@ -232,6 +241,7 @@ func (e *Engine) SetView(v member.View) {
 	e.stash = make(map[msgKey]*wire.Message)
 	e.seqSlot = 0
 	e.ackMatrix = make(map[id.Node]map[id.Node]uint64)
+	e.frozen = false
 
 	// Replay buffered messages that were sent in this view.
 	pending := e.futureBuf
@@ -243,7 +253,72 @@ func (e *Engine) SetView(v member.View) {
 			e.futureBuf = append(e.futureBuf, m)
 		}
 	}
+
+	// Multicasts deferred by the freeze go out in the new view; a node
+	// the new view excludes drops them (it was evicted mid-send).
+	queued := e.sendQueue
+	e.sendQueue = nil
+	if e.rank >= 0 {
+		for _, p := range queued {
+			e.Multicast(p)
+		}
+	}
 }
+
+// drainForViewChange resolves messages still blocked on ordering when a
+// view change commits. After the membership layer's flush-convergence
+// gate every surviving member holds the same blocked set, so the policy
+// below keeps delivery sequences identical across members:
+//
+//   - Total: stashed messages whose slot assignment died with the
+//     sequencer are delivered in (sender, seq) order — the same order
+//     everywhere, appended after the same delivered-slot prefix.
+//   - Causal: pool remnants are dropped. A remnant's dependency was
+//     delivered by no survivor (a live holder would have flushed it), so
+//     delivering the remnant would violate causality, and dropping it is
+//     consistent across members.
+//   - FIFO/unordered gap buffers are dropped for the same reason: the
+//     gap message exists nowhere among the survivors.
+func (e *Engine) drainForViewChange() {
+	if e.view.ID == 0 || e.cfg.Ordering != Total || len(e.stash) == 0 {
+		return
+	}
+	keys := make([]msgKey, 0, len(e.stash))
+	for k := range e.stash {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sender != keys[j].sender {
+			return keys[i].sender < keys[j].sender
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		m := e.stash[k]
+		delete(e.stash, k)
+		e.deliver(m)
+	}
+}
+
+// Freeze defers new multicasts and new sequencer slot assignments until
+// the next view installs. The membership layer calls it when a view
+// change begins: everything this engine did before the freeze is visible
+// in its stability vector (StabilityVector), so the coordinator's
+// flush-convergence check sees a complete picture, and nothing sent after
+// it can slip into the old view behind the check's back. Deferred
+// multicasts are sent in the next view; SetView lifts the freeze.
+func (e *Engine) Freeze() { e.frozen = true }
+
+// StabilityVector returns this member's delivery state for the membership
+// layer's flush-convergence gate: the per-sender contiguously delivered
+// counts and, under total ordering, the number of slots delivered.
+func (e *Engine) StabilityVector() ([]wire.AckEntry, uint64) {
+	return e.ackVector(), e.totalNext
+}
+
+// HistoryLen returns the number of delivered-but-unstable messages held,
+// which the chaos harness uses to check stability garbage collection.
+func (e *Engine) HistoryLen() int { return len(e.history) }
 
 // Flush retransmits every unstable message in the local history to the
 // members of the proposed view. The membership layer calls it between
@@ -253,7 +328,20 @@ func (e *Engine) Flush(proposed member.View) {
 	if e.view.ID == 0 {
 		return
 	}
-	for _, m := range e.history {
+	// Iterate in (sender, seq) order so the datagram sequence — and with
+	// it a seeded simulation — is identical on every run.
+	keys := make([]msgKey, 0, len(e.history))
+	for k := range e.history {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sender != keys[j].sender {
+			return keys[i].sender < keys[j].sender
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, k := range keys {
+		m := e.history[k]
 		for _, dst := range proposed.Members {
 			if dst == e.env.Self() {
 				continue
@@ -274,6 +362,14 @@ func (e *Engine) Multicast(payload []byte) error {
 	}
 	if len(payload) > wire.MaxBody {
 		return fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(payload))
+	}
+	if e.frozen {
+		// A view change is flushing: defer to the next view rather than
+		// race the flush-convergence check.
+		if len(e.sendQueue) < 4096 {
+			e.sendQueue = append(e.sendQueue, append([]byte(nil), payload...))
+		}
+		return nil
 	}
 	e.nextSend++
 	msg := &wire.Message{
@@ -467,6 +563,14 @@ func (e *Engine) sequenceIfMine(key msgKey) {
 	if e.view.Coordinator() != e.env.Self() || e.ordered[key] {
 		return
 	}
+	if e.frozen {
+		// No new slots during a view change: every slot assigned before
+		// the freeze is reflected in the sequencer's own slot count, so
+		// the flush-convergence check forces all members to catch up to
+		// it; a slot assigned after would escape the check. Unassigned
+		// messages are drained deterministically at SetView.
+		return
+	}
 	e.ordered[key] = true
 	slot := e.seqSlot
 	e.seqSlot++
@@ -543,8 +647,14 @@ func (e *Engine) onNack(from id.Node, msg *wire.Message) {
 		return
 	}
 	if msg.Sender == id.None {
-		for slot := msg.Seq; slot < e.seqSlot && slot-msg.Seq < 1024; slot++ {
+		// Any member that knows an assignment answers, not only the
+		// sequencer: this keeps total order recoverable after a
+		// sequencer crash. Local knowledge may have gaps, so scan the
+		// window rather than stop at the first unknown slot.
+		served := 0
+		for slot := msg.Seq; slot-msg.Seq < 1024 && served < len(e.orders); slot++ {
 			if key, ok := e.orders[slot]; ok {
+				served++
 				e.env.Send(from, &wire.Message{
 					Kind:   wire.KindOrder,
 					Group:  e.cfg.Group,
@@ -603,6 +713,8 @@ func (e *Engine) ackVector() []wire.AckEntry {
 	for n, st := range e.peers {
 		out = append(out, wire.AckEntry{Sender: n, Seq: st.next - 1})
 	}
+	// Deterministic wire bytes, independent of map iteration order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Sender < out[j].Sender })
 	return out
 }
 
@@ -645,36 +757,51 @@ func (e *Engine) OnTick(now time.Time) {
 	if now.Sub(e.lastGossip) >= e.cfg.StabilizeEvery {
 		e.lastGossip = now
 		e.gossipStability()
+		// Collect locally too: a singleton view receives no gossip, yet
+		// its history must still drain to empty.
+		e.collectStable()
 	}
 }
 
-// scanOrderGaps requests missing total-order slot assignments from the
-// sequencer when reliable messages are stuck in the stash.
+// scanOrderGaps requests missing total-order slot assignments when
+// reliable messages are stuck in the stash. The request goes to every
+// member, not only the sequencer: after a sequencer crash the surviving
+// members collectively still know every assignment any of them applied,
+// and whoever knows a slot answers.
 func (e *Engine) scanOrderGaps(now time.Time) {
 	if e.cfg.Ordering != Total || len(e.stash) == 0 {
-		return
-	}
-	seqr := e.view.Coordinator()
-	if seqr == id.None || seqr == e.env.Self() {
 		return
 	}
 	if now.Sub(e.lastOrderNack) < e.cfg.ResendAfter {
 		return
 	}
 	e.lastOrderNack = now
-	e.env.Send(seqr, &wire.Message{
-		Kind:   wire.KindNack,
-		Group:  e.cfg.Group,
-		View:   e.view.ID,
-		Sender: id.None, // order request marker
-		Seq:    e.totalNext,
-	})
-	e.counters.NacksSent++
+	for _, m := range e.view.Members {
+		if m == e.env.Self() {
+			continue
+		}
+		e.env.Send(m, &wire.Message{
+			Kind:   wire.KindNack,
+			Group:  e.cfg.Group,
+			View:   e.view.ID,
+			Sender: id.None, // order request marker
+			Seq:    e.totalNext,
+		})
+		e.counters.NacksSent++
+	}
 }
 
 // scanGaps NACKs senders with reception gaps older than ResendAfter.
+// Senders are visited in ID order so the datagram sequence is the same on
+// every run of a seeded simulation.
 func (e *Engine) scanGaps(now time.Time) {
-	for n, st := range e.peers {
+	senders := make([]id.Node, 0, len(e.peers))
+	for n := range e.peers {
+		senders = append(senders, n)
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+	for _, n := range senders {
+		st := e.peers[n]
 		if n == e.env.Self() {
 			continue
 		}

@@ -1,0 +1,46 @@
+package session_test
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"scalamedia/internal/chaos"
+)
+
+// -session.chaos.seed replays one failing session chaos run.
+var sessionChaosSeed = flag.Int64("session.chaos.seed", -1, "replay a single session chaos seed")
+
+// TestSessionChaos drives the session layer — membership plus the
+// replicated stream directory — through seeded fault schedules and
+// checks directory agreement (all live members hold identical
+// directories), ownership (every directory entry's owner is a final-view
+// member), withdrawal (withdrawn streams are gone everywhere), validity
+// (stable members' announcements are present) and eviction-notification
+// consistency, on top of view convergence.
+func TestSessionChaos(t *testing.T) {
+	if *sessionChaosSeed >= 0 {
+		runSessionChaos(t, *sessionChaosSeed)
+		return
+	}
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for i := int64(0); i < n; i++ {
+		seed := 4000 + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSessionChaos(t, seed)
+		})
+	}
+}
+
+func runSessionChaos(t *testing.T, seed int64) {
+	tr := chaos.RunSession(chaos.SessionOptions{Seed: seed, Nodes: 3 + int(seed)%3})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			fmt.Sprintf("go test ./internal/session -run TestSessionChaos -session.chaos.seed=%d", seed),
+			tr.Schedule, v))
+	}
+}

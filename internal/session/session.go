@@ -43,6 +43,10 @@ const (
 	StreamWithdrawn
 	// MessageReceived reports an application data multicast.
 	MessageReceived
+	// SelfEvicted reports that the membership service removed this node
+	// from the session (a lost partition or a false suspicion); the node
+	// must rejoin with a fresh engine to participate again.
+	SelfEvicted
 )
 
 // String returns the event kind name.
@@ -58,6 +62,8 @@ func (k EventKind) String() string {
 		return "stream-withdrawn"
 	case MessageReceived:
 		return "message-received"
+	case SelfEvicted:
+		return "self-evicted"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -96,6 +102,12 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
 	FlushTimeout   time.Duration
+	JoinRetry      time.Duration
+	ResendAfter    time.Duration
+	StabilizeEvery time.Duration
+	// PrimaryPartition forwards the membership majority rule; see
+	// member.Config.PrimaryPartition.
+	PrimaryPartition bool
 }
 
 // session-control opcodes, carried as the first payload byte of
@@ -137,18 +149,28 @@ func New(env proto.Env, cfg Config) *Engine {
 		directory: make(map[id.Stream]Announcement),
 	}
 	e.stack = core.NewStack(env, core.Config{
-		Group:          cfg.Group,
-		Contact:        cfg.Contact,
-		Ordering:       cfg.Ordering,
-		HeartbeatEvery: cfg.HeartbeatEvery,
-		SuspectAfter:   cfg.SuspectAfter,
-		FlushTimeout:   cfg.FlushTimeout,
-		OnView:         e.onView,
-		OnDeliver:      e.onDeliver,
-		Snapshot:       e.snapshotDirectory,
-		OnState:        e.installDirectory,
+		Group:            cfg.Group,
+		Contact:          cfg.Contact,
+		Ordering:         cfg.Ordering,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		SuspectAfter:     cfg.SuspectAfter,
+		FlushTimeout:     cfg.FlushTimeout,
+		JoinRetry:        cfg.JoinRetry,
+		ResendAfter:      cfg.ResendAfter,
+		StabilizeEvery:   cfg.StabilizeEvery,
+		PrimaryPartition: cfg.PrimaryPartition,
+		OnView:           e.onView,
+		OnDeliver:        e.onDeliver,
+		OnEvicted:        e.onEvicted,
+		Snapshot:         e.snapshotDirectory,
+		OnState:          e.installDirectory,
 	})
 	return e
+}
+
+// onEvicted surfaces the membership layer removing this node.
+func (e *Engine) onEvicted() {
+	e.emit(Event{Kind: SelfEvicted, Node: e.env.Self(), View: e.prevView})
 }
 
 // snapshotDirectory serializes the stream directory for state transfer to
@@ -261,6 +283,9 @@ func (e *Engine) Withdraw(sid id.Stream) error {
 
 // Leave departs the session.
 func (e *Engine) Leave() { e.stack.Leave() }
+
+// Evicted reports whether the membership service removed this node.
+func (e *Engine) Evicted() bool { return e.stack.Evicted() }
 
 // onView diffs membership and withdraws departed participants' streams.
 func (e *Engine) onView(v member.View) {

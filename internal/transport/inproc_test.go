@@ -143,24 +143,19 @@ func TestFabricPartialLossStatistics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Every delivery runs on an in-flight goroutine tracked by f.pending;
+	// once they all finish, each surviving datagram sits in b's receive
+	// buffer (RecvQueue deep, so none were dropped for space) and a
+	// non-blocking drain counts them exactly.
+	f.pending.Wait()
 	received := 0
-	timeout := time.After(2 * time.Second)
 drain:
 	for {
 		select {
 		case <-b.Recv():
 			received++
-		case <-timeout:
-			break drain
 		default:
-			// Allow in-flight goroutine deliveries to finish.
-			time.Sleep(10 * time.Millisecond)
-			select {
-			case <-b.Recv():
-				received++
-			default:
-				break drain
-			}
+			break drain
 		}
 	}
 	if received == 0 || received == sent {

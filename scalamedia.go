@@ -118,6 +118,7 @@ const (
 	StreamAnnounced   = session.StreamAnnounced
 	StreamWithdrawn   = session.StreamWithdrawn
 	MessageReceived   = session.MessageReceived
+	SelfEvicted       = session.SelfEvicted
 )
 
 // Errors.
@@ -149,6 +150,12 @@ type Config struct {
 	Peers map[NodeID]string
 	// Ordering is the session multicast discipline; defaults to Causal.
 	Ordering Ordering
+	// PrimaryPartition applies the membership majority rule: a view
+	// only installs on the side holding a strict majority of the old
+	// view (an even split is won by the side holding the old view's
+	// lowest member). A minority partition blocks instead of splitting
+	// the group's brain.
+	PrimaryPartition bool
 	// Tick overrides the protocol tick cadence.
 	Tick time.Duration
 	// MediaCapacity is the QoS budget for outgoing media in bytes per
@@ -219,12 +226,13 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n.runner = noderun.Start(n.ep, func(env proto.Env) proto.Handler {
 		n.sess = session.New(env, session.Config{
-			Group:          cfg.Group,
-			Contact:        cfg.Contact,
-			Ordering:       cfg.Ordering,
-			HeartbeatEvery: cfg.HeartbeatEvery,
-			SuspectAfter:   cfg.SuspectAfter,
-			OnEvent:        n.onEvent,
+			Group:            cfg.Group,
+			Contact:          cfg.Contact,
+			Ordering:         cfg.Ordering,
+			PrimaryPartition: cfg.PrimaryPartition,
+			HeartbeatEvery:   cfg.HeartbeatEvery,
+			SuspectAfter:     cfg.SuspectAfter,
+			OnEvent:          n.onEvent,
 		})
 		n.mux = proto.NewMux(n.sess)
 		return n.mux
@@ -274,6 +282,16 @@ func (n *Node) View() View {
 	var v View
 	n.runner.Do(func() { v = n.sess.View() })
 	return v
+}
+
+// Evicted reports whether the membership service removed this node from
+// the session (a lost partition or a false suspicion). An evicted node
+// also receives a SelfEvicted event; it must be closed and replaced with
+// a fresh node to rejoin.
+func (n *Node) Evicted() bool {
+	var ev bool
+	n.runner.Do(func() { ev = n.sess.Evicted() })
+	return ev
 }
 
 // Directory returns the current stream directory.

@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repository's tier-1 gate. Every change must pass this
+# before it lands: vet, build, the full test suite under the race
+# detector, and the short seeded chaos sweep. Run from the repo root:
+#
+#   ./scripts/check.sh
+#
+# The chaos sweep is deterministic: a failure prints the seed and a
+# one-line repro command (e.g. `go test ./internal/chaos -run
+# TestChaosSweep -chaos.seed=17`).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> short chaos sweep"
+go test -short -count=1 ./internal/chaos
+
+echo "All checks passed."
