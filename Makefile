@@ -2,7 +2,7 @@
 # pass before a change lands; see scripts/check.sh and the "Chaos &
 # invariants" section of README.md.
 
-.PHONY: check test race chaos chaos-wide fuzz bench
+.PHONY: check test race chaos chaos-wide fuzz bench bench-gate
 
 check:
 	./scripts/check.sh
@@ -30,3 +30,8 @@ fuzz:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Benchmark-regression gate: microbenchmarks + T1-T6 vs
+# bench_baseline.json, writing BENCH_2.json (see scripts/bench_gate.sh).
+bench-gate:
+	./scripts/bench_gate.sh

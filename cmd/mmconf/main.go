@@ -77,13 +77,9 @@ func run() int {
 	}
 
 	fmt.Printf("waiting for %d participants to assemble...\n", *participants)
-	deadline := time.Now().Add(30 * time.Second)
-	for nodes[0].View().Size() != *participants {
-		if time.Now().After(deadline) {
-			fmt.Fprintln(os.Stderr, "mmconf: session never assembled")
-			return 1
-		}
-		time.Sleep(20 * time.Millisecond)
+	if !nodes[0].WaitViewSize(*participants, 30*time.Second) {
+		fmt.Fprintln(os.Stderr, "mmconf: session never assembled")
+		return 1
 	}
 	fmt.Printf("session assembled: view %s with %d members\n",
 		nodes[0].View().ID, nodes[0].View().Size())
@@ -161,9 +157,10 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "mmconf: chat: %v\n", err)
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) // capture-clock pacing
 	}
-	// Let playout buffers drain.
+	// Playout is clock-driven: the adaptive buffers hold the last frames
+	// for their current playout delay (plus network jitter) after capture.
 	time.Sleep(500 * time.Millisecond)
 
 	aFrames, aBytes := audioOut.Stats()

@@ -104,7 +104,9 @@ func main() {
 	voice := media.NewVoice(audioSpec, 160, 1<<30, 900*time.Millisecond, 1200*time.Millisecond, 11)
 	vbr := media.NewVBR(videoSpec, 1500, 7000, 12, 1<<30, 12)
 	streamFor(4*time.Second, voice, vbr, audio, video)
-	time.Sleep(400 * time.Millisecond) // drain playout buffers
+	// Playout is clock-driven: the adaptive buffer holds the last frames
+	// for its current playout delay (plus network jitter) after capture.
+	time.Sleep(400 * time.Millisecond)
 
 	fmt.Println("\nlistener quality report:")
 	fmt.Println("  node  audio(recv/play/late)  video(recv/play/late)  playout(ms)  skew(ms)")
@@ -121,21 +123,10 @@ func main() {
 
 // waitAssembled blocks until every node has the full view.
 func waitAssembled(nodes []*scalamedia.Node) {
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		done := true
-		for _, n := range nodes {
-			if n.View().Size() != len(nodes) {
-				done = false
-			}
-		}
-		if done {
-			return
-		}
-		if time.Now().After(deadline) {
+	for _, n := range nodes {
+		if !n.WaitViewSize(len(nodes), 30*time.Second) {
 			log.Fatal("conference never assembled")
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -154,6 +145,6 @@ func streamFor(d time.Duration, voice, vbr media.Source, audio, video *scalamedi
 			video.Send(vf)
 			vf, vok = vbr.Next()
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) // capture-clock pacing
 	}
 }

@@ -26,6 +26,10 @@ func main() {
 	)
 	defer fab.Close()
 
+	// announced is a sticky wakeup: set whenever any node observes a
+	// StreamAnnounced event, so catalogue propagation is awaited — each
+	// wakeup triggers a directory re-check — rather than slept through.
+	announced := make(chan struct{}, 1)
 	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, capacity float64) *scalamedia.Node {
 		ep, err := fab.Attach(self)
 		if err != nil {
@@ -34,6 +38,14 @@ func main() {
 		n, err := scalamedia.Start(scalamedia.Config{
 			Self: self, Endpoint: ep, Group: 1, Contact: contact,
 			Tick: 5 * time.Millisecond, MediaCapacity: capacity,
+			OnEvent: func(ev scalamedia.Event) {
+				if ev.Kind == scalamedia.StreamAnnounced {
+					select {
+					case announced <- struct{}{}:
+					default: // a wakeup is already pending
+					}
+				}
+			},
 		})
 		if err != nil {
 			log.Fatalf("start %s: %v", self, err)
@@ -49,8 +61,8 @@ func main() {
 	clientB := start(3, 1, 0)
 	defer clientB.Close()
 
-	for server.View().Size() != 3 {
-		time.Sleep(10 * time.Millisecond)
+	if !server.WaitViewSize(3, 20*time.Second) {
+		log.Fatal("group never assembled")
 	}
 	fmt.Println("media server and 2 clients assembled")
 
@@ -80,8 +92,20 @@ func main() {
 		senders[t.spec.ID] = s
 	}
 
-	// Clients browse the replicated directory and subscribe.
-	time.Sleep(300 * time.Millisecond) // let announcements propagate
+	// Clients browse the replicated directory and subscribe, once both
+	// have seen every admitted title announced.
+	waitDir := func(c *scalamedia.Node) {
+		timeout := time.After(20 * time.Second)
+		for len(c.Directory()) < len(senders) {
+			select {
+			case <-announced:
+			case <-timeout:
+				log.Fatalf("%s never saw the full catalogue", c.ID())
+			}
+		}
+	}
+	waitDir(clientA)
+	waitDir(clientB)
 	dir := clientA.Directory()
 	fmt.Printf("client directory lists %d titles:\n", len(dir))
 	for _, e := range dir {
@@ -129,8 +153,10 @@ func main() {
 			}
 			f2, ok2 = src2.Next()
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond) // capture-clock pacing
 	}
+	// Playout is clock-driven: the last frames leave the jitter buffer
+	// one playout delay (plus network jitter) after capture.
 	time.Sleep(300 * time.Millisecond)
 
 	sa, sb := recvA.Stats(), recvB.Stats()

@@ -59,21 +59,21 @@ func main() {
 	monitor := start(1, 0, true)
 	defer monitor.Close()
 
-	// Three workers join one after another.
+	// Three workers join one after another; each join is awaited in the
+	// monitor's view before the next starts.
 	workers := map[scalamedia.NodeID]*scalamedia.Node{}
-	for _, idn := range []scalamedia.NodeID{2, 3, 4} {
+	for i, idn := range []scalamedia.NodeID{2, 3, 4} {
 		workers[idn] = start(idn, 1, false)
-		time.Sleep(400 * time.Millisecond)
+		waitSize(monitor, i+2)
 	}
-	waitSize(monitor, 4)
 	fmt.Printf("%s  group complete: %v\n", stamp(), monitor.View().Members)
 
-	// Node 3 leaves politely: one clean view change.
+	// Node 3 leaves politely: one clean view change. Its endpoint stays
+	// open until the departure view has committed.
 	fmt.Printf("%s  node 3 announces departure...\n", stamp())
 	workers[3].Leave()
-	time.Sleep(200 * time.Millisecond)
-	workers[3].Close()
 	waitSize(monitor, 3)
+	workers[3].Close()
 
 	// Node 4 crashes without a word: detected via heartbeat silence,
 	// then evicted.
@@ -89,11 +89,7 @@ func main() {
 
 // waitSize blocks until the node's view has n members.
 func waitSize(n *scalamedia.Node, want int) {
-	deadline := time.Now().Add(30 * time.Second)
-	for n.View().Size() != want {
-		if time.Now().After(deadline) {
-			log.Fatalf("view never reached %d members (now %d)", want, n.View().Size())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !n.WaitViewSize(want, 30*time.Second) {
+		log.Fatalf("view never reached %d members (now %d)", want, n.View().Size())
 	}
 }

@@ -24,7 +24,10 @@ func main() {
 	)
 	defer fab.Close()
 
-	// Node 1 bootstraps the group; 2 and 3 join through it.
+	// Node 1 bootstraps the group; 2 and 3 join through it. Every
+	// delivery lands on this channel so the end of the run is observed,
+	// not slept through.
+	delivered := make(chan struct{}, 16)
 	nodes := make([]*scalamedia.Node, 0, 3)
 	for i := 1; i <= 3; i++ {
 		ep, err := fab.Attach(scalamedia.NodeID(i))
@@ -50,6 +53,7 @@ func main() {
 						self, ev.Node, ev.View.ID, ev.View.Size())
 				case scalamedia.MessageReceived:
 					fmt.Printf("%s delivered %q from %s\n", self, ev.Payload, ev.Node)
+					delivered <- struct{}{}
 				}
 			},
 		})
@@ -61,21 +65,10 @@ func main() {
 	}
 
 	// Wait until every node has installed the three-member view.
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		assembled := true
-		for _, n := range nodes {
-			if n.View().Size() != 3 {
-				assembled = false
-			}
-		}
-		if assembled {
-			break
-		}
-		if time.Now().After(deadline) {
+	for _, n := range nodes {
+		if !n.WaitViewSize(3, 20*time.Second) {
 			log.Fatal("group never assembled")
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 	fmt.Println("--- group assembled ---")
 
@@ -87,6 +80,14 @@ func main() {
 	if err := nodes[2].Send([]byte("and hello back from n3")); err != nil {
 		log.Fatalf("send: %v", err)
 	}
-	time.Sleep(time.Second)
+	// Two messages, three members: six deliveries end the run.
+	timeout := time.After(20 * time.Second)
+	for got := 0; got < 2*len(nodes); got++ {
+		select {
+		case <-delivered:
+		case <-timeout:
+			log.Fatal("deliveries never completed")
+		}
+	}
 	fmt.Println("--- done ---")
 }

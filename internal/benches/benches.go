@@ -1,0 +1,232 @@
+// Package benches holds the data-plane micro-benchmark bodies shared
+// between the `go test -bench` wrappers (benches_test.go) and the
+// benchmark-regression gate (TestBenchGate at the repo root). Defining
+// the bodies once keeps interactive bench runs and the gate's
+// testing.Benchmark invocations measuring exactly the same code.
+package benches
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
+	"scalamedia/internal/transport"
+	"scalamedia/internal/wire"
+)
+
+// benchGroupSize is the view size the rmcast benchmarks run with: large
+// enough that the fan-out loop dominates, small enough that one op stays
+// in the microsecond range.
+const benchGroupSize = 8
+
+// SampleDataMessage returns a representative steady-state data message:
+// causal timestamp for a benchGroupSize view, a typical audio-frame body
+// and a piggybacked stability vector.
+func SampleDataMessage() *wire.Message {
+	ts := make([]uint32, benchGroupSize)
+	acks := make([]wire.AckEntry, benchGroupSize)
+	for i := range ts {
+		ts[i] = uint32(100 + i)
+		acks[i] = wire.AckEntry{Sender: id.Node(i + 1), Seq: uint64(100 + i)}
+	}
+	body := make([]byte, 512)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	return &wire.Message{
+		Kind:   wire.KindData,
+		Flags:  wire.FlagCausal | wire.FlagPiggyAck,
+		From:   1,
+		Group:  1,
+		View:   1,
+		Sender: 1,
+		Seq:    1000,
+		TS:     ts,
+		Body:   body,
+		Acks:   acks,
+	}
+}
+
+// WireRoundTrip measures one encode+decode cycle of a steady-state data
+// message through the pooled buffer and message paths. Zero allocs/op.
+func WireRoundTrip(b *testing.B) {
+	msg := SampleDataMessage()
+	m := wire.GetMessage()
+	defer wire.PutMessage(m)
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	// Warm the reusable storage so the loop measures the steady state.
+	*bp = msg.Encode((*bp)[:0])
+	if err := wire.DecodeInto(m, *bp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*bp = msg.Encode((*bp)[:0])
+		if err := wire.DecodeInto(m, *bp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEnv is a proto.Env whose Send behaves like a real transport:
+// encode synchronously into a pooled buffer, then let go of the message.
+type benchEnv struct {
+	self id.Node
+	now  time.Time
+	sink func(to id.Node, msg *wire.Message)
+}
+
+var _ proto.Env = (*benchEnv)(nil)
+
+func (e *benchEnv) Self() id.Node  { return e.self }
+func (e *benchEnv) Now() time.Time { return e.now }
+func (e *benchEnv) Send(to id.Node, msg *wire.Message) {
+	e.sink(to, msg)
+}
+
+// newBenchEngine builds an rmcast engine for node 1 in a static
+// benchGroupSize view, wired to an encode-and-discard transport.
+func newBenchEngine() (*rmcast.Engine, *benchEnv, []id.Node) {
+	env := &benchEnv{self: 1, now: time.Unix(0, 0)}
+	env.sink = func(_ id.Node, msg *wire.Message) {
+		bp := wire.GetBuf()
+		*bp = msg.Encode((*bp)[:0])
+		wire.PutBuf(bp)
+	}
+	eng := rmcast.New(env, rmcast.Config{
+		Group:     1,
+		Ordering:  rmcast.FIFO,
+		OnDeliver: func(rmcast.Delivery) {},
+	})
+	members := make([]id.Node, benchGroupSize)
+	for i := range members {
+		members[i] = id.Node(i + 1)
+	}
+	eng.SetView(member.NewView(1, members))
+	return eng, env, members
+}
+
+// stabilizer feeds the engine synthetic KindStable vectors from every
+// peer, acknowledging everything node 1 has sent, so the history buffer
+// drains and the benchmark measures the steady state rather than an
+// ever-growing history map. Its scratch storage makes the periodic
+// acknowledgment itself allocation-free once warm.
+type stabilizer struct {
+	row  []wire.AckEntry
+	body []byte
+	msg  wire.Message
+}
+
+func (s *stabilizer) ack(eng *rmcast.Engine, members []id.Node, seq uint64) {
+	s.row = append(s.row[:0], wire.AckEntry{Sender: 1, Seq: seq})
+	s.body = wire.AppendAckVector(s.body[:0], s.row)
+	s.msg = wire.Message{Kind: wire.KindStable, Group: 1, View: 1, Body: s.body}
+	for _, m := range members {
+		if m == 1 {
+			continue
+		}
+		s.msg.From = m
+		eng.OnMessage(m, &s.msg)
+	}
+}
+
+// RmcastMulticastFull measures one application Multicast end to end on
+// the sender: piggybacked ack vector, one encode per peer through the
+// pooled buffer path, and local dispatch. The few remaining allocs/op
+// are the retained payload copy and message struct handed to the history
+// buffer and OnDeliver — deliberately not pooled, since applications may
+// keep them.
+func RmcastMulticastFull(b *testing.B) {
+	eng, _, members := newBenchEngine()
+	payload := make([]byte, 256)
+	var st stabilizer
+	// Warm one stabilization round so its maps and scratch exist.
+	if err := eng.Multicast(payload); err != nil {
+		b.Fatal(err)
+	}
+	st.ack(eng, members, eng.Counters().Sent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Multicast(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			st.ack(eng, members, eng.Counters().Sent)
+		}
+	}
+}
+
+// CapturedDataMessage runs real Multicasts against a capturing transport
+// and returns a deep copy of an outgoing steady-state data message —
+// piggybacked ack vector included — for encode-path benchmarks.
+func CapturedDataMessage() *wire.Message {
+	eng, env, _ := newBenchEngine()
+	var captured *wire.Message
+	env.sink = func(_ id.Node, msg *wire.Message) {
+		if msg.Kind == wire.KindData && msg.Flags&wire.FlagPiggyAck != 0 {
+			c := *msg
+			c.TS = append(msg.TS[:0:0], msg.TS...)
+			c.Body = append(msg.Body[:0:0], msg.Body...)
+			c.Acks = append(msg.Acks[:0:0], msg.Acks...)
+			captured = &c
+		}
+	}
+	payload := make([]byte, 256)
+	// The first send predates any receive state, so its ack vector is
+	// empty; the second piggybacks the self row.
+	for i := 0; i < 2 && captured == nil; i++ {
+		if err := eng.Multicast(payload); err != nil {
+			panic(err)
+		}
+	}
+	if captured == nil {
+		panic("benches: no piggybacked data message captured")
+	}
+	return captured
+}
+
+// RmcastMulticastEncode isolates the wire encode path of the multicast
+// send loop: encoding one engine-produced data message into a pooled
+// buffer, exactly as every transport's Send does. Zero allocs/op.
+func RmcastMulticastEncode(b *testing.B) {
+	msg := CapturedDataMessage()
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = msg.Encode((*bp)[:0]) // warm the buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*bp = msg.Encode((*bp)[:0])
+	}
+}
+
+// TransportLoopback measures one datagram through the in-process fabric
+// on a zero-delay link: pooled encode, inline delivery, decode into the
+// receiver's queue.
+func TransportLoopback(b *testing.B) {
+	f := transport.NewFabric()
+	src, err := f.Attach(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := f.Attach(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	msg := SampleDataMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send(2, msg); err != nil {
+			b.Fatal(err)
+		}
+		<-dst.Recv()
+	}
+}

@@ -1,0 +1,59 @@
+package benches
+
+import (
+	"testing"
+
+	"scalamedia/internal/wire"
+)
+
+func BenchmarkWireRoundTrip(b *testing.B) { WireRoundTrip(b) }
+
+func BenchmarkRmcastMulticast(b *testing.B) {
+	b.Run("full", RmcastMulticastFull)
+	b.Run("encode", RmcastMulticastEncode)
+}
+
+func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
+
+// TestRmcastEncodeZeroAlloc pins the acceptance bar directly: encoding an
+// engine-produced steady-state data message into a pooled buffer must not
+// allocate.
+func TestRmcastEncodeZeroAlloc(t *testing.T) {
+	msg := CapturedDataMessage()
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = msg.Encode((*bp)[:0]) // warm
+	allocs := testing.AllocsPerRun(200, func() {
+		*bp = msg.Encode((*bp)[:0])
+	})
+	if allocs >= 0.5 {
+		t.Fatalf("multicast encode path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestMulticastSteadyStateAllocs bounds the full per-multicast allocation
+// budget: only the retained payload copy, the message struct, and the
+// escaping outgoing copy — nothing per peer, nothing in the encode path.
+func TestMulticastSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts are inflated")
+	}
+	eng, _, members := newBenchEngine()
+	payload := make([]byte, 256)
+	var st stabilizer
+	for i := 0; i < 128; i++ { // warm scratch, pools and peer state
+		if err := eng.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.ack(eng, members, eng.Counters().Sent)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	st.ack(eng, members, eng.Counters().Sent)
+	if allocs > 4 {
+		t.Fatalf("Multicast allocates %.1f/op, want <= 4 (payload copy, message, out-copy)", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package benches
+
+// raceEnabled reports whether the race detector is active. Under race,
+// sync.Pool deliberately drops a fraction of Puts, so allocation-count
+// assertions on pooled paths are skipped.
+const raceEnabled = false

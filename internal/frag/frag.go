@@ -58,10 +58,19 @@ type group struct {
 // maxGroups bounds the assembler's memory across lost-marker frames.
 const maxGroups = 16
 
+// maxFreeBufs bounds the recycled fragment-buffer free list; beyond a
+// couple of frames' worth of fragments, extras go to the GC.
+const maxFreeBufs = 64
+
 // Assembler reassembles frames from fragments at the receiver. Not safe
-// for concurrent use; it lives inside the receiver's event loop.
+// for concurrent use; it lives inside the receiver's event loop — which
+// is also why recycling uses plain free lists rather than sync.Pool:
+// fragment buffers and group records cycle entirely within one
+// goroutine, so steady-state reassembly stops allocating per packet.
 type Assembler struct {
-	groups map[uint32]*group
+	groups    map[uint32]*group
+	freeBufs  [][]byte
+	freeGroup []*group
 	// Dropped counts frames discarded incomplete.
 	Dropped uint64
 }
@@ -69,6 +78,40 @@ type Assembler struct {
 // NewAssembler returns an empty assembler.
 func NewAssembler() *Assembler {
 	return &Assembler{groups: make(map[uint32]*group)}
+}
+
+// getBuf returns a recycled buffer of length n when one with enough
+// capacity is on the free list, else a fresh allocation.
+func (a *Assembler) getBuf(n int) []byte {
+	if k := len(a.freeBufs); k > 0 {
+		b := a.freeBufs[k-1]
+		a.freeBufs = a.freeBufs[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// recycle returns a finished group's record and fragment buffers to the
+// free lists.
+func (a *Assembler) recycle(g *group) {
+	for _, f := range g.frags {
+		if len(a.freeBufs) < maxFreeBufs {
+			a.freeBufs = append(a.freeBufs, f.payload[:0])
+		}
+	}
+	*g = group{frags: g.frags[:0]}
+	a.freeGroup = append(a.freeGroup, g)
+}
+
+func (a *Assembler) getGroup() *group {
+	if k := len(a.freeGroup); k > 0 {
+		g := a.freeGroup[k-1]
+		a.freeGroup = a.freeGroup[:k-1]
+		return g
+	}
+	return &group{}
 }
 
 // Add feeds one packet. When the packet completes its frame, the
@@ -79,11 +122,11 @@ func NewAssembler() *Assembler {
 func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byte) ([]byte, bool) {
 	g, exists := a.groups[ts]
 	if !exists {
-		g = &group{}
+		g = a.getGroup()
 		a.groups[ts] = g
 		a.prune(ts)
 	}
-	cp := make([]byte, len(payload))
+	cp := a.getBuf(len(payload))
 	copy(cp, payload)
 	g.frags = append(g.frags, fragment{seq: seq, payload: cp})
 	if start {
@@ -113,11 +156,15 @@ func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byt
 		}
 		total += len(f.payload)
 	}
+	// The reassembled frame is handed to the application, which may
+	// retain it, so it is always freshly allocated; only the internal
+	// fragment buffers recycle.
 	out := make([]byte, 0, total)
 	for _, f := range g.frags {
 		out = append(out, f.payload...)
 	}
 	delete(a.groups, ts)
+	a.recycle(g)
 	return out, true
 }
 
@@ -130,6 +177,11 @@ func (a *Assembler) prune(newest uint32) {
 			if ts < oldest {
 				oldest = ts
 			}
+		}
+		// The just-inserted group can itself be the oldest; the caller
+		// still holds it, so it is deleted but never recycled.
+		if oldest != newest {
+			a.recycle(a.groups[oldest])
 		}
 		delete(a.groups, oldest)
 		a.Dropped++

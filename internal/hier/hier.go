@@ -137,6 +137,14 @@ type Config struct {
 	Ordering rmcast.Ordering
 	// OnDeliver receives application messages.
 	OnDeliver func(Delivery)
+	// DisableBatching forwards every own-cluster message over the relay
+	// group immediately, one datagram each, instead of aggregating the
+	// tick's forwards into one batch. It is also passed through to the
+	// constituent rmcast engines, reverting their control traffic to one
+	// datagram per event (see rmcast.Config.DisableBatching).
+	DisableBatching bool
+	// NoPiggyback is passed through to the constituent rmcast engines.
+	NoPiggyback bool
 }
 
 // Engine is the hierarchical multicast stack for one node: an
@@ -150,29 +158,96 @@ type Engine struct {
 	isRelay bool
 	local   *rmcast.Engine
 	wide    *rmcast.Engine // nil on non-relay nodes
+
+	// Aggregated own-cluster forwards awaiting the tick's relay batch:
+	// packed batch entries plus their count.
+	fwdBuf   []byte
+	fwdCount int
 }
 
 var _ proto.Handler = (*Engine)(nil)
 
-// envelope is the origin wrapper carried end to end.
-// Layout: origin node (8) | origin seq (8) | payload.
-const envelopeHeader = 16
+// Envelope encodings carried on the multicast channels. A single envelope
+// wraps one origin message; a batch aggregates several envelopes into one
+// relay-group datagram (and one intra-cluster re-multicast), which is how
+// the hierarchy keeps per-message relay overhead down.
+const (
+	// envSingle tags one origin message:
+	// tag (1) | origin node (8) | origin seq (8) | payload.
+	envSingle byte = 1
+	// envBatch tags an aggregated forward:
+	// tag (1) | count (4) | { origin (8) | seq (8) | len (4) | payload }*.
+	envBatch byte = 2
+)
+
+const (
+	envelopeHeader  = 1 + 8 + 8
+	batchHeader     = 1 + 4
+	batchEntryExtra = 8 + 8 + 4
+	// fwdFlushBytes caps the entry bytes of one forward batch so the
+	// whole relay datagram stays well under the 64 KiB UDP limit.
+	fwdFlushBytes = 48 * 1024
+)
 
 func packEnvelope(origin id.Node, seq uint64, payload []byte) []byte {
 	buf := make([]byte, envelopeHeader+len(payload))
-	binary.BigEndian.PutUint64(buf, uint64(origin))
-	binary.BigEndian.PutUint64(buf[8:], seq)
+	buf[0] = envSingle
+	binary.BigEndian.PutUint64(buf[1:], uint64(origin))
+	binary.BigEndian.PutUint64(buf[9:], seq)
 	copy(buf[envelopeHeader:], payload)
 	return buf
 }
 
 func unpackEnvelope(buf []byte) (origin id.Node, seq uint64, payload []byte, err error) {
-	if len(buf) < envelopeHeader {
+	if len(buf) < envelopeHeader || buf[0] != envSingle {
 		return 0, 0, nil, ErrBadEnvelope
 	}
-	origin = id.Node(binary.BigEndian.Uint64(buf))
-	seq = binary.BigEndian.Uint64(buf[8:])
+	origin = id.Node(binary.BigEndian.Uint64(buf[1:]))
+	seq = binary.BigEndian.Uint64(buf[9:])
 	return origin, seq, buf[envelopeHeader:], nil
+}
+
+// appendBatchEntry appends one single-envelope's content as a batch entry.
+func appendBatchEntry(dst []byte, env []byte) []byte {
+	var n [8]byte
+	dst = append(dst, env[1:envelopeHeader]...) // origin + seq
+	binary.BigEndian.PutUint32(n[:4], uint32(len(env)-envelopeHeader))
+	dst = append(dst, n[:4]...)
+	return append(dst, env[envelopeHeader:]...)
+}
+
+// packBatch frames previously appended batch entries into one payload.
+func packBatch(entries []byte, count int) []byte {
+	buf := make([]byte, 0, batchHeader+len(entries))
+	buf = append(buf, envBatch)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(count))
+	buf = append(buf, n[:]...)
+	return append(buf, entries...)
+}
+
+// forEachBatchEntry decodes a batch payload, invoking fn per envelope.
+func forEachBatchEntry(buf []byte, fn func(origin id.Node, seq uint64, payload []byte)) error {
+	if len(buf) < batchHeader || buf[0] != envBatch {
+		return ErrBadEnvelope
+	}
+	count := int(binary.BigEndian.Uint32(buf[1:]))
+	off := batchHeader
+	for i := 0; i < count; i++ {
+		if len(buf) < off+batchEntryExtra {
+			return ErrBadEnvelope
+		}
+		origin := id.Node(binary.BigEndian.Uint64(buf[off:]))
+		seq := binary.BigEndian.Uint64(buf[off+8:])
+		plen := int(binary.BigEndian.Uint32(buf[off+16:]))
+		off += batchEntryExtra
+		if plen < 0 || len(buf) < off+plen {
+			return ErrBadEnvelope
+		}
+		fn(origin, seq, buf[off:off+plen])
+		off += plen
+	}
+	return nil
 }
 
 // New builds the hierarchical engine for env.Self(). Views are installed
@@ -195,16 +270,20 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 		isRelay: cfg.Topology.RelayOf(ci) == env.Self(),
 	}
 	e.local = rmcast.New(env, rmcast.Config{
-		Group:     cfg.LocalGroup,
-		Ordering:  cfg.Ordering,
-		OnDeliver: e.onLocalDeliver,
+		Group:           cfg.LocalGroup,
+		Ordering:        cfg.Ordering,
+		OnDeliver:       e.onLocalDeliver,
+		DisableBatching: cfg.DisableBatching,
+		NoPiggyback:     cfg.NoPiggyback,
 	})
 	e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
 	if e.isRelay {
 		e.wide = rmcast.New(env, rmcast.Config{
-			Group:     cfg.WideGroup,
-			Ordering:  rmcast.FIFO,
-			OnDeliver: e.onWideDeliver,
+			Group:           cfg.WideGroup,
+			Ordering:        rmcast.FIFO,
+			OnDeliver:       e.onWideDeliver,
+			DisableBatching: cfg.DisableBatching,
+			NoPiggyback:     cfg.NoPiggyback,
 		})
 		e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
 	}
@@ -227,20 +306,21 @@ func (e *Engine) Multicast(payload []byte) error {
 
 // onLocalDeliver handles a message arriving on the intra-cluster channel:
 // deliver it to the application, and — on the origin cluster's relay —
-// forward it to the other relays.
+// queue it for the tick's aggregated forward to the other relays. Batches
+// re-multicast by a relay deliver each contained envelope; they never
+// forward again (their origins are in other clusters by construction).
 func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
+	if len(d.Payload) > 0 && d.Payload[0] == envBatch {
+		_ = forEachBatchEntry(d.Payload, func(origin id.Node, seq uint64, payload []byte) {
+			e.deliverApp(origin, seq, payload)
+		})
+		return
+	}
 	origin, seq, payload, err := unpackEnvelope(d.Payload)
 	if err != nil {
 		return
 	}
-	if e.cfg.OnDeliver != nil {
-		e.cfg.OnDeliver(Delivery{
-			Group:   e.cfg.LocalGroup,
-			Origin:  origin,
-			Seq:     seq,
-			Payload: payload,
-		})
-	}
+	e.deliverApp(origin, seq, payload)
 	if !e.isRelay || e.wide == nil {
 		return
 	}
@@ -249,17 +329,50 @@ func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
 	if e.cfg.Topology.ClusterOf(origin) != e.cluster {
 		return
 	}
-	// Re-wrap verbatim: the envelope is already in d.Payload.
-	if err := e.wide.Multicast(d.Payload); err != nil {
-		// The relay group always has a view; an error here means the
-		// payload exceeded limits, which the local send bounded.
+	if e.cfg.DisableBatching {
+		// Re-wrap verbatim: the envelope is already in d.Payload. The
+		// relay group always has a view; an error here means the payload
+		// exceeded limits, which the local send bounded.
+		_ = e.wide.Multicast(d.Payload)
 		return
 	}
+	// Aggregate; flush early if the batch would outgrow one datagram.
+	if len(e.fwdBuf) > 0 &&
+		len(e.fwdBuf)+batchEntryExtra+len(d.Payload) > fwdFlushBytes {
+		e.flushForwards()
+	}
+	e.fwdBuf = appendBatchEntry(e.fwdBuf, d.Payload)
+	e.fwdCount++
+}
+
+func (e *Engine) deliverApp(origin id.Node, seq uint64, payload []byte) {
+	if e.cfg.OnDeliver == nil {
+		return
+	}
+	e.cfg.OnDeliver(Delivery{
+		Group:   e.cfg.LocalGroup,
+		Origin:  origin,
+		Seq:     seq,
+		Payload: payload,
+	})
+}
+
+// flushForwards sends the queued own-cluster messages to the other relays
+// as one batch.
+func (e *Engine) flushForwards() {
+	if e.fwdCount == 0 {
+		return
+	}
+	batch := packBatch(e.fwdBuf, e.fwdCount)
+	e.fwdBuf = e.fwdBuf[:0]
+	e.fwdCount = 0
+	_ = e.wide.Multicast(batch)
 }
 
 // onWideDeliver handles a message arriving on the relay channel:
-// re-multicast it into the local cluster (the relay's own delivery happens
-// through that local multicast, keeping per-cluster order uniform).
+// re-multicast it into the local cluster verbatim — one local multicast
+// per batch (the relay's own delivery happens through that local
+// multicast, keeping per-cluster order uniform).
 func (e *Engine) onWideDeliver(d rmcast.Delivery) {
 	if d.Sender == e.env.Self() {
 		return // our own forward echoed back; cluster already has it
@@ -279,8 +392,12 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	}
 }
 
-// OnTick drives the constituent engines.
+// OnTick flushes the pending relay batch and drives the constituent
+// engines.
 func (e *Engine) OnTick(now time.Time) {
+	if e.isRelay && e.wide != nil {
+		e.flushForwards()
+	}
 	e.local.OnTick(now)
 	if e.wide != nil {
 		e.wide.OnTick(now)

@@ -270,21 +270,26 @@ func (s *Sim) scheduleAt(at time.Time, run func()) {
 // delivery. Called from handlers via simNode.Send.
 func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 	msg.From = from
-	buf := msg.Marshal()
+	bp := wire.GetBuf()
+	*bp = msg.Encode((*bp)[:0])
+	buf := *bp
 	s.stats.SentByKind[msg.Kind]++
 	s.stats.BytesByKind[msg.Kind] += uint64(len(buf))
 
 	sender, ok := s.nodes[from]
 	if !ok || !sender.up {
+		wire.PutBuf(bp)
 		return
 	}
 	link := s.cfg.Profile(from, to)
 	if s.partition[from] != s.partition[to] {
 		s.stats.Dropped++
+		wire.PutBuf(bp)
 		return
 	}
 	if link.Loss > 0 && s.rng.Float64() < link.Loss {
 		s.stats.Dropped++
+		wire.PutBuf(bp)
 		return
 	}
 	// Finite bandwidth: the datagram serializes after any earlier
@@ -304,6 +309,15 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 	if link.Duplicate > 0 && s.rng.Float64() < link.Duplicate {
 		copies = 2
 	}
+	// The copies share the pooled encode buffer; the last delivery (the
+	// simulation is single-goroutine, so a plain counter suffices) returns
+	// it to the pool.
+	left := copies
+	release := func() {
+		if left--; left == 0 {
+			wire.PutBuf(bp)
+		}
+	}
 	for c := 0; c < copies; c++ {
 		delay := link.Delay + depart.Sub(s.now)
 		if link.Jitter > 0 {
@@ -313,6 +327,7 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 			delay = time.Nanosecond // strictly-after-send delivery
 		}
 		s.scheduleAt(s.now.Add(delay), func() {
+			defer release()
 			node, ok := s.nodes[to]
 			if !ok || !node.up {
 				s.stats.Dropped++

@@ -39,7 +39,10 @@ type Env interface {
 	// time under simulation.
 	Now() time.Time
 	// Send transmits one best-effort datagram. Loss is silent, exactly
-	// like the transport beneath.
+	// like the transport beneath. Send encodes msg synchronously and
+	// does not retain it (or its slices) after returning, so engines may
+	// reuse one message value — including scratch-backed Body or Acks —
+	// across consecutive Send calls.
 	Send(to id.Node, msg *wire.Message)
 }
 

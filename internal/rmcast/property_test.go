@@ -6,7 +6,10 @@ import (
 	"time"
 
 	"scalamedia/internal/id"
+	"scalamedia/internal/member"
 	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
 )
 
 // propRun drives a randomized workload and returns each node's delivery
@@ -215,5 +218,83 @@ func TestPropertyOrderSafetyUnderLossAndDuplication(t *testing.T) {
 			checkExactlyOnce(t, pr, 4)
 			checkTotalAgreement(t, pr)
 		})
+	}
+}
+
+// controlRatio mirrors the T3 flat n=16 workload (4 senders, 40 messages
+// each, 10ms gaps, 1% loss) and returns control datagrams — everything
+// except data and retransmissions — per delivered application message.
+func controlRatio(t *testing.T, unbatched bool) float64 {
+	t.Helper()
+	link := netsim.Link{Delay: time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.01}
+	s := netsim.New(netsim.Config{
+		Seed:    716,
+		Profile: func(_, _ id.Node) netsim.Link { return link },
+	})
+	const n, senders, per = 16, 4, 40
+	var members []id.Node
+	for i := 1; i <= n; i++ {
+		members = append(members, id.Node(i))
+	}
+	view := member.NewView(1, members)
+	delivered := 0
+	engines := make(map[id.Node]*Engine, n)
+	for _, m := range members {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			eng := New(env, Config{
+				Group:           1,
+				Ordering:        FIFO,
+				DisableBatching: unbatched,
+				NoPiggyback:     unbatched,
+				OnDeliver:       func(Delivery) { delivered++ },
+			})
+			eng.SetView(view)
+			engines[m] = eng
+			return eng
+		})
+	}
+	payload := make([]byte, 64)
+	var last time.Duration
+	for si := 0; si < senders; si++ {
+		sender := members[si]
+		at := 10 * time.Millisecond
+		for i := 0; i < per; i++ {
+			at += 10 * time.Millisecond
+			if at > last {
+				last = at
+			}
+			s.At(at, func() {
+				if err := engines[sender].Multicast(payload); err != nil {
+					t.Errorf("multicast: %v", err)
+				}
+			})
+		}
+	}
+	s.Run(last + 5*time.Second)
+	if want := n * senders * per; delivered != want {
+		t.Fatalf("delivered %d of %d", delivered, want)
+	}
+	st := s.Stats()
+	data := st.SentByKind[wire.KindData] + st.SentByKind[wire.KindRetrans]
+	return float64(st.TotalSent()-data) / float64(delivered)
+}
+
+// TestPropertyControlOverheadBatched pins the control-plane win: with
+// piggybacked stability, coalesced NACKs and gossip suppression, the
+// ctl/dlv ratio at n=16 must fall strictly below both the unbatched run
+// on the identical workload and the 3.48 recorded for that row before
+// batching existed (EXPERIMENTS.md T3, PR 1).
+func TestPropertyControlOverheadBatched(t *testing.T) {
+	batched := controlRatio(t, false)
+	unbatched := controlRatio(t, true)
+	t.Logf("ctl/dlv at n=16: batched %.2f, unbatched %.2f", batched, unbatched)
+	if batched >= unbatched {
+		t.Fatalf("batched ctl/dlv %.2f not below unbatched %.2f", batched, unbatched)
+	}
+	const pr1Figure = 3.48
+	if batched >= pr1Figure {
+		t.Fatalf("batched ctl/dlv %.2f not below the pre-batching T3 figure %.2f",
+			batched, pr1Figure)
 	}
 }

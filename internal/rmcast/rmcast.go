@@ -77,6 +77,10 @@ func (o Ordering) String() string {
 const (
 	DefaultResendAfter    = 40 * time.Millisecond
 	DefaultStabilizeEvery = 150 * time.Millisecond
+	// DefaultKeepaliveFactor scales StabilizeEvery into the default
+	// StableKeepalive: how long a member with an unchanged ack vector
+	// stays silent before re-gossiping anyway.
+	DefaultKeepaliveFactor = 4
 )
 
 // Errors returned by Multicast.
@@ -111,6 +115,24 @@ type Config struct {
 	// StabilizeEvery is the stability gossip period. Defaults to
 	// DefaultStabilizeEvery.
 	StabilizeEvery time.Duration
+	// StableKeepalive bounds gossip suppression: a member whose ack
+	// vector has not changed — and so skips its periodic gossip — still
+	// re-broadcasts it after this long, repairing lost final vectors so
+	// history buffers drain even in quiescence. Defaults to
+	// DefaultKeepaliveFactor * StabilizeEvery.
+	StableKeepalive time.Duration
+	// DisableBatching reverts control traffic to one datagram per event:
+	// singleton NACKs, one ORDER announcement per slot, and stability
+	// gossip on every period regardless of change. The zero value —
+	// batching on — coalesces NACK ranges per (destination, tick),
+	// aggregates sequencer slots into one KindOrderBatch per tick, and
+	// suppresses gossip while the ack vector is unchanged. The unbatched
+	// mode exists for the T3 ablation baseline.
+	DisableBatching bool
+	// NoPiggyback stops attaching the ack vector to outgoing data
+	// messages. With piggybacking on (the zero value), active senders
+	// propagate stability for free and skip standalone gossip entirely.
+	NoPiggyback bool
 }
 
 // Counters exposes protocol event counts for tests and experiments.
@@ -172,8 +194,19 @@ type Engine struct {
 
 	// Stability: per-member ack vectors.
 	ackMatrix     map[id.Node]map[id.Node]uint64
-	lastGossip    time.Time
+	lastGossip    time.Time // last time the local vector went out (gossip or piggyback)
+	lastStableTry time.Time // last periodic gossip consideration
+	ackDirty      bool      // local vector changed since it last went out
 	lastOrderNack time.Time
+
+	// Batched control traffic, flushed per tick.
+	pendingOrders []wire.OrderEntry             // sequencer slots awaiting broadcast
+	nackQueue     map[id.Node][]wire.NackRange  // coalesced NACKs per destination
+
+	// Reusable scratch to keep the steady-state send path allocation-free.
+	ackScratch   []wire.AckEntry
+	orderScratch []wire.OrderEntry
+	bodyScratch  []byte
 
 	// Messages for a view newer than the installed one, replayed after
 	// installation.
@@ -204,6 +237,9 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.StabilizeEvery <= 0 {
 		cfg.StabilizeEvery = DefaultStabilizeEvery
 	}
+	if cfg.StableKeepalive <= 0 {
+		cfg.StableKeepalive = DefaultKeepaliveFactor * cfg.StabilizeEvery
+	}
 	return &Engine{
 		env:       env,
 		cfg:       cfg,
@@ -214,6 +250,7 @@ func New(env proto.Env, cfg Config) *Engine {
 		ordered:   make(map[msgKey]bool),
 		stash:     make(map[msgKey]*wire.Message),
 		ackMatrix: make(map[id.Node]map[id.Node]uint64),
+		nackQueue: make(map[id.Node][]wire.NackRange),
 	}
 }
 
@@ -242,6 +279,9 @@ func (e *Engine) SetView(v member.View) {
 	e.seqSlot = 0
 	e.ackMatrix = make(map[id.Node]map[id.Node]uint64)
 	e.frozen = false
+	e.ackDirty = false
+	e.pendingOrders = e.pendingOrders[:0]
+	e.nackQueue = make(map[id.Node][]wire.NackRange)
 
 	// Replay buffered messages that were sent in this view.
 	pending := e.futureBuf
@@ -341,13 +381,14 @@ func (e *Engine) Flush(proposed member.View) {
 		return keys[i].seq < keys[j].seq
 	})
 	for _, k := range keys {
-		m := e.history[k]
+		// One copy per message, not per destination: Env.Send encodes
+		// synchronously and does not retain the message.
+		r := *e.history[k]
+		r.Kind = wire.KindRetrans
 		for _, dst := range proposed.Members {
 			if dst == e.env.Self() {
 				continue
 			}
-			r := *m
-			r.Kind = wire.KindRetrans
 			e.env.Send(dst, &r)
 			e.counters.FlushResends++
 		}
@@ -393,12 +434,26 @@ func (e *Engine) Multicast(payload []byte) error {
 		msg.Flags |= wire.FlagTotalOrder
 	}
 	e.counters.Sent++
-	for _, m := range e.view.Members {
-		if m == e.env.Self() {
-			continue
+	if e.view.Size() > 1 {
+		// One outgoing copy for all destinations (Env.Send encodes
+		// synchronously); the history copy stays piggyback-free so
+		// retransmissions never carry a stale ack vector.
+		out := *msg
+		if !e.cfg.NoPiggyback {
+			e.ackScratch = e.appendAckRows(e.ackScratch[:0])
+			if len(e.ackScratch) > 0 {
+				out.Flags |= wire.FlagPiggyAck
+				out.Acks = e.ackScratch
+				e.lastGossip = e.env.Now()
+				e.ackDirty = false
+			}
 		}
-		cp := *msg
-		e.env.Send(m, &cp)
+		for _, m := range e.view.Members {
+			if m == e.env.Self() {
+				continue
+			}
+			e.env.Send(m, &out)
+		}
 	}
 	// Local copy through the normal pipeline (it is always in order).
 	e.dispatch(msg)
@@ -415,10 +470,21 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 		if msg.Kind == wire.KindRetrans {
 			e.counters.Retransmits++
 		}
+		if msg.Flags&wire.FlagPiggyAck != 0 {
+			if msg.View == e.view.ID && e.view.Contains(from) {
+				e.mergeAckRow(from, msg.Acks)
+			}
+			// Strip before the message can reach the history buffer, so
+			// retransmissions of it never replay a stale vector.
+			msg.Flags &^= wire.FlagPiggyAck
+			msg.Acks = nil
+		}
 		e.routeData(msg)
 	case wire.KindNack:
 		e.onNack(from, msg)
-	case wire.KindOrder:
+	case wire.KindNackBatch:
+		e.onNackBatch(from, msg)
+	case wire.KindOrder, wire.KindOrderBatch:
 		e.routeOrder(msg)
 	case wire.KindStable:
 		e.onStable(from, msg)
@@ -443,7 +509,11 @@ func (e *Engine) routeData(msg *wire.Message) {
 func (e *Engine) routeOrder(msg *wire.Message) {
 	switch {
 	case msg.View == e.view.ID && e.view.ID != 0:
-		e.onOrder(msg)
+		if msg.Kind == wire.KindOrderBatch {
+			e.onOrderBatch(msg)
+		} else {
+			e.onOrder(msg)
+		}
 	case msg.View > e.view.ID:
 		if len(e.futureBuf) < 4096 {
 			e.futureBuf = append(e.futureBuf, msg)
@@ -455,6 +525,10 @@ func (e *Engine) routeOrder(msg *wire.Message) {
 func (e *Engine) dispatch(msg *wire.Message) {
 	if msg.Kind == wire.KindOrder {
 		e.onOrder(msg)
+		return
+	}
+	if msg.Kind == wire.KindOrderBatch {
+		e.onOrderBatch(msg)
 		return
 	}
 	st := e.peer(msg.Sender)
@@ -497,6 +571,7 @@ func (e *Engine) dispatch(msg *wire.Message) {
 func (e *Engine) contiguous(msg *wire.Message, st *peerState) {
 	key := msgKey{sender: msg.Sender, seq: msg.Seq}
 	e.history[key] = msg
+	e.ackDirty = true // the local ack vector advances with st.next
 	switch e.cfg.Ordering {
 	case Unordered:
 		if st.early[msg.Seq] {
@@ -575,8 +650,17 @@ func (e *Engine) sequenceIfMine(key msgKey) {
 	slot := e.seqSlot
 	e.seqSlot++
 	e.orders[slot] = key
-	e.broadcastOrder(slot, key)
 	e.counters.OrdersSent++
+	if e.cfg.DisableBatching {
+		e.broadcastOrder(slot, key)
+		return
+	}
+	// Aggregate into one KindOrderBatch per tick (see flushOrders). The
+	// local orders map already has the slot, so local total-order
+	// delivery is unaffected by the deferral.
+	e.pendingOrders = append(e.pendingOrders, wire.OrderEntry{
+		Slot: slot, Sender: key.sender, Seq: key.seq,
+	})
 }
 
 // broadcastOrder announces one slot assignment to the other members.
@@ -603,6 +687,23 @@ func (e *Engine) onOrder(msg *wire.Message) {
 		e.orders[msg.Aux] = key
 	}
 	e.ordered[key] = true
+	e.drainTotal()
+}
+
+// onOrderBatch records every slot assignment in an aggregated
+// announcement, then drains once.
+func (e *Engine) onOrderBatch(msg *wire.Message) {
+	entries, _, err := wire.DecodeOrderBatch(msg.Body)
+	if err != nil {
+		return
+	}
+	for _, o := range entries {
+		key := msgKey{sender: o.Sender, seq: o.Seq}
+		if _, ok := e.orders[o.Slot]; !ok {
+			e.orders[o.Slot] = key
+		}
+		e.ordered[key] = true
+	}
 	e.drainTotal()
 }
 
@@ -647,12 +748,39 @@ func (e *Engine) onNack(from id.Node, msg *wire.Message) {
 		return
 	}
 	if msg.Sender == id.None {
-		// Any member that knows an assignment answers, not only the
-		// sequencer: this keeps total order recoverable after a
-		// sequencer crash. Local knowledge may have gaps, so scan the
-		// window rather than stop at the first unknown slot.
+		e.serveOrderRequest(from, msg.Seq)
+		return
+	}
+	e.serveRetrans(from, msg.Sender, msg.Seq, msg.Aux)
+}
+
+// onNackBatch serves every range in a coalesced retransmission request.
+func (e *Engine) onNackBatch(from id.Node, msg *wire.Message) {
+	if msg.View != e.view.ID {
+		return
+	}
+	ranges, _, err := wire.DecodeNackRanges(msg.Body)
+	if err != nil {
+		return
+	}
+	for _, r := range ranges {
+		if r.Sender == id.None {
+			e.serveOrderRequest(from, r.From)
+			continue
+		}
+		e.serveRetrans(from, r.Sender, r.From, r.To)
+	}
+}
+
+// serveOrderRequest re-announces known slot assignments from fromSlot
+// upward. Any member that knows an assignment answers, not only the
+// sequencer: this keeps total order recoverable after a sequencer crash.
+// Local knowledge may have gaps, so scan the window rather than stop at
+// the first unknown slot.
+func (e *Engine) serveOrderRequest(from id.Node, fromSlot uint64) {
+	if e.cfg.DisableBatching {
 		served := 0
-		for slot := msg.Seq; slot-msg.Seq < 1024 && served < len(e.orders); slot++ {
+		for slot := fromSlot; slot-fromSlot < 1024 && served < len(e.orders); slot++ {
 			if key, ok := e.orders[slot]; ok {
 				served++
 				e.env.Send(from, &wire.Message{
@@ -668,8 +796,36 @@ func (e *Engine) onNack(from id.Node, msg *wire.Message) {
 		}
 		return
 	}
-	for seq := msg.Seq; seq <= msg.Aux && seq-msg.Seq < 1024; seq++ {
-		key := msgKey{sender: msg.Sender, seq: seq}
+	// Batched reply: every known assignment in the window in one
+	// KindOrderBatch datagram.
+	entries := e.orderScratch[:0]
+	served := 0
+	for slot := fromSlot; slot-fromSlot < 1024 && served < len(e.orders); slot++ {
+		if key, ok := e.orders[slot]; ok {
+			served++
+			entries = append(entries, wire.OrderEntry{Slot: slot, Sender: key.sender, Seq: key.seq})
+			e.counters.NacksServed++
+		}
+	}
+	e.orderScratch = entries
+	if len(entries) == 0 {
+		return
+	}
+	e.bodyScratch = wire.AppendOrderBatch(e.bodyScratch[:0], entries)
+	e.env.Send(from, &wire.Message{
+		Kind:  wire.KindOrderBatch,
+		Group: e.cfg.Group,
+		View:  e.view.ID,
+		Body:  e.bodyScratch,
+	})
+}
+
+// serveRetrans answers a retransmission request for [fromSeq, toSeq] of
+// sender's traffic that we still hold (covering flush assistance after
+// the original sender failed). The responder caps work per range.
+func (e *Engine) serveRetrans(from id.Node, sender id.Node, fromSeq, toSeq uint64) {
+	for seq := fromSeq; seq <= toSeq && seq-fromSeq < 1024; seq++ {
+		key := msgKey{sender: sender, seq: seq}
 		m, ok := e.history[key]
 		if !ok {
 			continue
@@ -690,32 +846,58 @@ func (e *Engine) onStable(from id.Node, msg *wire.Message) {
 	if err != nil {
 		return
 	}
-	row := make(map[id.Node]uint64, len(acks))
+	e.mergeAckRow(from, acks)
+}
+
+// mergeAckRow merges a member's ack vector — from standalone gossip or
+// piggybacked on data — into the stability matrix. The merge keeps the
+// per-sender maximum: acknowledgments only grow within a view, so a
+// reordered older vector must never regress the matrix (it would delay
+// garbage collection at best and, after a piggyback, resurrect rows the
+// newer vector already superseded).
+func (e *Engine) mergeAckRow(from id.Node, acks []wire.AckEntry) {
+	row, ok := e.ackMatrix[from]
+	if !ok {
+		row = make(map[id.Node]uint64, len(acks))
+		e.ackMatrix[from] = row
+	}
 	for _, a := range acks {
-		row[a.Sender] = a.Seq
-		// The gossip also reveals the sender's horizon: if a member
+		if a.Seq > row[a.Sender] {
+			row[a.Sender] = a.Seq
+		}
+		// The vector also reveals the sender's horizon: if a member
 		// has delivered seq s from some sender, s messages exist.
 		st := e.peer(a.Sender)
 		if a.Seq > st.horizon {
 			st.horizon = a.Seq
 		}
 	}
-	e.ackMatrix[from] = row
 	e.collectStable()
 }
 
-// ackVector builds this member's stability row: for every sender with
-// receive state, the highest contiguously delivered sequence number. The
-// local send stream appears as acked[self] = nextSend, since a sender
-// delivers its own messages on send.
+// ackVector builds this member's stability row in a fresh slice; see
+// appendAckRows.
 func (e *Engine) ackVector() []wire.AckEntry {
-	out := make([]wire.AckEntry, 0, len(e.peers))
+	return e.appendAckRows(make([]wire.AckEntry, 0, len(e.peers)))
+}
+
+// appendAckRows appends this member's stability row to dst: for every
+// sender with receive state, the highest contiguously delivered sequence
+// number. The local send stream appears as acked[self] = nextSend, since
+// a sender delivers its own messages on send.
+func (e *Engine) appendAckRows(dst []wire.AckEntry) []wire.AckEntry {
 	for n, st := range e.peers {
-		out = append(out, wire.AckEntry{Sender: n, Seq: st.next - 1})
+		dst = append(dst, wire.AckEntry{Sender: n, Seq: st.next - 1})
 	}
-	// Deterministic wire bytes, independent of map iteration order.
-	sort.Slice(out, func(i, j int) bool { return out[i].Sender < out[j].Sender })
-	return out
+	// Deterministic wire bytes, independent of map iteration order. The
+	// insertion sort keeps the per-multicast piggyback path free of the
+	// closure and interface allocations sort.Slice would add.
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Sender < dst[j-1].Sender; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
 }
 
 // collectStable prunes history entries acknowledged by every view member.
@@ -746,20 +928,92 @@ func (e *Engine) collectStable() {
 	}
 }
 
-// OnTick sends due NACKs, re-broadcasts unstable sequencer orders and
-// gossips stability.
+// OnTick flushes aggregated sequencer orders, sends coalesced NACKs and
+// gossips stability when the local vector warrants it.
 func (e *Engine) OnTick(now time.Time) {
 	if e.view.ID == 0 {
 		return
 	}
+	e.flushOrders()
 	e.scanGaps(now)
 	e.scanOrderGaps(now)
-	if now.Sub(e.lastGossip) >= e.cfg.StabilizeEvery {
-		e.lastGossip = now
-		e.gossipStability()
+	e.flushNacks()
+	if now.Sub(e.lastStableTry) >= e.cfg.StabilizeEvery {
+		e.lastStableTry = now
+		// Quiescent suppression: skip the gossip when the vector already
+		// went out unchanged (by earlier gossip or piggybacked on data),
+		// but re-send after StableKeepalive so a lost final vector still
+		// reaches everyone and history buffers drain.
+		due := now.Sub(e.lastGossip) >= e.cfg.StabilizeEvery
+		if e.cfg.DisableBatching ||
+			(due && (e.ackDirty || now.Sub(e.lastGossip) >= e.cfg.StableKeepalive)) {
+			e.lastGossip = now
+			e.ackDirty = false
+			e.gossipStability()
+		}
 		// Collect locally too: a singleton view receives no gossip, yet
 		// its history must still drain to empty.
 		e.collectStable()
+	}
+}
+
+// flushOrders broadcasts the sequencer slots assigned since the last
+// tick as KindOrderBatch datagrams, chunked under the datagram limit.
+func (e *Engine) flushOrders() {
+	if len(e.pendingOrders) == 0 {
+		return
+	}
+	const chunkMax = 1024
+	for i := 0; i < len(e.pendingOrders); i += chunkMax {
+		end := i + chunkMax
+		if end > len(e.pendingOrders) {
+			end = len(e.pendingOrders)
+		}
+		e.bodyScratch = wire.AppendOrderBatch(e.bodyScratch[:0], e.pendingOrders[i:end])
+		msg := wire.Message{
+			Kind:  wire.KindOrderBatch,
+			Group: e.cfg.Group,
+			View:  e.view.ID,
+			Body:  e.bodyScratch,
+		}
+		for _, m := range e.view.Members {
+			if m == e.env.Self() {
+				continue
+			}
+			e.env.Send(m, &msg)
+		}
+	}
+	e.pendingOrders = e.pendingOrders[:0]
+}
+
+// queueNack records one NACK range for the destination, to go out in the
+// tick's coalesced KindNackBatch.
+func (e *Engine) queueNack(dst id.Node, r wire.NackRange) {
+	e.nackQueue[dst] = append(e.nackQueue[dst], r)
+}
+
+// flushNacks sends one KindNackBatch per destination with every range
+// queued this tick. Destinations are visited in ID order so the datagram
+// sequence is deterministic under a seeded simulation.
+func (e *Engine) flushNacks() {
+	if len(e.nackQueue) == 0 {
+		return
+	}
+	dsts := make([]id.Node, 0, len(e.nackQueue))
+	for d := range e.nackQueue {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		e.bodyScratch = wire.AppendNackRanges(e.bodyScratch[:0], e.nackQueue[d])
+		msg := wire.Message{
+			Kind:  wire.KindNackBatch,
+			Group: e.cfg.Group,
+			View:  e.view.ID,
+			Body:  e.bodyScratch,
+		}
+		e.env.Send(d, &msg)
+		delete(e.nackQueue, d)
 	}
 }
 
@@ -780,13 +1034,17 @@ func (e *Engine) scanOrderGaps(now time.Time) {
 		if m == e.env.Self() {
 			continue
 		}
-		e.env.Send(m, &wire.Message{
-			Kind:   wire.KindNack,
-			Group:  e.cfg.Group,
-			View:   e.view.ID,
-			Sender: id.None, // order request marker
-			Seq:    e.totalNext,
-		})
+		if e.cfg.DisableBatching {
+			e.env.Send(m, &wire.Message{
+				Kind:   wire.KindNack,
+				Group:  e.cfg.Group,
+				View:   e.view.ID,
+				Sender: id.None, // order request marker
+				Seq:    e.totalNext,
+			})
+		} else {
+			e.queueNack(m, wire.NackRange{Sender: id.None, From: e.totalNext})
+		}
 		e.counters.NacksSent++
 	}
 }
@@ -813,30 +1071,36 @@ func (e *Engine) scanGaps(now time.Time) {
 		}
 		st.lastNack = now
 		// Request the full missing range; the responder caps work.
-		e.env.Send(n, &wire.Message{
-			Kind:   wire.KindNack,
-			Group:  e.cfg.Group,
-			View:   e.view.ID,
-			Sender: n,
-			Seq:    st.next,
-			Aux:    st.horizon,
-		})
+		if e.cfg.DisableBatching {
+			e.env.Send(n, &wire.Message{
+				Kind:   wire.KindNack,
+				Group:  e.cfg.Group,
+				View:   e.view.ID,
+				Sender: n,
+				Seq:    st.next,
+				Aux:    st.horizon,
+			})
+		} else {
+			e.queueNack(n, wire.NackRange{Sender: n, From: st.next, To: st.horizon})
+		}
 		e.counters.NacksSent++
 	}
 }
 
 // gossipStability broadcasts this member's ack vector.
 func (e *Engine) gossipStability() {
-	body := wire.AppendAckVector(nil, e.ackVector())
+	e.ackScratch = e.appendAckRows(e.ackScratch[:0])
+	e.bodyScratch = wire.AppendAckVector(e.bodyScratch[:0], e.ackScratch)
+	msg := wire.Message{
+		Kind:  wire.KindStable,
+		Group: e.cfg.Group,
+		View:  e.view.ID,
+		Body:  e.bodyScratch,
+	}
 	for _, m := range e.view.Members {
 		if m == e.env.Self() {
 			continue
 		}
-		e.env.Send(m, &wire.Message{
-			Kind:  wire.KindStable,
-			Group: e.cfg.Group,
-			View:  e.view.ID,
-			Body:  body,
-		})
+		e.env.Send(m, &msg)
 	}
 }

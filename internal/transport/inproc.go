@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scalamedia/internal/id"
@@ -151,51 +152,64 @@ func (f *Fabric) linkFor(from, to id.Node) LinkConfig {
 	return f.def
 }
 
-// deliver routes an encoded datagram through the fabric. It is called with
-// f.mu held by Send and re-acquires no locks besides scheduling.
-func (f *Fabric) deliver(from, to id.Node, buf []byte) {
-	cfg := f.linkFor(from, to)
-	if f.partition[from] != f.partition[to] {
-		return // partitioned: silent drop
-	}
-	if cfg.Loss > 0 && f.rng.Float64() < cfg.Loss {
-		return
-	}
-	copies := 1
-	if cfg.Duplicate > 0 && f.rng.Float64() < cfg.Duplicate {
-		copies = 2
-	}
-	for i := 0; i < copies; i++ {
-		delay := cfg.Delay
-		if cfg.Jitter > 0 {
-			delay += time.Duration(f.rng.Int63n(int64(cfg.Jitter) + 1))
-		}
-		f.scheduleDelivery(from, to, buf, delay)
-	}
+// sharedBuf is a pooled encode buffer shared by the delayed copies of one
+// datagram. The sender holds one reference while scheduling; each delayed
+// copy holds one until it fires. The last reference returns the buffer to
+// the wire pool.
+type sharedBuf struct {
+	buf  *[]byte
+	refs atomic.Int32
 }
 
-func (f *Fabric) scheduleDelivery(from, to id.Node, buf []byte, delay time.Duration) {
+var sharedBufPool = sync.Pool{New: func() any { return new(sharedBuf) }}
+
+// getSharedBuf returns a shared buffer holding one reference.
+func getSharedBuf() *sharedBuf {
+	sb := sharedBufPool.Get().(*sharedBuf)
+	sb.buf = wire.GetBuf()
+	sb.refs.Store(1)
+	return sb
+}
+
+func (s *sharedBuf) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	wire.PutBuf(s.buf)
+	s.buf = nil
+	sharedBufPool.Put(s)
+}
+
+// scheduleDelivery registers one delayed copy; the caller has already
+// added the copy's reference on sb.
+func (f *Fabric) scheduleDelivery(from id.Node, dst *inprocEndpoint, sb *sharedBuf, delay time.Duration) {
 	f.pending.Add(1)
-	run := func() {
+	time.AfterFunc(delay, func() {
 		defer f.pending.Done()
+		defer sb.release()
 		f.mu.Lock()
-		ep, ok := f.endpoints[to]
 		closed := f.closed
 		f.mu.Unlock()
-		if !ok || closed {
+		if closed {
 			return
 		}
-		msg, err := wire.Decode(buf)
+		msg, err := wire.Decode(*sb.buf)
 		if err != nil {
 			return // corrupt datagrams vanish, as on a real network
 		}
-		ep.enqueue(Inbound{From: from, Msg: msg})
-	}
-	if delay <= 0 {
-		go run()
+		dst.enqueue(Inbound{From: from, Msg: msg})
+	})
+}
+
+// deliverNow hands one zero-delay copy straight to the destination queue on
+// the sender's goroutine, avoiding a per-datagram goroutine. Called with no
+// locks held; enqueue drops on a closed or full endpoint.
+func deliverNow(from id.Node, dst *inprocEndpoint, sb *sharedBuf) {
+	msg, err := wire.Decode(*sb.buf)
+	if err != nil {
 		return
 	}
-	time.AfterFunc(delay, run)
+	dst.enqueue(Inbound{From: from, Msg: msg})
 }
 
 // inprocEndpoint is one node's attachment to a Fabric.
@@ -221,18 +235,54 @@ func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
 		return ErrClosed
 	}
 	msg.From = e.self
-	buf := msg.Marshal()
+	sb := getSharedBuf()
+	*sb.buf = msg.Encode((*sb.buf)[:0])
 
+	// Decide drops, duplication and delays under the fabric lock, then
+	// deliver with no locks held so zero-delay copies can run inline.
 	f := e.fabric
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
+		sb.release()
 		return ErrClosed
 	}
-	if _, ok := f.endpoints[to]; !ok {
+	dst, ok := f.endpoints[to]
+	if !ok {
+		f.mu.Unlock()
+		sb.release()
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
-	f.deliver(e.self, to, buf)
+	cfg := f.linkFor(e.self, to)
+	copies := 0
+	var delays [2]time.Duration
+	dropped := f.partition[e.self] != f.partition[to] ||
+		(cfg.Loss > 0 && f.rng.Float64() < cfg.Loss)
+	if !dropped {
+		copies = 1
+		if cfg.Duplicate > 0 && f.rng.Float64() < cfg.Duplicate {
+			copies = 2
+		}
+		for i := 0; i < copies; i++ {
+			delays[i] = cfg.Delay
+			if cfg.Jitter > 0 {
+				delays[i] += time.Duration(f.rng.Int63n(int64(cfg.Jitter) + 1))
+			}
+		}
+		for i := 0; i < copies; i++ {
+			if delays[i] > 0 {
+				sb.refs.Add(1)
+				f.scheduleDelivery(e.self, dst, sb, delays[i])
+			}
+		}
+	}
+	f.mu.Unlock()
+	for i := 0; i < copies; i++ {
+		if delays[i] <= 0 {
+			deliverNow(e.self, dst, sb)
+		}
+	}
+	sb.release()
 	return nil
 }
 

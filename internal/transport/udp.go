@@ -91,7 +91,10 @@ func (e *UDPEndpoint) Send(to id.Node, msg *wire.Message) error {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
 	msg.From = e.self
-	buf := msg.Marshal()
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	*bp = msg.Encode((*bp)[:0])
+	buf := *bp
 	if len(buf) > maxDatagram {
 		return fmt.Errorf("transport: message %d bytes exceeds datagram limit %d",
 			len(buf), maxDatagram)

@@ -73,6 +73,12 @@ func AppendAckVector(dst []byte, acks []AckEntry) []byte {
 // DecodeAckVector parses a stability vector from buf and returns it and the
 // number of bytes consumed.
 func DecodeAckVector(buf []byte) ([]AckEntry, int, error) {
+	return appendAckVector(nil, buf)
+}
+
+// appendAckVector parses a stability vector from buf into dst (reusing its
+// capacity) and returns the vector and the number of bytes consumed.
+func appendAckVector(dst []AckEntry, buf []byte) ([]AckEntry, int, error) {
 	if len(buf) < 4 {
 		return nil, 0, ErrShortMessage
 	}
@@ -84,14 +90,116 @@ func DecodeAckVector(buf []byte) ([]AckEntry, int, error) {
 	if len(buf) < need {
 		return nil, 0, ErrShortMessage
 	}
-	acks := make([]AckEntry, count)
 	off := 4
-	for i := range acks {
-		acks[i].Sender = id.Node(binary.BigEndian.Uint64(buf[off:]))
-		acks[i].Seq = binary.BigEndian.Uint64(buf[off+8:])
+	for i := 0; i < count; i++ {
+		dst = append(dst, AckEntry{
+			Sender: id.Node(binary.BigEndian.Uint64(buf[off:])),
+			Seq:    binary.BigEndian.Uint64(buf[off+8:]),
+		})
 		off += 16
 	}
-	return acks, need, nil
+	return dst, need, nil
+}
+
+// NackRange is one element of a batched retransmission request: the
+// receiver is missing [From, To] of Sender's stream. A range with
+// Sender == 0 (id.None) requests total-order slot assignments from slot
+// From upward instead, mirroring the singleton KindNack marker.
+type NackRange struct {
+	Sender   id.Node
+	From, To uint64
+}
+
+// AppendNackRanges appends a length-prefixed NACK-range list to dst; it is
+// the body of a KindNackBatch message.
+func AppendNackRanges(dst []byte, ranges []NackRange) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(ranges)))
+	dst = append(dst, n[:4]...)
+	for _, r := range ranges {
+		binary.BigEndian.PutUint64(n[:], uint64(r.Sender))
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], r.From)
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], r.To)
+		dst = append(dst, n[:]...)
+	}
+	return dst
+}
+
+// DecodeNackRanges parses a NACK-range list from buf and returns it and
+// the number of bytes consumed.
+func DecodeNackRanges(buf []byte) ([]NackRange, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	if count > MaxListEntries {
+		return nil, 0, fmt.Errorf("%w: nack batch %d entries", ErrTooLarge, count)
+	}
+	need := 4 + 24*count
+	if len(buf) < need {
+		return nil, 0, ErrShortMessage
+	}
+	ranges := make([]NackRange, count)
+	off := 4
+	for i := range ranges {
+		ranges[i].Sender = id.Node(binary.BigEndian.Uint64(buf[off:]))
+		ranges[i].From = binary.BigEndian.Uint64(buf[off+8:])
+		ranges[i].To = binary.BigEndian.Uint64(buf[off+16:])
+		off += 24
+	}
+	return ranges, need, nil
+}
+
+// OrderEntry is one element of a batched sequencer announcement: slot
+// Slot is assigned to the multicast (Sender, Seq).
+type OrderEntry struct {
+	Slot   uint64
+	Sender id.Node
+	Seq    uint64
+}
+
+// AppendOrderBatch appends a length-prefixed slot-assignment list to dst;
+// it is the body of a KindOrderBatch message.
+func AppendOrderBatch(dst []byte, orders []OrderEntry) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(orders)))
+	dst = append(dst, n[:4]...)
+	for _, o := range orders {
+		binary.BigEndian.PutUint64(n[:], o.Slot)
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], uint64(o.Sender))
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], o.Seq)
+		dst = append(dst, n[:]...)
+	}
+	return dst
+}
+
+// DecodeOrderBatch parses a slot-assignment list from buf and returns it
+// and the number of bytes consumed.
+func DecodeOrderBatch(buf []byte) ([]OrderEntry, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, ErrShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	if count > MaxListEntries {
+		return nil, 0, fmt.Errorf("%w: order batch %d entries", ErrTooLarge, count)
+	}
+	need := 4 + 24*count
+	if len(buf) < need {
+		return nil, 0, ErrShortMessage
+	}
+	orders := make([]OrderEntry, count)
+	off := 4
+	for i := range orders {
+		orders[i].Slot = binary.BigEndian.Uint64(buf[off:])
+		orders[i].Sender = id.Node(binary.BigEndian.Uint64(buf[off+8:]))
+		orders[i].Seq = binary.BigEndian.Uint64(buf[off+16:])
+		off += 24
+	}
+	return orders, need, nil
 }
 
 // ViewBody is the payload of JoinAck, ViewPropose and ViewCommit messages:

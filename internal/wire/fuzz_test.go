@@ -15,14 +15,10 @@ import (
 // from the interesting boundaries.
 func FuzzDecode(f *testing.F) {
 	seeds := []*Message{
-		{Kind: KindData, Sender: 3, Seq: 9, View: 2, Group: 7, Body: []byte("payload")},
 		{Kind: KindData, Flags: FlagCausal, Sender: 1, Seq: 1, TS: vclock.VC{4, 0, 9}},
-		{Kind: KindHeartbeat, From: 2, Group: 1, Aux: 77},
 		{Kind: KindMedia, Stream: 5, MediaTS: 90000, Flags: FlagMarker, Body: []byte{0xde, 0xad}},
-		{Kind: KindNack, Sender: 4, Seq: 10, Aux: 14},
-		{Kind: KindViewPropose, View: 3, Body: AppendNodeList(nil, []id.Node{1, 2, 3})},
-		{Kind: KindStable, Body: AppendAckVector(nil, []AckEntry{{Sender: 1, Seq: 5}})},
 	}
+	seeds = append(seeds, goldenMessages()...)
 	for _, m := range seeds {
 		f.Add(m.Marshal())
 	}
@@ -49,6 +45,8 @@ func FuzzDecodeBodies(f *testing.F) {
 	f.Add(AppendNodeList(nil, []id.Node{1, 2, 3}))
 	f.Add(AppendAckVector(nil, []AckEntry{{Sender: 1, Seq: 5}, {Sender: 2, Seq: 9}}))
 	f.Add(AppendViewBody(nil, ViewBody{View: 4, Members: []id.Node{1, 9}}))
+	f.Add(AppendNackRanges(nil, []NackRange{{Sender: 2, From: 3, To: 7}, {From: 11, To: 11}}))
+	f.Add(AppendOrderBatch(nil, []OrderEntry{{Slot: 1, Sender: 4, Seq: 2}}))
 	f.Add([]byte{0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if nodes, _, err := DecodeNodeList(data); err == nil {
@@ -69,6 +67,18 @@ func FuzzDecodeBodies(f *testing.F) {
 				t.Fatalf("view body round trip: %+v %v", back, err)
 			}
 		}
+		if ranges, _, err := DecodeNackRanges(data); err == nil {
+			back, n2, err := DecodeNackRanges(AppendNackRanges(nil, ranges))
+			if err != nil || len(back) != len(ranges) || n2 != 4+24*len(ranges) {
+				t.Fatalf("nack range round trip: %v %d %v", back, n2, err)
+			}
+		}
+		if orders, _, err := DecodeOrderBatch(data); err == nil {
+			back, n2, err := DecodeOrderBatch(AppendOrderBatch(nil, orders))
+			if err != nil || len(back) != len(orders) || n2 != 4+24*len(orders) {
+				t.Fatalf("order batch round trip: %v %d %v", back, n2, err)
+			}
+		}
 	})
 }
 
@@ -84,6 +94,14 @@ func messagesEqual(a, b *Message) bool {
 	}
 	for i := range a.TS {
 		if a.TS[i] != b.TS[i] {
+			return false
+		}
+	}
+	if len(a.Acks) != len(b.Acks) {
+		return false
+	}
+	for i := range a.Acks {
+		if a.Acks[i] != b.Acks[i] {
 			return false
 		}
 	}

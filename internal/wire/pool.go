@@ -1,0 +1,60 @@
+package wire
+
+import "sync"
+
+// Buffer and message pools for the data-plane hot path. Transports encode
+// into pooled byte slices and decode into pooled Messages so steady-state
+// multicast traffic performs zero heap allocations per datagram. Both
+// pools are optional: callers that retain what they receive should keep
+// using Marshal/Decode, which allocate fresh storage.
+
+// maxPooledBuf caps the capacity of byte slices returned to the pool;
+// oversized one-off buffers (large fragments, wide batches) are dropped
+// so the pool stays sized for the steady state.
+const maxPooledBuf = 64 * 1024
+
+// bufPool holds *[]byte (not []byte) so Put does not allocate an
+// interface box for the slice header.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled byte slice with length 0. Release it with
+// PutBuf once no reader can still hold it.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a slice obtained from GetBuf to the pool. Oversized
+// buffers are dropped rather than pooled.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+var msgPool = sync.Pool{
+	New: func() any { return &Message{} },
+}
+
+// GetMessage returns a pooled Message ready for DecodeInto. The message
+// keeps the TS/Body/Acks capacity of its previous use, so a steady
+// decode loop stops allocating once warm.
+func GetMessage() *Message {
+	return msgPool.Get().(*Message)
+}
+
+// PutMessage returns a message obtained from GetMessage to the pool. The
+// caller must not retain the message or any of its slices afterwards.
+func PutMessage(m *Message) {
+	if m == nil || cap(m.Body) > maxPooledBuf {
+		return
+	}
+	msgPool.Put(m)
+}

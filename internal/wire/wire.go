@@ -73,7 +73,18 @@ const (
 	// KindReport is a receiver quality report (loss, jitter) fed back
 	// to a media sender for rate adaptation.
 	KindReport
+	// KindNackBatch coalesces several retransmission requests into one
+	// datagram; the body is a NackRange list (see AppendNackRanges). A
+	// range with Sender == 0 is a total-order slot request from slot
+	// From upward, like the singleton KindNack marker.
+	KindNackBatch
+	// KindOrderBatch aggregates several sequencer slot assignments into
+	// one datagram; the body is an OrderEntry list (AppendOrderBatch).
+	KindOrderBatch
 )
+
+// kindMax is the highest valid Kind; Decode rejects anything above it.
+const kindMax = KindOrderBatch
 
 // String returns the protocol name of the kind.
 func (k Kind) String() string {
@@ -118,6 +129,10 @@ func (k Kind) String() string {
 		return "clock-reply"
 	case KindReport:
 		return "report"
+	case KindNackBatch:
+		return "nack-batch"
+	case KindOrderBatch:
+		return "order-batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -139,6 +154,11 @@ const (
 	// FlagFragStart marks the first fragment of a fragmented media
 	// frame; FlagMarker marks the last.
 	FlagFragStart
+	// FlagPiggyAck marks a message carrying a piggybacked stability
+	// (ack) vector in the Acks field, encoded after the body. The
+	// reliable multicast layer attaches it to outgoing data so steady
+	// traffic needs no separate KindStable gossip datagrams.
+	FlagPiggyAck
 )
 
 // Encoding limits. Messages violating them fail to decode; they bound the
@@ -180,11 +200,18 @@ type Message struct {
 	MediaTS uint32    // media clock timestamp (KindMedia)
 	TS      vclock.VC // causal timestamp (FlagCausal data)
 	Body    []byte
+	// Acks is the piggybacked stability vector, present on the wire only
+	// when Flags carries FlagPiggyAck (see that flag's documentation).
+	Acks []AckEntry
 }
 
 // EncodedLen returns the exact encoded size of the message in bytes.
 func (m *Message) EncodedLen() int {
-	return headerLen + 2 + 4*len(m.TS) + 4 + len(m.Body)
+	n := headerLen + 2 + 4*len(m.TS) + 4 + len(m.Body)
+	if m.Flags&FlagPiggyAck != 0 {
+		n += 4 + 16*len(m.Acks)
+	}
+	return n
 }
 
 // Encode appends the binary encoding of m to dst and returns the extended
@@ -213,6 +240,9 @@ func (m *Message) Encode(dst []byte) []byte {
 	binary.BigEndian.PutUint32(n[:], uint32(len(m.Body)))
 	dst = append(dst, n[:]...)
 	dst = append(dst, m.Body...)
+	if m.Flags&FlagPiggyAck != 0 {
+		dst = AppendAckVector(dst, m.Acks)
+	}
 	return dst
 }
 
@@ -221,13 +251,29 @@ func (m *Message) Marshal() []byte {
 	return m.Encode(make([]byte, 0, m.EncodedLen()))
 }
 
-// Decode parses one message from buf. The returned message's TS and Body
-// are copies, so buf may be reused by the caller.
+// Decode parses one message from buf into a fresh Message. The returned
+// message's TS, Body and Acks are copies, so buf may be reused by the
+// caller.
 func Decode(buf []byte) (*Message, error) {
-	if len(buf) < headerLen+2+4 {
-		return nil, ErrShortMessage
+	m := &Message{}
+	if err := DecodeInto(m, buf); err != nil {
+		return nil, err
 	}
-	m := &Message{
+	return m, nil
+}
+
+// DecodeInto parses one message from buf into m, reusing m's TS, Body and
+// Acks backing storage when capacity allows — a steady-state decode
+// performs zero heap allocations. All sections are copied out of buf, so
+// buf may be reused immediately. Because the slices are recycled, pass
+// only messages the receiver will not retain (see GetMessage/PutMessage);
+// retaining protocol layers should use Decode.
+func DecodeInto(m *Message, buf []byte) error {
+	if len(buf) < headerLen+2+4 {
+		return ErrShortMessage
+	}
+	ts, body, acks := m.TS[:0], m.Body[:0], m.Acks[:0]
+	*m = Message{
 		Kind:    Kind(buf[0]),
 		Flags:   buf[1],
 		From:    id.Node(binary.BigEndian.Uint64(buf[2:])),
@@ -239,38 +285,43 @@ func Decode(buf []byte) (*Message, error) {
 		Stream:  id.Stream(binary.BigEndian.Uint32(buf[46:])),
 		MediaTS: binary.BigEndian.Uint32(buf[50:]),
 	}
-	if m.Kind < KindData || m.Kind > KindReport {
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+	m.TS, m.Body, m.Acks = ts, body, acks
+	if m.Kind < KindData || m.Kind > kindMax {
+		return fmt.Errorf("%w: %d", ErrBadKind, buf[0])
 	}
 	off := headerLen
 	tsLen := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
 	if tsLen > MaxTimestamp {
-		return nil, fmt.Errorf("%w: timestamp %d entries", ErrTooLarge, tsLen)
+		return fmt.Errorf("%w: timestamp %d entries", ErrTooLarge, tsLen)
 	}
 	if len(buf) < off+4*tsLen+4 {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
-	if tsLen > 0 {
-		m.TS = make(vclock.VC, tsLen)
-		for i := 0; i < tsLen; i++ {
-			m.TS[i] = binary.BigEndian.Uint32(buf[off:])
-			off += 4
-		}
+	for i := 0; i < tsLen; i++ {
+		m.TS = append(m.TS, binary.BigEndian.Uint32(buf[off:]))
+		off += 4
 	}
 	bodyLen := int(binary.BigEndian.Uint32(buf[off:]))
 	off += 4
 	if bodyLen > MaxBody {
-		return nil, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+		return fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
 	}
 	if len(buf) < off+bodyLen {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
-	if bodyLen > 0 {
-		m.Body = make([]byte, bodyLen)
-		copy(m.Body, buf[off:off+bodyLen])
+	m.Body = append(m.Body, buf[off:off+bodyLen]...)
+	off += bodyLen
+	if m.Flags&FlagPiggyAck != 0 {
+		var n int
+		var err error
+		m.Acks, n, err = appendAckVector(m.Acks, buf[off:])
+		if err != nil {
+			return fmt.Errorf("piggyback acks: %w", err)
+		}
+		off += n
 	}
-	return m, nil
+	return nil
 }
 
 // String renders a compact human-readable form for logs.

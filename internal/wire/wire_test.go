@@ -44,7 +44,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestRoundTripAllKinds(t *testing.T) {
-	for k := KindData; k <= KindReport; k++ {
+	for k := KindData; k <= kindMax; k++ {
 		m := &Message{Kind: k, From: 1, Seq: uint64(k)}
 		got, err := Decode(m.Marshal())
 		if err != nil {

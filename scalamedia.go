@@ -188,6 +188,13 @@ type Node struct {
 	mu      sync.Mutex
 	closed  bool
 	senders []*MediaSender
+	waiters []*viewWaiter
+}
+
+// viewWaiter pairs a view predicate with its completion signal.
+type viewWaiter struct {
+	pred func(View) bool
+	ch   chan struct{}
 }
 
 // Start opens the transport and launches the node.
@@ -240,20 +247,88 @@ func Start(cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// onEvent tracks views for media sender peer lists and forwards to the
-// application.
+// onEvent tracks views for media sender peer lists, wakes view waiters,
+// and forwards to the application.
 func (n *Node) onEvent(ev Event) {
-	if ev.Kind == session.ParticipantJoined || ev.Kind == session.ParticipantLeft {
-		n.mu.Lock()
-		senders := append([]*MediaSender(nil), n.senders...)
-		n.mu.Unlock()
-		for _, ms := range senders {
-			ms.sender.SetPeers(ev.View.Members)
+	if ev.Kind == session.ParticipantJoined || ev.Kind == session.ParticipantLeft ||
+		ev.Kind == session.SelfEvicted {
+		if ev.Kind != session.SelfEvicted {
+			n.mu.Lock()
+			senders := append([]*MediaSender(nil), n.senders...)
+			n.mu.Unlock()
+			for _, ms := range senders {
+				ms.sender.SetPeers(ev.View.Members)
+			}
 		}
+		n.wakeWaiters(ev.View)
 	}
 	if n.cfg.OnEvent != nil {
 		n.cfg.OnEvent(ev)
 	}
+}
+
+// wakeWaiters signals every registered waiter whose predicate the view
+// satisfies.
+func (n *Node) wakeWaiters(v View) {
+	n.mu.Lock()
+	kept := n.waiters[:0]
+	var woken []*viewWaiter
+	for _, w := range n.waiters {
+		if w.pred(v) {
+			woken = append(woken, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.waiters = kept
+	n.mu.Unlock()
+	for _, w := range woken {
+		close(w.ch)
+	}
+}
+
+// removeWaiter unregisters w if it is still pending.
+func (n *Node) removeWaiter(w *viewWaiter) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, x := range n.waiters {
+		if x == w {
+			n.waiters = append(n.waiters[:i], n.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitView blocks until the membership view satisfies pred or timeout
+// elapses, and reports whether the predicate was met. The predicate is
+// evaluated against the current view immediately and then on every
+// membership change, so callers wait on events instead of polling.
+// WaitView must not be called from the OnEvent callback (it would
+// deadlock the event loop); pred may be called from multiple goroutines
+// and must not block.
+func (n *Node) WaitView(timeout time.Duration, pred func(View) bool) bool {
+	w := &viewWaiter{pred: pred, ch: make(chan struct{})}
+	n.mu.Lock()
+	n.waiters = append(n.waiters, w)
+	n.mu.Unlock()
+	if pred(n.View()) {
+		n.removeWaiter(w)
+		return true
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		return true
+	case <-timer.C:
+		n.removeWaiter(w)
+		return false
+	}
+}
+
+// WaitViewSize blocks until the view has exactly n members; see WaitView.
+func (n *Node) WaitViewSize(size int, timeout time.Duration) bool {
+	return n.WaitView(timeout, func(v View) bool { return v.Size() == size })
 }
 
 // ID returns this node's ID.

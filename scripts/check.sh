@@ -1,7 +1,9 @@
 #!/bin/sh
 # check.sh — the repository's tier-1 gate. Every change must pass this
-# before it lands: vet, build, the full test suite under the race
-# detector, and the short seeded chaos sweep. Run from the repo root:
+# before it lands: vet, build, the short test suite under the race
+# detector, and the short seeded chaos sweep. (-short skips the slow
+# full-matrix sweeps and the benchmark gate; run `go test ./...` and
+# scripts/bench_gate.sh for the long versions.) Run from the repo root:
 #
 #   ./scripts/check.sh
 #
@@ -17,8 +19,8 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -short ./..."
+go test -race -short ./...
 
 echo "==> short chaos sweep"
 go test -short -count=1 ./internal/chaos
