@@ -48,6 +48,7 @@ var microBenches = []namedBench{
 	{"WireRoundTrip", benches.WireRoundTrip},
 	{"RmcastMulticast/full", benches.RmcastMulticastFull},
 	{"RmcastMulticast/encode", benches.RmcastMulticastEncode},
+	{"RmcastMulticast/instrumented", benches.RmcastMulticastInstrumented},
 	{"TransportLoopback", benches.TransportLoopback},
 }
 

@@ -30,6 +30,8 @@ func run() int {
 	duration := flag.Duration("duration", 5*time.Second, "length of the media exchange")
 	loss := flag.Float64("loss", 0.02, "network loss probability")
 	jitter := flag.Duration("jitter", 15*time.Millisecond, "network jitter bound")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve the speaker node's /metrics endpoint on this address (empty disables)")
 	flag.Parse()
 	if *participants < 2 {
 		fmt.Fprintln(os.Stderr, "mmconf: need at least 2 participants")
@@ -59,9 +61,13 @@ func run() int {
 			contact = 0
 		}
 		self := scalamedia.NodeID(i)
+		ma := ""
+		if i == 1 {
+			ma = *metricsAddr // only the speaker node serves metrics
+		}
 		node, err := scalamedia.Start(scalamedia.Config{
 			Self: self, Endpoint: ep, Group: 1, Contact: contact,
-			Tick: 5 * time.Millisecond,
+			Tick: 5 * time.Millisecond, MetricsAddr: ma,
 			OnEvent: func(ev scalamedia.Event) {
 				if ev.Kind == scalamedia.MessageReceived {
 					chat.Store(fmt.Sprintf("%s@%s:%s", ev.Node, self, ev.Payload), true)
@@ -83,6 +89,9 @@ func run() int {
 	}
 	fmt.Printf("session assembled: view %s with %d members\n",
 		nodes[0].View().ID, nodes[0].View().Size())
+	if ma := nodes[0].MetricsAddr(); ma != "" {
+		fmt.Printf("speaker metrics on http://%s/metrics\n", ma)
+	}
 
 	// Participant 1 publishes audio + video.
 	audioSpec := media.TelephoneAudio(1, "speaker-audio")

@@ -53,6 +53,8 @@ func run() int {
 	listen := flag.String("listen", "127.0.0.1:0", "UDP listen address")
 	group := flag.Uint("group", 1, "session group ID")
 	contact := flag.Uint64("contact", 0, "node ID to join through (0 bootstraps)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /timeline, /debug/vars and /debug/pprof on this address (empty disables)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping id=addr (repeatable)")
 	flag.Parse()
@@ -63,11 +65,12 @@ func run() int {
 	}
 
 	node, err := scalamedia.Start(scalamedia.Config{
-		Self:       scalamedia.NodeID(*idFlag),
-		ListenAddr: *listen,
-		Group:      scalamedia.GroupID(*group),
-		Contact:    scalamedia.NodeID(*contact),
-		Peers:      peers,
+		Self:        scalamedia.NodeID(*idFlag),
+		ListenAddr:  *listen,
+		Group:       scalamedia.GroupID(*group),
+		Contact:     scalamedia.NodeID(*contact),
+		Peers:       peers,
+		MetricsAddr: *metricsAddr,
 		OnEvent: func(ev scalamedia.Event) {
 			switch ev.Kind {
 			case scalamedia.MessageReceived:
@@ -87,6 +90,9 @@ func run() int {
 	}
 	defer node.Close()
 	fmt.Printf("mmnode %s listening on %s (group %d)\n", node.ID(), node.Addr(), *group)
+	if ma := node.MetricsAddr(); ma != "" {
+		fmt.Printf("mmnode %s metrics on http://%s/metrics\n", node.ID(), ma)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)

@@ -21,8 +21,8 @@ import (
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/stats"
-	"scalamedia/internal/trace"
 	"scalamedia/internal/wire"
+	"scalamedia/internal/workload"
 )
 
 func main() {
@@ -142,12 +142,12 @@ func run() int {
 	}
 
 	// Poisson sends spread across the senders.
-	body := trace.New(*seed + 7).Payload(*payload)
+	body := workload.New(*seed + 7).Payload(*payload)
 	perSender := *msgs / *senders
 	var lastSend time.Duration
 	for s := 0; s < *senders; s++ {
 		nd := members[s*(*n / *senders)]
-		for _, at := range trace.Arrivals(*seed+int64(s)*31, *gap, 10*time.Millisecond, perSender) {
+		for _, at := range workload.Arrivals(*seed+int64(s)*31, *gap, 10*time.Millisecond, perSender) {
 			at := at
 			if at > lastSend {
 				lastSend = at

@@ -1,14 +1,18 @@
-// Monitor: watches a group's membership live — joins, voluntary leaves
-// and crash evictions — from the point of view of one observer node. It
-// demonstrates the failure-detection and view-change machinery: a node
-// that leaves politely disappears in one view change; a node that crashes
-// is first suspected, then evicted by the coordinator after the flush
-// round.
+// Monitor: watches a live group through the runtime telemetry layer. An
+// observer node bootstraps the group, serves the HTTP observability
+// endpoint, and polls Node.Snapshot() while workers join, chat, leave
+// politely and crash. The snapshot counters show each layer at work —
+// transport datagrams, rmcast deliveries and NACK repair, membership view
+// changes and evictions — and the run ends with the flight-recorder
+// timeline of the most recent protocol events and a sample of the
+// /metrics JSON served over HTTP.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"time"
 
 	"scalamedia"
@@ -17,7 +21,10 @@ import (
 
 func main() {
 	fab := transport.NewFabric(transport.WithSeed(5),
-		transport.WithDefaultLink(transport.LinkConfig{Delay: 2 * time.Millisecond}))
+		transport.WithDefaultLink(transport.LinkConfig{
+			Delay: 2 * time.Millisecond,
+			Loss:  0.05, // enough loss to exercise NACK repair
+		}))
 	defer fab.Close()
 
 	begin := time.Now()
@@ -25,66 +32,91 @@ func main() {
 		return fmt.Sprintf("%6.2fs", time.Since(begin).Seconds())
 	}
 
-	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, verbose bool) *scalamedia.Node {
+	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, metricsAddr string) *scalamedia.Node {
 		ep, err := fab.Attach(self)
 		if err != nil {
 			log.Fatalf("attach: %v", err)
 		}
-		cfg := scalamedia.Config{
+		n, err := scalamedia.Start(scalamedia.Config{
 			Self: self, Endpoint: ep, Group: 1, Contact: contact,
 			Tick:           5 * time.Millisecond,
 			HeartbeatEvery: 50 * time.Millisecond,
 			SuspectAfter:   300 * time.Millisecond,
-		}
-		if verbose {
-			cfg.OnEvent = func(ev scalamedia.Event) {
-				switch ev.Kind {
-				case scalamedia.ParticipantJoined:
-					fmt.Printf("%s  view %-3s  + %s joined (%d members)\n",
-						stamp(), ev.View.ID, ev.Node, ev.View.Size())
-				case scalamedia.ParticipantLeft:
-					fmt.Printf("%s  view %-3s  - %s left/evicted (%d members)\n",
-						stamp(), ev.View.ID, ev.Node, ev.View.Size())
-				}
-			}
-		}
-		n, err := scalamedia.Start(cfg)
+			MetricsAddr:    metricsAddr,
+		})
 		if err != nil {
 			log.Fatalf("start %s: %v", self, err)
 		}
 		return n
 	}
 
-	fmt.Println("monitor (node 1) bootstraps the group and watches membership:")
-	monitor := start(1, 0, true)
+	// report prints the interesting slice of a metrics snapshot.
+	report := func(label string, s scalamedia.MetricsSnapshot) {
+		c := s.Counters
+		fmt.Printf("%s  %-18s views=%d evicted=%d | sent=%d delivered=%d nack_tx=%d nack_rx=%d retx=%d | dgrams tx/rx=%d/%d\n",
+			stamp(), label,
+			c["member.views_installed"], c["member.evictions"],
+			c["rmcast.sent"], c["rmcast.delivered"],
+			c["rmcast.nacks_sent"], c["rmcast.nacks_served"], c["rmcast.retransmits_recv"],
+			c["transport.datagrams_sent"], c["transport.datagrams_recv"])
+	}
+
+	fmt.Println("monitor (node 1) bootstraps the group and serves telemetry:")
+	monitor := start(1, 0, "127.0.0.1:0")
 	defer monitor.Close()
+	fmt.Printf("%s  observability endpoint: http://%s/metrics (also /timeline, /debug/vars, /debug/pprof)\n",
+		stamp(), monitor.MetricsAddr())
 
 	// Three workers join one after another; each join is awaited in the
 	// monitor's view before the next starts.
 	workers := map[scalamedia.NodeID]*scalamedia.Node{}
 	for i, idn := range []scalamedia.NodeID{2, 3, 4} {
-		workers[idn] = start(idn, 1, false)
+		workers[idn] = start(idn, 1, "")
 		waitSize(monitor, i+2)
 	}
 	fmt.Printf("%s  group complete: %v\n", stamp(), monitor.View().Members)
+	report("after assembly", monitor.Snapshot())
 
-	// Node 3 leaves politely: one clean view change. Its endpoint stays
-	// open until the departure view has committed.
+	// Some group traffic over the lossy fabric: every multicast shows up
+	// in rmcast.sent/delivered, and the 5% loss drives the NACK counters.
+	for i := 0; i < 20; i++ {
+		if err := monitor.Send([]byte(fmt.Sprintf("status %d", i))); err != nil {
+			log.Fatalf("send: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // let retransmissions settle
+	report("after 20 multicasts", monitor.Snapshot())
+
+	// Node 3 leaves politely: one clean view change.
 	fmt.Printf("%s  node 3 announces departure...\n", stamp())
 	workers[3].Leave()
 	waitSize(monitor, 3)
 	workers[3].Close()
 
-	// Node 4 crashes without a word: detected via heartbeat silence,
-	// then evicted.
+	// Node 4 crashes without a word: detected via heartbeat silence, then
+	// evicted — watch member.evictions tick up.
 	fmt.Printf("%s  node 4 crashes silently...\n", stamp())
-	crashedAt := time.Now()
 	workers[4].Close()
 	waitSize(monitor, 2)
-	fmt.Printf("%s  crash eviction completed %.0fms after the crash\n",
-		stamp(), time.Since(crashedAt).Seconds()*1000)
+	report("after leave+crash", monitor.Snapshot())
 
-	fmt.Printf("%s  final view %s: %v\n", stamp(), monitor.View().ID, monitor.View().Members)
+	// The same data is served over HTTP for external tooling.
+	resp, err := http.Get("http://" + monitor.MetricsAddr() + "/metrics")
+	if err != nil {
+		log.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("%s  GET /metrics returned %s, %d bytes of JSON\n",
+		stamp(), resp.Status, len(body))
+
+	// And the flight recorder holds the recent event-by-event timeline.
+	events := monitor.Timeline()
+	fmt.Printf("%s  flight recorder holds %d events; last 8:\n", stamp(), len(events))
+	for _, ev := range events[max(0, len(events)-8):] {
+		fmt.Printf("          %s\n", ev)
+	}
 }
 
 // waitSize blocks until the node's view has n members.

@@ -9,10 +9,12 @@ import (
 	"testing"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/transport"
 	"scalamedia/internal/wire"
 )
@@ -92,6 +94,12 @@ func (e *benchEnv) Send(to id.Node, msg *wire.Message) {
 // newBenchEngine builds an rmcast engine for node 1 in a static
 // benchGroupSize view, wired to an encode-and-discard transport.
 func newBenchEngine() (*rmcast.Engine, *benchEnv, []id.Node) {
+	return newBenchEngineWith(nil, nil)
+}
+
+// newBenchEngineWith is newBenchEngine with a metrics registry and flight
+// recorder attached, for measuring instrumentation overhead.
+func newBenchEngineWith(reg *stats.Registry, fr *flightrec.Recorder) (*rmcast.Engine, *benchEnv, []id.Node) {
 	env := &benchEnv{self: 1, now: time.Unix(0, 0)}
 	env.sink = func(_ id.Node, msg *wire.Message) {
 		bp := wire.GetBuf()
@@ -101,6 +109,8 @@ func newBenchEngine() (*rmcast.Engine, *benchEnv, []id.Node) {
 	eng := rmcast.New(env, rmcast.Config{
 		Group:     1,
 		Ordering:  rmcast.FIFO,
+		Metrics:   reg,
+		Flight:    fr,
 		OnDeliver: func(rmcast.Delivery) {},
 	})
 	members := make([]id.Node, benchGroupSize)
@@ -146,6 +156,34 @@ func RmcastMulticastFull(b *testing.B) {
 	payload := make([]byte, 256)
 	var st stabilizer
 	// Warm one stabilization round so its maps and scratch exist.
+	if err := eng.Multicast(payload); err != nil {
+		b.Fatal(err)
+	}
+	st.ack(eng, members, eng.Counters().Sent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Multicast(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			st.ack(eng, members, eng.Counters().Sent)
+		}
+	}
+}
+
+// RmcastMulticastInstrumented is RmcastMulticastFull with the full
+// telemetry layer live: a registry-backed counter set and a flight
+// recorder receiving one event per send. The allocation budget must match
+// the uninstrumented benchmark exactly — metric increments are plain
+// atomics on pre-resolved pointers and Record writes into a fixed ring,
+// so instrumentation adds zero allocations to the hot path.
+func RmcastMulticastInstrumented(b *testing.B) {
+	reg := stats.NewRegistry()
+	fr := flightrec.New(1024)
+	eng, _, members := newBenchEngineWith(reg, fr)
+	payload := make([]byte, 256)
+	var st stabilizer
 	if err := eng.Multicast(payload); err != nil {
 		b.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package benches
 import (
 	"testing"
 
+	"scalamedia/internal/flightrec"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -11,6 +13,7 @@ func BenchmarkWireRoundTrip(b *testing.B) { WireRoundTrip(b) }
 func BenchmarkRmcastMulticast(b *testing.B) {
 	b.Run("full", RmcastMulticastFull)
 	b.Run("encode", RmcastMulticastEncode)
+	b.Run("instrumented", RmcastMulticastInstrumented)
 }
 
 func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
@@ -28,6 +31,42 @@ func TestRmcastEncodeZeroAlloc(t *testing.T) {
 	})
 	if allocs >= 0.5 {
 		t.Fatalf("multicast encode path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestInstrumentedMulticastAddsNoAllocs pins the telemetry layer's
+// overhead budget: a Multicast with a live registry and flight recorder
+// must allocate exactly what the uninstrumented path does, and the
+// instrumented encode path (what a transport Send performs on the
+// produced message) must stay at zero.
+func TestInstrumentedMulticastAddsNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts are inflated")
+	}
+	reg := stats.NewRegistry()
+	fr := flightrec.New(1024)
+	eng, _, members := newBenchEngineWith(reg, fr)
+	payload := make([]byte, 256)
+	var st stabilizer
+	for i := 0; i < 128; i++ {
+		if err := eng.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.ack(eng, members, eng.Counters().Sent)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := eng.Multicast(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("instrumented Multicast allocates %.1f/op, want <= 4 (no telemetry overhead)", allocs)
+	}
+	if got := reg.Snapshot().Counters["rmcast.sent"]; got == 0 {
+		t.Fatal("registry saw no sends: instrumentation not wired")
+	}
+	if fr.Len() == 0 {
+		t.Fatal("flight recorder saw no sends: instrumentation not wired")
 	}
 }
 

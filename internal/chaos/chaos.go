@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scalamedia/internal/core"
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/netsim"
@@ -108,6 +109,10 @@ type Trace struct {
 	Nodes    map[id.Node]*NodeTrace
 	Order    []id.Node // node iteration order, for deterministic reports
 	Sent     map[string]SentRec
+	// Flight is the run's shared flight recorder: every node records into
+	// one ring, so the dump is the interleaved protocol timeline. The
+	// simulator is single-threaded, so the ordering is seed-deterministic.
+	Flight *flightrec.Recorder
 }
 
 // payloadKey encodes a workload payload: sender (8) | counter (8).
@@ -145,6 +150,7 @@ func Run(opts Options) *Trace {
 		Schedule: sched,
 		Nodes:    make(map[id.Node]*NodeTrace),
 		Sent:     make(map[string]SentRec),
+		Flight:   flightrec.New(8192),
 	}
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
@@ -177,6 +183,7 @@ func Run(opts Options) *Trace {
 				JoinRetry:        chaosJoinRetry,
 				ResendAfter:      chaosResendAfter,
 				StabilizeEvery:   chaosStabilize,
+				Flight:           tr.Flight,
 				OnView: func(v member.View) {
 					nt.Views = append(nt.Views, ViewRec{View: v, At: sim.Elapsed()})
 				},

@@ -65,7 +65,7 @@ func runSweepSeed(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/chaos -run TestChaosSweep -chaos.seed=%d", seed),
-			tr.Schedule, v))
+			tr.Schedule, v, tr.Flight))
 	}
 }
 
@@ -82,7 +82,7 @@ func TestChaosUnordered(t *testing.T) {
 			if v := tr.Violations(); len(v) > 0 {
 				t.Error(chaos.FailureReport(
 					fmt.Sprintf("go test ./internal/chaos -run TestChaosUnordered/seed=%d", seed),
-					tr.Schedule, v))
+					tr.Schedule, v, tr.Flight))
 			}
 		})
 	}

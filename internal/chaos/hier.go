@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/netsim"
@@ -36,6 +37,8 @@ type HierTrace struct {
 	Deliveries map[id.Node][]hier.Delivery
 	// Sent[payload] is the origin of each workload message.
 	Sent map[string]id.Node
+	// Flight is the run's shared flight recorder; see Trace.Flight.
+	Flight *flightrec.Recorder
 }
 
 // RunHier executes one seeded hierarchical scenario: a clustered group on
@@ -69,6 +72,7 @@ func RunHier(opts HierOptions) *HierTrace {
 		Order:      nodeIDs(opts.Nodes),
 		Deliveries: make(map[id.Node][]hier.Delivery),
 		Sent:       make(map[string]id.Node),
+		Flight:     flightrec.New(8192),
 	}
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
@@ -86,6 +90,7 @@ func RunHier(opts HierOptions) *HierTrace {
 				LocalGroup: 1,
 				WideGroup:  2,
 				Topology:   topo,
+				Flight:     tr.Flight,
 				OnDeliver: func(d hier.Delivery) {
 					tr.Deliveries[n] = append(tr.Deliveries[n], d)
 				},

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/msync"
@@ -57,6 +58,8 @@ type MsyncTrace struct {
 	DriftPerSec time.Duration
 	Samples     []SkewSample
 	Corrections uint64
+	// Flight is the run's shared flight recorder; see Trace.Flight.
+	Flight *flightrec.Recorder
 }
 
 // RunMsync executes one seeded inter-media synchronization scenario: an
@@ -69,6 +72,7 @@ func RunMsync(seed int64) *MsyncTrace {
 	tr := &MsyncTrace{
 		Seed:        seed,
 		DriftPerSec: 10*time.Millisecond + time.Duration(rng.Int63n(int64(50*time.Millisecond))),
+		Flight:      flightrec.New(8192),
 	}
 
 	base := netsim.Link{Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.01}
@@ -95,17 +99,20 @@ func RunMsync(seed int64) *MsyncTrace {
 		audioRecv := rtx.NewReceiver(env, rtx.Config{
 			Group: 1, Stream: 1, Spec: audioSpec,
 			Mode: rtx.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+			Flight: tr.Flight,
 			OnPlay: func(f media.Frame, at time.Time) { ctl.ObserveMaster(f, at) },
 		})
 		videoRecv := rtx.NewReceiver(env, rtx.Config{
 			Group: 1, Stream: 2, Spec: videoSpec,
 			Mode: rtx.Adaptive, PlayoutDelay: 40 * time.Millisecond,
+			Flight: tr.Flight,
 			OnPlay: func(f media.Frame, at time.Time) { ctl.ObserveSlave(0, f, at) },
 		})
 		ctl = msync.New(msync.Config{
 			MaxSkew:    msyncMaxSkew,
 			MaxStep:    msyncMaxStep,
 			CheckEvery: msyncCheck,
+			Flight:     tr.Flight,
 			OnSkew: func(_ int, skew time.Duration, at time.Time) {
 				tr.Samples = append(tr.Samples, SkewSample{At: sim.Elapsed(), Skew: skew})
 			},

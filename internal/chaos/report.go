@@ -3,12 +3,26 @@ package chaos
 import (
 	"fmt"
 	"strings"
+
+	"scalamedia/internal/flightrec"
 )
 
+// reportTimelineMax bounds how much of the flight recorder a failure
+// report prints; the most recent events are the ones adjacent to the
+// violation.
+const reportTimelineMax = 120
+
 // FailureReport formats invariant violations for a test failure: the
-// violations, the fault schedule that produced them, and the one-line
-// command that replays the exact run.
-func FailureReport(repro string, sched Schedule, violations []string) string {
+// violations, the fault schedule that produced them, the one-line command
+// that replays the exact run, and — when the run carried a flight
+// recorder — the recorded protocol timeline. Each violation is stamped
+// into the recorder first, so the dump ends with the failing events in
+// context with the protocol activity that led to them.
+func FailureReport(repro string, sched Schedule, violations []string, fr *flightrec.Recorder) string {
+	for i := range violations {
+		// Node 0 marks harness-level events; A indexes the violation.
+		fr.Record(0, 0, flightrec.EvViolation, uint64(i), uint64(len(violations)))
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d invariant violation(s):\n", len(violations))
 	for _, v := range violations {
@@ -16,5 +30,10 @@ func FailureReport(repro string, sched Schedule, violations []string) string {
 	}
 	fmt.Fprintf(&b, "schedule: %s\n", sched)
 	fmt.Fprintf(&b, "repro: %s", repro)
+	if fr != nil && fr.Len() > 0 {
+		fmt.Fprintf(&b, "\nflight recorder timeline (%d events recorded; most recent below):\n",
+			fr.Len())
+		b.WriteString(fr.Format(reportTimelineMax))
+	}
 	return b.String()
 }

@@ -1,0 +1,64 @@
+package chaos_test
+
+import (
+	"strings"
+	"testing"
+
+	"scalamedia/internal/chaos"
+	"scalamedia/internal/flightrec"
+)
+
+// TestFailureReportDumpsTimeline checks the contract the chaos gates rely
+// on: when a run's trace carries a flight recorder, an invariant failure
+// report ends with the recorded protocol timeline, and the violation
+// itself is stamped into the ring so it appears in context.
+func TestFailureReportDumpsTimeline(t *testing.T) {
+	fr := flightrec.New(64)
+	fr.Record(1, 100, flightrec.EvSend, 7, 0)
+	fr.Record(2, 105, flightrec.EvDeliver, 1, 7)
+
+	rep := chaos.FailureReport("go test -run X", nil,
+		[]string{"no-loss: n3 never delivered n1#7"}, fr)
+
+	for _, want := range []string{
+		"1 invariant violation(s)",
+		"no-loss: n3 never delivered n1#7",
+		"flight recorder timeline",
+		"send",
+		"deliver",
+		"VIOLATION",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestFailureReportNilRecorder checks reports still format without a
+// recorder (the msync runner's schedule-free path passes nil schedules
+// and older callers may pass nil recorders).
+func TestFailureReportNilRecorder(t *testing.T) {
+	rep := chaos.FailureReport("repro", nil, []string{"v"}, nil)
+	if strings.Contains(rep, "flight recorder") {
+		t.Errorf("nil recorder should omit the timeline section:\n%s", rep)
+	}
+}
+
+// TestRunPopulatesFlightRecorder checks a clean chaos run records a
+// protocol timeline: sends, deliveries and view installs from every node
+// interleaved into one seed-deterministic ring.
+func TestRunPopulatesFlightRecorder(t *testing.T) {
+	tr := chaos.Run(chaos.Options{Seed: 1, Nodes: 3, Msgs: 10})
+	if v := tr.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	if tr.Flight.Len() == 0 {
+		t.Fatal("chaos run recorded no flight events")
+	}
+	dump := tr.Flight.Format(0)
+	for _, want := range []string{"view-install", "send", "deliver"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("timeline missing %q events", want)
+		}
+	}
+}

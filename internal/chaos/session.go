@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/member"
@@ -46,6 +47,8 @@ type SessionTrace struct {
 	// streams whose owner later withdrew them.
 	Announced map[id.Stream]id.Node
 	Withdrawn map[id.Stream]bool
+	// Flight is the run's shared flight recorder; see Trace.Flight.
+	Flight *flightrec.Recorder
 }
 
 // RunSession executes one seeded session-layer scenario: participants
@@ -68,6 +71,7 @@ func RunSession(opts SessionOptions) *SessionTrace {
 		Nodes:     make(map[id.Node]*SessionNode),
 		Announced: make(map[id.Stream]id.Node),
 		Withdrawn: make(map[id.Stream]bool),
+		Flight:    flightrec.New(8192),
 	}
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
@@ -97,6 +101,7 @@ func RunSession(opts SessionOptions) *SessionTrace {
 				JoinRetry:        chaosJoinRetry,
 				ResendAfter:      chaosResendAfter,
 				StabilizeEvery:   chaosStabilize,
+				Flight:           tr.Flight,
 				OnEvent: func(ev session.Event) {
 					sn.Events = append(sn.Events, ev)
 					if ev.Kind == session.SelfEvicted {

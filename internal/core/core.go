@@ -13,10 +13,12 @@ package core
 import (
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -53,6 +55,14 @@ type Config struct {
 	// members; see member.Config.
 	Snapshot func() []byte
 	OnState  func(member.View, []byte)
+
+	// Metrics, when non-nil, receives live counters from both engines.
+	Metrics *stats.Registry
+	// MetricsPrefix namespaces the multicast engine's metrics; empty
+	// takes the rmcast default ("rmcast.").
+	MetricsPrefix string
+	// Flight, when non-nil, records protocol events from both engines.
+	Flight *flightrec.Recorder
 }
 
 // Stack is one node's group communication service.
@@ -74,9 +84,14 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		ResendAfter:    cfg.ResendAfter,
 		StabilizeEvery: cfg.StabilizeEvery,
 		OnDeliver:      cfg.OnDeliver,
+		Metrics:        cfg.Metrics,
+		MetricsPrefix:  cfg.MetricsPrefix,
+		Flight:         cfg.Flight,
 	})
 	s.member = member.New(env, member.Config{
 		Group:            cfg.Group,
+		Metrics:          cfg.Metrics,
+		Flight:           cfg.Flight,
 		Contact:          cfg.Contact,
 		HeartbeatEvery:   cfg.HeartbeatEvery,
 		SuspectAfter:     cfg.SuspectAfter,

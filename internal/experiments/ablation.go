@@ -11,8 +11,8 @@ import (
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/rtx"
 	"scalamedia/internal/stats"
-	"scalamedia/internal/trace"
 	"scalamedia/internal/wire"
+	"scalamedia/internal/workload"
 )
 
 // runAckFlat mirrors runFlat with the positive-acknowledgment baseline
@@ -59,11 +59,11 @@ func runAckFlat(p flatParams) flatResult {
 			return eng
 		})
 	}
-	payload := trace.New(p.seed + 7).Payload(p.payload)
+	payload := workload.New(p.seed + 7).Payload(p.payload)
 	var lastSend time.Duration
 	for s := 0; s < p.senders; s++ {
 		sender := members[s]
-		arrivals := trace.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
+		arrivals := workload.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
 		for _, at := range arrivals {
 			at := at
 			if at > lastSend {
@@ -276,11 +276,11 @@ func runFlatTimer(n, per int, resend time.Duration, seed int64) flatResult {
 			return eng
 		})
 	}
-	payload := trace.New(seed + 7).Payload(64)
+	payload := workload.New(seed + 7).Payload(64)
 	var lastSend time.Duration
 	for s := 0; s < 4 && s < n; s++ {
 		sender := members[s]
-		arrivals := trace.Arrivals(seed+int64(s)*31, 10*time.Millisecond, 10*time.Millisecond, per)
+		arrivals := workload.Arrivals(seed+int64(s)*31, 10*time.Millisecond, 10*time.Millisecond, per)
 		for _, at := range arrivals {
 			at := at
 			if at > lastSend {

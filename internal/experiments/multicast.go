@@ -10,7 +10,7 @@ import (
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/stats"
-	"scalamedia/internal/trace"
+	"scalamedia/internal/workload"
 )
 
 // flatResult aggregates one flat-group multicast run.
@@ -82,11 +82,11 @@ func runFlat(p flatParams) flatResult {
 		})
 	}
 
-	payload := trace.New(p.seed + 7).Payload(p.payload)
+	payload := workload.New(p.seed + 7).Payload(p.payload)
 	var lastSend time.Duration
 	for s := 0; s < p.senders; s++ {
 		sender := members[s]
-		arrivals := trace.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
+		arrivals := workload.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
 		for _, at := range arrivals {
 			at := at
 			if at > lastSend {

@@ -10,8 +10,8 @@ import (
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/stats"
-	"scalamedia/internal/trace"
 	"scalamedia/internal/wire"
+	"scalamedia/internal/workload"
 )
 
 // hierParams parameterizes runHier.
@@ -78,12 +78,12 @@ func runHier(p hierParams) flatResult {
 		})
 	}
 
-	payload := trace.New(p.seed + 7).Payload(p.payload)
+	payload := workload.New(p.seed + 7).Payload(p.payload)
 	var lastSend time.Duration
 	for s := 0; s < p.senders; s++ {
 		// Spread senders across clusters.
 		sender := members[(s*p.clusterSize+1)%p.n]
-		arrivals := trace.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
+		arrivals := workload.Arrivals(p.seed+int64(s)*31, p.gap, 10*time.Millisecond, p.perSend)
 		for _, at := range arrivals {
 			at := at
 			if at > lastSend {

@@ -1,0 +1,195 @@
+// Package flightrec is a fixed-size, lock-free flight recorder for protocol
+// events. Every layer records milestone events (send, deliver, NACK, view
+// install, eviction, playout drop, ...) into a shared ring; when a chaos
+// invariant fails the harness dumps the ring, so every failing seed comes
+// with a timeline of what the protocol did leading up to the violation.
+//
+// Recording is a single atomic fetch-add to claim a slot plus a handful of
+// atomic stores, no locks and no allocation, so it is cheap enough to leave
+// enabled on the data path. Under the seeded single-threaded simulator the
+// claim order is deterministic, so timelines reproduce exactly for a seed.
+package flightrec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Code identifies the kind of protocol event recorded.
+type Code uint8
+
+// Event codes, grouped by layer.
+const (
+	EvNone         Code = iota
+	EvSend              // rmcast: data multicast sent (a=seq)
+	EvDeliver           // rmcast: message delivered to app (a=sender, b=seq)
+	EvNackSent          // rmcast: NACK requested (a=sender, b=seq)
+	EvNackRecv          // rmcast: NACK received (a=requester, b=seq)
+	EvRetransmit        // rmcast: retransmission served (a=sender, b=seq)
+	EvGossip            // rmcast: stability gossip sent (a=mincut)
+	EvViewPropose       // member: view change proposed (a=proposed view id)
+	EvViewInstall       // member: view installed (a=view id, b=members)
+	EvEvict             // member: member evicted (a=victim, b=view id)
+	EvRelayForward      // hier: relay forwarded a message (a=src cluster)
+	EvBatchFlush        // hier: forward batch flushed (a=msgs, b=bytes)
+	EvPlayoutDrop       // media: frame dropped at playout (a=stream, b=seq)
+	EvLateFrame         // media: frame arrived late (a=stream, b=seq)
+	EvSkewCorrect       // msync: skew correction applied (a=slave, b=skew µs)
+	EvViolation         // chaos: invariant violation detected
+	evMax
+)
+
+var codeNames = [evMax]string{
+	EvNone:         "none",
+	EvSend:         "send",
+	EvDeliver:      "deliver",
+	EvNackSent:     "nack-sent",
+	EvNackRecv:     "nack-recv",
+	EvRetransmit:   "retransmit",
+	EvGossip:       "gossip",
+	EvViewPropose:  "view-propose",
+	EvViewInstall:  "view-install",
+	EvEvict:        "evict",
+	EvRelayForward: "relay-forward",
+	EvBatchFlush:   "batch-flush",
+	EvPlayoutDrop:  "playout-drop",
+	EvLateFrame:    "late-frame",
+	EvSkewCorrect:  "skew-correct",
+	EvViolation:    "VIOLATION",
+}
+
+// String returns the event code's name.
+func (c Code) String() string {
+	if c < evMax {
+		return codeNames[c]
+	}
+	return fmt.Sprintf("code(%d)", uint8(c))
+}
+
+// Event is one recorded protocol event. Node is the recording node, Now the
+// recorder's logical clock (milliseconds under the simulator), and A/B are
+// code-specific operands (see the Code constants).
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Node uint64 `json:"node"`
+	Now  int64  `json:"now_ms"`
+	Code Code   `json:"code"`
+	A    uint64 `json:"a"`
+	B    uint64 `json:"b"`
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%-6d t=%-8d n%-4d %-13s a=%d b=%d",
+		e.Seq, e.Now, e.Node, e.Code, e.A, e.B)
+}
+
+// slot holds one event entirely in atomics so concurrent Record/Dump stay
+// race-detector clean: a reader may observe a torn slot mid-overwrite, but
+// the seq field lets Dump discard slots still being written.
+type slot struct {
+	seq  atomic.Uint64 // claim number + 1; 0 = never written
+	node atomic.Uint64
+	now  atomic.Int64
+	code atomic.Uint32
+	a    atomic.Uint64
+	b    atomic.Uint64
+}
+
+// DefaultSize is the ring capacity used by New when size <= 0.
+const DefaultSize = 4096
+
+// Recorder is the fixed-size event ring. A nil *Recorder is valid and
+// records nothing, so layers can call Record unconditionally.
+type Recorder struct {
+	next  atomic.Uint64
+	mask  uint64
+	slots []slot
+}
+
+// New returns a recorder holding the most recent size events (rounded up to
+// a power of two; DefaultSize when size <= 0).
+func New(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+// Safe for concurrent use and safe on a nil receiver.
+func (r *Recorder) Record(node uint64, now int64, code Code, a, b uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.next.Add(1) // 1-based so 0 marks an empty slot
+	s := &r.slots[(seq-1)&r.mask]
+	// Write payload first, then publish via seq. A torn read (payload from
+	// a newer write, seq from this one) is possible under wraparound races
+	// but only garbles one timeline line; the ring never corrupts memory.
+	s.node.Store(node)
+	s.now.Store(now)
+	s.code.Store(uint32(code))
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(seq)
+}
+
+// Len returns the total number of events ever recorded (not the ring size).
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Dump returns the retained events in record order (oldest first). Slots
+// claimed but not yet published are skipped.
+func (r *Recorder) Dump() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		seq := s.seq.Load()
+		if seq == 0 {
+			continue
+		}
+		out = append(out, Event{
+			Seq:  seq,
+			Node: s.node.Load(),
+			Now:  s.now.Load(),
+			Code: Code(s.code.Load()),
+			A:    s.a.Load(),
+			B:    s.b.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Format renders the last max events as an indented timeline block, ready
+// to embed in a failure report. A max <= 0 renders everything retained.
+func (r *Recorder) Format(max int) string {
+	evs := r.Dump()
+	if len(evs) == 0 {
+		return "  (flight recorder empty)\n"
+	}
+	if max > 0 && len(evs) > max {
+		evs = evs[len(evs)-max:]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString("  ")
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

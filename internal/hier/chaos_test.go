@@ -39,6 +39,6 @@ func runHierChaos(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/hier -run TestHierChaos -hier.chaos.seed=%d", seed),
-			tr.Schedule, v))
+			tr.Schedule, v, tr.Flight))
 	}
 }

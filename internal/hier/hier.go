@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -145,6 +147,13 @@ type Config struct {
 	DisableBatching bool
 	// NoPiggyback is passed through to the constituent rmcast engines.
 	NoPiggyback bool
+	// Metrics, when non-nil, receives live counters from the relay layer
+	// (hier.*) and the constituent engines (rmcast.local.*, and
+	// rmcast.wide.* on relays).
+	Metrics *stats.Registry
+	// Flight, when non-nil, records relay forwards and batch flushes as
+	// well as the constituent engines' protocol events.
+	Flight *flightrec.Recorder
 }
 
 // Engine is the hierarchical multicast stack for one node: an
@@ -163,6 +172,11 @@ type Engine struct {
 	// packed batch entries plus their count.
 	fwdBuf   []byte
 	fwdCount int
+
+	// Live relay-layer counters, resolved once in New.
+	mForwards     *stats.Counter
+	mBatchFlushes *stats.Counter
+	mEarlyFlushes *stats.Counter
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -264,10 +278,18 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotInTopology, env.Self())
 	}
 	e := &Engine{
-		env:     env,
-		cfg:     cfg,
-		cluster: ci,
-		isRelay: cfg.Topology.RelayOf(ci) == env.Self(),
+		env:           env,
+		cfg:           cfg,
+		cluster:       ci,
+		isRelay:       cfg.Topology.RelayOf(ci) == env.Self(),
+		mForwards:     &stats.Counter{},
+		mBatchFlushes: &stats.Counter{},
+		mEarlyFlushes: &stats.Counter{},
+	}
+	if cfg.Metrics != nil {
+		e.mForwards = cfg.Metrics.Counter("hier.relay_forwards")
+		e.mBatchFlushes = cfg.Metrics.Counter("hier.batch_flushes")
+		e.mEarlyFlushes = cfg.Metrics.Counter("hier.early_flushes")
 	}
 	e.local = rmcast.New(env, rmcast.Config{
 		Group:           cfg.LocalGroup,
@@ -275,6 +297,9 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 		OnDeliver:       e.onLocalDeliver,
 		DisableBatching: cfg.DisableBatching,
 		NoPiggyback:     cfg.NoPiggyback,
+		Metrics:         cfg.Metrics,
+		MetricsPrefix:   "rmcast.local.",
+		Flight:          cfg.Flight,
 	})
 	e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
 	if e.isRelay {
@@ -284,6 +309,9 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 			OnDeliver:       e.onWideDeliver,
 			DisableBatching: cfg.DisableBatching,
 			NoPiggyback:     cfg.NoPiggyback,
+			Metrics:         cfg.Metrics,
+			MetricsPrefix:   "rmcast.wide.",
+			Flight:          cfg.Flight,
 		})
 		e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
 	}
@@ -329,6 +357,8 @@ func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
 	if e.cfg.Topology.ClusterOf(origin) != e.cluster {
 		return
 	}
+	e.mForwards.Inc()
+	e.rec(flightrec.EvRelayForward, uint64(e.cluster), seq)
 	if e.cfg.DisableBatching {
 		// Re-wrap verbatim: the envelope is already in d.Payload. The
 		// relay group always has a view; an error here means the payload
@@ -339,6 +369,7 @@ func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
 	// Aggregate; flush early if the batch would outgrow one datagram.
 	if len(e.fwdBuf) > 0 &&
 		len(e.fwdBuf)+batchEntryExtra+len(d.Payload) > fwdFlushBytes {
+		e.mEarlyFlushes.Inc()
 		e.flushForwards()
 	}
 	e.fwdBuf = appendBatchEntry(e.fwdBuf, d.Payload)
@@ -357,12 +388,21 @@ func (e *Engine) deliverApp(origin id.Node, seq uint64, payload []byte) {
 	})
 }
 
+// rec stamps one flight-recorder event; free without a recorder.
+func (e *Engine) rec(code flightrec.Code, a, b uint64) {
+	if e.cfg.Flight != nil {
+		e.cfg.Flight.Record(uint64(e.env.Self()), e.env.Now().UnixMilli(), code, a, b)
+	}
+}
+
 // flushForwards sends the queued own-cluster messages to the other relays
 // as one batch.
 func (e *Engine) flushForwards() {
 	if e.fwdCount == 0 {
 		return
 	}
+	e.mBatchFlushes.Inc()
+	e.rec(flightrec.EvBatchFlush, uint64(e.fwdCount), uint64(len(e.fwdBuf)))
 	batch := packBatch(e.fwdBuf, e.fwdCount)
 	e.fwdBuf = e.fwdBuf[:0]
 	e.fwdCount = 0

@@ -42,6 +42,6 @@ func runMemberChaos(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/member -run TestMemberChaos -member.chaos.seed=%d", seed),
-			tr.Schedule, v))
+			tr.Schedule, v, tr.Flight))
 	}
 }

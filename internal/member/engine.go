@@ -4,8 +4,10 @@ import (
 	"time"
 
 	"scalamedia/internal/failure"
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/proto"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -58,6 +60,12 @@ type Config struct {
 	// OnState receives the application state snapshot on a joining
 	// node. Optional.
 	OnState func(v View, state []byte)
+	// Metrics, when non-nil, receives live membership counters
+	// (member.views_installed, member.proposals, member.evictions).
+	Metrics *stats.Registry
+	// Flight, when non-nil, records view proposals, installations and
+	// evictions into the flight recorder ring.
+	Flight *flightrec.Recorder
 	// StabilityVector, when set, supplies the multicast layer's delivery
 	// state: per-sender contiguously delivered counts plus the count of
 	// totally-ordered slots delivered. FlushOK messages then carry it,
@@ -73,6 +81,12 @@ type Engine struct {
 	env proto.Env
 	cfg Config
 	det *failure.Detector
+
+	// Live metric counters, resolved once in New (standalone atomics
+	// when no registry is configured, so increments are unconditional).
+	mViews     *stats.Counter
+	mProposals *stats.Counter
+	mEvictions *stats.Counter
 
 	view    View // zero-ID means no view installed yet
 	joining bool
@@ -136,10 +150,18 @@ func New(env proto.Env, cfg Config) *Engine {
 		env:          env,
 		cfg:          cfg,
 		joining:      cfg.Contact != id.None,
+		mViews:       &stats.Counter{},
+		mProposals:   &stats.Counter{},
+		mEvictions:   &stats.Counter{},
 		pendingJoin:  make(map[id.Node]bool),
 		pendingEvict: make(map[id.Node]bool),
 		left:         make(map[id.Node]bool),
 		lastEject:    make(map[id.Node]time.Time),
+	}
+	if cfg.Metrics != nil {
+		e.mViews = cfg.Metrics.Counter("member.views_installed")
+		e.mProposals = cfg.Metrics.Counter("member.proposals")
+		e.mEvictions = cfg.Metrics.Counter("member.evictions")
 	}
 	e.det = failure.New(env, failure.Config{
 		Group:          cfg.Group,
@@ -423,6 +445,8 @@ func (e *Engine) propose(now time.Time) {
 		proposed = NewView(proposed.ID, append(proposed.Members, e.env.Self()))
 	}
 	e.highestSent = proposed.ID
+	e.mProposals.Inc()
+	e.rec(flightrec.EvViewPropose, uint64(proposed.ID), uint64(len(proposed.Members)))
 	e.proposal = &proposalState{
 		view:     proposed,
 		acks:     map[id.Node]bool{e.env.Self(): true},
@@ -460,7 +484,9 @@ func (e *Engine) checkProposal(now time.Time) {
 	if now.Before(p.deadline) {
 		return
 	}
-	// Members that failed to flush in time are treated as failed.
+	// Members that failed to flush in time are treated as failed. The
+	// eviction is counted when it commits (maybeCommit), not here: a
+	// slated member heard from again before the next proposal is spared.
 	for _, m := range p.view.Members {
 		if !p.acks[m] {
 			e.pendingEvict[m] = true
@@ -627,6 +653,16 @@ func (e *Engine) maybeCommit() {
 		return
 	}
 	e.proposal = nil
+	// Account evictions at the moment they become final: old-view members
+	// the committed view excludes, minus voluntary leavers. Counting here
+	// (not at suspicion or flush-timeout time) covers every eviction path
+	// exactly once on the coordinator.
+	for _, m := range e.view.Members {
+		if !p.view.Contains(m) && !e.left[m] {
+			e.mEvictions.Inc()
+			e.rec(flightrec.EvEvict, uint64(m), uint64(p.view.ID))
+		}
+	}
 	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
 	// Notify evicted members too, so they learn their fate.
 	notified := map[id.Node]bool{e.env.Self(): true}
@@ -761,6 +797,8 @@ func (e *Engine) onCommit(msg *wire.Message) {
 	}
 	if !v.Contains(e.env.Self()) {
 		if e.view.ID != 0 {
+			e.mEvictions.Inc()
+			e.rec(flightrec.EvEvict, uint64(e.env.Self()), uint64(v.ID))
 			e.evicted = true
 			e.view = View{}
 			e.det.SetPeers(nil)
@@ -773,8 +811,17 @@ func (e *Engine) onCommit(msg *wire.Message) {
 	e.install(v)
 }
 
+// rec stamps one flight-recorder event; free without a recorder.
+func (e *Engine) rec(code flightrec.Code, a, b uint64) {
+	if e.cfg.Flight != nil {
+		e.cfg.Flight.Record(uint64(e.env.Self()), e.env.Now().UnixMilli(), code, a, b)
+	}
+}
+
 // install makes v the current view and notifies subscribers.
 func (e *Engine) install(v View) {
+	e.mViews.Inc()
+	e.rec(flightrec.EvViewInstall, uint64(v.ID), uint64(v.Size()))
 	e.view = v
 	e.joining = false
 	e.accepted = View{}

@@ -39,6 +39,6 @@ func runMsyncChaos(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/msync -run TestMsyncChaos -msync.chaos.seed=%d", seed),
-			nil, v))
+			nil, v, tr.Flight))
 	}
 }

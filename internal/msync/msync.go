@@ -16,8 +16,10 @@ package msync
 import (
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/media"
 	"scalamedia/internal/rtx"
+	"scalamedia/internal/stats"
 )
 
 // Default policy values.
@@ -69,6 +71,12 @@ type Config struct {
 	// (positive: slave presents later than master). Used by the F4
 	// experiment to trace skew over time.
 	OnSkew func(slave int, skew time.Duration, at time.Time)
+	// Metrics, when non-nil, receives a skew histogram
+	// (msync.skew_ms, absolute milliseconds) and a correction counter
+	// (msync.corrections).
+	Metrics *stats.Registry
+	// Flight, when non-nil, records applied skew corrections.
+	Flight *flightrec.Recorder
 }
 
 // Controller synchronizes one master stream with its slaves. Create it,
@@ -82,6 +90,10 @@ type Controller struct {
 
 	lastCheck   time.Time
 	corrections uint64
+
+	// Live metrics, resolved once in New.
+	mCorrections *stats.Counter
+	mSkew        *stats.Histogram
 }
 
 // New returns a controller for the given master and slave receivers.
@@ -95,7 +107,15 @@ func New(cfg Config, master *rtx.Receiver, slaves ...*rtx.Receiver) *Controller 
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = DefaultCheckEvery
 	}
-	c := &Controller{cfg: cfg}
+	c := &Controller{
+		cfg:          cfg,
+		mCorrections: &stats.Counter{},
+		mSkew:        stats.NewReservoirHistogram(0),
+	}
+	if cfg.Metrics != nil {
+		c.mCorrections = cfg.Metrics.Counter("msync.corrections")
+		c.mSkew = cfg.Metrics.Histogram("msync.skew_ms")
+	}
 	c.master = Stream{recv: master}
 	for _, s := range slaves {
 		c.slaves = append(c.slaves, &Stream{recv: s})
@@ -153,6 +173,11 @@ func (c *Controller) OnTick(now time.Time) {
 		if c.cfg.OnSkew != nil {
 			c.cfg.OnSkew(i, skew, now)
 		}
+		abs := skew
+		if abs < 0 {
+			abs = -abs
+		}
+		c.mSkew.Observe(float64(abs) / float64(time.Millisecond))
 		if skew > c.cfg.MaxSkew || skew < -c.cfg.MaxSkew {
 			step := skew
 			if step > c.cfg.MaxStep {
@@ -169,6 +194,12 @@ func (c *Controller) OnTick(now time.Time) {
 			s.recv.AdjustSync(-step / 2)
 			c.master.recv.AdjustSync(step / 2)
 			c.corrections++
+			c.mCorrections.Inc()
+			if c.cfg.Flight != nil {
+				c.cfg.Flight.Record(uint64(i), now.UnixMilli(),
+					flightrec.EvSkewCorrect, uint64(i),
+					uint64(skew/time.Microsecond))
+			}
 		}
 	}
 }

@@ -52,6 +52,6 @@ func runRmcastChaos(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/rmcast -run TestRmcastChaos -rmcast.chaos.seed=%d", seed),
-			tr.Schedule, v))
+			tr.Schedule, v, tr.Flight))
 	}
 }

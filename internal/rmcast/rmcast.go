@@ -35,9 +35,11 @@ import (
 	"sort"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/vclock"
 	"scalamedia/internal/wire"
 )
@@ -133,6 +135,18 @@ type Config struct {
 	// messages. With piggybacking on (the zero value), active senders
 	// propagate stability for free and skip standalone gossip entirely.
 	NoPiggyback bool
+	// Metrics, when non-nil, receives live protocol counters under names
+	// prefixed with MetricsPrefix. When nil the engine still counts (the
+	// Counters accessor keeps working) but registers nothing.
+	Metrics *stats.Registry
+	// MetricsPrefix namespaces this engine's metrics; defaults to
+	// "rmcast.". The hierarchical layer runs two engines per relay and
+	// distinguishes them as "rmcast.local." and "rmcast.wide.".
+	MetricsPrefix string
+	// Flight, when non-nil, records protocol milestone events (sends,
+	// deliveries, NACKs, retransmissions, gossip) into the flight
+	// recorder ring. Nil disables recording at zero cost.
+	Flight *flightrec.Recorder
 }
 
 // Counters exposes protocol event counts for tests and experiments.
@@ -145,6 +159,63 @@ type Counters struct {
 	Retransmits  uint64 // retransmissions received
 	FlushResends uint64 // messages re-sent by Flush
 	OrdersSent   uint64 // sequencer slot assignments broadcast
+	PiggyAcks    uint64 // ack vectors piggybacked on outgoing data
+	GossipAcks   uint64 // standalone stability gossip broadcasts
+}
+
+// engMetrics is the engine's live counter set. The pointers are resolved
+// once at construction — against the configured registry, or as
+// unregistered standalone atomics — so every hot-path increment is a
+// single atomic add with no map lookup. One source of truth: Counters()
+// reads these same atomics back.
+type engMetrics struct {
+	sent         *stats.Counter
+	delivered    *stats.Counter
+	duplicates   *stats.Counter
+	nacksSent    *stats.Counter
+	nacksServed  *stats.Counter
+	retransmits  *stats.Counter
+	flushResends *stats.Counter
+	ordersSent   *stats.Counter
+	piggyAcks    *stats.Counter
+	gossipAcks   *stats.Counter
+	historyLen   *stats.Gauge     // delivered-but-unstable messages buffered
+	stabilityLag *stats.Histogram // history depth sampled at stability rounds
+}
+
+// newEngMetrics resolves the counter set against reg (nil for standalone
+// counters visible only through Counters()).
+func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
+	if reg == nil {
+		return engMetrics{
+			sent:         &stats.Counter{},
+			delivered:    &stats.Counter{},
+			duplicates:   &stats.Counter{},
+			nacksSent:    &stats.Counter{},
+			nacksServed:  &stats.Counter{},
+			retransmits:  &stats.Counter{},
+			flushResends: &stats.Counter{},
+			ordersSent:   &stats.Counter{},
+			piggyAcks:    &stats.Counter{},
+			gossipAcks:   &stats.Counter{},
+			historyLen:   &stats.Gauge{},
+			stabilityLag: stats.NewReservoirHistogram(0),
+		}
+	}
+	return engMetrics{
+		sent:         reg.Counter(prefix + "sent"),
+		delivered:    reg.Counter(prefix + "delivered"),
+		duplicates:   reg.Counter(prefix + "duplicates"),
+		nacksSent:    reg.Counter(prefix + "nacks_sent"),
+		nacksServed:  reg.Counter(prefix + "nacks_served"),
+		retransmits:  reg.Counter(prefix + "retransmits_recv"),
+		flushResends: reg.Counter(prefix + "flush_resends"),
+		ordersSent:   reg.Counter(prefix + "orders_sent"),
+		piggyAcks:    reg.Counter(prefix + "acks_piggybacked"),
+		gossipAcks:   reg.Counter(prefix + "acks_gossiped"),
+		historyLen:   reg.Gauge(prefix + "history_len"),
+		stabilityLag: reg.Histogram(prefix + "stability_lag"),
+	}
 }
 
 // msgKey identifies one multicast within a view.
@@ -200,8 +271,8 @@ type Engine struct {
 	lastOrderNack time.Time
 
 	// Batched control traffic, flushed per tick.
-	pendingOrders []wire.OrderEntry             // sequencer slots awaiting broadcast
-	nackQueue     map[id.Node][]wire.NackRange  // coalesced NACKs per destination
+	pendingOrders []wire.OrderEntry            // sequencer slots awaiting broadcast
+	nackQueue     map[id.Node][]wire.NackRange // coalesced NACKs per destination
 
 	// Reusable scratch to keep the steady-state send path allocation-free.
 	ackScratch   []wire.AckEntry
@@ -219,7 +290,7 @@ type Engine struct {
 	frozen    bool
 	sendQueue [][]byte
 
-	counters Counters
+	met engMetrics
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -240,9 +311,13 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.StableKeepalive <= 0 {
 		cfg.StableKeepalive = DefaultKeepaliveFactor * cfg.StabilizeEvery
 	}
+	if cfg.MetricsPrefix == "" {
+		cfg.MetricsPrefix = "rmcast."
+	}
 	return &Engine{
 		env:       env,
 		cfg:       cfg,
+		met:       newEngMetrics(cfg.Metrics, cfg.MetricsPrefix),
 		rank:      -1,
 		peers:     make(map[id.Node]*peerState),
 		history:   make(map[msgKey]*wire.Message),
@@ -255,7 +330,28 @@ func New(env proto.Env, cfg Config) *Engine {
 }
 
 // Counters returns a copy of the protocol event counters.
-func (e *Engine) Counters() Counters { return e.counters }
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Sent:         e.met.sent.Value(),
+		Delivered:    e.met.delivered.Value(),
+		Duplicates:   e.met.duplicates.Value(),
+		NacksSent:    e.met.nacksSent.Value(),
+		NacksServed:  e.met.nacksServed.Value(),
+		Retransmits:  e.met.retransmits.Value(),
+		FlushResends: e.met.flushResends.Value(),
+		OrdersSent:   e.met.ordersSent.Value(),
+		PiggyAcks:    e.met.piggyAcks.Value(),
+		GossipAcks:   e.met.gossipAcks.Value(),
+	}
+}
+
+// rec stamps one flight-recorder event with this node's identity and
+// clock; free when no recorder is configured.
+func (e *Engine) rec(code flightrec.Code, a, b uint64) {
+	if e.cfg.Flight != nil {
+		e.cfg.Flight.Record(uint64(e.env.Self()), e.env.Now().UnixMilli(), code, a, b)
+	}
+}
 
 // View returns the view the engine currently operates in.
 func (e *Engine) View() member.View { return e.view }
@@ -390,7 +486,7 @@ func (e *Engine) Flush(proposed member.View) {
 				continue
 			}
 			e.env.Send(dst, &r)
-			e.counters.FlushResends++
+			e.met.flushResends.Inc()
 		}
 	}
 }
@@ -433,7 +529,8 @@ func (e *Engine) Multicast(payload []byte) error {
 	case Total:
 		msg.Flags |= wire.FlagTotalOrder
 	}
-	e.counters.Sent++
+	e.met.sent.Inc()
+	e.rec(flightrec.EvSend, msg.Seq, 0)
 	if e.view.Size() > 1 {
 		// One outgoing copy for all destinations (Env.Send encodes
 		// synchronously); the history copy stays piggyback-free so
@@ -446,6 +543,7 @@ func (e *Engine) Multicast(payload []byte) error {
 				out.Acks = e.ackScratch
 				e.lastGossip = e.env.Now()
 				e.ackDirty = false
+				e.met.piggyAcks.Inc()
 			}
 		}
 		for _, m := range e.view.Members {
@@ -468,7 +566,7 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	switch msg.Kind {
 	case wire.KindData, wire.KindRetrans:
 		if msg.Kind == wire.KindRetrans {
-			e.counters.Retransmits++
+			e.met.retransmits.Inc()
 		}
 		if msg.Flags&wire.FlagPiggyAck != 0 {
 			if msg.View == e.view.ID && e.view.Contains(from) {
@@ -502,7 +600,7 @@ func (e *Engine) routeData(msg *wire.Message) {
 			e.futureBuf = append(e.futureBuf, msg)
 		}
 	default:
-		e.counters.Duplicates++ // stale view: already flushed to us
+		e.met.duplicates.Inc() // stale view: already flushed to us
 	}
 }
 
@@ -540,7 +638,7 @@ func (e *Engine) dispatch(msg *wire.Message) {
 	}
 	switch {
 	case msg.Seq < st.next:
-		e.counters.Duplicates++
+		e.met.duplicates.Inc()
 	case msg.Seq == st.next:
 		e.contiguous(msg, st)
 		st.next++
@@ -555,7 +653,7 @@ func (e *Engine) dispatch(msg *wire.Message) {
 		}
 	default: // gap
 		if _, dup := st.buf[msg.Seq]; dup || st.early[msg.Seq] {
-			e.counters.Duplicates++
+			e.met.duplicates.Inc()
 			return
 		}
 		st.buf[msg.Seq] = msg
@@ -593,7 +691,8 @@ func (e *Engine) contiguous(msg *wire.Message, st *peerState) {
 
 // deliver hands one message to the application.
 func (e *Engine) deliver(msg *wire.Message) {
-	e.counters.Delivered++
+	e.met.delivered.Inc()
+	e.rec(flightrec.EvDeliver, uint64(msg.Sender), msg.Seq)
 	if e.cfg.OnDeliver == nil {
 		return
 	}
@@ -650,7 +749,7 @@ func (e *Engine) sequenceIfMine(key msgKey) {
 	slot := e.seqSlot
 	e.seqSlot++
 	e.orders[slot] = key
-	e.counters.OrdersSent++
+	e.met.ordersSent.Inc()
 	if e.cfg.DisableBatching {
 		e.broadcastOrder(slot, key)
 		return
@@ -747,6 +846,7 @@ func (e *Engine) onNack(from id.Node, msg *wire.Message) {
 	if msg.View != e.view.ID {
 		return
 	}
+	e.rec(flightrec.EvNackRecv, uint64(from), msg.Seq)
 	if msg.Sender == id.None {
 		e.serveOrderRequest(from, msg.Seq)
 		return
@@ -763,6 +863,7 @@ func (e *Engine) onNackBatch(from id.Node, msg *wire.Message) {
 	if err != nil {
 		return
 	}
+	e.rec(flightrec.EvNackRecv, uint64(from), uint64(len(ranges)))
 	for _, r := range ranges {
 		if r.Sender == id.None {
 			e.serveOrderRequest(from, r.From)
@@ -791,7 +892,7 @@ func (e *Engine) serveOrderRequest(from id.Node, fromSlot uint64) {
 					Seq:    key.seq,
 					Aux:    slot,
 				})
-				e.counters.NacksServed++
+				e.met.nacksServed.Inc()
 			}
 		}
 		return
@@ -804,7 +905,7 @@ func (e *Engine) serveOrderRequest(from id.Node, fromSlot uint64) {
 		if key, ok := e.orders[slot]; ok {
 			served++
 			entries = append(entries, wire.OrderEntry{Slot: slot, Sender: key.sender, Seq: key.seq})
-			e.counters.NacksServed++
+			e.met.nacksServed.Inc()
 		}
 	}
 	e.orderScratch = entries
@@ -833,7 +934,8 @@ func (e *Engine) serveRetrans(from id.Node, sender id.Node, fromSeq, toSeq uint6
 		r := *m
 		r.Kind = wire.KindRetrans
 		e.env.Send(from, &r)
-		e.counters.NacksServed++
+		e.met.nacksServed.Inc()
+		e.rec(flightrec.EvRetransmit, uint64(sender), seq)
 	}
 }
 
@@ -954,7 +1056,12 @@ func (e *Engine) OnTick(now time.Time) {
 		// Collect locally too: a singleton view receives no gossip, yet
 		// its history must still drain to empty.
 		e.collectStable()
+		// Stability lag: how many delivered messages are still waiting
+		// for every member's acknowledgment, sampled once per stability
+		// period (after collection, so it measures the residue).
+		e.met.stabilityLag.Observe(float64(len(e.history)))
 	}
+	e.met.historyLen.Set(int64(len(e.history)))
 }
 
 // flushOrders broadcasts the sequencer slots assigned since the last
@@ -1045,7 +1152,8 @@ func (e *Engine) scanOrderGaps(now time.Time) {
 		} else {
 			e.queueNack(m, wire.NackRange{Sender: id.None, From: e.totalNext})
 		}
-		e.counters.NacksSent++
+		e.met.nacksSent.Inc()
+		e.rec(flightrec.EvNackSent, uint64(id.None), e.totalNext)
 	}
 }
 
@@ -1083,12 +1191,15 @@ func (e *Engine) scanGaps(now time.Time) {
 		} else {
 			e.queueNack(n, wire.NackRange{Sender: n, From: st.next, To: st.horizon})
 		}
-		e.counters.NacksSent++
+		e.met.nacksSent.Inc()
+		e.rec(flightrec.EvNackSent, uint64(n), st.next)
 	}
 }
 
 // gossipStability broadcasts this member's ack vector.
 func (e *Engine) gossipStability() {
+	e.met.gossipAcks.Inc()
+	e.rec(flightrec.EvGossip, uint64(len(e.history)), 0)
 	e.ackScratch = e.appendAckRows(e.ackScratch[:0])
 	e.bodyScratch = wire.AppendAckVector(e.bodyScratch[:0], e.ackScratch)
 	msg := wire.Message{

@@ -26,10 +26,12 @@ import (
 	"time"
 
 	"scalamedia/internal/fec"
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/frag"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/proto"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -248,6 +250,10 @@ type Config struct {
 	// OnPlay receives frames at their playout points, in timestamp
 	// order. Called from the event loop.
 	OnPlay func(f media.Frame, playedAt time.Time)
+	// Metrics, when non-nil, receives live media counters (media.*).
+	Metrics *stats.Registry
+	// Flight, when non-nil, records late frames and playout drops.
+	Flight *flightrec.Recorder
 }
 
 // pending is one buffered frame awaiting playout.
@@ -295,6 +301,14 @@ type Receiver struct {
 	lastSender  id.Node
 
 	stats Stats
+
+	// Live metric counters, resolved once in NewReceiver; mirrors of the
+	// Stats fields for the runtime registry (nil registry = standalone).
+	mRecv      *stats.Counter
+	mPlayed    *stats.Counter
+	mLate      *stats.Counter
+	mLost      *stats.Counter
+	mRecovered *stats.Counter
 }
 
 var _ proto.Handler = (*Receiver)(nil)
@@ -316,6 +330,18 @@ func NewReceiver(env proto.Env, cfg Config) *Receiver {
 		spurtDelay: cfg.PlayoutDelay,
 		nextSeq:    1,
 		seen:       make(map[uint64]bool),
+		mRecv:      &stats.Counter{},
+		mPlayed:    &stats.Counter{},
+		mLate:      &stats.Counter{},
+		mLost:      &stats.Counter{},
+		mRecovered: &stats.Counter{},
+	}
+	if cfg.Metrics != nil {
+		r.mRecv = cfg.Metrics.Counter("media.frames_recv")
+		r.mPlayed = cfg.Metrics.Counter("media.frames_played")
+		r.mLate = cfg.Metrics.Counter("media.late_frames")
+		r.mLost = cfg.Metrics.Counter("media.frames_lost")
+		r.mRecovered = cfg.Metrics.Counter("media.fec_recovered")
 	}
 	if cfg.FECBlock > 0 {
 		// An invalid block size disables FEC rather than failing the
@@ -405,6 +431,7 @@ func (r *Receiver) injectRecovered(seq uint64, unit []byte) {
 		return
 	}
 	r.stats.Recovered++
+	r.mRecovered.Inc()
 	r.processMedia(&wire.Message{
 		Kind:    wire.KindMedia,
 		Flags:   flags,
@@ -446,6 +473,7 @@ func (r *Receiver) processMedia(msg *wire.Message) {
 		r.base = now.Add(-capture)
 	}
 	r.stats.Received++
+	r.mRecv.Inc()
 
 	// Sequence accounting for loss measurement.
 	switch {
@@ -453,6 +481,7 @@ func (r *Receiver) processMedia(msg *wire.Message) {
 		r.nextSeq++
 	case msg.Seq > r.nextSeq:
 		r.stats.Lost += msg.Seq - r.nextSeq
+		r.mLost.Add(msg.Seq - r.nextSeq)
 		r.nextSeq = msg.Seq + 1
 	default:
 		// Very late duplicate or reordering below the horizon.
@@ -500,7 +529,14 @@ func (r *Receiver) processMedia(msg *wire.Message) {
 
 	playAt := r.base.Add(capture + r.spurtDelay + r.syncOffset)
 	if playAt.Before(now) {
+		// A late frame is dropped at playout — the receive-side cost the
+		// paper's adaptive playout is tuned to minimize.
 		r.stats.Late++
+		r.mLate.Inc()
+		if r.cfg.Flight != nil {
+			r.cfg.Flight.Record(uint64(r.lastSender), now.UnixMilli(),
+				flightrec.EvPlayoutDrop, uint64(msg.Stream), msg.Seq)
+		}
 		return
 	}
 	f := media.Frame{
@@ -549,6 +585,7 @@ func (r *Receiver) OnTick(now time.Time) {
 		}
 		played++
 		r.stats.Played++
+		r.mPlayed.Inc()
 		if r.cfg.OnPlay != nil {
 			r.cfg.OnPlay(p.frame, p.playAt)
 		}

@@ -41,6 +41,6 @@ func runSessionChaos(t *testing.T, seed int64) {
 	if v := tr.Violations(); len(v) > 0 {
 		t.Error(chaos.FailureReport(
 			fmt.Sprintf("go test ./internal/session -run TestSessionChaos -session.chaos.seed=%d", seed),
-			tr.Schedule, v))
+			tr.Schedule, v, tr.Flight))
 	}
 }

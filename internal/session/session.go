@@ -20,11 +20,13 @@ import (
 	"time"
 
 	"scalamedia/internal/core"
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -108,6 +110,12 @@ type Config struct {
 	// PrimaryPartition forwards the membership majority rule; see
 	// member.Config.PrimaryPartition.
 	PrimaryPartition bool
+
+	// Metrics, when non-nil, receives live counters from every layer of
+	// the stack plus the session directory (session.*).
+	Metrics *stats.Registry
+	// Flight, when non-nil, records protocol events from every layer.
+	Flight *flightrec.Recorder
 }
 
 // session-control opcodes, carried as the first payload byte of
@@ -134,6 +142,11 @@ type Engine struct {
 
 	directory map[id.Stream]Announcement
 	prevView  member.View
+
+	// Live session-directory counters, resolved once in New.
+	mAnnounces *stats.Counter
+	mWithdraws *stats.Counter
+	mMessages  *stats.Counter
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -144,9 +157,17 @@ func New(env proto.Env, cfg Config) *Engine {
 		cfg.Ordering = rmcast.Causal
 	}
 	e := &Engine{
-		env:       env,
-		cfg:       cfg,
-		directory: make(map[id.Stream]Announcement),
+		env:        env,
+		cfg:        cfg,
+		directory:  make(map[id.Stream]Announcement),
+		mAnnounces: &stats.Counter{},
+		mWithdraws: &stats.Counter{},
+		mMessages:  &stats.Counter{},
+	}
+	if cfg.Metrics != nil {
+		e.mAnnounces = cfg.Metrics.Counter("session.streams_announced")
+		e.mWithdraws = cfg.Metrics.Counter("session.streams_withdrawn")
+		e.mMessages = cfg.Metrics.Counter("session.messages_recv")
 	}
 	e.stack = core.NewStack(env, core.Config{
 		Group:            cfg.Group,
@@ -159,6 +180,8 @@ func New(env proto.Env, cfg Config) *Engine {
 		ResendAfter:      cfg.ResendAfter,
 		StabilizeEvery:   cfg.StabilizeEvery,
 		PrimaryPartition: cfg.PrimaryPartition,
+		Metrics:          cfg.Metrics,
+		Flight:           cfg.Flight,
 		OnView:           e.onView,
 		OnDeliver:        e.onDeliver,
 		OnEvicted:        e.onEvicted,
@@ -322,6 +345,7 @@ func (e *Engine) onDeliver(d rmcast.Delivery) {
 	op, body := d.Payload[0], d.Payload[1:]
 	switch op {
 	case opData:
+		e.mMessages.Inc()
 		e.emit(Event{Kind: MessageReceived, Node: d.Sender, Payload: body, View: e.stack.View()})
 	case opAnnounce:
 		a, err := decodeAnnouncement(body)
@@ -329,6 +353,7 @@ func (e *Engine) onDeliver(d rmcast.Delivery) {
 			return // malformed or spoofed announcement
 		}
 		e.directory[a.Spec.ID] = a
+		e.mAnnounces.Inc()
 		e.emit(Event{Kind: StreamAnnounced, Node: d.Sender, Stream: a, View: e.stack.View()})
 	case opWithdraw:
 		if len(body) < 4 {
@@ -340,6 +365,7 @@ func (e *Engine) onDeliver(d rmcast.Delivery) {
 			return
 		}
 		delete(e.directory, sid)
+		e.mWithdraws.Inc()
 		e.emit(Event{Kind: StreamWithdrawn, Node: d.Sender, Stream: a, View: e.stack.View()})
 	}
 }

@@ -1,6 +1,13 @@
 // Package stats provides the lightweight measurement primitives used by the
-// protocol layers and the experiment harness: counters, duration histograms
-// with percentile queries, and time series for figure rendering.
+// protocol layers and the experiment harness: counters, gauges, duration
+// histograms with percentile queries, and time series for figure rendering.
+//
+// Two usage profiles share these types. The offline experiment harness wants
+// exact percentiles and does not care about memory (runs are bounded); the
+// runtime telemetry layer wants a hard memory bound and lock-free hot paths.
+// The zero-value Histogram retains every sample (exact mode); histograms
+// created through Registry.Histogram use a bounded reservoir. Counter and
+// Gauge are single atomic words, cheap enough for the rmcast data path.
 //
 // All types are safe for concurrent use unless noted otherwise.
 package stats
@@ -10,49 +17,115 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing concurrent counter.
-// The zero value is ready to use.
+// Counter is a monotonically increasing concurrent counter backed by a
+// single atomic word: an Inc on the data path is one uncontended atomic
+// add, no lock and no allocation. The zero value is ready to use.
 type Counter struct {
-	mu sync.Mutex
-	n  uint64
+	n atomic.Uint64
 }
 
 // Add increments the counter by delta.
-func (c *Counter) Add(delta uint64) {
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
-}
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a concurrent instantaneous value (queue depth, buffered frames,
+// history size). Unlike Counter it may move in both directions. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
 }
 
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc increments the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultReservoir is the sample bound used by registry histograms.
+const DefaultReservoir = 1024
+
 // Histogram accumulates float64 samples and answers summary queries.
-// The zero value is ready to use. Samples are retained individually so
-// percentiles are exact; experiments are bounded so memory is not a concern.
+//
+// The zero value retains every sample so percentiles are exact — the right
+// mode for bounded experiment runs. NewReservoirHistogram caps the retained
+// samples with uniform reservoir sampling (Vitter's algorithm R) so a
+// histogram on a long-lived node uses bounded memory; count, sum, min and
+// max stay exact in either mode, only percentiles become estimates.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 	sum     float64
+
+	// Reservoir mode. limit == 0 means exact (retain everything).
+	limit int
+	seen  uint64 // total observations, ≥ len(samples) in reservoir mode
+	min   float64
+	max   float64
+	rng   uint64 // xorshift state for reservoir replacement
+}
+
+// NewReservoirHistogram returns a histogram that retains at most limit
+// samples via uniform reservoir sampling. A limit <= 0 selects
+// DefaultReservoir.
+func NewReservoirHistogram(limit int) *Histogram {
+	if limit <= 0 {
+		limit = DefaultReservoir
+	}
+	return &Histogram{limit: limit, rng: 0x9e3779b97f4a7c15}
+}
+
+// nextRand is a xorshift64* step; callers hold h.mu. A private generator
+// keeps reservoir contents deterministic for a given observation order
+// (important under the seeded simulator) and avoids locking math/rand.
+func (h *Histogram) nextRand() uint64 {
+	x := h.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	h.rng = x
+	return x * 0x2545f4914f6cdd1d
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.seen++
+	if h.seen == 1 || v < h.min {
+		h.min = v
+	}
+	if h.seen == 1 || v > h.max {
+		h.max = v
+	}
 	h.sum += v
+	if h.limit > 0 && len(h.samples) >= h.limit {
+		// Algorithm R: replace a random slot with probability limit/seen.
+		if idx := h.nextRand() % h.seen; idx < uint64(h.limit) {
+			h.samples[idx] = v
+			h.sorted = false
+		}
+	} else {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
@@ -61,25 +134,25 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(float64(d) / float64(time.Millisecond))
 }
 
-// Count returns the number of samples recorded.
+// Count returns the number of samples observed (not the number retained).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.seen)
 }
 
 // Mean returns the arithmetic mean, or 0 for an empty histogram.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.seen)
 }
 
-// StdDev returns the population standard deviation, or 0 with fewer than
-// two samples.
+// StdDev returns the population standard deviation of the retained samples,
+// or 0 with fewer than two samples.
 func (h *Histogram) StdDev() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -87,7 +160,11 @@ func (h *Histogram) StdDev() float64 {
 	if n < 2 {
 		return 0
 	}
-	mean := h.sum / float64(n)
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	mean := sum / float64(n)
 	var ss float64
 	for _, v := range h.samples {
 		d := v - mean
@@ -104,8 +181,9 @@ func (h *Histogram) sortLocked() {
 	}
 }
 
-// Percentile returns the p-th percentile (0 < p <= 100) using nearest-rank,
-// or 0 for an empty histogram.
+// Percentile returns the p-th percentile (0 < p <= 100) using nearest-rank
+// over the retained samples, or 0 for an empty histogram. Exact in exact
+// mode; an unbiased estimate in reservoir mode.
 func (h *Histogram) Percentile(p float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -124,26 +202,24 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.samples[rank-1]
 }
 
-// Min returns the smallest sample, or 0 for an empty histogram.
+// Min returns the smallest sample ever observed, or 0 for an empty histogram.
 func (h *Histogram) Min() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	h.sortLocked()
-	return h.samples[0]
+	return h.min
 }
 
-// Max returns the largest sample, or 0 for an empty histogram.
+// Max returns the largest sample ever observed, or 0 for an empty histogram.
 func (h *Histogram) Max() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	h.sortLocked()
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
 // CDF returns (value, cumulative fraction) pairs at the given resolution,
@@ -215,11 +291,35 @@ func (s *Series) Points() (xs, ys []float64) {
 	return xs, ys
 }
 
-// Registry is a named collection of counters and histograms, one per node
-// or per protocol instance. The zero value is not usable; call NewRegistry.
+// HistogramSummary is the point-in-time digest of one histogram, as it
+// appears in a registry snapshot.
+type HistogramSummary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Counters
+// and gauges are read with single atomic loads, so a snapshot taken while
+// writers are running is cheap and never blocks the hot path; it is not a
+// single consistent cut across metrics (each value is individually atomic).
+type Snapshot struct {
+	Counters   map[string]uint64           `json:"counters"`
+	Gauges     map[string]int64            `json:"gauges"`
+	Histograms map[string]HistogramSummary `json:"histograms"`
+}
+
+// Registry is a named collection of counters, gauges and histograms, one
+// per node or per protocol instance. Lookup takes the registry lock;
+// engines cache the returned pointers at construction so the data path
+// touches only the atomics. The zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -227,6 +327,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -243,14 +344,27 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the histogram with the given name, creating it on first
-// use.
+// use. Registry histograms use a bounded reservoir (DefaultReservoir
+// samples) so a long-lived node's registry has a hard memory bound.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
-		h = &Histogram{}
+		h = NewReservoirHistogram(DefaultReservoir)
 		r.histograms[name] = h
 	}
 	return h
@@ -266,4 +380,51 @@ func (r *Registry) CounterNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Snapshot returns a point-in-time copy of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	counterNames := make([]string, 0, len(r.counters))
+	for n, c := range r.counters {
+		counterNames = append(counterNames, n)
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gaugeNames = append(gaugeNames, n)
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	histNames := make([]string, 0, len(r.histograms))
+	for n, h := range r.histograms {
+		histNames = append(histNames, n)
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSummary, len(hists)),
+	}
+	for i, c := range counters {
+		snap.Counters[counterNames[i]] = c.Value()
+	}
+	for i, g := range gauges {
+		snap.Gauges[gaugeNames[i]] = g.Value()
+	}
+	for i, h := range hists {
+		snap.Histograms[histNames[i]] = HistogramSummary{
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Percentile(50),
+			P99:   h.Percentile(99),
+			Min:   h.Min(),
+			Max:   h.Max(),
+		}
+	}
+	return snap
 }

@@ -175,6 +175,133 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewReservoirHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count() = %d, want 10000 (observation count must stay exact)", h.Count())
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained != 64 {
+		t.Fatalf("retained %d samples, want 64 (reservoir must be bounded)", retained)
+	}
+	if h.Min() != 0 || h.Max() != 9999 {
+		t.Fatalf("min/max = %g/%g, want 0/9999 (extremes stay exact)", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean != 4999.5 {
+		t.Fatalf("Mean() = %g, want 4999.5 (sum stays exact)", mean)
+	}
+	// The reservoir is a uniform sample, so the median estimate should land
+	// well inside the bulk of the 0..9999 range.
+	if p50 := h.Percentile(50); p50 < 1500 || p50 > 8500 {
+		t.Fatalf("reservoir p50 = %g, implausible for uniform 0..9999", p50)
+	}
+}
+
+func TestRegistryHistogramIsBounded(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("runtime")
+	for i := 0; i < 3*DefaultReservoir; i++ {
+		h.Observe(float64(i))
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained > DefaultReservoir {
+		t.Fatalf("registry histogram retained %d samples, want <= %d", retained, DefaultReservoir)
+	}
+}
+
+// TestRegistrySnapshotWhileWriting hammers a registry from writer
+// goroutines while snapshots are taken concurrently; under -race this
+// exercises the claim that snapshots never block or trip the hot path.
+func TestRegistrySnapshotWhileWriting(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	names := []string{"rmcast.sent", "rmcast.delivered", "transport.bytes"}
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			c := r.Counter(name)
+			g := r.Gauge(name + ".gauge")
+			h := r.Histogram(name + ".lat")
+			c.Inc()
+			h.Observe(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i % 100))
+			}
+		}(name)
+	}
+	// New-metric registration racing with snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter(names[i%len(names)] + ".extra").Inc()
+		}
+	}()
+
+	var last Snapshot
+	for i := 0; i < 200; i++ {
+		last = r.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+
+	final := r.Snapshot()
+	for _, name := range names {
+		if final.Counters[name] == 0 {
+			t.Fatalf("counter %q absent from snapshot", name)
+		}
+		if final.Counters[name] < last.Counters[name] {
+			t.Fatalf("counter %q went backwards: %d then %d",
+				name, last.Counters[name], final.Counters[name])
+		}
+		if final.Histograms[name+".lat"].Count == 0 {
+			t.Fatalf("histogram %q absent from snapshot", name+".lat")
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Add(5)
+	snap := r.Snapshot()
+	r.Counter("x").Add(5)
+	if snap.Counters["x"] != 5 {
+		t.Fatalf("snapshot mutated after the fact: %d", snap.Counters["x"])
+	}
+}
+
 func TestRegistryConcurrentAccess(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

@@ -193,27 +193,41 @@ func (f *Fabric) scheduleDelivery(from id.Node, dst *inprocEndpoint, sb *sharedB
 		if closed {
 			return
 		}
-		msg, err := wire.Decode(*sb.buf)
-		if err != nil {
-			return // corrupt datagrams vanish, as on a real network
-		}
-		dst.enqueue(Inbound{From: from, Msg: msg})
+		deliverNow(from, dst, sb)
 	})
 }
 
-// deliverNow hands one zero-delay copy straight to the destination queue on
-// the sender's goroutine, avoiding a per-datagram goroutine. Called with no
-// locks held; enqueue drops on a closed or full endpoint.
+// deliverNow decodes one copy through the message pool and hands it to the
+// destination queue; for zero-delay copies this runs on the sender's
+// goroutine, avoiding a per-datagram goroutine. Called with no locks held.
+// The pooled message is released on decode errors and queue drops; once
+// queued the receiving stack owns it.
 func deliverNow(from id.Node, dst *inprocEndpoint, sb *sharedBuf) {
-	msg, err := wire.Decode(*sb.buf)
-	if err != nil {
+	m := dst.load()
+	msg := wire.GetMessage()
+	if err := wire.DecodeInto(msg, *sb.buf); err != nil {
+		wire.PutMessage(msg)
+		if m != nil {
+			m.decodeErrs.Inc()
+		}
+		return // corrupt datagrams vanish, as on a real network
+	}
+	if !dst.enqueue(Inbound{From: from, Msg: msg}) {
+		wire.PutMessage(msg)
+		if m != nil {
+			m.queueDrops.Inc()
+		}
 		return
 	}
-	dst.enqueue(Inbound{From: from, Msg: msg})
+	if m != nil {
+		m.recvd.Inc()
+		m.bytesRecvd.Add(uint64(len(*sb.buf)))
+	}
 }
 
 // inprocEndpoint is one node's attachment to a Fabric.
 type inprocEndpoint struct {
+	metricsRef
 	fabric *Fabric
 	self   id.Node
 	recv   chan Inbound
@@ -237,6 +251,10 @@ func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
 	msg.From = e.self
 	sb := getSharedBuf()
 	*sb.buf = msg.Encode((*sb.buf)[:0])
+	if m := e.load(); m != nil {
+		m.sent.Inc()
+		m.bytesSent.Add(uint64(len(*sb.buf)))
+	}
 
 	// Decide drops, duplication and delays under the fabric lock, then
 	// deliver with no locks held so zero-delay copies can run inline.
@@ -287,17 +305,20 @@ func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
 }
 
 // enqueue adds a datagram to the receive queue, dropping it when the queue
-// is full or the endpoint is closed (UDP semantics).
-func (e *inprocEndpoint) enqueue(in Inbound) {
+// is full or the endpoint is closed (UDP semantics). It reports whether the
+// datagram was queued so the caller can release pooled storage on a drop.
+func (e *inprocEndpoint) enqueue(in Inbound) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return
+		return false
 	}
 	select {
 	case e.recv <- in:
+		return true
 	default:
 		// Queue overflow: drop, like a full socket buffer.
+		return false
 	}
 }
 

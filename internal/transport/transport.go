@@ -15,8 +15,10 @@ package transport
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"scalamedia/internal/id"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -51,6 +53,50 @@ type Endpoint interface {
 	// idempotent.
 	Close() error
 }
+
+// Instrumented is implemented by endpoints that can report datagram
+// traffic into a metrics registry. SetMetrics may be called at any time,
+// including while the endpoint is active; passing nil disables reporting.
+type Instrumented interface {
+	SetMetrics(reg *stats.Registry)
+}
+
+// epMetrics caches the per-endpoint counter pointers so the datagram path
+// pays one atomic pointer load plus plain atomic adds — no registry map
+// lookups per packet.
+type epMetrics struct {
+	sent       *stats.Counter // datagrams transmitted
+	recvd      *stats.Counter // datagrams decoded and queued
+	bytesSent  *stats.Counter
+	bytesRecvd *stats.Counter
+	decodeErrs *stats.Counter // malformed datagrams discarded
+	queueDrops *stats.Counter // receive-queue overflow drops
+}
+
+// newEpMetrics registers the transport counter set on reg, or returns nil
+// for a nil registry.
+func newEpMetrics(reg *stats.Registry) *epMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &epMetrics{
+		sent:       reg.Counter("transport.datagrams_sent"),
+		recvd:      reg.Counter("transport.datagrams_recv"),
+		bytesSent:  reg.Counter("transport.bytes_sent"),
+		bytesRecvd: reg.Counter("transport.bytes_recv"),
+		decodeErrs: reg.Counter("transport.decode_errors"),
+		queueDrops: reg.Counter("transport.queue_drops"),
+	}
+}
+
+// metricsRef is the atomic holder embedded in each endpoint so SetMetrics
+// can race with active send/receive loops.
+type metricsRef struct {
+	p atomic.Pointer[epMetrics]
+}
+
+func (m *metricsRef) SetMetrics(reg *stats.Registry) { m.p.Store(newEpMetrics(reg)) }
+func (m *metricsRef) load() *epMetrics               { return m.p.Load() }
 
 // Errors common to all endpoint implementations.
 var (

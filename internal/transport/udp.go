@@ -19,6 +19,7 @@ const maxDatagram = 64 * 1024
 // session-distributed address maps; there is no discovery protocol at this
 // layer). UDPEndpoint is safe for concurrent use.
 type UDPEndpoint struct {
+	metricsRef
 	self id.Node
 	conn *net.UDPConn
 	recv chan Inbound
@@ -102,6 +103,10 @@ func (e *UDPEndpoint) Send(to id.Node, msg *wire.Message) error {
 	if _, err := e.conn.WriteToUDP(buf, addr); err != nil {
 		return fmt.Errorf("udp write to %s: %w", to, err)
 	}
+	if m := e.load(); m != nil {
+		m.sent.Inc()
+		m.bytesSent.Add(uint64(len(buf)))
+	}
 	return nil
 }
 
@@ -124,7 +129,9 @@ func (e *UDPEndpoint) Close() error {
 }
 
 // readLoop pumps datagrams from the socket into the receive queue until the
-// socket closes.
+// socket closes. Decoding goes through the message pool: the pooled message
+// is released on the decode-error and queue-overflow paths; once queued the
+// protocol stack owns it (engines retain delivered messages in history).
 func (e *UDPEndpoint) readLoop() {
 	defer close(e.done)
 	buf := make([]byte, maxDatagram)
@@ -133,14 +140,27 @@ func (e *UDPEndpoint) readLoop() {
 		if err != nil {
 			return // socket closed or fatally broken
 		}
-		msg, err := wire.Decode(buf[:n])
-		if err != nil {
+		m := e.load()
+		msg := wire.GetMessage()
+		if err := wire.DecodeInto(msg, buf[:n]); err != nil {
+			wire.PutMessage(msg)
+			if m != nil {
+				m.decodeErrs.Inc()
+			}
 			continue // malformed datagrams vanish
 		}
 		select {
 		case e.recv <- Inbound{From: msg.From, Msg: msg}:
+			if m != nil {
+				m.recvd.Inc()
+				m.bytesRecvd.Add(uint64(n))
+			}
 		default:
 			// Queue overflow: drop, like a full socket buffer.
+			wire.PutMessage(msg)
+			if m != nil {
+				m.queueDrops.Inc()
+			}
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package wire
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Buffer and message pools for the data-plane hot path. Transports encode
 // into pooled byte slices and decode into pooled Messages so steady-state
@@ -13,10 +16,41 @@ import "sync"
 // so the pool stays sized for the steady state.
 const maxPooledBuf = 64 * 1024
 
+// Pool telemetry: gets count every acquisition, misses count the subset
+// that fell through to the New func (a fresh allocation). Hit rate is
+// (gets-misses)/gets. Plain atomics keep the counters off the sync.Pool
+// fast path's critical section.
+var (
+	bufGets   atomic.Uint64
+	bufMisses atomic.Uint64
+	msgGets   atomic.Uint64
+	msgMisses atomic.Uint64
+)
+
+// PoolCounters is a point-in-time reading of the wire pools' traffic.
+type PoolCounters struct {
+	BufGets   uint64
+	BufMisses uint64
+	MsgGets   uint64
+	MsgMisses uint64
+}
+
+// PoolStats returns cumulative get/miss counts for the buffer and message
+// pools since process start. A miss is a Get served by a fresh allocation.
+func PoolStats() PoolCounters {
+	return PoolCounters{
+		BufGets:   bufGets.Load(),
+		BufMisses: bufMisses.Load(),
+		MsgGets:   msgGets.Load(),
+		MsgMisses: msgMisses.Load(),
+	}
+}
+
 // bufPool holds *[]byte (not []byte) so Put does not allocate an
 // interface box for the slice header.
 var bufPool = sync.Pool{
 	New: func() any {
+		bufMisses.Add(1)
 		b := make([]byte, 0, 2048)
 		return &b
 	},
@@ -25,6 +59,7 @@ var bufPool = sync.Pool{
 // GetBuf returns a pooled byte slice with length 0. Release it with
 // PutBuf once no reader can still hold it.
 func GetBuf() *[]byte {
+	bufGets.Add(1)
 	b := bufPool.Get().(*[]byte)
 	*b = (*b)[:0]
 	return b
@@ -40,13 +75,17 @@ func PutBuf(b *[]byte) {
 }
 
 var msgPool = sync.Pool{
-	New: func() any { return &Message{} },
+	New: func() any {
+		msgMisses.Add(1)
+		return &Message{}
+	},
 }
 
 // GetMessage returns a pooled Message ready for DecodeInto. The message
 // keeps the TS/Body/Acks capacity of its previous use, so a steady
 // decode loop stops allocating once warm.
 func GetMessage() *Message {
+	msgGets.Add(1)
 	return msgPool.Get().(*Message)
 }
 

@@ -1,9 +1,9 @@
-// Package trace provides the deterministic workload generators used by
+// Package workload provides the deterministic workload generators used by
 // the experiment harness: seeded random distributions, Poisson arrival
 // processes and synthetic message payloads. Everything is reproducible
 // from a seed, which is what lets EXPERIMENTS.md quote exact measured
 // numbers.
-package trace
+package workload
 
 import (
 	"math"

@@ -1,0 +1,155 @@
+package scalamedia
+
+// Runtime observability for a live Node: point-in-time metric snapshots,
+// the flight-recorder timeline, and an opt-in HTTP endpoint exposing
+// both alongside expvar and pprof. See DESIGN.md §7.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"scalamedia/internal/flightrec"
+	"scalamedia/internal/stats"
+	"scalamedia/internal/wire"
+)
+
+// Observability re-exports. As with the protocol aliases, these keep the
+// public API self-contained.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered
+	// counter, gauge and histogram.
+	MetricsSnapshot = stats.Snapshot
+	// HistogramSummary summarizes one histogram in a snapshot.
+	HistogramSummary = stats.HistogramSummary
+	// FlightEvent is one entry of the flight-recorder timeline.
+	FlightEvent = flightrec.Event
+)
+
+// Snapshot returns a consistent point-in-time copy of the node's metrics:
+// every layer of the stack (rmcast.*, member.*, session.*, media.*,
+// msync.*, transport.*) plus the process-wide wire pool counters
+// (wire.pool.*, with hit rate = (gets-misses)/gets). The snapshot is a
+// copy; mutating it does not affect the live registry.
+func (n *Node) Snapshot() MetricsSnapshot {
+	snap := n.reg.Snapshot()
+	p := wire.PoolStats()
+	snap.Counters["wire.pool.buf_gets"] = p.BufGets
+	snap.Counters["wire.pool.buf_misses"] = p.BufMisses
+	snap.Counters["wire.pool.msg_gets"] = p.MsgGets
+	snap.Counters["wire.pool.msg_misses"] = p.MsgMisses
+	return snap
+}
+
+// Timeline returns the flight recorder's retained events, oldest first.
+// The ring is fixed-size, so only the most recent events survive under
+// sustained load.
+func (n *Node) Timeline() []FlightEvent {
+	return n.flight.Dump()
+}
+
+// expvar publication. expvar's namespace is process-global, so all nodes
+// share one "scalamedia" var mapping node ID to snapshot; the var is
+// published once and reads the live node set on each evaluation.
+var (
+	expvarOnce  sync.Once
+	expvarMu    sync.Mutex
+	expvarNodes = make(map[*Node]bool)
+)
+
+func expvarRegister(n *Node) {
+	expvarMu.Lock()
+	expvarNodes[n] = true
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("scalamedia", expvar.Func(func() any {
+			expvarMu.Lock()
+			nodes := make([]*Node, 0, len(expvarNodes))
+			for node := range expvarNodes {
+				nodes = append(nodes, node)
+			}
+			expvarMu.Unlock()
+			out := make(map[string]MetricsSnapshot, len(nodes))
+			for _, node := range nodes {
+				out[node.cfg.Self.String()] = node.Snapshot()
+			}
+			return out
+		}))
+	})
+}
+
+func expvarUnregister(n *Node) {
+	expvarMu.Lock()
+	delete(expvarNodes, n)
+	expvarMu.Unlock()
+}
+
+// metricsServer is the opt-in HTTP observability endpoint.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts an HTTP server on addr (":0" picks a port) serving
+//
+//	/metrics        node metrics snapshot as JSON
+//	/timeline       flight-recorder timeline as JSON
+//	/debug/vars     expvar (includes the "scalamedia" per-node map)
+//	/debug/pprof/*  runtime profiles
+//
+// It returns the bound address. The server stops when the node closes.
+// Config.MetricsAddr calls this from Start; use the method directly to
+// attach the endpoint to an already-running node.
+func (n *Node) ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("metrics listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.Snapshot())
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(n.Timeline())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ms := &metricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return "", ErrClosed
+	}
+	n.msrv = ms
+	n.mu.Unlock()
+
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// MetricsAddr returns the bound address of the metrics endpoint, or ""
+// when none is serving.
+func (n *Node) MetricsAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.msrv == nil {
+		return ""
+	}
+	return n.msrv.ln.Addr().String()
+}

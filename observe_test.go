@@ -1,0 +1,131 @@
+package scalamedia
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSnapshotCoversLayers checks Node.Snapshot returns live counters
+// from every instrumented layer after real group traffic: transport
+// datagrams, rmcast sends and deliveries, membership view installs, the
+// session message counter and the wire pool figures.
+func TestSnapshotCoversLayers(t *testing.T) {
+	a, b, _, logB := startFabricPair(t)
+	waitFor(t, "view of size 2", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+	if err := a.Send([]byte("measured")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "message at b", func() bool { return logB.count(MessageReceived) > 0 })
+
+	snap := a.Snapshot()
+	for _, name := range []string{
+		"transport.datagrams_sent",
+		"transport.datagrams_recv",
+		"rmcast.sent",
+		"rmcast.delivered",
+		"member.views_installed",
+		"session.messages_recv",
+		"wire.pool.buf_gets",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q is zero or missing; counters: %v", name, snap.Counters)
+		}
+	}
+	if _, ok := snap.Gauges["rmcast.history_len"]; !ok {
+		t.Error("gauge rmcast.history_len missing")
+	}
+	if len(a.Timeline()) == 0 {
+		t.Error("flight recorder empty after group traffic")
+	}
+}
+
+// TestMetricsEndpoint is the HTTP smoke test scripts/check.sh runs: boot
+// a node with MetricsAddr, GET /metrics, and check the JSON decodes into
+// a snapshot carrying live counters. /timeline and /debug/vars must also
+// respond.
+func TestMetricsEndpoint(t *testing.T) {
+	a, b, _, _ := startFabricPair(t)
+	waitFor(t, "view of size 2", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+	addr, err := a.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MetricsAddr(); got != addr {
+		t.Fatalf("MetricsAddr() = %q, want %q", got, addr)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := client.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return body
+	}
+
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not snapshot JSON: %v", err)
+	}
+	if snap.Counters["transport.datagrams_sent"] == 0 {
+		t.Error("/metrics shows no datagrams sent")
+	}
+
+	var events []FlightEvent
+	if err := json.Unmarshal(get("/timeline"), &events); err != nil {
+		t.Fatalf("/timeline is not event JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("/timeline is empty after view formation")
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["scalamedia"]; !ok {
+		t.Error(`/debug/vars missing the "scalamedia" per-node map`)
+	}
+
+	// The endpoint dies with the node.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("metrics endpoint still serving after Close")
+	}
+}
+
+// TestMetricsAddrInConfig checks the Start-time opt-in path and that a
+// bad address fails Start cleanly.
+func TestMetricsAddrInConfig(t *testing.T) {
+	n, err := Start(Config{Self: 9, ListenAddr: "127.0.0.1:0", Group: 3,
+		MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.MetricsAddr() == "" {
+		t.Fatal("Config.MetricsAddr did not start the endpoint")
+	}
+	if _, err := Start(Config{Self: 10, ListenAddr: "127.0.0.1:0", Group: 3,
+		MetricsAddr: "256.0.0.1:bad"}); err == nil {
+		t.Fatal("bad MetricsAddr accepted")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/member"
@@ -51,6 +52,7 @@ import (
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/rtx"
 	"scalamedia/internal/session"
+	"scalamedia/internal/stats"
 	"scalamedia/internal/transport"
 	"scalamedia/internal/wire"
 )
@@ -171,6 +173,14 @@ type Config struct {
 	// Failure-detection timing (zero = defaults).
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
+
+	// MetricsAddr, when nonempty, serves the HTTP observability
+	// endpoint on that address (":0" picks a port; read it back with
+	// MetricsAddr). See ServeMetrics for the routes.
+	MetricsAddr string
+	// FlightRecorderSize overrides the flight-recorder ring capacity
+	// (rounded up to a power of two; zero means the 4096 default).
+	FlightRecorderSize int
 }
 
 // Node is one live participant: a transport endpoint, an event loop and
@@ -184,9 +194,12 @@ type Node struct {
 	sess   *session.Engine
 	mux    *proto.Mux
 	admit  *qos.Controller
+	reg    *stats.Registry
+	flight *flightrec.Recorder
 
 	mu      sync.Mutex
 	closed  bool
+	msrv    *metricsServer
 	senders []*MediaSender
 	waiters []*viewWaiter
 }
@@ -202,7 +215,11 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Self == 0 {
 		return nil, errors.New("scalamedia: Config.Self must be nonzero")
 	}
-	n := &Node{cfg: cfg}
+	n := &Node{
+		cfg:    cfg,
+		reg:    stats.NewRegistry(),
+		flight: flightrec.New(cfg.FlightRecorderSize),
+	}
 	if cfg.Endpoint != nil {
 		n.ep = cfg.Endpoint
 	} else {
@@ -226,6 +243,9 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.MediaCapacity > 0 {
 		n.admit = qos.NewController(cfg.MediaCapacity)
 	}
+	if inst, ok := n.ep.(transport.Instrumented); ok {
+		inst.SetMetrics(n.reg)
+	}
 
 	var opts []noderun.Option
 	if cfg.Tick > 0 {
@@ -239,11 +259,20 @@ func Start(cfg Config) (*Node, error) {
 			PrimaryPartition: cfg.PrimaryPartition,
 			HeartbeatEvery:   cfg.HeartbeatEvery,
 			SuspectAfter:     cfg.SuspectAfter,
+			Metrics:          n.reg,
+			Flight:           n.flight,
 			OnEvent:          n.onEvent,
 		})
 		n.mux = proto.NewMux(n.sess)
 		return n.mux
 	}, opts...)
+	expvarRegister(n)
+	if cfg.MetricsAddr != "" {
+		if _, err := n.ServeMetrics(cfg.MetricsAddr); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
 	return n, nil
 }
 
@@ -396,7 +425,13 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
+	msrv := n.msrv
+	n.msrv = nil
 	n.mu.Unlock()
+	expvarUnregister(n)
+	if msrv != nil {
+		msrv.srv.Close()
+	}
 	n.runner.Stop()
 	if err := n.ep.Close(); err != nil {
 		return fmt.Errorf("close transport: %w", err)
@@ -540,6 +575,8 @@ func (n *Node) OpenReceiver(cfg ReceiverConfig) (*MediaReceiver, error) {
 			PlayoutDelay: cfg.PlayoutDelay,
 			FECBlock:     cfg.FECBlock,
 			Reassemble:   cfg.Reassemble,
+			Metrics:      n.reg,
+			Flight:       n.flight,
 			OnPlay: func(f Frame, at time.Time) {
 				if mr.syncFn != nil {
 					mr.syncFn(f, at)
@@ -590,7 +627,11 @@ func (n *Node) Synchronize(maxSkew time.Duration, master *MediaReceiver, slaves 
 		for i, s := range slaves {
 			recvs[i] = s.recv
 		}
-		sg.ctl = msync.New(msync.Config{MaxSkew: maxSkew}, master.recv, recvs...)
+		sg.ctl = msync.New(msync.Config{
+			MaxSkew: maxSkew,
+			Metrics: n.reg,
+			Flight:  n.flight,
+		}, master.recv, recvs...)
 		master.syncFn = sg.ctl.ObserveMaster
 		for i, s := range slaves {
 			i := i

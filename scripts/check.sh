@@ -25,4 +25,7 @@ go test -race -short ./...
 echo "==> short chaos sweep"
 go test -short -count=1 ./internal/chaos
 
+echo "==> /metrics endpoint smoke test"
+go test -count=1 -run 'TestMetricsEndpoint' .
+
 echo "All checks passed."
