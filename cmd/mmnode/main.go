@@ -55,6 +55,10 @@ func run() int {
 	contact := flag.Uint64("contact", 0, "node ID to join through (0 bootstraps)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /timeline, /debug/vars and /debug/pprof on this address (empty disables)")
+	udpBatch := flag.Int("udp-batch", 0,
+		"max datagrams per recvmmsg/sendmmsg syscall (0 = transport default, 1 = portable single-datagram path)")
+	udpDecodeWorkers := flag.Int("udp-decode-workers", 0,
+		"UDP decode pool size (0 = transport default, 1 preserves arrival order)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping id=addr (repeatable)")
 	flag.Parse()
@@ -71,6 +75,9 @@ func run() int {
 		Contact:     scalamedia.NodeID(*contact),
 		Peers:       peers,
 		MetricsAddr: *metricsAddr,
+
+		UDPBatch:         *udpBatch,
+		UDPDecodeWorkers: *udpDecodeWorkers,
 		OnEvent: func(ev scalamedia.Event) {
 			switch ev.Kind {
 			case scalamedia.MessageReceived:

@@ -5,6 +5,7 @@ import (
 
 	"scalamedia/internal/flightrec"
 	"scalamedia/internal/stats"
+	"scalamedia/internal/transport"
 	"scalamedia/internal/wire"
 )
 
@@ -17,6 +18,11 @@ func BenchmarkRmcastMulticast(b *testing.B) {
 }
 
 func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
+
+func BenchmarkUDPThroughput(b *testing.B) {
+	b.Run("batch", func(b *testing.B) { UDPThroughput(b, transport.DefaultBatch) })
+	b.Run("fallback", func(b *testing.B) { UDPThroughput(b, 1) })
+}
 
 // TestRmcastEncodeZeroAlloc pins the acceptance bar directly: encoding an
 // engine-produced steady-state data message into a pooled buffer must not

@@ -364,6 +364,21 @@ func (n *simNode) Send(to id.Node, msg *wire.Message) {
 	n.sim.send(n.self, to, msg)
 }
 
+// SendBatch and Flush present the same batch surface as the live
+// transports (see transport.BatchSender). Under virtual time they are
+// the identity: every Send within one handler activation already
+// departs at the same virtual instant, so coalescing cannot change a
+// delivery time or an event order. Keeping the surface here means
+// engine code and drivers written against BatchSender behave
+// identically under simulation and live.
+func (n *simNode) SendBatch(to id.Node, msg *wire.Message) error {
+	n.Send(to, msg)
+	return nil
+}
+
+// Flush is a no-op under virtual time; see SendBatch.
+func (n *simNode) Flush() error { return nil }
+
 // tick delivers OnTick and reschedules itself while the node is up.
 func (n *simNode) tick() {
 	if !n.up {

@@ -3,6 +3,15 @@
 // goroutine per node reads datagrams and a ticker, and dispatches both
 // into the node's proto.Handler, preserving the engines' single-threaded
 // execution model.
+//
+// When the endpoint implements transport.BatchSender, the runner routes
+// every Env.Send through SendBatch and flushes once per event-loop
+// iteration — after each OnTick, after each burst of OnMessage
+// deliveries, and after each injected call. Everything an engine emits
+// during one activation (retransmissions, NACK batches, relay envelopes,
+// sequencer order slots) therefore leaves the socket in as few syscalls
+// as the transport can manage, without the engines knowing batching
+// exists.
 package noderun
 
 import (
@@ -18,9 +27,17 @@ import (
 // DefaultTick is the protocol tick cadence used when none is configured.
 const DefaultTick = 10 * time.Millisecond
 
+// maxBurst bounds how many queued inbound messages one loop iteration
+// dispatches before flushing and re-checking the ticker and stop
+// channels. It matches the transport batch scale: one iteration absorbs
+// about one recvmmsg's worth of datagrams, flushes the replies once,
+// and stays responsive to ticks.
+const maxBurst = 64
+
 // Runner executes one node's protocol stack on a real transport endpoint.
 type Runner struct {
 	ep   transport.Endpoint
+	bs   transport.BatchSender // non-nil when ep supports send batching
 	tick time.Duration
 
 	handler proto.Handler
@@ -42,7 +59,13 @@ func (e env) Now() time.Time { return time.Now() }
 func (e env) Send(to id.Node, msg *wire.Message) {
 	// Best-effort datagram semantics: local errors (closed endpoint,
 	// unknown peer during reconfiguration) are equivalent to loss, and
-	// the reliability layer recovers.
+	// the reliability layer recovers. On a batching endpoint the send is
+	// queued; the event loop flushes at the end of the current
+	// activation.
+	if e.r.bs != nil {
+		_ = e.r.bs.SendBatch(to, msg)
+		return
+	}
 	_ = e.r.ep.Send(to, msg)
 }
 
@@ -68,6 +91,9 @@ func Start(ep transport.Endpoint, build func(envp proto.Env) proto.Handler, opts
 		calls:    make(chan func(), 1),
 		stopping: make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if bs, ok := ep.(transport.BatchSender); ok {
+		r.bs = bs
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -113,7 +139,17 @@ func (r *Runner) Stop() {
 	<-r.done
 }
 
-// loop is the node's single-threaded event loop.
+// flush drains the endpoint's send queue once per loop iteration.
+func (r *Runner) flush() {
+	if r.bs != nil {
+		_ = r.bs.Flush()
+	}
+}
+
+// loop is the node's single-threaded event loop. Each iteration handles
+// one event — or one bounded burst of inbound messages — and then
+// flushes the transport's send queue exactly once, so all datagrams an
+// activation produced coalesce.
 func (r *Runner) loop() {
 	defer close(r.done)
 	ticker := time.NewTicker(r.tick)
@@ -127,10 +163,32 @@ func (r *Runner) loop() {
 				return
 			}
 			r.handler.OnMessage(in.From, in.Msg)
+			// Absorb the rest of the burst that arrived with it, then
+			// flush once for all of it.
+			open := true
+		burst:
+			for i := 1; i < maxBurst; i++ {
+				select {
+				case in, ok = <-r.ep.Recv():
+					if !ok {
+						open = false
+						break burst
+					}
+					r.handler.OnMessage(in.From, in.Msg)
+				default:
+					break burst
+				}
+			}
+			r.flush()
+			if !open {
+				return
+			}
 		case now := <-ticker.C:
 			r.handler.OnTick(now)
+			r.flush()
 		case f := <-r.calls:
 			f()
+			r.flush()
 		}
 	}
 }

@@ -234,19 +234,72 @@ type inprocEndpoint struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	sendMu  sync.Mutex
+	pending []pendingSend
 }
 
-var _ Endpoint = (*inprocEndpoint)(nil)
+// pendingSend is one encoded datagram queued by SendBatch for the next
+// Flush.
+type pendingSend struct {
+	to id.Node
+	sb *sharedBuf
+}
+
+var (
+	_ Endpoint    = (*inprocEndpoint)(nil)
+	_ BatchSender = (*inprocEndpoint)(nil)
+)
 
 func (e *inprocEndpoint) Self() id.Node        { return e.self }
 func (e *inprocEndpoint) Recv() <-chan Inbound { return e.recv }
 
 func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
+	sb, err := e.encode(msg)
+	if err != nil {
+		return err
+	}
+	return e.transmit(to, sb)
+}
+
+// SendBatch encodes the message now (the caller may reuse it) and queues
+// the datagram; it traverses the fabric on the next Flush. This mirrors
+// the live UDP endpoint: a tick's sends leave together, after the
+// handler activation that produced them returns.
+func (e *inprocEndpoint) SendBatch(to id.Node, msg *wire.Message) error {
+	sb, err := e.encode(msg)
+	if err != nil {
+		return err
+	}
+	e.sendMu.Lock()
+	e.pending = append(e.pending, pendingSend{to: to, sb: sb})
+	e.sendMu.Unlock()
+	return nil
+}
+
+// Flush sends every queued datagram through the fabric, in queue order.
+func (e *inprocEndpoint) Flush() error {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	var err error
+	for i, p := range e.pending {
+		if terr := e.transmit(p.to, p.sb); terr != nil && err == nil {
+			err = terr
+		}
+		e.pending[i] = pendingSend{}
+	}
+	e.pending = e.pending[:0]
+	return err
+}
+
+// encode prepares one outgoing datagram in a shared pooled buffer and
+// counts it as sent.
+func (e *inprocEndpoint) encode(msg *wire.Message) (*sharedBuf, error) {
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	msg.From = e.self
 	sb := getSharedBuf()
@@ -255,7 +308,12 @@ func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
 		m.sent.Inc()
 		m.bytesSent.Add(uint64(len(*sb.buf)))
 	}
+	return sb, nil
+}
 
+// transmit carries one encoded datagram across the fabric, consuming the
+// caller's reference on sb.
+func (e *inprocEndpoint) transmit(to id.Node, sb *sharedBuf) error {
 	// Decide drops, duplication and delays under the fabric lock, then
 	// deliver with no locks held so zero-delay copies can run inline.
 	f := e.fabric
@@ -330,12 +388,24 @@ func (e *inprocEndpoint) Close() error {
 	if alreadyClosed {
 		return nil
 	}
+	e.dropPending()
 	f := e.fabric
 	f.mu.Lock()
 	delete(f.endpoints, e.self)
 	f.mu.Unlock()
 	close(e.recv)
 	return nil
+}
+
+// dropPending releases datagrams queued by SendBatch but never flushed.
+func (e *inprocEndpoint) dropPending() {
+	e.sendMu.Lock()
+	for i, p := range e.pending {
+		p.sb.release()
+		e.pending[i] = pendingSend{}
+	}
+	e.pending = e.pending[:0]
+	e.sendMu.Unlock()
 }
 
 // closeQueue is used by Fabric.Close after all deliveries have drained.
@@ -345,6 +415,7 @@ func (e *inprocEndpoint) closeQueue() {
 	e.closed = true
 	e.mu.Unlock()
 	if !alreadyClosed {
+		e.dropPending()
 		close(e.recv)
 	}
 }

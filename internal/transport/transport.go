@@ -61,6 +61,32 @@ type Instrumented interface {
 	SetMetrics(reg *stats.Registry)
 }
 
+// BatchSender is implemented by endpoints that can coalesce several
+// outgoing datagrams into fewer transmissions (on Linux UDP, one sendmmsg
+// syscall per Flush). SendBatch encodes and queues one message without
+// transmitting it; Flush transmits everything queued since the previous
+// Flush, preserving queue order on the local side. The message passed to
+// SendBatch is fully consumed before SendBatch returns — callers may
+// reuse or mutate it immediately, exactly as with Send.
+//
+// The event loop in internal/noderun uses this surface when available:
+// every send an engine performs during one OnMessage/OnTick activation is
+// queued, and the loop flushes once at the end of the activation, so a
+// tick's worth of retransmissions, NACK batches, relay envelopes and
+// sequencer slots leaves the socket together. An endpoint may also flush
+// on its own when the queue reaches its batch capacity, so SendBatch
+// never queues without bound. Implementations must keep Send working
+// independently: a plain Send transmits immediately and never waits for
+// a Flush.
+type BatchSender interface {
+	// SendBatch queues one message for transmission on the next Flush.
+	// Errors are local, as for Send.
+	SendBatch(to id.Node, msg *wire.Message) error
+	// Flush transmits every queued message. It returns the first local
+	// error encountered; network loss is silent either way.
+	Flush() error
+}
+
 // epMetrics caches the per-endpoint counter pointers so the datagram path
 // pays one atomic pointer load plus plain atomic adds — no registry map
 // lookups per packet.
@@ -71,6 +97,10 @@ type epMetrics struct {
 	bytesRecvd *stats.Counter
 	decodeErrs *stats.Counter // malformed datagrams discarded
 	queueDrops *stats.Counter // receive-queue overflow drops
+	rxDropped  *stats.Counter // raw datagrams dropped before decode
+	syscallsRx *stats.Counter // receive syscalls (UDP endpoints)
+	syscallsTx *stats.Counter // transmit syscalls (UDP endpoints)
+	batchFill  *stats.Histogram // datagrams moved per batched syscall
 }
 
 // newEpMetrics registers the transport counter set on reg, or returns nil
@@ -86,6 +116,10 @@ func newEpMetrics(reg *stats.Registry) *epMetrics {
 		bytesRecvd: reg.Counter("transport.bytes_recv"),
 		decodeErrs: reg.Counter("transport.decode_errors"),
 		queueDrops: reg.Counter("transport.queue_drops"),
+		rxDropped:  reg.Counter("transport.rx_dropped"),
+		syscallsRx: reg.Counter("transport.syscalls_rx"),
+		syscallsTx: reg.Counter("transport.syscalls_tx"),
+		batchFill:  reg.Histogram("transport.batch_fill"),
 	}
 }
 

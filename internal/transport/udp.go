@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"scalamedia/internal/id"
 	"scalamedia/internal/wire"
@@ -14,28 +15,105 @@ import (
 // Messages must fit in one datagram; the media layer fragments above this.
 const maxDatagram = 64 * 1024
 
+// Batched-I/O defaults. DefaultBatch is the number of datagrams one
+// recvmmsg/sendmmsg syscall moves at most; DefaultDecodeWorkers is the
+// size of the decode pool between the socket reader and the receive
+// queue. Two workers keep decode off the reader's critical path without
+// oversubscribing small hosts; one worker preserves arrival order.
+const (
+	DefaultBatch         = 32
+	DefaultDecodeWorkers = 2
+)
+
+// socketBuffer is the SO_RCVBUF/SO_SNDBUF size requested for every UDP
+// endpoint. Kernel skb truesize (~2KB per small datagram) means the
+// ~200KB Linux default absorbs under a hundred in-flight datagrams —
+// less than three coalesced batches of media traffic.
+const socketBuffer = 4 * 1024 * 1024
+
+// UDPOption configures a UDPEndpoint at listen time.
+type UDPOption func(*UDPEndpoint)
+
+// WithBatchSize sets the maximum datagrams coalesced into one
+// recvmmsg/sendmmsg syscall (default DefaultBatch). A size of one
+// disables batched syscalls entirely and selects the portable
+// single-datagram path — the two paths are byte-identical on the wire,
+// so this is the ablation/fallback knob, not a behaviour change.
+func WithBatchSize(n int) UDPOption {
+	return func(e *UDPEndpoint) {
+		if n > 0 {
+			e.batch = n
+		}
+	}
+}
+
+// WithDecodeWorkers sets the number of goroutines decoding raw datagrams
+// into wire messages (default DefaultDecodeWorkers). More than one
+// worker can reorder datagrams — including two from the same peer — on
+// the way to Recv; every protocol layer already tolerates UDP
+// reordering, but tests that assert exact arrival order should pass 1,
+// which preserves the socket's delivery order end to end.
+func WithDecodeWorkers(n int) UDPOption {
+	return func(e *UDPEndpoint) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// peerMap is the copy-on-write peer address table. Readers load the
+// current map through an atomic pointer and never lock; AddPeer copies.
+type peerMap = map[id.Node]*net.UDPAddr
+
+// outDatagram is one encoded, address-resolved datagram waiting in the
+// send queue for the next Flush.
+type outDatagram struct {
+	buf  *[]byte
+	addr *net.UDPAddr
+}
+
 // UDPEndpoint is an Endpoint over a real UDP socket. Peers are registered
 // explicitly with AddPeer (the architecture's deployments use static or
 // session-distributed address maps; there is no discovery protocol at this
 // layer). UDPEndpoint is safe for concurrent use.
+//
+// The receive path is a two-stage pipeline: a reader goroutine moves raw
+// datagrams off the socket (recvmmsg on Linux, one recvfrom elsewhere)
+// into pooled buffers, and a small worker pool decodes them into the
+// receive queue. The send path queues datagrams per endpoint and drains
+// the queue in one sendmmsg per Flush (see BatchSender); plain Send
+// still transmits immediately.
 type UDPEndpoint struct {
 	metricsRef
 	self id.Node
 	conn *net.UDPConn
 	recv chan Inbound
 
-	mu     sync.Mutex
-	peers  map[id.Node]*net.UDPAddr
-	closed bool
+	batch   int
+	workers int
+	mb      *udpBatcher // nil: portable single-datagram syscalls
 
-	done chan struct{} // closed when the reader goroutine exits
+	peers  atomic.Pointer[peerMap]
+	peerMu sync.Mutex // serializes AddPeer copy-on-write updates
+
+	closed atomic.Bool
+
+	sendMu sync.Mutex
+	sendQ  []outDatagram
+
+	decodeq    chan *[]byte
+	readerDone chan struct{} // closed when the reader goroutine exits
+	workerWG   sync.WaitGroup
 }
 
-var _ Endpoint = (*UDPEndpoint)(nil)
+var (
+	_ Endpoint    = (*UDPEndpoint)(nil)
+	_ BatchSender = (*UDPEndpoint)(nil)
+)
 
 // ListenUDP opens a UDP endpoint for node on the given local address
 // (for example "127.0.0.1:0").
-func ListenUDP(node id.Node, addr string) (*UDPEndpoint, error) {
+func ListenUDP(node id.Node, addr string, opts ...UDPOption) (*UDPEndpoint, error) {
 	laddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("resolve %q: %w", addr, err)
@@ -44,16 +122,49 @@ func ListenUDP(node id.Node, addr string) (*UDPEndpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("listen %q: %w", addr, err)
 	}
+	// Default socket buffers (~200KB on Linux) hold only a few dozen
+	// datagrams of kernel skb truesize; a coalesced media burst
+	// overflows them long before payload bytes suggest it should. Ask
+	// for enough to absorb several full send batches on each side;
+	// best-effort, the kernel clamps to its rmem_max/wmem_max.
+	_ = conn.SetReadBuffer(socketBuffer)
+	_ = conn.SetWriteBuffer(socketBuffer)
 	e := &UDPEndpoint{
-		self:  node,
-		conn:  conn,
-		recv:  make(chan Inbound, RecvQueue),
-		peers: make(map[id.Node]*net.UDPAddr),
-		done:  make(chan struct{}),
+		self:       node,
+		conn:       conn,
+		recv:       make(chan Inbound, RecvQueue),
+		batch:      DefaultBatch,
+		workers:    DefaultDecodeWorkers,
+		readerDone: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	pm := make(peerMap)
+	e.peers.Store(&pm)
+	// The decode stage buffers a few syscall batches of raw datagrams;
+	// past that the reader drops (and counts) instead of blocking, so a
+	// slow decode never backs up into the socket buffer unobserved. The
+	// floor keeps the portable path (batch == 1) from dropping ordinary
+	// bursts that the kernel socket buffer would have absorbed.
+	depth := 4 * e.batch
+	if depth < 4*DefaultBatch {
+		depth = 4 * DefaultBatch
+	}
+	e.decodeq = make(chan *[]byte, depth)
+	e.mb = newBatcher(conn, e.batch)
+	for i := 0; i < e.workers; i++ {
+		e.workerWG.Add(1)
+		go e.decodeLoop()
 	}
 	go e.readLoop()
 	return e, nil
 }
+
+// BatchIO reports whether the endpoint uses batched recvmmsg/sendmmsg
+// syscalls (true on Linux unless WithBatchSize(1) selected the portable
+// path).
+func (e *UDPEndpoint) BatchIO() bool { return e.mb != nil }
 
 // LocalAddr returns the bound socket address, useful with port 0.
 func (e *UDPEndpoint) LocalAddr() *net.UDPAddr {
@@ -61,16 +172,32 @@ func (e *UDPEndpoint) LocalAddr() *net.UDPAddr {
 	return addr
 }
 
-// AddPeer registers the UDP address for a remote node.
+// AddPeer registers the UDP address for a remote node. The peer table is
+// copy-on-write: concurrent senders read it with one atomic load and
+// never contend on a lock.
 func (e *UDPEndpoint) AddPeer(node id.Node, addr string) error {
 	uaddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return fmt.Errorf("resolve peer %q: %w", addr, err)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.peers[node] = uaddr
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+	old := *e.peers.Load()
+	next := make(peerMap, len(old)+1)
+	for n, a := range old {
+		next[n] = a
+	}
+	next[node] = uaddr
+	e.peers.Store(&next)
 	return nil
+}
+
+// lookupPeer resolves a node to its registered address without locking.
+func (e *UDPEndpoint) lookupPeer(to id.Node) (*net.UDPAddr, error) {
+	if addr, ok := (*e.peers.Load())[to]; ok {
+		return addr, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 }
 
 // Self returns the local node ID.
@@ -79,48 +206,145 @@ func (e *UDPEndpoint) Self() id.Node { return e.self }
 // Recv returns the receive queue.
 func (e *UDPEndpoint) Recv() <-chan Inbound { return e.recv }
 
-// Send transmits one message as a single datagram.
-func (e *UDPEndpoint) Send(to id.Node, msg *wire.Message) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return ErrClosed
+// encode resolves the destination and encodes msg into a pooled buffer.
+// On success the caller owns the returned buffer.
+func (e *UDPEndpoint) encode(to id.Node, msg *wire.Message) (*[]byte, *net.UDPAddr, error) {
+	if e.closed.Load() {
+		return nil, nil, ErrClosed
 	}
-	addr, ok := e.peers[to]
-	e.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	addr, err := e.lookupPeer(to)
+	if err != nil {
+		return nil, nil, err
 	}
 	msg.From = e.self
 	bp := wire.GetBuf()
-	defer wire.PutBuf(bp)
 	*bp = msg.Encode((*bp)[:0])
-	buf := *bp
-	if len(buf) > maxDatagram {
-		return fmt.Errorf("transport: message %d bytes exceeds datagram limit %d",
-			len(buf), maxDatagram)
+	if len(*bp) > maxDatagram {
+		n := len(*bp)
+		wire.PutBuf(bp)
+		return nil, nil, fmt.Errorf("transport: message %d bytes exceeds datagram limit %d",
+			n, maxDatagram)
 	}
-	if _, err := e.conn.WriteToUDP(buf, addr); err != nil {
+	return bp, addr, nil
+}
+
+// Send transmits one message as a single datagram, immediately.
+func (e *UDPEndpoint) Send(to id.Node, msg *wire.Message) error {
+	bp, addr, err := e.encode(to, msg)
+	if err != nil {
+		return err
+	}
+	defer wire.PutBuf(bp)
+	if _, err := e.conn.WriteToUDP(*bp, addr); err != nil {
 		return fmt.Errorf("udp write to %s: %w", to, err)
 	}
 	if m := e.load(); m != nil {
 		m.sent.Inc()
-		m.bytesSent.Add(uint64(len(buf)))
+		m.bytesSent.Add(uint64(len(*bp)))
+		m.syscallsTx.Inc()
+		m.batchFill.Observe(1)
 	}
 	return nil
 }
 
-// Close shuts the socket and waits for the reader goroutine to exit.
-func (e *UDPEndpoint) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+// SendBatch queues one message for the next Flush. When the queue
+// reaches the batch size it flushes early, so the queue is bounded by
+// one syscall's worth of datagrams.
+func (e *UDPEndpoint) SendBatch(to id.Node, msg *wire.Message) error {
+	bp, addr, err := e.encode(to, msg)
+	if err != nil {
+		return err
+	}
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	if e.closed.Load() {
+		wire.PutBuf(bp)
+		return ErrClosed
+	}
+	e.sendQ = append(e.sendQ, outDatagram{buf: bp, addr: addr})
+	if len(e.sendQ) >= e.batch {
+		return e.flushLocked()
+	}
+	return nil
+}
+
+// Flush transmits every queued datagram, coalescing into as few
+// syscalls as the platform allows.
+func (e *UDPEndpoint) Flush() error {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	return e.flushLocked()
+}
+
+// flushLocked drains the send queue; callers hold sendMu. Every pooled
+// buffer is released before return, on success and on every error path.
+func (e *UDPEndpoint) flushLocked() error {
+	q := e.sendQ
+	if len(q) == 0 {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
+	m := e.load()
+	var err error
+	if e.closed.Load() {
+		err = ErrClosed
+	} else if e.mb != nil {
+		var sent int
+		var fills []float64
+		sent, fills, err = e.mb.sendBatch(q)
+		if m != nil {
+			m.sent.Add(uint64(sent))
+			m.syscallsTx.Add(uint64(len(fills)))
+			for _, f := range fills {
+				m.batchFill.Observe(f)
+			}
+			for _, d := range q[:sent] {
+				m.bytesSent.Add(uint64(len(*d.buf)))
+			}
+		}
+	} else {
+		for _, d := range q {
+			if _, werr := e.conn.WriteToUDP(*d.buf, d.addr); werr != nil {
+				if err == nil {
+					err = werr
+				}
+				continue
+			}
+			if m != nil {
+				m.sent.Inc()
+				m.bytesSent.Add(uint64(len(*d.buf)))
+				m.syscallsTx.Inc()
+				m.batchFill.Observe(1)
+			}
+		}
+	}
+	for i := range q {
+		wire.PutBuf(q[i].buf)
+		q[i] = outDatagram{} // drop references so the pool can recycle
+	}
+	e.sendQ = q[:0]
+	return err
+}
+
+// Close shuts the socket and waits for the reader and decode goroutines
+// to exit. Close is idempotent.
+func (e *UDPEndpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	err := e.conn.Close()
-	<-e.done
+	<-e.readerDone
+	close(e.decodeq)
+	e.workerWG.Wait()
+	// Drop anything still queued for send; the buffers go back to the
+	// pool, the datagrams are lost exactly as the network could lose
+	// them.
+	e.sendMu.Lock()
+	for i := range e.sendQ {
+		wire.PutBuf(e.sendQ[i].buf)
+		e.sendQ[i] = outDatagram{}
+	}
+	e.sendQ = e.sendQ[:0]
+	e.sendMu.Unlock()
 	close(e.recv)
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return fmt.Errorf("close udp socket: %w", err)
@@ -128,21 +352,112 @@ func (e *UDPEndpoint) Close() error {
 	return nil
 }
 
-// readLoop pumps datagrams from the socket into the receive queue until the
-// socket closes. Decoding goes through the message pool: the pooled message
-// is released on the decode-error and queue-overflow paths; once queued the
-// protocol stack owns it (engines retain delivered messages in history).
+// rxBuf returns a pooled buffer grown to hold any datagram, with length
+// maxDatagram so the whole capacity is readable by the socket layer.
+func rxBuf() *[]byte {
+	bp := wire.GetBuf()
+	if cap(*bp) < maxDatagram {
+		*bp = make([]byte, maxDatagram)
+	} else {
+		*bp = (*bp)[:maxDatagram]
+	}
+	return bp
+}
+
+// dispatchRaw hands one raw datagram to the decode stage, dropping (and
+// counting) it when the stage is backed up — the bounded-queue behaviour
+// of a kernel socket buffer, observable instead of silent.
+func (e *UDPEndpoint) dispatchRaw(bp *[]byte) {
+	select {
+	case e.decodeq <- bp:
+	default:
+		wire.PutBuf(bp)
+		if m := e.load(); m != nil {
+			m.rxDropped.Inc()
+		}
+	}
+}
+
+// readLoop pumps raw datagrams from the socket into the decode stage
+// until the socket closes.
 func (e *UDPEndpoint) readLoop() {
-	defer close(e.done)
-	buf := make([]byte, maxDatagram)
+	defer close(e.readerDone)
+	if e.mb != nil {
+		e.batchReadLoop()
+		return
+	}
+	e.simpleReadLoop()
+}
+
+// simpleReadLoop is the portable path: one datagram per syscall.
+func (e *UDPEndpoint) simpleReadLoop() {
 	for {
-		n, _, err := e.conn.ReadFromUDP(buf)
+		bp := rxBuf()
+		// ReadFromUDPAddrPort keeps the source address on the stack;
+		// ReadFromUDP would heap-allocate a *net.UDPAddr per datagram
+		// that nothing reads (From comes from the wire header).
+		n, _, err := e.conn.ReadFromUDPAddrPort(*bp)
+		if err != nil {
+			wire.PutBuf(bp)
+			return // socket closed or fatally broken
+		}
+		if m := e.load(); m != nil {
+			m.syscallsRx.Inc()
+			m.batchFill.Observe(1)
+		}
+		*bp = (*bp)[:n]
+		e.dispatchRaw(bp)
+	}
+}
+
+// batchReadLoop reads up to e.batch datagrams per recvmmsg wakeup, each
+// into its own pooled buffer. Buffer slots consumed by a batch are
+// refilled from the pool before the next syscall; slots the batch did
+// not fill are reused as-is, so the steady state allocates nothing.
+func (e *UDPEndpoint) batchReadLoop() {
+	bufs := make([]*[]byte, e.batch)
+	defer func() {
+		for _, bp := range bufs {
+			if bp != nil {
+				wire.PutBuf(bp)
+			}
+		}
+	}()
+	for {
+		for i := range bufs {
+			if bufs[i] == nil {
+				bufs[i] = rxBuf()
+			}
+		}
+		n, err := e.mb.recvBatch(bufs)
 		if err != nil {
 			return // socket closed or fatally broken
 		}
+		if m := e.load(); m != nil {
+			m.syscallsRx.Inc()
+			m.batchFill.Observe(float64(n))
+		}
+		for i := 0; i < n; i++ {
+			e.dispatchRaw(bufs[i])
+			bufs[i] = nil
+		}
+	}
+}
+
+// decodeLoop is one decode worker: it turns raw datagrams into pooled
+// wire messages and queues them for the protocol stack. Every early
+// return releases the pooled buffer and message; once a message is
+// queued the stack owns it (engines retain delivered messages in
+// history).
+func (e *UDPEndpoint) decodeLoop() {
+	defer e.workerWG.Done()
+	for bp := range e.decodeq {
 		m := e.load()
 		msg := wire.GetMessage()
-		if err := wire.DecodeInto(msg, buf[:n]); err != nil {
+		err := wire.DecodeInto(msg, *bp)
+		n := len(*bp)
+		wire.PutBuf(bp)
+		if err != nil {
 			wire.PutMessage(msg)
 			if m != nil {
 				m.decodeErrs.Inc()

@@ -1,0 +1,236 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched datagram syscalls for the UDP endpoint: recvmmsg moves up to a
+// full batch of datagrams into pooled buffers per wakeup, sendmmsg
+// drains the endpoint's send queue in one call. Everything is stdlib:
+// the socket's netpoller integration comes from net.UDPConn.SyscallConn
+// (the raw Read/Write callbacks park on EAGAIN exactly like the net
+// package's own I/O), and the syscalls themselves are raw
+// syscall.Syscall6 invocations with per-arch numbers (udp_sysnum_*.go) —
+// the syscall package predates sendmmsg on amd64.
+//
+// The mmsghdr, iovec and sockaddr arrays are allocated once per endpoint
+// and refilled in place, so a steady-state batch performs zero heap
+// allocations. The wire bytes are exactly what the portable
+// single-datagram path produces; only the syscall count differs.
+
+package transport
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// mmsghdr mirrors the kernel's struct mmsghdr: one msghdr plus the
+// kernel-written datagram length. Go pads the struct to the same 64
+// bytes (amd64/arm64) as C does.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// udpBatcher owns the pre-allocated syscall scratch state for one
+// endpoint. recvBatch is called only from the endpoint's reader
+// goroutine and sendBatch only under the endpoint's send lock, so the
+// rx and tx halves each have a single caller and need no locking.
+type udpBatcher struct {
+	rc    syscall.RawConn
+	sock6 bool // the socket is AF_INET6 (v4 destinations get mapped)
+
+	// Receive scratch; written by recvBatch, read by rawRecv.
+	rxHdrs []mmsghdr
+	rxIovs []syscall.Iovec
+	rxVlen int
+	rxN    int
+	rxErr  error
+	rxFn   func(fd uintptr) bool // bound once; avoids a closure per call
+
+	// Send scratch; written by sendBatch, read by rawSend.
+	txHdrs  []mmsghdr
+	txIovs  []syscall.Iovec
+	txNames []syscall.RawSockaddrInet6
+	txVlen  int
+	txN     int
+	txFills []float64 // datagrams moved per syscall, for batch_fill
+	txErr   error
+	txFn    func(fd uintptr) bool
+}
+
+// newBatcher returns the platform batcher for conn, or nil when batch
+// I/O is disabled (batch <= 1) or the raw socket is unavailable.
+func newBatcher(conn *net.UDPConn, batch int) *udpBatcher {
+	if batch <= 1 {
+		return nil
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	laddr, _ := conn.LocalAddr().(*net.UDPAddr)
+	b := &udpBatcher{
+		rc:      rc,
+		sock6:   laddr == nil || laddr.IP.To4() == nil,
+		rxHdrs:  make([]mmsghdr, batch),
+		rxIovs:  make([]syscall.Iovec, batch),
+		txHdrs:  make([]mmsghdr, batch),
+		txIovs:  make([]syscall.Iovec, batch),
+		txNames: make([]syscall.RawSockaddrInet6, batch),
+		txFills: make([]float64, 0, batch),
+	}
+	b.rxFn = b.rawRecv
+	b.txFn = b.rawSend
+	return b
+}
+
+// recvBatch fills up to len(bufs) datagrams in one recvmmsg syscall,
+// blocking on the netpoller until at least one arrives. Each received
+// buffer's length is set to its datagram size. It returns the number of
+// datagrams received; a non-nil error means the socket is closed or
+// fatally broken.
+func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
+	n := len(bufs)
+	if n > len(b.rxHdrs) {
+		n = len(b.rxHdrs)
+	}
+	for i := 0; i < n; i++ {
+		buf := *bufs[i]
+		b.rxIovs[i] = syscall.Iovec{Base: &buf[0], Len: uint64(len(buf))}
+		h := &b.rxHdrs[i]
+		*h = mmsghdr{}
+		h.hdr.Iov = &b.rxIovs[i]
+		h.hdr.Iovlen = 1
+		// Name stays nil: the sender's address is unused — the wire
+		// header carries the protocol-level From.
+	}
+	b.rxVlen, b.rxN, b.rxErr = n, 0, nil
+	if err := b.rc.Read(b.rxFn); err != nil {
+		return 0, err
+	}
+	if b.rxErr != nil {
+		return 0, b.rxErr
+	}
+	for i := 0; i < b.rxN; i++ {
+		*bufs[i] = (*bufs[i])[:b.rxHdrs[i].n]
+	}
+	return b.rxN, nil
+}
+
+// rawRecv performs the recvmmsg syscall on the raw fd. Returning false
+// parks the goroutine on the netpoller until the socket is readable.
+func (b *udpBatcher) rawRecv(fd uintptr) bool {
+	for {
+		r, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&b.rxHdrs[0])), uintptr(b.rxVlen), 0, 0, 0)
+		switch errno {
+		case 0:
+			b.rxN = int(r)
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			b.rxErr = errno
+			return true
+		}
+	}
+}
+
+// sendBatch transmits q, coalescing up to the batch size per sendmmsg
+// syscall. It returns the number of datagrams handed to the kernel and
+// the per-syscall fill counts (whose length is the syscall count). The
+// returned fills slice is scratch, valid until the next call. Errors on
+// individual datagrams skip that datagram, matching the per-datagram
+// WriteToUDP semantics of the portable path; the first such error is
+// returned after the rest of the queue has been attempted.
+func (b *udpBatcher) sendBatch(q []outDatagram) (int, []float64, error) {
+	b.txFills = b.txFills[:0]
+	sent := 0
+	var firstErr error
+	for off := 0; off < len(q); {
+		n := len(q) - off
+		if n > len(b.txHdrs) {
+			n = len(b.txHdrs)
+		}
+		for i, d := range q[off : off+n] {
+			buf := *d.buf
+			b.txIovs[i] = syscall.Iovec{Base: &buf[0], Len: uint64(len(buf))}
+			h := &b.txHdrs[i]
+			*h = mmsghdr{}
+			h.hdr.Name = (*byte)(unsafe.Pointer(&b.txNames[i]))
+			h.hdr.Namelen = putSockaddr(&b.txNames[i], d.addr, b.sock6)
+			h.hdr.Iov = &b.txIovs[i]
+			h.hdr.Iovlen = 1
+		}
+		b.txVlen, b.txN, b.txErr = n, 0, nil
+		if err := b.rc.Write(b.txFn); err != nil {
+			return sent, b.txFills, err
+		}
+		sent += b.txN
+		if b.txErr != nil && firstErr == nil {
+			firstErr = b.txErr
+		}
+		off += n
+	}
+	return sent, b.txFills, firstErr
+}
+
+// rawSend drains the current chunk with as few sendmmsg calls as the
+// socket buffer allows. Returning false parks on the netpoller until
+// writable. A datagram the kernel rejects outright (the syscall fails
+// with no progress) is skipped so one bad address cannot wedge the
+// queue.
+func (b *udpBatcher) rawSend(fd uintptr) bool {
+	skipped := 0
+	for b.txN+skipped < b.txVlen {
+		r, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+			uintptr(unsafe.Pointer(&b.txHdrs[b.txN+skipped])),
+			uintptr(b.txVlen-b.txN-skipped), 0, 0, 0)
+		switch errno {
+		case 0:
+			b.txN += int(r)
+			b.txFills = append(b.txFills, float64(r))
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			if b.txErr == nil {
+				b.txErr = errno
+			}
+			skipped++
+		}
+	}
+	return true
+}
+
+// putSockaddr writes addr into raw in kernel sockaddr layout and returns
+// the sockaddr length for msg_namelen. On an AF_INET6 socket a v4
+// destination becomes a v4-mapped v6 address, mirroring what the net
+// package's dual-stack write path does.
+func putSockaddr(raw *syscall.RawSockaddrInet6, addr *net.UDPAddr, sock6 bool) uint32 {
+	// sa_port is in network byte order; amd64/arm64 are little-endian,
+	// so swap.
+	port := uint16(addr.Port)
+	bePort := port<<8 | port>>8
+	if !sock6 {
+		if ip4 := addr.IP.To4(); ip4 != nil {
+			sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(raw))
+			sa.Family = syscall.AF_INET
+			sa.Port = bePort
+			copy(sa.Addr[:], ip4)
+			return syscall.SizeofSockaddrInet4
+		}
+		// A v6 destination on a v4 socket: pass it through and let the
+		// kernel reject it, exactly as WriteToUDP would.
+	}
+	*raw = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: bePort}
+	ip := addr.IP.To16()
+	if ip == nil {
+		ip = net.IPv6zero
+	}
+	copy(raw.Addr[:], ip)
+	return syscall.SizeofSockaddrInet6
+}

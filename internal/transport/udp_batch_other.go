@@ -1,0 +1,27 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable fallback for platforms without recvmmsg/sendmmsg wrappers
+// (darwin, windows, and Linux architectures the wrappers don't cover):
+// newBatcher reports batch I/O unavailable and the endpoint uses one
+// syscall per datagram through the net package. The wire bytes are
+// byte-identical to the batched path — batching is purely a syscall
+// optimization — which the cross-platform parity test pins.
+
+package transport
+
+import "net"
+
+// newBatcher reports that batched datagram syscalls are unavailable.
+func newBatcher(conn *net.UDPConn, batch int) *udpBatcher { return nil }
+
+// udpBatcher is never instantiated on this platform; the methods exist
+// so the portable endpoint code compiles unchanged.
+type udpBatcher struct{}
+
+func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
+	panic("transport: batch I/O unavailable on this platform")
+}
+
+func (b *udpBatcher) sendBatch(q []outDatagram) (int, []float64, error) {
+	panic("transport: batch I/O unavailable on this platform")
+}

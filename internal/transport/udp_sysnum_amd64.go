@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The stdlib syscall
+// package's generated table predates sendmmsg (kernel 3.0) on this
+// architecture, so the numbers are pinned here; they are ABI-frozen.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

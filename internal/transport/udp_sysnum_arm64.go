@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// recvmmsg/sendmmsg syscall numbers for linux/arm64 (the generic 64-bit
+// syscall table); ABI-frozen.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -174,6 +174,17 @@ type Config struct {
 	HeartbeatEvery time.Duration
 	SuspectAfter   time.Duration
 
+	// UDPBatch caps the datagrams coalesced into one recvmmsg/sendmmsg
+	// syscall on the UDP transport (zero means the transport default;
+	// one disables batched syscalls and forces the portable
+	// single-datagram path). Ignored when Endpoint is set.
+	UDPBatch int
+	// UDPDecodeWorkers sets the UDP transport's decode pool size (zero
+	// means the transport default). One worker preserves datagram
+	// arrival order; more may reorder, which every protocol layer
+	// tolerates. Ignored when Endpoint is set.
+	UDPDecodeWorkers int
+
 	// MetricsAddr, when nonempty, serves the HTTP observability
 	// endpoint on that address (":0" picks a port; read it back with
 	// MetricsAddr). See ServeMetrics for the routes.
@@ -227,7 +238,14 @@ func Start(cfg Config) (*Node, error) {
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
-		udp, err := transport.ListenUDP(cfg.Self, addr)
+		var uopts []transport.UDPOption
+		if cfg.UDPBatch > 0 {
+			uopts = append(uopts, transport.WithBatchSize(cfg.UDPBatch))
+		}
+		if cfg.UDPDecodeWorkers > 0 {
+			uopts = append(uopts, transport.WithDecodeWorkers(cfg.UDPDecodeWorkers))
+		}
+		udp, err := transport.ListenUDP(cfg.Self, addr, uopts...)
 		if err != nil {
 			return nil, fmt.Errorf("open transport: %w", err)
 		}

@@ -19,6 +19,15 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+# Cross-compile the portable transport path: the batched UDP data plane
+# is Linux-only behind build tags, and these builds catch any stray
+# Linux-ism leaking into the portable files.
+echo "==> GOOS=darwin go build ./..."
+GOOS=darwin go build ./...
+
+echo "==> GOOS=windows go build ./..."
+GOOS=windows go build ./...
+
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
