@@ -6,11 +6,13 @@
 //
 //	mmnode -id 1 -listen 127.0.0.1:7001
 //	mmnode -id 2 -listen 127.0.0.1:7002 -contact 1 -peer 1=127.0.0.1:7001
-//	mmnode -id 3 -listen 127.0.0.1:7003 -contact 1 -peer 1=127.0.0.1:7001 -peer 2=127.0.0.1:7002
+//	mmnode -id 3 -listen 127.0.0.1:7003 -contact 1 -peer 1=127.0.0.1:7001
 //
-// Note that peers learn each other's node IDs through the membership
-// protocol but UDP addresses are static: give every node a -peer mapping
-// for each node it must reach.
+// Only the contact's address needs configuring: the transport learns
+// return addresses from inbound datagrams, and view changes redistribute
+// every member's advertised address, so joiners discover each other
+// automatically. A node behind NAT or listening on a wildcard address
+// should set -advertise to the address peers can actually reach.
 package main
 
 import (
@@ -59,6 +61,12 @@ func run() int {
 		"max datagrams per recvmmsg/sendmmsg syscall (0 = transport default, 1 = portable single-datagram path)")
 	udpDecodeWorkers := flag.Int("udp-decode-workers", 0,
 		"UDP decode pool size (0 = transport default, 1 preserves arrival order)")
+	advertise := flag.String("advertise", "",
+		"address peers should reach this node at (empty auto-derives from the bound socket)")
+	joinAttempts := flag.Int("join-attempts", 0,
+		"give up joining after this many attempts (0 retries forever)")
+	joinBackoff := flag.Duration("join-backoff-max", 0,
+		"cap on the jittered exponential join retry backoff (0 = default)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping id=addr (repeatable)")
 	flag.Parse()
@@ -76,6 +84,10 @@ func run() int {
 		Peers:       peers,
 		MetricsAddr: *metricsAddr,
 
+		AdvertiseAddr:  *advertise,
+		JoinAttempts:   *joinAttempts,
+		JoinBackoffMax: *joinBackoff,
+
 		UDPBatch:         *udpBatch,
 		UDPDecodeWorkers: *udpDecodeWorkers,
 		OnEvent: func(ev scalamedia.Event) {
@@ -88,6 +100,8 @@ func run() int {
 			case scalamedia.StreamAnnounced, scalamedia.StreamWithdrawn:
 				fmt.Printf("[%s: %s %q by %s]\n",
 					ev.Kind, ev.Stream.Spec.ID, ev.Stream.Spec.Name, ev.Node)
+			case scalamedia.JoinFailed:
+				fmt.Fprintf(os.Stderr, "mmnode: join failed: %v\n", ev.Err)
 			}
 		},
 	})

@@ -269,6 +269,9 @@ func applyFaults(sim *netsim.Sim, sched Schedule, off time.Duration, cur *netsim
 		case DupBurst:
 			sim.At(at, func() { cur.Duplicate = ev.Dup })
 			sim.At(at+ev.Dur, func() { cur.Duplicate = base.Duplicate })
+		case AsymmetricPartition:
+			sim.At(at, func() { sim.BlockDirected(ev.Node, ev.Peer) })
+			sim.At(at+ev.Dur, func() { sim.UnblockDirected(ev.Node, ev.Peer) })
 		}
 	}
 }

@@ -88,6 +88,35 @@ func TestChaosUnordered(t *testing.T) {
 	}
 }
 
+// TestChaosJoinThroughAsymmetry runs a handwritten schedule that blocks
+// the coordinator's replies to one joiner during group formation: n3's
+// JoinReqs reach n1 but every proposal sent back is dropped until the
+// block lifts. The admission guards must keep the rest of the group
+// forming (bounded proposal rounds instead of a wedged flush), n3 must
+// be admitted once the direction heals, and the full invariant
+// catalogue must hold.
+func TestChaosJoinThroughAsymmetry(t *testing.T) {
+	// Schedule offsets are relative to the fault window, which starts
+	// after the 1.5s join window; -1500ms lands on simulation start, so
+	// the block covers group formation.
+	sched := chaos.Schedule{
+		{At: -1500 * time.Millisecond, Kind: chaos.AsymmetricPartition,
+			Node: 1, Peer: 3, Dur: 600 * time.Millisecond},
+	}
+	tr := chaos.Run(chaos.Options{Seed: 5, Nodes: 4, Schedule: sched})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			"(handwritten asymmetric-join schedule)", tr.Schedule, v, tr.Flight))
+	}
+	n3 := tr.Nodes[3]
+	if len(n3.Views) == 0 {
+		t.Fatal("n3 never installed a view")
+	}
+	if first := n3.Views[0].At; first < 600*time.Millisecond {
+		t.Fatalf("n3 installed its first view at %v, before the asymmetric block lifted", first)
+	}
+}
+
 // TestScheduleDeterminism pins the reproducibility contract: the same
 // seed yields byte-identical schedules and traces.
 func TestScheduleDeterminism(t *testing.T) {

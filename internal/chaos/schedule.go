@@ -40,6 +40,12 @@ const (
 	LossBurst
 	// DupBurst raises the duplication probability on every link for Dur.
 	DupBurst
+	// AsymmetricPartition blocks the Node→Peer direction for Dur while
+	// leaving Peer→Node intact: Peer hears Node but cannot answer from
+	// Node's perspective. This is the self-healing membership stress
+	// case — a joiner whose requests arrive but whose admission traffic
+	// is blackholed must be quarantined, not wedge the coordinator.
+	AsymmetricPartition
 )
 
 // String returns the kind's schedule-notation name.
@@ -57,6 +63,8 @@ func (k EventKind) String() string {
 		return "loss"
 	case DupBurst:
 		return "dup"
+	case AsymmetricPartition:
+		return "asym"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -68,8 +76,12 @@ type Event struct {
 	At time.Duration
 	// Kind selects the fault.
 	Kind EventKind
-	// Node targets Crash and Restart.
+	// Node targets Crash and Restart, and is the blocked sender for
+	// AsymmetricPartition.
 	Node id.Node
+	// Peer is the unreachable receiver for AsymmetricPartition: traffic
+	// Node→Peer is dropped, Peer→Node flows.
+	Peer id.Node
 	// Groups holds the partition sides for PartitionSplit.
 	Groups [][]id.Node
 	// Loss is the burst loss probability for LossBurst, and Dup the
@@ -101,6 +113,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v loss %.2f for %v", e.At, e.Loss, e.Dur)
 	case DupBurst:
 		return fmt.Sprintf("%v dup %.2f for %v", e.At, e.Dup, e.Dur)
+	case AsymmetricPartition:
+		return fmt.Sprintf("%v asym n%d->n%d for %v", e.At, e.Node, e.Peer, e.Dur)
 	default:
 		return fmt.Sprintf("%v %s", e.At, e.Kind)
 	}

@@ -37,6 +37,13 @@ type Config struct {
 	SuspectAfter   time.Duration
 	FlushTimeout   time.Duration
 	JoinRetry      time.Duration
+	// JoinBackoffMax and JoinAttempts tune the jittered-exponential join
+	// retry; see member.Config.
+	JoinBackoffMax time.Duration
+	JoinAttempts   int
+	// AdvertiseAddr is the transport address this node asks the group to
+	// reach it at; see member.Config.AdvertiseAddr.
+	AdvertiseAddr string
 
 	// Multicast timing (zero values take the layer defaults).
 	ResendAfter    time.Duration
@@ -48,6 +55,12 @@ type Config struct {
 	OnDeliver func(rmcast.Delivery)
 	// OnEvicted fires if this node is removed from the group.
 	OnEvicted func()
+	// OnJoinFailed fires once when the join attempt cap is exhausted;
+	// see member.Config.OnJoinFailed.
+	OnJoinFailed func(error)
+	// OnPeerAddr receives learned member addresses so the driver can
+	// teach the transport peer table; see member.Config.OnPeerAddr.
+	OnPeerAddr func(id.Node, string)
 	// PrimaryPartition applies the membership majority rule; see
 	// member.Config.PrimaryPartition.
 	PrimaryPartition bool
@@ -97,9 +110,14 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		SuspectAfter:     cfg.SuspectAfter,
 		FlushTimeout:     cfg.FlushTimeout,
 		JoinRetry:        cfg.JoinRetry,
+		JoinBackoffMax:   cfg.JoinBackoffMax,
+		JoinAttempts:     cfg.JoinAttempts,
+		AdvertiseAddr:    cfg.AdvertiseAddr,
 		PrimaryPartition: cfg.PrimaryPartition,
 		Snapshot:         cfg.Snapshot,
 		OnState:          cfg.OnState,
+		OnJoinFailed:     cfg.OnJoinFailed,
+		OnPeerAddr:       cfg.OnPeerAddr,
 		StabilityVector:  s.mcast.StabilityVector,
 		OnFlush: func(proposed member.View) {
 			// Freeze before flushing: nothing sent after the flush can

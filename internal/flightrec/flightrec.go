@@ -38,6 +38,10 @@ const (
 	EvLateFrame         // media: frame arrived late (a=stream, b=seq)
 	EvSkewCorrect       // msync: skew correction applied (a=slave, b=skew µs)
 	EvViolation         // chaos: invariant violation detected
+	EvJoinRetry         // member: join request (re)sent (a=attempt, b=backoff ms)
+	EvJoinFail          // member: join abandoned at the attempt cap (a=attempts)
+	EvQuarantine        // member: joiner parked as unreachable (a=joiner, b=rounds)
+	EvUnquarantine      // member: parked joiner readmitted (a=joiner)
 	evMax
 )
 
@@ -58,6 +62,10 @@ var codeNames = [evMax]string{
 	EvLateFrame:    "late-frame",
 	EvSkewCorrect:  "skew-correct",
 	EvViolation:    "VIOLATION",
+	EvJoinRetry:    "join-retry",
+	EvJoinFail:     "join-fail",
+	EvQuarantine:   "quarantine",
+	EvUnquarantine: "unquarantine",
 }
 
 // String returns the event code's name.

@@ -1,6 +1,8 @@
 package member
 
 import (
+	"errors"
+	"sort"
 	"time"
 
 	"scalamedia/internal/failure"
@@ -17,6 +19,23 @@ const (
 	DefaultFlushTimeout = 600 * time.Millisecond
 )
 
+// maxJoinRounds is the coordinator's admission retry budget: a joiner
+// that sits in consecutive failed proposal rounds without ever acking is
+// quarantined after this many, so one unreachable joiner cannot keep
+// churning proposal state forever.
+const maxJoinRounds = 3
+
+// ErrJoinUnreachable is reported through Config.OnJoinFailed when the
+// join attempt cap (Config.JoinAttempts) is exhausted without admission.
+var ErrJoinUnreachable = errors.New("member: contact unreachable, join attempts exhausted")
+
+// reachability mirrors transport.Reachability without importing the
+// transport package (the engine is sans-IO). The driver's Env may
+// implement it; when it does not, every node is assumed reachable.
+type reachability interface {
+	CanReach(n id.Node) bool
+}
+
 // Config parameterizes a membership engine.
 type Config struct {
 	// Group is the group this engine manages membership for.
@@ -24,9 +43,26 @@ type Config struct {
 	// Contact is an existing member to join through. id.None bootstraps
 	// a new group with the local node as its only member.
 	Contact id.Node
-	// JoinRetry is how often an un-admitted joiner re-sends its join
-	// request. Defaults to DefaultJoinRetry.
+	// JoinRetry is the base interval between join requests. Defaults to
+	// DefaultJoinRetry. Retries back off exponentially (with jitter)
+	// from this base up to JoinBackoffMax, so a dead or partitioned
+	// contact sees a damped trickle instead of a fixed-rate hammer.
 	JoinRetry time.Duration
+	// JoinBackoffMax caps the jittered exponential join backoff.
+	// Defaults to 16× JoinRetry.
+	JoinBackoffMax time.Duration
+	// JoinAttempts caps how many join requests are sent before the
+	// engine gives up and reports ErrJoinUnreachable through
+	// OnJoinFailed. Zero means retry forever (the historical
+	// behaviour, and the right choice when the contact is expected to
+	// come back).
+	JoinAttempts int
+	// AdvertiseAddr is the transport address this node asks the group to
+	// reach it at. It rides in join requests and is redistributed in
+	// view bodies, so members need no out-of-band peer configuration.
+	// Empty is valid: the transport's return-address learning then
+	// covers nodes the coordinator has heard from directly.
+	AdvertiseAddr string
 	// FlushTimeout is how long the coordinator waits for FlushOK
 	// responses before evicting silent members from the proposal.
 	// Defaults to DefaultFlushTimeout.
@@ -47,6 +83,16 @@ type Config struct {
 	// by a committed view (for example after a false suspicion).
 	// Optional.
 	OnEvicted func(View)
+	// OnJoinFailed is called once, with ErrJoinUnreachable, when the
+	// JoinAttempts cap is exhausted. The engine stops retrying; the
+	// application decides whether to restart with a different contact.
+	// Optional.
+	OnJoinFailed func(error)
+	// OnPeerAddr is called when the engine learns a member's advertised
+	// transport address (from a join request or a view body), so the
+	// driver can teach the transport's peer table. Optional; called from
+	// the event loop, must not block.
+	OnPeerAddr func(n id.Node, addr string)
 	// PrimaryPartition, when true, applies the majority rule: a
 	// coordinator only installs a view containing a strict majority of
 	// the previous view. A minority partition blocks (no view changes)
@@ -75,31 +121,68 @@ type Config struct {
 	StabilityVector func() (acks []wire.AckEntry, orderedSlots uint64)
 }
 
+// pendingJoinState is the coordinator's bookkeeping for one admission in
+// progress: the joiner's advertised address (empty if none), when the
+// admission started (for the TTL backstop), and how many failed proposal
+// rounds the joiner has burned without acking (for the retry budget).
+type pendingJoinState struct {
+	addr   string
+	since  time.Time
+	rounds int
+}
+
+// quarEntry is one quarantined joiner: parked until the TTL expires, or —
+// when parked purely for lack of a return address (noAddr) — until the
+// transport learns one.
+type quarEntry struct {
+	until  time.Time
+	noAddr bool
+}
+
 // Engine is the membership state machine for one node and one group.
 // It implements proto.Handler and must only be used from the event loop.
 type Engine struct {
-	env proto.Env
-	cfg Config
-	det *failure.Detector
+	env   proto.Env
+	cfg   Config
+	det   *failure.Detector
+	reach reachability // non-nil when the env can report reachability
 
 	// Live metric counters, resolved once in New (standalone atomics
 	// when no registry is configured, so increments are unconditional).
-	mViews     *stats.Counter
-	mProposals *stats.Counter
-	mEvictions *stats.Counter
+	mViews        *stats.Counter
+	mProposals    *stats.Counter
+	mEvictions    *stats.Counter
+	mJoinAttempts *stats.Counter
+	mQuarantined  *stats.Counter
+	mJoinBackoff  *stats.Histogram
 
 	view    View // zero-ID means no view installed yet
 	joining bool
 	evicted bool
-	lastReq time.Time
+
+	// Join-retry state: attempt count toward the cap, the earliest time
+	// the next request may go out, and the sticky failure latch. rng is
+	// a splitmix64 state for backoff jitter, seeded from the node ID so
+	// runs stay deterministic under the simulator.
+	joinAttempt int
+	nextJoin    time.Time
+	joinFailed  bool
+	rng         uint64
+
+	// addrs is the learned member→address map, fed by join requests and
+	// view bodies and redistributed in every view body this node sends.
+	addrs map[id.Node]string
 
 	// Coordinator-side state. pendingEvict entries are provisional: a
 	// member that failed to flush in time is slated for eviction, but any
 	// traffic heard from it cancels the sentence — except for voluntary
-	// leavers, tracked in left, whose departure is final.
-	pendingJoin  map[id.Node]bool
+	// leavers, tracked in left, whose departure is final. quarantine
+	// parks joiners the coordinator cannot reach or that exhausted the
+	// admission retry budget, keeping them out of proposal state.
+	pendingJoin  map[id.Node]*pendingJoinState
 	pendingEvict map[id.Node]bool
 	left         map[id.Node]bool
+	quarantine   map[id.Node]quarEntry
 	proposal     *proposalState
 	highestSent  id.View // highest view number this node ever proposed
 
@@ -146,22 +229,35 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.FlushTimeout <= 0 {
 		cfg.FlushTimeout = DefaultFlushTimeout
 	}
-	e := &Engine{
-		env:          env,
-		cfg:          cfg,
-		joining:      cfg.Contact != id.None,
-		mViews:       &stats.Counter{},
-		mProposals:   &stats.Counter{},
-		mEvictions:   &stats.Counter{},
-		pendingJoin:  make(map[id.Node]bool),
-		pendingEvict: make(map[id.Node]bool),
-		left:         make(map[id.Node]bool),
-		lastEject:    make(map[id.Node]time.Time),
+	if cfg.JoinBackoffMax <= 0 {
+		cfg.JoinBackoffMax = 16 * cfg.JoinRetry
 	}
+	e := &Engine{
+		env:           env,
+		cfg:           cfg,
+		joining:       cfg.Contact != id.None,
+		mViews:        &stats.Counter{},
+		mProposals:    &stats.Counter{},
+		mEvictions:    &stats.Counter{},
+		mJoinAttempts: &stats.Counter{},
+		mQuarantined:  &stats.Counter{},
+		mJoinBackoff:  &stats.Histogram{},
+		rng:           uint64(env.Self())*0x9e3779b97f4a7c15 + 1,
+		addrs:         make(map[id.Node]string),
+		pendingJoin:   make(map[id.Node]*pendingJoinState),
+		pendingEvict:  make(map[id.Node]bool),
+		left:          make(map[id.Node]bool),
+		quarantine:    make(map[id.Node]quarEntry),
+		lastEject:     make(map[id.Node]time.Time),
+	}
+	e.reach, _ = env.(reachability)
 	if cfg.Metrics != nil {
 		e.mViews = cfg.Metrics.Counter("member.views_installed")
 		e.mProposals = cfg.Metrics.Counter("member.proposals")
 		e.mEvictions = cfg.Metrics.Counter("member.evictions")
+		e.mJoinAttempts = cfg.Metrics.Counter("member.join_attempts")
+		e.mQuarantined = cfg.Metrics.Counter("member.quarantined")
+		e.mJoinBackoff = cfg.Metrics.Histogram("member.join_backoff_ms")
 	}
 	e.det = failure.New(env, failure.Config{
 		Group:          cfg.Group,
@@ -176,6 +272,21 @@ func (e *Engine) View() View { return e.view }
 
 // Joining reports whether the node is still waiting for admission.
 func (e *Engine) Joining() bool { return e.joining }
+
+// JoinFailed reports whether the engine gave up joining at the attempt
+// cap (see Config.JoinAttempts).
+func (e *Engine) JoinFailed() bool { return e.joinFailed }
+
+// Quarantined returns the joiners currently parked by this coordinator,
+// sorted; empty on non-coordinators.
+func (e *Engine) Quarantined() []id.Node {
+	out := make([]id.Node, 0, len(e.quarantine))
+	for n := range e.quarantine {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Evicted reports whether the node was removed from the group.
 func (e *Engine) Evicted() bool { return e.evicted }
@@ -240,7 +351,7 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	}
 	switch msg.Kind {
 	case wire.KindJoinReq:
-		e.onJoinReq(msg.Sender)
+		e.onJoinReq(msg.Sender, msg)
 	case wire.KindViewPropose:
 		e.onPropose(from, msg)
 	case wire.KindFlushOK:
@@ -306,22 +417,17 @@ func (e *Engine) OnTick(now time.Time) {
 		}
 	}
 
-	// Joining: retry the join request.
+	// Joining: retry the join request under jittered exponential
+	// backoff, up to the attempt cap.
 	if e.joining {
-		if now.Sub(e.lastReq) >= e.cfg.JoinRetry {
-			e.lastReq = now
-			e.env.Send(e.cfg.Contact, &wire.Message{
-				Kind:   wire.KindJoinReq,
-				Group:  e.cfg.Group,
-				Sender: e.env.Self(),
-			})
-		}
+		e.tickJoin(now)
 		return
 	}
 
 	if !e.isCoordinator() {
 		return
 	}
+	e.expirePending(now)
 
 	if e.proposal != nil {
 		// The coordinator re-sends the proposal to members yet to ack,
@@ -343,6 +449,63 @@ func (e *Engine) OnTick(now time.Time) {
 	}
 }
 
+// tickJoin sends the next join request when its backoff has elapsed, or
+// latches terminal failure at the attempt cap.
+func (e *Engine) tickJoin(now time.Time) {
+	if e.joinFailed || now.Before(e.nextJoin) {
+		return
+	}
+	if e.cfg.JoinAttempts > 0 && e.joinAttempt >= e.cfg.JoinAttempts {
+		e.joinFailed = true
+		e.rec(flightrec.EvJoinFail, uint64(e.joinAttempt), 0)
+		if e.cfg.OnJoinFailed != nil {
+			e.cfg.OnJoinFailed(ErrJoinUnreachable)
+		}
+		return
+	}
+	e.joinAttempt++
+	backoff := e.joinBackoff(e.joinAttempt)
+	e.nextJoin = now.Add(backoff)
+	e.mJoinAttempts.Inc()
+	e.mJoinBackoff.Observe(float64(backoff.Milliseconds()))
+	e.rec(flightrec.EvJoinRetry, uint64(e.joinAttempt), uint64(backoff.Milliseconds()))
+	e.env.Send(e.cfg.Contact, &wire.Message{
+		Kind:   wire.KindJoinReq,
+		Group:  e.cfg.Group,
+		Sender: e.env.Self(),
+		Body:   wire.AppendJoinBody(nil, e.cfg.AdvertiseAddr),
+	})
+}
+
+// joinBackoff returns the delay before the attempt after this one:
+// exponential from JoinRetry, capped at JoinBackoffMax, jittered
+// uniformly over [base/2, base) so a cohort of joiners desynchronizes
+// (SRM's lesson: undamped recovery traffic becomes the overload).
+func (e *Engine) joinBackoff(attempt int) time.Duration {
+	base := e.cfg.JoinRetry
+	for i := 1; i < attempt && base < e.cfg.JoinBackoffMax; i++ {
+		base *= 2
+	}
+	if base > e.cfg.JoinBackoffMax {
+		base = e.cfg.JoinBackoffMax
+	}
+	half := uint64(base / 2)
+	if half == 0 {
+		return base
+	}
+	return time.Duration(half + e.nextRand()%half)
+}
+
+// nextRand is a splitmix64 step: deterministic per node, no global
+// randomness (the simulator's reproducibility rule).
+func (e *Engine) nextRand() uint64 {
+	e.rng += 0x9e3779b97f4a7c15
+	z := e.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // anyEvictionPending reports whether any current member must go: sticky
 // evictions (voluntary leaves, flush timeouts) or live suspicions.
 func (e *Engine) anyEvictionPending() bool {
@@ -356,16 +519,19 @@ func (e *Engine) anyEvictionPending() bool {
 
 // onJoinReq handles an admission request, forwarding it to the coordinator
 // when this node is not it.
-func (e *Engine) onJoinReq(joiner id.Node) {
+func (e *Engine) onJoinReq(joiner id.Node, msg *wire.Message) {
 	if e.view.ID == 0 || joiner == id.None {
 		return
 	}
+	addr, _ := wire.DecodeJoinBody(msg.Body)
+	e.learnAddr(joiner, addr)
 	if !e.isCoordinator() {
 		if coord := e.coordinator(); coord != id.None && coord != e.env.Self() {
 			e.env.Send(coord, &wire.Message{
 				Kind:   wire.KindJoinReq,
 				Group:  e.cfg.Group,
 				Sender: joiner,
+				Body:   msg.Body, // preserve the joiner's advertised address
 			})
 		}
 		return
@@ -376,13 +542,87 @@ func (e *Engine) onJoinReq(joiner id.Node) {
 		e.repairCommit(joiner, 0)
 		return
 	}
-	if e.pendingJoin[joiner] {
+	now := e.env.Now()
+	if q, ok := e.quarantine[joiner]; ok {
+		// Parked. Readmit when the TTL has passed, or — for a joiner
+		// parked purely for lack of a return address — as soon as one
+		// exists (learned from this very datagram's source, its body, or
+		// configuration). Otherwise the request is ignored: quarantine is
+		// the damping that keeps a hopeless joiner from burning rounds.
+		if now.Before(q.until) && !(q.noAddr && e.canReach(joiner)) {
+			return
+		}
+		delete(e.quarantine, joiner)
+		e.rec(flightrec.EvUnquarantine, uint64(joiner), 0)
+	}
+	if pj, ok := e.pendingJoin[joiner]; ok {
+		if addr != "" {
+			pj.addr = addr
+		}
 		return
 	}
-	e.pendingJoin[joiner] = true
+	if !e.canReach(joiner) {
+		// Positively unreachable: no learned, advertised or configured
+		// address. Park instead of occupying proposal state — a view
+		// change toward a node no datagram can reach cannot complete.
+		e.park(joiner, 0, true, now)
+		return
+	}
+	e.pendingJoin[joiner] = &pendingJoinState{addr: addr, since: now}
 	// A rejoining node is alive again, and its former departure is over.
 	delete(e.pendingEvict, joiner)
 	delete(e.left, joiner)
+}
+
+// canReach reports whether this node has any route to a joiner: an
+// address learned at this layer, or transport-level reachability. With
+// neither signal available the joiner is assumed reachable (the
+// historical behaviour for envs without a peer table).
+func (e *Engine) canReach(j id.Node) bool {
+	if e.addrs[j] != "" {
+		return true
+	}
+	if e.reach != nil {
+		return e.reach.CanReach(j)
+	}
+	return true
+}
+
+// learnAddr records a member's advertised address and forwards it to the
+// driver (which teaches the transport peer table).
+func (e *Engine) learnAddr(n id.Node, addr string) {
+	if addr == "" || n == e.env.Self() || e.addrs[n] == addr {
+		return
+	}
+	e.addrs[n] = addr
+	if e.cfg.OnPeerAddr != nil {
+		e.cfg.OnPeerAddr(n, addr)
+	}
+}
+
+// park quarantines a joiner for the quarantine TTL, removing it from
+// proposal state. rounds is recorded in the timeline for diagnosis.
+func (e *Engine) park(j id.Node, rounds int, noAddr bool, now time.Time) {
+	e.quarantine[j] = quarEntry{until: now.Add(e.quarantineTTL()), noAddr: noAddr}
+	delete(e.pendingJoin, j)
+	e.mQuarantined.Inc()
+	e.rec(flightrec.EvQuarantine, uint64(j), uint64(rounds))
+}
+
+// quarantineTTL (also the pendingJoin TTL backstop) is long enough that
+// several full proposal rounds fit inside it.
+func (e *Engine) quarantineTTL() time.Duration { return 8 * e.cfg.FlushTimeout }
+
+// expirePending parks admissions that have sat un-committable for the
+// TTL — the backstop for joiners that keep a proposal from ever forming
+// (for example while the coordinator is blocked on the primary-partition
+// rule) and so never burn their round budget.
+func (e *Engine) expirePending(now time.Time) {
+	for j, pj := range e.pendingJoin {
+		if now.Sub(pj.since) >= e.quarantineTTL() {
+			e.park(j, pj.rounds, false, now)
+		}
+	}
 }
 
 // onLeave handles a voluntary departure announcement.
@@ -413,9 +653,15 @@ func (e *Engine) propose(now time.Time) {
 			next = append(next, m)
 		}
 	}
+	// Sorted iteration: NewView sorts the member list anyway, but the
+	// determinism rule says no observable output may depend on map
+	// order, and this keeps the proposal construction auditable.
+	joiners := make([]id.Node, 0, len(e.pendingJoin))
 	for j := range e.pendingJoin {
-		next = append(next, j)
+		joiners = append(joiners, j)
 	}
+	sort.Slice(joiners, func(i, j int) bool { return joiners[i] < joiners[j] })
+	next = append(next, joiners...)
 	if e.cfg.PrimaryPartition && e.view.ID != 0 {
 		survivors := 0
 		for _, m := range e.view.Members {
@@ -464,7 +710,7 @@ func (e *Engine) propose(now time.Time) {
 // coordinator loop re-sends it periodically: a single lost propose must
 // not burn the whole flush window and read as a member failure.
 func (e *Engine) sendProposal(p *proposalState) {
-	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
+	body := e.viewBody(p.view)
 	for _, m := range p.view.Members {
 		if m == e.env.Self() || p.acks[m] {
 			continue
@@ -487,9 +733,22 @@ func (e *Engine) checkProposal(now time.Time) {
 	// Members that failed to flush in time are treated as failed. The
 	// eviction is counted when it commits (maybeCommit), not here: a
 	// slated member heard from again before the next proposal is spared.
+	// A silent joiner is different: it was never a member, so there is
+	// nothing to evict — it burns one admission round, and past the
+	// budget it is quarantined so it cannot churn proposals forever.
 	for _, m := range p.view.Members {
-		if !p.acks[m] {
+		if p.acks[m] {
+			continue
+		}
+		if e.view.Contains(m) {
 			e.pendingEvict[m] = true
+			continue
+		}
+		if pj, ok := e.pendingJoin[m]; ok {
+			pj.rounds++
+			if pj.rounds >= maxJoinRounds {
+				e.park(m, pj.rounds, false, now)
+			}
 		}
 	}
 	e.proposal = nil
@@ -502,6 +761,7 @@ func (e *Engine) onPropose(from id.Node, msg *wire.Message) {
 	if err != nil {
 		return
 	}
+	e.learnAddrs(body)
 	proposed := NewView(body.View, body.Members)
 	if !proposed.Contains(e.env.Self()) {
 		return
@@ -607,7 +867,7 @@ func (e *Engine) repairCommit(to id.Node, base id.View) {
 	if best.ID == 0 {
 		return
 	}
-	body := wire.AppendViewBody(nil, wire.ViewBody{View: best.ID, Members: best.Members})
+	body := e.viewBody(best)
 	e.env.Send(to, &wire.Message{
 		Kind:  wire.KindViewCommit,
 		Group: e.cfg.Group,
@@ -616,12 +876,46 @@ func (e *Engine) repairCommit(to id.Node, base id.View) {
 	})
 }
 
+// viewBody encodes a view with the member→address annotations this node
+// can vouch for: its own advertised address plus everything learned from
+// join requests and earlier view bodies. Members with no known address
+// get an empty slot; a wholly unknown map encodes as the zero-count
+// section.
+func (e *Engine) viewBody(v View) []byte {
+	addrs := make([]string, len(v.Members))
+	any := false
+	for i, m := range v.Members {
+		a := e.addrs[m]
+		if m == e.env.Self() && e.cfg.AdvertiseAddr != "" {
+			a = e.cfg.AdvertiseAddr
+		}
+		if a != "" {
+			any = true
+		}
+		addrs[i] = a
+	}
+	if !any {
+		addrs = nil
+	}
+	return wire.AppendViewBody(nil, wire.ViewBody{View: v.ID, Members: v.Members, Addrs: addrs})
+}
+
+// learnAddrs absorbs the address annotations of a received view body.
+func (e *Engine) learnAddrs(body wire.ViewBody) {
+	if len(body.Addrs) != len(body.Members) {
+		return
+	}
+	for i, m := range body.Members {
+		e.learnAddr(m, body.Addrs[i])
+	}
+}
+
 // maybeEject tells a non-member that keeps heartbeating at us which view
 // dropped it. A member that misses its own eviction commit — crashed or
 // partitioned away while it was sent — would otherwise stay in its stale
 // view forever, heartbeating into a group that no longer lists it.
 func (e *Engine) maybeEject(from id.Node) {
-	if !e.isCoordinator() || e.view.Contains(from) || e.pendingJoin[from] {
+	if !e.isCoordinator() || e.view.Contains(from) || e.pendingJoin[from] != nil {
 		return
 	}
 	now := e.env.Now()
@@ -629,7 +923,7 @@ func (e *Engine) maybeEject(from id.Node) {
 		return
 	}
 	e.lastEject[from] = now
-	body := wire.AppendViewBody(nil, wire.ViewBody{View: e.view.ID, Members: e.view.Members})
+	body := e.viewBody(e.view)
 	e.env.Send(from, &wire.Message{
 		Kind:  wire.KindViewCommit,
 		Group: e.cfg.Group,
@@ -663,7 +957,7 @@ func (e *Engine) maybeCommit() {
 			e.rec(flightrec.EvEvict, uint64(m), uint64(p.view.ID))
 		}
 	}
-	body := wire.AppendViewBody(nil, wire.ViewBody{View: p.view.ID, Members: p.view.Members})
+	body := e.viewBody(p.view)
 	// Notify evicted members too, so they learn their fate.
 	notified := map[id.Node]bool{e.env.Self(): true}
 	for _, m := range p.view.Members {
@@ -791,6 +1085,7 @@ func (e *Engine) onCommit(msg *wire.Message) {
 	if err != nil {
 		return
 	}
+	e.learnAddrs(body)
 	v := NewView(body.View, body.Members)
 	if v.ID <= e.view.ID {
 		return
@@ -824,8 +1119,18 @@ func (e *Engine) install(v View) {
 	e.rec(flightrec.EvViewInstall, uint64(v.ID), uint64(v.Size()))
 	e.view = v
 	e.joining = false
+	e.joinAttempt = 0
+	e.joinFailed = false
+	e.nextJoin = time.Time{}
 	e.accepted = View{}
 	e.acceptedFrom = id.None
+	// The address map tracks only nodes that could still matter: current
+	// members and in-flight joiners.
+	for n := range e.addrs {
+		if !v.Contains(n) && e.pendingJoin[n] == nil {
+			delete(e.addrs, n)
+		}
+	}
 	e.committedLog = append(e.committedLog, v)
 	if len(e.committedLog) > 8 {
 		e.committedLog = e.committedLog[len(e.committedLog)-8:]

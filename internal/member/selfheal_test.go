@@ -1,0 +1,289 @@
+package member
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"scalamedia/internal/flightrec"
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/stats"
+	"scalamedia/internal/wire"
+)
+
+// selfhealBuild returns a node constructor for the addressing-aware
+// self-healing tests: same timing as addMember, plus a shared flight
+// recorder so quarantine activity can be asserted without racing the
+// park/unpark cycle.
+func selfhealBuild(fr *flightrec.Recorder, mn *memberNode, contact id.Node) func(proto.Env) proto.Handler {
+	return func(env proto.Env) proto.Handler {
+		mn.eng = New(env, Config{
+			Group:          1,
+			Contact:        contact,
+			HeartbeatEvery: 40 * time.Millisecond,
+			SuspectAfter:   200 * time.Millisecond,
+			FlushTimeout:   300 * time.Millisecond,
+			Flight:         fr,
+			OnView:         func(v View) { mn.views = append(mn.views, v) },
+			OnEvicted:      func(View) { mn.evicted = true },
+		})
+		return mn.eng
+	}
+}
+
+// flightHas reports whether the recorder holds an event with the given
+// code and primary operand.
+func flightHas(fr *flightrec.Recorder, code flightrec.Code, a uint64) bool {
+	for _, ev := range fr.Dump() {
+		if ev.Code == code && ev.A == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWedgeJoinLeaveUnreachableRejoin is the regression test for the
+// membership wedge: n1 starts alone, n2 joins and leaves, then an
+// unreachable n3 joins (its requests arrive at n1, but nothing n1 sends
+// back ever lands — the asymmetric case), and finally n2 rejoins.
+// Before the admission guards, n3's admission occupied proposal state
+// forever and n2's rejoin never converged. Now n3 must be quarantined
+// after its bounded proposal rounds and n2's rejoin must commit.
+func TestWedgeJoinLeaveUnreachableRejoin(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 11})
+	s.EnableAddressing()
+	fr := flightrec.New(1024)
+
+	a := &memberNode{}
+	s.AddNode(1, selfhealBuild(fr, a, id.None))
+	s.Run(500 * time.Millisecond)
+	if v := lastView(a); v.Size() != 1 {
+		t.Fatalf("bootstrap view = %+v", v)
+	}
+
+	// n2 joins through n1, the only address it is configured with.
+	b := &memberNode{}
+	s.Know(2, 1)
+	s.AddNode(2, selfhealBuild(fr, b, 1))
+	s.Run(2500 * time.Millisecond)
+	if v := lastView(a); v.Size() != 2 {
+		t.Fatalf("after join, view = %+v", v)
+	}
+
+	// n2 leaves and goes silent.
+	b.eng.Leave()
+	s.Run(3200 * time.Millisecond)
+	s.Crash(2)
+	if v := lastView(a); v.Size() != 1 {
+		t.Fatalf("after leave, view = %+v", v)
+	}
+
+	// n3 joins: its requests reach n1 (teaching n1 its return address),
+	// but the n1→n3 direction is blackholed.
+	s.BlockDirected(1, 3)
+	s.Know(3, 1)
+	c := &memberNode{}
+	s.AddNode(3, selfhealBuild(fr, c, 1))
+	s.Run(6500 * time.Millisecond)
+	if v := lastView(a); v.Size() != 1 {
+		t.Fatalf("unreachable joiner changed the view: %+v", v)
+	}
+
+	// n2 rejoins with a fresh engine. Pre-guard this wedged: the stuck
+	// admission of n3 kept a proposal outstanding forever, so n2's
+	// rejoin was never folded in.
+	b2 := &memberNode{}
+	s.Replace(2, selfhealBuild(fr, b2, 1))
+	s.Run(14 * time.Second)
+
+	va, vb := lastView(a), lastView(b2)
+	if !va.Equal(vb) {
+		t.Fatalf("views diverged: a=%+v b=%+v", va, vb)
+	}
+	if va.Size() != 2 || !va.Contains(1) || !va.Contains(2) {
+		t.Fatalf("final view = %+v, want {1,2}", va)
+	}
+	if b2.eng.Joining() {
+		t.Fatal("rejoined n2 still joining")
+	}
+	if !flightHas(fr, flightrec.EvQuarantine, 3) {
+		t.Fatal("n3 was never quarantined")
+	}
+	if !c.eng.Joining() || c.eng.JoinFailed() {
+		t.Fatalf("n3 should still be retrying: joining=%v failed=%v",
+			c.eng.Joining(), c.eng.JoinFailed())
+	}
+	if len(c.views) != 0 {
+		t.Fatalf("unreachable n3 installed a view: %+v", lastView(c))
+	}
+}
+
+// TestForwardedJoinParkedUntilAddressKnown covers the noAddr quarantine:
+// a joiner admitted through a non-coordinator contact, whose address the
+// coordinator has no way to know, is parked immediately — and admitted
+// as soon as a return address is learned, without waiting out the TTL.
+func TestForwardedJoinParkedUntilAddressKnown(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 12})
+	s.EnableAddressing()
+	fr := flightrec.New(1024)
+
+	a := &memberNode{}
+	s.AddNode(1, selfhealBuild(fr, a, id.None))
+	s.Run(500 * time.Millisecond)
+
+	b := &memberNode{}
+	s.Know(2, 1)
+	s.AddNode(2, selfhealBuild(fr, b, 1))
+	s.Run(2500 * time.Millisecond)
+	if v := lastView(a); v.Size() != 2 {
+		t.Fatalf("precondition: %+v", v)
+	}
+
+	// n3 joins through n2; the forwarded request gives n1 no route back.
+	c := &memberNode{}
+	s.Know(3, 2)
+	s.AddNode(3, selfhealBuild(fr, c, 2))
+	s.Run(4500 * time.Millisecond)
+	if got := a.eng.Quarantined(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Quarantined() = %v, want [3]", got)
+	}
+	if v := lastView(a); v.Size() != 2 {
+		t.Fatalf("unreachable joiner changed the view: %+v", v)
+	}
+
+	// The transport learns n3's return address (in live mode, from any
+	// datagram n3 sends the coordinator; here, injected directly).
+	s.Know(1, 3)
+	s.Run(13 * time.Second)
+
+	want := lastView(a)
+	if want.Size() != 3 {
+		t.Fatalf("n3 never admitted after address learned: %+v", want)
+	}
+	for name, mn := range map[string]*memberNode{"b": b, "c": c} {
+		if !lastView(mn).Equal(want) {
+			t.Fatalf("node %s view %+v != %+v", name, lastView(mn), want)
+		}
+	}
+	if !flightHas(fr, flightrec.EvUnquarantine, 3) {
+		t.Fatal("no unquarantine event for n3")
+	}
+}
+
+// TestJoinBackoffTerminalFailure pins the bounded-join contract: with an
+// attempt cap configured and an unreachable contact, the engine sends
+// exactly JoinAttempts requests under growing jittered backoff, then
+// latches terminal failure and reports ErrJoinUnreachable exactly once.
+func TestJoinBackoffTerminalFailure(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 7})
+	reg := stats.NewRegistry()
+	var failures []error
+	mn := &memberNode{}
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		mn.eng = New(env, Config{
+			Group:          1,
+			Contact:        9, // never added: every request vanishes
+			JoinRetry:      50 * time.Millisecond,
+			JoinBackoffMax: 400 * time.Millisecond,
+			JoinAttempts:   5,
+			Metrics:        reg,
+			OnJoinFailed:   func(err error) { failures = append(failures, err) },
+		})
+		return mn.eng
+	})
+	s.Run(10 * time.Second)
+
+	if !mn.eng.JoinFailed() {
+		t.Fatal("JoinFailed() = false after exhausting the cap")
+	}
+	if !mn.eng.Joining() {
+		t.Fatal("a failed joiner is still un-admitted; Joining() should hold")
+	}
+	if len(failures) != 1 || !errors.Is(failures[0], ErrJoinUnreachable) {
+		t.Fatalf("OnJoinFailed calls = %v, want one ErrJoinUnreachable", failures)
+	}
+	if got := reg.Counter("member.join_attempts").Value(); got != 5 {
+		t.Fatalf("member.join_attempts = %d, want 5", got)
+	}
+	h := reg.Histogram("member.join_backoff_ms")
+	if h.Count() != 5 {
+		t.Fatalf("member.join_backoff_ms count = %d, want 5", h.Count())
+	}
+	// Backoff grows: the first delay is jittered from the 50ms base, the
+	// later ones from the 400ms cap, so max must dominate min clearly.
+	if h.Max() < 4*h.Min() {
+		t.Fatalf("backoff did not grow: min=%.0fms max=%.0fms", h.Min(), h.Max())
+	}
+}
+
+// recEnv is a recording environment for byte-stability checks: it
+// captures every sent message kind and body copy.
+type recEnv struct {
+	self id.Node
+	now  time.Time
+	sent []recMsg
+}
+
+type recMsg struct {
+	kind wire.Kind
+	body []byte
+}
+
+func (f *recEnv) Self() id.Node  { return f.self }
+func (f *recEnv) Now() time.Time { return f.now }
+func (f *recEnv) Send(_ id.Node, m *wire.Message) {
+	f.sent = append(f.sent, recMsg{kind: m.Kind, body: append([]byte(nil), m.Body...)})
+}
+
+// TestProposalBytesDeterministic pins the sorted-iteration rule for the
+// coordinator's pending maps: the same sequence of join requests must
+// produce byte-identical proposal bodies on every run, or simulator
+// reproducibility (and the chaos harness's seed replay) silently breaks.
+func TestProposalBytesDeterministic(t *testing.T) {
+	run := func() [][]byte {
+		env := &recEnv{self: 1, now: time.Unix(0, 0)}
+		eng := New(env, Config{Group: 1})
+		eng.OnTick(env.now) // installs the bootstrap view
+		for _, j := range []id.Node{5, 3, 2, 7} {
+			env.now = env.now.Add(10 * time.Millisecond)
+			eng.OnMessage(j, &wire.Message{
+				Kind:   wire.KindJoinReq,
+				Group:  1,
+				Sender: j,
+				Body:   wire.AppendJoinBody(nil, fmt.Sprintf("10.0.0.%d:7000", j)),
+			})
+		}
+		env.now = env.now.Add(10 * time.Millisecond)
+		eng.OnTick(env.now) // proposes
+		var out [][]byte
+		for _, m := range env.sent {
+			if m.kind == wire.KindViewPropose {
+				out = append(out, m.body)
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no proposal was sent")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("proposal counts differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("proposal %d bytes differ across identical runs:\n%x\n%x", i, a[i], b[i])
+		}
+	}
+	body, err := wire.DecodeViewBody(a[0])
+	if err != nil {
+		t.Fatalf("proposal body does not decode: %v", err)
+	}
+	if len(body.Addrs) != len(body.Members) {
+		t.Fatalf("proposal carries %d addrs for %d members", len(body.Addrs), len(body.Members))
+	}
+}

@@ -108,6 +108,19 @@ type Sim struct {
 
 	// busyUntil models FIFO transmission queues per directed link.
 	busyUntil map[linkPair]time.Time
+
+	// blocked drops traffic on individual directed links — the
+	// asymmetric-reachability fault (A hears B, B never hears A) that
+	// symmetric partitions cannot express.
+	blocked map[linkPair]bool
+
+	// addressing, when enabled, models peer-address knowledge: a node can
+	// send to another only if it was configured with the peer's address
+	// (Know) or has learned it from an inbound datagram, mirroring the
+	// UDP endpoint's return-address learning. Off by default so existing
+	// simulations keep their everyone-reaches-everyone behaviour.
+	addressing bool
+	known      map[linkPair]bool // {from,to}: from holds to's address
 }
 
 // linkPair keys the per-link transmission queue state.
@@ -133,6 +146,8 @@ func New(cfg Config) *Sim {
 		nodes:     make(map[id.Node]*simNode),
 		partition: make(map[id.Node]int),
 		busyUntil: make(map[linkPair]time.Time),
+		blocked:   make(map[linkPair]bool),
+		known:     make(map[linkPair]bool),
 		stats: Stats{
 			SentByKind:  make(map[wire.Kind]uint64),
 			BytesByKind: make(map[wire.Kind]uint64),
@@ -175,7 +190,26 @@ func (s *Sim) AddNode(n id.Node, build func(env proto.Env) proto.Handler) proto.
 	s.nodes[n] = node
 	node.handler = build(node)
 	offset := time.Duration(s.rng.Int63n(int64(s.cfg.Tick)))
-	s.scheduleAt(s.now.Add(offset), func() { node.tick() })
+	epoch := node.epoch
+	s.scheduleAt(s.now.Add(offset), func() { node.tick(epoch) })
+	return node.handler
+}
+
+// Replace swaps a node's protocol stack for a freshly built one at the
+// current virtual time — the simulation of a process restart with empty
+// engine state (Restart, by contrast, recovers the old state). The old
+// handler's tick chain is retired via an epoch guard so the node never
+// double-ticks.
+func (s *Sim) Replace(n id.Node, build func(env proto.Env) proto.Handler) proto.Handler {
+	node, ok := s.nodes[n]
+	if !ok {
+		panic(fmt.Sprintf("netsim: Replace of unknown node %s", n))
+	}
+	node.epoch++
+	node.up = true
+	node.handler = build(node)
+	epoch := node.epoch
+	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick(epoch) })
 	return node.handler
 }
 
@@ -204,8 +238,26 @@ func (s *Sim) Restart(n id.Node) {
 		return
 	}
 	node.up = true
-	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick() })
+	epoch := node.epoch
+	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick(epoch) })
 }
+
+// BlockDirected drops every datagram from one node to another while
+// leaving the reverse direction intact — asymmetric reachability, the
+// failure mode NATs and one-way filters produce.
+func (s *Sim) BlockDirected(from, to id.Node) { s.blocked[linkPair{from, to}] = true }
+
+// UnblockDirected removes a directed block.
+func (s *Sim) UnblockDirected(from, to id.Node) { delete(s.blocked, linkPair{from, to}) }
+
+// EnableAddressing turns on peer-address modelling: sends succeed only
+// toward peers the sender knows (Know) or has learned from inbound
+// traffic, mirroring the UDP endpoint's peer table.
+func (s *Sim) EnableAddressing() { s.addressing = true }
+
+// Know seeds a directed address entry: from holds to's address, as if
+// configured with a static -peer flag.
+func (s *Sim) Know(from, to id.Node) { s.known[linkPair{from, to}] = true }
 
 // Partition splits the network into isolated groups, like
 // transport.Fabric.Partition. Unlisted nodes share group 0.
@@ -218,8 +270,11 @@ func (s *Sim) Partition(groups ...[]id.Node) {
 	}
 }
 
-// Heal removes any partition.
-func (s *Sim) Heal() { s.partition = make(map[id.Node]int) }
+// Heal removes any partition and any directed blocks.
+func (s *Sim) Heal() {
+	s.partition = make(map[id.Node]int)
+	s.blocked = make(map[linkPair]bool)
+}
 
 // SetProfile swaps the link profile at the current virtual time. The chaos
 // harness uses it to script loss and duplication bursts mid-run; traffic
@@ -282,7 +337,8 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 		return
 	}
 	link := s.cfg.Profile(from, to)
-	if s.partition[from] != s.partition[to] {
+	if s.partition[from] != s.partition[to] || s.blocked[linkPair{from, to}] ||
+		(s.addressing && !s.known[linkPair{from, to}]) {
 		s.stats.Dropped++
 		wire.PutBuf(bp)
 		return
@@ -339,17 +395,23 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 				return
 			}
 			s.stats.Delivered++
+			// Return-address learning, as the UDP endpoint does from
+			// datagram sources: the receiver now knows the sender.
+			s.known[linkPair{to, from}] = true
 			node.handler.OnMessage(from, decoded)
 		})
 	}
 }
 
 // simNode is one simulated host; it implements proto.Env for its handler.
+// epoch guards the tick chain: Replace retires the old handler's chain by
+// bumping it, so a replaced stack never double-ticks.
 type simNode struct {
 	sim     *Sim
 	self    id.Node
 	handler proto.Handler
 	up      bool
+	epoch   int
 }
 
 var _ proto.Env = (*simNode)(nil)
@@ -379,13 +441,24 @@ func (n *simNode) SendBatch(to id.Node, msg *wire.Message) error {
 // Flush is a no-op under virtual time; see SendBatch.
 func (n *simNode) Flush() error { return nil }
 
-// tick delivers OnTick and reschedules itself while the node is up.
-func (n *simNode) tick() {
-	if !n.up {
+// CanReach mirrors transport.Reachability under the simulator's
+// addressing model; with addressing off every attached node is reachable,
+// matching the historical everyone-knows-everyone behaviour.
+func (n *simNode) CanReach(to id.Node) bool {
+	if _, ok := n.sim.nodes[to]; !ok {
+		return false
+	}
+	return !n.sim.addressing || n.sim.known[linkPair{n.self, to}]
+}
+
+// tick delivers OnTick and reschedules itself while the node is up and
+// its epoch is current.
+func (n *simNode) tick(epoch int) {
+	if !n.up || epoch != n.epoch {
 		return
 	}
 	n.handler.OnTick(n.sim.now)
-	n.sim.scheduleAt(n.sim.now.Add(n.sim.cfg.Tick), func() { n.tick() })
+	n.sim.scheduleAt(n.sim.now.Add(n.sim.cfg.Tick), func() { n.tick(epoch) })
 }
 
 // event is one queue entry; seq breaks time ties deterministically in

@@ -307,3 +307,137 @@ func TestSimUnlimitedBandwidthUnchanged(t *testing.T) {
 			b.got[0].at, b.got[2].at)
 	}
 }
+
+func TestSimBlockDirected(t *testing.T) {
+	s := New(Config{})
+	var a, b *echoHandler
+	s.AddNode(1, func(env proto.Env) proto.Handler { a = newEcho(env); return a })
+	s.AddNode(2, func(env proto.Env) proto.Handler { b = newEcho(env); return b })
+
+	s.At(time.Millisecond, func() { s.BlockDirected(1, 2) })
+	s.At(10*time.Millisecond, func() {
+		a.env.Send(2, &wire.Message{Kind: wire.KindData, Seq: 1})
+		b.env.Send(1, &wire.Message{Kind: wire.KindData, Seq: 2})
+	})
+	s.At(20*time.Millisecond, func() { s.UnblockDirected(1, 2) })
+	s.At(30*time.Millisecond, func() {
+		a.env.Send(2, &wire.Message{Kind: wire.KindData, Seq: 3})
+	})
+	s.Run(100 * time.Millisecond)
+
+	// The asymmetry: 1→2 was dropped while 2→1 flowed.
+	if len(b.got) != 1 || b.got[0].seq != 3 {
+		t.Fatalf("blocked direction delivered %+v, want only seq 3", b.got)
+	}
+	if len(a.got) != 1 || a.got[0].seq != 2 {
+		t.Fatalf("reverse direction delivered %+v, want seq 2", a.got)
+	}
+}
+
+func TestSimHealClearsDirectedBlocks(t *testing.T) {
+	s := New(Config{})
+	var a, b *echoHandler
+	s.AddNode(1, func(env proto.Env) proto.Handler { a = newEcho(env); return a })
+	s.AddNode(2, func(env proto.Env) proto.Handler { b = newEcho(env); return b })
+	s.At(time.Millisecond, func() { s.BlockDirected(1, 2) })
+	s.At(10*time.Millisecond, func() { s.Heal() })
+	s.At(20*time.Millisecond, func() {
+		a.env.Send(2, &wire.Message{Kind: wire.KindData, Seq: 9})
+	})
+	s.Run(100 * time.Millisecond)
+	if len(b.got) != 1 || b.got[0].seq != 9 {
+		t.Fatalf("heal did not clear the block: %+v", b.got)
+	}
+}
+
+// reachable mirrors the engines' local reachability interface.
+type reachable interface{ CanReach(id.Node) bool }
+
+func TestSimAddressing(t *testing.T) {
+	s := New(Config{})
+	s.EnableAddressing()
+	var a, b, c *echoHandler
+	s.AddNode(1, func(env proto.Env) proto.Handler { a = newEcho(env); return a })
+	s.AddNode(2, func(env proto.Env) proto.Handler { b = newEcho(env); return b })
+	s.AddNode(3, func(env proto.Env) proto.Handler { c = newEcho(env); return c })
+
+	// Only node 2 is configured with node 1's address.
+	s.Know(2, 1)
+	s.At(5*time.Millisecond, func() {
+		b.env.Send(1, &wire.Message{Kind: wire.KindData, Seq: 1}) // delivers, teaches 1 about 2
+		a.env.Send(3, &wire.Message{Kind: wire.KindData, Seq: 2}) // dropped: 1 has no route to 3
+	})
+	s.At(15*time.Millisecond, func() {
+		a.env.Send(2, &wire.Message{Kind: wire.KindData, Seq: 3}) // works: learned from seq 1
+	})
+	s.Run(100 * time.Millisecond)
+
+	if len(a.got) != 1 || a.got[0].seq != 1 {
+		t.Fatalf("node 1 got %+v, want seq 1", a.got)
+	}
+	if len(b.got) != 1 || b.got[0].seq != 3 {
+		t.Fatalf("node 2 got %+v, want seq 3 (return address learned)", b.got)
+	}
+	if len(c.got) != 0 {
+		t.Fatalf("node 3 got %+v despite being unknown to the sender", c.got)
+	}
+
+	r := a.env.(reachable)
+	if !r.CanReach(2) {
+		t.Fatal("node 1 should reach node 2 after hearing from it")
+	}
+	if r.CanReach(3) {
+		t.Fatal("node 1 should not reach node 3: no address known")
+	}
+	if r.CanReach(99) {
+		t.Fatal("CanReach(unknown node) should be false")
+	}
+}
+
+func TestSimReplace(t *testing.T) {
+	s := New(Config{Tick: 10 * time.Millisecond})
+	var a1, a2, b *echoHandler
+	s.AddNode(1, func(env proto.Env) proto.Handler { a1 = newEcho(env); return a1 })
+	s.AddNode(2, func(env proto.Env) proto.Handler { b = newEcho(env); return b })
+
+	s.At(25*time.Millisecond, func() {
+		s.Replace(1, func(env proto.Env) proto.Handler { a2 = newEcho(env); return a2 })
+	})
+	s.At(30*time.Millisecond, func() {
+		b.env.Send(1, &wire.Message{Kind: wire.KindData, Seq: 5})
+	})
+	s.Run(200 * time.Millisecond)
+
+	if len(a2.got) != 1 || a2.got[0].seq != 5 {
+		t.Fatalf("replacement handler got %+v, want seq 5", a2.got)
+	}
+	if len(a1.got) != 0 {
+		t.Fatalf("replaced handler still receiving: %+v", a1.got)
+	}
+	// The old tick chain must stop at the replacement and exactly one new
+	// chain must drive the new handler: evenly spaced, no double ticks.
+	cut := time.Unix(0, 0).UTC().Add(25 * time.Millisecond)
+	for _, at := range a1.tickedAt {
+		if at.After(cut) {
+			t.Fatalf("old handler ticked at %v, after its replacement", at)
+		}
+	}
+	if len(a2.tickedAt) < 10 {
+		t.Fatalf("replacement handler got %d ticks, want ~17", len(a2.tickedAt))
+	}
+	for i := 1; i < len(a2.tickedAt); i++ {
+		if d := a2.tickedAt[i].Sub(a2.tickedAt[i-1]); d != 10*time.Millisecond {
+			t.Fatalf("replacement tick gap %v, want 10ms (double tick chain?)", d)
+		}
+	}
+}
+
+func TestSimReplaceUnknownPanics(t *testing.T) {
+	s := New(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Replace of an unknown node did not panic")
+		}
+	}()
+	s.Replace(7, func(env proto.Env) proto.Handler { return newEcho(env) })
+}

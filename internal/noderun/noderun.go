@@ -56,6 +56,16 @@ var _ proto.Env = env{}
 
 func (e env) Self() id.Node  { return e.r.ep.Self() }
 func (e env) Now() time.Time { return time.Now() }
+
+// CanReach exposes the endpoint's reachability knowledge (peer-table
+// membership on UDP) to the protocol engines. Endpoints without the
+// interface report everything reachable, the engines' assumed default.
+func (e env) CanReach(to id.Node) bool {
+	if r, ok := e.r.ep.(transport.Reachability); ok {
+		return r.CanReach(to)
+	}
+	return true
+}
 func (e env) Send(to id.Node, msg *wire.Message) {
 	// Best-effort datagram semantics: local errors (closed endpoint,
 	// unknown peer during reconfiguration) are equivalent to loss, and

@@ -4,8 +4,10 @@ import (
 	"flag"
 	"fmt"
 	"testing"
+	"time"
 
 	"scalamedia/internal/chaos"
+	"scalamedia/internal/flightrec"
 )
 
 // -session.chaos.seed replays one failing session chaos run.
@@ -33,6 +35,40 @@ func TestSessionChaos(t *testing.T) {
 			t.Parallel()
 			runSessionChaos(t, seed)
 		})
+	}
+}
+
+// TestSessionJoinThroughAsymmetry blocks the coordinator→joiner
+// direction for long enough that the admission guard quarantines the
+// joiner: n4's JoinReqs keep arriving but nothing sent back ever lands,
+// so after the bounded proposal rounds n4 is parked instead of wedging
+// the flush. The rest of the session must form and make progress
+// immediately, and n4 must be admitted after the quarantine TTL with a
+// state-transferred directory identical to everyone else's.
+func TestSessionJoinThroughAsymmetry(t *testing.T) {
+	// -1500ms offsets the fault back to simulation start so the block
+	// covers the whole join window and beyond.
+	sched := chaos.Schedule{
+		{At: -1500 * time.Millisecond, Kind: chaos.AsymmetricPartition,
+			Node: 1, Peer: 4, Dur: 2500 * time.Millisecond},
+	}
+	tr := chaos.RunSession(chaos.SessionOptions{Seed: 9, Nodes: 4, Schedule: sched})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			"(handwritten asymmetric-join schedule)", tr.Schedule, v, tr.Flight))
+	}
+	quarantined := false
+	for _, ev := range tr.Flight.Dump() {
+		if ev.Code == flightrec.EvQuarantine && ev.A == 4 {
+			quarantined = true
+			break
+		}
+	}
+	if !quarantined {
+		t.Fatal("flight recorder shows no quarantine event for n4")
+	}
+	if sn := tr.Nodes[4]; !sn.FinalView.Contains(4) {
+		t.Fatalf("n4 was never admitted after quarantine: final view %v", sn.FinalView.Members)
 	}
 }
 

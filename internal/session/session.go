@@ -49,6 +49,10 @@ const (
 	// from the session (a lost partition or a false suspicion); the node
 	// must rejoin with a fresh engine to participate again.
 	SelfEvicted
+	// JoinFailed reports that the join attempt cap was exhausted without
+	// admission (see Config.JoinAttempts); the node must retry with a
+	// fresh engine, ideally through a different contact.
+	JoinFailed
 )
 
 // String returns the event kind name.
@@ -66,6 +70,8 @@ func (k EventKind) String() string {
 		return "message-received"
 	case SelfEvicted:
 		return "self-evicted"
+	case JoinFailed:
+		return "join-failed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -87,6 +93,7 @@ type Event struct {
 	Stream  Announcement // announced/withdrawn stream
 	Payload []byte       // application message
 	View    member.View  // view in effect
+	Err     error        // JoinFailed cause (e.g. member.ErrJoinUnreachable)
 }
 
 // Config parameterizes a session engine.
@@ -107,6 +114,17 @@ type Config struct {
 	JoinRetry      time.Duration
 	ResendAfter    time.Duration
 	StabilizeEvery time.Duration
+	// JoinBackoffMax and JoinAttempts tune the jittered-exponential join
+	// retry; see member.Config. A hit attempt cap surfaces as a
+	// JoinFailed event.
+	JoinBackoffMax time.Duration
+	JoinAttempts   int
+	// AdvertiseAddr is the transport address this node asks the session
+	// to reach it at; see member.Config.AdvertiseAddr.
+	AdvertiseAddr string
+	// OnPeerAddr receives learned member addresses so the driver can
+	// teach the transport peer table; see member.Config.OnPeerAddr.
+	OnPeerAddr func(id.Node, string)
 	// PrimaryPartition forwards the membership majority rule; see
 	// member.Config.PrimaryPartition.
 	PrimaryPartition bool
@@ -179,12 +197,17 @@ func New(env proto.Env, cfg Config) *Engine {
 		JoinRetry:        cfg.JoinRetry,
 		ResendAfter:      cfg.ResendAfter,
 		StabilizeEvery:   cfg.StabilizeEvery,
+		JoinBackoffMax:   cfg.JoinBackoffMax,
+		JoinAttempts:     cfg.JoinAttempts,
+		AdvertiseAddr:    cfg.AdvertiseAddr,
+		OnPeerAddr:       cfg.OnPeerAddr,
 		PrimaryPartition: cfg.PrimaryPartition,
 		Metrics:          cfg.Metrics,
 		Flight:           cfg.Flight,
 		OnView:           e.onView,
 		OnDeliver:        e.onDeliver,
 		OnEvicted:        e.onEvicted,
+		OnJoinFailed:     e.onJoinFailed,
 		Snapshot:         e.snapshotDirectory,
 		OnState:          e.installDirectory,
 	})
@@ -194,6 +217,11 @@ func New(env proto.Env, cfg Config) *Engine {
 // onEvicted surfaces the membership layer removing this node.
 func (e *Engine) onEvicted() {
 	e.emit(Event{Kind: SelfEvicted, Node: e.env.Self(), View: e.prevView})
+}
+
+// onJoinFailed surfaces join abandonment at the attempt cap.
+func (e *Engine) onJoinFailed(err error) {
+	e.emit(Event{Kind: JoinFailed, Node: e.env.Self(), Err: err})
 }
 
 // snapshotDirectory serializes the stream directory for state transfer to

@@ -164,21 +164,24 @@ func TestUDPOrderedDecode(t *testing.T) {
 	if err := a.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	next := uint64(0)
+	// Only ordering is under test: loopback can drop under load (a
+	// receive-queue overflow skips a mid-stream run of sequences), so
+	// the assertion is that sequence numbers never go backwards, plus a
+	// floor on how many arrive at all.
+	got, last := 0, -1
 	deadline := time.After(5 * time.Second)
-	for next < n {
+	for got < n && last < n-1 {
 		select {
 		case in := <-b.Recv():
-			if in.Msg.Seq != next {
-				t.Fatalf("out of order: got seq %d, want %d", in.Msg.Seq, next)
+			if int(in.Msg.Seq) <= last {
+				t.Fatalf("out of order: got seq %d after %d", in.Msg.Seq, last)
 			}
-			next++
+			last = int(in.Msg.Seq)
+			got++
 			wire.PutMessage(in.Msg)
 		case <-deadline:
-			// Loopback can in principle drop; only ordering is under
-			// test, so a shortfall past the halfway mark is a failure.
-			if next < n/2 {
-				t.Fatalf("received only %d of %d", next, n)
+			if got < n/2 {
+				t.Fatalf("received only %d of %d", got, n)
 			}
 			return
 		}

@@ -247,12 +247,25 @@ type pendingSend struct {
 }
 
 var (
-	_ Endpoint    = (*inprocEndpoint)(nil)
-	_ BatchSender = (*inprocEndpoint)(nil)
+	_ Endpoint     = (*inprocEndpoint)(nil)
+	_ BatchSender  = (*inprocEndpoint)(nil)
+	_ Reachability = (*inprocEndpoint)(nil)
 )
 
 func (e *inprocEndpoint) Self() id.Node        { return e.self }
 func (e *inprocEndpoint) Recv() <-chan Inbound { return e.recv }
+
+// CanReach reports whether the node is currently attached to the fabric.
+// Partitions and lossy links do not count as unreachable: like live UDP,
+// the fabric cannot distinguish loss from absence, only a missing
+// attachment (no address at all) is definitive.
+func (e *inprocEndpoint) CanReach(to id.Node) bool {
+	f := e.fabric
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.endpoints[to]
+	return ok
+}
 
 func (e *inprocEndpoint) Send(to id.Node, msg *wire.Message) error {
 	sb, err := e.encode(msg)

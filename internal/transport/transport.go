@@ -87,20 +87,42 @@ type BatchSender interface {
 	Flush() error
 }
 
+// Reachability is implemented by endpoints that can report whether they
+// currently hold a route (an address, a fabric attachment) for a node.
+// Protocol layers use it as an admission guard: a coordinator that
+// positively knows it cannot answer a joiner parks the join instead of
+// burning proposal rounds on it. A transport that cannot tell must not
+// implement the interface — callers treat absence as "assume reachable".
+type Reachability interface {
+	CanReach(n id.Node) bool
+}
+
+// AddrLearner is implemented by endpoints whose peer table can be taught
+// addresses at runtime — from inbound datagram sources (the endpoint does
+// that itself) or from the membership layer's address exchange (the
+// session wiring calls LearnPeer with addresses carried in view commits).
+// A learned entry never overrides a statically configured one: static
+// entries (AddPeer) represent operator intent and win until replaced by
+// another AddPeer call.
+type AddrLearner interface {
+	LearnPeer(n id.Node, addr string) error
+}
+
 // epMetrics caches the per-endpoint counter pointers so the datagram path
 // pays one atomic pointer load plus plain atomic adds — no registry map
 // lookups per packet.
 type epMetrics struct {
-	sent       *stats.Counter // datagrams transmitted
-	recvd      *stats.Counter // datagrams decoded and queued
-	bytesSent  *stats.Counter
-	bytesRecvd *stats.Counter
-	decodeErrs *stats.Counter // malformed datagrams discarded
-	queueDrops *stats.Counter // receive-queue overflow drops
-	rxDropped  *stats.Counter // raw datagrams dropped before decode
-	syscallsRx *stats.Counter // receive syscalls (UDP endpoints)
-	syscallsTx *stats.Counter // transmit syscalls (UDP endpoints)
-	batchFill  *stats.Histogram // datagrams moved per batched syscall
+	sent        *stats.Counter // datagrams transmitted
+	recvd       *stats.Counter // datagrams decoded and queued
+	bytesSent   *stats.Counter
+	bytesRecvd  *stats.Counter
+	decodeErrs  *stats.Counter   // malformed datagrams discarded
+	queueDrops  *stats.Counter   // receive-queue overflow drops
+	rxDropped   *stats.Counter   // raw datagrams dropped before decode
+	syscallsRx  *stats.Counter   // receive syscalls (UDP endpoints)
+	syscallsTx  *stats.Counter   // transmit syscalls (UDP endpoints)
+	addrLearned *stats.Counter   // peer addresses learned from traffic
+	batchFill   *stats.Histogram // datagrams moved per batched syscall
 }
 
 // newEpMetrics registers the transport counter set on reg, or returns nil
@@ -110,16 +132,17 @@ func newEpMetrics(reg *stats.Registry) *epMetrics {
 		return nil
 	}
 	return &epMetrics{
-		sent:       reg.Counter("transport.datagrams_sent"),
-		recvd:      reg.Counter("transport.datagrams_recv"),
-		bytesSent:  reg.Counter("transport.bytes_sent"),
-		bytesRecvd: reg.Counter("transport.bytes_recv"),
-		decodeErrs: reg.Counter("transport.decode_errors"),
-		queueDrops: reg.Counter("transport.queue_drops"),
-		rxDropped:  reg.Counter("transport.rx_dropped"),
-		syscallsRx: reg.Counter("transport.syscalls_rx"),
-		syscallsTx: reg.Counter("transport.syscalls_tx"),
-		batchFill:  reg.Histogram("transport.batch_fill"),
+		sent:        reg.Counter("transport.datagrams_sent"),
+		recvd:       reg.Counter("transport.datagrams_recv"),
+		bytesSent:   reg.Counter("transport.bytes_sent"),
+		bytesRecvd:  reg.Counter("transport.bytes_recv"),
+		decodeErrs:  reg.Counter("transport.decode_errors"),
+		queueDrops:  reg.Counter("transport.queue_drops"),
+		rxDropped:   reg.Counter("transport.rx_dropped"),
+		syscallsRx:  reg.Counter("transport.syscalls_rx"),
+		syscallsTx:  reg.Counter("transport.syscalls_tx"),
+		addrLearned: reg.Counter("transport.addr_learned"),
+		batchFill:   reg.Histogram("transport.batch_fill"),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 
@@ -61,15 +62,35 @@ func WithDecodeWorkers(n int) UDPOption {
 	}
 }
 
+// peerEntry is one peer-table row. addr is what the send path writes to;
+// ap is the same address as a comparable value, so the receive path can
+// detect a changed source with one struct compare and no allocation.
+// Static entries come from AddPeer (operator configuration) and are never
+// displaced by learned traffic; learned entries refresh freely as the
+// peer's observed source address moves.
+type peerEntry struct {
+	addr   *net.UDPAddr
+	ap     netip.AddrPort
+	static bool
+}
+
 // peerMap is the copy-on-write peer address table. Readers load the
-// current map through an atomic pointer and never lock; AddPeer copies.
-type peerMap = map[id.Node]*net.UDPAddr
+// current map through an atomic pointer and never lock; updates copy.
+type peerMap = map[id.Node]peerEntry
 
 // outDatagram is one encoded, address-resolved datagram waiting in the
 // send queue for the next Flush.
 type outDatagram struct {
 	buf  *[]byte
 	addr *net.UDPAddr
+}
+
+// rawDatagram is one received datagram moving from the socket reader to
+// the decode stage, tagged with its kernel-reported source address so
+// the decode stage can learn return addresses.
+type rawDatagram struct {
+	bp   *[]byte
+	from netip.AddrPort
 }
 
 // UDPEndpoint is an Endpoint over a real UDP socket. Peers are registered
@@ -101,14 +122,16 @@ type UDPEndpoint struct {
 	sendMu sync.Mutex
 	sendQ  []outDatagram
 
-	decodeq    chan *[]byte
+	decodeq    chan rawDatagram
 	readerDone chan struct{} // closed when the reader goroutine exits
 	workerWG   sync.WaitGroup
 }
 
 var (
-	_ Endpoint    = (*UDPEndpoint)(nil)
-	_ BatchSender = (*UDPEndpoint)(nil)
+	_ Endpoint     = (*UDPEndpoint)(nil)
+	_ BatchSender  = (*UDPEndpoint)(nil)
+	_ Reachability = (*UDPEndpoint)(nil)
+	_ AddrLearner  = (*UDPEndpoint)(nil)
 )
 
 // ListenUDP opens a UDP endpoint for node on the given local address
@@ -151,7 +174,7 @@ func ListenUDP(node id.Node, addr string, opts ...UDPOption) (*UDPEndpoint, erro
 	if depth < 4*DefaultBatch {
 		depth = 4 * DefaultBatch
 	}
-	e.decodeq = make(chan *[]byte, depth)
+	e.decodeq = make(chan rawDatagram, depth)
 	e.mb = newBatcher(conn, e.batch)
 	for i := 0; i < e.workers; i++ {
 		e.workerWG.Add(1)
@@ -172,7 +195,9 @@ func (e *UDPEndpoint) LocalAddr() *net.UDPAddr {
 	return addr
 }
 
-// AddPeer registers the UDP address for a remote node. The peer table is
+// AddPeer registers the UDP address for a remote node as a static entry:
+// it overwrites anything previously known (learned or static) and is
+// never displaced by learned traffic afterwards. The peer table is
 // copy-on-write: concurrent senders read it with one atomic load and
 // never contend on a lock.
 func (e *UDPEndpoint) AddPeer(node id.Node, addr string) error {
@@ -180,22 +205,74 @@ func (e *UDPEndpoint) AddPeer(node id.Node, addr string) error {
 	if err != nil {
 		return fmt.Errorf("resolve peer %q: %w", addr, err)
 	}
+	e.upsertPeer(node, uaddr, true)
+	return nil
+}
+
+// LearnPeer registers an address for a node learned from the protocol
+// (the membership layer's address exchange). Unlike AddPeer the entry is
+// advisory: it never overrides a static entry, and later traffic from
+// the node may refresh it.
+func (e *UDPEndpoint) LearnPeer(node id.Node, addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("resolve peer %q: %w", addr, err)
+	}
+	e.upsertPeer(node, uaddr, false)
+	return nil
+}
+
+// upsertPeer installs one peer-table entry under the copy-on-write lock.
+// A non-static update leaves an existing static entry untouched.
+func (e *UDPEndpoint) upsertPeer(node id.Node, uaddr *net.UDPAddr, static bool) {
+	ap := uaddr.AddrPort()
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 	e.peerMu.Lock()
 	defer e.peerMu.Unlock()
 	old := *e.peers.Load()
+	if cur, ok := old[node]; ok && !static && (cur.static || cur.ap == ap) {
+		return
+	}
 	next := make(peerMap, len(old)+1)
 	for n, a := range old {
 		next[n] = a
 	}
-	next[node] = uaddr
+	next[node] = peerEntry{addr: uaddr, ap: ap, static: static}
 	e.peers.Store(&next)
-	return nil
+}
+
+// learnSource records the observed source address of an inbound datagram
+// for its wire-level sender. The fast path — known peer, unchanged
+// address — is one atomic load, one map lookup and one comparison, with
+// no allocation; only a new or moved peer takes the lock and copies the
+// table. Static entries win: a spoofed datagram cannot repoint a
+// configured peer, and a learned entry flaps only as often as the peer's
+// genuine source address does.
+func (e *UDPEndpoint) learnSource(node id.Node, ap netip.AddrPort) {
+	if node == id.None || !ap.IsValid() {
+		return
+	}
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	if cur, ok := (*e.peers.Load())[node]; ok && (cur.static || cur.ap == ap) {
+		return
+	}
+	e.upsertPeer(node, net.UDPAddrFromAddrPort(ap), false)
+	if m := e.load(); m != nil {
+		m.addrLearned.Inc()
+	}
+}
+
+// CanReach reports whether the endpoint holds an address (static or
+// learned) for the node.
+func (e *UDPEndpoint) CanReach(to id.Node) bool {
+	_, ok := (*e.peers.Load())[to]
+	return ok
 }
 
 // lookupPeer resolves a node to its registered address without locking.
 func (e *UDPEndpoint) lookupPeer(to id.Node) (*net.UDPAddr, error) {
-	if addr, ok := (*e.peers.Load())[to]; ok {
-		return addr, nil
+	if ent, ok := (*e.peers.Load())[to]; ok {
+		return ent.addr, nil
 	}
 	return nil, fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 }
@@ -367,11 +444,11 @@ func rxBuf() *[]byte {
 // dispatchRaw hands one raw datagram to the decode stage, dropping (and
 // counting) it when the stage is backed up — the bounded-queue behaviour
 // of a kernel socket buffer, observable instead of silent.
-func (e *UDPEndpoint) dispatchRaw(bp *[]byte) {
+func (e *UDPEndpoint) dispatchRaw(d rawDatagram) {
 	select {
-	case e.decodeq <- bp:
+	case e.decodeq <- d:
 	default:
-		wire.PutBuf(bp)
+		wire.PutBuf(d.bp)
 		if m := e.load(); m != nil {
 			m.rxDropped.Inc()
 		}
@@ -393,10 +470,10 @@ func (e *UDPEndpoint) readLoop() {
 func (e *UDPEndpoint) simpleReadLoop() {
 	for {
 		bp := rxBuf()
-		// ReadFromUDPAddrPort keeps the source address on the stack;
-		// ReadFromUDP would heap-allocate a *net.UDPAddr per datagram
-		// that nothing reads (From comes from the wire header).
-		n, _, err := e.conn.ReadFromUDPAddrPort(*bp)
+		// ReadFromUDPAddrPort keeps the source address on the stack as a
+		// comparable netip.AddrPort; ReadFromUDP would heap-allocate a
+		// *net.UDPAddr per datagram.
+		n, ap, err := e.conn.ReadFromUDPAddrPort(*bp)
 		if err != nil {
 			wire.PutBuf(bp)
 			return // socket closed or fatally broken
@@ -406,7 +483,7 @@ func (e *UDPEndpoint) simpleReadLoop() {
 			m.batchFill.Observe(1)
 		}
 		*bp = (*bp)[:n]
-		e.dispatchRaw(bp)
+		e.dispatchRaw(rawDatagram{bp: bp, from: ap})
 	}
 }
 
@@ -416,6 +493,7 @@ func (e *UDPEndpoint) simpleReadLoop() {
 // not fill are reused as-is, so the steady state allocates nothing.
 func (e *UDPEndpoint) batchReadLoop() {
 	bufs := make([]*[]byte, e.batch)
+	addrs := make([]netip.AddrPort, e.batch)
 	defer func() {
 		for _, bp := range bufs {
 			if bp != nil {
@@ -429,7 +507,7 @@ func (e *UDPEndpoint) batchReadLoop() {
 				bufs[i] = rxBuf()
 			}
 		}
-		n, err := e.mb.recvBatch(bufs)
+		n, err := e.mb.recvBatch(bufs, addrs)
 		if err != nil {
 			return // socket closed or fatally broken
 		}
@@ -438,7 +516,7 @@ func (e *UDPEndpoint) batchReadLoop() {
 			m.batchFill.Observe(float64(n))
 		}
 		for i := 0; i < n; i++ {
-			e.dispatchRaw(bufs[i])
+			e.dispatchRaw(rawDatagram{bp: bufs[i], from: addrs[i]})
 			bufs[i] = nil
 		}
 	}
@@ -451,12 +529,12 @@ func (e *UDPEndpoint) batchReadLoop() {
 // history).
 func (e *UDPEndpoint) decodeLoop() {
 	defer e.workerWG.Done()
-	for bp := range e.decodeq {
+	for d := range e.decodeq {
 		m := e.load()
 		msg := wire.GetMessage()
-		err := wire.DecodeInto(msg, *bp)
-		n := len(*bp)
-		wire.PutBuf(bp)
+		err := wire.DecodeInto(msg, *d.bp)
+		n := len(*d.bp)
+		wire.PutBuf(d.bp)
 		if err != nil {
 			wire.PutMessage(msg)
 			if m != nil {
@@ -464,6 +542,10 @@ func (e *UDPEndpoint) decodeLoop() {
 			}
 			continue // malformed datagrams vanish
 		}
+		// A datagram that decoded carries an authenticated-enough claim of
+		// its sender; remember where it came from so replies work even
+		// when the peer was never configured.
+		e.learnSource(msg.From, d.from)
 		select {
 		case e.recv <- Inbound{From: msg.From, Msg: msg}:
 			if m != nil {

@@ -18,6 +18,7 @@ package transport
 
 import (
 	"net"
+	"net/netip"
 	"syscall"
 	"unsafe"
 )
@@ -40,12 +41,13 @@ type udpBatcher struct {
 	sock6 bool // the socket is AF_INET6 (v4 destinations get mapped)
 
 	// Receive scratch; written by recvBatch, read by rawRecv.
-	rxHdrs []mmsghdr
-	rxIovs []syscall.Iovec
-	rxVlen int
-	rxN    int
-	rxErr  error
-	rxFn   func(fd uintptr) bool // bound once; avoids a closure per call
+	rxHdrs  []mmsghdr
+	rxIovs  []syscall.Iovec
+	rxNames []syscall.RawSockaddrInet6
+	rxVlen  int
+	rxN     int
+	rxErr   error
+	rxFn    func(fd uintptr) bool // bound once; avoids a closure per call
 
 	// Send scratch; written by sendBatch, read by rawSend.
 	txHdrs  []mmsghdr
@@ -74,6 +76,7 @@ func newBatcher(conn *net.UDPConn, batch int) *udpBatcher {
 		sock6:   laddr == nil || laddr.IP.To4() == nil,
 		rxHdrs:  make([]mmsghdr, batch),
 		rxIovs:  make([]syscall.Iovec, batch),
+		rxNames: make([]syscall.RawSockaddrInet6, batch),
 		txHdrs:  make([]mmsghdr, batch),
 		txIovs:  make([]syscall.Iovec, batch),
 		txNames: make([]syscall.RawSockaddrInet6, batch),
@@ -86,10 +89,11 @@ func newBatcher(conn *net.UDPConn, batch int) *udpBatcher {
 
 // recvBatch fills up to len(bufs) datagrams in one recvmmsg syscall,
 // blocking on the netpoller until at least one arrives. Each received
-// buffer's length is set to its datagram size. It returns the number of
-// datagrams received; a non-nil error means the socket is closed or
-// fatally broken.
-func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
+// buffer's length is set to its datagram size and addrs[i] is set to the
+// datagram's kernel-reported source address (for return-address
+// learning). It returns the number of datagrams received; a non-nil
+// error means the socket is closed or fatally broken.
+func (b *udpBatcher) recvBatch(bufs []*[]byte, addrs []netip.AddrPort) (int, error) {
 	n := len(bufs)
 	if n > len(b.rxHdrs) {
 		n = len(b.rxHdrs)
@@ -99,10 +103,11 @@ func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
 		b.rxIovs[i] = syscall.Iovec{Base: &buf[0], Len: uint64(len(buf))}
 		h := &b.rxHdrs[i]
 		*h = mmsghdr{}
+		h.hdr.Name = (*byte)(unsafe.Pointer(&b.rxNames[i]))
+		h.hdr.Namelen = syscall.SizeofSockaddrInet6
 		h.hdr.Iov = &b.rxIovs[i]
 		h.hdr.Iovlen = 1
-		// Name stays nil: the sender's address is unused — the wire
-		// header carries the protocol-level From.
+		b.rxNames[i] = syscall.RawSockaddrInet6{}
 	}
 	b.rxVlen, b.rxN, b.rxErr = n, 0, nil
 	if err := b.rc.Read(b.rxFn); err != nil {
@@ -113,6 +118,9 @@ func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
 	}
 	for i := 0; i < b.rxN; i++ {
 		*bufs[i] = (*bufs[i])[:b.rxHdrs[i].n]
+		if i < len(addrs) {
+			addrs[i] = getSockaddr(&b.rxNames[i])
+		}
 	}
 	return b.rxN, nil
 }
@@ -204,6 +212,23 @@ func (b *udpBatcher) rawSend(fd uintptr) bool {
 		}
 	}
 	return true
+}
+
+// getSockaddr parses a kernel-written sockaddr back into a
+// netip.AddrPort, the inverse of putSockaddr. V4-mapped v6 sources
+// (dual-stack sockets) are unmapped so the address compares equal to the
+// same peer seen through a v4 socket.
+func getSockaddr(raw *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch raw.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(raw))
+		port := sa.Port<<8 | sa.Port>>8
+		return netip.AddrPortFrom(netip.AddrFrom4(sa.Addr), port)
+	case syscall.AF_INET6:
+		port := raw.Port<<8 | raw.Port>>8
+		return netip.AddrPortFrom(netip.AddrFrom16(raw.Addr).Unmap(), port)
+	}
+	return netip.AddrPort{}
 }
 
 // putSockaddr writes addr into raw in kernel sockaddr layout and returns

@@ -9,7 +9,10 @@
 
 package transport
 
-import "net"
+import (
+	"net"
+	"net/netip"
+)
 
 // newBatcher reports that batched datagram syscalls are unavailable.
 func newBatcher(conn *net.UDPConn, batch int) *udpBatcher { return nil }
@@ -18,7 +21,7 @@ func newBatcher(conn *net.UDPConn, batch int) *udpBatcher { return nil }
 // so the portable endpoint code compiles unchanged.
 type udpBatcher struct{}
 
-func (b *udpBatcher) recvBatch(bufs []*[]byte) (int, error) {
+func (b *udpBatcher) recvBatch(bufs []*[]byte, addrs []netip.AddrPort) (int, error) {
 	panic("transport: batch I/O unavailable on this platform")
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"scalamedia/internal/stats"
 	"scalamedia/internal/wire"
 )
 
@@ -160,5 +161,138 @@ func TestUDPManyMessages(t *testing.T) {
 			}
 			return
 		}
+	}
+}
+
+// TestUDPReturnAddressLearning pins the tentpole transport behaviour: an
+// endpoint with no peer entry for a sender learns the sender's return
+// address from its first datagram and can reply without configuration.
+func TestUDPReturnAddressLearning(t *testing.T) {
+	a, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenUDP(2, "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	reg := stats.NewRegistry()
+	b.SetMetrics(reg)
+
+	// Only a is configured; b has never heard of node 1.
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if b.CanReach(1) {
+		t.Fatal("b claims reachability before hearing from node 1")
+	}
+	if err := b.Send(1, msg(wire.KindData, 1)); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("pre-learning send err = %v, want ErrUnknownPeer", err)
+	}
+
+	if err := a.Send(2, msg(wire.KindData, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, b); in.From != 1 || in.Msg.Seq != 7 {
+		t.Fatalf("b got from=%s seq=%d", in.From, in.Msg.Seq)
+	}
+	if !b.CanReach(1) {
+		t.Fatal("b did not learn node 1's return address")
+	}
+	if err := b.Send(1, msg(wire.KindHeartbeat, 2)); err != nil {
+		t.Fatalf("post-learning send: %v", err)
+	}
+	if back := recvOne(t, a); back.From != 2 || back.Msg.Kind != wire.KindHeartbeat {
+		t.Fatalf("a got from=%s kind=%s", back.From, back.Msg.Kind)
+	}
+	if got := reg.Counter("transport.addr_learned").Value(); got != 1 {
+		t.Fatalf("transport.addr_learned = %d, want 1", got)
+	}
+}
+
+// TestUDPStaticPeerNotDisplaced pins the precedence rule: a statically
+// configured peer entry survives datagrams arriving from a different
+// source address for the same node ID (anti-spoofing: configuration
+// outranks learning).
+func TestUDPStaticPeerNotDisplaced(t *testing.T) {
+	a, b := newUDPPair(t)
+	// An impostor socket claims to be node 1 from a different port.
+	imp, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { imp.Close() })
+	if err := imp.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	staticAP := (*b.peers.Load())[1].ap
+	if err := imp.Send(2, msg(wire.KindData, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, b); in.Msg.Seq != 3 {
+		t.Fatalf("seq = %d", in.Msg.Seq)
+	}
+	entry := (*b.peers.Load())[1]
+	if !entry.static || entry.ap != staticAP {
+		t.Fatalf("static peer displaced: %+v (was %v)", entry, staticAP)
+	}
+	// Replies still go to the configured address.
+	if err := b.Send(1, msg(wire.KindData, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, a); in.Msg.Seq != 4 {
+		t.Fatalf("reply seq = %d, want 4 at the static peer", in.Msg.Seq)
+	}
+}
+
+// TestUDPLearnPeer covers the LearnPeer API the session layer drives
+// when addresses arrive in view bodies: learned entries work, refresh on
+// change, and are overridden by a later static AddPeer.
+func TestUDPLearnPeer(t *testing.T) {
+	a, err := ListenUDP(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenUDP(2, "127.0.0.1:0")
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	if err := b.AddPeer(1, a.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.LearnPeer(2, "not an address"); err == nil {
+		t.Fatal("LearnPeer accepted garbage")
+	}
+	if err := a.LearnPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, msg(wire.KindData, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if in := recvOne(t, b); in.Msg.Seq != 5 {
+		t.Fatalf("seq = %d", in.Msg.Seq)
+	}
+	if entry := (*a.peers.Load())[2]; entry.static {
+		t.Fatalf("LearnPeer produced a static entry: %+v", entry)
+	}
+	// A later static AddPeer takes over the slot.
+	if err := a.AddPeer(2, b.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if entry := (*a.peers.Load())[2]; !entry.static {
+		t.Fatalf("AddPeer did not mark the entry static: %+v", entry)
+	}
+	// And a learned update can no longer displace it.
+	if err := a.LearnPeer(2, "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if entry := (*a.peers.Load())[2]; entry.ap.Port() == 1 {
+		t.Fatal("learned address displaced the static entry")
 	}
 }

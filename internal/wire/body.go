@@ -14,6 +14,60 @@ import (
 // MaxListEntries bounds the element count of any encoded list body.
 const MaxListEntries = 65536
 
+// MaxAddrLen bounds one encoded transport address string. Addresses are
+// host:port strings; 255 bytes covers any textual IPv6 address with room
+// to spare.
+const MaxAddrLen = 255
+
+// appendAddr appends one length-prefixed address string to dst,
+// truncating to MaxAddrLen.
+func appendAddr(dst []byte, addr string) []byte {
+	if len(addr) > MaxAddrLen {
+		addr = addr[:MaxAddrLen]
+	}
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(addr)))
+	dst = append(dst, l[:]...)
+	return append(dst, addr...)
+}
+
+// decodeAddr parses one length-prefixed address string from buf and
+// returns it and the number of bytes consumed.
+func decodeAddr(buf []byte) (string, int, error) {
+	if len(buf) < 2 {
+		return "", 0, ErrShortMessage
+	}
+	l := int(binary.BigEndian.Uint16(buf))
+	if l > MaxAddrLen {
+		return "", 0, fmt.Errorf("%w: address %d bytes", ErrTooLarge, l)
+	}
+	if len(buf) < 2+l {
+		return "", 0, ErrShortMessage
+	}
+	return string(buf[2 : 2+l]), 2 + l, nil
+}
+
+// AppendJoinBody appends the payload of a KindJoinReq: the joiner's
+// advertised transport address, so the coordinator can reach a joiner it
+// has no static peer entry for. An empty address is valid — the
+// coordinator then relies on transport-level return-address learning.
+func AppendJoinBody(dst []byte, addr string) []byte {
+	return appendAddr(dst, addr)
+}
+
+// DecodeJoinBody parses a KindJoinReq payload. An empty body decodes as
+// an empty address, so address-less join requests stay valid.
+func DecodeJoinBody(buf []byte) (string, error) {
+	if len(buf) == 0 {
+		return "", nil
+	}
+	addr, _, err := decodeAddr(buf)
+	if err != nil {
+		return "", fmt.Errorf("join body: %w", err)
+	}
+	return addr, nil
+}
+
 // AppendNodeList appends a length-prefixed list of node IDs to dst.
 func AppendNodeList(dst []byte, nodes []id.Node) []byte {
 	var n [8]byte
@@ -203,18 +257,38 @@ func DecodeOrderBatch(buf []byte) ([]OrderEntry, int, error) {
 }
 
 // ViewBody is the payload of JoinAck, ViewPropose and ViewCommit messages:
-// a view number plus the ordered member list.
+// a view number plus the ordered member list, optionally annotated with
+// each member's transport address so admitted members can reach each
+// other without out-of-band configuration.
 type ViewBody struct {
 	View    id.View
 	Members []id.Node
+	// Addrs, when non-empty, holds exactly one address per member,
+	// aligned with Members; an empty string means no address is known
+	// for that member. The address section is always present on the
+	// wire (a zero count when Addrs is empty), so every truncated
+	// encoding is rejected rather than silently read as address-less.
+	Addrs []string
 }
 
-// AppendViewBody appends the encoded view body to dst.
+// AppendViewBody appends the encoded view body to dst. Addrs must be
+// empty or exactly as long as Members; a mismatched slice is encoded as
+// empty rather than producing an undecodable payload.
 func AppendViewBody(dst []byte, v ViewBody) []byte {
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], uint64(v.View))
 	dst = append(dst, n[:]...)
-	return AppendNodeList(dst, v.Members)
+	dst = AppendNodeList(dst, v.Members)
+	addrs := v.Addrs
+	if len(addrs) != len(v.Members) {
+		addrs = nil
+	}
+	binary.BigEndian.PutUint32(n[:4], uint32(len(addrs)))
+	dst = append(dst, n[:4]...)
+	for _, a := range addrs {
+		dst = appendAddr(dst, a)
+	}
+	return dst
 }
 
 // DecodeViewBody parses a view body from buf.
@@ -223,10 +297,32 @@ func DecodeViewBody(buf []byte) (ViewBody, error) {
 		return ViewBody{}, ErrShortMessage
 	}
 	v := ViewBody{View: id.View(binary.BigEndian.Uint64(buf))}
-	members, _, err := DecodeNodeList(buf[8:])
+	members, n, err := DecodeNodeList(buf[8:])
 	if err != nil {
 		return ViewBody{}, fmt.Errorf("view body: %w", err)
 	}
 	v.Members = members
+	rest := buf[8+n:]
+	if len(rest) < 4 {
+		return ViewBody{}, fmt.Errorf("view body addrs: %w", ErrShortMessage)
+	}
+	count := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if count == 0 {
+		return v, nil
+	}
+	if count != len(members) {
+		return ViewBody{}, fmt.Errorf("%w: view body has %d addrs for %d members",
+			ErrTooLarge, count, len(members))
+	}
+	v.Addrs = make([]string, count)
+	for i := range v.Addrs {
+		a, used, err := decodeAddr(rest)
+		if err != nil {
+			return ViewBody{}, fmt.Errorf("view body addr %d: %w", i, err)
+		}
+		v.Addrs[i] = a
+		rest = rest[used:]
+	}
 	return v, nil
 }

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"scalamedia/internal/id"
+)
+
+// TestJoinBodyRoundTrip covers the join-request address payload: empty,
+// typical and maximum-length addresses all survive a round trip, and an
+// over-long address is truncated at encode time rather than rejected at
+// decode time.
+func TestJoinBodyRoundTrip(t *testing.T) {
+	for _, addr := range []string{
+		"",
+		"192.0.2.9:7000",
+		"[2001:db8::1]:65535",
+		strings.Repeat("a", MaxAddrLen),
+	} {
+		got, err := DecodeJoinBody(AppendJoinBody(nil, addr))
+		if err != nil || got != addr {
+			t.Fatalf("round trip of %q: got %q, err %v", addr, got, err)
+		}
+	}
+	long := strings.Repeat("x", MaxAddrLen+40)
+	got, err := DecodeJoinBody(AppendJoinBody(nil, long))
+	if err != nil || got != long[:MaxAddrLen] {
+		t.Fatalf("over-long address: got %d bytes, err %v", len(got), err)
+	}
+	// A completely empty body is the address-less join request.
+	if got, err := DecodeJoinBody(nil); err != nil || got != "" {
+		t.Fatalf("empty body: got %q, err %v", got, err)
+	}
+}
+
+// TestJoinBodyTruncation rejects every proper non-empty prefix of an
+// encoded join body (the zero-length prefix is the valid address-less
+// form).
+func TestJoinBodyTruncation(t *testing.T) {
+	buf := AppendJoinBody(nil, "192.0.2.9:7000")
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := DecodeJoinBody(buf[:cut]); !errors.Is(err, ErrShortMessage) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrShortMessage", cut, len(buf), err)
+		}
+	}
+}
+
+// TestJoinBodyCorruption inflates the address length field past the cap.
+func TestJoinBodyCorruption(t *testing.T) {
+	buf := AppendJoinBody(nil, "192.0.2.9:7000")
+	bad := append([]byte(nil), buf...)
+	binary.BigEndian.PutUint16(bad, MaxAddrLen+1)
+	if _, err := DecodeJoinBody(bad); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized addr length: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestViewBodyAddrsRoundTrip covers the address-annotated view body:
+// per-member addresses (including empty slots) survive a round trip, a
+// mismatched Addrs slice encodes as the zero-count section, and the
+// count word is mandatory even when no addresses are carried.
+func TestViewBodyAddrsRoundTrip(t *testing.T) {
+	in := ViewBody{View: 12, Members: []id.Node{1, 2, 3},
+		Addrs: []string{"192.0.2.1:7000", "", "[2001:db8::3]:7000"}}
+	got, err := DecodeViewBody(AppendViewBody(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.View != in.View || len(got.Members) != 3 || len(got.Addrs) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range in.Addrs {
+		if got.Addrs[i] != in.Addrs[i] {
+			t.Fatalf("addr %d: %q != %q", i, got.Addrs[i], in.Addrs[i])
+		}
+	}
+
+	// Mismatched Addrs encode as the zero-count section, not garbage.
+	skewed := AppendViewBody(nil, ViewBody{View: 2, Members: []id.Node{1, 2},
+		Addrs: []string{"only-one"}})
+	got, err = DecodeViewBody(skewed)
+	if err != nil || got.Addrs != nil {
+		t.Fatalf("skewed addrs: %+v, err %v", got, err)
+	}
+
+	// The pre-address encoding (no count word) must now be rejected: the
+	// section is mandatory so truncation cannot read as address-less.
+	legacy := AppendViewBody(nil, ViewBody{View: 2, Members: []id.Node{1, 2}})
+	legacy = legacy[:len(legacy)-4]
+	if _, err := DecodeViewBody(legacy); !errors.Is(err, ErrShortMessage) {
+		t.Fatalf("missing count word: err = %v, want ErrShortMessage", err)
+	}
+}
+
+// TestViewBodyAddrsTruncation rejects every proper prefix of an
+// address-bearing view body.
+func TestViewBodyAddrsTruncation(t *testing.T) {
+	buf := AppendViewBody(nil, ViewBody{View: 12, Members: []id.Node{1, 2},
+		Addrs: []string{"192.0.2.1:7000", "192.0.2.2:7000"}})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeViewBody(buf[:cut]); err == nil {
+			t.Fatalf("prefix %d/%d decoded without error", cut, len(buf))
+		}
+	}
+}
+
+// TestViewBodyAddrsCorruption covers the structured rejections: an
+// address count that disagrees with the member count, and an address
+// length past the cap.
+func TestViewBodyAddrsCorruption(t *testing.T) {
+	members := []id.Node{1, 2}
+	buf := AppendViewBody(nil, ViewBody{View: 12, Members: members,
+		Addrs: []string{"192.0.2.1:7000", "192.0.2.2:7000"}})
+	countOff := 8 + 4 + 8*len(members)
+
+	bad := append([]byte(nil), buf...)
+	binary.BigEndian.PutUint32(bad[countOff:], 1) // count != member count
+	if _, err := DecodeViewBody(bad); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("count mismatch: err = %v, want ErrTooLarge", err)
+	}
+
+	bad = append(bad[:0], buf...)
+	binary.BigEndian.PutUint16(bad[countOff+4:], MaxAddrLen+1)
+	if _, err := DecodeViewBody(bad); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized addr: err = %v, want ErrTooLarge", err)
+	}
+}

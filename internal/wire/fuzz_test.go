@@ -45,6 +45,9 @@ func FuzzDecodeBodies(f *testing.F) {
 	f.Add(AppendNodeList(nil, []id.Node{1, 2, 3}))
 	f.Add(AppendAckVector(nil, []AckEntry{{Sender: 1, Seq: 5}, {Sender: 2, Seq: 9}}))
 	f.Add(AppendViewBody(nil, ViewBody{View: 4, Members: []id.Node{1, 9}}))
+	f.Add(AppendViewBody(nil, ViewBody{View: 4, Members: []id.Node{1, 9},
+		Addrs: []string{"192.0.2.1:7000", ""}}))
+	f.Add(AppendJoinBody(nil, "192.0.2.9:7000"))
 	f.Add(AppendNackRanges(nil, []NackRange{{Sender: 2, From: 3, To: 7}, {From: 11, To: 11}}))
 	f.Add(AppendOrderBatch(nil, []OrderEntry{{Slot: 1, Sender: 4, Seq: 2}}))
 	f.Add([]byte{0xff, 0xff})
@@ -63,8 +66,15 @@ func FuzzDecodeBodies(f *testing.F) {
 		}
 		if vb, err := DecodeViewBody(data); err == nil {
 			back, err := DecodeViewBody(AppendViewBody(nil, vb))
-			if err != nil || back.View != vb.View || len(back.Members) != len(vb.Members) {
+			if err != nil || back.View != vb.View || len(back.Members) != len(vb.Members) ||
+				len(back.Addrs) != len(vb.Addrs) {
 				t.Fatalf("view body round trip: %+v %v", back, err)
+			}
+		}
+		if addr, err := DecodeJoinBody(data); err == nil {
+			back, err := DecodeJoinBody(AppendJoinBody(nil, addr))
+			if err != nil || back != addr {
+				t.Fatalf("join body round trip: %q %v", back, err)
 			}
 		}
 		if ranges, _, err := DecodeNackRanges(data); err == nil {

@@ -14,6 +14,8 @@ import (
 // the golden round-trip/rejection tests below and seeds the fuzz corpus.
 func goldenMessages() []*Message {
 	view := AppendViewBody(nil, ViewBody{View: 7, Members: []id.Node{1, 2, 3}})
+	viewAddrs := AppendViewBody(nil, ViewBody{View: 9, Members: []id.Node{1, 2, 3},
+		Addrs: []string{"192.0.2.1:7000", "", "[2001:db8::3]:7000"}})
 	return []*Message{
 		{Kind: KindData, Sender: 3, Seq: 9, View: 2, Group: 7, Body: []byte("payload")},
 		{Kind: KindNack, Sender: 4, Seq: 10, Aux: 14},
@@ -41,6 +43,11 @@ func goldenMessages() []*Message {
 		{Kind: KindOrderBatch, From: 1, Body: AppendOrderBatch(nil, []OrderEntry{
 			{Slot: 4, Sender: 2, Seq: 1}, {Slot: 5, Sender: 3, Seq: 6},
 		})},
+		// Self-healing membership variants: a join request advertising a
+		// return address, and view messages carrying the member→address map.
+		{Kind: KindJoinReq, From: 9, Group: 4, Body: AppendJoinBody(nil, "192.0.2.9:7000")},
+		{Kind: KindViewPropose, View: 9, Body: viewAddrs},
+		{Kind: KindViewCommit, View: 9, Body: viewAddrs},
 		// Piggybacked-ack variants: a data message and a causal data message
 		// each carrying a stability vector after the body.
 		{Kind: KindData, Flags: FlagPiggyAck, Sender: 3, Seq: 10, Body: []byte("pb"),

@@ -30,7 +30,8 @@
 //		Peers:   map[scalamedia.NodeID]string{1: "127.0.0.1:7001"},
 //		OnEvent: func(ev scalamedia.Event) { fmt.Println(ev.Kind) },
 //	})
-//	first.AddPeer(2, "127.0.0.1:7002")
+//	// first learns second's return address from the join traffic — only
+//	// the contact's address is ever configured.
 //	// ... wait for the view to include both, then:
 //	first.Send([]byte("hello, group"))
 package scalamedia
@@ -121,6 +122,9 @@ const (
 	StreamWithdrawn   = session.StreamWithdrawn
 	MessageReceived   = session.MessageReceived
 	SelfEvicted       = session.SelfEvicted
+	// JoinFailed reports that the join attempt cap was exhausted; see
+	// Config.JoinAttempts.
+	JoinFailed = session.JoinFailed
 )
 
 // Errors.
@@ -129,6 +133,9 @@ var (
 	ErrClosed = errors.New("scalamedia: node closed")
 	// ErrNoCapacity reports a media stream rejected by QoS admission.
 	ErrNoCapacity = qos.ErrOverCommitted
+	// ErrJoinUnreachable is the join-failure cause surfaced when
+	// Config.JoinAttempts is exhausted without admission.
+	ErrJoinUnreachable = member.ErrJoinUnreachable
 )
 
 // Config parameterizes a Node.
@@ -148,8 +155,24 @@ type Config struct {
 	// new session.
 	Contact NodeID
 	// Peers maps node IDs to UDP addresses (UDP transport only). More
-	// peers can be added later with AddPeer.
+	// peers can be added later with AddPeer. Since the membership layer
+	// learns return addresses from traffic and redistributes them in
+	// view changes, a joiner normally needs only the contact's entry
+	// here; everything else is self-configuring.
 	Peers map[NodeID]string
+	// AdvertiseAddr is the address this node asks the group to reach it
+	// at, carried in its join request and redistributed in view changes.
+	// Empty auto-derives from the bound UDP socket when its IP is
+	// concrete; a node listening on a wildcard address that sits behind
+	// NAT or multiple interfaces should set it explicitly.
+	AdvertiseAddr string
+	// JoinAttempts caps join retries before the node gives up and emits
+	// a JoinFailed event (cause ErrJoinUnreachable). Zero retries
+	// forever.
+	JoinAttempts int
+	// JoinBackoffMax caps the jittered exponential join retry backoff;
+	// zero takes the membership default (16× the join retry base).
+	JoinBackoffMax time.Duration
 	// Ordering is the session multicast discipline; defaults to Causal.
 	Ordering Ordering
 	// PrimaryPartition applies the membership majority rule: a view
@@ -265,6 +288,24 @@ func Start(cfg Config) (*Node, error) {
 		inst.SetMetrics(n.reg)
 	}
 
+	// Advertise the bound socket address when the caller did not choose
+	// one, so the membership layer's address exchange works without
+	// configuration. A wildcard listen IP is not advertisable — peers
+	// would learn 0.0.0.0 — so only concrete IPs auto-derive.
+	advertise := cfg.AdvertiseAddr
+	if advertise == "" && n.udp != nil {
+		if la := n.udp.LocalAddr(); la != nil && len(la.IP) > 0 && !la.IP.IsUnspecified() {
+			advertise = la.String()
+		}
+	}
+	// Learned member addresses teach the UDP peer table, so admitted
+	// members can reach each other without static -peer configuration.
+	var onPeerAddr func(NodeID, string)
+	if n.udp != nil {
+		udp := n.udp
+		onPeerAddr = func(peer NodeID, addr string) { _ = udp.LearnPeer(peer, addr) }
+	}
+
 	var opts []noderun.Option
 	if cfg.Tick > 0 {
 		opts = append(opts, noderun.WithTick(cfg.Tick))
@@ -277,6 +318,10 @@ func Start(cfg Config) (*Node, error) {
 			PrimaryPartition: cfg.PrimaryPartition,
 			HeartbeatEvery:   cfg.HeartbeatEvery,
 			SuspectAfter:     cfg.SuspectAfter,
+			JoinAttempts:     cfg.JoinAttempts,
+			JoinBackoffMax:   cfg.JoinBackoffMax,
+			AdvertiseAddr:    advertise,
+			OnPeerAddr:       onPeerAddr,
 			Metrics:          n.reg,
 			Flight:           n.flight,
 			OnEvent:          n.onEvent,

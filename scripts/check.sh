@@ -37,4 +37,10 @@ go test -short -count=1 ./internal/chaos
 echo "==> /metrics endpoint smoke test"
 go test -count=1 -run 'TestMetricsEndpoint' .
 
+# Self-healing membership smoke test: a 3-node group over live UDP where
+# only the joiners hold the contact's static peer entry must converge via
+# return-address learning and the view-body address exchange.
+echo "==> self-healing membership smoke test"
+go test -count=1 -run 'TestSelfConfiguringGroupOverUDP' .
+
 echo "All checks passed."

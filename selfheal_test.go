@@ -1,0 +1,95 @@
+package scalamedia
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSelfConfiguringGroupOverUDP boots a three-node group over loopback
+// UDP with the minimum possible configuration: the contact (n1) has no
+// static peers at all, and each joiner knows only the contact's address.
+// Convergence therefore requires the whole self-healing pipeline — the
+// contact learns the joiners' return addresses from their join datagrams,
+// and the joiners learn each other's addresses from the member→address
+// map carried in view commits. The final multicast crosses the n2↔n3
+// edge, which no configuration ever described.
+func TestSelfConfiguringGroupOverUDP(t *testing.T) {
+	a, err := Start(Config{Self: 1, ListenAddr: "127.0.0.1:0", Group: 1,
+		Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	logC := &eventLog{}
+	joiner := func(self NodeID, log *eventLog) (*Node, error) {
+		var onEvent func(Event)
+		if log != nil {
+			onEvent = log.add
+		}
+		return Start(Config{
+			Self: self, ListenAddr: "127.0.0.1:0", Group: 1, Contact: 1,
+			Peers:   map[NodeID]string{1: a.Addr()},
+			Tick:    5 * time.Millisecond,
+			OnEvent: onEvent,
+		})
+	}
+	b, err := joiner(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	c, err := joiner(3, logC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, n := range []*Node{a, b, c} {
+		if !n.WaitViewSize(3, 15*time.Second) {
+			t.Fatalf("node %v never saw the 3-member view: %+v", n.ID(), n.View())
+		}
+	}
+	// n2→n3 traffic exercises the joiner↔joiner edge that only address
+	// redistribution could have established.
+	if err := b.Send([]byte("learned route")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "message across the learned edge", func() bool {
+		return logC.count(MessageReceived) > 0
+	})
+	if got := logC.firstPayload(); got != "learned route" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+// TestJoinFailedEventOverUDP pins the facade surface of the bounded join:
+// a node pointed at a dead contact with a small attempt cap emits exactly
+// one JoinFailed event whose cause is ErrJoinUnreachable.
+func TestJoinFailedEventOverUDP(t *testing.T) {
+	log := &eventLog{}
+	n, err := Start(Config{
+		Self: 7, ListenAddr: "127.0.0.1:0", Group: 1, Contact: 1,
+		// 127.0.0.1:1 is a black hole for our datagrams in practice; the
+		// join can never be acknowledged.
+		Peers:          map[NodeID]string{1: "127.0.0.1:1"},
+		Tick:           5 * time.Millisecond,
+		JoinAttempts:   3,
+		JoinBackoffMax: 100 * time.Millisecond,
+		OnEvent:        log.add,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	waitFor(t, "JoinFailed event", func() bool { return log.count(JoinFailed) > 0 })
+	log.mu.Lock()
+	defer log.mu.Unlock()
+	for _, ev := range log.events {
+		if ev.Kind == JoinFailed && !errors.Is(ev.Err, ErrJoinUnreachable) {
+			t.Fatalf("JoinFailed cause = %v, want ErrJoinUnreachable", ev.Err)
+		}
+	}
+}
