@@ -60,6 +60,7 @@ var microBenches = []namedBench{
 		fn: func(b *testing.B) { benches.UDPThroughput(b, transport.DefaultBatch) }},
 	{name: "UDPThroughput/fallback", tolerance: 0.30,
 		fn: func(b *testing.B) { benches.UDPThroughput(b, 1) }},
+	{name: "NetsimNodeStep", fn: benches.NetsimNodeStep},
 }
 
 // tableBenches regenerate the evaluation tables at Quick scale. Only
@@ -72,6 +73,7 @@ var tableBenches = []namedBench{
 	{name: "T4ViewChangeLatency", fn: BenchmarkT4ViewChangeLatency},
 	{name: "T5PlayoutLoss", fn: BenchmarkT5PlayoutLoss},
 	{name: "T6EndToEnd", fn: BenchmarkT6EndToEnd},
+	{name: "T7RecoveryOverhead", fn: BenchmarkT7RecoveryOverhead},
 }
 
 // runBench runs fn `rounds` times and keeps the fastest round — min-of-N

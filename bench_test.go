@@ -1,6 +1,6 @@
 package scalamedia
 
-// The benchmark harness: one testing.B benchmark per table (T1-T6) and
+// The benchmark harness: one testing.B benchmark per table (T1-T7) and
 // figure (F1-F6) of the reconstructed evaluation, plus the cluster-size
 // ablation. Each benchmark runs the corresponding experiment end to end
 // under the discrete-event simulator and reports domain metrics
@@ -75,6 +75,15 @@ func BenchmarkT6EndToEnd(b *testing.B) {
 		t := experiments.T6EndToEnd(benchOpts)
 		b.ReportMetric(lastCell(b, t, 1), "hier-mean-ms")
 		b.ReportMetric(lastCell(b, t, 4), "hier-ctl/dlv")
+	}
+}
+
+func BenchmarkT7RecoveryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.T7RecoveryOverhead(benchOpts)
+		// Last row is the suppressed configuration at the largest size.
+		b.ReportMetric(lastCell(b, t, 3), "sup-req/loss")
+		b.ReportMetric(lastCell(b, t, 4), "sup-repair/loss")
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
+	"scalamedia/internal/netsim"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
 	"scalamedia/internal/stats"
@@ -241,6 +242,60 @@ func RmcastMulticastEncode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		*bp = msg.Encode((*bp)[:0])
+	}
+}
+
+// echoNode is the minimal simulator workload: every delivered datagram is
+// sent straight back, so a pair of echo nodes keeps a fixed population of
+// datagrams in perpetual flight with no protocol logic in the way.
+type echoNode struct {
+	env  proto.Env
+	peer id.Node
+}
+
+func (e *echoNode) OnMessage(_ id.Node, msg *wire.Message) { e.env.Send(e.peer, msg) }
+func (e *echoNode) OnTick(time.Time)                       {}
+
+// netsimInflight is how many datagrams the node-step benchmark keeps in
+// flight: enough that deliveries dwarf the background tick events, small
+// enough that the calendar queue stays in its near-bucket regime.
+const netsimInflight = 16
+
+// NetsimNodeStep measures one simulator event step end to end: calendar
+// queue pop, link model (delay, jitter and loss draws), wire decode into
+// a fresh message, handler dispatch, and the echo reply's encode and
+// re-schedule. This is the per-event cost that the 256- and 1024-node
+// sweeps multiply by millions, so it gates the netsim scale refactor.
+func NetsimNodeStep(b *testing.B) {
+	// 1ms delay, no jitter or loss: the benchmark measures the event
+	// machinery, not the RNG.
+	link := netsim.Link{Delay: time.Millisecond}
+	sim := netsim.New(netsim.Config{
+		Seed:    1,
+		Profile: func(_, _ id.Node) netsim.Link { return link },
+	})
+	var n1 *echoNode
+	sim.AddNode(1, func(env proto.Env) proto.Handler {
+		n1 = &echoNode{env: env, peer: 2}
+		return n1
+	})
+	sim.AddNode(2, func(env proto.Env) proto.Handler {
+		return &echoNode{env: env, peer: 1}
+	})
+	msg := SampleDataMessage()
+	sim.At(0, func() {
+		for i := 0; i < netsimInflight; i++ {
+			n1.env.Send(2, msg)
+		}
+	})
+	// Warm one window so the queue, pools and link state exist.
+	horizon := 10 * time.Millisecond
+	sim.Run(horizon)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for steps := 0; steps < b.N; {
+		horizon += time.Millisecond
+		steps += sim.Run(horizon)
 	}
 }
 

@@ -19,6 +19,8 @@ func BenchmarkRmcastMulticast(b *testing.B) {
 
 func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
 
+func BenchmarkNetsimNodeStep(b *testing.B) { NetsimNodeStep(b) }
+
 func BenchmarkUDPThroughput(b *testing.B) {
 	b.Run("batch", func(b *testing.B) { UDPThroughput(b, transport.DefaultBatch) })
 	b.Run("fallback", func(b *testing.B) { UDPThroughput(b, 1) })

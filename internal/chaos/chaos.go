@@ -49,6 +49,14 @@ type Options struct {
 	Window time.Duration
 	// Schedule overrides the generated fault schedule.
 	Schedule Schedule
+	// DisableSuppression reverts loss recovery to per-receiver NACK
+	// scheduling (see rmcast.Config.DisableSuppression), letting the
+	// matrix cover both recovery schemes.
+	DisableSuppression bool
+	// LossDomains, when positive, groups receivers into that many
+	// correlated loss domains (netsim.SetLossDomains), so loss bursts gap
+	// several receivers at once — the regime suppression exists for.
+	LossDomains int
 }
 
 func (o *Options) defaults() {
@@ -100,6 +108,9 @@ type NodeTrace struct {
 	Joining      bool
 	FinalView    member.View
 	FinalHistory int
+	// Recovery is the node's end-of-run rmcast counter snapshot; the
+	// no-repair-storm invariant bounds its request/repair event counts.
+	Recovery rmcast.Counters
 }
 
 // Trace is the full record of one group scenario run.
@@ -113,6 +124,8 @@ type Trace struct {
 	// one ring, so the dump is the interleaved protocol timeline. The
 	// simulator is single-threaded, so the ordering is seed-deterministic.
 	Flight *flightrec.Recorder
+	// Net is the simulator's end-of-run datagram statistics.
+	Net netsim.Stats
 }
 
 // payloadKey encodes a workload payload: sender (8) | counter (8).
@@ -159,6 +172,9 @@ func Run(opts Options) *Trace {
 		Seed:    opts.Seed,
 		Profile: func(_, _ id.Node) netsim.Link { return cur },
 	})
+	if d := opts.LossDomains; d > 0 {
+		sim.SetLossDomains(func(n id.Node) int { return int(n) % d })
+	}
 
 	const group = id.Group(7)
 	stacks := make(map[id.Node]*core.Stack, opts.Nodes)
@@ -173,17 +189,18 @@ func Run(opts Options) *Trace {
 		}
 		sim.AddNode(n, func(env proto.Env) proto.Handler {
 			st := core.NewStack(env, core.Config{
-				Group:            group,
-				Contact:          contact,
-				Ordering:         opts.Ordering,
-				PrimaryPartition: true,
-				HeartbeatEvery:   chaosHeartbeat,
-				SuspectAfter:     chaosSuspectAfter,
-				FlushTimeout:     chaosFlushTimeout,
-				JoinRetry:        chaosJoinRetry,
-				ResendAfter:      chaosResendAfter,
-				StabilizeEvery:   chaosStabilize,
-				Flight:           tr.Flight,
+				Group:              group,
+				Contact:            contact,
+				Ordering:           opts.Ordering,
+				PrimaryPartition:   true,
+				HeartbeatEvery:     chaosHeartbeat,
+				SuspectAfter:       chaosSuspectAfter,
+				FlushTimeout:       chaosFlushTimeout,
+				JoinRetry:          chaosJoinRetry,
+				ResendAfter:        chaosResendAfter,
+				StabilizeEvery:     chaosStabilize,
+				DisableSuppression: opts.DisableSuppression,
+				Flight:             tr.Flight,
 				OnView: func(v member.View) {
 					nt.Views = append(nt.Views, ViewRec{View: v, At: sim.Elapsed()})
 				},
@@ -242,7 +259,9 @@ func Run(opts Options) *Trace {
 		nt.Joining = st.Joining()
 		nt.FinalView = st.View()
 		nt.FinalHistory = st.HistoryLen()
+		nt.Recovery = st.Counters()
 	}
+	tr.Net = sim.Stats()
 	return tr
 }
 

@@ -69,6 +69,73 @@ func runSweepSeed(t *testing.T, seed int64) {
 	}
 }
 
+// suppressionSchedule builds the lossy and partition rows of the
+// suppression matrix: a heavy correlated-loss burst, or a majority-side
+// partition that heals, each stretched across most of the fault window.
+func suppressionSchedule(kind string, nodes int) chaos.Schedule {
+	switch kind {
+	case "lossy":
+		return chaos.Schedule{
+			{At: 500 * time.Millisecond, Kind: chaos.LossBurst, Loss: 0.25, Dur: 3 * time.Second},
+			{At: 4 * time.Second, Kind: chaos.DupBurst, Dup: 0.2, Dur: time.Second},
+		}
+	case "partition":
+		ids := make([]id.Node, nodes)
+		for i := range ids {
+			ids[i] = id.Node(i + 1)
+		}
+		minority := ids[:(nodes-1)/2]
+		return chaos.Schedule{
+			{At: time.Second, Kind: chaos.PartitionSplit, Groups: [][]id.Node{minority}},
+			// The burst overlaps the partition, so the majority side is
+			// recovering from correlated loss while the split is in force.
+			{At: 1500 * time.Millisecond, Kind: chaos.LossBurst, Loss: 0.25, Dur: 2 * time.Second},
+			{At: 3500 * time.Millisecond, Kind: chaos.Heal},
+		}
+	}
+	panic("unknown suppression schedule " + kind)
+}
+
+// TestChaosSuppressionMatrix pins the scalable-recovery rows of the
+// matrix: suppression-enabled runs under a heavy correlated-loss burst
+// and under a healing partition, two seeds each. The full invariant
+// catalogue applies — including the no-repair-storm bound — and the runs
+// must actually exercise the suppression machinery, not just survive it.
+func TestChaosSuppressionMatrix(t *testing.T) {
+	for _, kind := range []string{"lossy", "partition"} {
+		for _, seed := range []int64{41, 42} {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				const nodes = 5
+				tr := chaos.Run(chaos.Options{
+					Seed:        seed,
+					Nodes:       nodes,
+					Ordering:    rmcast.FIFO,
+					LossDomains: 2, // every loss gaps half the group
+					Schedule:    suppressionSchedule(kind, nodes),
+				})
+				if v := tr.Violations(); len(v) > 0 {
+					t.Error(chaos.FailureReport(
+						fmt.Sprintf("(suppression matrix %s seed=%d)", kind, seed),
+						tr.Schedule, v, tr.Flight))
+				}
+				var suppressed, served uint64
+				for _, n := range tr.Order {
+					suppressed += tr.Nodes[n].Recovery.NacksSuppressed
+					served += tr.Nodes[n].Recovery.NacksServed
+				}
+				if kind == "lossy" && suppressed == 0 {
+					t.Error("correlated loss burst triggered no request suppression")
+				}
+				if served == 0 {
+					t.Error("no repairs served: the schedule never exercised recovery")
+				}
+			})
+		}
+	}
+}
+
 // TestChaosUnordered exercises the unordered discipline separately: the
 // agreement invariants don't apply (early delivery past a gap is the
 // point), but no-creation, no-duplication, validity, view convergence

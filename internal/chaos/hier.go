@@ -10,6 +10,7 @@ import (
 	"scalamedia/internal/id"
 	"scalamedia/internal/netsim"
 	"scalamedia/internal/proto"
+	"scalamedia/internal/rmcast"
 )
 
 // HierOptions parameterizes a hierarchical scenario run.
@@ -25,6 +26,12 @@ type HierOptions struct {
 	// Schedule overrides the generated schedule. Crash/restart events are
 	// filtered out either way: the hierarchy's membership is static.
 	Schedule Schedule
+	// DisableSuppression reverts loss recovery to per-receiver NACK
+	// scheduling in the constituent rmcast engines.
+	DisableSuppression bool
+	// LossDomains, when positive, groups receivers into that many
+	// correlated loss domains; see Options.LossDomains.
+	LossDomains int
 }
 
 // HierTrace records a hierarchical scenario run.
@@ -39,6 +46,11 @@ type HierTrace struct {
 	Sent map[string]id.Node
 	// Flight is the run's shared flight recorder; see Trace.Flight.
 	Flight *flightrec.Recorder
+	// Recovery[n] is node n's end-of-run counter snapshot (local plus
+	// wide engine on relays); the no-repair-storm invariant bounds it.
+	Recovery map[id.Node]rmcast.Counters
+	// Net is the simulator's end-of-run datagram statistics.
+	Net netsim.Stats
 }
 
 // RunHier executes one seeded hierarchical scenario: a clustered group on
@@ -73,6 +85,7 @@ func RunHier(opts HierOptions) *HierTrace {
 		Deliveries: make(map[id.Node][]hier.Delivery),
 		Sent:       make(map[string]id.Node),
 		Flight:     flightrec.New(8192),
+		Recovery:   make(map[id.Node]rmcast.Counters),
 	}
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
@@ -81,16 +94,20 @@ func RunHier(opts HierOptions) *HierTrace {
 		Seed:    opts.Seed,
 		Profile: func(_, _ id.Node) netsim.Link { return cur },
 	})
+	if d := opts.LossDomains; d > 0 {
+		sim.SetLossDomains(func(n id.Node) int { return int(n) % d })
+	}
 
 	engines := make(map[id.Node]*hier.Engine, opts.Nodes)
 	for _, n := range tr.Order {
 		n := n
 		sim.AddNode(n, func(env proto.Env) proto.Handler {
 			eng, err := hier.New(env, hier.Config{
-				LocalGroup: 1,
-				WideGroup:  2,
-				Topology:   topo,
-				Flight:     tr.Flight,
+				LocalGroup:         1,
+				WideGroup:          2,
+				Topology:           topo,
+				DisableSuppression: opts.DisableSuppression,
+				Flight:             tr.Flight,
 				OnDeliver: func(d hier.Delivery) {
 					tr.Deliveries[n] = append(tr.Deliveries[n], d)
 				},
@@ -123,6 +140,10 @@ func RunHier(opts HierOptions) *HierTrace {
 	}
 
 	sim.Run(window + settleWindow)
+	for n, eng := range engines {
+		tr.Recovery[n] = eng.Counters()
+	}
+	tr.Net = sim.Stats()
 	return tr
 }
 
@@ -172,6 +193,27 @@ func (tr *HierTrace) Violations() []string {
 				out = append(out, fmt.Sprintf(
 					"relay-completeness: n%d never delivered %s", n, payloadName(key)))
 			}
+		}
+	}
+	// No repair storm: recovery stays bounded per node. Requests and
+	// repairs are scoped to clusters (or the relay set), so the per-node
+	// ceiling uses the larger of the two scopes, not the full group.
+	scope := tr.Opts.ClusterSize
+	if relays := len(tr.Topology.Relays()); relays > scope {
+		scope = relays
+	}
+	reqBound, srvBound := repairStormBounds(scope)
+	for _, n := range tr.Order {
+		c := tr.Recovery[n]
+		if c.NacksSent > reqBound {
+			out = append(out, fmt.Sprintf(
+				"no-repair-storm: n%d sent %d recovery requests (bound %d)",
+				n, c.NacksSent, reqBound))
+		}
+		if c.NacksServed > srvBound {
+			out = append(out, fmt.Sprintf(
+				"no-repair-storm: n%d served %d repairs (bound %d)",
+				n, c.NacksServed, srvBound))
 		}
 	}
 	return out

@@ -31,6 +31,9 @@ import (
 //   - validity: payloads from never-crashed, never-evicted final members
 //     reach every live final member
 //   - gc-drain: live final members hold no unstable history after settle
+//   - no-repair-storm: recovery request and repair event counts stay
+//     bounded — backoff, suppression and damping must prevent the NACK
+//     implosion / repair-storm failure modes whatever the schedule did
 //   - progress: the group formed and the workload delivered something
 func (tr *Trace) Violations() []string {
 	var out []string
@@ -51,6 +54,7 @@ func (tr *Trace) Violations() []string {
 	out = append(out, tr.checkViewConvergence()...)
 	out = append(out, tr.checkValidity()...)
 	out = append(out, tr.checkGCDrain()...)
+	out = append(out, tr.checkNoRepairStorm()...)
 	return out
 }
 
@@ -465,6 +469,35 @@ func (tr *Trace) checkValidity() []string {
 
 // checkGCDrain verifies stability garbage collection: once the run is
 // quiescent, no live member holds unstable history.
+// repairStormBounds returns the per-node ceilings for recovery request
+// and repair events over one chaos run. They are loose by design — an
+// order of magnitude above what healthy backoff, suppression and damping
+// produce on the worst generated schedules, and an order of magnitude
+// below what a fixed-interval re-fire loop or an undamped repair storm
+// produces over the same window.
+func repairStormBounds(nodes int) (requests, repairs uint64) {
+	return uint64(64 + 32*nodes), uint64(128 + 64*nodes)
+}
+
+func (tr *Trace) checkNoRepairStorm() []string {
+	reqBound, srvBound := repairStormBounds(tr.Opts.Nodes)
+	var out []string
+	for _, n := range tr.Order {
+		c := tr.Nodes[n].Recovery
+		if c.NacksSent > reqBound {
+			out = append(out, fmt.Sprintf(
+				"no-repair-storm: n%d sent %d recovery requests (bound %d)",
+				n, c.NacksSent, reqBound))
+		}
+		if c.NacksServed > srvBound {
+			out = append(out, fmt.Sprintf(
+				"no-repair-storm: n%d served %d repairs (bound %d)",
+				n, c.NacksServed, srvBound))
+		}
+	}
+	return out
+}
+
 func (tr *Trace) checkGCDrain() []string {
 	if !tr.canProgress() {
 		return nil // a wedged minority's frozen history never drains

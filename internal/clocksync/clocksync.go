@@ -120,6 +120,37 @@ func (e *Engine) Now() time.Time {
 // Exchanges returns how many probe round trips have completed.
 func (e *Engine) Exchanges() uint64 { return e.exchanges }
 
+// RTT returns the lowest round-trip time in the sample window and
+// whether any exchange has completed. The minimum is the least
+// queue-inflated estimate of the true path delay, the same filter the
+// offset estimate uses.
+func (e *Engine) RTT() (time.Duration, bool) {
+	if len(e.samples) == 0 {
+		return 0, false
+	}
+	best := e.samples[0].rtt
+	for _, s := range e.samples[1:] {
+		if s.rtt < best {
+			best = s.rtt
+		}
+	}
+	return best, true
+}
+
+// Distance adapts the RTT estimate to the loss-recovery layer's
+// distance hook (rmcast.Config.Distance): half the best round trip to
+// the reference, used as a uniform one-way delay estimate for every
+// peer — within one cluster the paths are comparable, which is all the
+// randomized suppression timers need for scaling. Returns zero (caller
+// falls back to its default) until the first exchange completes.
+func (e *Engine) Distance(id.Node) time.Duration {
+	rtt, ok := e.RTT()
+	if !ok {
+		return 0
+	}
+	return rtt / 2
+}
+
 // OnMessage serves probes and consumes replies.
 func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	if msg.Group != e.cfg.Group {

@@ -63,6 +63,35 @@ func TestOffsetEstimation(t *testing.T) {
 	}
 }
 
+// TestRTTDistanceEstimate pins the loss-recovery distance adapter: the
+// min-RTT filter converges on the true path delay, and Distance reports
+// half of it as the one-way estimate the suppression timers scale by.
+func TestRTTDistanceEstimate(t *testing.T) {
+	const delay = 4 * time.Millisecond
+	s := netsim.New(netsim.Config{
+		Seed:    7,
+		Profile: netsim.LANProfile(delay, 2*time.Millisecond, 0),
+	})
+	_, client := buildPair(s, 0, netsim.Link{})
+	if d := client.Distance(1); d != 0 {
+		t.Fatalf("Distance before any exchange = %v, want 0 (caller default)", d)
+	}
+	s.Run(3 * time.Second)
+
+	rtt, ok := client.RTT()
+	if !ok {
+		t.Fatal("no RTT estimate")
+	}
+	// The minimum over the window sheds most jitter: the estimate lands
+	// between the jitter-free round trip and one jitter draw above it.
+	if rtt < 2*delay || rtt > 2*delay+4*time.Millisecond {
+		t.Fatalf("min RTT = %v, want within [%v, %v]", rtt, 2*delay, 2*delay+4*time.Millisecond)
+	}
+	if d := client.Distance(1); d != rtt/2 {
+		t.Fatalf("Distance = %v, want RTT/2 = %v", d, rtt/2)
+	}
+}
+
 func TestCorrectedNow(t *testing.T) {
 	s := netsim.New(netsim.Config{
 		Seed:    102,

@@ -48,6 +48,15 @@ type Config struct {
 	// Multicast timing (zero values take the layer defaults).
 	ResendAfter    time.Duration
 	StabilizeEvery time.Duration
+	// Suppression tunes the SRM-style randomized loss-recovery timers;
+	// the zero value takes the rmcast defaults.
+	Suppression rmcast.Suppression
+	// DisableSuppression reverts loss recovery to per-receiver NACK
+	// scheduling; see rmcast.Config.DisableSuppression.
+	DisableSuppression bool
+	// Distance, when non-nil, estimates one-way delay to a peer to seed
+	// the suppression timers; see rmcast.Config.Distance.
+	Distance func(id.Node) time.Duration
 
 	// OnView observes installed views.
 	OnView func(member.View)
@@ -92,14 +101,17 @@ var _ proto.Handler = (*Stack)(nil)
 func NewStack(env proto.Env, cfg Config) *Stack {
 	s := &Stack{env: env, cfg: cfg}
 	s.mcast = rmcast.New(env, rmcast.Config{
-		Group:          cfg.Group,
-		Ordering:       cfg.Ordering,
-		ResendAfter:    cfg.ResendAfter,
-		StabilizeEvery: cfg.StabilizeEvery,
-		OnDeliver:      cfg.OnDeliver,
-		Metrics:        cfg.Metrics,
-		MetricsPrefix:  cfg.MetricsPrefix,
-		Flight:         cfg.Flight,
+		Group:              cfg.Group,
+		Ordering:           cfg.Ordering,
+		ResendAfter:        cfg.ResendAfter,
+		StabilizeEvery:     cfg.StabilizeEvery,
+		Suppression:        cfg.Suppression,
+		DisableSuppression: cfg.DisableSuppression,
+		Distance:           cfg.Distance,
+		OnDeliver:          cfg.OnDeliver,
+		Metrics:            cfg.Metrics,
+		MetricsPrefix:      cfg.MetricsPrefix,
+		Flight:             cfg.Flight,
 	})
 	s.member = member.New(env, member.Config{
 		Group:            cfg.Group,

@@ -261,9 +261,12 @@ func runFlatTimer(n, per int, resend time.Duration, seed int64) flatResult {
 		m := m
 		sim.AddNode(m, func(env proto.Env) proto.Handler {
 			eng := rmcast.New(env, rmcast.Config{
-				Group:       1,
-				Ordering:    rmcast.FIFO,
-				ResendAfter: resend,
+				Group:    1,
+				Ordering: rmcast.FIFO,
+				// A4 studies the flat NACK timer in isolation; suppression
+				// replaces that timer entirely, so ablate it here.
+				DisableSuppression: true,
+				ResendAfter:        resend,
 				OnDeliver: func(d rmcast.Delivery) {
 					delivered++
 					if t0, ok := sentAt[sendKey{d.Sender, d.Seq}]; ok {

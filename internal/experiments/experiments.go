@@ -1,5 +1,5 @@
 // Package experiments contains the reconstructed evaluation of the paper:
-// one runner per table (T1-T6) and figure (F1-F6) listed in DESIGN.md.
+// one runner per table (T1-T7) and figure (F1-F6) listed in DESIGN.md.
 // Every runner builds a deterministic discrete-event simulation
 // (internal/netsim), drives the real protocol engines through a scripted
 // workload, and returns the table rows or figure series the paper-style

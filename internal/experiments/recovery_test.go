@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestT7Shape(t *testing.T) {
+	tab := T7RecoveryOverhead(quick)
+	if len(tab.Rows) != 6 { // 2 sizes × {flat, hier, suppressed}
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if rate := cell(t, row[7]); rate < 0.999 {
+			t.Errorf("%s n=%s delivery rate %.3f < 0.999", row[1], row[0], rate)
+		}
+		if row[3] == "-" {
+			t.Errorf("%s n=%s saw no losses", row[1], row[0])
+		}
+	}
+	// At the largest quick size the loss domains hold several receivers,
+	// so suppression must already beat per-receiver NACKs.
+	last := tab.Rows[len(tab.Rows)-3:]
+	flatReq, supReq := cell(t, last[0][3]), cell(t, last[2][3])
+	if supReq >= flatReq {
+		t.Errorf("n=%s: suppressed req/loss %.3f not below flat %.3f",
+			last[0][0], supReq, flatReq)
+	}
+}
+
+// TestT7Smoke256 is the bounded T7 slice scripts/check.sh runs: one seed
+// at n=256, flat versus suppressed, asserting full delivery and a real
+// (≥50%) request reduction without paying for the 1024-node sweep.
+func TestT7Smoke256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T7 smoke runs via scripts/check.sh, not in -short")
+	}
+	const n = 256
+	seed := int64(1800 + n)
+	flat := runFlatRecovery(n, false, seed)
+	sup := runFlatRecovery(n, true, seed)
+	t.Logf("flat: lost=%d requests=%d wall=%v; sup: lost=%d requests=%d wall=%v",
+		flat.LostData, flat.Requests, flat.Wall, sup.LostData, sup.Requests, sup.Wall)
+	if flat.Delivered != flat.Expected || sup.Delivered != sup.Expected {
+		t.Fatalf("incomplete delivery: flat %d/%d, suppressed %d/%d",
+			flat.Delivered, flat.Expected, sup.Delivered, sup.Expected)
+	}
+	if flat.LostData == 0 || sup.LostData == 0 {
+		t.Fatal("no losses: the smoke measured nothing")
+	}
+	flatPer := float64(flat.Requests) / float64(flat.LostData)
+	supPer := float64(sup.Requests) / float64(sup.LostData)
+	if supPer > 0.5*flatPer {
+		t.Errorf("suppressed req/loss %.4f not below half of flat %.4f", supPer, flatPer)
+	}
+}
+
+// TestT7SuppressionAtScale checks the headline claim at n=1024: with
+// 64-receiver loss domains, randomized suppression cuts recovery requests
+// per lost datagram to no more than 10%% of the flat per-receiver NACK
+// baseline, while still delivering everything.
+func TestT7SuppressionAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node sweep skipped in -short")
+	}
+	const n = 1024
+	seed := int64(1800 + n)
+	flat := runFlatRecovery(n, false, seed)
+	sup := runFlatRecovery(n, true, seed)
+	t.Logf("flat: lost=%d requests=%d repairs=%d delivered=%d/%d wall=%v",
+		flat.LostData, flat.Requests, flat.Repairs, flat.Delivered, flat.Expected, flat.Wall)
+	t.Logf("sup:  lost=%d requests=%d repairs=%d suppressed=%d local=%d delivered=%d/%d wall=%v",
+		sup.LostData, sup.Requests, sup.Repairs, sup.Suppressed, sup.LocalRepairs,
+		sup.Delivered, sup.Expected, sup.Wall)
+	if flat.LostData == 0 || sup.LostData == 0 {
+		t.Fatal("no losses: the sweep measured nothing")
+	}
+	if flat.Delivered != flat.Expected {
+		t.Errorf("flat delivered %d of %d", flat.Delivered, flat.Expected)
+	}
+	if sup.Delivered != sup.Expected {
+		t.Errorf("suppressed delivered %d of %d", sup.Delivered, sup.Expected)
+	}
+	flatPer := float64(flat.Requests) / float64(flat.LostData)
+	supPer := float64(sup.Requests) / float64(sup.LostData)
+	if supPer > 0.10*flatPer {
+		t.Errorf("suppressed req/loss %.4f exceeds 10%% of flat %.4f", supPer, flatPer)
+	}
+	if sup.LocalRepairs == 0 {
+		t.Error("no local repairs: peers never answered for the origin")
+	}
+	if sup.Suppressed == 0 {
+		t.Error("no suppressed requests at n=1024")
+	}
+}

@@ -22,50 +22,56 @@ type Code uint8
 
 // Event codes, grouped by layer.
 const (
-	EvNone         Code = iota
-	EvSend              // rmcast: data multicast sent (a=seq)
-	EvDeliver           // rmcast: message delivered to app (a=sender, b=seq)
-	EvNackSent          // rmcast: NACK requested (a=sender, b=seq)
-	EvNackRecv          // rmcast: NACK received (a=requester, b=seq)
-	EvRetransmit        // rmcast: retransmission served (a=sender, b=seq)
-	EvGossip            // rmcast: stability gossip sent (a=mincut)
-	EvViewPropose       // member: view change proposed (a=proposed view id)
-	EvViewInstall       // member: view installed (a=view id, b=members)
-	EvEvict             // member: member evicted (a=victim, b=view id)
-	EvRelayForward      // hier: relay forwarded a message (a=src cluster)
-	EvBatchFlush        // hier: forward batch flushed (a=msgs, b=bytes)
-	EvPlayoutDrop       // media: frame dropped at playout (a=stream, b=seq)
-	EvLateFrame         // media: frame arrived late (a=stream, b=seq)
-	EvSkewCorrect       // msync: skew correction applied (a=slave, b=skew µs)
-	EvViolation         // chaos: invariant violation detected
-	EvJoinRetry         // member: join request (re)sent (a=attempt, b=backoff ms)
-	EvJoinFail          // member: join abandoned at the attempt cap (a=attempts)
-	EvQuarantine        // member: joiner parked as unreachable (a=joiner, b=rounds)
-	EvUnquarantine      // member: parked joiner readmitted (a=joiner)
+	EvNone             Code = iota
+	EvSend                  // rmcast: data multicast sent (a=seq)
+	EvDeliver               // rmcast: message delivered to app (a=sender, b=seq)
+	EvNackSent              // rmcast: NACK requested (a=sender, b=seq)
+	EvNackRecv              // rmcast: NACK received (a=requester, b=seq)
+	EvRetransmit            // rmcast: retransmission served (a=sender, b=seq)
+	EvGossip                // rmcast: stability gossip sent (a=mincut)
+	EvViewPropose           // member: view change proposed (a=proposed view id)
+	EvViewInstall           // member: view installed (a=view id, b=members)
+	EvEvict                 // member: member evicted (a=victim, b=view id)
+	EvRelayForward          // hier: relay forwarded a message (a=src cluster)
+	EvBatchFlush            // hier: forward batch flushed (a=msgs, b=bytes)
+	EvPlayoutDrop           // media: frame dropped at playout (a=stream, b=seq)
+	EvLateFrame             // media: frame arrived late (a=stream, b=seq)
+	EvSkewCorrect           // msync: skew correction applied (a=slave, b=skew µs)
+	EvViolation             // chaos: invariant violation detected
+	EvJoinRetry             // member: join request (re)sent (a=attempt, b=backoff ms)
+	EvJoinFail              // member: join abandoned at the attempt cap (a=attempts)
+	EvQuarantine            // member: joiner parked as unreachable (a=joiner, b=rounds)
+	EvUnquarantine          // member: parked joiner readmitted (a=joiner)
+	EvNackSuppressed        // rmcast: pending repair request cancelled on hearing an equivalent one (a=sender, b=seq)
+	EvRepairSuppressed      // rmcast: pending repair answer cancelled on hearing the repair (a=sender, b=seq)
+	EvLocalRepair           // rmcast: repair served by a member other than the original sender (a=sender, b=seq)
 	evMax
 )
 
 var codeNames = [evMax]string{
-	EvNone:         "none",
-	EvSend:         "send",
-	EvDeliver:      "deliver",
-	EvNackSent:     "nack-sent",
-	EvNackRecv:     "nack-recv",
-	EvRetransmit:   "retransmit",
-	EvGossip:       "gossip",
-	EvViewPropose:  "view-propose",
-	EvViewInstall:  "view-install",
-	EvEvict:        "evict",
-	EvRelayForward: "relay-forward",
-	EvBatchFlush:   "batch-flush",
-	EvPlayoutDrop:  "playout-drop",
-	EvLateFrame:    "late-frame",
-	EvSkewCorrect:  "skew-correct",
-	EvViolation:    "VIOLATION",
-	EvJoinRetry:    "join-retry",
-	EvJoinFail:     "join-fail",
-	EvQuarantine:   "quarantine",
-	EvUnquarantine: "unquarantine",
+	EvNone:             "none",
+	EvSend:             "send",
+	EvDeliver:          "deliver",
+	EvNackSent:         "nack-sent",
+	EvNackRecv:         "nack-recv",
+	EvRetransmit:       "retransmit",
+	EvGossip:           "gossip",
+	EvViewPropose:      "view-propose",
+	EvViewInstall:      "view-install",
+	EvEvict:            "evict",
+	EvRelayForward:     "relay-forward",
+	EvBatchFlush:       "batch-flush",
+	EvPlayoutDrop:      "playout-drop",
+	EvLateFrame:        "late-frame",
+	EvSkewCorrect:      "skew-correct",
+	EvViolation:        "VIOLATION",
+	EvJoinRetry:        "join-retry",
+	EvJoinFail:         "join-fail",
+	EvQuarantine:       "quarantine",
+	EvUnquarantine:     "unquarantine",
+	EvNackSuppressed:   "nack-suppressed",
+	EvRepairSuppressed: "repair-suppressed",
+	EvLocalRepair:      "local-repair",
 }
 
 // String returns the event code's name.

@@ -42,3 +42,34 @@ func runHierChaos(t *testing.T, seed int64) {
 			tr.Schedule, v, tr.Flight))
 	}
 }
+
+// TestHierChaosSuppression is the hierarchy's side of the suppression
+// matrix: suppression-enabled runs with correlated loss domains, under a
+// generated transient-fault schedule (lossy rows) and under a schedule
+// biased toward partitions via its seed window, two seeds each. Relay
+// completeness, FIFO, origin attribution and the no-repair-storm bound
+// must all hold, and recovery must actually run.
+func TestHierChaosSuppression(t *testing.T) {
+	for _, seed := range []int64{3100, 3101, 3102, 3103} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tr := chaos.RunHier(chaos.HierOptions{
+				Seed:        seed,
+				LossDomains: 3, // domains straddle cluster boundaries
+			})
+			if v := tr.Violations(); len(v) > 0 {
+				t.Error(chaos.FailureReport(
+					fmt.Sprintf("(hier suppression matrix seed=%d)", seed),
+					tr.Schedule, v, tr.Flight))
+			}
+			var served uint64
+			for _, n := range tr.Order {
+				served += tr.Recovery[n].NacksServed
+			}
+			if served == 0 {
+				t.Error("no repairs served: the run never exercised recovery")
+			}
+		})
+	}
+}

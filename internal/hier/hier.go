@@ -147,6 +147,22 @@ type Config struct {
 	DisableBatching bool
 	// NoPiggyback is passed through to the constituent rmcast engines.
 	NoPiggyback bool
+	// ResendAfter and StabilizeEvery are forwarded to the constituent
+	// rmcast engines (zero = rmcast defaults).
+	ResendAfter    time.Duration
+	StabilizeEvery time.Duration
+	// Suppression tunes the constituent engines' SRM-style randomized
+	// loss-recovery timers. The zero value means defaults; the hierarchy
+	// scopes suppression naturally because each engine's view is its own
+	// cluster (or the relay set).
+	Suppression rmcast.Suppression
+	// DisableSuppression reverts the constituent engines to per-receiver
+	// unicast-style NACK scheduling (see rmcast.Config.DisableSuppression).
+	DisableSuppression bool
+	// Distance, when non-nil, estimates one-way delay to a peer and is
+	// passed through to the constituent engines to seed suppression
+	// timers.
+	Distance func(id.Node) time.Duration
 	// Metrics, when non-nil, receives live counters from the relay layer
 	// (hier.*) and the constituent engines (rmcast.local.*, and
 	// rmcast.wide.* on relays).
@@ -292,26 +308,36 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 		e.mEarlyFlushes = cfg.Metrics.Counter("hier.early_flushes")
 	}
 	e.local = rmcast.New(env, rmcast.Config{
-		Group:           cfg.LocalGroup,
-		Ordering:        cfg.Ordering,
-		OnDeliver:       e.onLocalDeliver,
-		DisableBatching: cfg.DisableBatching,
-		NoPiggyback:     cfg.NoPiggyback,
-		Metrics:         cfg.Metrics,
-		MetricsPrefix:   "rmcast.local.",
-		Flight:          cfg.Flight,
+		Group:              cfg.LocalGroup,
+		Ordering:           cfg.Ordering,
+		OnDeliver:          e.onLocalDeliver,
+		ResendAfter:        cfg.ResendAfter,
+		StabilizeEvery:     cfg.StabilizeEvery,
+		DisableBatching:    cfg.DisableBatching,
+		NoPiggyback:        cfg.NoPiggyback,
+		Suppression:        cfg.Suppression,
+		DisableSuppression: cfg.DisableSuppression,
+		Distance:           cfg.Distance,
+		Metrics:            cfg.Metrics,
+		MetricsPrefix:      "rmcast.local.",
+		Flight:             cfg.Flight,
 	})
 	e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
 	if e.isRelay {
 		e.wide = rmcast.New(env, rmcast.Config{
-			Group:           cfg.WideGroup,
-			Ordering:        rmcast.FIFO,
-			OnDeliver:       e.onWideDeliver,
-			DisableBatching: cfg.DisableBatching,
-			NoPiggyback:     cfg.NoPiggyback,
-			Metrics:         cfg.Metrics,
-			MetricsPrefix:   "rmcast.wide.",
-			Flight:          cfg.Flight,
+			Group:              cfg.WideGroup,
+			Ordering:           rmcast.FIFO,
+			OnDeliver:          e.onWideDeliver,
+			ResendAfter:        cfg.ResendAfter,
+			StabilizeEvery:     cfg.StabilizeEvery,
+			DisableBatching:    cfg.DisableBatching,
+			NoPiggyback:        cfg.NoPiggyback,
+			Suppression:        cfg.Suppression,
+			DisableSuppression: cfg.DisableSuppression,
+			Distance:           cfg.Distance,
+			Metrics:            cfg.Metrics,
+			MetricsPrefix:      "rmcast.wide.",
+			Flight:             cfg.Flight,
 		})
 		e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
 	}
@@ -320,6 +346,32 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 
 // IsRelay reports whether this node relays for its cluster.
 func (e *Engine) IsRelay() bool { return e.isRelay }
+
+// Counters returns the constituent engines' counters summed — the local
+// engine's plus, on relays, the wide engine's. Sent/Delivered count raw
+// engine traffic (envelopes and relay forwards included), so they exceed
+// the application message counts; the recovery counters (NacksSent,
+// NacksServed, suppression) aggregate cleanly.
+func (e *Engine) Counters() rmcast.Counters {
+	c := e.local.Counters()
+	if e.wide != nil {
+		w := e.wide.Counters()
+		c.Sent += w.Sent
+		c.Delivered += w.Delivered
+		c.Duplicates += w.Duplicates
+		c.NacksSent += w.NacksSent
+		c.NacksServed += w.NacksServed
+		c.Retransmits += w.Retransmits
+		c.FlushResends += w.FlushResends
+		c.OrdersSent += w.OrdersSent
+		c.PiggyAcks += w.PiggyAcks
+		c.GossipAcks += w.GossipAcks
+		c.NacksSuppressed += w.NacksSuppressed
+		c.RepairsSuppressed += w.RepairsSuppressed
+		c.LocalRepairs += w.LocalRepairs
+	}
+	return c
+}
 
 // Multicast sends payload to the whole hierarchical group.
 func (e *Engine) Multicast(payload []byte) error {

@@ -9,10 +9,16 @@
 // Env.Send enqueue future delivery events according to the configured link
 // profile (propagation delay, jitter, loss). Periodic OnTick events are
 // self-rescheduling.
+//
+// The implementation is built for thousand-node sweeps: events are plain
+// values (no per-event closure or heap allocation on the send/tick paths),
+// the virtual-time queue is sharded into per-quantum buckets so each heap
+// stays small, decoded messages reuse one scratch value per simulation, and
+// traffic counters are flat arrays rather than maps. Determinism is
+// unchanged — events execute in exact (time, insertion-seq) order.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -60,6 +66,10 @@ type Config struct {
 	Profile Profile
 }
 
+// kindSlots bounds the flat per-kind counter arrays; wire kinds are a
+// small closed enum well under this.
+const kindSlots = 64
+
 // Stats aggregates transport-level traffic counts, used by the control
 // overhead experiments.
 type Stats struct {
@@ -67,6 +77,9 @@ type Stats struct {
 	SentByKind map[wire.Kind]uint64
 	// BytesByKind counts encoded payload bytes per message kind.
 	BytesByKind map[wire.Kind]uint64
+	// DroppedByKind counts datagrams lost to the link model, partitions
+	// or crashed receivers, per message kind.
+	DroppedByKind map[wire.Kind]uint64
 	// Dropped counts datagrams lost to the link model, partitions or
 	// crashed receivers.
 	Dropped uint64
@@ -92,6 +105,16 @@ func (s *Stats) TotalBytes() uint64 {
 	return t
 }
 
+// lossKey identifies one logical multicast packet crossing into one loss
+// domain at one virtual instant; see SetLossDomains.
+type lossKey struct {
+	from   id.Node
+	sender id.Node
+	seq    uint64
+	domain int32
+	kind   wire.Kind
+}
+
 // Sim is a discrete-event simulation. It is not safe for concurrent use:
 // build the topology, schedule scripted actions with At, then call Run.
 type Sim struct {
@@ -99,15 +122,21 @@ type Sim struct {
 	rng   *rand.Rand
 	start time.Time
 	now   time.Time
+	nowNs int64 // now - start, the queue's clock
 	queue eventQueue
 	seq   uint64
 	nodes map[id.Node]*simNode
 
 	partition map[id.Node]int
-	stats     Stats
+
+	sentByKind    [kindSlots]uint64
+	bytesByKind   [kindSlots]uint64
+	droppedByKind [kindSlots]uint64
+	dropped       uint64
+	delivered     uint64
 
 	// busyUntil models FIFO transmission queues per directed link.
-	busyUntil map[linkPair]time.Time
+	busyUntil map[linkPair]int64
 
 	// blocked drops traffic on individual directed links — the
 	// asymmetric-reachability fault (A hears B, B never hears A) that
@@ -121,6 +150,12 @@ type Sim struct {
 	// simulations keep their everyone-reaches-everyone behaviour.
 	addressing bool
 	known      map[linkPair]bool // {from,to}: from holds to's address
+
+	// lossDomain groups receivers into correlated loss domains; lossMemo
+	// caches one loss draw per (packet, domain) within a virtual instant
+	// and is cleared whenever time advances.
+	lossDomain func(id.Node) int
+	lossMemo   map[lossKey]bool
 }
 
 // linkPair keys the per-link transmission queue state.
@@ -138,42 +173,50 @@ func New(cfg Config) *Sim {
 		cfg.Profile = LANProfile(time.Millisecond, 0, 0)
 	}
 	start := time.Unix(0, 0).UTC()
-	return &Sim{
+	s := &Sim{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		start:     start,
 		now:       start,
 		nodes:     make(map[id.Node]*simNode),
 		partition: make(map[id.Node]int),
-		busyUntil: make(map[linkPair]time.Time),
+		busyUntil: make(map[linkPair]int64),
 		blocked:   make(map[linkPair]bool),
 		known:     make(map[linkPair]bool),
-		stats: Stats{
-			SentByKind:  make(map[wire.Kind]uint64),
-			BytesByKind: make(map[wire.Kind]uint64),
-		},
 	}
+	s.queue.init(int64(cfg.Tick))
+	return s
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time { return s.now }
 
 // Elapsed returns the virtual time since simulation start.
-func (s *Sim) Elapsed() time.Duration { return s.now.Sub(s.start) }
+func (s *Sim) Elapsed() time.Duration { return time.Duration(s.nowNs) }
 
 // Stats returns a copy of the traffic statistics.
 func (s *Sim) Stats() Stats {
 	cp := Stats{
-		SentByKind:  make(map[wire.Kind]uint64, len(s.stats.SentByKind)),
-		BytesByKind: make(map[wire.Kind]uint64, len(s.stats.BytesByKind)),
-		Dropped:     s.stats.Dropped,
-		Delivered:   s.stats.Delivered,
+		SentByKind:    make(map[wire.Kind]uint64),
+		BytesByKind:   make(map[wire.Kind]uint64),
+		DroppedByKind: make(map[wire.Kind]uint64),
+		Dropped:       s.dropped,
+		Delivered:     s.delivered,
 	}
-	for k, v := range s.stats.SentByKind {
-		cp.SentByKind[k] = v
+	for k, v := range s.sentByKind {
+		if v > 0 {
+			cp.SentByKind[wire.Kind(k)] = v
+		}
 	}
-	for k, v := range s.stats.BytesByKind {
-		cp.BytesByKind[k] = v
+	for k, v := range s.bytesByKind {
+		if v > 0 {
+			cp.BytesByKind[wire.Kind(k)] = v
+		}
+	}
+	for k, v := range s.droppedByKind {
+		if v > 0 {
+			cp.DroppedByKind[wire.Kind(k)] = v
+		}
 	}
 	return cp
 }
@@ -189,9 +232,8 @@ func (s *Sim) AddNode(n id.Node, build func(env proto.Env) proto.Handler) proto.
 	node := &simNode{sim: s, self: n, up: true}
 	s.nodes[n] = node
 	node.handler = build(node)
-	offset := time.Duration(s.rng.Int63n(int64(s.cfg.Tick)))
-	epoch := node.epoch
-	s.scheduleAt(s.now.Add(offset), func() { node.tick(epoch) })
+	offset := s.rng.Int63n(int64(s.cfg.Tick))
+	s.schedule(event{at: s.nowNs + offset, kind: evTick, node: node, epoch: node.epoch})
 	return node.handler
 }
 
@@ -208,19 +250,18 @@ func (s *Sim) Replace(n id.Node, build func(env proto.Env) proto.Handler) proto.
 	node.epoch++
 	node.up = true
 	node.handler = build(node)
-	epoch := node.epoch
-	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick(epoch) })
+	s.schedule(event{at: s.nowNs + int64(s.cfg.Tick), kind: evTick, node: node, epoch: node.epoch})
 	return node.handler
 }
 
 // At schedules a scripted action at the given offset from simulation start.
 // Actions run on the simulation goroutine and may call into engines.
 func (s *Sim) At(offset time.Duration, f func()) {
-	at := s.start.Add(offset)
-	if at.Before(s.now) {
-		at = s.now
+	at := int64(offset)
+	if at < s.nowNs {
+		at = s.nowNs
 	}
-	s.scheduleAt(at, f)
+	s.schedule(event{at: at, kind: evFunc, run: f})
 }
 
 // Crash marks a node failed: it stops ticking, sending and receiving.
@@ -238,8 +279,7 @@ func (s *Sim) Restart(n id.Node) {
 		return
 	}
 	node.up = true
-	epoch := node.epoch
-	s.scheduleAt(s.now.Add(s.cfg.Tick), func() { node.tick(epoch) })
+	s.schedule(event{at: s.nowNs + int64(s.cfg.Tick), kind: evTick, node: node, epoch: node.epoch})
 }
 
 // BlockDirected drops every datagram from one node to another while
@@ -258,6 +298,21 @@ func (s *Sim) EnableAddressing() { s.addressing = true }
 // Know seeds a directed address entry: from holds to's address, as if
 // configured with a static -peer flag.
 func (s *Sim) Know(from, to id.Node) { s.known[linkPair{from, to}] = true }
+
+// SetLossDomains groups receivers into correlated loss domains, the way a
+// lossy subtree of a multicast distribution tree drops one packet for all
+// receivers behind it. Each logical packet (sender, kind, seq) crossing
+// from one node into one domain within a single virtual instant gets one
+// loss draw shared by every receiver in the domain; distinct packets and
+// distinct domains draw independently. A nil function restores the default
+// fully-independent per-copy loss. Correlated loss is what makes
+// suppression measurable: without it no two receivers ever share a gap.
+func (s *Sim) SetLossDomains(domain func(id.Node) int) {
+	s.lossDomain = domain
+	if domain != nil && s.lossMemo == nil {
+		s.lossMemo = make(map[lossKey]bool)
+	}
+}
 
 // Partition splits the network into isolated groups, like
 // transport.Fabric.Partition. Unlisted nodes share group 0.
@@ -297,28 +352,76 @@ func (s *Sim) Up(n id.Node) bool {
 // Run processes events until virtual time reaches the given offset from
 // simulation start. It returns the number of events processed.
 func (s *Sim) Run(until time.Duration) int {
-	deadline := s.start.Add(until)
+	deadline := int64(until)
 	processed := 0
-	for s.queue.Len() > 0 {
-		ev := s.queue.peek()
-		if ev.at.After(deadline) {
+	for {
+		ev, ok := s.queue.popBefore(deadline)
+		if !ok {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = ev.at
-		ev.run()
+		if ev.at != s.nowNs {
+			s.nowNs = ev.at
+			s.now = s.start.Add(time.Duration(ev.at))
+			if len(s.lossMemo) > 0 {
+				clear(s.lossMemo)
+			}
+		}
+		s.exec(&ev)
 		processed++
 	}
-	if s.now.Before(deadline) {
-		s.now = deadline
+	if s.nowNs < deadline {
+		s.nowNs = deadline
+		s.now = s.start.Add(until)
 	}
 	return processed
 }
 
-// scheduleAt enqueues an event at an absolute virtual time.
-func (s *Sim) scheduleAt(at time.Time, run func()) {
+// schedule enqueues one event, stamping the deterministic tiebreak seq.
+func (s *Sim) schedule(ev event) {
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, run: run})
+	ev.seq = s.seq
+	s.queue.push(ev)
+}
+
+// exec dispatches one popped event.
+func (s *Sim) exec(ev *event) {
+	switch ev.kind {
+	case evFunc:
+		ev.run()
+	case evTick:
+		ev.node.tick(ev.epoch)
+	case evDeliver:
+		s.deliver(ev)
+	}
+}
+
+// drop records one lost datagram of the given kind.
+func (s *Sim) drop(k wire.Kind) {
+	s.dropped++
+	if int(k) < kindSlots {
+		s.droppedByKind[k]++
+	}
+}
+
+// lost draws (or reuses, under correlated loss domains) the loss verdict
+// for one datagram copy headed to one receiver.
+func (s *Sim) lost(from, to id.Node, msg *wire.Message, loss float64) bool {
+	if s.lossDomain == nil {
+		return s.rng.Float64() < loss
+	}
+	key := lossKey{
+		from:   from,
+		sender: msg.Sender,
+		seq:    msg.Seq,
+		domain: int32(s.lossDomain(to)),
+		kind:   msg.Kind,
+	}
+	if v, ok := s.lossMemo[key]; ok {
+		return v
+	}
+	v := s.rng.Float64() < loss
+	s.lossMemo[key] = v
+	return v
 }
 
 // send models one datagram: encode, apply the link model, enqueue the
@@ -328,8 +431,10 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 	bp := wire.GetBuf()
 	*bp = msg.Encode((*bp)[:0])
 	buf := *bp
-	s.stats.SentByKind[msg.Kind]++
-	s.stats.BytesByKind[msg.Kind] += uint64(len(buf))
+	if int(msg.Kind) < kindSlots {
+		s.sentByKind[msg.Kind]++
+		s.bytesByKind[msg.Kind] += uint64(len(buf))
+	}
 
 	sender, ok := s.nodes[from]
 	if !ok || !sender.up {
@@ -339,68 +444,87 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 	link := s.cfg.Profile(from, to)
 	if s.partition[from] != s.partition[to] || s.blocked[linkPair{from, to}] ||
 		(s.addressing && !s.known[linkPair{from, to}]) {
-		s.stats.Dropped++
+		s.drop(msg.Kind)
 		wire.PutBuf(bp)
 		return
 	}
-	if link.Loss > 0 && s.rng.Float64() < link.Loss {
-		s.stats.Dropped++
+	if link.Loss > 0 && s.lost(from, to, msg, link.Loss) {
+		s.drop(msg.Kind)
 		wire.PutBuf(bp)
 		return
 	}
 	// Finite bandwidth: the datagram serializes after any earlier
 	// traffic queued on this directed link. Serialization happens once;
 	// duplication (below) models copies made inside the network.
-	depart := s.now
+	depart := s.nowNs
 	if link.Bandwidth > 0 {
 		key := linkPair{from, to}
-		if busy, ok := s.busyUntil[key]; ok && busy.After(depart) {
+		if busy, ok := s.busyUntil[key]; ok && busy > depart {
 			depart = busy
 		}
-		tx := time.Duration(float64(len(buf)) / link.Bandwidth * float64(time.Second))
-		depart = depart.Add(tx)
+		depart += int64(float64(len(buf)) / link.Bandwidth * float64(time.Second))
 		s.busyUntil[key] = depart
 	}
 	copies := 1
 	if link.Duplicate > 0 && s.rng.Float64() < link.Duplicate {
 		copies = 2
 	}
-	// The copies share the pooled encode buffer; the last delivery (the
-	// simulation is single-goroutine, so a plain counter suffices) returns
-	// it to the pool.
-	left := copies
-	release := func() {
-		if left--; left == 0 {
-			wire.PutBuf(bp)
-		}
-	}
 	for c := 0; c < copies; c++ {
-		delay := link.Delay + depart.Sub(s.now)
+		delay := int64(link.Delay) + (depart - s.nowNs)
 		if link.Jitter > 0 {
-			delay += time.Duration(s.rng.Int63n(int64(link.Jitter) + 1))
+			delay += s.rng.Int63n(int64(link.Jitter) + 1)
 		}
 		if delay <= 0 {
-			delay = time.Nanosecond // strictly-after-send delivery
+			delay = 1 // strictly-after-send delivery
 		}
-		s.scheduleAt(s.now.Add(delay), func() {
-			defer release()
-			node, ok := s.nodes[to]
-			if !ok || !node.up {
-				s.stats.Dropped++
-				return
-			}
-			decoded, err := wire.Decode(buf)
-			if err != nil {
-				s.stats.Dropped++
-				return
-			}
-			s.stats.Delivered++
-			// Return-address learning, as the UDP endpoint does from
-			// datagram sources: the receiver now knows the sender.
-			s.known[linkPair{to, from}] = true
-			node.handler.OnMessage(from, decoded)
+		cbp, cbuf := bp, buf
+		if c > 0 {
+			// The rare duplicated copy gets its own pooled buffer so
+			// every delivery event owns its payload exclusively.
+			cbp = wire.GetBuf()
+			*cbp = append((*cbp)[:0], buf...)
+			cbuf = *cbp
+		}
+		s.schedule(event{
+			at:   s.nowNs + delay,
+			kind: evDeliver,
+			from: from,
+			to:   to,
+			buf:  cbuf,
+			bp:   cbp,
 		})
 	}
+}
+
+// deliver hands one arriving datagram to its target handler.
+func (s *Sim) deliver(ev *event) {
+	node, ok := s.nodes[ev.to]
+	if !ok || !node.up {
+		if len(ev.buf) > 0 {
+			s.drop(wire.Kind(ev.buf[0]))
+		} else {
+			s.dropped++
+		}
+		wire.PutBuf(ev.bp)
+		return
+	}
+	// Decode a fresh message per delivery: ownership transfers to the
+	// handler, which may retain it (rmcast keeps delivered messages in
+	// its retransmission history), exactly as with the live endpoint.
+	decoded, err := wire.Decode(ev.buf)
+	wire.PutBuf(ev.bp)
+	if err != nil {
+		s.dropped++
+		return
+	}
+	s.delivered++
+	// Return-address learning, as the UDP endpoint does from datagram
+	// sources: the receiver now knows the sender. Only tracked when the
+	// addressing model is on — nothing reads the table otherwise.
+	if s.addressing {
+		s.known[linkPair{ev.to, ev.from}] = true
+	}
+	node.handler.OnMessage(ev.from, decoded)
 }
 
 // simNode is one simulated host; it implements proto.Env for its handler.
@@ -411,7 +535,7 @@ type simNode struct {
 	self    id.Node
 	handler proto.Handler
 	up      bool
-	epoch   int
+	epoch   int32
 }
 
 var _ proto.Env = (*simNode)(nil)
@@ -453,40 +577,10 @@ func (n *simNode) CanReach(to id.Node) bool {
 
 // tick delivers OnTick and reschedules itself while the node is up and
 // its epoch is current.
-func (n *simNode) tick(epoch int) {
+func (n *simNode) tick(epoch int32) {
 	if !n.up || epoch != n.epoch {
 		return
 	}
 	n.handler.OnTick(n.sim.now)
-	n.sim.scheduleAt(n.sim.now.Add(n.sim.cfg.Tick), func() { n.tick(epoch) })
+	n.sim.schedule(event{at: n.sim.nowNs + int64(n.sim.cfg.Tick), kind: evTick, node: n, epoch: epoch})
 }
-
-// event is one queue entry; seq breaks time ties deterministically in
-// insertion order.
-type event struct {
-	at  time.Time
-	seq uint64
-	run func()
-}
-
-// eventQueue is a min-heap of events.
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-func (q eventQueue) peek() *event { return q[0] }

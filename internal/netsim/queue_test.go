@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestEventQueueMatchesReference drives the sharded calendar queue and a
+// naive sorted reference through identical randomized push/pop schedules
+// and requires byte-identical pop order: the bucketing is an optimization,
+// (at, seq) order is the contract the whole simulator's determinism rests
+// on. Schedules interleave pops with pushes (including same-quantum pushes
+// while that quantum drains, the tick-cascade case) and span near events,
+// far overflow events and time-tied events.
+func TestEventQueueMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		q.init(int64(5 * time.Millisecond))
+
+		type ref struct{ at, seq int64 }
+		var pending []ref
+		var seq int64
+		now := int64(0)
+
+		push := func(at int64) {
+			seq++
+			q.push(event{at: at, seq: uint64(seq)})
+			pending = append(pending, ref{at, seq})
+		}
+		popRef := func() (ref, bool) {
+			if len(pending) == 0 {
+				return ref{}, false
+			}
+			best := 0
+			for i, r := range pending {
+				if r.at < pending[best].at ||
+					(r.at == pending[best].at && r.seq < pending[best].seq) {
+					best = i
+				}
+			}
+			r := pending[best]
+			pending = append(pending[:best], pending[best+1:]...)
+			return r, true
+		}
+
+		for i := 0; i < 400; i++ {
+			push(now + rng.Int63n(int64(40*time.Millisecond)))
+		}
+		for op := 0; op < 4000; op++ {
+			switch {
+			case rng.Intn(3) != 0 && len(pending) > 0:
+				want, _ := popRef()
+				got, ok := q.popBefore(1 << 62)
+				if !ok || got.at != want.at || int64(got.seq) != want.seq {
+					t.Fatalf("seed %d op %d: pop (at=%d seq=%d ok=%v), want (at=%d seq=%d)",
+						seed, op, got.at, got.seq, ok, want.at, want.seq)
+				}
+				now = got.at
+			case rng.Intn(10) == 0:
+				// Far-future push, exercising the overflow heap and the
+				// window jump when everything near-term drains.
+				push(now + int64(5*time.Second) + rng.Int63n(int64(20*time.Second)))
+			default:
+				// Near push; rng.Intn(3) == 0 often gives at == now,
+				// landing in the quantum currently being drained.
+				push(now + rng.Int63n(int64(12*time.Millisecond))/int64(rng.Intn(3)*100+1))
+			}
+		}
+		// Drain fully; remaining order must still match.
+		sort.Slice(pending, func(i, j int) bool {
+			if pending[i].at != pending[j].at {
+				return pending[i].at < pending[j].at
+			}
+			return pending[i].seq < pending[j].seq
+		})
+		for _, want := range pending {
+			got, ok := q.popBefore(1 << 62)
+			if !ok || got.at != want.at || int64(got.seq) != want.seq {
+				t.Fatalf("seed %d drain: pop (at=%d seq=%d ok=%v), want (at=%d seq=%d)",
+					seed, got.at, got.seq, ok, want.at, want.seq)
+			}
+		}
+		if ev, ok := q.popBefore(1 << 62); ok {
+			t.Fatalf("seed %d: queue not empty after drain: %+v", seed, ev)
+		}
+	}
+}
+
+// TestEventQueueDeadline checks popBefore refuses events past the deadline
+// without disturbing the queue.
+func TestEventQueueDeadline(t *testing.T) {
+	var q eventQueue
+	q.init(int64(5 * time.Millisecond))
+	q.push(event{at: 100, seq: 1})
+	q.push(event{at: 200, seq: 2})
+	if _, ok := q.popBefore(50); ok {
+		t.Fatal("popped an event past the deadline")
+	}
+	ev, ok := q.popBefore(150)
+	if !ok || ev.at != 100 {
+		t.Fatalf("pop = (%+v, %v), want at=100", ev, ok)
+	}
+	ev, ok = q.popBefore(1 << 62)
+	if !ok || ev.at != 200 {
+		t.Fatalf("pop = (%+v, %v), want at=200", ev, ok)
+	}
+	if _, ok := q.popBefore(1 << 62); ok {
+		t.Fatal("queue should be empty")
+	}
+}

@@ -32,6 +32,7 @@ package rmcast
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -147,6 +148,23 @@ type Config struct {
 	// deliveries, NACKs, retransmissions, gossip) into the flight
 	// recorder ring. Nil disables recording at zero cost.
 	Flight *flightrec.Recorder
+	// Suppression tunes the SRM-style scalable loss recovery that is on
+	// by default: randomized suppression timers for multicast repair
+	// requests, sampled multicast local repair, duplicate-repair damping
+	// and capped exponential request backoff (see suppress.go). Zero
+	// fields take defaults.
+	Suppression Suppression
+	// DisableSuppression reverts loss recovery to the flat baseline:
+	// unicast NACKs straight to the original sender, re-fired with
+	// capped exponential backoff. The ablation arm for the T7
+	// recovery-traffic experiment.
+	DisableSuppression bool
+	// Distance estimates the one-way delay to a peer, scaling the
+	// suppression timers so nearer receivers request (and nearer holders
+	// repair) first. Live stacks can wire it to clock-sync RTT samples;
+	// nil (or a zero return) falls back to
+	// Suppression.DefaultDistance.
+	Distance func(id.Node) time.Duration
 }
 
 // Counters exposes protocol event counts for tests and experiments.
@@ -161,6 +179,14 @@ type Counters struct {
 	OrdersSent   uint64 // sequencer slot assignments broadcast
 	PiggyAcks    uint64 // ack vectors piggybacked on outgoing data
 	GossipAcks   uint64 // standalone stability gossip broadcasts
+
+	// Scalable-recovery counters (see suppress.go). NacksSent and
+	// NacksServed count request/repair events — one per multicast, not
+	// per fan-out datagram — so flat and suppressed runs compare under
+	// the IP-multicast cost model.
+	NacksSuppressed   uint64 // pending requests cancelled on hearing an equivalent one
+	RepairsSuppressed uint64 // armed repair timers cancelled on hearing the repair
+	LocalRepairs      uint64 // repairs served by a member other than the original sender
 }
 
 // engMetrics is the engine's live counter set. The pointers are resolved
@@ -179,6 +205,11 @@ type engMetrics struct {
 	ordersSent   *stats.Counter
 	piggyAcks    *stats.Counter
 	gossipAcks   *stats.Counter
+
+	nacksSuppressed   *stats.Counter
+	repairsSuppressed *stats.Counter
+	localRepairs      *stats.Counter
+
 	historyLen   *stats.Gauge     // delivered-but-unstable messages buffered
 	stabilityLag *stats.Histogram // history depth sampled at stability rounds
 }
@@ -188,33 +219,39 @@ type engMetrics struct {
 func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
 	if reg == nil {
 		return engMetrics{
-			sent:         &stats.Counter{},
-			delivered:    &stats.Counter{},
-			duplicates:   &stats.Counter{},
-			nacksSent:    &stats.Counter{},
-			nacksServed:  &stats.Counter{},
-			retransmits:  &stats.Counter{},
-			flushResends: &stats.Counter{},
-			ordersSent:   &stats.Counter{},
-			piggyAcks:    &stats.Counter{},
-			gossipAcks:   &stats.Counter{},
-			historyLen:   &stats.Gauge{},
-			stabilityLag: stats.NewReservoirHistogram(0),
+			sent:              &stats.Counter{},
+			delivered:         &stats.Counter{},
+			duplicates:        &stats.Counter{},
+			nacksSent:         &stats.Counter{},
+			nacksServed:       &stats.Counter{},
+			retransmits:       &stats.Counter{},
+			flushResends:      &stats.Counter{},
+			ordersSent:        &stats.Counter{},
+			piggyAcks:         &stats.Counter{},
+			gossipAcks:        &stats.Counter{},
+			nacksSuppressed:   &stats.Counter{},
+			repairsSuppressed: &stats.Counter{},
+			localRepairs:      &stats.Counter{},
+			historyLen:        &stats.Gauge{},
+			stabilityLag:      stats.NewReservoirHistogram(0),
 		}
 	}
 	return engMetrics{
-		sent:         reg.Counter(prefix + "sent"),
-		delivered:    reg.Counter(prefix + "delivered"),
-		duplicates:   reg.Counter(prefix + "duplicates"),
-		nacksSent:    reg.Counter(prefix + "nacks_sent"),
-		nacksServed:  reg.Counter(prefix + "nacks_served"),
-		retransmits:  reg.Counter(prefix + "retransmits_recv"),
-		flushResends: reg.Counter(prefix + "flush_resends"),
-		ordersSent:   reg.Counter(prefix + "orders_sent"),
-		piggyAcks:    reg.Counter(prefix + "acks_piggybacked"),
-		gossipAcks:   reg.Counter(prefix + "acks_gossiped"),
-		historyLen:   reg.Gauge(prefix + "history_len"),
-		stabilityLag: reg.Histogram(prefix + "stability_lag"),
+		sent:              reg.Counter(prefix + "sent"),
+		delivered:         reg.Counter(prefix + "delivered"),
+		duplicates:        reg.Counter(prefix + "duplicates"),
+		nacksSent:         reg.Counter(prefix + "nacks_sent"),
+		nacksServed:       reg.Counter(prefix + "nacks_served"),
+		retransmits:       reg.Counter(prefix + "retransmits_recv"),
+		flushResends:      reg.Counter(prefix + "flush_resends"),
+		ordersSent:        reg.Counter(prefix + "orders_sent"),
+		piggyAcks:         reg.Counter(prefix + "acks_piggybacked"),
+		gossipAcks:        reg.Counter(prefix + "acks_gossiped"),
+		nacksSuppressed:   reg.Counter(prefix + "nacks_suppressed"),
+		repairsSuppressed: reg.Counter(prefix + "repairs_suppressed"),
+		localRepairs:      reg.Counter(prefix + "local_repairs"),
+		historyLen:        reg.Gauge(prefix + "history_len"),
+		stabilityLag:      reg.Histogram(prefix + "stability_lag"),
 	}
 }
 
@@ -226,11 +263,22 @@ type msgKey struct {
 
 // peerState tracks the reliable stream from one sender.
 type peerState struct {
-	next     uint64                   // lowest sequence number not yet contiguously received
-	buf      map[uint64]*wire.Message // received out-of-order messages >= next
-	early    map[uint64]bool          // delivered ahead of order (Unordered mode)
-	horizon  uint64                   // highest sequence known to exist
-	lastNack time.Time
+	next    uint64                   // lowest sequence number not yet contiguously received
+	buf     map[uint64]*wire.Message // received out-of-order messages >= next
+	early   map[uint64]bool          // delivered ahead of order (Unordered mode)
+	horizon uint64                   // highest sequence known to exist
+
+	// Flat-recovery state: unicast re-NACK pacing with capped
+	// exponential backoff (DisableSuppression mode).
+	lastNack    time.Time
+	nackBackoff uint8  // backoff exponent of the next re-NACK interval
+	nackMark    uint64 // next at the last NACK; progress past it resets backoff
+
+	// Suppressed-recovery state: the armed randomized request timer.
+	reqAt      time.Time // when the pending repair request fires; zero = disarmed
+	reqBackoff uint8     // backoff exponent of the next request interval
+	reqMark    uint64    // next at the last request; progress past it resets backoff
+	reqAttempt uint32    // request attempts for this stream, rotates responder sampling
 }
 
 // Engine is the reliable multicast state machine for one node and group.
@@ -290,6 +338,20 @@ type Engine struct {
 	frozen    bool
 	sendQueue [][]byte
 
+	// Scalable recovery (see suppress.go): normalized tuning, armed
+	// repair timers per original sender, the duplicate-repair damping
+	// memory, and this node's private deterministic randomness for the
+	// suppression timer draws.
+	sup           Suppression
+	repairs       map[id.Node]*repairJob
+	recentRepairs map[msgKey]time.Time
+	rng           *rand.Rand
+
+	// Total-order slot re-request backoff (mirrors the per-sender NACK
+	// backoff; resets when totalNext advances).
+	orderNackBackoff uint8
+	orderNackMark    uint64
+
 	met engMetrics
 }
 
@@ -315,17 +377,23 @@ func New(env proto.Env, cfg Config) *Engine {
 		cfg.MetricsPrefix = "rmcast."
 	}
 	return &Engine{
-		env:       env,
-		cfg:       cfg,
-		met:       newEngMetrics(cfg.Metrics, cfg.MetricsPrefix),
-		rank:      -1,
-		peers:     make(map[id.Node]*peerState),
-		history:   make(map[msgKey]*wire.Message),
-		orders:    make(map[uint64]msgKey),
-		ordered:   make(map[msgKey]bool),
-		stash:     make(map[msgKey]*wire.Message),
-		ackMatrix: make(map[id.Node]map[id.Node]uint64),
-		nackQueue: make(map[id.Node][]wire.NackRange),
+		env:           env,
+		cfg:           cfg,
+		met:           newEngMetrics(cfg.Metrics, cfg.MetricsPrefix),
+		rank:          -1,
+		peers:         make(map[id.Node]*peerState),
+		history:       make(map[msgKey]*wire.Message),
+		orders:        make(map[uint64]msgKey),
+		ordered:       make(map[msgKey]bool),
+		stash:         make(map[msgKey]*wire.Message),
+		ackMatrix:     make(map[id.Node]map[id.Node]uint64),
+		nackQueue:     make(map[id.Node][]wire.NackRange),
+		sup:           cfg.Suppression.withDefaults(),
+		repairs:       make(map[id.Node]*repairJob),
+		recentRepairs: make(map[msgKey]time.Time),
+		// Seeded from the node identity only, so a seeded simulation —
+		// and any rerun of it — draws the same timer sequence.
+		rng: rand.New(rand.NewSource(int64(mix64(uint64(env.Self()) + 0x5eed)))),
 	}
 }
 
@@ -342,6 +410,10 @@ func (e *Engine) Counters() Counters {
 		OrdersSent:   e.met.ordersSent.Value(),
 		PiggyAcks:    e.met.piggyAcks.Value(),
 		GossipAcks:   e.met.gossipAcks.Value(),
+
+		NacksSuppressed:   e.met.nacksSuppressed.Value(),
+		RepairsSuppressed: e.met.repairsSuppressed.Value(),
+		LocalRepairs:      e.met.localRepairs.Value(),
 	}
 }
 
@@ -378,6 +450,10 @@ func (e *Engine) SetView(v member.View) {
 	e.ackDirty = false
 	e.pendingOrders = e.pendingOrders[:0]
 	e.nackQueue = make(map[id.Node][]wire.NackRange)
+	e.repairs = make(map[id.Node]*repairJob)
+	e.recentRepairs = make(map[msgKey]time.Time)
+	e.orderNackBackoff = 0
+	e.orderNackMark = 0
 
 	// Replay buffered messages that were sent in this view.
 	pending := e.futureBuf
@@ -567,6 +643,9 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 	case wire.KindData, wire.KindRetrans:
 		if msg.Kind == wire.KindRetrans {
 			e.met.retransmits.Inc()
+			if !e.cfg.DisableSuppression {
+				e.noteRetrans(msg)
+			}
 		}
 		if msg.Flags&wire.FlagPiggyAck != 0 {
 			if msg.View == e.view.ID && e.view.Contains(from) {
@@ -582,6 +661,8 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 		e.onNack(from, msg)
 	case wire.KindNackBatch:
 		e.onNackBatch(from, msg)
+	case wire.KindRepairReq:
+		e.onRepairReq(from, msg)
 	case wire.KindOrder, wire.KindOrderBatch:
 		e.routeOrder(msg)
 	case wire.KindStable:
@@ -1037,7 +1118,12 @@ func (e *Engine) OnTick(now time.Time) {
 		return
 	}
 	e.flushOrders()
-	e.scanGaps(now)
+	if e.cfg.DisableSuppression {
+		e.scanGaps(now)
+	} else {
+		e.scanGapsSuppressed(now)
+		e.fireRepairs(now)
+	}
 	e.scanOrderGaps(now)
 	e.flushNacks()
 	if now.Sub(e.lastStableTry) >= e.cfg.StabilizeEvery {
@@ -1133,10 +1219,21 @@ func (e *Engine) scanOrderGaps(now time.Time) {
 	if e.cfg.Ordering != Total || len(e.stash) == 0 {
 		return
 	}
-	if now.Sub(e.lastOrderNack) < e.cfg.ResendAfter {
+	if e.totalNext > e.orderNackMark {
+		e.orderNackBackoff = 0 // slots advanced since the last request
+	}
+	ival := e.backoffStretch(e.cfg.ResendAfter, e.orderNackBackoff)
+	if e.orderNackBackoff > 0 {
+		ival += time.Duration(e.rng.Int63n(int64(ival)/2 + 1))
+	}
+	if now.Sub(e.lastOrderNack) < ival {
 		return
 	}
 	e.lastOrderNack = now
+	e.orderNackMark = e.totalNext
+	if e.orderNackBackoff < maxBackoffShift {
+		e.orderNackBackoff++
+	}
 	for _, m := range e.view.Members {
 		if m == e.env.Self() {
 			continue
@@ -1158,8 +1255,12 @@ func (e *Engine) scanOrderGaps(now time.Time) {
 }
 
 // scanGaps NACKs senders with reception gaps older than ResendAfter.
-// Senders are visited in ID order so the datagram sequence is the same on
-// every run of a seeded simulation.
+// Re-NACKs toward a sender that keeps not answering back off
+// exponentially with jitter up to Suppression.BackoffCap — a permanently
+// dead sender must not draw unbounded NACK traffic — and the backoff
+// resets as soon as the stream progresses. Senders are visited in ID
+// order so the datagram sequence is the same on every run of a seeded
+// simulation.
 func (e *Engine) scanGaps(now time.Time) {
 	senders := make([]id.Node, 0, len(e.peers))
 	for n := range e.peers {
@@ -1172,12 +1273,26 @@ func (e *Engine) scanGaps(now time.Time) {
 			continue
 		}
 		if st.horizon < st.next {
+			st.nackBackoff = 0
 			continue // no known gap
 		}
-		if now.Sub(st.lastNack) < e.cfg.ResendAfter {
+		if st.next > st.nackMark {
+			st.nackBackoff = 0 // the stream moved since the last NACK
+		}
+		ival := e.backoffStretch(e.cfg.ResendAfter, st.nackBackoff)
+		if st.nackBackoff > 0 {
+			// Jitter only the backed-off retries; the first NACK keeps
+			// the prompt fixed-interval recovery latency.
+			ival += time.Duration(e.rng.Int63n(int64(ival)/2 + 1))
+		}
+		if now.Sub(st.lastNack) < ival {
 			continue
 		}
 		st.lastNack = now
+		st.nackMark = st.next
+		if st.nackBackoff < maxBackoffShift {
+			st.nackBackoff++
+		}
 		// Request the full missing range; the responder caps work.
 		if e.cfg.DisableBatching {
 			e.env.Send(n, &wire.Message{

@@ -1,0 +1,138 @@
+package rmcast
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/member"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
+)
+
+// suppressRun drives one n-member FIFO group over a lossy, duplicating,
+// reordering link with correlated loss domains and returns the recovery
+// request count (request events, one per multicast — see Counters) plus
+// the lost-datagram count, after verifying exactly-once delivery
+// everywhere.
+func suppressRun(t *testing.T, n, domains int, suppress bool, seed int64) (requests, lost uint64) {
+	t.Helper()
+	link := netsim.Link{
+		Delay:     time.Millisecond,
+		Jitter:    4 * time.Millisecond, // reorders datagrams freely
+		Loss:      0.05,
+		Duplicate: 0.10,
+	}
+	s := netsim.New(netsim.Config{
+		Seed:    seed,
+		Profile: func(_, _ id.Node) netsim.Link { return link },
+	})
+	s.SetLossDomains(func(nd id.Node) int { return int(nd) % domains })
+
+	var members []id.Node
+	for i := 1; i <= n; i++ {
+		members = append(members, id.Node(i))
+	}
+	view := member.NewView(1, members)
+
+	logs := make(map[id.Node]map[msgKey]int, n)
+	engines := make(map[id.Node]*Engine, n)
+	for _, m := range members {
+		m := m
+		logs[m] = make(map[msgKey]int)
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			eng := New(env, Config{
+				Group:              1,
+				Ordering:           FIFO,
+				DisableSuppression: !suppress,
+				OnDeliver:          func(d Delivery) { logs[m][msgKey{d.Sender, d.Seq}]++ },
+			})
+			eng.SetView(view)
+			engines[m] = eng
+			return eng
+		})
+	}
+
+	const senders, per = 4, 25
+	payload := make([]byte, 64)
+	var last time.Duration
+	for si := 0; si < senders; si++ {
+		sender := members[si]
+		at := 10 * time.Millisecond
+		for i := 0; i < per; i++ {
+			at += 10 * time.Millisecond
+			if at > last {
+				last = at
+			}
+			s.At(at, func() {
+				if err := engines[sender].Multicast(payload); err != nil {
+					t.Errorf("multicast: %v", err)
+				}
+			})
+		}
+	}
+	s.Run(last + 5*time.Second)
+
+	for nd, log := range logs {
+		if len(log) != senders*per {
+			t.Fatalf("suppress=%v seed %d: node %s delivered %d of %d messages",
+				suppress, seed, nd, len(log), senders*per)
+		}
+		for k, c := range log {
+			if c != 1 {
+				t.Fatalf("suppress=%v seed %d: node %s delivered %v %d times",
+					suppress, seed, nd, k, c)
+			}
+		}
+	}
+	for _, eng := range engines {
+		requests += eng.Counters().NacksSent
+	}
+	return requests, s.Stats().DroppedByKind[wire.KindData]
+}
+
+// TestPropertySuppressedRecoveryScales is the scalable-recovery property:
+// under random correlated loss, duplication and reordering, both recovery
+// schemes converge to exactly-once delivery, but the number of recovery
+// requests per lost multicast differs asymptotically. Each loss event
+// gaps one whole domain (n/domains receivers), so per-receiver NACKs cost
+// ~domain-size requests per event, while randomized suppression must stay
+// within O(log n) — measured here against the flat baseline in the same
+// run, same seed, same loss pattern.
+func TestPropertySuppressedRecoveryScales(t *testing.T) {
+	const n, domains = 64, 8 // 8-receiver loss domains
+	for _, seed := range []int64{19, 83} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			flatReq, flatLost := suppressRun(t, n, domains, false, seed)
+			supReq, supLost := suppressRun(t, n, domains, true, seed)
+			if flatLost == 0 || supLost == 0 {
+				t.Fatal("no losses: the property measured nothing")
+			}
+			domainSize := float64(n / domains)
+			logN := math.Log2(float64(n))
+			// Loss events ≈ lost datagrams / receivers per domain.
+			flatPerEvent := float64(flatReq) / (float64(flatLost) / domainSize)
+			supPerEvent := float64(supReq) / (float64(supLost) / domainSize)
+			t.Logf("flat: %d requests / %d lost (%.1f per loss event); suppressed: %d / %d (%.1f per loss event)",
+				flatReq, flatLost, flatPerEvent, supReq, supLost, supPerEvent)
+			if supPerEvent > logN {
+				t.Errorf("suppressed requests per loss event %.2f exceed log2(n)=%.1f",
+					supPerEvent, logN)
+			}
+			// The bound must be meaningful: the flat baseline on the same
+			// run sits above it, scaling with domain size instead.
+			if flatPerEvent <= logN {
+				t.Errorf("flat baseline %.2f requests per loss event did not exceed log2(n)=%.1f — workload too tame to discriminate",
+					flatPerEvent, logN)
+			}
+			if supReq*2 >= flatReq {
+				t.Errorf("suppressed total requests %d not under half the flat baseline %d",
+					supReq, flatReq)
+			}
+		})
+	}
+}

@@ -114,6 +114,16 @@ type Config struct {
 	JoinRetry      time.Duration
 	ResendAfter    time.Duration
 	StabilizeEvery time.Duration
+	// Suppression tunes the SRM-style randomized loss-recovery timers
+	// and DisableSuppression ablates them back to per-receiver NACK
+	// scheduling; see rmcast.Config.
+	Suppression        rmcast.Suppression
+	DisableSuppression bool
+	// Distance estimates one-way delay to a peer for the suppression
+	// timers; a clocksync.Engine's Distance method is a ready-made
+	// implementation. Nil or zero falls back to
+	// Suppression.DefaultDistance.
+	Distance func(id.Node) time.Duration
 	// JoinBackoffMax and JoinAttempts tune the jittered-exponential join
 	// retry; see member.Config. A hit attempt cap surfaces as a
 	// JoinFailed event.
@@ -188,28 +198,31 @@ func New(env proto.Env, cfg Config) *Engine {
 		e.mMessages = cfg.Metrics.Counter("session.messages_recv")
 	}
 	e.stack = core.NewStack(env, core.Config{
-		Group:            cfg.Group,
-		Contact:          cfg.Contact,
-		Ordering:         cfg.Ordering,
-		HeartbeatEvery:   cfg.HeartbeatEvery,
-		SuspectAfter:     cfg.SuspectAfter,
-		FlushTimeout:     cfg.FlushTimeout,
-		JoinRetry:        cfg.JoinRetry,
-		ResendAfter:      cfg.ResendAfter,
-		StabilizeEvery:   cfg.StabilizeEvery,
-		JoinBackoffMax:   cfg.JoinBackoffMax,
-		JoinAttempts:     cfg.JoinAttempts,
-		AdvertiseAddr:    cfg.AdvertiseAddr,
-		OnPeerAddr:       cfg.OnPeerAddr,
-		PrimaryPartition: cfg.PrimaryPartition,
-		Metrics:          cfg.Metrics,
-		Flight:           cfg.Flight,
-		OnView:           e.onView,
-		OnDeliver:        e.onDeliver,
-		OnEvicted:        e.onEvicted,
-		OnJoinFailed:     e.onJoinFailed,
-		Snapshot:         e.snapshotDirectory,
-		OnState:          e.installDirectory,
+		Group:              cfg.Group,
+		Contact:            cfg.Contact,
+		Ordering:           cfg.Ordering,
+		HeartbeatEvery:     cfg.HeartbeatEvery,
+		SuspectAfter:       cfg.SuspectAfter,
+		FlushTimeout:       cfg.FlushTimeout,
+		JoinRetry:          cfg.JoinRetry,
+		ResendAfter:        cfg.ResendAfter,
+		StabilizeEvery:     cfg.StabilizeEvery,
+		Suppression:        cfg.Suppression,
+		DisableSuppression: cfg.DisableSuppression,
+		Distance:           cfg.Distance,
+		JoinBackoffMax:     cfg.JoinBackoffMax,
+		JoinAttempts:       cfg.JoinAttempts,
+		AdvertiseAddr:      cfg.AdvertiseAddr,
+		OnPeerAddr:         cfg.OnPeerAddr,
+		PrimaryPartition:   cfg.PrimaryPartition,
+		Metrics:            cfg.Metrics,
+		Flight:             cfg.Flight,
+		OnView:             e.onView,
+		OnDeliver:          e.onDeliver,
+		OnEvicted:          e.onEvicted,
+		OnJoinFailed:       e.onJoinFailed,
+		Snapshot:           e.snapshotDirectory,
+		OnState:            e.installDirectory,
 	})
 	return e
 }

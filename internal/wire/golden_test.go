@@ -43,6 +43,7 @@ func goldenMessages() []*Message {
 		{Kind: KindOrderBatch, From: 1, Body: AppendOrderBatch(nil, []OrderEntry{
 			{Slot: 4, Sender: 2, Seq: 1}, {Slot: 5, Sender: 3, Seq: 6},
 		})},
+		{Kind: KindRepairReq, From: 8, Sender: 4, Seq: 10, Aux: 14},
 		// Self-healing membership variants: a join request advertising a
 		// return address, and view messages carrying the member→address map.
 		{Kind: KindJoinReq, From: 9, Group: 4, Body: AppendJoinBody(nil, "192.0.2.9:7000")},

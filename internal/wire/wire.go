@@ -81,10 +81,16 @@ const (
 	// KindOrderBatch aggregates several sequencer slot assignments into
 	// one datagram; the body is an OrderEntry list (AppendOrderBatch).
 	KindOrderBatch
+	// KindRepairReq is a multicast retransmission request (SRM-style):
+	// unlike KindNack it is addressed to the whole group so that (a) other
+	// receivers sharing the gap suppress their own requests and (b) any
+	// member holding the data may answer with a multicast repair. Sender,
+	// Seq and Aux carry the gapped sender and the range [Seq, Aux].
+	KindRepairReq
 )
 
 // kindMax is the highest valid Kind; Decode rejects anything above it.
-const kindMax = KindOrderBatch
+const kindMax = KindRepairReq
 
 // String returns the protocol name of the kind.
 func (k Kind) String() string {
@@ -133,6 +139,8 @@ func (k Kind) String() string {
 		return "nack-batch"
 	case KindOrderBatch:
 		return "order-batch"
+	case KindRepairReq:
+		return "repair-req"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

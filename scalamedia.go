@@ -71,6 +71,9 @@ type (
 	View = member.View
 	// Ordering selects the multicast delivery discipline.
 	Ordering = rmcast.Ordering
+	// Suppression tunes the SRM-style randomized loss-recovery timers
+	// (request/repair timer constants, local-repair sampling, damping).
+	Suppression = rmcast.Suppression
 	// Event is a session notification.
 	Event = session.Event
 	// EventKind discriminates session notifications.
@@ -175,6 +178,13 @@ type Config struct {
 	JoinBackoffMax time.Duration
 	// Ordering is the session multicast discipline; defaults to Causal.
 	Ordering Ordering
+	// Suppression tunes the SRM-style randomized loss-recovery timers.
+	// The zero value takes the defaults; see rmcast.Suppression.
+	Suppression Suppression
+	// DisableSuppression reverts loss recovery to the per-receiver NACK
+	// scheduler: every receiver asks the original sender directly on its
+	// own timer, with no request suppression or local repair.
+	DisableSuppression bool
 	// PrimaryPartition applies the membership majority rule: a view
 	// only installs on the side holding a strict majority of the old
 	// view (an even split is won by the side holding the old view's
@@ -312,19 +322,21 @@ func Start(cfg Config) (*Node, error) {
 	}
 	n.runner = noderun.Start(n.ep, func(env proto.Env) proto.Handler {
 		n.sess = session.New(env, session.Config{
-			Group:            cfg.Group,
-			Contact:          cfg.Contact,
-			Ordering:         cfg.Ordering,
-			PrimaryPartition: cfg.PrimaryPartition,
-			HeartbeatEvery:   cfg.HeartbeatEvery,
-			SuspectAfter:     cfg.SuspectAfter,
-			JoinAttempts:     cfg.JoinAttempts,
-			JoinBackoffMax:   cfg.JoinBackoffMax,
-			AdvertiseAddr:    advertise,
-			OnPeerAddr:       onPeerAddr,
-			Metrics:          n.reg,
-			Flight:           n.flight,
-			OnEvent:          n.onEvent,
+			Group:              cfg.Group,
+			Contact:            cfg.Contact,
+			Ordering:           cfg.Ordering,
+			Suppression:        cfg.Suppression,
+			DisableSuppression: cfg.DisableSuppression,
+			PrimaryPartition:   cfg.PrimaryPartition,
+			HeartbeatEvery:     cfg.HeartbeatEvery,
+			SuspectAfter:       cfg.SuspectAfter,
+			JoinAttempts:       cfg.JoinAttempts,
+			JoinBackoffMax:     cfg.JoinBackoffMax,
+			AdvertiseAddr:      advertise,
+			OnPeerAddr:         onPeerAddr,
+			Metrics:            n.reg,
+			Flight:             n.flight,
+			OnEvent:            n.onEvent,
 		})
 		n.mux = proto.NewMux(n.sess)
 		return n.mux

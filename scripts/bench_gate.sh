@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: re-runs the data-plane microbenchmarks
-# (including the UDP batch/fallback throughput pair) plus the T1-T6
-# table benchmarks, writes the results to BENCH_4.json, and fails on a
-# regression against the checked-in bench_baseline.json (time and
-# allocations for the microbenchmarks, deterministic domain metrics for
-# the tables).
+# (including the UDP batch/fallback throughput pair and the netsim
+# node-step cost) plus the T1-T7 table benchmarks, writes the results to
+# BENCH_6.json, and fails on a regression against the checked-in
+# bench_baseline.json (time and allocations for the microbenchmarks,
+# deterministic domain metrics for the tables).
 #
 # After an intentional performance change, refresh the baseline with:
 #   BENCH_BASELINE_UPDATE=1 go test -run 'TestBenchGate$' -count=1 .
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_OUT="${BENCH_OUT:-BENCH_4.json}" \
+BENCH_OUT="${BENCH_OUT:-BENCH_6.json}" \
 	go test -run 'TestBenchGate$' -count=1 -v . "$@"

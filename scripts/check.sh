@@ -34,6 +34,12 @@ go test -race -short ./...
 echo "==> short chaos sweep"
 go test -short -count=1 ./internal/chaos
 
+# Bounded slice of the T7 scalable-recovery experiment: one seed at
+# n=256, flat vs suppressed, full delivery plus a real request reduction.
+# The 1024-node acceptance run lives in the full (non-short) suite.
+echo "==> T7 recovery smoke (n=256)"
+go test -count=1 -run 'TestT7Smoke256' ./internal/experiments
+
 echo "==> /metrics endpoint smoke test"
 go test -count=1 -run 'TestMetricsEndpoint' .
 
