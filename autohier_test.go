@@ -1,0 +1,63 @@
+package scalamedia
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAutoHierSessionOverUDP is the facade smoke for the self-organizing
+// hierarchy: a four-node session over loopback UDP with AutoHier enabled
+// must join through the flat membership layer, form its overlay from live
+// RTT probes, and route an application multicast through the formed tree
+// to every participant, the sender included (the overlay self-delivers
+// like the flat path does).
+func TestAutoHierSessionOverUDP(t *testing.T) {
+	logs := make(map[NodeID]*eventLog)
+	start := func(self NodeID, contactAddr string) (*Node, error) {
+		logs[self] = &eventLog{}
+		cfg := Config{
+			Self: self, ListenAddr: "127.0.0.1:0", Group: 1,
+			AutoHier:   true,
+			HierFanOut: 3,
+			Tick:       5 * time.Millisecond,
+			OnEvent:    logs[self].add,
+		}
+		if contactAddr != "" {
+			cfg.Contact = 1
+			cfg.Peers = map[NodeID]string{1: contactAddr}
+		}
+		return Start(cfg)
+	}
+	a, err := start(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	nodes := []*Node{a}
+	for self := NodeID(2); self <= 4; self++ {
+		n, err := start(self, a.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if !n.WaitViewSize(4, 15*time.Second) {
+			t.Fatalf("node %v never saw the 4-member view: %+v", n.ID(), n.View())
+		}
+	}
+	if err := nodes[2].Send([]byte("through the overlay")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		n := n
+		waitFor(t, fmt.Sprintf("overlay delivery at node %v", n.ID()), func() bool {
+			return logs[n.ID()].count(MessageReceived) > 0
+		})
+		if got := logs[n.ID()].firstPayload(); got != "through the overlay" {
+			t.Fatalf("node %v payload = %q", n.ID(), got)
+		}
+	}
+}

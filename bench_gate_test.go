@@ -74,6 +74,7 @@ var tableBenches = []namedBench{
 	{name: "T5PlayoutLoss", fn: BenchmarkT5PlayoutLoss},
 	{name: "T6EndToEnd", fn: BenchmarkT6EndToEnd},
 	{name: "T7RecoveryOverhead", fn: BenchmarkT7RecoveryOverhead},
+	{name: "T8Formation", fn: BenchmarkT8Formation},
 }
 
 // runBench runs fn `rounds` times and keeps the fastest round — min-of-N

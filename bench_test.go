@@ -19,16 +19,21 @@ import (
 
 var benchOpts = experiments.Options{Quick: true}
 
+// cellFloat extracts the leading float of one table cell.
+func cellFloat(tb testing.TB, cell string) float64 {
+	tb.Helper()
+	fields := strings.Fields(strings.ReplaceAll(cell, "/", " "))
+	v, err := strconv.ParseFloat(strings.TrimSuffix(fields[0], "%"), 64)
+	if err != nil {
+		tb.Fatalf("parse %q: %v", cell, err)
+	}
+	return v
+}
+
 // lastCell extracts the leading float of the last row's i-th column.
 func lastCell(tb testing.TB, t experiments.Table, col int) float64 {
 	tb.Helper()
-	row := t.Rows[len(t.Rows)-1]
-	fields := strings.Fields(strings.ReplaceAll(row[col], "/", " "))
-	v, err := strconv.ParseFloat(strings.TrimSuffix(fields[0], "%"), 64)
-	if err != nil {
-		tb.Fatalf("parse %q: %v", row[col], err)
-	}
-	return v
+	return cellFloat(tb, t.Rows[len(t.Rows)-1][col])
 }
 
 func BenchmarkT1LatencyVsGroupSize(b *testing.B) {
@@ -84,6 +89,16 @@ func BenchmarkT7RecoveryOverhead(b *testing.B) {
 		// Last row is the suppressed configuration at the largest size.
 		b.ReportMetric(lastCell(b, t, 3), "sup-req/loss")
 		b.ReportMetric(lastCell(b, t, 4), "sup-repair/loss")
+	}
+}
+
+func BenchmarkT8Formation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.T8Formation(benchOpts)
+		// Rows pair auto/static per size; quote the largest auto row.
+		auto := t.Rows[len(t.Rows)-2]
+		b.ReportMetric(cellFloat(b, auto[3]), "formation-rounds")
+		b.ReportMetric(cellFloat(b, auto[4]), "tree-cost-ms")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/rmcast"
@@ -507,6 +508,75 @@ func (tr *Trace) checkGCDrain() []string {
 		if h := tr.Nodes[n].FinalHistory; h > 0 {
 			out = append(out, fmt.Sprintf(
 				"gc-drain: n%d still holds %d unstable messages after settle", n, h))
+		}
+	}
+	return out
+}
+
+// CheckHierTopology is the hierarchy well-formedness invariant, checked
+// against every topology a node installs while the overlay reshapes:
+//
+//   - every member sits in exactly one cluster (and, when the expected
+//     member set is given, the clusters cover exactly that set)
+//   - every cluster has exactly one coordinator, drawn from the cluster
+//     itself
+//   - no cluster exceeds the fan-out bound
+//   - the relay graph is acyclic: coordinators relay only for their own
+//     cluster, so a coordinator appearing in another cluster's member
+//     list (or twice) would create a forwarding cycle
+//
+// A nil members set skips the coverage check and validates the topology
+// as self-consistent; fanOut <= 0 skips the bound.
+func CheckHierTopology(topo hier.Topology, members []id.Node, fanOut int) []string {
+	var out []string
+	seen := make(map[id.Node]int)
+	coords := make(map[id.Node]int)
+	for i, c := range topo.Clusters {
+		if len(c) == 0 {
+			out = append(out, fmt.Sprintf("hier-form: cluster %d is empty", i))
+			continue
+		}
+		if fanOut > 0 && len(c) > fanOut {
+			out = append(out, fmt.Sprintf(
+				"hier-form: cluster %d has %d members, beyond fan-out %d", i, len(c), fanOut))
+		}
+		for _, m := range c {
+			if prev, dup := seen[m]; dup {
+				out = append(out, fmt.Sprintf(
+					"hier-form: n%d in clusters %d and %d (relay cycle risk)", m, prev, i))
+				continue
+			}
+			seen[m] = i
+		}
+		r := topo.RelayOf(i)
+		if r == id.None {
+			out = append(out, fmt.Sprintf("hier-form: cluster %d has no coordinator", i))
+			continue
+		}
+		if home, ok := seen[r]; !ok || home != i {
+			out = append(out, fmt.Sprintf(
+				"hier-form: cluster %d coordinator n%d is not one of its members", i, r))
+		}
+		if prev, dup := coords[r]; dup {
+			out = append(out, fmt.Sprintf(
+				"hier-form: n%d coordinates clusters %d and %d (relay cycle)", r, prev, i))
+		}
+		coords[r] = i
+	}
+	for _, m := range members {
+		if _, ok := seen[m]; !ok {
+			out = append(out, fmt.Sprintf("hier-form: n%d missing from every cluster", m))
+		}
+	}
+	if members != nil {
+		want := make(map[id.Node]bool, len(members))
+		for _, m := range members {
+			want[m] = true
+		}
+		for m := range seen {
+			if !want[m] {
+				out = append(out, fmt.Sprintf("hier-form: n%d clustered but not a member", m))
+			}
 		}
 	}
 	return out

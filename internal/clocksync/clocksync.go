@@ -17,10 +17,22 @@
 // Because the simulator gives every node the same virtual clock, a
 // configurable LocalSkew models a skewed local oscillator; live
 // deployments leave it zero and measure real offsets.
+//
+// Beyond the single reference, the engine can maintain a per-peer
+// distance matrix: given a probe set (Config.Peers or SetPeers), it
+// round-robins the same probe/reply exchange across the peers and keeps
+// a min-RTT window per peer, so Distance(peer) answers with that peer's
+// half round trip instead of one group-wide estimate. The overlay
+// formation layer (internal/hier) builds latency-near clusters from this
+// matrix, and the loss-recovery suppression timers (internal/rmcast)
+// scale to each peer's true distance. Samples older than StaleAfter are
+// shed, so a peer whose path changed — or died — decays back to the
+// fallback estimate instead of pinning a stale figure forever.
 package clocksync
 
 import (
 	"encoding/binary"
+	"sort"
 	"time"
 
 	"scalamedia/internal/id"
@@ -30,8 +42,12 @@ import (
 
 // Defaults.
 const (
-	DefaultProbeEvery = 250 * time.Millisecond
-	DefaultWindow     = 8
+	DefaultProbeEvery    = 250 * time.Millisecond
+	DefaultWindow        = 8
+	DefaultProbesPerTick = 8
+	// DefaultStaleFactor scales ProbeEvery into the default StaleAfter:
+	// a peer unmeasured for this many probe periods loses its samples.
+	DefaultStaleFactor = 20
 )
 
 // Config parameterizes an Engine.
@@ -49,12 +65,42 @@ type Config struct {
 	// LocalSkew offsets this node's local clock from the runtime clock,
 	// simulating oscillator skew under virtual time.
 	LocalSkew time.Duration
+
+	// Peers seeds the per-peer distance matrix's probe set; SetPeers
+	// replaces it at runtime. Empty means no matrix probing — the engine
+	// behaves exactly as the single-reference synchronizer.
+	Peers []id.Node
+	// ProbesPerTick caps how many matrix peers are probed per probe
+	// period (round-robin across the set). Defaults to
+	// DefaultProbesPerTick.
+	ProbesPerTick int
+	// StaleAfter drops matrix samples older than this, so dead or moved
+	// peers decay back to the fallback estimate. Defaults to
+	// DefaultStaleFactor × ProbeEvery.
+	StaleAfter time.Duration
+	// DefaultDistance is what Distance returns for a peer with no fresh
+	// samples when no reference estimate exists either. Zero keeps the
+	// historical behavior (caller applies its own default).
+	DefaultDistance time.Duration
 }
 
 // sample is one completed probe exchange.
 type sample struct {
 	offset time.Duration
 	rtt    time.Duration
+}
+
+// peerSample is one matrix exchange with its completion time, so stale
+// entries can be decayed.
+type peerSample struct {
+	rtt time.Duration
+	at  time.Time
+}
+
+// probe is one in-flight exchange: who it went to and when.
+type probe struct {
+	to id.Node
+	at time.Time
 }
 
 // Engine is the per-node synchronization state machine. It implements
@@ -64,9 +110,15 @@ type Engine struct {
 	cfg Config
 
 	nonce     uint64
-	inFlight  map[uint64]time.Time // nonce -> local send time
+	inFlight  map[uint64]probe // nonce -> in-flight exchange
 	samples   []sample
 	lastProbe time.Time
+
+	// Per-peer distance matrix state.
+	peers    []id.Node // sorted probe rotation, self excluded
+	peerIdx  int
+	matrix   map[id.Node][]peerSample
+	lastSeen map[id.Node]time.Time
 
 	exchanges uint64
 }
@@ -81,10 +133,42 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.Window <= 0 {
 		cfg.Window = DefaultWindow
 	}
-	return &Engine{
+	if cfg.ProbesPerTick <= 0 {
+		cfg.ProbesPerTick = DefaultProbesPerTick
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = DefaultStaleFactor * cfg.ProbeEvery
+	}
+	e := &Engine{
 		env:      env,
 		cfg:      cfg,
-		inFlight: make(map[uint64]time.Time),
+		inFlight: make(map[uint64]probe),
+		matrix:   make(map[id.Node][]peerSample),
+		lastSeen: make(map[id.Node]time.Time),
+	}
+	e.SetPeers(cfg.Peers)
+	return e
+}
+
+// SetPeers replaces the matrix probe set. Self is excluded; the rotation
+// is kept sorted so probing order is deterministic. Samples for departed
+// peers are dropped immediately.
+func (e *Engine) SetPeers(ps []id.Node) {
+	keep := make(map[id.Node]bool, len(ps))
+	e.peers = e.peers[:0]
+	for _, p := range ps {
+		if p == id.None || p == e.env.Self() || keep[p] {
+			continue
+		}
+		keep[p] = true
+		e.peers = append(e.peers, p)
+	}
+	sort.Slice(e.peers, func(i, j int) bool { return e.peers[i] < e.peers[j] })
+	for p := range e.matrix {
+		if !keep[p] {
+			delete(e.matrix, p)
+			delete(e.lastSeen, p)
+		}
 	}
 }
 
@@ -137,18 +221,60 @@ func (e *Engine) RTT() (time.Duration, bool) {
 	return best, true
 }
 
-// Distance adapts the RTT estimate to the loss-recovery layer's
-// distance hook (rmcast.Config.Distance): half the best round trip to
-// the reference, used as a uniform one-way delay estimate for every
-// peer — within one cluster the paths are comparable, which is all the
-// randomized suppression timers need for scaling. Returns zero (caller
-// falls back to its default) until the first exchange completes.
-func (e *Engine) Distance(id.Node) time.Duration {
-	rtt, ok := e.RTT()
-	if !ok {
-		return 0
+// decayPeer sheds samples older than StaleAfter and returns the fresh
+// window for the peer.
+func (e *Engine) decayPeer(n id.Node) []peerSample {
+	ss := e.matrix[n]
+	if len(ss) == 0 {
+		return nil
 	}
-	return rtt / 2
+	cutoff := e.localNow().Add(-e.cfg.StaleAfter)
+	fresh := ss[:0]
+	for _, s := range ss {
+		if s.at.After(cutoff) {
+			fresh = append(fresh, s)
+		}
+	}
+	if len(fresh) == 0 {
+		delete(e.matrix, n)
+		return nil
+	}
+	e.matrix[n] = fresh
+	return fresh
+}
+
+// PeerRTT returns the lowest fresh round-trip estimate for one matrix
+// peer, or false if no unexpired sample exists.
+func (e *Engine) PeerRTT(n id.Node) (time.Duration, bool) {
+	ss := e.decayPeer(n)
+	if len(ss) == 0 {
+		return 0, false
+	}
+	best := ss[0].rtt
+	for _, s := range ss[1:] {
+		if s.rtt < best {
+			best = s.rtt
+		}
+	}
+	return best, true
+}
+
+// Distance adapts the matrix to the distance hooks of the overlay
+// formation layer (hier.Config.Distance) and the loss-recovery layer
+// (rmcast.Config.Distance): half the best fresh round trip to that
+// specific peer. A peer with no fresh samples falls back to the
+// reference-based estimate (half the best round trip to the reference —
+// the pre-matrix behavior, reasonable within one cluster), and before
+// any exchange at all it falls back to Config.DefaultDistance (zero by
+// default, letting the caller apply its own).
+func (e *Engine) Distance(n id.Node) time.Duration {
+	if rtt, ok := e.PeerRTT(n); ok {
+		return rtt / 2
+	}
+	if rtt, ok := e.RTT(); ok {
+		return rtt / 2
+	}
+	return e.cfg.DefaultDistance
 }
 
 // OnMessage serves probes and consumes replies.
@@ -167,29 +293,52 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 			Body:  body[:],
 		})
 	case wire.KindClockReply:
-		t0, ok := e.inFlight[msg.Aux]
-		if !ok || len(msg.Body) < 8 {
+		p, ok := e.inFlight[msg.Aux]
+		if !ok || p.to != from || len(msg.Body) < 8 {
 			return
 		}
 		delete(e.inFlight, msg.Aux)
 		t1 := e.localNow()
 		refTime := time.Unix(0, int64(binary.BigEndian.Uint64(msg.Body)))
-		rtt := t1.Sub(t0)
+		rtt := t1.Sub(p.at)
 		if rtt < 0 {
 			return
 		}
-		mid := t0.Add(rtt / 2)
-		e.samples = append(e.samples, sample{offset: mid.Sub(refTime), rtt: rtt})
-		if len(e.samples) > e.cfg.Window {
-			e.samples = e.samples[1:]
+		if from == e.cfg.Reference {
+			mid := p.at.Add(rtt / 2)
+			e.samples = append(e.samples, sample{offset: mid.Sub(refTime), rtt: rtt})
+			if len(e.samples) > e.cfg.Window {
+				e.samples = e.samples[1:]
+			}
 		}
+		// Every completed exchange — reference or matrix peer — feeds the
+		// per-peer distance matrix.
+		ss := append(e.decayPeer(from), peerSample{rtt: rtt, at: t1})
+		if len(ss) > e.cfg.Window {
+			ss = ss[1:]
+		}
+		e.matrix[from] = ss
+		e.lastSeen[from] = t1
 		e.exchanges++
 	}
 }
 
-// OnTick emits due probes and expires stale ones.
+// sendProbe emits one probe exchange to the target.
+func (e *Engine) sendProbe(to id.Node) {
+	e.nonce++
+	e.inFlight[e.nonce] = probe{to: to, at: e.localNow()}
+	e.env.Send(to, &wire.Message{
+		Kind:  wire.KindClockProbe,
+		Group: e.cfg.Group,
+		Aux:   e.nonce,
+	})
+}
+
+// OnTick emits due probes — the reference exchange plus a round-robin
+// slice of the matrix peer set — and expires stale ones.
 func (e *Engine) OnTick(now time.Time) {
-	if e.cfg.Reference == id.None || e.cfg.Reference == e.env.Self() {
+	probeRef := e.cfg.Reference != id.None && e.cfg.Reference != e.env.Self()
+	if !probeRef && len(e.peers) == 0 {
 		return
 	}
 	if now.Sub(e.lastProbe) < e.cfg.ProbeEvery {
@@ -197,16 +346,28 @@ func (e *Engine) OnTick(now time.Time) {
 	}
 	e.lastProbe = now
 	// Expire probes older than two periods: their replies are lost.
-	for nonce, sent := range e.inFlight {
-		if e.localNow().Sub(sent) > 2*e.cfg.ProbeEvery {
+	for nonce, p := range e.inFlight {
+		if e.localNow().Sub(p.at) > 2*e.cfg.ProbeEvery {
 			delete(e.inFlight, nonce)
 		}
 	}
-	e.nonce++
-	e.inFlight[e.nonce] = e.localNow()
-	e.env.Send(e.cfg.Reference, &wire.Message{
-		Kind:  wire.KindClockProbe,
-		Group: e.cfg.Group,
-		Aux:   e.nonce,
-	})
+	if probeRef {
+		e.sendProbe(e.cfg.Reference)
+	}
+	n := len(e.peers)
+	if n == 0 {
+		return
+	}
+	budget := e.cfg.ProbesPerTick
+	if budget > n {
+		budget = n
+	}
+	for i := 0; i < budget; i++ {
+		p := e.peers[e.peerIdx%n]
+		e.peerIdx++
+		if probeRef && p == e.cfg.Reference {
+			continue // already probed this round
+		}
+		e.sendProbe(p)
+	}
 }

@@ -1,0 +1,193 @@
+package clocksync
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// buildMesh wires n engines probing each other (no reference), over the
+// given link profile.
+func buildMesh(s *netsim.Sim, n int, cfg Config) map[id.Node]*Engine {
+	var all []id.Node
+	for i := 1; i <= n; i++ {
+		all = append(all, id.Node(i))
+	}
+	engines := make(map[id.Node]*Engine, n)
+	for _, m := range all {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			c := cfg
+			c.Peers = all
+			eng := New(env, c)
+			engines[m] = eng
+			return eng
+		})
+	}
+	return engines
+}
+
+// TestMatrixConvergesUnderJitter pins the per-peer matrix: with distinct
+// per-pair path delays and heavy jitter, every engine's Distance(peer)
+// converges to that peer's half round trip — per peer, not one uniform
+// figure — because the min-RTT window filters the jitter out.
+func TestMatrixConvergesUnderJitter(t *testing.T) {
+	// Node pairs (1,2) and (3,4) are near; cross pairs are far.
+	near, far := 2*time.Millisecond, 20*time.Millisecond
+	delay := func(a, b id.Node) time.Duration {
+		if (a-1)/2 == (b-1)/2 {
+			return near
+		}
+		return far
+	}
+	s := netsim.New(netsim.Config{
+		Seed: 41,
+		Profile: func(from, to id.Node) netsim.Link {
+			return netsim.Link{Delay: delay(from, to), Jitter: 5 * time.Millisecond}
+		},
+	})
+	engines := buildMesh(s, 4, Config{Group: 1, ProbeEvery: 50 * time.Millisecond})
+	s.Run(4 * time.Second)
+
+	for n, eng := range engines {
+		for p := id.Node(1); p <= 4; p++ {
+			if p == n {
+				continue
+			}
+			want := delay(n, p) // one-way estimate = RTT/2 = the symmetric delay
+			got := eng.Distance(p)
+			if got < want || got > want+4*time.Millisecond {
+				t.Errorf("n%d Distance(n%d) = %v, want within [%v, %v]",
+					n, p, got, want, want+4*time.Millisecond)
+			}
+		}
+	}
+}
+
+// TestMatrixStaleDecay verifies dead peers decay: once a peer stops
+// answering for longer than StaleAfter, its samples expire, PeerRTT
+// reports no estimate, and Distance falls back.
+func TestMatrixStaleDecay(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    42,
+		Profile: netsim.LANProfile(3*time.Millisecond, 0, 0),
+	})
+	engines := buildMesh(s, 3, Config{
+		Group:      1,
+		ProbeEvery: 50 * time.Millisecond,
+		StaleAfter: 500 * time.Millisecond,
+	})
+	s.Run(2 * time.Second)
+	if _, ok := engines[1].PeerRTT(3); !ok {
+		t.Fatal("no estimate for live peer n3 after 2s of probing")
+	}
+	s.At(2*time.Second, func() { s.Crash(3) })
+	s.Run(4 * time.Second) // 2s of silence >> StaleAfter
+	if rtt, ok := engines[1].PeerRTT(3); ok {
+		t.Fatalf("dead peer n3 still has a fresh estimate (%v) after StaleAfter", rtt)
+	}
+	// Live peers keep fresh estimates through the same window.
+	if _, ok := engines[1].PeerRTT(2); !ok {
+		t.Fatal("live peer n2 lost its estimate")
+	}
+}
+
+// TestDistanceDefaultFallback pins the fallback ladder: before any
+// exchange Distance returns DefaultDistance (or zero when unset); with
+// only a reference estimate it returns the reference-based figure; with
+// a per-peer sample it returns that peer's own estimate.
+func TestDistanceDefaultFallback(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    43,
+		Profile: netsim.LANProfile(4*time.Millisecond, 0, 0),
+	})
+	var silent, configured *Engine
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		// No reference, no peers: never exchanges.
+		silent = New(env, Config{Group: 1})
+		return silent
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		configured = New(env, Config{Group: 1, DefaultDistance: 7 * time.Millisecond})
+		return configured
+	})
+	if d := silent.Distance(2); d != 0 {
+		t.Fatalf("unset DefaultDistance: Distance = %v, want 0", d)
+	}
+	if d := configured.Distance(1); d != 7*time.Millisecond {
+		t.Fatalf("pre-sample Distance = %v, want the 7ms DefaultDistance", d)
+	}
+	s.Run(time.Second)
+	// Still no probe traffic was configured, so the fallback persists.
+	if d := configured.Distance(1); d != 7*time.Millisecond {
+		t.Fatalf("Distance drifted to %v without any exchange", d)
+	}
+}
+
+// TestReferenceFeedsMatrix checks the reference exchange doubles as a
+// matrix sample, and that a peer-specific sample takes precedence over
+// the reference-wide estimate for other peers.
+func TestReferenceFeedsMatrix(t *testing.T) {
+	// Reference n1 is 10ms away; matrix peer n3 is 2ms away.
+	s := netsim.New(netsim.Config{
+		Seed: 44,
+		Profile: func(from, to id.Node) netsim.Link {
+			if from == 3 || to == 3 {
+				return netsim.Link{Delay: 2 * time.Millisecond}
+			}
+			return netsim.Link{Delay: 10 * time.Millisecond}
+		},
+	})
+	var client *Engine
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		return New(env, Config{Group: 1, Reference: 1})
+	})
+	s.AddNode(3, func(env proto.Env) proto.Handler {
+		return New(env, Config{Group: 1, Reference: 1})
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		client = New(env, Config{
+			Group: 1, Reference: 1,
+			ProbeEvery: 50 * time.Millisecond,
+			Peers:      []id.Node{3},
+		})
+		return client
+	})
+	s.Run(2 * time.Second)
+
+	if d := client.Distance(3); d != 2*time.Millisecond {
+		t.Fatalf("Distance(n3) = %v, want the per-peer 2ms", d)
+	}
+	// The reference itself has matrix samples from its own exchanges.
+	if d := client.Distance(1); d != 10*time.Millisecond {
+		t.Fatalf("Distance(reference) = %v, want 10ms", d)
+	}
+	// An unmeasured peer falls back to the reference estimate.
+	if d := client.Distance(99); d != 10*time.Millisecond {
+		t.Fatalf("Distance(unmeasured) = %v, want reference fallback 10ms", d)
+	}
+}
+
+// TestSetPeersDropsDeparted verifies samples for removed peers are
+// discarded on SetPeers, not retained until staleness.
+func TestSetPeersDropsDeparted(t *testing.T) {
+	s := netsim.New(netsim.Config{
+		Seed:    45,
+		Profile: netsim.LANProfile(2*time.Millisecond, 0, 0),
+	})
+	engines := buildMesh(s, 3, Config{Group: 1, ProbeEvery: 50 * time.Millisecond})
+	s.Run(time.Second)
+	if _, ok := engines[1].PeerRTT(3); !ok {
+		t.Fatal("no estimate for n3 before removal")
+	}
+	engines[1].SetPeers([]id.Node{2})
+	if _, ok := engines[1].PeerRTT(3); ok {
+		t.Fatal("estimate for n3 survived SetPeers removal")
+	}
+	if _, ok := engines[1].PeerRTT(2); !ok {
+		t.Fatal("estimate for retained peer n2 was dropped")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scalamedia/internal/flightrec"
+	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/proto"
@@ -58,6 +59,22 @@ type Config struct {
 	// the suppression timers; see rmcast.Config.Distance.
 	Distance func(id.Node) time.Duration
 
+	// AutoHier routes application multicasts through a self-organizing
+	// hierarchical overlay (internal/hier): nodes measure peer RTTs,
+	// cluster by latency, elect coordinators and reshape under churn.
+	// Membership, view changes and state transfer stay on the flat group;
+	// the overlay claims groups Group+1 (intra-cluster), Group+2 (relay
+	// set) and Group+3 (RTT probes), which must not be used elsewhere.
+	// Delivery becomes FIFO per origin — the hierarchy's guarantee —
+	// regardless of Ordering, and the overlay's per-peer distance matrix
+	// feeds the flat group's suppression timers when Distance is nil.
+	AutoHier bool
+	// HierFanOut bounds overlay cluster sizes (and with them every
+	// coordinator's re-multicast fan-out); zero takes the hier default.
+	HierFanOut int
+	// HierForm tunes the overlay formation protocol (zero = defaults).
+	HierForm hier.FormConfig
+
 	// OnView observes installed views.
 	OnView func(member.View)
 	// OnDeliver receives multicast messages.
@@ -93,6 +110,7 @@ type Stack struct {
 	cfg    Config
 	member *member.Engine
 	mcast  *rmcast.Engine
+	hier   *hier.Engine // nil unless Config.AutoHier
 }
 
 var _ proto.Handler = (*Stack)(nil)
@@ -100,6 +118,13 @@ var _ proto.Handler = (*Stack)(nil)
 // NewStack builds and wires the layer engines.
 func NewStack(env proto.Env, cfg Config) *Stack {
 	s := &Stack{env: env, cfg: cfg}
+	// Under AutoHier the overlay's RTT matrix seeds the flat group's
+	// suppression timers too; the closure defers to the engine built
+	// below (rmcast treats a zero distance as "fall back to defaults").
+	dist := cfg.Distance
+	if cfg.AutoHier && dist == nil {
+		dist = func(p id.Node) time.Duration { return s.hier.PeerDistance(p) }
+	}
 	s.mcast = rmcast.New(env, rmcast.Config{
 		Group:              cfg.Group,
 		Ordering:           cfg.Ordering,
@@ -107,12 +132,46 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		StabilizeEvery:     cfg.StabilizeEvery,
 		Suppression:        cfg.Suppression,
 		DisableSuppression: cfg.DisableSuppression,
-		Distance:           cfg.Distance,
+		Distance:           dist,
 		OnDeliver:          cfg.OnDeliver,
 		Metrics:            cfg.Metrics,
 		MetricsPrefix:      cfg.MetricsPrefix,
 		Flight:             cfg.Flight,
 	})
+	if cfg.AutoHier {
+		h, err := hier.New(env, hier.Config{
+			LocalGroup:         cfg.Group + 1,
+			WideGroup:          cfg.Group + 2,
+			ClockGroup:         cfg.Group + 3,
+			AutoHier:           true,
+			Members:            []id.Node{env.Self()},
+			FanOut:             cfg.HierFanOut,
+			Form:               cfg.HierForm,
+			Suppression:        cfg.Suppression,
+			DisableSuppression: cfg.DisableSuppression,
+			Distance:           cfg.Distance,
+			ResendAfter:        cfg.ResendAfter,
+			StabilizeEvery:     cfg.StabilizeEvery,
+			Metrics:            cfg.Metrics,
+			Flight:             cfg.Flight,
+			OnDeliver: func(d hier.Delivery) {
+				if cfg.OnDeliver != nil {
+					cfg.OnDeliver(rmcast.Delivery{
+						Group:   cfg.Group,
+						Sender:  d.Origin,
+						Seq:     d.Seq,
+						Payload: d.Payload,
+					})
+				}
+			},
+		})
+		if err != nil {
+			// Unreachable: the three derived groups are distinct by
+			// construction, the only thing hier.New validates here.
+			panic("core: " + err.Error())
+		}
+		s.hier = h
+	}
 	s.member = member.New(env, member.Config{
 		Group:            cfg.Group,
 		Metrics:          cfg.Metrics,
@@ -140,6 +199,12 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		},
 		OnView: func(v member.View) {
 			s.mcast.SetView(v)
+			if s.hier != nil {
+				// The admitted membership is the overlay's universe: the
+				// formation leader reshapes the tree around joins and
+				// departures as the flat layer admits them.
+				s.hier.SetMembers(v.Members)
+			}
 			if cfg.OnView != nil {
 				cfg.OnView(v)
 			}
@@ -153,8 +218,18 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 	return s
 }
 
-// Multicast sends payload to the group with the configured ordering.
-func (s *Stack) Multicast(payload []byte) error { return s.mcast.Multicast(payload) }
+// Multicast sends payload to the group with the configured ordering —
+// through the self-organizing overlay under AutoHier (FIFO per origin),
+// through the flat group otherwise.
+func (s *Stack) Multicast(payload []byte) error {
+	if s.hier != nil {
+		return s.hier.Multicast(payload)
+	}
+	return s.mcast.Multicast(payload)
+}
+
+// Hier exposes the self-organizing overlay engine (nil unless AutoHier).
+func (s *Stack) Hier() *hier.Engine { return s.hier }
 
 // View returns the current membership view.
 func (s *Stack) View() member.View { return s.member.View() }
@@ -178,14 +253,25 @@ func (s *Stack) HistoryLen() int { return s.mcast.HistoryLen() }
 // Member exposes the membership engine (for suspicion queries).
 func (s *Stack) Member() *member.Engine { return s.member }
 
-// OnMessage dispatches a datagram to both engines.
+// OnMessage dispatches a datagram: the overlay's three derived groups go
+// to the hierarchy, everything else to the flat engines.
 func (s *Stack) OnMessage(from id.Node, msg *wire.Message) {
+	if s.hier != nil {
+		switch msg.Group {
+		case s.cfg.Group + 1, s.cfg.Group + 2, s.cfg.Group + 3:
+			s.hier.OnMessage(from, msg)
+			return
+		}
+	}
 	s.member.OnMessage(from, msg)
 	s.mcast.OnMessage(from, msg)
 }
 
-// OnTick drives both engines.
+// OnTick drives the engines.
 func (s *Stack) OnTick(now time.Time) {
 	s.member.OnTick(now)
 	s.mcast.OnTick(now)
+	if s.hier != nil {
+		s.hier.OnTick(now)
+	}
 }

@@ -5,11 +5,13 @@ import (
 	"testing"
 	"time"
 
+	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
 	"scalamedia/internal/netsim"
 	"scalamedia/internal/proto"
 	"scalamedia/internal/rmcast"
+	"scalamedia/internal/wire"
 )
 
 // stackNode bundles a stack with its observation logs.
@@ -149,6 +151,95 @@ func TestStackLeave(t *testing.T) {
 	s.Run(7 * time.Second)
 	if a.stack.View().Size() != 1 {
 		t.Fatalf("view after leave = %+v", a.stack.View())
+	}
+}
+
+// addAutoStack builds a stack with the self-organizing overlay enabled,
+// on a formation cadence fast enough for short simulated runs.
+func addAutoStack(s *netsim.Sim, n, contact id.Node) *stackNode {
+	sn := &stackNode{}
+	s.AddNode(n, func(env proto.Env) proto.Handler {
+		sn.stack = NewStack(env, Config{
+			Group:          1,
+			Contact:        contact,
+			AutoHier:       true,
+			HierFanOut:     4,
+			HierForm:       hier.FormConfig{ProbeEvery: 100 * time.Millisecond},
+			HeartbeatEvery: 40 * time.Millisecond,
+			SuspectAfter:   200 * time.Millisecond,
+			FlushTimeout:   300 * time.Millisecond,
+			OnView:         func(v member.View) { sn.views = append(sn.views, v) },
+			OnDeliver:      func(d rmcast.Delivery) { sn.got = append(sn.got, d) },
+		})
+		return sn.stack
+	})
+	return sn
+}
+
+// TestStackAutoHierFormsAndDelivers drives the full integration: nodes
+// join through the flat membership layer, the admitted view seeds the
+// overlay universe, the overlay forms under the fan-out bound, and an
+// application multicast through the formed tree reaches everyone exactly
+// once with correct origin attribution.
+func TestStackAutoHierFormsAndDelivers(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 67})
+	nodes := make(map[id.Node]*stackNode, 8)
+	nodes[1] = addAutoStack(s, 1, id.None)
+	for n := id.Node(2); n <= 8; n++ {
+		nodes[n] = addAutoStack(s, n, 1)
+	}
+	s.At(6*time.Second, func() {
+		if err := nodes[5].stack.Multicast([]byte("over the overlay")); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+	})
+	s.Run(10 * time.Second)
+
+	for n, sn := range nodes {
+		if sn.stack.View().Size() != 8 {
+			t.Fatalf("n%d flat view = %+v", n, sn.stack.View())
+		}
+		h := sn.stack.Hier()
+		if h == nil {
+			t.Fatalf("n%d has no overlay engine", n)
+		}
+		topo := h.CurrentTopology()
+		if topo.Size() != 8 {
+			t.Fatalf("n%d overlay covers %d of 8 nodes: %+v", n, topo.Size(), topo)
+		}
+		for i, c := range topo.Clusters {
+			if len(c) > 4 {
+				t.Fatalf("n%d cluster %d exceeds fan-out: %v", n, i, c)
+			}
+		}
+		if len(sn.got) != 1 {
+			t.Fatalf("n%d delivered %d messages, want exactly 1", n, len(sn.got))
+		}
+		if d := sn.got[0]; d.Sender != 5 || d.Group != 1 || string(d.Payload) != "over the overlay" {
+			t.Fatalf("n%d delivery = %+v", n, d)
+		}
+	}
+}
+
+// TestStackAutoHierOffIsInert pins the ablation at the core layer: with
+// AutoHier unset, no overlay engine exists and nothing touches the
+// derived group IDs.
+func TestStackAutoHierOffIsInert(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 68})
+	a := addStack(s, 1, id.None, rmcast.FIFO)
+	b := addStack(s, 2, 1, rmcast.FIFO)
+	s.At(3*time.Second, func() { a.stack.Multicast([]byte("flat")) })
+	s.Run(5 * time.Second)
+	if a.stack.Hier() != nil || b.stack.Hier() != nil {
+		t.Fatal("static stacks built an overlay engine")
+	}
+	st := s.Stats()
+	if got := st.SentByKind[wire.KindHierCtl] + st.SentByKind[wire.KindClockProbe] +
+		st.SentByKind[wire.KindClockReply]; got != 0 {
+		t.Fatalf("static stacks sent %d overlay datagrams, want 0", got)
+	}
+	if len(a.got) != 1 || len(b.got) != 1 {
+		t.Fatalf("deliveries a=%d b=%d, want 1 each", len(a.got), len(b.got))
 	}
 }
 

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestT8Shape(t *testing.T) {
+	tab := T8Formation(quick)
+	if len(tab.Rows) != 4 { // two sizes × (auto, static)
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		auto, static := tab.Rows[i], tab.Rows[i+1]
+		if auto[1] != "auto" || static[1] != "static" {
+			t.Fatalf("row pair %d mislabeled: %v / %v", i, auto, static)
+		}
+		if strings.Contains(auto[2], "diverged") {
+			t.Fatalf("auto run at n=%s did not converge: %v", auto[0], auto)
+		}
+		// Self-organization takes real time, rounds, and control
+		// traffic; the static baseline takes none of each.
+		if cell(t, auto[2]) <= 0 || cell(t, auto[3]) <= 0 || cell(t, auto[5]) <= 0 {
+			t.Fatalf("auto row missing formation cost: %v", auto)
+		}
+		if cell(t, static[2]) != 0 || cell(t, static[3]) != 0 || cell(t, static[5]) != 0 {
+			t.Fatalf("static row has formation cost: %v", static)
+		}
+		// The formed tree must price the same as the hand-configured
+		// one: sites are unambiguous at 2ms vs 20ms, so the overlay
+		// has to rediscover the operator's layout.
+		if cell(t, auto[4]) != cell(t, static[4]) {
+			t.Errorf("n=%s: auto tree cost %.2f != static %.2f",
+				auto[0], cell(t, auto[4]), cell(t, static[4]))
+		}
+	}
+}

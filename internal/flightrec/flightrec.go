@@ -45,6 +45,11 @@ const (
 	EvNackSuppressed        // rmcast: pending repair request cancelled on hearing an equivalent one (a=sender, b=seq)
 	EvRepairSuppressed      // rmcast: pending repair answer cancelled on hearing the repair (a=sender, b=seq)
 	EvLocalRepair           // rmcast: repair served by a member other than the original sender (a=sender, b=seq)
+	EvReshape               // hier: formation leader announced a reshaped topology (a=epoch, b=clusters)
+	EvTopoInstall           // hier: node installed a topology epoch (a=epoch, b=its cluster index)
+	EvLeaderTakeover        // hier: node assumed formation leadership (a=epoch base)
+	EvRelayPromote          // hier: node became its cluster's coordinator (a=epoch)
+	EvRelayDemote           // hier: node lost its coordinator role (a=epoch)
 	evMax
 )
 
@@ -72,6 +77,11 @@ var codeNames = [evMax]string{
 	EvNackSuppressed:   "nack-suppressed",
 	EvRepairSuppressed: "repair-suppressed",
 	EvLocalRepair:      "local-repair",
+	EvReshape:          "reshape",
+	EvTopoInstall:      "topo-install",
+	EvLeaderTakeover:   "leader-takeover",
+	EvRelayPromote:     "relay-promote",
+	EvRelayDemote:      "relay-demote",
 }
 
 // String returns the event code's name.

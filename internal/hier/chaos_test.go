@@ -1,11 +1,18 @@
 package hier_test
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"testing"
+	"time"
 
 	"scalamedia/internal/chaos"
+	"scalamedia/internal/hier"
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
 )
 
 // -hier.chaos.seed replays one failing hierarchical chaos run.
@@ -71,5 +78,213 @@ func TestHierChaosSuppression(t *testing.T) {
 				t.Error("no repairs served: the run never exercised recovery")
 			}
 		})
+	}
+}
+
+// -hier.autochaos.seed replays one failing auto-hierarchy chaos run.
+var autoChaosSeed = flag.Int64("hier.autochaos.seed", -1, "replay a single auto-hier chaos seed")
+
+// TestAutoHierChaos is the tentpole's gate: the self-organizing overlay
+// forms and reshapes under full generated fault schedules — crashes and
+// restarts included, which the static topology cannot survive — and
+// every install must be well-formed, dead coordinators demoted, the up
+// nodes convergent on one tree, and the deliverable workload recovered.
+func TestAutoHierChaos(t *testing.T) {
+	if *autoChaosSeed >= 0 {
+		runAutoHierChaos(t, *autoChaosSeed, false)
+		return
+	}
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for i := int64(0); i < n; i++ {
+		seed := 3200 + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAutoHierChaos(t, seed, false)
+		})
+	}
+}
+
+// TestAutoHierChaosSynthetic reruns the matrix with oracle distances in
+// place of the prober, separating formation-logic failures from
+// measurement-noise failures.
+func TestAutoHierChaosSynthetic(t *testing.T) {
+	for _, seed := range []int64{3300, 3301, 3302, 3303} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAutoHierChaos(t, seed, true)
+		})
+	}
+}
+
+func runAutoHierChaos(t *testing.T, seed int64, synthetic bool) {
+	tr := chaos.RunAutoHier(chaos.AutoHierOptions{Seed: seed, Synthetic: synthetic})
+	if v := tr.Violations(); len(v) > 0 {
+		t.Error(chaos.FailureReport(
+			fmt.Sprintf("go test ./internal/hier -run TestAutoHierChaos -hier.autochaos.seed=%d", seed),
+			tr.Schedule, v, tr.Flight))
+	}
+}
+
+// TestAutoHierCoordinatorKillMidStream is the coordinator-demotion
+// regression: a T3-style sustained relay load runs while the self-elected
+// coordinator of a remote cluster is killed. The overlay must demote the
+// dead coordinator, re-elect within the detection window, and deliver the
+// entire stream — including the messages sent during re-election — to
+// every surviving node exactly once in FIFO order: no delivery gap
+// outlasts the re-election.
+func TestAutoHierCoordinatorKillMidStream(t *testing.T) {
+	const (
+		total, siteSize, fanOut = 12, 4, 6
+		sender                  = id.Node(2) // site 0: never the killed relay
+	)
+	dist := func(a, b id.Node) time.Duration {
+		if (int(a)-1)/siteSize == (int(b)-1)/siteSize {
+			return 2 * time.Millisecond
+		}
+		return 12 * time.Millisecond
+	}
+	s := netsim.New(netsim.Config{
+		Seed: 91,
+		Profile: func(from, to id.Node) netsim.Link {
+			return netsim.Link{Delay: dist(from, to), Jitter: time.Millisecond, Loss: 0.01}
+		},
+	})
+	members := make([]id.Node, total)
+	for i := range members {
+		members[i] = id.Node(i + 1)
+	}
+	engines := make(map[id.Node]*hier.Engine, total)
+	deliveries := make(map[id.Node][]hier.Delivery)
+	for _, m := range members {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			eng, err := hier.New(env, hier.Config{
+				LocalGroup: 1,
+				WideGroup:  2,
+				AutoHier:   true,
+				Members:    members,
+				FanOut:     fanOut,
+				Distance:   func(p id.Node) time.Duration { return dist(m, p) },
+				Form: hier.FormConfig{
+					ReportEvery:   150 * time.Millisecond,
+					AnnounceEvery: 200 * time.Millisecond,
+				},
+				OnDeliver: func(d hier.Delivery) {
+					deliveries[m] = append(deliveries[m], d)
+				},
+			})
+			if err != nil {
+				t.Fatalf("hier.New(%s): %v", m, err)
+			}
+			engines[m] = eng
+			return eng
+		})
+	}
+
+	// Sustained relay load from 1.5s to 5.5s, one multicast every 100ms;
+	// the kill at 2.5s lands mid-stream.
+	var sent int
+	for i := 0; i < 40; i++ {
+		i := i
+		s.At(1500*time.Millisecond+time.Duration(i)*100*time.Millisecond, func() {
+			if err := engines[sender].Multicast([]byte(fmt.Sprintf("load-%02d", i))); err != nil {
+				t.Errorf("Multicast %d: %v", i, err)
+				return
+			}
+			sent++
+		})
+	}
+
+	// The victim is chosen at kill time from the formed tree: the elected
+	// coordinator of the cluster containing n12 — a remote, self-elected
+	// relay on the sender's forwarding path.
+	var victim id.Node
+	s.At(2500*time.Millisecond, func() {
+		topo := engines[1].CurrentTopology()
+		ci := topo.ClusterOf(12)
+		if ci < 0 {
+			t.Fatal("n12 missing from the formed topology at kill time")
+		}
+		victim = topo.RelayOf(ci)
+		if victim == sender || victim == id.None {
+			t.Fatalf("victim = %s: kill scenario demands a remote coordinator", victim)
+		}
+		s.Crash(victim)
+	})
+	s.Run(10 * time.Second)
+
+	if victim == id.None {
+		t.Fatal("no coordinator was killed")
+	}
+	if sent != 40 {
+		t.Fatalf("workload sent %d of 40", sent)
+	}
+	// The survivors must agree on a tree that demoted the victim...
+	ref := engines[sender]
+	for _, m := range members {
+		if m == victim {
+			continue
+		}
+		topo := engines[m].CurrentTopology()
+		if engines[m].Epoch() != ref.Epoch() {
+			t.Errorf("n%d ends at epoch %d, n%d at %d", m, engines[m].Epoch(), sender, ref.Epoch())
+		}
+		if topo.ClusterOf(victim) >= 0 {
+			t.Errorf("n%d's final topology still contains the killed coordinator n%d", m, victim)
+		}
+		for ci := range topo.Clusters {
+			if topo.RelayOf(ci) == victim {
+				t.Errorf("n%d's final topology still relays through the killed n%d", m, victim)
+			}
+		}
+	}
+	// ...and the full stream arrived everywhere, exactly once, in order.
+	for _, m := range members {
+		if m == victim {
+			continue
+		}
+		got := deliveries[m]
+		if len(got) != sent {
+			t.Errorf("n%d delivered %d of %d: delivery gap survived the re-election", m, len(got), sent)
+			continue
+		}
+		for i, d := range got {
+			if d.Origin != sender || string(d.Payload) != fmt.Sprintf("load-%02d", i) {
+				t.Errorf("n%d delivery %d = origin %s payload %q (FIFO broken)", m, i, d.Origin, d.Payload)
+				break
+			}
+		}
+	}
+}
+
+// TestStaticHierUnaffectedByFormation is the ablation gate: with AutoHier
+// off, the static hierarchy must behave exactly as before this layer
+// existed — no formation control traffic, no clock probes, and a
+// byte-for-byte reproducible delivery trace for the same seed.
+func TestStaticHierUnaffectedByFormation(t *testing.T) {
+	run := func() *chaos.HierTrace { return chaos.RunHier(chaos.HierOptions{Seed: 3000}) }
+	a, b := run(), run()
+	if got := a.Net.SentByKind[wire.KindHierCtl]; got != 0 {
+		t.Errorf("static run sent %d formation control datagrams, want 0", got)
+	}
+	if got := a.Net.SentByKind[wire.KindClockProbe] + a.Net.SentByKind[wire.KindClockReply]; got != 0 {
+		t.Errorf("static run sent %d clock probe datagrams, want 0", got)
+	}
+	for _, n := range a.Order {
+		da, db := a.Deliveries[n], b.Deliveries[n]
+		if len(da) != len(db) {
+			t.Fatalf("n%d delivered %d vs %d across identical runs", n, len(da), len(db))
+		}
+		for i := range da {
+			if da[i].Origin != db[i].Origin || da[i].Seq != db[i].Seq ||
+				!bytes.Equal(da[i].Payload, db[i].Payload) {
+				t.Fatalf("n%d delivery %d differs across identical runs: %+v vs %+v",
+					n, i, da[i], db[i])
+			}
+		}
 	}
 }

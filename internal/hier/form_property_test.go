@@ -1,0 +1,212 @@
+package hier
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// -form.seed replays a single formation property seed.
+var formSeed = flag.Int64("form.seed", -1, "replay a single formation property seed")
+
+// propNodes/propFanOut size the property runs: large enough that the
+// clustering is non-trivial (several clusters, capacity spill), small
+// enough that each seeded simulation stays fast.
+const (
+	propNodes  = 24
+	propFanOut = 6
+)
+
+// placement draws n random points on a 100ms × 100ms plane; the pairwise
+// Euclidean distance (floored at 1ms) is the oracle RTT geography.
+func placement(seed int64, n int) map[id.Node][2]float64 {
+	r := rand.New(rand.NewSource(seed))
+	pts := make(map[id.Node][2]float64, n)
+	for i := 1; i <= n; i++ {
+		pts[id.Node(i)] = [2]float64{r.Float64() * 100, r.Float64() * 100}
+	}
+	return pts
+}
+
+func euclid(pts map[id.Node][2]float64) func(a, b id.Node) time.Duration {
+	return func(a, b id.Node) time.Duration {
+		if a == b {
+			return 0
+		}
+		pa, pb := pts[a], pts[b]
+		d := math.Hypot(pa[0]-pb[0], pa[1]-pb[1])
+		if d < 1 {
+			d = 1
+		}
+		return time.Duration(d * float64(time.Millisecond))
+	}
+}
+
+// nearestDist returns m's distance to its nearest other member.
+func nearestDist(m id.Node, members []id.Node, dist func(a, b id.Node) time.Duration) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for _, o := range members {
+		if o == m {
+			continue
+		}
+		if d := dist(m, o); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestFormationProperty is the seeded convergence property test: from a
+// random placement the overlay (a) clusters every node with a coordinator
+// no farther than a constant factor of its nearest peer (modulo the
+// fan-out capacity spill, absorbed by an additive mean-distance term),
+// (b) builds a tree whose total cost is within a constant factor of the
+// everyone-attaches-to-their-nearest-peer lower bound, and (c) under the
+// simulator converges to one stable tree within a bounded number of
+// reshape rounds. A failing seed reproduces with the printed one-liner.
+func TestFormationProperty(t *testing.T) {
+	if *formSeed >= 0 {
+		runFormationProperty(t, *formSeed)
+		return
+	}
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for i := int64(0); i < n; i++ {
+		seed := 9100 + i
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runFormationProperty(t, seed)
+		})
+	}
+}
+
+func runFormationProperty(t *testing.T, seed int64) {
+	repro := fmt.Sprintf("go test ./internal/hier -run TestFormationProperty -form.seed=%d", seed)
+	fail := func(format string, args ...interface{}) {
+		t.Helper()
+		t.Errorf(format+"\n  repro: %s", append(args, repro)...)
+	}
+
+	pts := placement(seed, propNodes)
+	dist := euclid(pts)
+	members := nodeRange(propNodes)
+
+	// --- Geometric properties of the clustering itself. ---
+	topo, cost := formClusters(members, propFanOut, dist)
+	if topo.Size() != propNodes {
+		fail("clustered %d of %d members", topo.Size(), propNodes)
+	}
+	var meanPair time.Duration
+	for _, a := range members {
+		for _, b := range members {
+			meanPair += dist(a, b)
+		}
+	}
+	meanPair /= time.Duration(propNodes * propNodes)
+	// Coordinator proximity: a node's coordinator is near by construction
+	// (nearest-seed assignment, medoid election); the fan-out cap can
+	// spill a node to its second-best seed, hence the additive slack of
+	// one mean pairwise distance on top of the k× nearest-peer bound.
+	const kProx = 8
+	for ci := range topo.Clusters {
+		coord := topo.RelayOf(ci)
+		for _, m := range topo.Clusters[ci] {
+			if m == coord {
+				continue
+			}
+			bound := kProx*nearestDist(m, members, dist) + meanPair
+			if d := dist(m, coord); d > bound {
+				fail("n%d's coordinator n%d is %v away (nearest peer %v, bound %v)",
+					m, coord, d, nearestDist(m, members, dist), bound)
+			}
+		}
+	}
+	// Tree cost: Σ member→coordinator + Σ coordinator→hub must stay within
+	// a constant factor of the attach-to-nearest-peer lower bound (any
+	// connected overlay pays at least each node's nearest-peer distance,
+	// coordinators excepted).
+	var lower time.Duration
+	for _, m := range members {
+		lower += nearestDist(m, members, dist)
+	}
+	const kCost = 6
+	if cost > time.Duration(kCost)*lower {
+		fail("tree cost %v exceeds %d× the nearest-peer bound %v", cost, kCost, lower)
+	}
+
+	// --- Bounded-round convergence under the simulator. ---
+	s := netsim.New(netsim.Config{
+		Seed: seed,
+		Profile: func(from, to id.Node) netsim.Link {
+			return netsim.Link{Delay: dist(from, to) / 2, Jitter: time.Millisecond}
+		},
+	})
+	type install struct {
+		at    time.Duration
+		epoch uint64
+	}
+	installs := make(map[id.Node][]install)
+	engines := make(map[id.Node]*Engine, propNodes)
+	for _, m := range members {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			eng, err := New(env, Config{
+				LocalGroup: 1,
+				WideGroup:  2,
+				AutoHier:   true,
+				Members:    members,
+				FanOut:     propFanOut,
+				Distance:   func(p id.Node) time.Duration { return dist(m, p) },
+				Form: FormConfig{
+					OnInstall: func(epoch uint64, _ id.Node, _ Topology) {
+						installs[m] = append(installs[m], install{at: s.Elapsed(), epoch: epoch})
+					},
+				},
+			})
+			if err != nil {
+				t.Fatalf("New(%s): %v", m, err)
+			}
+			engines[m] = eng
+			return eng
+		})
+	}
+	const window = 8 * time.Second
+	s.Run(window)
+
+	ref := engines[1]
+	want := topoBytes(ref.CurrentTopology())
+	// The formed tree must be one stable agreed topology...
+	for _, m := range members {
+		if engines[m].Epoch() != ref.Epoch() {
+			fail("n%d ends at epoch %d, n1 at %d", m, engines[m].Epoch(), ref.Epoch())
+		}
+		if !bytes.Equal(topoBytes(engines[m].CurrentTopology()), want) {
+			fail("n%d ends with a different topology than n1", m)
+		}
+	}
+	// ...reached within a bounded number of reshape rounds (the hysteresis
+	// damping must bite: epochs are reshapes plus the bootstrap install)...
+	const maxRounds = 12
+	if ref.Epoch() > maxRounds {
+		fail("formation took %d epochs, bound %d", ref.Epoch(), maxRounds)
+	}
+	// ...and stable: no node installs anything in the final half of the
+	// run, so the tree was quiescent long before the deadline.
+	for _, m := range members {
+		for _, in := range installs[m] {
+			if in.at > window/2 {
+				fail("n%d still installing epoch %d at %v (no quiescence)", m, in.epoch, in.at)
+			}
+		}
+	}
+}

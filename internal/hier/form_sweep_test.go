@@ -1,0 +1,197 @@
+package hier
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+// buildSweep attaches an AutoHier group with oracle site distances (the
+// only practical mode at large n, where probe traffic would dominate the
+// simulation) and a cadence slowed to keep leader work proportionate.
+func buildSweep(t *testing.T, s *netsim.Sim, total, siteSize, fanOut int,
+	form FormConfig) (map[id.Node]*Engine, map[id.Node]int) {
+	t.Helper()
+	members := nodeRange(total)
+	engines := make(map[id.Node]*Engine, total)
+	delivered := make(map[id.Node]int, total)
+	for _, m := range members {
+		m := m
+		s.AddNode(m, func(env proto.Env) proto.Handler {
+			eng, err := New(env, Config{
+				LocalGroup: 1,
+				WideGroup:  2,
+				AutoHier:   true,
+				Members:    members,
+				FanOut:     fanOut,
+				Distance: func(p id.Node) time.Duration {
+					if (int(m)-1)/siteSize == (int(p)-1)/siteSize {
+						return 2 * time.Millisecond
+					}
+					return 20 * time.Millisecond
+				},
+				Form:      form,
+				OnDeliver: func(Delivery) { delivered[m]++ },
+			})
+			if err != nil {
+				t.Fatalf("New(%s): %v", m, err)
+			}
+			engines[m] = eng
+			return eng
+		})
+	}
+	return engines, delivered
+}
+
+// assertFormed checks the sweep acceptance: every node installed the same
+// tree, it covers the whole group, and no cluster exceeds the fan-out
+// bound.
+func assertFormed(t *testing.T, engines map[id.Node]*Engine, total, fanOut int) {
+	t.Helper()
+	ref := engines[1]
+	want := topoBytes(ref.CurrentTopology())
+	for m, eng := range engines {
+		if eng.Epoch() != ref.Epoch() {
+			t.Fatalf("n%d at epoch %d, n1 at %d", m, eng.Epoch(), ref.Epoch())
+		}
+		if !bytes.Equal(topoBytes(eng.CurrentTopology()), want) {
+			t.Fatalf("n%d's topology differs from n1's", m)
+		}
+	}
+	topo := ref.CurrentTopology()
+	if topo.Size() != total {
+		t.Fatalf("topology covers %d of %d nodes", topo.Size(), total)
+	}
+	for i, c := range topo.Clusters {
+		if len(c) > fanOut {
+			t.Fatalf("cluster %d has %d members, beyond fan-out %d", i, len(c), fanOut)
+		}
+	}
+}
+
+// TestFormationSweep1024 is the tentpole's scale gate: 1024 nodes across
+// 32 latency sites self-organize into one agreed tree that respects the
+// fan-out bound, and a multicast through the formed overlay reaches all
+// 1024 nodes exactly once (relay completeness at scale).
+func TestFormationSweep1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node formation sweep skipped in -short mode")
+	}
+	const total, siteSize, fanOut = 1024, 32, 32
+	s := netsim.New(netsim.Config{
+		Seed: 81,
+		Profile: func(from, to id.Node) netsim.Link {
+			if (int(from)-1)/siteSize == (int(to)-1)/siteSize {
+				return netsim.Link{Delay: 2 * time.Millisecond}
+			}
+			return netsim.Link{Delay: 20 * time.Millisecond}
+		},
+	})
+	engines, delivered := buildSweep(t, s, total, siteSize, fanOut, FormConfig{
+		ReportEvery:   500 * time.Millisecond,
+		AnnounceEvery: 600 * time.Millisecond,
+	})
+	const formBy = 12 * time.Second
+	s.Run(formBy)
+	assertFormed(t, engines, total, fanOut)
+
+	s.At(formBy+10*time.Millisecond, func() {
+		if err := engines[777].Multicast([]byte("scale hello")); err != nil {
+			t.Errorf("Multicast: %v", err)
+		}
+	})
+	s.Run(formBy + 4*time.Second)
+	for m, n := range delivered {
+		if n != 1 {
+			t.Fatalf("n%d delivered %d messages, want exactly 1", m, n)
+		}
+	}
+}
+
+// TestAutoHierSmoke64 is the check.sh tier-1 smoke: 64 nodes form, a
+// self-elected coordinator is killed, and the overlay re-converges on a
+// tree without it. Bounded to a few simulated seconds so the short suite
+// stays fast.
+func TestAutoHierSmoke64(t *testing.T) {
+	const total, siteSize, fanOut = 64, 8, 8
+	s := netsim.New(netsim.Config{
+		Seed: 82,
+		Profile: func(from, to id.Node) netsim.Link {
+			if (int(from)-1)/siteSize == (int(to)-1)/siteSize {
+				return netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond}
+			}
+			return netsim.Link{Delay: 15 * time.Millisecond, Jitter: time.Millisecond}
+		},
+	})
+	engines, _ := buildSweep(t, s, total, siteSize, fanOut, FormConfig{
+		ReportEvery:   150 * time.Millisecond,
+		AnnounceEvery: 200 * time.Millisecond,
+	})
+	var victim id.Node
+	s.At(3*time.Second, func() {
+		topo := engines[1].CurrentTopology()
+		ci := topo.ClusterOf(id.Node(total))
+		if ci < 0 {
+			t.Fatal("highest node missing from the formed topology")
+		}
+		victim = topo.RelayOf(ci)
+		s.Crash(victim)
+	})
+	s.Run(8 * time.Second)
+	if victim == id.None {
+		t.Fatal("no coordinator was killed")
+	}
+	alive := make(map[id.Node]*Engine, total-1)
+	for m, eng := range engines {
+		if m != victim {
+			alive[m] = eng
+		}
+	}
+	assertFormed(t, alive, total-1, fanOut)
+	if ci := engines[1].CurrentTopology().ClusterOf(victim); ci >= 0 {
+		t.Fatalf("killed coordinator n%d still in the re-converged topology", victim)
+	}
+}
+
+// TestFormationSweepSites checks the latency-aware split across the mid
+// sizes the T8 table quotes: at n=64 and n=256 the formed clusters never
+// straddle sites (intra 2ms vs inter 20ms leaves no excuse to).
+func TestFormationSweepSites(t *testing.T) {
+	for _, tc := range []struct{ total, siteSize, fanOut int }{
+		{64, 8, 8},
+		{256, 16, 16},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d", tc.total), func(t *testing.T) {
+			t.Parallel()
+			s := netsim.New(netsim.Config{
+				Seed: 83,
+				Profile: func(from, to id.Node) netsim.Link {
+					if (int(from)-1)/tc.siteSize == (int(to)-1)/tc.siteSize {
+						return netsim.Link{Delay: 2 * time.Millisecond}
+					}
+					return netsim.Link{Delay: 20 * time.Millisecond}
+				},
+			})
+			engines, _ := buildSweep(t, s, tc.total, tc.siteSize, tc.fanOut, FormConfig{
+				ReportEvery:   200 * time.Millisecond,
+				AnnounceEvery: 250 * time.Millisecond,
+			})
+			s.Run(8 * time.Second)
+			assertFormed(t, engines, tc.total, tc.fanOut)
+			for i, c := range engines[1].CurrentTopology().Clusters {
+				site := (int(c[0]) - 1) / tc.siteSize
+				for _, m := range c {
+					if (int(m)-1)/tc.siteSize != site {
+						t.Errorf("cluster %d mixes sites: %v", i, c)
+					}
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"scalamedia/internal/clocksync"
 	"scalamedia/internal/flightrec"
 	"scalamedia/internal/id"
 	"scalamedia/internal/member"
@@ -43,12 +44,18 @@ var (
 	ErrBadEnvelope = errors.New("hier: bad origin envelope")
 )
 
-// Topology is the static cluster layout of a hierarchical group.
+// Topology is the cluster layout of a hierarchical group — hand-written
+// for the static configuration, or computed by overlay formation when
+// Config.AutoHier is set.
 type Topology struct {
 	// Clusters lists the member nodes of each cluster. A node belongs
 	// to exactly one cluster. The lowest-ID node of each cluster is its
-	// relay.
+	// relay unless Coordinators pins another member.
 	Clusters [][]id.Node
+	// Coordinators, when non-empty, pins each cluster's relay (the
+	// formation layer elects the latency medoid rather than the lowest
+	// ID). Empty or id.None entries fall back to the lowest-ID rule.
+	Coordinators []id.Node
 }
 
 // Cluster returns a uniform clustering of nodes into groups of at most
@@ -82,10 +89,14 @@ func (t Topology) ClusterOf(n id.Node) int {
 	return -1
 }
 
-// RelayOf returns the relay (lowest-ID member) of cluster i.
+// RelayOf returns the relay of cluster i: the pinned coordinator when
+// one is set, the lowest-ID member otherwise.
 func (t Topology) RelayOf(i int) id.Node {
 	if i < 0 || i >= len(t.Clusters) || len(t.Clusters[i]) == 0 {
 		return id.None
+	}
+	if i < len(t.Coordinators) && t.Coordinators[i] != id.None {
+		return t.Coordinators[i]
 	}
 	relay := t.Clusters[i][0]
 	for _, m := range t.Clusters[i] {
@@ -132,8 +143,28 @@ type Config struct {
 	// WideGroup is the group ID used between relays; it must differ
 	// from LocalGroup.
 	WideGroup id.Group
-	// Topology is the static cluster layout.
+	// Topology is the static cluster layout. Ignored under AutoHier,
+	// where the overlay forms itself from RTT measurements.
 	Topology Topology
+	// AutoHier enables self-organizing overlay formation: the node
+	// bootstraps as a singleton cluster, measures peer distances, and
+	// follows the formation leader's epoch-numbered topologies (see
+	// form.go). Topology is then ignored; Members seeds the universe.
+	AutoHier bool
+	// Members is the known member universe under AutoHier (self is
+	// implied); SetMembers updates it as the membership layer learns of
+	// joins and departures.
+	Members []id.Node
+	// FanOut bounds a cluster's size — and with it every relay's
+	// re-multicast fan-out — under AutoHier. Defaults to DefaultFanOut.
+	FanOut int
+	// ClockGroup, when non-zero and Distance is nil, gives AutoHier a
+	// built-in clocksync engine probing the member universe on this
+	// group; its per-peer matrix becomes the Distance estimator for
+	// both formation and suppression.
+	ClockGroup id.Group
+	// Form tunes the formation protocol (zero value = defaults).
+	Form FormConfig
 	// Ordering is the intra-cluster delivery discipline. Defaults to
 	// FIFO, which is also the end-to-end per-origin guarantee.
 	Ordering rmcast.Ordering
@@ -189,10 +220,40 @@ type Engine struct {
 	fwdBuf   []byte
 	fwdCount int
 
+	// Overlay-formation state (AutoHier only).
+	form            *former
+	prober          *clocksync.Engine // nil unless AutoHier built one
+	epoch           uint64            // installed topology epoch
+	installedLeader id.Node           // leader that announced it
+	sentSeq         uint64            // own origin sequence counter
+	sentLog         [][]byte          // ring of own recent envelopes
+	origins         map[id.Node]*originState
+	forwarded       map[origKey]bool // per-epoch forward-once guard
+
 	// Live relay-layer counters, resolved once in New.
 	mForwards     *stats.Counter
 	mBatchFlushes *stats.Counter
 	mEarlyFlushes *stats.Counter
+	mReshapes     *stats.Counter
+	mInstalls     *stats.Counter
+	mTakeovers    *stats.Counter
+	mReports      *stats.Counter
+	mReplays      *stats.Counter
+}
+
+// originState tracks per-origin contiguous delivery under AutoHier:
+// reshapes replay recent traffic into the new tree, so the hierarchy
+// dedups and reorders per origin before the application sees anything.
+type originState struct {
+	next    uint64 // next sequence to deliver (1-based)
+	pending map[uint64][]byte
+}
+
+// origKey identifies one origin message for the relay's per-epoch
+// forward-once guard.
+type origKey struct {
+	origin id.Node
+	seq    uint64
 }
 
 var _ proto.Handler = (*Engine)(nil)
@@ -280,8 +341,10 @@ func forEachBatchEntry(buf []byte, fn func(origin id.Node, seq uint64, payload [
 	return nil
 }
 
-// New builds the hierarchical engine for env.Self(). Views are installed
-// immediately from the static topology.
+// New builds the hierarchical engine for env.Self(). Under the static
+// configuration views are installed immediately from cfg.Topology; under
+// AutoHier the node bootstraps as a singleton cluster at epoch 1 and the
+// formation protocol grows the overlay from there.
 func New(env proto.Env, cfg Config) (*Engine, error) {
 	if cfg.Ordering == 0 {
 		cfg.Ordering = rmcast.FIFO
@@ -289,23 +352,57 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 	if cfg.LocalGroup == cfg.WideGroup {
 		return nil, fmt.Errorf("hier: local and wide group IDs must differ (%s)", cfg.LocalGroup)
 	}
-	ci := cfg.Topology.ClusterOf(env.Self())
-	if ci < 0 {
-		return nil, fmt.Errorf("%w: %s", ErrNotInTopology, env.Self())
+	ci := -1
+	if cfg.AutoHier {
+		if cfg.FanOut <= 0 {
+			cfg.FanOut = DefaultFanOut
+		}
+		cfg.Form.defaults()
+		if cfg.ClockGroup != 0 &&
+			(cfg.ClockGroup == cfg.LocalGroup || cfg.ClockGroup == cfg.WideGroup) {
+			return nil, fmt.Errorf("hier: clock group must differ from local/wide (%s)", cfg.ClockGroup)
+		}
+	} else {
+		ci = cfg.Topology.ClusterOf(env.Self())
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNotInTopology, env.Self())
+		}
 	}
 	e := &Engine{
 		env:           env,
 		cfg:           cfg,
 		cluster:       ci,
-		isRelay:       cfg.Topology.RelayOf(ci) == env.Self(),
 		mForwards:     &stats.Counter{},
 		mBatchFlushes: &stats.Counter{},
 		mEarlyFlushes: &stats.Counter{},
+		mReshapes:     &stats.Counter{},
+		mInstalls:     &stats.Counter{},
+		mTakeovers:    &stats.Counter{},
+		mReports:      &stats.Counter{},
+		mReplays:      &stats.Counter{},
 	}
 	if cfg.Metrics != nil {
 		e.mForwards = cfg.Metrics.Counter("hier.relay_forwards")
 		e.mBatchFlushes = cfg.Metrics.Counter("hier.batch_flushes")
 		e.mEarlyFlushes = cfg.Metrics.Counter("hier.early_flushes")
+		e.mReshapes = cfg.Metrics.Counter("hier.reshapes")
+		e.mInstalls = cfg.Metrics.Counter("hier.topo_installs")
+		e.mTakeovers = cfg.Metrics.Counter("hier.leader_takeovers")
+		e.mReports = cfg.Metrics.Counter("hier.reports_sent")
+		e.mReplays = cfg.Metrics.Counter("hier.replays")
+	}
+	if cfg.AutoHier {
+		e.origins = make(map[id.Node]*originState)
+		e.forwarded = make(map[origKey]bool)
+		if e.cfg.Distance == nil && cfg.ClockGroup != 0 {
+			e.prober = clocksync.New(env, clocksync.Config{
+				Group:           cfg.ClockGroup,
+				ProbeEvery:      cfg.Form.ProbeEvery,
+				Peers:           cfg.Members,
+				DefaultDistance: cfg.Form.DefaultDistance,
+			})
+			e.cfg.Distance = e.prober.Distance
+		}
 	}
 	e.local = rmcast.New(env, rmcast.Config{
 		Group:              cfg.LocalGroup,
@@ -317,31 +414,44 @@ func New(env proto.Env, cfg Config) (*Engine, error) {
 		NoPiggyback:        cfg.NoPiggyback,
 		Suppression:        cfg.Suppression,
 		DisableSuppression: cfg.DisableSuppression,
-		Distance:           cfg.Distance,
+		Distance:           e.cfg.Distance,
 		Metrics:            cfg.Metrics,
 		MetricsPrefix:      "rmcast.local.",
 		Flight:             cfg.Flight,
 	})
-	e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
-	if e.isRelay {
-		e.wide = rmcast.New(env, rmcast.Config{
-			Group:              cfg.WideGroup,
-			Ordering:           rmcast.FIFO,
-			OnDeliver:          e.onWideDeliver,
-			ResendAfter:        cfg.ResendAfter,
-			StabilizeEvery:     cfg.StabilizeEvery,
-			DisableBatching:    cfg.DisableBatching,
-			NoPiggyback:        cfg.NoPiggyback,
-			Suppression:        cfg.Suppression,
-			DisableSuppression: cfg.DisableSuppression,
-			Distance:           cfg.Distance,
-			Metrics:            cfg.Metrics,
-			MetricsPrefix:      "rmcast.wide.",
-			Flight:             cfg.Flight,
-		})
-		e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
+	if cfg.AutoHier {
+		self := env.Self()
+		e.installTopology(1, self, Topology{Clusters: [][]id.Node{{self}}})
+		e.form = newFormer(e, e.cfg.Form, cfg.Members)
+	} else {
+		e.isRelay = cfg.Topology.RelayOf(ci) == env.Self()
+		e.local.SetView(member.NewView(1, cfg.Topology.Clusters[ci]))
+		if e.isRelay {
+			e.wide = e.newWide()
+			e.wide.SetView(member.NewView(1, cfg.Topology.Relays()))
+		}
 	}
 	return e, nil
+}
+
+// newWide builds the relay-set rmcast engine; relays get one at
+// construction (static) or promotion (AutoHier).
+func (e *Engine) newWide() *rmcast.Engine {
+	return rmcast.New(e.env, rmcast.Config{
+		Group:              e.cfg.WideGroup,
+		Ordering:           rmcast.FIFO,
+		OnDeliver:          e.onWideDeliver,
+		ResendAfter:        e.cfg.ResendAfter,
+		StabilizeEvery:     e.cfg.StabilizeEvery,
+		DisableBatching:    e.cfg.DisableBatching,
+		NoPiggyback:        e.cfg.NoPiggyback,
+		Suppression:        e.cfg.Suppression,
+		DisableSuppression: e.cfg.DisableSuppression,
+		Distance:           e.cfg.Distance,
+		Metrics:            e.cfg.Metrics,
+		MetricsPrefix:      "rmcast.wide.",
+		Flight:             e.cfg.Flight,
+	})
 }
 
 // IsRelay reports whether this node relays for its cluster.
@@ -375,6 +485,23 @@ func (e *Engine) Counters() rmcast.Counters {
 
 // Multicast sends payload to the whole hierarchical group.
 func (e *Engine) Multicast(payload []byte) error {
+	if e.cfg.AutoHier {
+		// The origin sequence is a dedicated counter: the local engine's
+		// send count also covers relay re-multicasts and reshape replays,
+		// which would gap the per-origin contiguous space dedup relies on.
+		env := packEnvelope(e.env.Self(), e.sentSeq+1, payload)
+		if err := e.local.Multicast(env); err != nil {
+			return fmt.Errorf("intra-cluster multicast: %w", err)
+		}
+		e.sentSeq++
+		// Log the envelope for replay into the next reshaped tree; the
+		// receivers' dedup makes the replay idempotent.
+		e.sentLog = append(e.sentLog, env)
+		if len(e.sentLog) > e.cfg.Form.ReplayLog {
+			e.sentLog = e.sentLog[1:]
+		}
+		return nil
+	}
 	// The origin sequence number is the local engine's next send; wrap
 	// first so the envelope travels with the message everywhere.
 	env := packEnvelope(e.env.Self(), e.local.Counters().Sent+1, payload)
@@ -409,6 +536,16 @@ func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
 	if e.cfg.Topology.ClusterOf(origin) != e.cluster {
 		return
 	}
+	if e.cfg.AutoHier {
+		// Reshape replays re-deliver old traffic on the local channel;
+		// forward each origin message over the relay set at most once per
+		// installed topology (receivers dedup the rest).
+		k := origKey{origin: origin, seq: seq}
+		if e.forwarded[k] {
+			return
+		}
+		e.forwarded[k] = true
+	}
 	e.mForwards.Inc()
 	e.rec(flightrec.EvRelayForward, uint64(e.cluster), seq)
 	if e.cfg.DisableBatching {
@@ -429,6 +566,42 @@ func (e *Engine) onLocalDeliver(d rmcast.Delivery) {
 }
 
 func (e *Engine) deliverApp(origin id.Node, seq uint64, payload []byte) {
+	if !e.cfg.AutoHier {
+		e.deliverOne(origin, seq, payload)
+		return
+	}
+	// AutoHier: per-origin contiguous delivery. Reshapes replay recent
+	// traffic into the new tree, so the same (origin, seq) can arrive
+	// many times and out of order; the hierarchy delivers each exactly
+	// once, in origin order.
+	st := e.origins[origin]
+	if st == nil {
+		st = &originState{next: 1, pending: make(map[uint64][]byte)}
+		e.origins[origin] = st
+	}
+	switch {
+	case seq < st.next:
+		return // already delivered
+	case seq > st.next:
+		if _, ok := st.pending[seq]; !ok {
+			st.pending[seq] = append([]byte(nil), payload...)
+		}
+		return
+	}
+	e.deliverOne(origin, seq, payload)
+	st.next++
+	for {
+		p, ok := st.pending[st.next]
+		if !ok {
+			return
+		}
+		delete(st.pending, st.next)
+		e.deliverOne(origin, st.next, p)
+		st.next++
+	}
+}
+
+func (e *Engine) deliverOne(origin id.Node, seq uint64, payload []byte) {
 	if e.cfg.OnDeliver == nil {
 		return
 	}
@@ -472,8 +645,122 @@ func (e *Engine) onWideDeliver(d rmcast.Delivery) {
 	_ = e.local.Multicast(d.Payload)
 }
 
-// OnMessage routes datagrams to the constituent engines by group.
+// installTopology adopts a formation topology: install the matching
+// cluster and relay-set views, promote or demote the wide engine, and
+// replay this node's recent sends into the fresh tree — the recovery
+// path for traffic that was in flight across the reshape (the per-origin
+// dedup in deliverApp makes the replay idempotent).
+func (e *Engine) installTopology(epoch uint64, leader id.Node, topo Topology) {
+	if e.epoch != 0 && epoch == e.epoch && leader == e.installedLeader {
+		return
+	}
+	e.epoch = epoch
+	e.installedLeader = leader
+	ci := topo.ClusterOf(e.env.Self())
+	e.rec(flightrec.EvTopoInstall, epoch, uint64(ci+1))
+	e.mInstalls.Inc()
+	if ci < 0 {
+		// The leader hasn't admitted us (yet): keep the current tree and
+		// keep reporting; our reports force a membership reshape.
+		return
+	}
+	e.cfg.Topology = topo
+	e.cluster = ci
+	wasRelay := e.isRelay
+	e.isRelay = topo.RelayOf(ci) == e.env.Self()
+	// Pending forwards and the forward-once guard belong to the old tree.
+	// Cleared BEFORE the view installs: SetView synchronously replays
+	// buffered newer-view traffic into onLocalDeliver, and those replays
+	// must be forwarded afresh in this epoch even if the old tree already
+	// forwarded them.
+	e.fwdBuf = e.fwdBuf[:0]
+	e.fwdCount = 0
+	e.forwarded = make(map[origKey]bool)
+	// Promotion/demotion likewise precedes the local view install, so the
+	// replayed deliveries see the correct relay role: a fresh relay must
+	// queue their forwards (the engine exists; its view lands just
+	// below), and a demoted one must not touch the stale wide engine.
+	if e.isRelay && e.wide == nil {
+		e.wide = e.newWide()
+	} else if !e.isRelay && e.wide != nil {
+		e.wide = nil
+		e.rec(flightrec.EvRelayDemote, epoch, 0)
+	}
+	e.local.SetView(member.NewView(id.View(epoch), topo.Clusters[ci]))
+	if e.isRelay {
+		// Installed after the local view so the wide buffer's replayed
+		// batches re-multicast into the NEW cluster view, not the old.
+		e.wide.SetView(member.NewView(id.View(epoch), topo.Relays()))
+		if !wasRelay {
+			e.rec(flightrec.EvRelayPromote, epoch, 0)
+		}
+	}
+	for _, env := range e.sentLog {
+		if e.local.Multicast(env) == nil {
+			e.mReplays.Inc()
+		}
+	}
+	if e.cfg.Form.OnInstall != nil {
+		e.cfg.Form.OnInstall(epoch, leader, topo)
+	}
+}
+
+// Epoch returns the installed topology epoch (0 when static).
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// Leader returns the believed formation leader (id.None when static).
+func (e *Engine) Leader() id.Node {
+	if e.form == nil {
+		return id.None
+	}
+	return e.form.leader
+}
+
+// CurrentTopology returns the topology in effect.
+func (e *Engine) CurrentTopology() Topology { return e.cfg.Topology }
+
+// PeerDistance returns the engine's one-way distance estimate to peer —
+// the prober's matrix entry under AutoHier, or whatever Distance was
+// configured. Zero without an estimator, which distance consumers treat
+// as "unknown, use defaults".
+func (e *Engine) PeerDistance(p id.Node) time.Duration {
+	if e.cfg.Distance == nil {
+		return 0
+	}
+	return e.cfg.Distance(p)
+}
+
+// SetMembers replaces the known member universe under AutoHier, feeding
+// both the prober's probe set and the formation leader belief. A no-op
+// for static engines.
+func (e *Engine) SetMembers(ms []id.Node) {
+	if e.form == nil {
+		return
+	}
+	if e.prober != nil {
+		e.prober.SetPeers(ms)
+	}
+	e.form.setUniverse(ms)
+}
+
+func (e *Engine) fanOut() int {
+	if e.cfg.FanOut > 0 {
+		return e.cfg.FanOut
+	}
+	return DefaultFanOut
+}
+
+// OnMessage routes datagrams to the constituent engines by group, with
+// formation control and clock probes peeled off first.
 func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
+	if e.form != nil && msg.Kind == wire.KindHierCtl && msg.Group == e.cfg.LocalGroup {
+		e.form.onCtl(from, msg)
+		return
+	}
+	if e.prober != nil && msg.Group == e.cfg.ClockGroup {
+		e.prober.OnMessage(from, msg)
+		return
+	}
 	switch msg.Group {
 	case e.cfg.LocalGroup:
 		e.local.OnMessage(from, msg)
@@ -485,8 +772,14 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 }
 
 // OnTick flushes the pending relay batch and drives the constituent
-// engines.
+// engines plus, under AutoHier, the prober and the formation machine.
 func (e *Engine) OnTick(now time.Time) {
+	if e.prober != nil {
+		e.prober.OnTick(now)
+	}
+	if e.form != nil {
+		e.form.tick(now)
+	}
 	if e.isRelay && e.wide != nil {
 		e.flushForwards()
 	}

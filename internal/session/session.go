@@ -21,6 +21,7 @@ import (
 
 	"scalamedia/internal/core"
 	"scalamedia/internal/flightrec"
+	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/member"
@@ -139,6 +140,19 @@ type Config struct {
 	// member.Config.PrimaryPartition.
 	PrimaryPartition bool
 
+	// AutoHier routes the session's multicasts (application data and
+	// directory control) through the self-organizing hierarchical overlay;
+	// see core.Config.AutoHier. The overlay claims groups Group+1..Group+3
+	// and delivers FIFO per origin, so cross-owner causality of directory
+	// updates is traded for scale — each owner's announcements and
+	// withdrawals still arrive in order, which is what the directory
+	// semantics require.
+	AutoHier bool
+	// HierFanOut bounds overlay cluster sizes; zero = hier default.
+	HierFanOut int
+	// HierForm tunes overlay formation (zero = defaults).
+	HierForm hier.FormConfig
+
 	// Metrics, when non-nil, receives live counters from every layer of
 	// the stack plus the session directory (session.*).
 	Metrics *stats.Registry
@@ -215,6 +229,9 @@ func New(env proto.Env, cfg Config) *Engine {
 		AdvertiseAddr:      cfg.AdvertiseAddr,
 		OnPeerAddr:         cfg.OnPeerAddr,
 		PrimaryPartition:   cfg.PrimaryPartition,
+		AutoHier:           cfg.AutoHier,
+		HierFanOut:         cfg.HierFanOut,
+		HierForm:           cfg.HierForm,
 		Metrics:            cfg.Metrics,
 		Flight:             cfg.Flight,
 		OnView:             e.onView,

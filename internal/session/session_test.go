@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
 	"scalamedia/internal/media"
 	"scalamedia/internal/netsim"
@@ -43,6 +44,65 @@ func addSession(s *netsim.Sim, n, contact id.Node) *sessNode {
 		return sn.eng
 	})
 	return sn
+}
+
+// addAutoSession builds a session routed through the self-organizing
+// overlay (fast formation cadence for short simulated runs).
+func addAutoSession(s *netsim.Sim, n, contact id.Node) *sessNode {
+	sn := &sessNode{}
+	s.AddNode(n, func(env proto.Env) proto.Handler {
+		sn.eng = New(env, Config{
+			Group:          1,
+			Contact:        contact,
+			AutoHier:       true,
+			HierFanOut:     4,
+			HierForm:       hier.FormConfig{ProbeEvery: 100 * time.Millisecond},
+			HeartbeatEvery: 40 * time.Millisecond,
+			SuspectAfter:   200 * time.Millisecond,
+			FlushTimeout:   300 * time.Millisecond,
+			OnEvent:        func(ev Event) { sn.events = append(sn.events, ev) },
+		})
+		return sn.eng
+	})
+	return sn
+}
+
+// TestSessionAutoHier routes the session layer through the
+// self-organizing overlay: application messages and stream announcements
+// must reach every participant exactly once, with the directory
+// converging — the overlay's per-origin FIFO is enough for the
+// directory's owner-ordered semantics.
+func TestSessionAutoHier(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 79})
+	nodes := map[id.Node]*sessNode{1: addAutoSession(s, 1, id.None)}
+	for n := id.Node(2); n <= 6; n++ {
+		nodes[n] = addAutoSession(s, n, 1)
+	}
+	s.At(5*time.Second, func() {
+		if err := nodes[3].eng.Send([]byte("overlay chat")); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+		if err := nodes[4].eng.Announce(media.TelephoneAudio(7, "mic"), 8000); err != nil {
+			t.Errorf("Announce: %v", err)
+		}
+	})
+	s.Run(9 * time.Second)
+
+	for n, sn := range nodes {
+		if sn.eng.Stack().Hier() == nil {
+			t.Fatalf("n%d session has no overlay", n)
+		}
+		msgs := sn.eventsOf(MessageReceived)
+		if len(msgs) != 1 || msgs[0].Node != 3 || string(msgs[0].Payload) != "overlay chat" {
+			t.Fatalf("n%d messages = %+v", n, msgs)
+		}
+		if got := sn.eventsOf(StreamAnnounced); len(got) != 1 || got[0].Stream.Owner != 4 {
+			t.Fatalf("n%d announcements = %+v", n, got)
+		}
+		if a, ok := sn.eng.Lookup(7); !ok || a.Owner != 4 {
+			t.Fatalf("n%d directory missing stream 7: %+v", n, a)
+		}
+	}
 }
 
 func TestEventKindString(t *testing.T) {

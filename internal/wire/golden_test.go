@@ -44,6 +44,11 @@ func goldenMessages() []*Message {
 			{Slot: 4, Sender: 2, Seq: 1}, {Slot: 5, Sender: 3, Seq: 6},
 		})},
 		{Kind: KindRepairReq, From: 8, Sender: 4, Seq: 10, Aux: 14},
+		// Overlay formation control: a distance-vector report (op 1) and a
+		// topology announcement (op 2); the body is hier's op-tagged
+		// encoding, opaque at the wire layer, with the epoch in Aux.
+		{Kind: KindHierCtl, From: 3, Group: 5, Aux: 12,
+			Body: []byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 9, 196}},
 		// Self-healing membership variants: a join request advertising a
 		// return address, and view messages carrying the member→address map.
 		{Kind: KindJoinReq, From: 9, Group: 4, Body: AppendJoinBody(nil, "192.0.2.9:7000")},

@@ -87,10 +87,16 @@ const (
 	// member holding the data may answer with a multicast repair. Sender,
 	// Seq and Aux carry the gapped sender and the range [Seq, Aux].
 	KindRepairReq
+	// KindHierCtl carries overlay-formation control traffic for the
+	// self-organizing hierarchy (internal/hier): distance-vector reports
+	// from members to the formation leader, and epoch-numbered topology
+	// announcements from the leader back. Aux carries the epoch; the body
+	// is the hier package's op-tagged encoding.
+	KindHierCtl
 )
 
 // kindMax is the highest valid Kind; Decode rejects anything above it.
-const kindMax = KindRepairReq
+const kindMax = KindHierCtl
 
 // String returns the protocol name of the kind.
 func (k Kind) String() string {
@@ -141,6 +147,8 @@ func (k Kind) String() string {
 		return "order-batch"
 	case KindRepairReq:
 		return "repair-req"
+	case KindHierCtl:
+		return "hier-ctl"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -191,6 +191,19 @@ type Config struct {
 	// lowest member). A minority partition blocks instead of splitting
 	// the group's brain.
 	PrimaryPartition bool
+	// AutoHier routes session multicasts through a self-organizing
+	// hierarchical overlay: nodes measure peer RTTs, gravitate into
+	// latency-near clusters under elected coordinators, and reshape the
+	// tree as members join, leave or crash. Recovery and stability
+	// traffic then stays within a cluster (or the small coordinator
+	// set), so per-node control overhead scales with cluster size rather
+	// than session size. Delivery becomes FIFO per sender regardless of
+	// Ordering, and groups Group+1 through Group+3 are claimed for the
+	// overlay's channels — leave them free of other sessions.
+	AutoHier bool
+	// HierFanOut bounds overlay cluster sizes (and every coordinator's
+	// re-multicast fan-out) under AutoHier; zero takes the default (8).
+	HierFanOut int
 	// Tick overrides the protocol tick cadence.
 	Tick time.Duration
 	// MediaCapacity is the QoS budget for outgoing media in bytes per
@@ -328,6 +341,8 @@ func Start(cfg Config) (*Node, error) {
 			Suppression:        cfg.Suppression,
 			DisableSuppression: cfg.DisableSuppression,
 			PrimaryPartition:   cfg.PrimaryPartition,
+			AutoHier:           cfg.AutoHier,
+			HierFanOut:         cfg.HierFanOut,
 			HeartbeatEvery:     cfg.HeartbeatEvery,
 			SuspectAfter:       cfg.SuspectAfter,
 			JoinAttempts:       cfg.JoinAttempts,

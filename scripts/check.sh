@@ -49,4 +49,9 @@ go test -count=1 -run 'TestMetricsEndpoint' .
 echo "==> self-healing membership smoke test"
 go test -count=1 -run 'TestSelfConfiguringGroupOverUDP' .
 
+# Self-organizing hierarchy smoke: 64 nodes across 8 latency sites form
+# an agreed tree, lose an elected coordinator, and re-converge without it.
+echo "==> auto-hier formation smoke (n=64)"
+go test -count=1 -run 'TestAutoHierSmoke64' ./internal/hier
+
 echo "All checks passed."
