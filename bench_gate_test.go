@@ -75,6 +75,7 @@ var tableBenches = []namedBench{
 	{name: "T6EndToEnd", fn: BenchmarkT6EndToEnd},
 	{name: "T7RecoveryOverhead", fn: BenchmarkT7RecoveryOverhead},
 	{name: "T8Formation", fn: BenchmarkT8Formation},
+	{name: "T9BulkDissemination", fn: BenchmarkT9BulkDissemination},
 }
 
 // runBench runs fn `rounds` times and keeps the fastest round — min-of-N

@@ -102,6 +102,15 @@ func BenchmarkT8Formation(b *testing.B) {
 	}
 }
 
+func BenchmarkT9BulkDissemination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.T9BulkDissemination(benchOpts)
+		last := t.Rows[len(t.Rows)-1]
+		b.ReportMetric(cellFloat(b, last[6]), "max-share-%")
+		b.ReportMetric(cellFloat(b, last[7]), "missing")
+	}
+}
+
 func BenchmarkF1LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := experiments.F1LatencyCDF(benchOpts)

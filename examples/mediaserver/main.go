@@ -30,6 +30,9 @@ func main() {
 	// StreamAnnounced event, so catalogue propagation is awaited — each
 	// wakeup triggers a directory re-check — rather than slept through.
 	announced := make(chan struct{}, 1)
+	// objReceived carries one entry per completed bulk-object transfer,
+	// tagged with the receiving node.
+	objReceived := make(chan scalamedia.NodeID, 8)
 	start := func(self scalamedia.NodeID, contact scalamedia.NodeID, capacity float64) *scalamedia.Node {
 		ep, err := fab.Attach(self)
 		if err != nil {
@@ -39,11 +42,14 @@ func main() {
 			Self: self, Endpoint: ep, Group: 1, Contact: contact,
 			Tick: 5 * time.Millisecond, MediaCapacity: capacity,
 			OnEvent: func(ev scalamedia.Event) {
-				if ev.Kind == scalamedia.StreamAnnounced {
+				switch ev.Kind {
+				case scalamedia.StreamAnnounced:
 					select {
 					case announced <- struct{}{}:
 					default: // a wakeup is already pending
 					}
+				case scalamedia.ObjectReceived:
+					objReceived <- self
 				}
 			},
 		})
@@ -65,6 +71,37 @@ func main() {
 		log.Fatal("group never assembled")
 	}
 	fmt.Println("media server and 2 clients assembled")
+
+	// Pre-distribute the feature film's opening reel as an erasure-coded
+	// bulk object: the server scatters distinct Reed-Solomon symbol
+	// stripes and the clients reconstruct from any sufficient subset, so
+	// the server's uplink pays the object size roughly once — not once
+	// per client — even through the 1% lossy links above.
+	const reelObj = 42
+	reel := make([]byte, 96<<10)
+	for i := range reel {
+		reel[i] = byte(i * 131)
+	}
+	if err := server.Publish(reelObj, reel); err != nil {
+		log.Fatalf("publish opening reel: %v", err)
+	}
+	got := map[scalamedia.NodeID]bool{}
+	timeout := time.After(20 * time.Second)
+	for len(got) < 2 {
+		select {
+		case id := <-objReceived:
+			got[id] = true
+		case <-timeout:
+			log.Fatal("clients never completed the bulk transfer")
+		}
+	}
+	for _, c := range []*scalamedia.Node{clientA, clientB} {
+		blob, ok := c.Fetch(reelObj)
+		if !ok || len(blob) != len(reel) {
+			log.Fatalf("%s: opening reel not reconstructed", c.ID())
+		}
+	}
+	fmt.Printf("opening reel (%d KB) pre-distributed to both clients\n", len(reel)>>10)
 
 	// Publish a catalogue. The budget fits the first two titles
 	// (60 + 80 = 140 kB/s); the third (60 kB/s more) must be refused.

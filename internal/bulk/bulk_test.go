@@ -1,0 +1,244 @@
+package bulk
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/netsim"
+	"scalamedia/internal/proto"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{
+		Object:     0xdeadbeef,
+		Size:       3*16*1024 - 100,
+		Origin:     7,
+		SymbolSize: 1024,
+		K:          16,
+		R:          4,
+		GenHashes:  []uint64{1, 2, 3},
+	}
+	got, err := DecodeManifest(AppendManifest(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Object != m.Object || got.Size != m.Size || got.Origin != m.Origin ||
+		got.SymbolSize != m.SymbolSize || got.K != m.K || got.R != m.R ||
+		len(got.GenHashes) != 3 || got.GenHashes[2] != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestManifestRejectsMalformed(t *testing.T) {
+	good := Manifest{Object: 1, Size: 100, Origin: 2, SymbolSize: 64, K: 4, R: 2, GenHashes: []uint64{9}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Manifest{
+		{Object: 1, Size: 100, SymbolSize: 64, K: 0, R: 2, GenHashes: []uint64{9}},
+		{Object: 1, Size: 100, SymbolSize: 0, K: 4, R: 2, GenHashes: []uint64{9}},
+		{Object: 1, Size: 100, SymbolSize: 64, K: 4, R: 2},                       // no generations
+		{Object: 1, Size: 9999, SymbolSize: 64, K: 4, R: 2, GenHashes: []uint64{9}}, // size overflows layout
+		{Object: 1, Size: 100, SymbolSize: 64, K: 200, R: 100, GenHashes: []uint64{9}},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("case %d: err = %v, want ErrBadManifest", i, err)
+		}
+		if _, err := DecodeManifest(AppendManifest(nil, m)); !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("case %d: decode err = %v, want ErrBadManifest", i, err)
+		}
+	}
+	if _, err := DecodeManifest([]byte{1, 2, 3}); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("short decode err = %v", err)
+	}
+}
+
+// fleet drives N bulk engines over netsim, each knowing the full
+// membership — the shape core gives the engine after a view install.
+type fleet struct {
+	sim     *netsim.Sim
+	nodes   []id.Node
+	engines map[id.Node]*Engine
+	objects map[id.Node][]Object
+}
+
+func newFleet(t *testing.T, n int, seed int64, profile netsim.Profile, cfg Config) *fleet {
+	t.Helper()
+	f := &fleet{
+		sim:     netsim.New(netsim.Config{Seed: seed, Profile: profile}),
+		engines: make(map[id.Node]*Engine),
+		objects: make(map[id.Node][]Object),
+	}
+	for i := 1; i <= n; i++ {
+		f.nodes = append(f.nodes, id.Node(i))
+	}
+	for _, node := range f.nodes {
+		node := node
+		c := cfg
+		c.OnObject = func(o Object) { f.objects[node] = append(f.objects[node], o) }
+		f.sim.AddNode(node, func(env proto.Env) proto.Handler {
+			e := New(env, c)
+			f.engines[node] = e
+			return e
+		})
+	}
+	for _, e := range f.engines {
+		e.SetMembers(f.nodes)
+	}
+	return f
+}
+
+// publish has the origin publish at t=10ms and hands the manifest to
+// every other engine, as the reliable control channel would.
+func (f *fleet) publish(t *testing.T, origin id.Node, objID uint64, data []byte, scatter bool) {
+	t.Helper()
+	f.sim.At(10*time.Millisecond, func() {
+		man, err := f.engines[origin].Publish(objID, data, scatter)
+		if err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		for _, node := range f.nodes {
+			if node != origin {
+				f.engines[node].OnManifest(man)
+			}
+		}
+	})
+}
+
+func (f *fleet) assertAllComplete(t *testing.T, objID uint64, want []byte, skip map[id.Node]bool) {
+	t.Helper()
+	for _, node := range f.nodes {
+		if skip[node] {
+			continue
+		}
+		got, ok := f.engines[node].Object(objID)
+		if !ok {
+			done, total, _ := f.engines[node].Progress(objID)
+			t.Fatalf("node %s incomplete: %d/%d generations", node, done, total)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %s object mismatch: %d bytes", node, len(got))
+		}
+	}
+}
+
+func testObject(size int, seed int64) []byte {
+	data := make([]byte, size)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestScatterDisseminates(t *testing.T) {
+	const n = 16
+	cfg := Config{Group: 1, SymbolSize: 256, DataShards: 8, RepairShards: 2}
+	f := newFleet(t, n, 1, netsim.LANProfile(time.Millisecond, 0, 0), cfg)
+	data := testObject(20_000, 42)
+	f.publish(t, 1, 7, data, true)
+	f.sim.Run(3 * time.Second)
+	f.assertAllComplete(t, 7, data, nil)
+
+	// The scatter must actually spread transmission: with 16 members the
+	// origin sends each symbol once, so its bytes stay well under the
+	// flat-multicast sender cost of F·(n-1).
+	stats := f.sim.Stats()
+	origin := stats.SentBytesByNode[id.Node(1)]
+	flat := uint64(len(data)) * (n - 1)
+	if origin > flat/4 {
+		t.Fatalf("origin transmitted %d bytes, want well under flat %d", origin, flat)
+	}
+}
+
+// TestPullWithoutScatter exercises the state-transfer shape: the object
+// is registered at the origin only, and receivers pull every symbol via
+// requests.
+func TestPullWithoutScatter(t *testing.T) {
+	cfg := Config{Group: 1, SymbolSize: 256, DataShards: 8, RepairShards: 2}
+	f := newFleet(t, 4, 2, netsim.LANProfile(time.Millisecond, 0, 0), cfg)
+	data := testObject(10_000, 43)
+	f.publish(t, 2, 9, data, false)
+	f.sim.Run(5 * time.Second)
+	f.assertAllComplete(t, 9, data, nil)
+}
+
+func TestLossRecovered(t *testing.T) {
+	cfg := Config{Group: 1, SymbolSize: 256, DataShards: 8, RepairShards: 2}
+	f := newFleet(t, 12, 3, netsim.LANProfile(time.Millisecond, 200*time.Microsecond, 0.05), cfg)
+	data := testObject(30_000, 44)
+	f.publish(t, 3, 11, data, true)
+	f.sim.Run(10 * time.Second)
+	f.assertAllComplete(t, 11, data, nil)
+}
+
+func TestPublishValidation(t *testing.T) {
+	f := newFleet(t, 2, 4, nil, Config{Group: 1})
+	e := f.engines[1]
+	if _, err := e.Publish(1, nil, false); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("empty publish err = %v", err)
+	}
+	data := []byte("state snapshot")
+	man, err := e.Publish(1, data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Republishing identical bytes is idempotent (state re-offered to a
+	// later joiner); different bytes under the same ID is refused.
+	if again, err := e.Publish(1, data, false); err != nil || again.Object != man.Object {
+		t.Fatalf("idempotent republish: %v", err)
+	}
+	if _, err := e.Publish(1, []byte("different"), false); !errors.Is(err, ErrDuplicateObject) {
+		t.Fatalf("conflicting republish err = %v", err)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var progress []Progress
+	cfg := Config{Group: 1, SymbolSize: 128, DataShards: 4, RepairShards: 2}
+	f := newFleet(t, 3, 5, nil, cfg)
+	f.engines[2] = nil // rebuild node 2 with a progress hook
+	c := cfg
+	c.OnProgress = func(p Progress) { progress = append(progress, p) }
+	f.sim.Replace(2, func(env proto.Env) proto.Handler {
+		e := New(env, c)
+		f.engines[2] = e
+		e.SetMembers(f.nodes)
+		return e
+	})
+	data := testObject(3*4*128, 45) // exactly 3 generations
+	f.publish(t, 1, 5, data, true)
+	f.sim.Run(3 * time.Second)
+	if got, ok := f.engines[2].Object(5); !ok || !bytes.Equal(got, data) {
+		t.Fatal("node 2 incomplete")
+	}
+	if len(progress) != 3 {
+		t.Fatalf("progress events = %d, want 3", len(progress))
+	}
+	last := progress[len(progress)-1]
+	if last.Done != 3 || last.Total != 3 || last.ID != 5 || last.Origin != 1 {
+		t.Fatalf("final progress = %+v", last)
+	}
+}
+
+func TestEvictionBoundsObjects(t *testing.T) {
+	f := newFleet(t, 1, 6, nil, Config{Group: 1, MaxObjects: 3, SymbolSize: 64, DataShards: 2, RepairShards: 1})
+	e := f.engines[1]
+	for i := uint64(1); i <= 5; i++ {
+		if _, err := e.Publish(i, testObject(200, int64(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.objects) != 3 {
+		t.Fatalf("retained %d objects, cap 3", len(e.objects))
+	}
+	if _, ok := e.Object(1); ok {
+		t.Fatal("oldest object not evicted")
+	}
+	if _, ok := e.Object(5); !ok {
+		t.Fatal("newest object evicted")
+	}
+}

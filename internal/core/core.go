@@ -13,6 +13,7 @@ package core
 import (
 	"time"
 
+	"scalamedia/internal/bulk"
 	"scalamedia/internal/flightrec"
 	"scalamedia/internal/hier"
 	"scalamedia/internal/id"
@@ -95,6 +96,19 @@ type Config struct {
 	Snapshot func() []byte
 	OnState  func(member.View, []byte)
 
+	// Bulk-dissemination geometry (internal/bulk); zero values take the
+	// bulk defaults. The bulk engine is always present — it generates no
+	// traffic until an object is published or a manifest arrives.
+	BulkSymbolSize   int
+	BulkDataShards   int
+	BulkRepairShards int
+	BulkRequestEvery time.Duration
+	BulkMaxObjects   int
+	// OnObject receives completed bulk objects; OnObjectProgress reports
+	// per-generation transfer progress.
+	OnObject         func(bulk.Object)
+	OnObjectProgress func(bulk.Progress)
+
 	// Metrics, when non-nil, receives live counters from both engines.
 	Metrics *stats.Registry
 	// MetricsPrefix namespaces the multicast engine's metrics; empty
@@ -111,6 +125,7 @@ type Stack struct {
 	member *member.Engine
 	mcast  *rmcast.Engine
 	hier   *hier.Engine // nil unless Config.AutoHier
+	bulk   *bulk.Engine
 }
 
 var _ proto.Handler = (*Stack)(nil)
@@ -172,6 +187,41 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		}
 		s.hier = h
 	}
+	// The bulk engine stripes coded symbols over the flat membership; under
+	// AutoHier its relayed fan-out follows the overlay tree instead of
+	// going wide, so relay traffic stays within a cluster (plus the small
+	// coordinator set) exactly like the session's ordered multicasts.
+	var relayPlan func() (local, remote []id.Node)
+	if cfg.AutoHier {
+		relayPlan = func() (local, remote []id.Node) {
+			t := s.hier.CurrentTopology()
+			ci := t.ClusterOf(env.Self())
+			if ci < 0 {
+				return nil, nil
+			}
+			local = append(local, t.Clusters[ci]...)
+			for i := range t.Clusters {
+				if i == ci {
+					continue
+				}
+				if r := t.RelayOf(i); r != id.None {
+					remote = append(remote, r)
+				}
+			}
+			return local, remote
+		}
+	}
+	s.bulk = bulk.New(env, bulk.Config{
+		Group:        cfg.Group,
+		SymbolSize:   cfg.BulkSymbolSize,
+		DataShards:   cfg.BulkDataShards,
+		RepairShards: cfg.BulkRepairShards,
+		RequestEvery: cfg.BulkRequestEvery,
+		MaxObjects:   cfg.BulkMaxObjects,
+		RelayPlan:    relayPlan,
+		OnObject:     cfg.OnObject,
+		OnProgress:   cfg.OnObjectProgress,
+	})
 	s.member = member.New(env, member.Config{
 		Group:            cfg.Group,
 		Metrics:          cfg.Metrics,
@@ -199,6 +249,7 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		},
 		OnView: func(v member.View) {
 			s.mcast.SetView(v)
+			s.bulk.SetMembers(v.Members)
 			if s.hier != nil {
 				// The admitted membership is the overlay's universe: the
 				// formation leader reshapes the tree around joins and
@@ -230,6 +281,9 @@ func (s *Stack) Multicast(payload []byte) error {
 
 // Hier exposes the self-organizing overlay engine (nil unless AutoHier).
 func (s *Stack) Hier() *hier.Engine { return s.hier }
+
+// Bulk exposes the erasure-coded bulk-dissemination engine.
+func (s *Stack) Bulk() *bulk.Engine { return s.bulk }
 
 // View returns the current membership view.
 func (s *Stack) View() member.View { return s.member.View() }
@@ -263,6 +317,11 @@ func (s *Stack) OnMessage(from id.Node, msg *wire.Message) {
 			return
 		}
 	}
+	switch msg.Kind {
+	case wire.KindBulkSym, wire.KindBulkReq:
+		s.bulk.OnMessage(from, msg)
+		return
+	}
 	s.member.OnMessage(from, msg)
 	s.mcast.OnMessage(from, msg)
 }
@@ -271,6 +330,7 @@ func (s *Stack) OnMessage(from id.Node, msg *wire.Message) {
 func (s *Stack) OnTick(now time.Time) {
 	s.member.OnTick(now)
 	s.mcast.OnTick(now)
+	s.bulk.OnTick(now)
 	if s.hier != nil {
 		s.hier.OnTick(now)
 	}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestT9Shape(t *testing.T) {
+	tab := T9BulkDissemination(quick)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if delivery := cell(t, row[2]); delivery < 1 {
+			t.Errorf("n=%s delivery %.3f < 1", row[0], delivery)
+		}
+		if missing := cell(t, row[7]); missing != 0 {
+			t.Errorf("n=%s missing %.0f members", row[0], missing)
+		}
+	}
+	// The bottleneck member's share of the flat sender cost must shrink
+	// with n: the per-member bytes stay ~2F(1+r/k) while the baseline
+	// grows as F·(n-1).
+	small, large := cell(t, tab.Rows[0][6]), cell(t, tab.Rows[1][6])
+	if large >= small {
+		t.Errorf("max-share%% did not fall with n: %.2f -> %.2f", small, large)
+	}
+}
+
+// TestT9BulkAt256 checks the acceptance bar at full scale: disseminating
+// a 256KB object to 256 members under 5% correlated loss, every member
+// reconstructs exactly and no member transmits more than 25% of what the
+// flat multicast sender would.
+func TestT9BulkAt256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-node sweep skipped in -short")
+	}
+	const n, objBytes = 256, 256 * 1024
+	r := runBulkDissemination(n, objBytes, 1900+n, false)
+	t.Logf("complete=%d/%d mean=%dB max=%dB baseline=%dB share=%.2f%% wall=%v",
+		r.Complete, r.Members, r.MeanBytes, r.MaxBytes, r.BaselineBytes,
+		100*float64(r.MaxBytes)/float64(r.BaselineBytes), r.Wall)
+	if r.Complete != r.Members {
+		t.Fatalf("only %d of %d members reconstructed", r.Complete, r.Members)
+	}
+	if 4*r.MaxBytes > r.BaselineBytes {
+		t.Errorf("bottleneck member transmitted %dB, above 25%% of flat sender %dB",
+			r.MaxBytes, r.BaselineBytes)
+	}
+}
+
+// TestT9Smoke64 is the bounded slice scripts/check.sh runs: a 64-member
+// scatter through 5% correlated loss with one relay crashed mid-transfer
+// must still complete everywhere that survives.
+func TestT9Smoke64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T9 smoke runs via scripts/check.sh, not in -short")
+	}
+	const n, objBytes = 64, 128 * 1024
+	r := runBulkDissemination(n, objBytes, 1900+n, true)
+	t.Logf("complete=%d/%d mean=%dB max=%dB wall=%v",
+		r.Complete, r.Members, r.MeanBytes, r.MaxBytes, r.Wall)
+	if r.Complete != r.Members {
+		t.Fatalf("only %d of %d surviving members reconstructed through the relay crash",
+			r.Complete, r.Members)
+	}
+	if 4*r.MaxBytes > r.BaselineBytes {
+		t.Errorf("bottleneck member transmitted %dB, above 25%% of flat sender %dB",
+			r.MaxBytes, r.BaselineBytes)
+	}
+}

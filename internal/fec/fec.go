@@ -88,6 +88,12 @@ func (e *Encoder) Add(seq uint64, payload []byte) (parity []byte, firstSeq uint6
 type Decoder struct {
 	k      int
 	blocks map[uint64]*block // keyed by first seq of block
+	// completed marks blocks already retired — recovered, fully received,
+	// or no longer needed — so a straggling packet cannot resurrect an
+	// empty entry that would linger until pruned. Markers behind the prune
+	// horizon are dropped alongside the blocks themselves.
+	completed map[uint64]struct{}
+	newest    uint64 // highest block firstSeq seen
 	// Recovered counts successful reconstructions.
 	Recovered uint64
 }
@@ -105,7 +111,11 @@ func NewDecoder(k int) (*Decoder, error) {
 	if k < 2 || k > MaxBlock {
 		return nil, ErrBadBlock
 	}
-	return &Decoder{k: k, blocks: make(map[uint64]*block)}, nil
+	return &Decoder{
+		k:         k,
+		blocks:    make(map[uint64]*block),
+		completed: make(map[uint64]struct{}),
+	}, nil
 }
 
 // blockOf returns the first sequence number of seq's block, given that
@@ -121,19 +131,32 @@ func (d *Decoder) blockOf(seq uint64) uint64 {
 // (seq + payload) if this arrival completed a block with its parity
 // present.
 func (d *Decoder) AddData(seq uint64, payload []byte) (recSeq uint64, recPayload []byte, ok bool) {
-	b := d.block(d.blockOf(seq))
+	first := d.blockOf(seq)
+	if d.dead(first) {
+		return 0, nil, false
+	}
+	b := d.block(first)
 	if _, dup := b.have[seq]; dup {
 		return 0, nil, false
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	b.have[seq] = cp
-	return d.tryRecover(d.blockOf(seq))
+	if len(b.have) == d.k {
+		// Every data packet arrived; nothing left to repair. Retire the
+		// block so a late parity cannot recreate it.
+		d.finish(first)
+		return 0, nil, false
+	}
+	return d.tryRecover(first)
 }
 
 // AddParity feeds a received parity packet for the block starting at
 // firstSeq. It may complete a recovery.
 func (d *Decoder) AddParity(firstSeq uint64, parity []byte) (recSeq uint64, recPayload []byte, ok bool) {
+	if d.dead(firstSeq) {
+		return 0, nil, false
+	}
 	b := d.block(firstSeq)
 	if b.parity == nil {
 		cp := make([]byte, len(parity))
@@ -144,27 +167,58 @@ func (d *Decoder) AddParity(firstSeq uint64, parity []byte) (recSeq uint64, recP
 }
 
 func (d *Decoder) block(first uint64) *block {
+	if first > d.newest {
+		d.newest = first
+	}
 	b, ok := d.blocks[first]
 	if !ok {
 		b = &block{have: make(map[uint64][]byte)}
 		d.blocks[first] = b
-		d.prune(first)
+		d.prune()
 	}
 	return b
 }
 
-// prune drops blocks far behind the newest to bound memory.
-func (d *Decoder) prune(newest uint64) {
-	if len(d.blocks) <= maxBlocks {
+// horizon is the oldest block firstSeq still live: anything behind it is
+// dropped on arrival rather than reallocated.
+func (d *Decoder) horizon() uint64 {
+	if span := uint64(maxBlocks * d.k); d.newest > span {
+		return d.newest - span
+	}
+	return 0
+}
+
+// dead reports whether a block has been retired (recovered or fully
+// received) or has fallen behind the prune horizon.
+func (d *Decoder) dead(first uint64) bool {
+	if _, done := d.completed[first]; done {
+		return true
+	}
+	return first < d.horizon()
+}
+
+// finish retires a block: frees its state and marks it completed so a
+// straggler cannot resurrect it.
+func (d *Decoder) finish(first uint64) {
+	delete(d.blocks, first)
+	d.completed[first] = struct{}{}
+}
+
+// prune drops blocks and completed-markers behind the horizon to bound
+// memory. Both maps stay within the maxBlocks-block span.
+func (d *Decoder) prune() {
+	h := d.horizon()
+	if h == 0 {
 		return
 	}
-	horizon := uint64(0)
-	if span := uint64(maxBlocks * d.k); newest > span {
-		horizon = newest - span
-	}
 	for first := range d.blocks {
-		if first < horizon {
+		if first < h {
 			delete(d.blocks, first)
+		}
+	}
+	for first := range d.completed {
+		if first < h {
+			delete(d.completed, first)
 		}
 	}
 }
@@ -199,7 +253,7 @@ func (d *Decoder) tryRecover(first uint64) (uint64, []byte, bool) {
 		return 0, nil, false // corrupt parity; refuse
 	}
 	payload := buf[lenPrefix : lenPrefix+plen]
-	delete(d.blocks, first) // block complete
+	d.finish(first) // block complete
 	d.Recovered++
 	return missing, payload, true
 }

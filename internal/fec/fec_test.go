@@ -151,6 +151,75 @@ func TestAllReceivedNoRecovery(t *testing.T) {
 	}
 }
 
+// TestLateArrivalNoResurrection is the regression for the bug where a
+// straggler for an already-recovered block re-created an empty blocks
+// entry that lingered until pruned. Retired blocks must swallow late
+// packets without reallocating state.
+func TestLateArrivalNoResurrection(t *testing.T) {
+	const k = 3
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	payloads := [][]byte{[]byte("one"), []byte("two"), []byte("three")}
+	var parity []byte
+	var first uint64
+	for i, p := range payloads {
+		if pv, f, done := enc.Add(uint64(i+1), p); done {
+			parity, first = pv, f
+		}
+	}
+	// Recover seq 2 from the other two plus parity.
+	dec.AddData(1, payloads[0])
+	dec.AddData(3, payloads[2])
+	if _, _, ok := dec.AddParity(first, parity); !ok {
+		t.Fatal("no recovery")
+	}
+	if len(dec.blocks) != 0 {
+		t.Fatalf("blocks not freed after recovery: %d", len(dec.blocks))
+	}
+	// The straggler arrives late: it must not resurrect the block.
+	if _, _, ok := dec.AddData(2, payloads[1]); ok {
+		t.Fatal("late arrival triggered recovery")
+	}
+	if len(dec.blocks) != 0 {
+		t.Fatalf("late data resurrected %d block(s)", len(dec.blocks))
+	}
+	// Same for a duplicate parity.
+	dec.AddParity(first, parity)
+	if len(dec.blocks) != 0 {
+		t.Fatalf("late parity resurrected %d block(s)", len(dec.blocks))
+	}
+	if dec.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", dec.Recovered)
+	}
+}
+
+// TestFullBlockRetired: when all k data packets arrive with no loss, the
+// block is freed immediately and the (useless) parity is dropped on
+// arrival instead of allocating a parity-only entry.
+func TestFullBlockRetired(t *testing.T) {
+	const k = 3
+	enc, _ := NewEncoder(k)
+	dec, _ := NewDecoder(k)
+	var parity []byte
+	var first uint64
+	for i := 1; i <= k; i++ {
+		p := []byte{byte(i)}
+		if pv, f, done := enc.Add(uint64(i), p); done {
+			parity, first = pv, f
+		}
+		dec.AddData(uint64(i), p)
+	}
+	if len(dec.blocks) != 0 {
+		t.Fatalf("fully-received block retained: %d", len(dec.blocks))
+	}
+	if _, _, ok := dec.AddParity(first, parity); ok {
+		t.Fatal("recovery fired with nothing missing")
+	}
+	if len(dec.blocks) != 0 {
+		t.Fatalf("parity resurrected %d block(s)", len(dec.blocks))
+	}
+}
+
 func TestDecoderPrunesOldBlocks(t *testing.T) {
 	dec, _ := NewDecoder(2)
 	// Feed many incomplete blocks.

@@ -1,0 +1,176 @@
+// Systematic Reed-Solomon erasure coding over GF(256), the coder under
+// the bulk-dissemination path (internal/bulk). Where the XOR scheme in
+// this package repairs at most one loss per block — the right trade for
+// real-time media racing a playout deadline — bulk transfer wants the
+// full erasure-code property: k data shards plus r repair shards such
+// that ANY k of the k+r survive reconstruction. The generator matrix is
+// a Vandermonde matrix re-based so its top k×k block is the identity
+// (systematic: data shards pass through verbatim), which preserves the
+// any-k-invertible property because the re-basing multiplies every
+// submatrix by the same invertible factor.
+package fec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS coding limits: shard counts must satisfy 1 <= k, 0 <= r, and
+// k+r <= MaxShards (the field supports 255 distinct evaluation points).
+const MaxShards = 255
+
+// RS coding errors.
+var (
+	// ErrBadShardCounts reports k/r outside the supported range.
+	ErrBadShardCounts = errors.New("fec: shard counts out of range")
+	// ErrShardSize reports shards of unequal or zero length.
+	ErrShardSize = errors.New("fec: shards must be non-empty and equal length")
+	// ErrTooFewShards reports fewer than k present shards at reconstruct.
+	ErrTooFewShards = errors.New("fec: too few shards to reconstruct")
+)
+
+// RS is a systematic Reed-Solomon coder for a fixed (k, r) geometry. It
+// is stateless after construction and safe for concurrent use.
+type RS struct {
+	k, r int
+	// gen is the (k+r)×k generator matrix; rows 0..k-1 are the identity,
+	// rows k..k+r-1 generate the repair shards.
+	gen matrix
+}
+
+// NewRS returns a coder producing r repair shards per k data shards.
+func NewRS(k, r int) (*RS, error) {
+	if k < 1 || r < 0 || k+r > MaxShards {
+		return nil, fmt.Errorf("%w: k=%d r=%d", ErrBadShardCounts, k, r)
+	}
+	v := vandermonde(k+r, k)
+	top := newMatrix(k, k)
+	copy(top.d, v.d[:k*k])
+	inv, ok := top.invert()
+	if !ok {
+		// Unreachable: a Vandermonde top block is always invertible.
+		return nil, fmt.Errorf("%w: singular vandermonde", ErrBadShardCounts)
+	}
+	return &RS{k: k, r: r, gen: v.mul(inv)}, nil
+}
+
+// K returns the data shard count.
+func (c *RS) K() int { return c.k }
+
+// R returns the repair shard count.
+func (c *RS) R() int { return c.r }
+
+// checkShards validates a full k+r shard slice: present shards (non-nil)
+// must share one non-zero length, which is returned.
+func (c *RS) checkShards(shards [][]byte) (int, error) {
+	if len(shards) != c.k+c.r {
+		return 0, fmt.Errorf("%w: %d shards, want %d", ErrShardSize, len(shards), c.k+c.r)
+	}
+	size := 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if len(s) == 0 {
+			return 0, ErrShardSize
+		}
+		if size == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: %d vs %d bytes", ErrShardSize, len(s), size)
+		}
+	}
+	if size == 0 {
+		return 0, ErrTooFewShards
+	}
+	return size, nil
+}
+
+// Encode fills shards[k:] with the r repair shards computed from the k
+// data shards in shards[:k]. All k data shards must be present and equal
+// length; repair slots are (re)allocated as needed.
+func (c *RS) Encode(shards [][]byte) error {
+	if len(shards) != c.k+c.r {
+		return fmt.Errorf("%w: %d shards, want %d", ErrShardSize, len(shards), c.k+c.r)
+	}
+	size := 0
+	for _, s := range shards[:c.k] {
+		if len(s) == 0 {
+			return fmt.Errorf("%w: missing data shard", ErrShardSize)
+		}
+		if size == 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("%w: %d vs %d bytes", ErrShardSize, len(s), size)
+		}
+	}
+	for i := 0; i < c.r; i++ {
+		out := shards[c.k+i]
+		if cap(out) < size {
+			out = make([]byte, size)
+		} else {
+			out = out[:size]
+			for j := range out {
+				out[j] = 0
+			}
+		}
+		row := c.gen.row(c.k + i)
+		for j := 0; j < c.k; j++ {
+			gfMulAddSlice(out, shards[j], row[j])
+		}
+		shards[c.k+i] = out
+	}
+	return nil
+}
+
+// Reconstruct fills in the missing (nil) data shards of a k+r shard
+// slice from any k present shards; present shards are left untouched and
+// missing repair shards are not regenerated. It fails with
+// ErrTooFewShards when fewer than k shards are present.
+func (c *RS) Reconstruct(shards [][]byte) error {
+	size, err := c.checkShards(shards)
+	if err != nil {
+		return err
+	}
+	present := make([]int, 0, c.k)
+	missing := 0
+	for i, s := range shards {
+		if s != nil {
+			if len(present) < c.k {
+				present = append(present, i)
+			}
+		} else if i < c.k {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: %d of %d", ErrTooFewShards, len(present), c.k)
+	}
+	// Rows of the generator matrix for the shards we hold form a k×k
+	// system over the data shards; its inverse maps held shards back to
+	// data shards.
+	sub := newMatrix(c.k, c.k)
+	for ri, si := range present {
+		copy(sub.row(ri), c.gen.row(si))
+	}
+	dec, ok := sub.invert()
+	if !ok {
+		// Unreachable for a Vandermonde-derived generator.
+		return fmt.Errorf("%w: singular submatrix", ErrTooFewShards)
+	}
+	for i := 0; i < c.k; i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := dec.row(i)
+		for ri, si := range present {
+			gfMulAddSlice(out, shards[si], row[ri])
+		}
+		shards[i] = out
+	}
+	return nil
+}

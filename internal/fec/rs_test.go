@@ -1,0 +1,240 @@
+package fec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSValidation(t *testing.T) {
+	for _, kr := range [][2]int{{0, 1}, {-1, 2}, {1, -1}, {200, 56}, {256, 0}} {
+		if _, err := NewRS(kr[0], kr[1]); !errors.Is(err, ErrBadShardCounts) {
+			t.Fatalf("NewRS(%d,%d) err = %v", kr[0], kr[1], err)
+		}
+	}
+	c, err := NewRS(16, 4)
+	if err != nil || c.K() != 16 || c.R() != 4 {
+		t.Fatalf("valid coder rejected: %v", err)
+	}
+}
+
+// TestRSSystematic pins that data shards pass through encode untouched:
+// the generator's top block is the identity.
+func TestRSSystematic(t *testing.T) {
+	c, _ := NewRS(4, 2)
+	shards := make([][]byte, 6)
+	want := make([][]byte, 4)
+	for i := 0; i < 4; i++ {
+		shards[i] = []byte{byte(i + 1), byte(i * 7), 0xaa}
+		want[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatalf("data shard %d mutated by Encode", i)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if len(shards[i]) != 3 {
+			t.Fatalf("repair shard %d has length %d", i, len(shards[i]))
+		}
+	}
+}
+
+// TestRSGolden pins the exact repair bytes for a fixed geometry and
+// input, so the generator matrix construction can never silently change:
+// symbols already scattered across a live group must stay decodable by
+// peers built from a later commit.
+func TestRSGolden(t *testing.T) {
+	c, _ := NewRS(4, 3)
+	shards := make([][]byte, 7)
+	shards[0] = []byte("alpha-shard-0000")
+	shards[1] = []byte("bravo-shard-0001")
+	shards[2] = []byte("charlie-shard-02")
+	shards[3] = []byte("delta-shard-0003")
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"b6fa1e63c8f480874af48a44ae343035",
+		"56d89d24fd08851ad647726a0cbd30e9",
+		"82fd993b76ec11ae1f347fad81633065",
+	}
+	for i, w := range want {
+		if got := hex.EncodeToString(shards[4+i]); got != w {
+			t.Fatalf("repair[%d] = %s, want %s", i, got, w)
+		}
+	}
+}
+
+// TestRSAnyKSubset walks every k-subset of k+r shards for a small
+// geometry and checks reconstruction from each, exhaustively.
+func TestRSAnyKSubset(t *testing.T) {
+	const k, r = 4, 3
+	c, _ := NewRS(k, r)
+	rng := rand.New(rand.NewSource(11))
+	data := make([][]byte, k+r)
+	for i := 0; i < k; i++ {
+		data[i] = make([]byte, 64)
+		rng.Read(data[i])
+	}
+	if err := c.Encode(data); err != nil {
+		t.Fatal(err)
+	}
+	n := k + r
+	for mask := 0; mask < 1<<n; mask++ {
+		if popcount(mask) != k {
+			continue
+		}
+		shards := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				shards[i] = append([]byte(nil), data[i]...)
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("mask %07b: %v", mask, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], data[i]) {
+				t.Fatalf("mask %07b: data shard %d mismatch", mask, i)
+			}
+		}
+	}
+}
+
+// TestRSRefusesBelowK pins the failure mode: k-1 shards must not
+// reconstruct, whatever their mix of data and repair.
+func TestRSRefusesBelowK(t *testing.T) {
+	const k, r = 5, 3
+	c, _ := NewRS(k, r)
+	data := make([][]byte, k+r)
+	for i := 0; i < k; i++ {
+		data[i] = bytes.Repeat([]byte{byte(i + 1)}, 32)
+	}
+	if err := c.Encode(data); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, k+r)
+	// Keep k-1 shards: two data, the rest repair.
+	kept := []int{0, 2, k, k + 1}
+	for _, i := range kept {
+		shards[i] = data[i]
+	}
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("reconstruct with k-1 shards: err = %v, want ErrTooFewShards", err)
+	}
+}
+
+// TestRSProperty: random geometry, random data, random loss of at most r
+// shards — reconstruction always restores every data shard exactly.
+func TestRSProperty(t *testing.T) {
+	f := func(seed int64, kRaw, rRaw uint8) bool {
+		k := int(kRaw%32) + 1
+		r := int(rRaw % 17)
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewRS(k, r)
+		if err != nil {
+			return false
+		}
+		size := 1 + rng.Intn(256)
+		orig := make([][]byte, k+r)
+		for i := 0; i < k; i++ {
+			orig[i] = make([]byte, size)
+			rng.Read(orig[i])
+		}
+		if err := c.Encode(orig); err != nil {
+			return false
+		}
+		// Lose up to r shards at random positions.
+		shards := make([][]byte, k+r)
+		for i := range orig {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		for _, i := range rng.Perm(k + r)[:r] {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRSZeroRepair: r=0 is a valid degenerate geometry (pure
+// fragmentation); all data present round-trips, any loss refuses.
+func TestRSZeroRepair(t *testing.T) {
+	c, _ := NewRS(3, 0)
+	shards := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1] = nil
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	c, _ := NewRS(16, 4)
+	shards := make([][]byte, 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		shards[i] = make([]byte, 1024)
+		rng.Read(shards[i])
+	}
+	b.SetBytes(16 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSReconstruct(b *testing.B) {
+	c, _ := NewRS(16, 4)
+	orig := make([][]byte, 20)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 16; i++ {
+		orig[i] = make([]byte, 1024)
+		rng.Read(orig[i])
+	}
+	if err := c.Encode(orig); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(16 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, 20)
+		copy(shards, orig)
+		shards[0], shards[5], shards[9], shards[15] = nil, nil, nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -126,6 +126,14 @@ func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byt
 		a.groups[ts] = g
 		a.prune(ts)
 	}
+	for _, f := range g.frags {
+		if f.seq == seq {
+			// Retransmitted or duplicated fragment: drop it before
+			// buffering, or the inflated count would keep len(frags)
+			// above the frame's span forever and wedge reassembly.
+			return nil, false
+		}
+	}
 	cp := a.getBuf(len(payload))
 	copy(cp, payload)
 	g.frags = append(g.frags, fragment{seq: seq, payload: cp})
@@ -145,7 +153,8 @@ func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byt
 		return nil, false
 	}
 	sort.Slice(g.frags, func(i, j int) bool { return g.frags[i].seq < g.frags[j].seq })
-	// Duplicates would inflate the count; verify exact contiguity.
+	// Strays outside [start, marker] would inflate the count; verify
+	// exact contiguity.
 	if uint64(len(g.frags)) != span || g.frags[0].seq != g.startSeq {
 		return nil, false
 	}
@@ -168,13 +177,20 @@ func (a *Assembler) Add(seq uint64, ts uint32, start, marker bool, payload []byt
 	return out, true
 }
 
+// tsBefore reports whether media timestamp a precedes b in RFC 1982
+// serial-number order: the comparison stays correct across uint32
+// wraparound, which a 90 kHz media clock reaches after ~13 hours.
+func tsBefore(a, b uint32) bool {
+	return int32(a-b) < 0
+}
+
 // prune drops the stalest groups once too many frames are in flight;
 // each drop is an incomplete (lost) frame.
 func (a *Assembler) prune(newest uint32) {
 	for len(a.groups) > maxGroups {
 		oldest := newest
 		for ts := range a.groups {
-			if ts < oldest {
+			if tsBefore(ts, oldest) {
 				oldest = ts
 			}
 		}

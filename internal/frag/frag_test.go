@@ -153,6 +153,82 @@ func TestInterleavedFrames(t *testing.T) {
 	}
 }
 
+// TestDuplicateFragmentNoWedge is the regression for the dup-wedge bug:
+// a duplicated fragment used to be appended to the group, permanently
+// inflating the count above the frame's span so the frame could never
+// complete (and the dup's buffer leaked).
+func TestDuplicateFragmentNoWedge(t *testing.T) {
+	a := NewAssembler()
+	payload := []byte("duplicate injection never wedges the frame")
+	frags, _ := Split(payload, 10)
+	seq := uint64(50)
+	var got []byte
+	var done bool
+	for i, fr := range frags {
+		// A dup-injecting fabric: every non-final fragment arrives twice.
+		passes := 2
+		if i == len(frags)-1 {
+			passes = 1
+		}
+		for p := 0; p < passes; p++ {
+			out, ok := a.Add(seq, 1234, i == 0, i == len(frags)-1, fr)
+			if ok {
+				got, done = out, true
+			}
+		}
+		seq++
+	}
+	if !done || !bytes.Equal(got, payload) {
+		t.Fatalf("frame wedged by duplicates: done=%t", done)
+	}
+	if a.Pending() != 0 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+}
+
+// TestPruneAcrossTimestampWrap is the regression for raw uint32
+// timestamp comparison in prune: a fresh post-wrap frame was judged
+// "oldest" and dropped on arrival while stale pre-wrap groups pinned
+// memory.
+func TestPruneAcrossTimestampWrap(t *testing.T) {
+	a := NewAssembler()
+	// Fill the assembler with stale incomplete frames just below the wrap.
+	for i := 0; i < maxGroups; i++ {
+		ts := ^uint32(0) - uint32(i*3000)
+		a.Add(uint64(i+1), ts, true, false, []byte{1})
+	}
+	// A fresh frame just past the wrap must survive pruning and complete.
+	payload := []byte("post-wrap frame payload")
+	frags, _ := Split(payload, 8)
+	seq := uint64(1000)
+	var got []byte
+	var done bool
+	for i, fr := range frags {
+		out, ok := a.Add(seq, 90, i == 0, i == len(frags)-1, fr)
+		seq++
+		if ok {
+			got, done = out, true
+		}
+	}
+	if !done || !bytes.Equal(got, payload) {
+		t.Fatalf("post-wrap frame dropped by prune: done=%t", done)
+	}
+}
+
+// TestWrapOrderProperty pins the RFC 1982 comparison itself: any
+// timestamp within half the space ahead of another sorts after it,
+// wherever the pair sits relative to the wrap boundary.
+func TestWrapOrderProperty(t *testing.T) {
+	f := func(base uint32, deltaRaw uint32) bool {
+		delta := deltaRaw%(1<<31-1) + 1 // 1 <= delta < 2^31
+		later := base + delta           // may wrap
+		return tsBefore(base, later) && !tsBefore(later, base) && !tsBefore(base, base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPruneBoundsMemory(t *testing.T) {
 	a := NewAssembler()
 	for ts := uint32(1); ts <= 200; ts++ {

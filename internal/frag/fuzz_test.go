@@ -14,6 +14,17 @@ func FuzzReassemble(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 3, 'a', 'b', 'c', 1, 1, 0})
 	f.Add(bytes.Repeat([]byte{0x80, 0x01, 2, 'x', 'y'}, 24))
+	// Dup-wedge seed: a start fragment, its duplicate (ctl bit 2), then
+	// the marker — the sequence that used to wedge reassembly forever.
+	f.Add([]byte{0x01, 5, 2, 'h', 'i', 0x04, 5, 2, 'h', 'i', 0x02, 5, 1, '!'})
+	// Wrap seed: stale pre-wrap starts (ctl bit 7) followed by a fresh
+	// post-wrap frame, driving prune across the uint32 ts boundary.
+	wrapSeed := []byte{}
+	for i := 0; i < 20; i++ {
+		wrapSeed = append(wrapSeed, 0x81, byte(i*13), 1, 'w')
+	}
+	wrapSeed = append(wrapSeed, 0x01, 1, 1, 'f', 0x02, 1, 1, 'f')
+	f.Add(wrapSeed)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a := NewAssembler()
 		var seq uint64
@@ -26,12 +37,16 @@ func FuzzReassemble(f *testing.F) {
 			payload := data[:plen]
 			data = data[plen:]
 			// Bits of ctl: 0 start, 1 marker, 2 reuse previous seq
-			// (duplicate), remaining bits skew the timestamp so
-			// several frames interleave.
+			// (duplicate), 3-6 skew the timestamp so several frames
+			// interleave, 7 parks the frame just below the uint32 wrap
+			// so prune's serial-number comparison crosses the boundary.
 			if ctl&4 == 0 {
 				seq++
 			}
-			ts := uint32(tsb) | uint32(ctl>>3)<<8
+			ts := uint32(tsb) | uint32(ctl>>3&0x0f)<<8
+			if ctl&0x80 != 0 {
+				ts += ^uint32(0) - 1<<13
+			}
 			out, ok := a.Add(seq, ts, ctl&1 != 0, ctl&2 != 0, payload)
 			if ok && out == nil && plen > 0 {
 				t.Fatalf("completed frame lost its payload")

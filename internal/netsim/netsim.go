@@ -80,6 +80,10 @@ type Stats struct {
 	// DroppedByKind counts datagrams lost to the link model, partitions
 	// or crashed receivers, per message kind.
 	DroppedByKind map[wire.Kind]uint64
+	// SentBytesByNode counts encoded bytes submitted per sending node —
+	// the per-member bytes-on-wire metric of the bulk-dissemination
+	// experiment (T9), whose claim is about the most-loaded member.
+	SentBytesByNode map[id.Node]uint64
 	// Dropped counts datagrams lost to the link model, partitions or
 	// crashed receivers.
 	Dropped uint64
@@ -129,11 +133,12 @@ type Sim struct {
 
 	partition map[id.Node]int
 
-	sentByKind    [kindSlots]uint64
-	bytesByKind   [kindSlots]uint64
-	droppedByKind [kindSlots]uint64
-	dropped       uint64
-	delivered     uint64
+	sentByKind      [kindSlots]uint64
+	bytesByKind     [kindSlots]uint64
+	droppedByKind   [kindSlots]uint64
+	sentBytesByNode map[id.Node]uint64
+	dropped         uint64
+	delivered       uint64
 
 	// busyUntil models FIFO transmission queues per directed link.
 	busyUntil map[linkPair]int64
@@ -178,11 +183,12 @@ func New(cfg Config) *Sim {
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		start:     start,
 		now:       start,
-		nodes:     make(map[id.Node]*simNode),
-		partition: make(map[id.Node]int),
-		busyUntil: make(map[linkPair]int64),
-		blocked:   make(map[linkPair]bool),
-		known:     make(map[linkPair]bool),
+		nodes:           make(map[id.Node]*simNode),
+		partition:       make(map[id.Node]int),
+		busyUntil:       make(map[linkPair]int64),
+		blocked:         make(map[linkPair]bool),
+		known:           make(map[linkPair]bool),
+		sentBytesByNode: make(map[id.Node]uint64),
 	}
 	s.queue.init(int64(cfg.Tick))
 	return s
@@ -197,11 +203,15 @@ func (s *Sim) Elapsed() time.Duration { return time.Duration(s.nowNs) }
 // Stats returns a copy of the traffic statistics.
 func (s *Sim) Stats() Stats {
 	cp := Stats{
-		SentByKind:    make(map[wire.Kind]uint64),
-		BytesByKind:   make(map[wire.Kind]uint64),
-		DroppedByKind: make(map[wire.Kind]uint64),
-		Dropped:       s.dropped,
-		Delivered:     s.delivered,
+		SentByKind:      make(map[wire.Kind]uint64),
+		BytesByKind:     make(map[wire.Kind]uint64),
+		DroppedByKind:   make(map[wire.Kind]uint64),
+		SentBytesByNode: make(map[id.Node]uint64, len(s.sentBytesByNode)),
+		Dropped:         s.dropped,
+		Delivered:       s.delivered,
+	}
+	for n, v := range s.sentBytesByNode {
+		cp.SentBytesByNode[n] = v
 	}
 	for k, v := range s.sentByKind {
 		if v > 0 {
@@ -435,6 +445,7 @@ func (s *Sim) send(from, to id.Node, msg *wire.Message) {
 		s.sentByKind[msg.Kind]++
 		s.bytesByKind[msg.Kind] += uint64(len(buf))
 	}
+	s.sentBytesByNode[from] += uint64(len(buf))
 
 	sender, ok := s.nodes[from]
 	if !ok || !sender.up {

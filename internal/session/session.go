@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"scalamedia/internal/bulk"
 	"scalamedia/internal/core"
 	"scalamedia/internal/flightrec"
 	"scalamedia/internal/hier"
@@ -54,6 +55,12 @@ const (
 	// admission (see Config.JoinAttempts); the node must retry with a
 	// fresh engine, ideally through a different contact.
 	JoinFailed
+	// ObjectReceived reports a completed bulk-object transfer; Event.Object
+	// names it and Event.Payload holds its bytes.
+	ObjectReceived
+	// ObjectProgress reports bulk-transfer advancement: Event.Done of
+	// Event.Total generations decoded.
+	ObjectProgress
 )
 
 // String returns the event kind name.
@@ -73,6 +80,10 @@ func (k EventKind) String() string {
 		return "self-evicted"
 	case JoinFailed:
 		return "join-failed"
+	case ObjectReceived:
+		return "object-received"
+	case ObjectProgress:
+		return "object-progress"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -90,11 +101,14 @@ type Announcement struct {
 // Event is one session notification.
 type Event struct {
 	Kind    EventKind
-	Node    id.Node      // joined/left participant, or message sender
+	Node    id.Node      // joined/left participant, message sender or object origin
 	Stream  Announcement // announced/withdrawn stream
-	Payload []byte       // application message
+	Payload []byte       // application message or completed object bytes
 	View    member.View  // view in effect
 	Err     error        // JoinFailed cause (e.g. member.ErrJoinUnreachable)
+	// Bulk-object fields (ObjectReceived / ObjectProgress).
+	Object      uint64 // object ID
+	Done, Total int    // generations decoded so far / overall
 }
 
 // Config parameterizes a session engine.
@@ -166,7 +180,26 @@ const (
 	opData     = 1
 	opAnnounce = 2
 	opWithdraw = 3
+	// opBulk announces a bulk object: the body is its manifest. The coded
+	// symbols themselves never touch the ordered channel.
+	opBulk = 4
 )
+
+// State-transfer framing: the first byte of the membership snapshot blob
+// selects inline directory bytes (small sessions) or a bulk-object
+// manifest the joiner pulls symbols for (large directories), so the
+// member-channel JoinAck stays O(1) in session history.
+const (
+	stateTagInline   = 0
+	stateTagManifest = 1
+	// inlineStateMax is the largest directory snapshot still carried
+	// inline in the JoinAck.
+	inlineStateMax = 1024
+)
+
+// stateObjBase marks bulk object IDs minted for directory state
+// transfer; applications should keep their own object IDs below 1<<63.
+const stateObjBase = uint64(1) << 63
 
 // Errors.
 var (
@@ -184,6 +217,16 @@ type Engine struct {
 
 	directory map[id.Stream]Announcement
 	prevView  member.View
+
+	// Directory state-transfer over bulk: the coordinator publishes big
+	// snapshots as scatterless bulk objects (stateObjID/stateBlob cache
+	// one object per distinct snapshot); a joiner remembers which object
+	// it is waiting on to install as its directory.
+	stateSeq         uint64
+	stateObjID       uint64
+	stateBlob        []byte
+	pendingStateObj  uint64
+	pendingStateView member.View
 
 	// Live session-directory counters, resolved once in New.
 	mAnnounces *stats.Counter
@@ -238,8 +281,10 @@ func New(env proto.Env, cfg Config) *Engine {
 		OnDeliver:          e.onDeliver,
 		OnEvicted:          e.onEvicted,
 		OnJoinFailed:       e.onJoinFailed,
-		Snapshot:           e.snapshotDirectory,
-		OnState:            e.installDirectory,
+		Snapshot:           e.snapshotState,
+		OnState:            e.installState,
+		OnObject:           e.onObject,
+		OnObjectProgress:   e.onObjectProgress,
 	})
 	return e
 }
@@ -301,6 +346,78 @@ func (e *Engine) installDirectory(v member.View, state []byte) {
 	}
 }
 
+// snapshotState frames the directory snapshot for the JoinAck: small
+// directories ride inline; larger ones are published as a scatterless
+// bulk object so the member channel carries only the fixed-size manifest
+// and the joiner pulls the coded symbols out of band. One bulk object is
+// minted per distinct snapshot and re-offered to later joiners.
+func (e *Engine) snapshotState() []byte {
+	blob := e.snapshotDirectory()
+	if len(blob) <= inlineStateMax {
+		return append([]byte{stateTagInline}, blob...)
+	}
+	if e.stateObjID == 0 || string(blob) != string(e.stateBlob) {
+		e.stateSeq++
+		e.stateObjID = stateObjBase | (uint64(e.env.Self())&0xffffff)<<32 | (e.stateSeq & 0xffffffff)
+		e.stateBlob = append(e.stateBlob[:0], blob...)
+	}
+	man, err := e.stack.Bulk().Publish(e.stateObjID, blob, false)
+	if err != nil {
+		// Cannot register the object (ID collision with an application
+		// object, say): fall back to the inline path rather than strand
+		// the joiner.
+		return append([]byte{stateTagInline}, blob...)
+	}
+	return append([]byte{stateTagManifest}, bulk.AppendManifest(nil, man)...)
+}
+
+// installState unpacks a JoinAck state blob: inline directories install
+// immediately; a manifest starts a bulk pull that installs on completion.
+func (e *Engine) installState(v member.View, state []byte) {
+	if len(state) == 0 {
+		return
+	}
+	tag, body := state[0], state[1:]
+	switch tag {
+	case stateTagInline:
+		e.installDirectory(v, body)
+	case stateTagManifest:
+		man, err := bulk.DecodeManifest(body)
+		if err != nil {
+			return
+		}
+		if data, ok := e.stack.Bulk().Object(man.Object); ok {
+			e.installDirectory(v, data)
+			return
+		}
+		e.pendingStateObj = man.Object
+		e.pendingStateView = v
+		e.stack.Bulk().OnManifest(man)
+	}
+}
+
+// onObject installs a completed state-transfer snapshot or surfaces an
+// application bulk object.
+func (e *Engine) onObject(o bulk.Object) {
+	if e.pendingStateObj != 0 && o.ID == e.pendingStateObj {
+		e.pendingStateObj = 0
+		e.installDirectory(e.pendingStateView, o.Data)
+		return
+	}
+	e.emit(Event{Kind: ObjectReceived, Node: o.Origin, Object: o.ID, Payload: o.Data,
+		View: e.stack.View()})
+}
+
+// onObjectProgress surfaces bulk-transfer advancement; state-transfer
+// pulls stay internal.
+func (e *Engine) onObjectProgress(p bulk.Progress) {
+	if e.pendingStateObj != 0 && p.ID == e.pendingStateObj {
+		return
+	}
+	e.emit(Event{Kind: ObjectProgress, Node: p.Origin, Object: p.ID,
+		Done: p.Done, Total: p.Total, View: e.stack.View()})
+}
+
 // View returns the current session membership.
 func (e *Engine) View() member.View { return e.stack.View() }
 
@@ -342,6 +459,33 @@ func (e *Engine) Announce(spec media.StreamSpec, meanRate float64) error {
 		return fmt.Errorf("announce %s: %w", spec.ID, err)
 	}
 	return nil
+}
+
+// Publish disseminates a bulk object to the session: the coded symbols
+// scatter over the membership for peer relay (internal/bulk) while only
+// the manifest rides the ordered channel. Each participant receives an
+// ObjectReceived event when its copy reconstructs, with ObjectProgress
+// events along the way. Object IDs at or above 1<<63 are reserved for
+// the session's own state transfer.
+func (e *Engine) Publish(objID uint64, data []byte) error {
+	man, err := e.stack.Bulk().Publish(objID, data, true)
+	if err != nil {
+		return fmt.Errorf("publish object %d: %w", objID, err)
+	}
+	buf := append([]byte{opBulk}, bulk.AppendManifest(nil, man)...)
+	if err := e.stack.Multicast(buf); err != nil {
+		return fmt.Errorf("publish object %d: %w", objID, err)
+	}
+	return nil
+}
+
+// Fetch returns a completed bulk object's bytes (published locally or
+// received from the session).
+func (e *Engine) Fetch(objID uint64) ([]byte, bool) { return e.stack.Bulk().Object(objID) }
+
+// ObjectProgressOf returns a transfer's decoded/total generation counts.
+func (e *Engine) ObjectProgressOf(objID uint64) (done, total int, ok bool) {
+	return e.stack.Bulk().Progress(objID)
 }
 
 // Withdraw removes a stream this node previously announced.
@@ -425,6 +569,12 @@ func (e *Engine) onDeliver(d rmcast.Delivery) {
 		delete(e.directory, sid)
 		e.mWithdraws.Inc()
 		e.emit(Event{Kind: StreamWithdrawn, Node: d.Sender, Stream: a, View: e.stack.View()})
+	case opBulk:
+		man, err := bulk.DecodeManifest(body)
+		if err != nil || man.Origin != d.Sender {
+			return // malformed or spoofed manifest
+		}
+		e.stack.Bulk().OnManifest(man)
 	}
 }
 

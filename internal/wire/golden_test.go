@@ -54,6 +54,14 @@ func goldenMessages() []*Message {
 		{Kind: KindJoinReq, From: 9, Group: 4, Body: AppendJoinBody(nil, "192.0.2.9:7000")},
 		{Kind: KindViewPropose, View: 9, Body: viewAddrs},
 		{Kind: KindViewCommit, View: 9, Body: viewAddrs},
+		// Bulk dissemination: a coded symbol (object 0x42, generation 1,
+		// index 5), the same symbol flagged for coordinator re-fanning, and
+		// a symbol request.
+		{Kind: KindBulkSym, From: 2, Sender: 1, Group: 4, Seq: 0x42,
+			Aux: 1<<32 | 5, Body: []byte("coded-symbol-bytes")},
+		{Kind: KindBulkSym, From: 2, Sender: 1, Group: 4, Seq: 0x42,
+			Aux: 1<<32 | 5, Flags: FlagBulkFan, Body: []byte("coded-symbol-bytes")},
+		{Kind: KindBulkReq, From: 7, Group: 4, Seq: 0x42, Aux: 2<<32 | 3},
 		// Piggybacked-ack variants: a data message and a causal data message
 		// each carrying a stability vector after the body.
 		{Kind: KindData, Flags: FlagPiggyAck, Sender: 3, Seq: 10, Body: []byte("pb"),

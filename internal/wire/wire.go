@@ -93,10 +93,19 @@ const (
 	// announcements from the leader back. Aux carries the epoch; the body
 	// is the hier package's op-tagged encoding.
 	KindHierCtl
+	// KindBulkSym carries one coded symbol of a bulk object (internal/bulk).
+	// Seq is the object ID, Aux packs generation<<32|index, and the body is
+	// the symbol payload. FlagBulkFan marks a symbol sent to a remote
+	// cluster coordinator for local re-fanning.
+	KindBulkSym
+	// KindBulkReq asks a peer to (re)send symbols of a bulk object the
+	// requester is missing. Seq is the object ID, Aux packs
+	// generation<<32|index of one wanted symbol.
+	KindBulkReq
 )
 
 // kindMax is the highest valid Kind; Decode rejects anything above it.
-const kindMax = KindHierCtl
+const kindMax = KindBulkReq
 
 // String returns the protocol name of the kind.
 func (k Kind) String() string {
@@ -149,6 +158,10 @@ func (k Kind) String() string {
 		return "repair-req"
 	case KindHierCtl:
 		return "hier-ctl"
+	case KindBulkSym:
+		return "bulk-sym"
+	case KindBulkReq:
+		return "bulk-req"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -175,6 +188,11 @@ const (
 	// reliable multicast layer attaches it to outgoing data so steady
 	// traffic needs no separate KindStable gossip datagrams.
 	FlagPiggyAck
+	// FlagBulkFan marks a KindBulkSym unicast to a remote cluster's
+	// coordinator, asking it to re-fan the symbol to its own cluster; the
+	// coordinator clears the flag on the local copies, bounding relay
+	// depth.
+	FlagBulkFan
 )
 
 // Encoding limits. Messages violating them fail to decode; they bound the

@@ -128,6 +128,13 @@ const (
 	// JoinFailed reports that the join attempt cap was exhausted; see
 	// Config.JoinAttempts.
 	JoinFailed = session.JoinFailed
+	// ObjectReceived reports a completed bulk-object transfer (see
+	// Node.Publish); Event.Object names it and Event.Payload holds its
+	// bytes.
+	ObjectReceived = session.ObjectReceived
+	// ObjectProgress reports bulk-transfer advancement: Event.Done of
+	// Event.Total generations decoded.
+	ObjectProgress = session.ObjectProgress
 )
 
 // Errors.
@@ -500,6 +507,30 @@ func (n *Node) Send(payload []byte) error {
 	err := ErrClosed
 	n.runner.Do(func() { err = n.sess.Send(payload) })
 	return err
+}
+
+// Publish disseminates a bulk object (a media file, a codebook, a
+// pre-distributed clip) to every participant via erasure-coded scatter
+// and peer relay: the publisher transmits on the order of the object
+// size once, not once per member. Receivers get ObjectProgress events
+// while symbols arrive and one ObjectReceived event with the object
+// bytes when their copy reconstructs. Object IDs at or above 1<<63 are
+// reserved for the session's internal state transfer.
+func (n *Node) Publish(objID uint64, data []byte) error {
+	err := ErrClosed
+	n.runner.Do(func() { err = n.sess.Publish(objID, data) })
+	return err
+}
+
+// Fetch returns a completed bulk object's bytes (published locally or
+// received from the session), and whether it is available.
+func (n *Node) Fetch(objID uint64) ([]byte, bool) {
+	var (
+		data []byte
+		ok   bool
+	)
+	n.runner.Do(func() { data, ok = n.sess.Fetch(objID) })
+	return data, ok
 }
 
 // Leave announces departure; call Close afterwards.

@@ -40,6 +40,13 @@ go test -short -count=1 ./internal/chaos
 echo "==> T7 recovery smoke (n=256)"
 go test -count=1 -run 'TestT7Smoke256' ./internal/experiments
 
+# Bulk-dissemination smoke: scatter a 128KB object to 64 members through
+# 5% correlated loss with one relay crashed mid-transfer; every survivor
+# must reconstruct and the bottleneck member must stay under 25% of the
+# flat multicast sender cost.
+echo "==> T9 bulk dissemination smoke (n=64, relay crash)"
+go test -count=1 -run 'TestT9Smoke64' ./internal/experiments
+
 echo "==> /metrics endpoint smoke test"
 go test -count=1 -run 'TestMetricsEndpoint' .
 
