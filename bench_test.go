@@ -51,6 +51,15 @@ func BenchmarkT2ThroughputVsGroupSize(b *testing.B) {
 	}
 }
 
+func BenchmarkT2bTotalOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.T2TotalOrderThroughput(benchOpts)
+		// Flat row, shards=4 cell: the sustained sharded total-order rate
+		// the pipelined range redesign is accountable for.
+		b.ReportMetric(cellFloat(b, t.Rows[0][2]), "t2-total-deliveries/s")
+	}
+}
+
 func BenchmarkT3ControlOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		t := experiments.T3ControlOverhead(benchOpts)

@@ -49,6 +49,7 @@ func run() int {
 	all := []experiment{
 		{"T1", table(experiments.T1LatencyVsGroupSize)},
 		{"T2", table(experiments.T2ThroughputVsGroupSize)},
+		{"T2B", table(experiments.T2TotalOrderThroughput)},
 		{"T3", table(experiments.T3ControlOverhead)},
 		{"T4", table(experiments.T4ViewChangeLatency)},
 		{"T5", table(experiments.T5PlayoutLoss)},

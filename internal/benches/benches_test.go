@@ -15,6 +15,7 @@ func BenchmarkRmcastMulticast(b *testing.B) {
 	b.Run("full", RmcastMulticastFull)
 	b.Run("encode", RmcastMulticastEncode)
 	b.Run("instrumented", RmcastMulticastInstrumented)
+	b.Run("total", RmcastMulticastTotal)
 }
 
 func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
@@ -75,6 +76,21 @@ func TestInstrumentedMulticastAddsNoAllocs(t *testing.T) {
 	}
 	if fr.Len() == 0 {
 		t.Fatal("flight recorder saw no sends: instrumentation not wired")
+	}
+}
+
+// TestTotalOrderMulticastAllocNeutral pins the sharded total-order hot
+// path at zero extra allocations: a Multicast through the range-ordering
+// machinery (open-run accumulation, shard queueing, periodic range flush
+// with merge directives) must fit the same <= 4 allocs/op budget as the
+// FIFO path — the ORDER plane rides entirely on reused scratch.
+func TestTotalOrderMulticastAllocNeutral(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts are inflated")
+	}
+	res := testing.Benchmark(RmcastMulticastTotal)
+	if allocs := res.AllocsPerOp(); allocs > 4 {
+		t.Fatalf("total-order Multicast allocates %d/op, want <= 4 (0 extra over FIFO)", allocs)
 	}
 }
 

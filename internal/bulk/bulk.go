@@ -99,6 +99,12 @@ type Config struct {
 	// coordinators of the remote clusters. Empty slices (topology not
 	// formed yet) fall back to the flat everyone fan.
 	RelayPlan func() (local, remote []id.Node)
+	// Distance, when non-nil, estimates the one-way delay to a peer
+	// (AutoHier stacks wire it to the overlay's RTT matrix). Repair
+	// requests then prefer the nearest peers instead of rotating blindly
+	// over the membership; peers with no estimate yet (a zero return)
+	// and a nil Distance keep the pure-rotation fallback.
+	Distance func(id.Node) time.Duration
 	// OnObject receives completed objects.
 	OnObject func(Object)
 	// OnProgress receives per-generation progress.
@@ -131,6 +137,7 @@ type Engine struct {
 	env     proto.Env
 	cfg     Config
 	members []id.Node // sorted; the scatter/request universe
+	near    []id.Node // members with known distance, nearest first
 	objects map[uint64]*object
 	order   []uint64 // insertion order, for deterministic ticks + eviction
 }
@@ -538,15 +545,52 @@ func (e *Engine) onRequest(from id.Node, msg *wire.Message) {
 // designated relay, the origin, and the rest of the group so a crashed
 // relay only costs one round.
 func (e *Engine) OnTick(now time.Time) {
+	refreshed := false
 	for _, objID := range e.order {
 		o := e.objects[objID]
 		if o == nil || o.complete || now.Before(o.nextReq) {
 			continue
 		}
+		if !refreshed {
+			// Distance estimates (the AutoHier RTT matrix) fill in over
+			// time; re-rank the pull-target preference once per request
+			// tick rather than per symbol.
+			e.refreshNear()
+			refreshed = true
+		}
 		o.nextReq = now.Add(e.cfg.RequestEvery)
 		o.round++
 		e.requestMissing(o)
 	}
+}
+
+// refreshNear rebuilds the nearest-first pull-target ranking: every
+// member (excluding self) with a known distance estimate, sorted by
+// (distance, id) so the order is deterministic. Members without an
+// estimate are left to the rotation fallback.
+func (e *Engine) refreshNear() {
+	e.near = e.near[:0]
+	if e.cfg.Distance == nil {
+		return
+	}
+	self := e.env.Self()
+	dist := make(map[id.Node]time.Duration, len(e.members))
+	for _, m := range e.members {
+		if m == self {
+			continue
+		}
+		if d := e.cfg.Distance(m); d > 0 {
+			dist[m] = d
+			e.near = append(e.near, m)
+		}
+	}
+	sort.Slice(e.near, func(i, j int) bool {
+		di, dj := dist[e.near[i]], dist[e.near[j]]
+		if di != dj {
+			return di < dj
+		}
+		return e.near[i] < e.near[j]
+	})
 }
 
 // requestMissing pulls up to MaxRequests missing data symbols. Only
@@ -581,8 +625,16 @@ func (e *Engine) requestMissing(o *object) {
 	}
 }
 
+// nearWindow bounds how many of the nearest peers the third request
+// phase rotates over: near enough to keep pulls cheap, wide enough that
+// receivers missing the same symbol don't all dogpile the single
+// nearest holder.
+const nearWindow = 4
+
 // requestTarget rotates a missing symbol's pull target: the designated
-// relay first, the origin next, then round-robin over the membership.
+// relay first, the origin next, then the nearest peers by the distance
+// estimate (AutoHier RTT matrix) — falling back to round-robin over the
+// whole membership when no estimates exist.
 func (e *Engine) requestTarget(o *object, gen, idx int, self id.Node) id.Node {
 	// Build the candidate preference deterministically per (round, symbol,
 	// requester): folding self in keeps the receivers that miss the same
@@ -597,9 +649,16 @@ func (e *Engine) requestTarget(o *object, gen, idx int, self id.Node) id.Node {
 		case t%3 == 1:
 			c = o.man.Origin
 		default:
-			if len(e.members) == 0 {
+			switch {
+			case len(e.near) > 0:
+				w := len(e.near)
+				if w > nearWindow {
+					w = nearWindow
+				}
+				c = e.near[int(t/3)%w]
+			case len(e.members) == 0:
 				c = o.man.Origin
-			} else {
+			default:
 				c = e.members[int(t/3)%len(e.members)]
 			}
 		}

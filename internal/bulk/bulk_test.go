@@ -10,6 +10,7 @@ import (
 	"scalamedia/internal/id"
 	"scalamedia/internal/netsim"
 	"scalamedia/internal/proto"
+	"scalamedia/internal/wire"
 )
 
 func TestManifestRoundTrip(t *testing.T) {
@@ -41,7 +42,7 @@ func TestManifestRejectsMalformed(t *testing.T) {
 	cases := []Manifest{
 		{Object: 1, Size: 100, SymbolSize: 64, K: 0, R: 2, GenHashes: []uint64{9}},
 		{Object: 1, Size: 100, SymbolSize: 0, K: 4, R: 2, GenHashes: []uint64{9}},
-		{Object: 1, Size: 100, SymbolSize: 64, K: 4, R: 2},                       // no generations
+		{Object: 1, Size: 100, SymbolSize: 64, K: 4, R: 2},                          // no generations
 		{Object: 1, Size: 9999, SymbolSize: 64, K: 4, R: 2, GenHashes: []uint64{9}}, // size overflows layout
 		{Object: 1, Size: 100, SymbolSize: 64, K: 200, R: 100, GenHashes: []uint64{9}},
 	}
@@ -240,5 +241,71 @@ func TestEvictionBoundsObjects(t *testing.T) {
 	}
 	if _, ok := e.Object(5); !ok {
 		t.Fatal("newest object evicted")
+	}
+}
+
+// stubEnv is a minimal proto.Env for unit-testing target selection
+// without a simulator.
+type stubEnv struct{ self id.Node }
+
+func (s stubEnv) Self() id.Node               { return s.self }
+func (s stubEnv) Now() time.Time              { return time.Time{} }
+func (s stubEnv) Send(id.Node, *wire.Message) {}
+
+func TestNearestFirstPullTargets(t *testing.T) {
+	// Distances: node 2 nearest, then 3, then 4; nodes 5..8 unknown (0).
+	dist := map[id.Node]time.Duration{
+		2: 2 * time.Millisecond,
+		3: 5 * time.Millisecond,
+		4: 9 * time.Millisecond,
+	}
+	e := New(stubEnv{self: 1}, Config{
+		Group:    1,
+		Distance: func(n id.Node) time.Duration { return dist[n] },
+	})
+	e.SetMembers([]id.Node{1, 2, 3, 4, 5, 6, 7, 8})
+	e.refreshNear()
+	if len(e.near) != 3 || e.near[0] != 2 || e.near[1] != 3 || e.near[2] != 4 {
+		t.Fatalf("near = %v, want [2 3 4]", e.near)
+	}
+
+	// The rotation phase (t%3 == 2) must draw from the near set, not the
+	// whole membership: over many rounds every non-relay, non-origin pick
+	// is one of the measured-near peers.
+	o := &object{man: Manifest{Object: 1, Origin: 9}, round: 1}
+	nearSet := map[id.Node]bool{2: true, 3: true, 4: true}
+	sawNear := false
+	for round := uint64(1); round <= 24; round++ {
+		o.round = round
+		c := e.requestTarget(o, 0, 0, 1)
+		if c == id.None || c == 1 {
+			t.Fatalf("round %d: target %s", round, c)
+		}
+		if c != o.man.Origin && nearSet[c] {
+			sawNear = true
+		}
+		if c != o.man.Origin && !nearSet[c] {
+			t.Fatalf("round %d: target %s is neither origin nor a near peer", round, c)
+		}
+	}
+	if !sawNear {
+		t.Fatal("rotation never picked a near peer")
+	}
+
+	// No distance knowledge: the near set is empty and the classic
+	// full-membership rotation still reaches members beyond the origin.
+	e2 := New(stubEnv{self: 1}, Config{Group: 1})
+	e2.SetMembers([]id.Node{1, 2, 3, 4, 5, 6, 7, 8})
+	e2.refreshNear()
+	if len(e2.near) != 0 {
+		t.Fatalf("near without Distance = %v, want empty", e2.near)
+	}
+	picked := map[id.Node]bool{}
+	for round := uint64(1); round <= 24; round++ {
+		o.round = round
+		picked[e2.requestTarget(o, 0, 0, 1)] = true
+	}
+	if len(picked) < 3 {
+		t.Fatalf("fallback rotation visited only %v", picked)
 	}
 }

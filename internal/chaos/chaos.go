@@ -43,6 +43,11 @@ type Options struct {
 	Nodes int
 	// Ordering is the multicast discipline. Defaults to rmcast.FIFO.
 	Ordering rmcast.Ordering
+	// OrderShards splits total-order sequencing across that many
+	// per-stream sequencer shards (see rmcast.Config.OrderShards). When
+	// > 1 the workload sprays messages across OrderShards streams so
+	// several shard sequencers actually assign slots.
+	OrderShards int
 	// Msgs is the number of workload multicasts. Defaults to 60.
 	Msgs int
 	// Window is the fault/workload window length. Defaults to 6s.
@@ -192,6 +197,7 @@ func Run(opts Options) *Trace {
 				Group:              group,
 				Contact:            contact,
 				Ordering:           opts.Ordering,
+				OrderShards:        opts.OrderShards,
 				PrimaryPartition:   true,
 				HeartbeatEvery:     chaosHeartbeat,
 				SuspectAfter:       chaosSuspectAfter,
@@ -231,6 +237,12 @@ func Run(opts Options) *Trace {
 	for i := 0; i < opts.Msgs; i++ {
 		sender := id.Node(1 + wl.Intn(opts.Nodes))
 		at := joinWindow + time.Duration(wl.Int63n(int64(opts.Window)))
+		// Under sharded total order the workload cycles through one stream
+		// per shard, so every sequencer shard assigns slots during the run.
+		stream := id.Stream(0)
+		if opts.OrderShards > 1 {
+			stream = id.Stream(i % opts.OrderShards)
+		}
 		sim.At(at, func() {
 			st := stacks[sender]
 			if st == nil || !sim.Up(sender) || st.Evicted() || st.Joining() {
@@ -242,7 +254,7 @@ func Run(opts Options) *Trace {
 			// Multicast self-delivers synchronously, and the message must
 			// not appear among its own obligations.
 			prefix := len(tr.Nodes[sender].Deliveries)
-			if err := st.Multicast(payload); err != nil {
+			if err := st.MulticastStream(stream, payload); err != nil {
 				counters[sender]--
 				return
 			}

@@ -136,6 +136,56 @@ func TestChaosSuppressionMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosShardedSequencerCrash pins the sharded total-order pipeline
+// under its worst fault: a handwritten schedule crashes node 2 — the
+// shard-1 sequencer under the Members[shard%size] mapping — while range
+// decisions are in flight, with a loss burst overlapping the resulting
+// view change, then restarts it. Ordering safety (mutual-prefix total
+// order), no-duplication and no-creation must hold across the crash,
+// the eviction view and the rejoin, on four seeds. The run must also
+// genuinely exercise sharding: several distinct members assign slots,
+// and the decisions travel as pipelined ranges, not per-slot orders.
+func TestChaosShardedSequencerCrash(t *testing.T) {
+	sched := chaos.Schedule{
+		{At: 1500 * time.Millisecond, Kind: chaos.Crash, Node: 2},
+		{At: 2 * time.Second, Kind: chaos.LossBurst, Loss: 0.2, Dur: time.Second},
+		{At: 3500 * time.Millisecond, Kind: chaos.Restart, Node: 2},
+	}
+	for _, seed := range []int64{7, 19, 33, 57} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tr := chaos.Run(chaos.Options{
+				Seed:        seed,
+				Nodes:       5,
+				Ordering:    rmcast.Total,
+				OrderShards: 4,
+				Msgs:        80,
+				Schedule:    sched,
+			})
+			if v := tr.Violations(); len(v) > 0 {
+				t.Error(chaos.FailureReport(
+					fmt.Sprintf("(sharded sequencer-crash schedule seed=%d)", seed),
+					tr.Schedule, v, tr.Flight))
+			}
+			sequencers := 0
+			var ranges uint64
+			for _, n := range tr.Order {
+				if tr.Nodes[n].Recovery.OrdersSent > 0 {
+					sequencers++
+				}
+				ranges += tr.Nodes[n].Recovery.OrderRanges
+			}
+			if sequencers < 2 {
+				t.Errorf("only %d members sequenced; sharding not exercised", sequencers)
+			}
+			if ranges == 0 {
+				t.Error("no range decisions sent: pipeline not exercised")
+			}
+		})
+	}
+}
+
 // TestChaosUnordered exercises the unordered discipline separately: the
 // agreement invariants don't apply (early delivery past a gap is the
 // point), but no-creation, no-duplication, validity, view convergence

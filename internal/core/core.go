@@ -33,6 +33,10 @@ type Config struct {
 	Contact id.Node
 	// Ordering is the multicast delivery discipline. Defaults to FIFO.
 	Ordering rmcast.Ordering
+	// OrderShards splits total-order sequencing across this many members
+	// by stream label; see rmcast.Config.OrderShards. 0 or 1 keeps the
+	// classic single sequencer.
+	OrderShards int
 
 	// Membership timing (zero values take the layer defaults).
 	HeartbeatEvery time.Duration
@@ -143,6 +147,7 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 	s.mcast = rmcast.New(env, rmcast.Config{
 		Group:              cfg.Group,
 		Ordering:           cfg.Ordering,
+		OrderShards:        cfg.OrderShards,
 		ResendAfter:        cfg.ResendAfter,
 		StabilizeEvery:     cfg.StabilizeEvery,
 		Suppression:        cfg.Suppression,
@@ -213,6 +218,7 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 	}
 	s.bulk = bulk.New(env, bulk.Config{
 		Group:        cfg.Group,
+		Distance:     dist,
 		SymbolSize:   cfg.BulkSymbolSize,
 		DataShards:   cfg.BulkDataShards,
 		RepairShards: cfg.BulkRepairShards,
@@ -273,10 +279,19 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 // through the self-organizing overlay under AutoHier (FIFO per origin),
 // through the flat group otherwise.
 func (s *Stack) Multicast(payload []byte) error {
+	return s.MulticastStream(0, payload)
+}
+
+// MulticastStream sends payload labelled with a media stream. Under
+// total ordering the label selects the sequencer shard that orders the
+// message (see rmcast.Config.OrderShards). The overlay path (AutoHier)
+// has no stream notion — delivery there is FIFO per origin regardless —
+// so the label is dropped.
+func (s *Stack) MulticastStream(stream id.Stream, payload []byte) error {
 	if s.hier != nil {
 		return s.hier.Multicast(payload)
 	}
-	return s.mcast.Multicast(payload)
+	return s.mcast.MulticastStream(stream, payload)
 }
 
 // Hier exposes the self-organizing overlay engine (nil unless AutoHier).

@@ -118,7 +118,10 @@ func AblationNackVsAck(o Options) Table {
 		// (gossip amortizes across time, not per message).
 		mcasts := float64(4 * per)
 		ackPerM := float64(ack.Net.SentByKind[wire.KindAck]) / mcasts
-		nackPerM := float64(nack.Net.SentByKind[wire.KindNack]) / mcasts
+		// NACKs ride per-tick coalesced KindNackBatch datagrams; count
+		// both kinds so the feedback-datagram measure survives batching.
+		nackPerM := float64(nack.Net.SentByKind[wire.KindNack]+
+			nack.Net.SentByKind[wire.KindNackBatch]) / mcasts
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", n),
 			ratio(ackPerM), ratio(nackPerM),
@@ -228,7 +231,9 @@ func AblationResendTimer(o Options) Table {
 	}
 	for _, rt := range timers {
 		r := runFlatTimer(n, per, rt, o.seed(1700))
-		nacks := float64(r.Net.SentByKind[wire.KindNack]) / float64(r.Delivered)
+		// Coalesced batches included, as in A2.
+		nacks := float64(r.Net.SentByKind[wire.KindNack]+
+			r.Net.SentByKind[wire.KindNackBatch]) / float64(r.Delivered)
 		t.Rows = append(t.Rows, []string{
 			ms(rt), msf(r.Latencies.Mean()), msf(r.Latencies.Percentile(99)),
 			fmt.Sprintf("%.3f", nacks),

@@ -32,6 +32,12 @@ type flatParams struct {
 	link     netsim.Link
 	payload  int
 	seed     int64
+	// shards enables sharded total-order sequencing; streams spreads each
+	// sender's messages round-robin over that many stream labels so the
+	// shards actually share the load. Zero values keep the single-stream,
+	// single-sequencer shape.
+	shards  int
+	streams int
 }
 
 // runFlat drives one flat reliable-multicast group through a Poisson-ish
@@ -67,8 +73,9 @@ func runFlat(p flatParams) flatResult {
 		m := m
 		sim.AddNode(m, func(env proto.Env) proto.Handler {
 			eng := rmcast.New(env, rmcast.Config{
-				Group:    1,
-				Ordering: p.ordering,
+				Group:       1,
+				Ordering:    p.ordering,
+				OrderShards: p.shards,
 				OnDeliver: func(d rmcast.Delivery) {
 					delivered++
 					if t0, ok := sentAt[sendKey{d.Sender, d.Seq}]; ok {
@@ -96,7 +103,11 @@ func runFlat(p flatParams) flatResult {
 				eng := engines[sender]
 				seq := eng.Counters().Sent + 1
 				sentAt[sendKey{sender, seq}] = sim.Now()
-				_ = eng.Multicast(payload)
+				stream := id.Stream(0)
+				if p.streams > 1 {
+					stream = id.Stream(seq % uint64(p.streams))
+				}
+				_ = eng.MulticastStream(stream, payload)
 			})
 		}
 	}
@@ -185,6 +196,54 @@ func T2ThroughputVsGroupSize(o Options) Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	return t
+}
+
+// T2TotalOrderThroughput extends T2 along the pipelined-range redesign
+// axis: sustained total-order delivery throughput of a 16-member group
+// driving four media streams at high rate, with the ordering plane split
+// over 1 vs 4 sequencer shards. The hier row runs the same workload
+// through the static hierarchical overlay for reference: the overlay's
+// guarantee is FIFO per origin — it has no total-order plane, so the
+// shard knob does not apply there and both cells measure the same
+// dissemination cost (the ceiling the flat ordered path is chasing).
+func T2TotalOrderThroughput(o Options) Table {
+	const n = 16
+	const streams = 4
+	senders, per := 4, 2000
+	gap := 200 * time.Microsecond
+	if o.Quick {
+		per = 600
+	}
+	t := Table{
+		ID: "T2b",
+		Title: fmt.Sprintf(
+			"Sustained total-order throughput, n=%d, %d streams (deliveries / wall-second)",
+			n, streams),
+		Columns: []string{"topology", "shards=1", "shards=4", "delivered"},
+	}
+	flatRow := []string{"flat (total)"}
+	var delivered string
+	for _, shards := range []int{1, 4} {
+		r := runFlat(flatParams{
+			n: n, ordering: rmcast.Total, senders: senders, perSend: per,
+			gap: gap, link: lanLink(0), seed: o.seed(250 + int64(shards)),
+			shards: shards, streams: streams,
+		})
+		flatRow = append(flatRow, fmt.Sprintf("%.0f", float64(r.Delivered)/r.Wall.Seconds()))
+		delivered = fmt.Sprintf("%d/%d", r.Delivered, r.Expected)
+	}
+	t.Rows = append(t.Rows, append(flatRow, delivered))
+	hierRow := []string{"hier (fifo/origin)"}
+	for range []int{1, 4} {
+		r := runHier(hierParams{
+			n: n, clusterSize: 8, senders: senders, perSend: per,
+			gap: gap, link: lanLink(0), seed: o.seed(255),
+		})
+		hierRow = append(hierRow, fmt.Sprintf("%.0f", float64(r.Delivered)/r.Wall.Seconds()))
+		delivered = fmt.Sprintf("%d/%d", r.Delivered, r.Expected)
+	}
+	t.Rows = append(t.Rows, append(hierRow, delivered))
 	return t
 }
 

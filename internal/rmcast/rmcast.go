@@ -19,8 +19,15 @@
 //   - FIFO delivers each sender's stream in sequence order.
 //   - Causal stamps messages with a vector clock over the view's member
 //     ranks and delays delivery until causally deliverable.
-//   - Total routes all delivery through slots assigned by a sequencer
-//     (the view coordinator), giving one agreed delivery order.
+//   - Total routes all delivery through slots assigned by per-shard
+//     sequencers. Each message's stream label hashes to a shard and each
+//     shard to a sequencer member (shard 0 is the view coordinator, so
+//     OrderShards=1 degenerates to the classic single sequencer). A
+//     sequencer assigns contiguous slot ranges per (sender, seq-run) and
+//     announces them as pipelined KindOrderRange decisions — many ranges
+//     in flight before earlier ones finish delivering — while the view
+//     coordinator interleaves the per-shard slot spaces into the one
+//     global delivery order with merge directives on the same wire kind.
 //
 // Stability gossip (KindStable) carries, for every sender, the highest
 // contiguously delivered sequence number. A message acknowledged by every
@@ -100,6 +107,7 @@ type Delivery struct {
 	Sender  id.Node
 	Seq     uint64
 	View    id.View
+	Stream  id.Stream
 	Payload []byte
 }
 
@@ -109,6 +117,15 @@ type Config struct {
 	Group id.Group
 	// Ordering selects the delivery discipline. Defaults to FIFO.
 	Ordering Ordering
+	// OrderShards splits total-order sequencing across this many
+	// members: each message's stream label (MulticastStream) hashes to a
+	// shard, each shard to a sequencer member — shard 0 is the view
+	// coordinator — and the coordinator's merge directives fix one
+	// global delivery order across the shard slot spaces. 0 or 1 keeps
+	// the classic single-sequencer semantics. Forced to 1 unless
+	// Ordering is Total, and under DisableBatching (the legacy per-slot
+	// wire protocol has no shard field). Capped at 256.
+	OrderShards int
 	// OnDeliver receives application messages. Called from the event
 	// loop; must not block.
 	OnDeliver func(Delivery)
@@ -176,7 +193,8 @@ type Counters struct {
 	NacksServed  uint64 // retransmissions sent in response to NACKs
 	Retransmits  uint64 // retransmissions received
 	FlushResends uint64 // messages re-sent by Flush
-	OrdersSent   uint64 // sequencer slot assignments broadcast
+	OrdersSent   uint64 // sequencer slot assignments (messages sequenced)
+	OrderRanges  uint64 // ordering units + merge directives broadcast
 	PiggyAcks    uint64 // ack vectors piggybacked on outgoing data
 	GossipAcks   uint64 // standalone stability gossip broadcasts
 
@@ -203,6 +221,7 @@ type engMetrics struct {
 	retransmits  *stats.Counter
 	flushResends *stats.Counter
 	ordersSent   *stats.Counter
+	orderRanges  *stats.Counter
 	piggyAcks    *stats.Counter
 	gossipAcks   *stats.Counter
 
@@ -227,6 +246,7 @@ func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
 			retransmits:       &stats.Counter{},
 			flushResends:      &stats.Counter{},
 			ordersSent:        &stats.Counter{},
+			orderRanges:       &stats.Counter{},
 			piggyAcks:         &stats.Counter{},
 			gossipAcks:        &stats.Counter{},
 			nacksSuppressed:   &stats.Counter{},
@@ -245,6 +265,7 @@ func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
 		retransmits:       reg.Counter(prefix + "retransmits_recv"),
 		flushResends:      reg.Counter(prefix + "flush_resends"),
 		ordersSent:        reg.Counter(prefix + "orders_sent"),
+		orderRanges:       reg.Counter(prefix + "order_ranges"),
 		piggyAcks:         reg.Counter(prefix + "acks_piggybacked"),
 		gossipAcks:        reg.Counter(prefix + "acks_gossiped"),
 		nacksSuppressed:   reg.Counter(prefix + "nacks_suppressed"),
@@ -261,12 +282,53 @@ type msgKey struct {
 	seq    uint64
 }
 
+// queuedSend is one multicast deferred by a view-change freeze.
+type queuedSend struct {
+	stream  id.Stream
+	payload []byte
+}
+
+// shardState is one ordering shard: the receiver-side decision log and
+// delivery cursor for the shard's slot space, plus the sequencer-side
+// assignment buffer used when this node sequences the shard.
+//
+// Decisions are immutable units (wire.OrderRange values): a unit is
+// announced once, re-served verbatim during recovery, and never split or
+// coalesced after the flush that numbered it. Receivers therefore dedup
+// by slot position alone — a unit starting below decideNext is known in
+// full — and the log needs no per-slot index.
+type shardState struct {
+	decideNext uint64                     // lowest slot not covered by log
+	log        []wire.OrderRange          // contiguous admitted units, slot order
+	pend       map[uint64]wire.OrderRange // out-of-order units by SlotFrom
+	logIdx     int                        // delivery cursor: index into log
+	logOff     uint32                     // delivery cursor: offset into log[logIdx]
+	waiting    int                        // reliable messages queued on this shard
+
+	// Sequencer state: seq-runs accumulated since the last flush. Slots
+	// are assigned at flush time (SlotFrom stays unset in assign), so a
+	// sender's burst collapses into one range no matter how its
+	// arrivals interleave with other senders.
+	seqSlot    uint64            // next slot to assign at flush
+	assign     []wire.OrderRange // open runs awaiting slot assignment
+	assignMsgs int               // messages covered by assign
+	openRun    map[id.Node]int   // sender -> growable run index in assign
+}
+
 // peerState tracks the reliable stream from one sender.
 type peerState struct {
 	next    uint64                   // lowest sequence number not yet contiguously received
 	buf     map[uint64]*wire.Message // received out-of-order messages >= next
 	early   map[uint64]bool          // delivered ahead of order (Unordered mode)
 	horizon uint64                   // highest sequence known to exist
+
+	// Total ordering: per-shard FIFO queues of reliable-but-undelivered
+	// messages. A sender's messages on one shard are sequenced in seq
+	// order, so the queue front is always the next message any ordering
+	// unit for (sender, shard) can reference — delivery is a cursor pop,
+	// no per-message map. Indexed by shard; allocated only under Total.
+	oq     [][]*wire.Message
+	oqHead []int
 
 	// Flat-recovery state: unicast re-NACK pacing with capped
 	// exponential backoff (DisableSuppression mode).
@@ -298,34 +360,61 @@ type Engine struct {
 	peers map[id.Node]*peerState
 
 	// History of delivered-but-unstable messages for flush and NACK
-	// service, keyed per view.
+	// service, keyed per view. Entries arrive in contiguous per-sender
+	// sequence order (only the reliable prefix is stored), so histMin and
+	// histMax bracket each sender's resident range and stability pruning
+	// walks the stable prefix directly instead of scanning the whole map.
 	history map[msgKey]*wire.Message
+	histMin map[id.Node]uint64
+	histMax map[id.Node]uint64
 
 	// Causal holding pool: reliable-but-not-yet-deliverable messages.
 	causalPool []*wire.Message
 
-	// Total-order state.
-	totalNext uint64            // next slot to deliver
-	orders    map[uint64]msgKey // slot -> message
-	ordered   map[msgKey]bool   // messages already assigned a slot (sequencer)
-	stash     map[msgKey]*wire.Message
-	seqSlot   uint64 // sequencer: next slot to assign
+	// Total-order state: per-shard decision logs and sequencer-side
+	// assignment buffers (see shardState), plus the global merge stream
+	// that interleaves shard slot spaces when sharding is on.
+	nshards     int
+	shards      []shardState
+	totalNext   uint64 // global messages delivered in total order
+	pendingData int    // reliable messages queued undelivered across shards
+
+	// Merge stream (only used when nshards > 1). The view coordinator
+	// covers newly decided slots with MergeEntry directives; receivers
+	// admit them contiguously by From and consume shard logs
+	// accordingly, so every member interleaves shards identically.
+	mergeNext uint64 // lowest merge-stream index not covered by mergeLog
+	mergeLog  []wire.MergeEntry
+	mergePend map[uint64]wire.MergeEntry // out-of-order directives by From
+	mergeIdx  int    // delivery cursor: index into mergeLog
+	mergeOff  uint32 // delivery cursor: offset into mergeLog[mergeIdx]
+	mergeSeq  uint64 // coordinator: next merge-stream index to cover
+	pendMerge []wire.MergeEntry // coordinator: directives awaiting broadcast
+	// Coordinator: foreign sequencers' units relayed for rebroadcast.
+	// Non-coordinator sequencers unicast their flushed ranges here
+	// instead of broadcasting, so the whole group sees one ordering
+	// datagram stream (ranges + merges together) rather than one
+	// broadcast per shard plus a separate merge broadcast.
+	pendRanges []wire.OrderRange
 
 	// Stability: per-member ack vectors.
 	ackMatrix     map[id.Node]map[id.Node]uint64
 	lastGossip    time.Time // last time the local vector went out (gossip or piggyback)
 	lastStableTry time.Time // last periodic gossip consideration
 	ackDirty      bool      // local vector changed since it last went out
+	ackMerges     uint8     // merges since the last inline stability collection
 	lastOrderNack time.Time
 
 	// Batched control traffic, flushed per tick.
-	pendingOrders []wire.OrderEntry            // sequencer slots awaiting broadcast
-	nackQueue     map[id.Node][]wire.NackRange // coalesced NACKs per destination
+	nackQueue map[id.Node][]wire.NackRange // coalesced NACKs per destination
 
 	// Reusable scratch to keep the steady-state send path allocation-free.
 	ackScratch   []wire.AckEntry
-	orderScratch []wire.OrderEntry
 	bodyScratch  []byte
+	rangeScratch []wire.OrderRange
+	mergeScratch []wire.MergeEntry
+	decRanges    []wire.OrderRange // KindOrderRange decode scratch
+	decMerges    []wire.MergeEntry
 
 	// Messages for a view newer than the installed one, replayed after
 	// installation.
@@ -336,7 +425,7 @@ type Engine struct {
 	// membership layer's flush-convergence check stays authoritative
 	// (see Freeze).
 	frozen    bool
-	sendQueue [][]byte
+	sendQueue []queuedSend
 
 	// Scalable recovery (see suppress.go): normalized tuning, armed
 	// repair timers per original sender, the duplicate-repair damping
@@ -376,16 +465,22 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.MetricsPrefix == "" {
 		cfg.MetricsPrefix = "rmcast."
 	}
-	return &Engine{
+	if cfg.OrderShards < 1 || cfg.Ordering != Total || cfg.DisableBatching {
+		cfg.OrderShards = 1
+	}
+	if cfg.OrderShards > 256 {
+		cfg.OrderShards = 256 // the wire shard field is a uint8
+	}
+	e := &Engine{
 		env:           env,
 		cfg:           cfg,
 		met:           newEngMetrics(cfg.Metrics, cfg.MetricsPrefix),
 		rank:          -1,
+		nshards:       cfg.OrderShards,
 		peers:         make(map[id.Node]*peerState),
 		history:       make(map[msgKey]*wire.Message),
-		orders:        make(map[uint64]msgKey),
-		ordered:       make(map[msgKey]bool),
-		stash:         make(map[msgKey]*wire.Message),
+		histMin:       make(map[id.Node]uint64),
+		histMax:       make(map[id.Node]uint64),
 		ackMatrix:     make(map[id.Node]map[id.Node]uint64),
 		nackQueue:     make(map[id.Node][]wire.NackRange),
 		sup:           cfg.Suppression.withDefaults(),
@@ -395,6 +490,24 @@ func New(env proto.Env, cfg Config) *Engine {
 		// and any rerun of it — draws the same timer sequence.
 		rng: rand.New(rand.NewSource(int64(mix64(uint64(env.Self()) + 0x5eed)))),
 	}
+	e.resetShards()
+	return e
+}
+
+// resetShards rebuilds the per-shard total-order state for a new view.
+func (e *Engine) resetShards() {
+	e.shards = make([]shardState, e.nshards)
+	for i := range e.shards {
+		e.shards[i].openRun = make(map[id.Node]int)
+	}
+	e.totalNext = 0
+	e.pendingData = 0
+	e.mergeNext, e.mergeSeq = 0, 0
+	e.mergeIdx, e.mergeOff = 0, 0
+	e.mergeLog = nil
+	e.mergePend = nil
+	e.pendMerge = e.pendMerge[:0]
+	e.pendRanges = e.pendRanges[:0]
 }
 
 // Counters returns a copy of the protocol event counters.
@@ -408,6 +521,7 @@ func (e *Engine) Counters() Counters {
 		Retransmits:  e.met.retransmits.Value(),
 		FlushResends: e.met.flushResends.Value(),
 		OrdersSent:   e.met.ordersSent.Value(),
+		OrderRanges:  e.met.orderRanges.Value(),
 		PiggyAcks:    e.met.piggyAcks.Value(),
 		GossipAcks:   e.met.gossipAcks.Value(),
 
@@ -439,16 +553,13 @@ func (e *Engine) SetView(v member.View) {
 	e.vc = vclock.New(v.Size())
 	e.peers = make(map[id.Node]*peerState)
 	e.history = make(map[msgKey]*wire.Message)
+	clear(e.histMin)
+	clear(e.histMax)
 	e.causalPool = nil
-	e.totalNext = 0
-	e.orders = make(map[uint64]msgKey)
-	e.ordered = make(map[msgKey]bool)
-	e.stash = make(map[msgKey]*wire.Message)
-	e.seqSlot = 0
+	e.resetShards()
 	e.ackMatrix = make(map[id.Node]map[id.Node]uint64)
 	e.frozen = false
 	e.ackDirty = false
-	e.pendingOrders = e.pendingOrders[:0]
 	e.nackQueue = make(map[id.Node][]wire.NackRange)
 	e.repairs = make(map[id.Node]*repairJob)
 	e.recentRepairs = make(map[msgKey]time.Time)
@@ -471,8 +582,8 @@ func (e *Engine) SetView(v member.View) {
 	queued := e.sendQueue
 	e.sendQueue = nil
 	if e.rank >= 0 {
-		for _, p := range queued {
-			e.Multicast(p)
+		for _, q := range queued {
+			e.MulticastStream(q.stream, q.payload)
 		}
 	}
 }
@@ -482,9 +593,11 @@ func (e *Engine) SetView(v member.View) {
 // gate every surviving member holds the same blocked set, so the policy
 // below keeps delivery sequences identical across members:
 //
-//   - Total: stashed messages whose slot assignment died with the
-//     sequencer are delivered in (sender, seq) order — the same order
-//     everywhere, appended after the same delivered-slot prefix.
+//   - Total: queued messages whose ordering decisions died with a shard
+//     sequencer (or were never assigned, or whose merge directives the
+//     old coordinator never issued) are delivered in (sender, seq)
+//     order — the same order everywhere, appended after the same
+//     delivered prefix the flush-convergence gate equalized.
 //   - Causal: pool remnants are dropped. A remnant's dependency was
 //     delivered by no survivor (a live holder would have flushed it), so
 //     delivering the remnant would violate causality, and dropping it is
@@ -492,24 +605,27 @@ func (e *Engine) SetView(v member.View) {
 //   - FIFO/unordered gap buffers are dropped for the same reason: the
 //     gap message exists nowhere among the survivors.
 func (e *Engine) drainForViewChange() {
-	if e.view.ID == 0 || e.cfg.Ordering != Total || len(e.stash) == 0 {
+	if e.view.ID == 0 || e.cfg.Ordering != Total || e.pendingData == 0 {
 		return
 	}
-	keys := make([]msgKey, 0, len(e.stash))
-	for k := range e.stash {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].sender != keys[j].sender {
-			return keys[i].sender < keys[j].sender
+	rest := make([]*wire.Message, 0, e.pendingData)
+	for _, st := range e.peers {
+		for s := range st.oq {
+			for i := st.oqHead[s]; i < len(st.oq[s]); i++ {
+				rest = append(rest, st.oq[s][i])
+			}
 		}
-		return keys[i].seq < keys[j].seq
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].Sender != rest[j].Sender {
+			return rest[i].Sender < rest[j].Sender
+		}
+		return rest[i].Seq < rest[j].Seq
 	})
-	for _, k := range keys {
-		m := e.stash[k]
-		delete(e.stash, k)
+	for _, m := range rest {
 		e.deliver(m)
 	}
+	e.pendingData = 0
 }
 
 // Freeze defers new multicasts and new sequencer slot assignments until
@@ -540,6 +656,10 @@ func (e *Engine) Flush(proposed member.View) {
 	if e.view.ID == 0 {
 		return
 	}
+	// Prune first: the inline collection is throttled, so the history may
+	// hold entries the ack matrix already proves stable — retransmitting
+	// those would be wasted flush traffic.
+	e.collectStable()
 	// Iterate in (sender, seq) order so the datagram sequence — and with
 	// it a seeded simulation — is identical on every run.
 	keys := make([]msgKey, 0, len(e.history))
@@ -567,9 +687,21 @@ func (e *Engine) Flush(proposed member.View) {
 	}
 }
 
-// Multicast sends payload to the current view. The local node delivers
-// its own message through the same pipeline as remote receivers.
+// Multicast sends payload to the current view on stream 0. The local
+// node delivers its own message through the same pipeline as remote
+// receivers.
 func (e *Engine) Multicast(payload []byte) error {
+	return e.MulticastStream(0, payload)
+}
+
+// MulticastStream sends payload labelled with a media stream. Under
+// total ordering with sequencer sharding the label selects the shard —
+// and with it the sequencer member — that orders the message, so
+// independent streams stop serializing through one node while each
+// stream stays totally ordered and the coordinator's merge rule fixes
+// one global order across streams. Other orderings carry the label
+// through to Delivery untouched.
+func (e *Engine) MulticastStream(stream id.Stream, payload []byte) error {
 	if e.view.ID == 0 || e.rank < 0 {
 		return ErrNoView
 	}
@@ -580,7 +712,9 @@ func (e *Engine) Multicast(payload []byte) error {
 		// A view change is flushing: defer to the next view rather than
 		// race the flush-convergence check.
 		if len(e.sendQueue) < 4096 {
-			e.sendQueue = append(e.sendQueue, append([]byte(nil), payload...))
+			e.sendQueue = append(e.sendQueue, queuedSend{
+				stream: stream, payload: append([]byte(nil), payload...),
+			})
 		}
 		return nil
 	}
@@ -591,6 +725,7 @@ func (e *Engine) Multicast(payload []byte) error {
 		View:   e.view.ID,
 		Sender: e.env.Self(),
 		Seq:    e.nextSend,
+		Stream: stream,
 		Body:   append([]byte(nil), payload...),
 	}
 	switch e.cfg.Ordering {
@@ -663,7 +798,7 @@ func (e *Engine) OnMessage(from id.Node, msg *wire.Message) {
 		e.onNackBatch(from, msg)
 	case wire.KindRepairReq:
 		e.onRepairReq(from, msg)
-	case wire.KindOrder, wire.KindOrderBatch:
+	case wire.KindOrder, wire.KindOrderBatch, wire.KindOrderRange:
 		e.routeOrder(msg)
 	case wire.KindStable:
 		e.onStable(from, msg)
@@ -688,9 +823,12 @@ func (e *Engine) routeData(msg *wire.Message) {
 func (e *Engine) routeOrder(msg *wire.Message) {
 	switch {
 	case msg.View == e.view.ID && e.view.ID != 0:
-		if msg.Kind == wire.KindOrderBatch {
+		switch msg.Kind {
+		case wire.KindOrderRange:
+			e.onOrderRange(msg)
+		case wire.KindOrderBatch:
 			e.onOrderBatch(msg)
-		} else {
+		default:
 			e.onOrder(msg)
 		}
 	case msg.View > e.view.ID:
@@ -702,12 +840,15 @@ func (e *Engine) routeOrder(msg *wire.Message) {
 
 // dispatch runs the reliability stage for a current-view message.
 func (e *Engine) dispatch(msg *wire.Message) {
-	if msg.Kind == wire.KindOrder {
+	switch msg.Kind {
+	case wire.KindOrder:
 		e.onOrder(msg)
 		return
-	}
-	if msg.Kind == wire.KindOrderBatch {
+	case wire.KindOrderBatch:
 		e.onOrderBatch(msg)
+		return
+	case wire.KindOrderRange:
+		e.onOrderRange(msg)
 		return
 	}
 	st := e.peer(msg.Sender)
@@ -750,7 +891,11 @@ func (e *Engine) dispatch(msg *wire.Message) {
 func (e *Engine) contiguous(msg *wire.Message, st *peerState) {
 	key := msgKey{sender: msg.Sender, seq: msg.Seq}
 	e.history[key] = msg
-	e.ackDirty = true // the local ack vector advances with st.next
+	if _, ok := e.histMin[msg.Sender]; !ok {
+		e.histMin[msg.Sender] = msg.Seq
+	}
+	e.histMax[msg.Sender] = msg.Seq // contiguous: always the new maximum
+	e.ackDirty = true               // the local ack vector advances with st.next
 	switch e.cfg.Ordering {
 	case Unordered:
 		if st.early[msg.Seq] {
@@ -764,8 +909,11 @@ func (e *Engine) contiguous(msg *wire.Message, st *peerState) {
 		e.causalPool = append(e.causalPool, msg)
 		e.drainCausal()
 	case Total:
-		e.stash[key] = msg
-		e.sequenceIfMine(key)
+		shard := e.shardOf(msg.Stream)
+		st.oq[shard] = append(st.oq[shard], msg)
+		e.shards[shard].waiting++
+		e.pendingData++
+		e.offerTotal(shard, msg)
 		e.drainTotal()
 	}
 }
@@ -782,6 +930,7 @@ func (e *Engine) deliver(msg *wire.Message) {
 		Sender:  msg.Sender,
 		Seq:     msg.Seq,
 		View:    msg.View,
+		Stream:  msg.Stream,
 		Payload: msg.Body,
 	})
 }
@@ -812,38 +961,84 @@ func (e *Engine) drainCausal() {
 	}
 }
 
-// sequenceIfMine assigns a total-order slot when this node is the view's
-// sequencer and the message has no slot yet.
-func (e *Engine) sequenceIfMine(key msgKey) {
-	if e.view.Coordinator() != e.env.Self() || e.ordered[key] {
-		return
+// shardOf maps a stream label to its ordering shard. Stream 0 — plain
+// Multicast — always lands on shard 0, so unlabelled traffic keeps the
+// single-sequencer behavior regardless of OrderShards.
+func (e *Engine) shardOf(stream id.Stream) int {
+	if e.nshards <= 1 {
+		return 0
 	}
-	if e.frozen {
-		// No new slots during a view change: every slot assigned before
-		// the freeze is reflected in the sequencer's own slot count, so
-		// the flush-convergence check forces all members to catch up to
-		// it; a slot assigned after would escape the check. Unassigned
-		// messages are drained deterministically at SetView.
-		return
-	}
-	e.ordered[key] = true
-	slot := e.seqSlot
-	e.seqSlot++
-	e.orders[slot] = key
-	e.met.ordersSent.Inc()
-	if e.cfg.DisableBatching {
-		e.broadcastOrder(slot, key)
-		return
-	}
-	// Aggregate into one KindOrderBatch per tick (see flushOrders). The
-	// local orders map already has the slot, so local total-order
-	// delivery is unaffected by the deferral.
-	e.pendingOrders = append(e.pendingOrders, wire.OrderEntry{
-		Slot: slot, Sender: key.sender, Seq: key.seq,
-	})
+	return int((uint32(stream) * 0x9e3779b1) % uint32(e.nshards))
 }
 
-// broadcastOrder announces one slot assignment to the other members.
+// sequencerOf returns the member sequencing a shard in the current view.
+// Shard 0 maps to the view coordinator, preserving the classic layout
+// when OrderShards is 1.
+func (e *Engine) sequencerOf(shard int) id.Node {
+	return e.view.Members[shard%e.view.Size()]
+}
+
+// rangeFlushThreshold caps how many sequenced messages accumulate before
+// the sequencer flushes mid-tick. Under sustained load this keeps
+// multiple ranges in flight (pipelining) and bounds sequencer-side
+// latency; at low rate the per-tick flush bounds latency instead.
+const rangeFlushThreshold = 256
+
+// offerTotal is the sequencer half of total-order reception: when this
+// node sequences the message's shard, the message joins the shard's open
+// seq-run for its sender and receives a slot at the next flush. Runs
+// grow while a sender's sequence numbers on the shard stay contiguous,
+// so ordering metadata is O(runs), not O(messages).
+func (e *Engine) offerTotal(shard int, msg *wire.Message) {
+	if e.frozen || e.view.Size() == 0 || e.sequencerOf(shard) != e.env.Self() {
+		// No new assignments during a view change: every slot assigned
+		// before the freeze is reflected in the sequencer's own
+		// delivered-slot count, so the flush-convergence check forces
+		// all members to catch up; a slot assigned after would escape
+		// the check. Unassigned messages drain at SetView.
+		return
+	}
+	sh := &e.shards[shard]
+	e.met.ordersSent.Inc()
+	if e.cfg.DisableBatching {
+		// Legacy per-slot path (T3 ablation): assign and announce
+		// immediately, one KindOrder datagram per message per member.
+		slot := sh.seqSlot
+		sh.seqSlot++
+		e.broadcastOrder(slot, msgKey{sender: msg.Sender, seq: msg.Seq})
+		e.admitRange(wire.OrderRange{
+			SlotFrom: slot, Sender: msg.Sender, SeqFrom: msg.Seq, Count: 1,
+		})
+		return
+	}
+	if i, ok := sh.openRun[msg.Sender]; ok {
+		if r := &sh.assign[i]; r.SeqFrom+uint64(r.Count) == msg.Seq {
+			r.Count++
+			sh.assignMsgs++
+			e.maybeFlushMidTick(sh)
+			return
+		}
+	}
+	sh.assign = append(sh.assign, wire.OrderRange{
+		Shard: uint8(shard), Sender: msg.Sender, SeqFrom: msg.Seq, Count: 1,
+	})
+	sh.openRun[msg.Sender] = len(sh.assign) - 1
+	sh.assignMsgs++
+	e.maybeFlushMidTick(sh)
+}
+
+// maybeFlushMidTick flushes between ticks once enough assignments are
+// pending — the pipelining half of range ordering — and immediately in a
+// singleton view, where announcements reach nobody and deferring would
+// only delay local delivery.
+func (e *Engine) maybeFlushMidTick(sh *shardState) {
+	if sh.assignMsgs >= rangeFlushThreshold || e.view.Size() == 1 {
+		e.flushOrders()
+	}
+}
+
+// broadcastOrder announces one slot assignment to the other members
+// (legacy per-slot path, DisableBatching only).
 func (e *Engine) broadcastOrder(slot uint64, key msgKey) {
 	for _, m := range e.view.Members {
 		if m == e.env.Self() {
@@ -860,48 +1055,213 @@ func (e *Engine) broadcastOrder(slot uint64, key msgKey) {
 	}
 }
 
-// onOrder records a sequencer slot assignment.
+// onOrder records one legacy per-slot assignment (shard 0).
 func (e *Engine) onOrder(msg *wire.Message) {
-	key := msgKey{sender: msg.Sender, seq: msg.Seq}
-	if _, ok := e.orders[msg.Aux]; !ok {
-		e.orders[msg.Aux] = key
-	}
-	e.ordered[key] = true
+	e.admitRange(wire.OrderRange{
+		SlotFrom: msg.Aux, Sender: msg.Sender, SeqFrom: msg.Seq, Count: 1,
+	})
 	e.drainTotal()
 }
 
-// onOrderBatch records every slot assignment in an aggregated
-// announcement, then drains once.
+// onOrderBatch records every assignment in a legacy aggregated
+// announcement (shard 0), then drains once.
 func (e *Engine) onOrderBatch(msg *wire.Message) {
 	entries, _, err := wire.DecodeOrderBatch(msg.Body)
 	if err != nil {
 		return
 	}
 	for _, o := range entries {
-		key := msgKey{sender: o.Sender, seq: o.Seq}
-		if _, ok := e.orders[o.Slot]; !ok {
-			e.orders[o.Slot] = key
-		}
-		e.ordered[key] = true
+		e.admitRange(wire.OrderRange{
+			SlotFrom: o.Slot, Sender: o.Sender, SeqFrom: o.Seq, Count: 1,
+		})
 	}
 	e.drainTotal()
 }
 
-// drainTotal delivers stashed messages whose slots are contiguous.
-func (e *Engine) drainTotal() {
+// onOrderRange admits every ordering unit and merge directive in a
+// pipelined range announcement, then drains once.
+func (e *Engine) onOrderRange(msg *wire.Message) {
+	rs, ms, _, err := wire.AppendDecodedOrderRanges(e.decRanges[:0], e.decMerges[:0], msg.Body)
+	if err != nil {
+		return
+	}
+	e.decRanges, e.decMerges = rs, ms
+	for _, r := range rs {
+		e.admitRange(r)
+	}
+	for _, m := range ms {
+		e.admitMerge(m)
+	}
+	// Units relayed by a foreign sequencer (Aux marks the relay; recovery
+	// replies share the wire kind but carry Aux 0) are queued for the
+	// coordinator's combined rebroadcast — the rest of the group learns
+	// them from the same datagrams as the merge directives covering them.
+	if msg.Aux == orderRelayTag && e.nshards > 1 &&
+		e.view.Coordinator() == e.env.Self() {
+		e.pendRanges = append(e.pendRanges, rs...)
+	}
+	// The coordinator covers other shards' decisions with merge
+	// directives as they arrive; push them out without waiting for the
+	// tick once enough accumulate, so cross-shard delivery pipelines at
+	// the same cadence as the shard announcements feeding it.
+	if len(e.pendMerge)+len(e.pendRanges) >= rangeFlushThreshold {
+		e.flushOrders()
+	}
+	e.drainTotal()
+}
+
+// admitRange installs one immutable ordering unit into its shard's
+// decision log. A unit starting below decideNext is a duplicate in full:
+// units are never split or re-coalesced after flush, so partial overlap
+// cannot occur. At the view coordinator each newly contiguous unit also
+// extends the global merge stream when sharding is on. Callers drain.
+func (e *Engine) admitRange(r wire.OrderRange) {
+	if int(r.Shard) >= len(e.shards) || r.Count == 0 {
+		return
+	}
+	sh := &e.shards[r.Shard]
+	if r.SlotFrom < sh.decideNext {
+		return // duplicate
+	}
+	if r.SlotFrom > sh.decideNext {
+		if sh.pend == nil {
+			sh.pend = make(map[uint64]wire.OrderRange)
+		}
+		if _, ok := sh.pend[r.SlotFrom]; !ok {
+			sh.pend[r.SlotFrom] = r
+		}
+		return
+	}
+	grew := uint32(0)
 	for {
-		key, ok := e.orders[e.totalNext]
+		sh.log = append(sh.log, r)
+		sh.decideNext = r.SlotFrom + uint64(r.Count)
+		grew += r.Count
+		// A decision proves the data exists: bump the sender's horizon
+		// so missing data is NACKed promptly.
+		st := e.peer(r.Sender)
+		if hz := r.SeqFrom + uint64(r.Count) - 1; hz > st.horizon {
+			st.horizon = hz
+		}
+		nr, ok := sh.pend[sh.decideNext]
+		if !ok {
+			break
+		}
+		delete(sh.pend, sh.decideNext)
+		r = nr
+	}
+	if e.nshards > 1 && !e.frozen && e.view.Coordinator() == e.env.Self() {
+		e.mergeCover(int(r.Shard), grew)
+	}
+}
+
+// mergeCover extends the coordinator's global merge stream over count
+// newly decided slots of a shard, coalescing with the pending tail when
+// it targets the same shard. One coordinator generates the merge stream
+// per view, so every member interleaves the shard slot spaces
+// identically — that is the whole determinism argument.
+func (e *Engine) mergeCover(shard int, count uint32) {
+	if n := len(e.pendMerge); n > 0 && int(e.pendMerge[n-1].Shard) == shard {
+		e.pendMerge[n-1].Count += count
+		e.mergeSeq += uint64(count)
+		return
+	}
+	e.pendMerge = append(e.pendMerge, wire.MergeEntry{
+		Shard: uint8(shard), From: e.mergeSeq, Count: count,
+	})
+	e.mergeSeq += uint64(count)
+}
+
+// admitMerge installs one merge directive into the global merge log.
+// Like ordering units, broadcast directives are immutable and admitted
+// contiguously by From. Callers drain.
+func (e *Engine) admitMerge(m wire.MergeEntry) {
+	if len(e.shards) < 2 || int(m.Shard) >= len(e.shards) || m.Count == 0 {
+		return
+	}
+	if m.From < e.mergeNext {
+		return // duplicate
+	}
+	if m.From > e.mergeNext {
+		if e.mergePend == nil {
+			e.mergePend = make(map[uint64]wire.MergeEntry)
+		}
+		if _, ok := e.mergePend[m.From]; !ok {
+			e.mergePend[m.From] = m
+		}
+		return
+	}
+	for {
+		e.mergeLog = append(e.mergeLog, m)
+		e.mergeNext = m.From + uint64(m.Count)
+		nm, ok := e.mergePend[e.mergeNext]
 		if !ok {
 			return
 		}
-		m, ok := e.stash[key]
-		if !ok {
-			return // slot known, data still missing
+		delete(e.mergePend, e.mergeNext)
+		m = nm
+	}
+}
+
+// drainTotal delivers every queued message whose global order is now
+// determined. With one shard the shard log IS the global order; with
+// sharding the merge stream dictates how many slots to consume from
+// which shard next.
+func (e *Engine) drainTotal() {
+	if len(e.shards) == 1 {
+		e.consumeShard(&e.shards[0], ^uint32(0))
+		return
+	}
+	for e.mergeIdx < len(e.mergeLog) {
+		m := e.mergeLog[e.mergeIdx]
+		done := e.consumeShard(&e.shards[m.Shard], m.Count-e.mergeOff)
+		e.mergeOff += done
+		if e.mergeOff == m.Count {
+			e.mergeIdx++
+			e.mergeOff = 0
+			continue
 		}
-		delete(e.stash, key)
+		return // stalled: decision or data still missing on this shard
+	}
+}
+
+// consumeShard delivers up to max messages from the front of the shard's
+// decision log, popping each referenced message off its sender's
+// per-shard FIFO queue. Delivery stalls when the next unit is unknown or
+// its data has not become reliable yet. Returns the delivered count.
+func (e *Engine) consumeShard(sh *shardState, max uint32) uint32 {
+	var n uint32
+	for n < max && sh.logIdx < len(sh.log) {
+		r := sh.log[sh.logIdx]
+		st, ok := e.peers[r.Sender]
+		if !ok {
+			return n
+		}
+		shard := int(r.Shard)
+		q := st.oq[shard]
+		h := st.oqHead[shard]
+		if h >= len(q) || q[h].Seq != r.SeqFrom+uint64(sh.logOff) {
+			return n // data not reliable yet (or not at the queue front)
+		}
+		m := q[h]
+		if h+1 == len(q) {
+			st.oq[shard] = q[:0] // reuse the backing array
+			st.oqHead[shard] = 0
+		} else {
+			st.oqHead[shard] = h + 1
+		}
+		sh.logOff++
+		if sh.logOff == r.Count {
+			sh.logIdx++
+			sh.logOff = 0
+		}
+		sh.waiting--
+		e.pendingData--
 		e.totalNext++
+		n++
 		e.deliver(m)
 	}
+	return n
 }
 
 // peer returns the receive state for a sender, creating it on first use.
@@ -913,6 +1273,10 @@ func (e *Engine) peer(n id.Node) *peerState {
 			buf:   make(map[uint64]*wire.Message),
 			early: make(map[uint64]bool),
 		}
+		if e.cfg.Ordering == Total {
+			st.oq = make([][]*wire.Message, e.nshards)
+			st.oqHead = make([]int, e.nshards)
+		}
 		e.peers[n] = st
 	}
 	return st
@@ -921,15 +1285,16 @@ func (e *Engine) peer(n id.Node) *peerState {
 // onNack serves a retransmission request for [msg.Seq, msg.Aux] of our own
 // traffic (or of any sender's traffic we still hold, which covers flush
 // assistance after the original sender failed). A NACK with Sender ==
-// id.None is an order request: the sequencer re-announces slot assignments
-// from slot msg.Seq upward.
+// id.None is an order request: any member that knows the ordering state
+// re-announces it from slot msg.Seq upward; msg.Aux selects the shard
+// (or, as mergeReqTag, the merge stream).
 func (e *Engine) onNack(from id.Node, msg *wire.Message) {
 	if msg.View != e.view.ID {
 		return
 	}
 	e.rec(flightrec.EvNackRecv, uint64(from), msg.Seq)
 	if msg.Sender == id.None {
-		e.serveOrderRequest(from, msg.Seq)
+		e.serveOrderRequest(from, msg.Seq, msg.Aux)
 		return
 	}
 	e.serveRetrans(from, msg.Sender, msg.Seq, msg.Aux)
@@ -947,59 +1312,150 @@ func (e *Engine) onNackBatch(from id.Node, msg *wire.Message) {
 	e.rec(flightrec.EvNackRecv, uint64(from), uint64(len(ranges)))
 	for _, r := range ranges {
 		if r.Sender == id.None {
-			e.serveOrderRequest(from, r.From)
+			// Order request: To carries the shard index (or mergeReqTag),
+			// so legacy requests with To == 0 land on shard 0.
+			e.serveOrderRequest(from, r.From, r.To)
 			continue
 		}
 		e.serveRetrans(from, r.Sender, r.From, r.To)
 	}
 }
 
-// serveOrderRequest re-announces known slot assignments from fromSlot
-// upward. Any member that knows an assignment answers, not only the
+// orderServeWindow caps ordering units served per request.
+const orderServeWindow = 512
+
+// mergeReqTag marks an order request for the global merge stream rather
+// than one shard's decision log.
+const mergeReqTag = ^uint64(0)
+
+// serveOrderRequest re-announces known ordering state from fromSlot
+// upward. Any member that admitted a unit answers, not only its
 // sequencer: this keeps total order recoverable after a sequencer crash.
-// Local knowledge may have gaps, so scan the window rather than stop at
-// the first unknown slot.
-func (e *Engine) serveOrderRequest(from id.Node, fromSlot uint64) {
+// tag selects a shard's decision log or, as mergeReqTag, the merge
+// stream. Units are immutable and re-served verbatim — always in the
+// range encoding (per-slot KindOrder replies only under
+// DisableBatching), so recovery rides the same compact wire path as
+// first announcement.
+func (e *Engine) serveOrderRequest(from id.Node, fromSlot, tag uint64) {
+	if e.cfg.Ordering != Total {
+		return
+	}
+	if tag == mergeReqTag {
+		if len(e.shards) < 2 {
+			return
+		}
+		ms := e.mergeScratch[:0]
+		i := sort.Search(len(e.mergeLog), func(i int) bool {
+			m := e.mergeLog[i]
+			return m.From+uint64(m.Count) > fromSlot
+		})
+		for ; i < len(e.mergeLog) && len(ms) < orderServeWindow; i++ {
+			ms = append(ms, e.mergeLog[i])
+		}
+		ms = appendPendingMerges(ms, e.mergePend)
+		e.mergeScratch = ms
+		if len(ms) == 0 {
+			return
+		}
+		e.met.nacksServed.Add(uint64(len(ms)))
+		e.bodyScratch = wire.AppendOrderRanges(e.bodyScratch[:0], nil, ms)
+		e.env.Send(from, &wire.Message{
+			Kind:  wire.KindOrderRange,
+			Group: e.cfg.Group,
+			View:  e.view.ID,
+			Body:  e.bodyScratch,
+		})
+		return
+	}
+	if tag >= uint64(len(e.shards)) {
+		return
+	}
+	sh := &e.shards[tag]
+	i := sort.Search(len(sh.log), func(i int) bool {
+		r := sh.log[i]
+		return r.SlotFrom+uint64(r.Count) > fromSlot
+	})
 	if e.cfg.DisableBatching {
+		// Legacy ablation: expand units back into per-slot KindOrder
+		// datagrams.
 		served := 0
-		for slot := fromSlot; slot-fromSlot < 1024 && served < len(e.orders); slot++ {
-			if key, ok := e.orders[slot]; ok {
+		for ; i < len(sh.log) && served < orderServeWindow; i++ {
+			r := sh.log[i]
+			for k := uint64(0); k < uint64(r.Count) && served < orderServeWindow; k++ {
+				if r.SlotFrom+k < fromSlot {
+					continue
+				}
 				served++
+				e.met.nacksServed.Inc()
 				e.env.Send(from, &wire.Message{
 					Kind:   wire.KindOrder,
 					Group:  e.cfg.Group,
 					View:   e.view.ID,
-					Sender: key.sender,
-					Seq:    key.seq,
-					Aux:    slot,
+					Sender: r.Sender,
+					Seq:    r.SeqFrom + k,
+					Aux:    r.SlotFrom + k,
 				})
-				e.met.nacksServed.Inc()
 			}
 		}
 		return
 	}
-	// Batched reply: every known assignment in the window in one
-	// KindOrderBatch datagram.
-	entries := e.orderScratch[:0]
-	served := 0
-	for slot := fromSlot; slot-fromSlot < 1024 && served < len(e.orders); slot++ {
-		if key, ok := e.orders[slot]; ok {
-			served++
-			entries = append(entries, wire.OrderEntry{Slot: slot, Sender: key.sender, Seq: key.seq})
-			e.met.nacksServed.Inc()
-		}
+	rs := e.rangeScratch[:0]
+	for ; i < len(sh.log) && len(rs) < orderServeWindow; i++ {
+		rs = append(rs, sh.log[i])
 	}
-	e.orderScratch = entries
-	if len(entries) == 0 {
+	rs = appendPendingRanges(rs, sh.pend)
+	e.rangeScratch = rs
+	if len(rs) == 0 {
 		return
 	}
-	e.bodyScratch = wire.AppendOrderBatch(e.bodyScratch[:0], entries)
+	e.met.nacksServed.Add(uint64(len(rs)))
+	e.bodyScratch = wire.AppendOrderRanges(e.bodyScratch[:0], rs, nil)
 	e.env.Send(from, &wire.Message{
-		Kind:  wire.KindOrderBatch,
+		Kind:  wire.KindOrderRange,
 		Group: e.cfg.Group,
 		View:  e.view.ID,
 		Body:  e.bodyScratch,
 	})
+}
+
+// appendPendingRanges appends a shard's out-of-order units in SlotFrom
+// order (deterministic wire bytes under seeded simulation), capped at
+// the serve window. Recovery path only — the key sort may allocate.
+func appendPendingRanges(dst []wire.OrderRange, pend map[uint64]wire.OrderRange) []wire.OrderRange {
+	if len(pend) == 0 || len(dst) >= orderServeWindow {
+		return dst
+	}
+	keys := make([]uint64, 0, len(pend))
+	for k := range pend {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if len(dst) >= orderServeWindow {
+			break
+		}
+		dst = append(dst, pend[k])
+	}
+	return dst
+}
+
+// appendPendingMerges is appendPendingRanges for merge directives.
+func appendPendingMerges(dst []wire.MergeEntry, pend map[uint64]wire.MergeEntry) []wire.MergeEntry {
+	if len(pend) == 0 || len(dst) >= orderServeWindow {
+		return dst
+	}
+	keys := make([]uint64, 0, len(pend))
+	for k := range pend {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if len(dst) >= orderServeWindow {
+			break
+		}
+		dst = append(dst, pend[k])
+	}
+	return dst
 }
 
 // serveRetrans answers a retransmission request for [fromSeq, toSeq] of
@@ -1055,7 +1511,15 @@ func (e *Engine) mergeAckRow(from id.Node, acks []wire.AckEntry) {
 			st.horizon = a.Seq
 		}
 	}
-	e.collectStable()
+	// Piggybacked vectors arrive with every data datagram; running the
+	// O(senders × members) collection on each would dominate dense
+	// traffic. Pruning every few merges (plus every stability tick and
+	// before each flush) keeps the history bounded at a fraction of the
+	// cost.
+	if e.ackMerges++; e.ackMerges >= 8 {
+		e.ackMerges = 0
+		e.collectStable()
+	}
 }
 
 // ackVector builds this member's stability row in a fresh slice; see
@@ -1084,29 +1548,47 @@ func (e *Engine) appendAckRows(dst []wire.AckEntry) []wire.AckEntry {
 }
 
 // collectStable prunes history entries acknowledged by every view member.
+// Per sender it computes the stability floor — the minimum acknowledged
+// sequence across the view — and deletes the [histMin, floor] prefix by
+// key. This runs on every ack-vector merge (including piggybacks on each
+// data message), so the cost must be O(senders × members) plus the
+// entries actually freed; the previous whole-map scan made dense traffic
+// quadratic in the message count and dominated sustained-throughput runs.
 func (e *Engine) collectStable() {
-	if len(e.view.Members) == 0 {
+	if len(e.view.Members) == 0 || len(e.history) == 0 {
 		return
 	}
-	stable := func(key msgKey) bool {
+	self := e.env.Self()
+	for sender, lo := range e.histMin {
+		floor := ^uint64(0)
 		for _, m := range e.view.Members {
-			if m == e.env.Self() {
-				st, ok := e.peers[key.sender]
-				if !ok || st.next-1 < key.seq {
-					return false
+			var acked uint64
+			if m == self {
+				if st, ok := e.peers[sender]; ok {
+					acked = st.next - 1
 				}
-				continue
+			} else {
+				acked = e.ackMatrix[m][sender]
 			}
-			row, ok := e.ackMatrix[m]
-			if !ok || row[key.sender] < key.seq {
-				return false
+			if acked < floor {
+				floor = acked
 			}
 		}
-		return true
-	}
-	for key := range e.history {
-		if stable(key) {
-			delete(e.history, key)
+		hi := e.histMax[sender]
+		if floor > hi {
+			floor = hi
+		}
+		for seq := lo; seq <= floor; seq++ {
+			delete(e.history, msgKey{sender: sender, seq: seq})
+		}
+		if floor < lo {
+			continue
+		}
+		if floor == hi {
+			delete(e.histMin, sender)
+			delete(e.histMax, sender)
+		} else {
+			e.histMin[sender] = floor + 1
 		}
 	}
 }
@@ -1150,21 +1632,116 @@ func (e *Engine) OnTick(now time.Time) {
 	e.met.historyLen.Set(int64(len(e.history)))
 }
 
-// flushOrders broadcasts the sequencer slots assigned since the last
-// tick as KindOrderBatch datagrams, chunked under the datagram limit.
+// flushOrders is the pipelined range flush: the sequencer numbers the
+// seq-runs accumulated since the last flush with contiguous slot ranges,
+// admits them locally — the units become immutable here — and broadcasts
+// them as KindOrderRange datagrams together with any merge directives
+// the coordinator owes, without waiting for delivery of earlier ranges.
+// While frozen no new slots are assigned, but directives covering
+// pre-freeze decisions still go out.
 func (e *Engine) flushOrders() {
-	if len(e.pendingOrders) == 0 {
+	if e.cfg.Ordering != Total || e.cfg.DisableBatching || e.view.ID == 0 {
 		return
 	}
-	const chunkMax = 1024
-	for i := 0; i < len(e.pendingOrders); i += chunkMax {
-		end := i + chunkMax
-		if end > len(e.pendingOrders) {
-			end = len(e.pendingOrders)
+	rs := e.rangeScratch[:0]
+	if !e.frozen {
+		for s := range e.shards {
+			sh := &e.shards[s]
+			if len(sh.assign) == 0 {
+				continue
+			}
+			for i := range sh.assign {
+				sh.assign[i].SlotFrom = sh.seqSlot
+				sh.seqSlot += uint64(sh.assign[i].Count)
+				rs = append(rs, sh.assign[i])
+			}
+			sh.assign = sh.assign[:0]
+			sh.assignMsgs = 0
+			clear(sh.openRun)
 		}
-		e.bodyScratch = wire.AppendOrderBatch(e.bodyScratch[:0], e.pendingOrders[i:end])
+		// Self-admission happens at flush, not assignment, so every
+		// member's decision log holds the same immutable units and
+		// recovery can re-serve them verbatim. At the coordinator this
+		// also extends pendMerge, so the merge directives covering these
+		// ranges ride the same datagrams.
+		for _, r := range rs {
+			e.admitRange(r)
+		}
+	}
+	e.rangeScratch = rs
+	if e.nshards > 1 {
+		if coord := e.view.Coordinator(); coord != e.env.Self() {
+			// Relay mode: a non-coordinator sequencer hands its new
+			// units to the coordinator alone, which folds them into its
+			// next combined range+merge broadcast. One unicast plus one
+			// shared broadcast replaces a per-shard broadcast plus the
+			// coordinator's separate merge broadcast.
+			if len(rs) > 0 {
+				e.relayOrderRanges(coord, rs)
+			}
+			e.drainTotal()
+			return
+		}
+		if len(e.pendRanges) > 0 {
+			rs = append(rs, e.pendRanges...)
+			e.rangeScratch = rs
+			e.pendRanges = e.pendRanges[:0]
+		}
+	}
+	ms := e.pendMerge
+	if len(rs) == 0 && len(ms) == 0 {
+		return
+	}
+	e.broadcastOrderRanges(rs, ms)
+	for _, m := range ms {
+		e.admitMerge(m)
+	}
+	e.pendMerge = e.pendMerge[:0]
+	e.drainTotal()
+}
+
+// orderRelayTag in a KindOrderRange's Aux marks a sequencer-to-
+// coordinator relay; the coordinator rebroadcasts those units to the
+// group. Recovery replies leave Aux 0 so they are never re-relayed.
+const orderRelayTag = 1
+
+// relayOrderRanges unicasts freshly flushed ordering units to the view
+// coordinator, chunked under the datagram limit.
+func (e *Engine) relayOrderRanges(coord id.Node, rs []wire.OrderRange) {
+	const chunkMax = 1024
+	for len(rs) > 0 {
+		nr := len(rs)
+		if nr > chunkMax {
+			nr = chunkMax
+		}
+		e.bodyScratch = wire.AppendOrderRanges(e.bodyScratch[:0], rs[:nr], nil)
+		e.env.Send(coord, &wire.Message{
+			Kind:  wire.KindOrderRange,
+			Group: e.cfg.Group,
+			View:  e.view.ID,
+			Aux:   orderRelayTag,
+			Body:  e.bodyScratch,
+		})
+		e.met.orderRanges.Add(uint64(nr))
+		rs = rs[nr:]
+	}
+}
+
+// broadcastOrderRanges announces ordering units and merge directives to
+// every other member, chunked under the datagram limit.
+func (e *Engine) broadcastOrderRanges(rs []wire.OrderRange, ms []wire.MergeEntry) {
+	const chunkMax = 1024
+	for len(rs) > 0 || len(ms) > 0 {
+		nr, nm := len(rs), len(ms)
+		if nr > chunkMax {
+			nr = chunkMax
+		}
+		if nm > chunkMax {
+			nm = chunkMax
+		}
+		e.bodyScratch = wire.AppendOrderRanges(e.bodyScratch[:0], rs[:nr], ms[:nm])
 		msg := wire.Message{
-			Kind:  wire.KindOrderBatch,
+			Kind:  wire.KindOrderRange,
 			Group: e.cfg.Group,
 			View:  e.view.ID,
 			Body:  e.bodyScratch,
@@ -1175,8 +1752,9 @@ func (e *Engine) flushOrders() {
 			}
 			e.env.Send(m, &msg)
 		}
+		e.met.orderRanges.Add(uint64(nr + nm))
+		rs, ms = rs[nr:], ms[nm:]
 	}
-	e.pendingOrders = e.pendingOrders[:0]
 }
 
 // queueNack records one NACK range for the destination, to go out in the
@@ -1210,17 +1788,19 @@ func (e *Engine) flushNacks() {
 	}
 }
 
-// scanOrderGaps requests missing total-order slot assignments when
-// reliable messages are stuck in the stash. The request goes to every
-// member, not only the sequencer: after a sequencer crash the surviving
-// members collectively still know every assignment any of them applied,
-// and whoever knows a slot answers.
+// scanOrderGaps requests missing ordering state when reliable messages
+// are queued undelivered. Requests go to every member, not only the
+// responsible sequencer: after a sequencer crash the survivors
+// collectively still know every unit any of them admitted, and whoever
+// knows answers. Every shard with queued data is requested from its
+// decision horizon; under sharding the merge stream is requested too,
+// since either a missing unit or a missing directive can stall delivery.
 func (e *Engine) scanOrderGaps(now time.Time) {
-	if e.cfg.Ordering != Total || len(e.stash) == 0 {
+	if e.cfg.Ordering != Total || e.pendingData == 0 {
 		return
 	}
 	if e.totalNext > e.orderNackMark {
-		e.orderNackBackoff = 0 // slots advanced since the last request
+		e.orderNackBackoff = 0 // delivery advanced since the last request
 	}
 	ival := e.backoffStretch(e.cfg.ResendAfter, e.orderNackBackoff)
 	if e.orderNackBackoff > 0 {
@@ -1238,16 +1818,26 @@ func (e *Engine) scanOrderGaps(now time.Time) {
 		if m == e.env.Self() {
 			continue
 		}
-		if e.cfg.DisableBatching {
-			e.env.Send(m, &wire.Message{
-				Kind:   wire.KindNack,
-				Group:  e.cfg.Group,
-				View:   e.view.ID,
-				Sender: id.None, // order request marker
-				Seq:    e.totalNext,
-			})
-		} else {
-			e.queueNack(m, wire.NackRange{Sender: id.None, From: e.totalNext})
+		for s := range e.shards {
+			sh := &e.shards[s]
+			if sh.waiting == 0 {
+				continue
+			}
+			if e.cfg.DisableBatching {
+				e.env.Send(m, &wire.Message{
+					Kind:   wire.KindNack,
+					Group:  e.cfg.Group,
+					View:   e.view.ID,
+					Sender: id.None, // order request marker
+					Seq:    sh.decideNext,
+					Aux:    uint64(s),
+				})
+			} else {
+				e.queueNack(m, wire.NackRange{Sender: id.None, From: sh.decideNext, To: uint64(s)})
+			}
+		}
+		if len(e.shards) > 1 {
+			e.queueNack(m, wire.NackRange{Sender: id.None, From: e.mergeNext, To: mergeReqTag})
 		}
 		e.met.nacksSent.Inc()
 		e.rec(flightrec.EvNackSent, uint64(id.None), e.totalNext)

@@ -119,6 +119,10 @@ type Config struct {
 	// Ordering is the control/application multicast discipline;
 	// defaults to Causal, so directory updates respect causality.
 	Ordering rmcast.Ordering
+	// OrderShards splits total-order sequencing across this many members
+	// by stream label; see rmcast.Config.OrderShards. Only meaningful
+	// when Ordering is Total.
+	OrderShards int
 	// OnEvent receives session notifications from the event loop.
 	OnEvent func(Event)
 
@@ -258,6 +262,7 @@ func New(env proto.Env, cfg Config) *Engine {
 		Group:              cfg.Group,
 		Contact:            cfg.Contact,
 		Ordering:           cfg.Ordering,
+		OrderShards:        cfg.OrderShards,
 		HeartbeatEvery:     cfg.HeartbeatEvery,
 		SuspectAfter:       cfg.SuspectAfter,
 		FlushTimeout:       cfg.FlushTimeout,

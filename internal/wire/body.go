@@ -256,6 +256,115 @@ func DecodeOrderBatch(buf []byte) ([]OrderEntry, int, error) {
 	return orders, need, nil
 }
 
+// OrderRange is one pipelined sequencer decision: the ordering shard's
+// slots [SlotFrom, SlotFrom+Count) are assigned, in order, to Sender's
+// multicasts [SeqFrom, SeqFrom+Count). Ranges are immutable announcement
+// units — recovery replies re-serve the exact units originally flushed —
+// so admission can deduplicate on SlotFrom alone.
+type OrderRange struct {
+	Shard    uint8
+	SlotFrom uint64
+	Sender   id.Node
+	SeqFrom  uint64
+	Count    uint32
+}
+
+// MergeEntry is one cross-shard merge directive from the view
+// coordinator: global deliveries [From, From+Count) consume the next
+// Count decided messages of shard Shard, in slot order. The directive
+// stream is the agreed interleaving of the per-shard slot spaces; like
+// OrderRange values, entries are immutable once flushed.
+type MergeEntry struct {
+	Shard uint8
+	From  uint64
+	Count uint32
+}
+
+// Encoded entry widths of the KindOrderRange body sections.
+const (
+	orderRangeWidth = 1 + 8 + 8 + 8 + 4 // shard|slotFrom|sender|seqFrom|count
+	mergeEntryWidth = 1 + 8 + 4         // shard|from|count
+)
+
+// AppendOrderRanges appends the body of a KindOrderRange message to dst:
+// a length-prefixed OrderRange list followed by a length-prefixed
+// MergeEntry list. Either section may be empty.
+func AppendOrderRanges(dst []byte, ranges []OrderRange, merges []MergeEntry) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], uint32(len(ranges)))
+	dst = append(dst, n[:4]...)
+	for _, r := range ranges {
+		dst = append(dst, r.Shard)
+		binary.BigEndian.PutUint64(n[:], r.SlotFrom)
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], uint64(r.Sender))
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint64(n[:], r.SeqFrom)
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint32(n[:4], uint32(r.Count))
+		dst = append(dst, n[:4]...)
+	}
+	binary.BigEndian.PutUint32(n[:4], uint32(len(merges)))
+	dst = append(dst, n[:4]...)
+	for _, m := range merges {
+		dst = append(dst, m.Shard)
+		binary.BigEndian.PutUint64(n[:], m.From)
+		dst = append(dst, n[:]...)
+		binary.BigEndian.PutUint32(n[:4], uint32(m.Count))
+		dst = append(dst, n[:4]...)
+	}
+	return dst
+}
+
+// DecodeOrderRanges parses a KindOrderRange body and returns both
+// sections and the number of bytes consumed.
+func DecodeOrderRanges(buf []byte) ([]OrderRange, []MergeEntry, int, error) {
+	return AppendDecodedOrderRanges(nil, nil, buf)
+}
+
+// AppendDecodedOrderRanges is DecodeOrderRanges appending into caller
+// scratch (reusing capacity), so a steady-state decode allocates nothing.
+func AppendDecodedOrderRanges(rs []OrderRange, ms []MergeEntry, buf []byte) ([]OrderRange, []MergeEntry, int, error) {
+	if len(buf) < 4 {
+		return nil, nil, 0, ErrShortMessage
+	}
+	count := int(binary.BigEndian.Uint32(buf))
+	if count > MaxListEntries {
+		return nil, nil, 0, fmt.Errorf("%w: order ranges %d entries", ErrTooLarge, count)
+	}
+	off := 4
+	if len(buf) < off+orderRangeWidth*count+4 {
+		return nil, nil, 0, ErrShortMessage
+	}
+	for i := 0; i < count; i++ {
+		rs = append(rs, OrderRange{
+			Shard:    buf[off],
+			SlotFrom: binary.BigEndian.Uint64(buf[off+1:]),
+			Sender:   id.Node(binary.BigEndian.Uint64(buf[off+9:])),
+			SeqFrom:  binary.BigEndian.Uint64(buf[off+17:]),
+			Count:    binary.BigEndian.Uint32(buf[off+25:]),
+		})
+		off += orderRangeWidth
+	}
+	mcount := int(binary.BigEndian.Uint32(buf[off:]))
+	if mcount > MaxListEntries {
+		return nil, nil, 0, fmt.Errorf("%w: merge directives %d entries", ErrTooLarge, mcount)
+	}
+	off += 4
+	if len(buf) < off+mergeEntryWidth*mcount {
+		return nil, nil, 0, ErrShortMessage
+	}
+	for i := 0; i < mcount; i++ {
+		ms = append(ms, MergeEntry{
+			Shard: buf[off],
+			From:  binary.BigEndian.Uint64(buf[off+1:]),
+			Count: binary.BigEndian.Uint32(buf[off+9:]),
+		})
+		off += mergeEntryWidth
+	}
+	return rs, ms, off, nil
+}
+
 // ViewBody is the payload of JoinAck, ViewPropose and ViewCommit messages:
 // a view number plus the ordered member list, optionally annotated with
 // each member's transport address so admitted members can reach each

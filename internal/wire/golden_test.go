@@ -62,6 +62,19 @@ func goldenMessages() []*Message {
 		{Kind: KindBulkSym, From: 2, Sender: 1, Group: 4, Seq: 0x42,
 			Aux: 1<<32 | 5, Flags: FlagBulkFan, Body: []byte("coded-symbol-bytes")},
 		{Kind: KindBulkReq, From: 7, Group: 4, Seq: 0x42, Aux: 2<<32 | 3},
+		// Pipelined range ordering: a shard sequencer's run announcements,
+		// the coordinator's cross-shard merge directives, and a combined
+		// datagram carrying both sections.
+		{Kind: KindOrderRange, From: 1, View: 3, Body: AppendOrderRanges(nil,
+			[]OrderRange{
+				{Shard: 0, SlotFrom: 12, Sender: 2, SeqFrom: 5, Count: 9},
+				{Shard: 1, SlotFrom: 0, Sender: 3, SeqFrom: 1, Count: 1},
+			}, nil)},
+		{Kind: KindOrderRange, From: 1, View: 3, Body: AppendOrderRanges(nil, nil,
+			[]MergeEntry{{Shard: 0, From: 0, Count: 4}, {Shard: 3, From: 4, Count: 2}})},
+		{Kind: KindOrderRange, From: 2, View: 4, Body: AppendOrderRanges(nil,
+			[]OrderRange{{Shard: 2, SlotFrom: 7, Sender: 4, SeqFrom: 11, Count: 3}},
+			[]MergeEntry{{Shard: 2, From: 9, Count: 3}})},
 		// Piggybacked-ack variants: a data message and a causal data message
 		// each carrying a stability vector after the body.
 		{Kind: KindData, Flags: FlagPiggyAck, Sender: 3, Seq: 10, Body: []byte("pb"),

@@ -102,10 +102,17 @@ const (
 	// requester is missing. Seq is the object ID, Aux packs
 	// generation<<32|index of one wanted symbol.
 	KindBulkReq
+	// KindOrderRange carries pipelined total-order decisions: contiguous
+	// slot ranges assigned per (sender, seq-run) by a shard sequencer,
+	// plus — from the view coordinator when sequencing is sharded — merge
+	// directives interleaving the per-shard slot spaces into the one
+	// global delivery order. The body is an OrderRange list followed by a
+	// MergeEntry list (see AppendOrderRanges).
+	KindOrderRange
 )
 
 // kindMax is the highest valid Kind; Decode rejects anything above it.
-const kindMax = KindBulkReq
+const kindMax = KindOrderRange
 
 // String returns the protocol name of the kind.
 func (k Kind) String() string {
@@ -162,6 +169,8 @@ func (k Kind) String() string {
 		return "bulk-sym"
 	case KindBulkReq:
 		return "bulk-req"
+	case KindOrderRange:
+		return "order-range"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

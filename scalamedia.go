@@ -185,6 +185,13 @@ type Config struct {
 	JoinBackoffMax time.Duration
 	// Ordering is the session multicast discipline; defaults to Causal.
 	Ordering Ordering
+	// OrderShards splits total-order sequencing across this many members
+	// when Ordering is Total: each message's stream label hashes to a
+	// shard, each shard to a sequencer member, and a deterministic merge
+	// rule fixes one global delivery order across shards, so independent
+	// streams stop serializing through one node. 0 or 1 keeps the
+	// classic single-sequencer semantics. Ignored for other orderings.
+	OrderShards int
 	// Suppression tunes the SRM-style randomized loss-recovery timers.
 	// The zero value takes the defaults; see rmcast.Suppression.
 	Suppression Suppression
@@ -345,6 +352,7 @@ func Start(cfg Config) (*Node, error) {
 			Group:              cfg.Group,
 			Contact:            cfg.Contact,
 			Ordering:           cfg.Ordering,
+			OrderShards:        cfg.OrderShards,
 			Suppression:        cfg.Suppression,
 			DisableSuppression: cfg.DisableSuppression,
 			PrimaryPartition:   cfg.PrimaryPartition,

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: re-runs the data-plane microbenchmarks
-# (including the UDP batch/fallback throughput pair and the netsim
-# node-step cost) plus the T1-T9 table benchmarks (T9 adds the bulk
-# dissemination bottleneck-share and completeness metrics), writes the
-# results to BENCH_8.json, and fails on a regression against the
-# checked-in bench_baseline.json (time and allocations for the
-# microbenchmarks, deterministic domain metrics for the tables).
+# (including the UDP batch/fallback throughput pair, the netsim
+# node-step cost and the sharded total-order multicast path) plus the
+# table benchmarks (T2b adds the sustained sharded total-order
+# throughput metric, gated higher-is-better), writes the results to
+# BENCH_9.json, and fails on a regression against the checked-in
+# bench_baseline.json (time and allocations for the microbenchmarks,
+# deterministic domain metrics for the tables).
 #
 # After an intentional performance change, refresh the baseline with:
 #   BENCH_BASELINE_UPDATE=1 go test -run 'TestBenchGate$' -count=1 .
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_OUT="${BENCH_OUT:-BENCH_8.json}" \
+BENCH_OUT="${BENCH_OUT:-BENCH_9.json}" \
 	go test -run 'TestBenchGate$' -count=1 -v . "$@"

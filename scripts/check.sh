@@ -47,6 +47,12 @@ go test -count=1 -run 'TestT7Smoke256' ./internal/experiments
 echo "==> T9 bulk dissemination smoke (n=64, relay crash)"
 go test -count=1 -run 'TestT9Smoke64' ./internal/experiments
 
+# Total-order safety smoke: a 16-member group with four sequencer shards
+# must deliver every message in one identical global sequence at every
+# member (the pipelined range + merge-stream path under light loss).
+echo "==> total-order smoke (n=16, shards=4)"
+go test -count=1 -run 'TestTotalOrderSmoke16' ./internal/experiments
+
 echo "==> /metrics endpoint smoke test"
 go test -count=1 -run 'TestMetricsEndpoint' .
 
