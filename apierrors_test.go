@@ -1,0 +1,117 @@
+package scalamedia
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"scalamedia/internal/id"
+	"scalamedia/internal/transport"
+)
+
+// TestClosedNodeAPITable pins the typed-error contract after Close: every
+// public call that can fail reports ErrClosed, so callers distinguish "the
+// node is gone" from transient send failures by errors.Is alone.
+func TestClosedNodeAPITable(t *testing.T) {
+	fab := transport.NewFabric()
+	defer fab.Close()
+	ep, _ := fab.Attach(1)
+	n, err := Start(Config{Self: 1, Endpoint: ep, Group: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	calls := []struct {
+		name string
+		call func() error
+	}{
+		{"Send", func() error { return n.Send([]byte("x")) }},
+		{"TrySend", func() error { return n.TrySend([]byte("x")) }},
+		{"SendContext", func() error { return n.SendContext(context.Background(), []byte("x")) }},
+		{"Publish", func() error { return n.Publish(7, []byte("blob")) }},
+		{"OpenSender", func() error {
+			_, err := n.OpenSender(StreamSpec{ID: 1, Name: "cam"}, 8000)
+			return err
+		}},
+		{"OpenReceiver", func() error {
+			_, err := n.OpenReceiver(ReceiverConfig{Spec: StreamSpec{ID: 1}})
+			return err
+		}},
+		{"Synchronize", func() error {
+			_, err := n.Synchronize(40*time.Millisecond, nil)
+			return err
+		}},
+	}
+	for _, c := range calls {
+		if err := c.call(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s after Close = %v, want ErrClosed", c.name, err)
+		}
+	}
+}
+
+// TestEvictedNodeAPITable pins the contract on a node the membership
+// removed: a three-node group evicts a partitioned member, the heal lets
+// it learn its fate, and from then on session operations report
+// ErrNotMember — closed and evicted are different answers.
+func TestEvictedNodeAPITable(t *testing.T) {
+	fab := transport.NewFabric(transport.WithSeed(2))
+	defer fab.Close()
+	nodes := make([]*Node, 0, 3)
+	for i := NodeID(1); i <= 3; i++ {
+		ep, err := fab.Attach(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		contact := NodeID(1)
+		if i == 1 {
+			contact = 0
+		}
+		n, err := Start(Config{
+			Self: i, Endpoint: ep, Group: 1, Contact: contact,
+			Tick:             5 * time.Millisecond,
+			HeartbeatEvery:   50 * time.Millisecond,
+			SuspectAfter:     300 * time.Millisecond,
+			PrimaryPartition: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if !n.WaitViewSize(3, 15*time.Second) {
+			t.Fatalf("node %s never saw the full group", n.ID())
+		}
+	}
+	fab.Partition([]id.Node{1, 2})
+	if !nodes[0].WaitViewSize(2, 15*time.Second) {
+		t.Fatal("majority never evicted the partitioned member")
+	}
+	fab.Heal()
+	waitFor(t, "n3 to learn its eviction", nodes[2].Evicted)
+
+	n3 := nodes[2]
+	calls := []struct {
+		name string
+		call func() error
+	}{
+		{"Send", func() error { return n3.Send([]byte("x")) }},
+		{"TrySend", func() error { return n3.TrySend([]byte("x")) }},
+		{"SendContext", func() error { return n3.SendContext(context.Background(), []byte("x")) }},
+		{"Publish", func() error { return n3.Publish(9, []byte("blob")) }},
+	}
+	for _, c := range calls {
+		if err := c.call(); !errors.Is(err, ErrNotMember) {
+			t.Errorf("%s on evicted node = %v, want ErrNotMember", c.name, err)
+		}
+	}
+	// The survivors are unaffected: the typed error is about n3's state,
+	// not the session's.
+	if err := nodes[0].Send([]byte("still here")); err != nil {
+		t.Errorf("survivor Send = %v", err)
+	}
+}

@@ -59,6 +59,7 @@ var microBenches = []namedBench{
 	{name: "RmcastMulticast/encode", fn: benches.RmcastMulticastEncode},
 	{name: "RmcastMulticast/instrumented", fn: benches.RmcastMulticastInstrumented},
 	{name: "RmcastMulticast/total", fn: benches.RmcastMulticastTotal},
+	{name: "RmcastMulticast/flow", fn: benches.RmcastMulticastFlow},
 	{name: "TransportLoopback", fn: benches.TransportLoopback},
 	{name: "UDPThroughput/batch", tolerance: 0.30,
 		fn: func(b *testing.B) { benches.UDPThroughput(b, transport.DefaultBatch) }},
@@ -81,6 +82,7 @@ var tableBenches = []namedBench{
 	{name: "T7RecoveryOverhead", fn: BenchmarkT7RecoveryOverhead},
 	{name: "T8Formation", fn: BenchmarkT8Formation},
 	{name: "T9BulkDissemination", fn: BenchmarkT9BulkDissemination},
+	{name: "T10Overload", fn: BenchmarkT10Overload},
 }
 
 // runBench runs fn `rounds` times and keeps the fastest round — min-of-N

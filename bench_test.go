@@ -120,6 +120,20 @@ func BenchmarkT9BulkDissemination(b *testing.B) {
 	}
 }
 
+func BenchmarkT10Overload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.T10Overload(benchOpts)
+		// Rows: no-fault, unbounded, flow-throttle, flow-evict. The
+		// flow-throttle hist-peak is the bounded sender memory the
+		// stability window is accountable for; the unbounded row is the
+		// ablation it must stay well under.
+		throttle, unbounded := t.Rows[2], t.Rows[1]
+		b.ReportMetric(cellFloat(b, throttle[1]), "sender-history-peak")
+		b.ReportMetric(cellFloat(b, throttle[2]), "flow-occ-peak")
+		b.ReportMetric(cellFloat(b, unbounded[1]), "unbounded-history-peak")
+	}
+}
+
 func BenchmarkF1LatencyCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f := experiments.F1LatencyCDF(benchOpts)

@@ -1,5 +1,5 @@
 // Command mmbench regenerates the reconstructed evaluation of the paper:
-// every table (T1-T9), every figure (F1-F6) and the cluster-size ablation
+// every table (T1-T10), every figure (F1-F6) and the cluster-size ablation
 // (A1), printed as aligned text. The full run (no flags) reproduces the
 // numbers recorded in EXPERIMENTS.md; -quick shrinks the sweeps for a
 // fast smoke run.
@@ -57,6 +57,7 @@ func run() int {
 		{"T7", table(experiments.T7RecoveryOverhead)},
 		{"T8", table(experiments.T8Formation)},
 		{"T9", table(experiments.T9BulkDissemination)},
+		{"T10", table(experiments.T10Overload)},
 		{"F1", figure(experiments.F1LatencyCDF)},
 		{"F2", figure(experiments.F2LatencyVsLoss)},
 		{"F3", figure(experiments.F3AdaptivePlayout)},

@@ -67,12 +67,28 @@ func run() int {
 		"give up joining after this many attempts (0 retries forever)")
 	joinBackoff := flag.Duration("join-backoff-max", 0,
 		"cap on the jittered exponential join retry backoff (0 = default)")
+	flowWindow := flag.Int("flow-window", 0,
+		"bound the unstable multicast history to this many messages; sends block when full (0 = unbounded)")
+	slowGrace := flag.Duration("slow-grace", 0,
+		"catch-up budget before a slow member is evicted under -slow-policy=evict (0 = default 2s)")
+	slowPolicy := flag.String("slow-policy", "throttle",
+		"slow-receiver policy: throttle (pace senders to the laggard) or evict (remove it after -slow-grace)")
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "peer address mapping id=addr (repeatable)")
 	flag.Parse()
 
 	if *idFlag == 0 {
 		fmt.Fprintln(os.Stderr, "mmnode: -id is required and must be nonzero")
+		return 2
+	}
+	var policy scalamedia.SlowPolicy
+	switch *slowPolicy {
+	case "throttle":
+		policy = scalamedia.ThrottleToSlowest
+	case "evict":
+		policy = scalamedia.EvictSlow
+	default:
+		fmt.Fprintf(os.Stderr, "mmnode: -slow-policy must be throttle or evict, got %q\n", *slowPolicy)
 		return 2
 	}
 
@@ -88,6 +104,10 @@ func run() int {
 		JoinAttempts:   *joinAttempts,
 		JoinBackoffMax: *joinBackoff,
 
+		FlowWindow: *flowWindow,
+		SlowGrace:  *slowGrace,
+		SlowPolicy: policy,
+
 		UDPBatch:         *udpBatch,
 		UDPDecodeWorkers: *udpDecodeWorkers,
 		OnEvent: func(ev scalamedia.Event) {
@@ -100,6 +120,12 @@ func run() int {
 			case scalamedia.StreamAnnounced, scalamedia.StreamWithdrawn:
 				fmt.Printf("[%s: %s %q by %s]\n",
 					ev.Kind, ev.Stream.Spec.ID, ev.Stream.Spec.Name, ev.Node)
+			case scalamedia.MemberSlow:
+				state := "slow"
+				if !ev.Slow {
+					state = "caught up"
+				}
+				fmt.Printf("[member-slow: %s %s, lag %d]\n", ev.Node, state, ev.Lag)
 			case scalamedia.JoinFailed:
 				fmt.Fprintf(os.Stderr, "mmnode: join failed: %v\n", ev.Err)
 			}

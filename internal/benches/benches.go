@@ -173,6 +173,49 @@ func RmcastMulticastFull(b *testing.B) {
 	}
 }
 
+// RmcastMulticastFlow is RmcastMulticastFull with the stability-window
+// flow controller armed: every Multicast runs the admission check
+// (occupancy and byte accounting against FlowWindow) before the normal
+// send path. The stabilization cadence keeps the window open, so the
+// benchmark measures the uncongested fast path — its allocation budget
+// must match RmcastMulticastFull exactly, proving the flow-control check
+// adds zero allocations per send.
+func RmcastMulticastFlow(b *testing.B) {
+	env := &benchEnv{self: 1, now: time.Unix(0, 0)}
+	env.sink = func(_ id.Node, msg *wire.Message) {
+		bp := wire.GetBuf()
+		*bp = msg.Encode((*bp)[:0])
+		wire.PutBuf(bp)
+	}
+	eng := rmcast.New(env, rmcast.Config{
+		Group:      1,
+		Ordering:   rmcast.FIFO,
+		FlowWindow: 128, // twice the 64-send stabilization cadence
+		OnDeliver:  func(rmcast.Delivery) {},
+	})
+	members := make([]id.Node, benchGroupSize)
+	for i := range members {
+		members[i] = id.Node(i + 1)
+	}
+	eng.SetView(member.NewView(1, members))
+	payload := make([]byte, 256)
+	var st stabilizer
+	if err := eng.Multicast(payload); err != nil {
+		b.Fatal(err)
+	}
+	st.ack(eng, members, eng.Counters().Sent)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Multicast(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			st.ack(eng, members, eng.Counters().Sent)
+		}
+	}
+}
+
 // RmcastMulticastTotal measures one application Multicast under sharded
 // total order: node 1 is shard 0's sequencer and the merge coordinator
 // of an 8-member view, so every op runs the range-accumulation path

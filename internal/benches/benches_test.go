@@ -16,6 +16,7 @@ func BenchmarkRmcastMulticast(b *testing.B) {
 	b.Run("encode", RmcastMulticastEncode)
 	b.Run("instrumented", RmcastMulticastInstrumented)
 	b.Run("total", RmcastMulticastTotal)
+	b.Run("flow", RmcastMulticastFlow)
 }
 
 func BenchmarkTransportLoopback(b *testing.B) { TransportLoopback(b) }
@@ -91,6 +92,21 @@ func TestTotalOrderMulticastAllocNeutral(t *testing.T) {
 	res := testing.Benchmark(RmcastMulticastTotal)
 	if allocs := res.AllocsPerOp(); allocs > 4 {
 		t.Fatalf("total-order Multicast allocates %d/op, want <= 4 (0 extra over FIFO)", allocs)
+	}
+}
+
+// TestFlowMulticastAllocNeutral pins the flow-control fast path at zero
+// extra allocations: with FlowWindow armed and the window open, a
+// Multicast must fit the same 3-alloc budget as the unwindowed path —
+// the admission check is integer arithmetic on counters the engine
+// already maintains.
+func TestFlowMulticastAllocNeutral(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops Puts; alloc counts are inflated")
+	}
+	res := testing.Benchmark(RmcastMulticastFlow)
+	if allocs := res.AllocsPerOp(); allocs > 3 {
+		t.Fatalf("flow-controlled Multicast allocates %d/op, want <= 3 (0 extra over unwindowed)", allocs)
 	}
 }
 

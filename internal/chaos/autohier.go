@@ -203,7 +203,7 @@ func RunAutoHier(opts AutoHierOptions) *AutoHierTrace {
 		})
 	}
 
-	applyFaults(sim, sched, 0, &cur, base)
+	applyFaults(sim, sched, 0, &cur, base, map[id.Node]time.Duration{})
 	sim.At(autoHierWindow, func() { sim.Heal(); cur = base })
 
 	wl := rand.New(rand.NewSource(opts.Seed + 1))

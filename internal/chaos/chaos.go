@@ -62,6 +62,17 @@ type Options struct {
 	// correlated loss domains (netsim.SetLossDomains), so loss bursts gap
 	// several receivers at once — the regime suppression exists for.
 	LossDomains int
+	// FlowWindow bounds each sender's unstable history to that many
+	// messages (rmcast.Config.FlowWindow); the overload invariants only
+	// apply when it is set.
+	FlowWindow int
+	// SlowPolicy selects the slow-receiver policy (member.Config).
+	SlowPolicy member.SlowPolicy
+	// SlowGrace is the catch-up budget before EvictSlow acts.
+	SlowGrace time.Duration
+	// SlowAfter is the ack-lag threshold for flagging a member slow
+	// (rmcast.Config.SlowAfter).
+	SlowAfter int
 }
 
 func (o *Options) defaults() {
@@ -107,6 +118,15 @@ type NodeTrace struct {
 	Deliveries []Delivery
 	// CrashedEver marks nodes the schedule crashed at least once.
 	CrashedEver bool
+	// StalledEver marks nodes the schedule stalled at least once, and
+	// StallTotal is their cumulative scheduled stall time.
+	StalledEver bool
+	StallTotal  time.Duration
+	// HistoryPeak and FlowPeak are the largest unstable-history length
+	// and own-flow occupancy sampled during the run (only collected for
+	// overload runs: a Stall in the schedule or FlowWindow set).
+	HistoryPeak int
+	FlowPeak    int
 	// Up, Evicted, Joining and FinalHistory capture end-of-run state.
 	Up           bool
 	Evicted      bool
@@ -173,9 +193,17 @@ func Run(opts Options) *Trace {
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
 	cur := base
+	// slowed holds the per-node extra delay SlowLink events impose on
+	// every link touching the node; the profile closure reads it on the
+	// simulation goroutine, like cur.
+	slowed := make(map[id.Node]time.Duration)
 	sim := netsim.New(netsim.Config{
-		Seed:    opts.Seed,
-		Profile: func(_, _ id.Node) netsim.Link { return cur },
+		Seed: opts.Seed,
+		Profile: func(from, to id.Node) netsim.Link {
+			l := cur
+			l.Delay += slowed[from] + slowed[to]
+			return l
+		},
 	})
 	if d := opts.LossDomains; d > 0 {
 		sim.SetLossDomains(func(n id.Node) int { return int(n) % d })
@@ -206,6 +234,10 @@ func Run(opts Options) *Trace {
 				ResendAfter:        chaosResendAfter,
 				StabilizeEvery:     chaosStabilize,
 				DisableSuppression: opts.DisableSuppression,
+				FlowWindow:         opts.FlowWindow,
+				SlowPolicy:         opts.SlowPolicy,
+				SlowGrace:          opts.SlowGrace,
+				SlowAfter:          opts.SlowAfter,
 				Flight:             tr.Flight,
 				OnView: func(v member.View) {
 					nt.Views = append(nt.Views, ViewRec{View: v, At: sim.Elapsed()})
@@ -219,15 +251,53 @@ func Run(opts Options) *Trace {
 		})
 	}
 
+	overload := opts.FlowWindow > 0
 	for _, ev := range sched {
-		if ev.Kind == Crash {
+		switch ev.Kind {
+		case Crash:
 			tr.Nodes[ev.Node].CrashedEver = true
+		case Stall:
+			tr.Nodes[ev.Node].StalledEver = true
+			tr.Nodes[ev.Node].StallTotal += ev.Dur
+			overload = true
 		}
 	}
-	applyFaults(sim, sched, joinWindow, &cur, base)
+	applyFaults(sim, sched, joinWindow, &cur, base, slowed)
 	// Safety net: whatever the schedule did, the settle window starts
-	// healed and with clean links.
-	sim.At(joinWindow+opts.Window, func() { sim.Heal(); cur = base })
+	// healed, with clean links, every stall resumed and no slow links.
+	sim.At(joinWindow+opts.Window, func() {
+		sim.Heal()
+		cur = base
+		for _, n := range nodeIDs(opts.Nodes) {
+			sim.Resume(n)
+			delete(slowed, n)
+		}
+	})
+
+	// Overload runs sample every node's unstable-history length and own
+	// flow occupancy on a fixed cadence, so the bounded-sender-memory
+	// invariant (and the T10 experiment) can see peaks, not just the
+	// drained end state. Plain runs skip the samplers to keep their event
+	// interleaving byte-identical to earlier revisions.
+	if overload {
+		end := joinWindow + opts.Window + settleWindow
+		for at := joinWindow; at < end; at += 100 * time.Millisecond {
+			sim.At(at, func() {
+				for n, st := range stacks {
+					if !sim.Up(n) {
+						continue
+					}
+					nt := tr.Nodes[n]
+					if h := st.HistoryLen(); h > nt.HistoryPeak {
+						nt.HistoryPeak = h
+					}
+					if o := st.FlowOccupancy(); o > nt.FlowPeak {
+						nt.FlowPeak = o
+					}
+				}
+			})
+		}
+	}
 
 	// Workload: seeded senders spread across the fault window. A send is
 	// recorded only if the stack accepted it; a node that is down, still
@@ -278,10 +348,10 @@ func Run(opts Options) *Trace {
 }
 
 // applyFaults schedules a fault script on the simulator, offset by off.
-// Bursts mutate the shared link value that every scenario's profile
-// closure reads; both run on the simulation goroutine, so no locking is
-// needed.
-func applyFaults(sim *netsim.Sim, sched Schedule, off time.Duration, cur *netsim.Link, base netsim.Link) {
+// Bursts mutate the shared link value (and SlowLink the per-node delay
+// overlay) that every scenario's profile closure reads; both run on the
+// simulation goroutine, so no locking is needed.
+func applyFaults(sim *netsim.Sim, sched Schedule, off time.Duration, cur *netsim.Link, base netsim.Link, slowed map[id.Node]time.Duration) {
 	for _, ev := range sched {
 		ev := ev
 		at := off + ev.At
@@ -303,6 +373,16 @@ func applyFaults(sim *netsim.Sim, sched Schedule, off time.Duration, cur *netsim
 		case AsymmetricPartition:
 			sim.At(at, func() { sim.BlockDirected(ev.Node, ev.Peer) })
 			sim.At(at+ev.Dur, func() { sim.UnblockDirected(ev.Node, ev.Peer) })
+		case Stall:
+			sim.At(at, func() { sim.Stall(ev.Node) })
+			sim.At(at+ev.Dur, func() { sim.Resume(ev.Node) })
+		case SlowLink:
+			delay := ev.Delay
+			if delay <= 0 {
+				delay = 25 * time.Millisecond
+			}
+			sim.At(at, func() { slowed[ev.Node] = delay })
+			sim.At(at+ev.Dur, func() { delete(slowed, ev.Node) })
 		}
 	}
 }

@@ -120,7 +120,7 @@ func RunHier(opts HierOptions) *HierTrace {
 		})
 	}
 
-	applyFaults(sim, sched, 0, &cur, base)
+	applyFaults(sim, sched, 0, &cur, base, map[id.Node]time.Duration{})
 	sim.At(window, func() { sim.Heal(); cur = base })
 
 	wl := rand.New(rand.NewSource(opts.Seed + 1))

@@ -40,6 +40,16 @@ import (
 //     bounded — backoff, suppression and damping must prevent the NACK
 //     implosion / repair-storm failure modes whatever the schedule did
 //   - progress: the group formed and the workload delivered something
+//   - bounded-sender-memory (FlowWindow runs): no sender's own unstable
+//     backlog ever exceeded the flow window, however long a receiver
+//     stalled
+//   - no-false-slow-eviction (stall-only schedules): a member that is
+//     merely slow is evicted only by the EvictSlow policy and only after
+//     its grace budget — never by the failure detector, and never when
+//     it was not the one stalled
+//   - throughput-floor (EvictSlow stall runs): one laggard must not
+//     wedge the group; after the eviction the window reopens and the
+//     majority of the offered workload still gets through
 func (tr *Trace) Violations() []string {
 	var out []string
 	out = append(out, tr.checkProgress()...)
@@ -60,6 +70,9 @@ func (tr *Trace) Violations() []string {
 	out = append(out, tr.checkValidity()...)
 	out = append(out, tr.checkGCDrain()...)
 	out = append(out, tr.checkNoRepairStorm()...)
+	out = append(out, tr.checkBoundedSenderMemory()...)
+	out = append(out, tr.checkNoFalseSlowEviction()...)
+	out = append(out, tr.checkThroughputFloor()...)
 	return out
 }
 
@@ -516,6 +529,115 @@ func (tr *Trace) checkGCDrain() []string {
 		}
 	}
 	return out
+}
+
+// stallOnly reports whether the schedule's only membership-threatening
+// faults are stalls and slow links: no crash, restart, partition or
+// asymmetric block anywhere. The slow-receiver invariants quantify only
+// over such runs, where any eviction is attributable to slow-member
+// policy rather than to legitimate failure handling.
+func (tr *Trace) stallOnly() bool {
+	for _, ev := range tr.Schedule {
+		switch ev.Kind {
+		case Crash, Restart, PartitionSplit, AsymmetricPartition:
+			return false
+		}
+	}
+	return true
+}
+
+// checkBoundedSenderMemory verifies the flow-control contract on runs
+// with a window configured: the periodic sampler never caught any
+// sender's own unstable backlog above FlowWindow, no matter how long a
+// receiver stalled. Without the window the backlog grows with the stall
+// (the ablation the T10 experiment measures); with it, Multicast must
+// backpressure instead of buffering.
+func (tr *Trace) checkBoundedSenderMemory() []string {
+	w := tr.Opts.FlowWindow
+	if w <= 0 {
+		return nil
+	}
+	var out []string
+	for _, n := range tr.Order {
+		if p := tr.Nodes[n].FlowPeak; p > w {
+			out = append(out, fmt.Sprintf(
+				"bounded-sender-memory: n%d's unstable backlog peaked at %d, above flow window %d",
+				n, p, w))
+		}
+	}
+	return out
+}
+
+// checkNoFalseSlowEviction verifies that slowness is handled by policy,
+// not by the failure detector, on stall-only schedules: a stalled member
+// keeps sending heartbeats, so only the EvictSlow policy may remove it,
+// only after its grace budget, and members that never stalled must not
+// be evicted at all.
+func (tr *Trace) checkNoFalseSlowEviction() []string {
+	if !tr.stallOnly() {
+		return nil
+	}
+	stalled := false
+	for _, n := range tr.Order {
+		if tr.Nodes[n].StalledEver {
+			stalled = true
+		}
+	}
+	if !stalled {
+		return nil
+	}
+	grace := tr.Opts.SlowGrace
+	if grace <= 0 {
+		grace = member.DefaultSlowGrace
+	}
+	var out []string
+	for _, n := range tr.Order {
+		nt := tr.Nodes[n]
+		if !nt.Evicted {
+			continue
+		}
+		switch {
+		case !nt.StalledEver:
+			out = append(out, fmt.Sprintf(
+				"no-false-slow-eviction: n%d never stalled but was evicted", n))
+		case tr.Opts.SlowPolicy != member.EvictSlow:
+			out = append(out, fmt.Sprintf(
+				"no-false-slow-eviction: n%d evicted under the %v policy (stall must only throttle)",
+				n, tr.Opts.SlowPolicy))
+		case nt.StallTotal < grace:
+			out = append(out, fmt.Sprintf(
+				"no-false-slow-eviction: n%d stalled %v, evicted before its %v grace",
+				n, nt.StallTotal, grace))
+		}
+	}
+	return out
+}
+
+// checkThroughputFloor verifies that one laggard cannot wedge a
+// flow-controlled group running the EvictSlow policy: the window blocks
+// while the laggard lags, the grace expires, the eviction reopens the
+// window, and at least half the offered workload is still accepted and
+// sent. (Under ThrottleToSlowest collapsing to the laggard's pace is the
+// contract, so no floor applies.)
+func (tr *Trace) checkThroughputFloor() []string {
+	if tr.Opts.FlowWindow <= 0 || tr.Opts.SlowPolicy != member.EvictSlow || !tr.stallOnly() {
+		return nil
+	}
+	stalled := false
+	for _, n := range tr.Order {
+		if tr.Nodes[n].StalledEver {
+			stalled = true
+		}
+	}
+	if !stalled {
+		return nil
+	}
+	if floor := tr.Opts.Msgs / 2; len(tr.Sent) < floor {
+		return []string{fmt.Sprintf(
+			"throughput-floor: only %d of %d offered multicasts were accepted (floor %d): the laggard wedged the window",
+			len(tr.Sent), tr.Opts.Msgs, floor)}
+	}
+	return nil
 }
 
 // CheckHierTopology is the hierarchy well-formedness invariant, checked

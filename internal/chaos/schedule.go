@@ -46,6 +46,18 @@ const (
 	// case — a joiner whose requests arrive but whose admission traffic
 	// is blackholed must be quarantined, not wedge the coordinator.
 	AsymmetricPartition
+	// Stall wedges a node's receive path for Dur: the node stays up —
+	// ticking, sending heartbeats and gossiping its (now stale) stability
+	// vector — but drains no inbound traffic until the stall lifts, when
+	// the whole backlog is delivered in order. This is the slow-receiver
+	// case the flow-control and slow-member machinery exists for, and it
+	// is deliberately NOT a crash: peers keep hearing the node, so the
+	// failure detector must not be the thing that handles it.
+	Stall
+	// SlowLink inflates the propagation delay of every link touching
+	// Node by Delay for Dur: a congested last hop rather than a wedged
+	// process. The node keeps draining, just late.
+	SlowLink
 )
 
 // String returns the kind's schedule-notation name.
@@ -65,6 +77,10 @@ func (k EventKind) String() string {
 		return "dup"
 	case AsymmetricPartition:
 		return "asym"
+	case Stall:
+		return "stall"
+	case SlowLink:
+		return "slowlink"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -90,6 +106,8 @@ type Event struct {
 	Dup  float64
 	// Dur is how long a burst lasts before reverting.
 	Dur time.Duration
+	// Delay is the extra per-link propagation delay for SlowLink.
+	Delay time.Duration
 }
 
 // String renders one event in compact schedule notation.
@@ -115,6 +133,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v dup %.2f for %v", e.At, e.Dup, e.Dur)
 	case AsymmetricPartition:
 		return fmt.Sprintf("%v asym n%d->n%d for %v", e.At, e.Node, e.Peer, e.Dur)
+	case Stall:
+		return fmt.Sprintf("%v stall n%d for %v", e.At, e.Node, e.Dur)
+	case SlowLink:
+		return fmt.Sprintf("%v slowlink n%d +%v for %v", e.At, e.Node, e.Delay, e.Dur)
 	default:
 		return fmt.Sprintf("%v %s", e.At, e.Kind)
 	}

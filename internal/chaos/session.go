@@ -76,9 +76,14 @@ func RunSession(opts SessionOptions) *SessionTrace {
 
 	base := netsim.Link{Delay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.02}
 	cur := base
+	slowed := make(map[id.Node]time.Duration)
 	sim := netsim.New(netsim.Config{
-		Seed:    opts.Seed,
-		Profile: func(_, _ id.Node) netsim.Link { return cur },
+		Seed: opts.Seed,
+		Profile: func(from, to id.Node) netsim.Link {
+			l := cur
+			l.Delay += slowed[from] + slowed[to]
+			return l
+		},
 	})
 
 	engines := make(map[id.Node]*session.Engine, opts.Nodes)
@@ -114,8 +119,15 @@ func RunSession(opts SessionOptions) *SessionTrace {
 		})
 	}
 
-	applyFaults(sim, sched, joinWindow, &cur, base)
-	sim.At(joinWindow+window, func() { sim.Heal(); cur = base })
+	applyFaults(sim, sched, joinWindow, &cur, base, slowed)
+	sim.At(joinWindow+window, func() {
+		sim.Heal()
+		cur = base
+		for _, n := range tr.Order {
+			sim.Resume(n)
+			delete(slowed, n)
+		}
+	})
 
 	// Workload: seeded announces and withdrawals. Stream IDs encode the
 	// owner so concurrent announcers never collide.

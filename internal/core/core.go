@@ -64,6 +64,32 @@ type Config struct {
 	// the suppression timers; see rmcast.Config.Distance.
 	Distance func(id.Node) time.Duration
 
+	// FlowWindow bounds this sender's unstable multicast history in
+	// messages; a full window makes Multicast return
+	// rmcast.ErrBackpressure until stability frees slots. Zero disables
+	// flow control (the historical unbounded behaviour). Flow control
+	// applies to the flat multicast path only; the AutoHier overlay path
+	// bypasses it.
+	FlowWindow int
+	// FlowWindowBytes additionally bounds the window in payload bytes;
+	// zero means no byte bound.
+	FlowWindowBytes int
+	// SlowAfter is the ack-lag (messages) past which a member is flagged
+	// slow; zero derives a default from FlowWindow. See
+	// rmcast.Config.SlowAfter.
+	SlowAfter int
+	// SlowPolicy and SlowGrace select what happens to flagged members:
+	// throttle senders to them (default) or evict after the grace budget.
+	// See member.Config.
+	SlowPolicy member.SlowPolicy
+	SlowGrace  time.Duration
+	// OnFlowOpen fires when a previously full flow window drains below
+	// its bound; see rmcast.Config.OnFlowOpen.
+	OnFlowOpen func()
+	// OnSlow observes slow-flag transitions: peer, its ack lag, and
+	// whether it is now flagged. Called from the event loop.
+	OnSlow func(peer id.Node, lag uint64, slow bool)
+
 	// AutoHier routes application multicasts through a self-organizing
 	// hierarchical overlay (internal/hier): nodes measure peer RTTs,
 	// cluster by latency, elect coordinators and reshape under churn.
@@ -144,6 +170,19 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 	if cfg.AutoHier && dist == nil {
 		dist = func(p id.Node) time.Duration { return s.hier.PeerDistance(p) }
 	}
+	// Slow tracking is opt-in: it only runs when some overload knob or
+	// observer asks for it, so existing configurations keep their exact
+	// behaviour (no extra flight events or counter churn).
+	var onSlow func(id.Node, uint64, bool)
+	if cfg.FlowWindow > 0 || cfg.SlowAfter > 0 ||
+		cfg.SlowPolicy == member.EvictSlow || cfg.OnSlow != nil {
+		onSlow = func(peer id.Node, lag uint64, slow bool) {
+			s.member.SetSlow(peer, slow)
+			if cfg.OnSlow != nil {
+				cfg.OnSlow(peer, lag, slow)
+			}
+		}
+	}
 	s.mcast = rmcast.New(env, rmcast.Config{
 		Group:              cfg.Group,
 		Ordering:           cfg.Ordering,
@@ -153,6 +192,11 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		Suppression:        cfg.Suppression,
 		DisableSuppression: cfg.DisableSuppression,
 		Distance:           dist,
+		FlowWindow:         cfg.FlowWindow,
+		FlowWindowBytes:    cfg.FlowWindowBytes,
+		SlowAfter:          cfg.SlowAfter,
+		OnFlowOpen:         cfg.OnFlowOpen,
+		OnSlow:             onSlow,
 		OnDeliver:          cfg.OnDeliver,
 		Metrics:            cfg.Metrics,
 		MetricsPrefix:      cfg.MetricsPrefix,
@@ -240,6 +284,8 @@ func NewStack(env proto.Env, cfg Config) *Stack {
 		JoinBackoffMax:   cfg.JoinBackoffMax,
 		JoinAttempts:     cfg.JoinAttempts,
 		AdvertiseAddr:    cfg.AdvertiseAddr,
+		SlowPolicy:       cfg.SlowPolicy,
+		SlowGrace:        cfg.SlowGrace,
 		PrimaryPartition: cfg.PrimaryPartition,
 		Snapshot:         cfg.Snapshot,
 		OnState:          cfg.OnState,
@@ -318,6 +364,16 @@ func (s *Stack) Counters() rmcast.Counters { return s.mcast.Counters() }
 // HistoryLen exposes the multicast layer's unstable-history size, used by
 // the chaos harness to verify stability garbage collection.
 func (s *Stack) HistoryLen() int { return s.mcast.HistoryLen() }
+
+// FlowOccupancy exposes the sender's own unstable-history occupancy —
+// the quantity Config.FlowWindow bounds.
+func (s *Stack) FlowOccupancy() int { return s.mcast.FlowOccupancy() }
+
+// FlowBlocked reports whether the sender's flow window is currently full.
+func (s *Stack) FlowBlocked() bool { return s.mcast.FlowBlocked() }
+
+// SlowMembers returns the members this node currently flags as slow.
+func (s *Stack) SlowMembers() []id.Node { return s.member.SlowMembers() }
 
 // Member exposes the membership engine (for suspicion queries).
 func (s *Stack) Member() *member.Engine { return s.member }

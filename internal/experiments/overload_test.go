@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"scalamedia/internal/member"
+)
+
+func TestT10Shape(t *testing.T) {
+	tab := T10Overload(quick)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (baseline + 3 arms)", len(tab.Rows))
+	}
+	names := []string{"no-fault", "unbounded", "flow-throttle", "flow-evict"}
+	for i, row := range tab.Rows {
+		if row[0] != names[i] {
+			t.Fatalf("row %d = %s, want %s", i, row[0], names[i])
+		}
+	}
+}
+
+// TestT10 checks the acceptance bar at full scale: n=64, one receiver
+// stalled for 5 seconds.
+//
+//   - The unbounded ablation's sender history grows far past the window
+//     the flow-controlled arms respect: bounded memory is the window's
+//     doing, not the workload's.
+//   - Both flow-controlled arms keep every sender's own occupancy at or
+//     under FlowWindow, however long the stall.
+//   - The stalled member is never evicted under ThrottleToSlowest, and
+//     under EvictSlow only after its grace budget.
+//   - With the laggard evicted, accepted throughput recovers to at least
+//     80% of the no-fault baseline.
+func TestT10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full T10 runs via scripts/check.sh smoke or the long tier")
+	}
+	base, arms := overloadArms(Options{})
+	const flowWindow = 16
+
+	baseline := runOverload(base)
+	if baseline.accepted == 0 {
+		t.Fatal("baseline accepted nothing")
+	}
+
+	results := make(map[string]overloadResult, len(arms))
+	for _, arm := range arms {
+		results[arm.name] = runOverload(arm.p)
+	}
+
+	unbounded := results["unbounded"]
+	if unbounded.historyPeak <= 4*flowWindow {
+		t.Errorf("unbounded ablation history peak %d: stall never built a backlog worth bounding",
+			unbounded.historyPeak)
+	}
+	for _, name := range []string{"flow-throttle", "flow-evict"} {
+		r := results[name]
+		if r.flowPeak > flowWindow {
+			t.Errorf("%s: sender occupancy peaked at %d, above the %d window",
+				name, r.flowPeak, flowWindow)
+		}
+		if r.blocked == 0 {
+			t.Errorf("%s: no send ever hit backpressure; the arm exercised nothing", name)
+		}
+	}
+
+	throttle := results["flow-throttle"]
+	if throttle.evicted {
+		t.Error("flow-throttle: stalled member was evicted under ThrottleToSlowest")
+	}
+	evict := results["flow-evict"]
+	if !evict.evicted {
+		t.Error("flow-evict: stalled member was never evicted")
+	}
+	if evict.evictAt > 0 && evict.evictAt < evict.stallAt+arms[0].p.grace {
+		t.Errorf("flow-evict: eviction at %v, before the stall's %v grace budget",
+			evict.evictAt-evict.stallAt, arms[0].p.grace)
+	}
+	if 10*evict.throughput < 8*baseline.throughput {
+		t.Errorf("flow-evict throughput %.0f/s under 80%% of baseline %.0f/s",
+			evict.throughput, baseline.throughput)
+	}
+}
+
+// TestT10Smoke32 is the bounded slice scripts/check.sh runs: the quick
+// configuration (n=32, one member stalled 2.5s) must keep sender memory
+// at the window and must not evict the laggard under the throttle
+// policy.
+func TestT10Smoke32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T10 smoke runs via scripts/check.sh, not in -short")
+	}
+	p := overloadParams{
+		n: 32, msgs: 240, window: 4 * time.Second,
+		flowWindow: 16, policy: member.ThrottleToSlowest,
+		stall: 2500 * time.Millisecond, seed: 1001,
+	}
+	r := runOverload(p)
+	t.Logf("hist-peak=%d flow-peak=%d accepted=%d blocked=%d evicted=%v",
+		r.historyPeak, r.flowPeak, r.accepted, r.blocked, r.evicted)
+	if r.flowPeak > p.flowWindow {
+		t.Fatalf("sender occupancy peaked at %d, above the %d window", r.flowPeak, p.flowWindow)
+	}
+	if r.blocked == 0 {
+		t.Fatal("no send ever hit backpressure; the stall exercised nothing")
+	}
+	if r.evicted {
+		t.Fatal("stalled member evicted under ThrottleToSlowest: the detector mistook slow for crashed")
+	}
+	if r.accepted < p.msgs/2 {
+		t.Fatalf("only %d of %d offered multicasts accepted: the laggard wedged the window",
+			r.accepted, p.msgs)
+	}
+}

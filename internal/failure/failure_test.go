@@ -234,3 +234,60 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatalf("SuspectAfter = %v", det.cfg.SuspectAfter)
 	}
 }
+
+// TestHeartbeatCrowdingSchedule is the slow-receiver regression for the
+// liveness rule: a busy sender whose heartbeat slots are entirely crowded
+// out by data bursts — zero heartbeats for the whole run, data arriving
+// in clumps separated by gaps just under the suspicion threshold — must
+// never be suspected, because any traffic refreshes the deadline. Once
+// the bursts stop completely, suspicion must still arrive on schedule:
+// the data traffic deferred it, not disabled it.
+func TestHeartbeatCrowdingSchedule(t *testing.T) {
+	s := netsim.New(netsim.Config{Seed: 8})
+	const suspectAfter = 200 * time.Millisecond
+	var d1 *Detector
+	var events []Event
+	var env2 proto.Env
+	s.AddNode(1, func(env proto.Env) proto.Handler {
+		d1 = New(env, Config{
+			Group:          1,
+			HeartbeatEvery: 50 * time.Millisecond,
+			SuspectAfter:   suspectAfter,
+			OnEvent:        func(ev Event) { events = append(events, ev) },
+		})
+		d1.SetPeers([]id.Node{2})
+		return d1
+	})
+	s.AddNode(2, func(env proto.Env) proto.Handler {
+		env2 = env
+		return proto.NewMux() // no detector: node 2 never heartbeats
+	})
+	// Bursts of data every 180ms (inside the 200ms threshold), ten
+	// back-to-back messages each — the crowding pattern of a sender whose
+	// outbound queue is full of media traffic.
+	lastBurst := time.Duration(0)
+	for off := 20 * time.Millisecond; off < 2*time.Second; off += 180 * time.Millisecond {
+		off := off
+		lastBurst = off
+		s.At(off, func() {
+			for i := uint64(0); i < 10; i++ {
+				env2.Send(1, &wire.Message{Kind: wire.KindData, Group: 1, Seq: i + 1})
+			}
+		})
+	}
+	var suspectedMid bool
+	s.At(lastBurst, func() { suspectedMid = d1.Suspected(2) })
+	s.Run(4 * time.Second)
+	if suspectedMid {
+		t.Error("peer suspected while its data bursts kept arriving")
+	}
+	for _, ev := range events {
+		if ev.Suspected && ev.At.Sub(time.Time{}) < lastBurst+suspectAfter {
+			t.Errorf("suspicion at %v, before the last burst's %v deadline",
+				ev.At.Sub(time.Time{}), lastBurst+suspectAfter)
+		}
+	}
+	if !d1.Suspected(2) {
+		t.Error("peer never suspected after its traffic stopped for good")
+	}
+}

@@ -50,6 +50,12 @@ const (
 	EvLeaderTakeover        // hier: node assumed formation leadership (a=epoch base)
 	EvRelayPromote          // hier: node became its cluster's coordinator (a=epoch)
 	EvRelayDemote           // hier: node lost its coordinator role (a=epoch)
+	EvFlowBlock             // rmcast: flow window filled, sends backpressured (a=next seq, b=occupancy)
+	EvFlowOpen              // rmcast: flow window drained below the bound (a=occupancy)
+	EvSlowFlag              // rmcast: member flagged slow (a=peer, b=lag)
+	EvSlowClear             // rmcast: slow member caught up (a=peer)
+	EvSlowEvict             // member: slow member marked for eviction after grace (a=peer)
+	EvFrameShed             // media: frame shed by degradation (a=stream, b=seq)
 	evMax
 )
 
@@ -82,6 +88,12 @@ var codeNames = [evMax]string{
 	EvLeaderTakeover:   "leader-takeover",
 	EvRelayPromote:     "relay-promote",
 	EvRelayDemote:      "relay-demote",
+	EvFlowBlock:        "flow-block",
+	EvFlowOpen:         "flow-open",
+	EvSlowFlag:         "slow-flag",
+	EvSlowClear:        "slow-clear",
+	EvSlowEvict:        "slow-evict",
+	EvFrameShed:        "frame-shed",
 }
 
 // String returns the event code's name.

@@ -86,6 +86,12 @@ type Frame struct {
 	// Marker flags the start of a talkspurt (audio) or the last packet
 	// of a video frame, matching RTP marker conventions.
 	Marker bool
+	// Droppable marks a frame the application can afford to lose — an
+	// enhancement-layer or non-reference frame. Under overload (QoS
+	// policer pressure or multicast flow-control pushback) the media
+	// sender sheds droppable frames first; frames left unmarked are
+	// treated as essential and only fail by the policer's own verdict.
+	Droppable bool
 }
 
 // Source produces a stream's frames in capture order.

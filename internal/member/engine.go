@@ -2,6 +2,7 @@ package member
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -17,7 +18,40 @@ import (
 const (
 	DefaultJoinRetry    = 200 * time.Millisecond
 	DefaultFlushTimeout = 600 * time.Millisecond
+	// DefaultSlowGrace is how long a member may stay flagged slow before
+	// the EvictSlow policy marks it for eviction.
+	DefaultSlowGrace = 2 * time.Second
 )
+
+// SlowPolicy selects how the group treats a member that is alive but not
+// draining traffic (flagged via SetSlow from the multicast layer's ack-lag
+// tracking).
+type SlowPolicy uint8
+
+const (
+	// ThrottleToSlowest (the default) never evicts for slowness: the
+	// multicast flow window backpressures senders to the laggard's drain
+	// rate instead. The group stays whole at the cost of throughput.
+	ThrottleToSlowest SlowPolicy = iota
+	// EvictSlow removes a member that stays flagged slow for a full
+	// SlowGrace budget, trading the laggard's membership for restored
+	// group throughput. The grace budget is what separates this from the
+	// failure detector misclassifying "slow" as "crashed": a member is
+	// never evicted for slowness on first flag.
+	EvictSlow
+)
+
+// String returns the policy name.
+func (p SlowPolicy) String() string {
+	switch p {
+	case ThrottleToSlowest:
+		return "throttle-to-slowest"
+	case EvictSlow:
+		return "evict-slow"
+	default:
+		return fmt.Sprintf("SlowPolicy(%d)", uint8(p))
+	}
+}
 
 // maxJoinRounds is the coordinator's admission retry budget: a joiner
 // that sits in consecutive failed proposal rounds without ever acking is
@@ -112,6 +146,14 @@ type Config struct {
 	// Flight, when non-nil, records view proposals, installations and
 	// evictions into the flight recorder ring.
 	Flight *flightrec.Recorder
+	// SlowPolicy selects what happens to members flagged slow via
+	// SetSlow: throttle senders to them (default) or evict after
+	// SlowGrace. See the SlowPolicy constants.
+	SlowPolicy SlowPolicy
+	// SlowGrace is the budget a slow member gets to catch up before the
+	// EvictSlow policy slates it for eviction. Defaults to
+	// DefaultSlowGrace. Ignored under ThrottleToSlowest.
+	SlowGrace time.Duration
 	// StabilityVector, when set, supplies the multicast layer's delivery
 	// state: per-sender contiguously delivered counts plus the count of
 	// totally-ordered slots delivered. FlushOK messages then carry it,
@@ -154,6 +196,8 @@ type Engine struct {
 	mEvictions    *stats.Counter
 	mJoinAttempts *stats.Counter
 	mQuarantined  *stats.Counter
+	mSlowFlagged  *stats.Counter
+	mSlowEvicted  *stats.Counter
 	mJoinBackoff  *stats.Histogram
 
 	view    View // zero-ID means no view installed yet
@@ -183,6 +227,16 @@ type Engine struct {
 	pendingEvict map[id.Node]bool
 	left         map[id.Node]bool
 	quarantine   map[id.Node]quarEntry
+
+	// Slow-receiver state. slowSince records when each peer was flagged
+	// slow (fed by SetSlow from the multicast layer's ack-lag tracking).
+	// slowEvict holds slow members whose grace budget expired under the
+	// EvictSlow policy. Unlike pendingEvict it is NOT cancelled by
+	// inbound traffic: a stalled node keeps heartbeating and gossiping a
+	// stale ack vector, so liveness evidence is exactly what slowness
+	// looks like on the wire. Only catching up (SetSlow false) clears it.
+	slowSince map[id.Node]time.Time
+	slowEvict map[id.Node]bool
 	proposal     *proposalState
 	highestSent  id.View // highest view number this node ever proposed
 
@@ -241,6 +295,8 @@ func New(env proto.Env, cfg Config) *Engine {
 		mEvictions:    &stats.Counter{},
 		mJoinAttempts: &stats.Counter{},
 		mQuarantined:  &stats.Counter{},
+		mSlowFlagged:  &stats.Counter{},
+		mSlowEvicted:  &stats.Counter{},
 		mJoinBackoff:  &stats.Histogram{},
 		rng:           uint64(env.Self())*0x9e3779b97f4a7c15 + 1,
 		addrs:         make(map[id.Node]string),
@@ -248,6 +304,8 @@ func New(env proto.Env, cfg Config) *Engine {
 		pendingEvict:  make(map[id.Node]bool),
 		left:          make(map[id.Node]bool),
 		quarantine:    make(map[id.Node]quarEntry),
+		slowSince:     make(map[id.Node]time.Time),
+		slowEvict:     make(map[id.Node]bool),
 		lastEject:     make(map[id.Node]time.Time),
 	}
 	e.reach, _ = env.(reachability)
@@ -257,6 +315,8 @@ func New(env proto.Env, cfg Config) *Engine {
 		e.mEvictions = cfg.Metrics.Counter("member.evictions")
 		e.mJoinAttempts = cfg.Metrics.Counter("member.join_attempts")
 		e.mQuarantined = cfg.Metrics.Counter("member.quarantined")
+		e.mSlowFlagged = cfg.Metrics.Counter("member.slow_flagged")
+		e.mSlowEvicted = cfg.Metrics.Counter("member.slow_evicted")
 		e.mJoinBackoff = cfg.Metrics.Histogram("member.join_backoff_ms")
 	}
 	e.det = failure.New(env, failure.Config{
@@ -290,6 +350,61 @@ func (e *Engine) Quarantined() []id.Node {
 
 // Evicted reports whether the node was removed from the group.
 func (e *Engine) Evicted() bool { return e.evicted }
+
+// SetSlow updates a member's slow flag from the multicast layer's ack-lag
+// tracking. Flagging starts the grace clock (once; re-flagging while
+// already flagged does not restart it); clearing stops it and — under
+// EvictSlow — pardons a member already slated, provided the view change
+// has not committed yet. Call from the event loop.
+func (e *Engine) SetSlow(peer id.Node, slow bool) {
+	if peer == e.env.Self() {
+		return
+	}
+	if slow {
+		if _, ok := e.slowSince[peer]; !ok {
+			e.slowSince[peer] = e.env.Now()
+			e.mSlowFlagged.Inc()
+		}
+		return
+	}
+	delete(e.slowSince, peer)
+	delete(e.slowEvict, peer)
+}
+
+// SlowMembers returns the members currently flagged slow, sorted.
+func (e *Engine) SlowMembers() []id.Node {
+	out := make([]id.Node, 0, len(e.slowSince))
+	for n := range e.slowSince {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// slowGrace returns the configured grace budget (defaulted).
+func (e *Engine) slowGrace() time.Duration {
+	if e.cfg.SlowGrace > 0 {
+		return e.cfg.SlowGrace
+	}
+	return DefaultSlowGrace
+}
+
+// checkSlowGrace slates members whose slow-grace budget has expired for
+// eviction (EvictSlow policy only). Runs on the coordinator each tick.
+func (e *Engine) checkSlowGrace(now time.Time) {
+	if e.cfg.SlowPolicy != EvictSlow {
+		return
+	}
+	for m, since := range e.slowSince {
+		if e.slowEvict[m] || !e.view.Contains(m) {
+			continue
+		}
+		if now.Sub(since) >= e.slowGrace() {
+			e.slowEvict[m] = true
+			e.rec(flightrec.EvSlowEvict, uint64(m), uint64(now.Sub(since).Milliseconds()))
+		}
+	}
+}
 
 // Suspects returns the currently suspected members of the view.
 func (e *Engine) Suspects() []id.Node {
@@ -428,6 +543,7 @@ func (e *Engine) OnTick(now time.Time) {
 		return
 	}
 	e.expirePending(now)
+	e.checkSlowGrace(now)
 
 	if e.proposal != nil {
 		// The coordinator re-sends the proposal to members yet to ack,
@@ -514,6 +630,11 @@ func (e *Engine) anyEvictionPending() bool {
 			return true
 		}
 	}
+	for m := range e.slowEvict {
+		if e.view.Contains(m) {
+			return true
+		}
+	}
 	return len(e.Suspects()) > 0
 }
 
@@ -572,6 +693,8 @@ func (e *Engine) onJoinReq(joiner id.Node, msg *wire.Message) {
 	// A rejoining node is alive again, and its former departure is over.
 	delete(e.pendingEvict, joiner)
 	delete(e.left, joiner)
+	delete(e.slowSince, joiner)
+	delete(e.slowEvict, joiner)
 }
 
 // canReach reports whether this node has any route to a joiner: an
@@ -640,8 +763,11 @@ func (e *Engine) onLeave(leaver id.Node) {
 // with the detector's current suspicions, so a member suspected during a
 // transient partition and heard from again is not evicted.
 func (e *Engine) propose(now time.Time) {
-	evict := make(map[id.Node]bool, len(e.pendingEvict))
+	evict := make(map[id.Node]bool, len(e.pendingEvict)+len(e.slowEvict))
 	for m := range e.pendingEvict {
+		evict[m] = true
+	}
+	for m := range e.slowEvict {
 		evict[m] = true
 	}
 	for _, m := range e.Suspects() {
@@ -954,6 +1080,9 @@ func (e *Engine) maybeCommit() {
 	for _, m := range e.view.Members {
 		if !p.view.Contains(m) && !e.left[m] {
 			e.mEvictions.Inc()
+			if e.slowEvict[m] {
+				e.mSlowEvicted.Inc()
+			}
 			e.rec(flightrec.EvEvict, uint64(m), uint64(p.view.ID))
 		}
 	}
@@ -994,6 +1123,12 @@ func (e *Engine) maybeCommit() {
 		if !p.view.Contains(m) {
 			delete(e.pendingEvict, m)
 			delete(e.left, m)
+		}
+	}
+	for m := range e.slowEvict {
+		if !p.view.Contains(m) {
+			delete(e.slowEvict, m)
+			delete(e.slowSince, m)
 		}
 	}
 	// Application state transfer to the members this commit admitted.
@@ -1129,6 +1264,13 @@ func (e *Engine) install(v View) {
 	for n := range e.addrs {
 		if !v.Contains(n) && e.pendingJoin[n] == nil {
 			delete(e.addrs, n)
+		}
+	}
+	// Slow-receiver state only makes sense for current members.
+	for n := range e.slowSince {
+		if !v.Contains(n) {
+			delete(e.slowSince, n)
+			delete(e.slowEvict, n)
 		}
 	}
 	e.committedLog = append(e.committedLog, v)

@@ -257,6 +257,7 @@ func (s *Sim) Replace(n id.Node, build func(env proto.Env) proto.Handler) proto.
 	if !ok {
 		panic(fmt.Sprintf("netsim: Replace of unknown node %s", n))
 	}
+	s.Crash(n) // releases any stalled backlog with the old process
 	node.epoch++
 	node.up = true
 	node.handler = build(node)
@@ -275,10 +276,56 @@ func (s *Sim) At(offset time.Duration, f func()) {
 }
 
 // Crash marks a node failed: it stops ticking, sending and receiving.
+// Any backlog a stall accumulated is lost with the process.
 func (s *Sim) Crash(n id.Node) {
 	if node, ok := s.nodes[n]; ok {
 		node.up = false
+		node.stalled = false
+		for i := range node.backlog {
+			ev := &node.backlog[i]
+			if len(ev.buf) > 0 {
+				s.drop(wire.Kind(ev.buf[0]))
+			} else {
+				s.dropped++
+			}
+			wire.PutBuf(ev.bp)
+		}
+		node.backlog = nil
 	}
+}
+
+// Stall wedges a node's inbound path: the process stays alive — it keeps
+// ticking, sending heartbeats and gossiping its (now stale) delivery
+// state — but arriving datagrams queue in a backlog instead of reaching
+// the handler, like a host whose receive thread is blocked on a full
+// socket buffer or a long GC pause. Resume drains the backlog in arrival
+// order. This is the slow-receiver fault: distinguishable from a crash
+// precisely because the node's outbound traffic never stops.
+func (s *Sim) Stall(n id.Node) {
+	if node, ok := s.nodes[n]; ok && node.up {
+		node.stalled = true
+	}
+}
+
+// Resume unwedges a stalled node and delivers its queued backlog in
+// arrival order at the current virtual instant.
+func (s *Sim) Resume(n id.Node) {
+	node, ok := s.nodes[n]
+	if !ok || !node.stalled {
+		return
+	}
+	node.stalled = false
+	backlog := node.backlog
+	node.backlog = nil
+	for i := range backlog {
+		s.deliver(&backlog[i])
+	}
+}
+
+// Stalled reports whether a node's inbound path is currently wedged.
+func (s *Sim) Stalled(n id.Node) bool {
+	node, ok := s.nodes[n]
+	return ok && node.stalled
 }
 
 // Restart brings a crashed node back (same engine state; the membership
@@ -519,6 +566,12 @@ func (s *Sim) deliver(ev *event) {
 		wire.PutBuf(ev.bp)
 		return
 	}
+	if node.stalled {
+		// Inbound path wedged: queue the datagram (the event retains its
+		// pooled buffer) for Resume to drain in arrival order.
+		node.backlog = append(node.backlog, *ev)
+		return
+	}
 	// Decode a fresh message per delivery: ownership transfers to the
 	// handler, which may retain it (rmcast keeps delivered messages in
 	// its retransmission history), exactly as with the live endpoint.
@@ -546,6 +599,8 @@ type simNode struct {
 	self    id.Node
 	handler proto.Handler
 	up      bool
+	stalled bool
+	backlog []event // inbound deliveries queued while stalled
 	epoch   int32
 }
 

@@ -119,11 +119,33 @@ var (
 // Controller performs admission control over a fixed capacity budget
 // (bytes per second of sustained rate). It is safe for concurrent use.
 type Controller struct {
-	mu       sync.Mutex
-	capacity float64
-	used     float64
-	flows    map[id.Stream]FlowSpec
-	buckets  map[id.Stream]*TokenBucket
+	mu        sync.Mutex
+	capacity  float64
+	used      float64
+	flows     map[id.Stream]FlowSpec
+	buckets   map[id.Stream]*TokenBucket
+	onDegrade func(stream id.Stream, bytes int)
+}
+
+// SetOnDegrade installs a callback invoked whenever a sender reports
+// shedding traffic on an admitted flow (NotifyDegrade) — the QoS layer's
+// view of graceful degradation in progress. The callback must not call
+// back into the controller.
+func (c *Controller) SetOnDegrade(fn func(stream id.Stream, bytes int)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDegrade = fn
+}
+
+// NotifyDegrade reports that bytes of stream traffic were shed under
+// overload, forwarding to the degradation callback when one is set.
+func (c *Controller) NotifyDegrade(stream id.Stream, bytes int) {
+	c.mu.Lock()
+	fn := c.onDegrade
+	c.mu.Unlock()
+	if fn != nil {
+		fn(stream, bytes)
+	}
 }
 
 // NewController returns a controller managing the given capacity in bytes

@@ -99,7 +99,18 @@ var (
 	ErrNoView = errors.New("rmcast: no view installed")
 	// ErrPayloadTooLarge reports a payload above wire.MaxBody.
 	ErrPayloadTooLarge = errors.New("rmcast: payload too large")
+	// ErrBackpressure reports a multicast refused because the sender's
+	// unstable history has reached Config.FlowWindow (or
+	// Config.FlowWindowBytes): some member has not acknowledged enough of
+	// the outstanding traffic. The send can be retried once the window
+	// reopens (Config.OnFlowOpen signals that).
+	ErrBackpressure = errors.New("rmcast: flow window full")
 )
+
+// DefaultSlowAfter is the ack-lag (in messages behind the local delivery
+// horizon) at which a member is flagged slow when Config.SlowAfter is
+// unset and no flow window implies a tighter bound.
+const DefaultSlowAfter = 64
 
 // Delivery is one message handed to the application.
 type Delivery struct {
@@ -182,6 +193,35 @@ type Config struct {
 	// nil (or a zero return) falls back to
 	// Suppression.DefaultDistance.
 	Distance func(id.Node) time.Duration
+	// FlowWindow bounds this sender's own unstable history in messages:
+	// once FlowWindow of its multicasts are delivered locally but not yet
+	// acknowledged by every view member, MulticastStream refuses further
+	// sends with ErrBackpressure until stability collection drains the
+	// window. Zero disables flow control (the historical unbounded
+	// behaviour).
+	FlowWindow int
+	// FlowWindowBytes optionally bounds the same window in payload bytes;
+	// whichever of the two limits fills first backpressures. Zero
+	// disables the byte bound.
+	FlowWindowBytes int
+	// OnFlowOpen fires (from the event loop) when a previously full flow
+	// window drains back under its bounds — the retry signal for callers
+	// that received ErrBackpressure.
+	OnFlowOpen func()
+	// SlowAfter is the ack lag, in messages behind this node's own
+	// delivery horizon, at which a view member is flagged slow. Zero
+	// derives a default: FlowWindow when flow control is on (a stalled
+	// receiver pins blocked senders at exactly the window, while healthy
+	// peers only brush it transiently), DefaultSlowAfter otherwise. Slow
+	// evaluation runs only when OnSlow is set.
+	SlowAfter int
+	// OnSlow fires (from the event loop) when a view member transitions
+	// between slow and caught-up, with the observed maximum per-sender
+	// ack lag. Lag is measured from the stability vectors the protocol
+	// already gossips, so a slow-but-alive member — one that keeps
+	// heartbeating and sending but stops draining — is distinguished
+	// from a crashed one.
+	OnSlow func(peer id.Node, lag uint64, slow bool)
 }
 
 // Counters exposes protocol event counts for tests and experiments.
@@ -205,6 +245,9 @@ type Counters struct {
 	NacksSuppressed   uint64 // pending requests cancelled on hearing an equivalent one
 	RepairsSuppressed uint64 // armed repair timers cancelled on hearing the repair
 	LocalRepairs      uint64 // repairs served by a member other than the original sender
+
+	// FlowRejected counts multicasts refused with ErrBackpressure.
+	FlowRejected uint64
 }
 
 // engMetrics is the engine's live counter set. The pointers are resolved
@@ -228,8 +271,10 @@ type engMetrics struct {
 	nacksSuppressed   *stats.Counter
 	repairsSuppressed *stats.Counter
 	localRepairs      *stats.Counter
+	flowRejected      *stats.Counter
 
 	historyLen   *stats.Gauge     // delivered-but-unstable messages buffered
+	flowOcc      *stats.Gauge     // own unstable multicasts (the flow-window occupancy)
 	stabilityLag *stats.Histogram // history depth sampled at stability rounds
 }
 
@@ -252,7 +297,9 @@ func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
 			nacksSuppressed:   &stats.Counter{},
 			repairsSuppressed: &stats.Counter{},
 			localRepairs:      &stats.Counter{},
+			flowRejected:      &stats.Counter{},
 			historyLen:        &stats.Gauge{},
+			flowOcc:           &stats.Gauge{},
 			stabilityLag:      stats.NewReservoirHistogram(0),
 		}
 	}
@@ -271,7 +318,9 @@ func newEngMetrics(reg *stats.Registry, prefix string) engMetrics {
 		nacksSuppressed:   reg.Counter(prefix + "nacks_suppressed"),
 		repairsSuppressed: reg.Counter(prefix + "repairs_suppressed"),
 		localRepairs:      reg.Counter(prefix + "local_repairs"),
+		flowRejected:      reg.Counter(prefix + "flow_rejected"),
 		historyLen:        reg.Gauge(prefix + "history_len"),
+		flowOcc:           reg.Gauge(prefix + "flow_occupancy"),
 		stabilityLag:      reg.Histogram(prefix + "stability_lag"),
 	}
 }
@@ -441,6 +490,16 @@ type Engine struct {
 	orderNackBackoff uint8
 	orderNackMark    uint64
 
+	// Flow control: whether the window is currently full (one EvFlowBlock
+	// per fill, one OnFlowOpen per drain), and the payload bytes of own
+	// unstable multicasts when FlowWindowBytes bounds them.
+	flowBlocked bool
+	flowBytes   int
+
+	// Slow-receiver tracking: members currently flagged slow, evaluated
+	// from the stability matrix each stability period (see evalSlow).
+	slowPeers map[id.Node]bool
+
 	met engMetrics
 }
 
@@ -471,6 +530,13 @@ func New(env proto.Env, cfg Config) *Engine {
 	if cfg.OrderShards > 256 {
 		cfg.OrderShards = 256 // the wire shard field is a uint8
 	}
+	if cfg.SlowAfter <= 0 {
+		if cfg.FlowWindow > 0 {
+			cfg.SlowAfter = cfg.FlowWindow
+		} else {
+			cfg.SlowAfter = DefaultSlowAfter
+		}
+	}
 	e := &Engine{
 		env:           env,
 		cfg:           cfg,
@@ -486,6 +552,7 @@ func New(env proto.Env, cfg Config) *Engine {
 		sup:           cfg.Suppression.withDefaults(),
 		repairs:       make(map[id.Node]*repairJob),
 		recentRepairs: make(map[msgKey]time.Time),
+		slowPeers:     make(map[id.Node]bool),
 		// Seeded from the node identity only, so a seeded simulation —
 		// and any rerun of it — draws the same timer sequence.
 		rng: rand.New(rand.NewSource(int64(mix64(uint64(env.Self()) + 0x5eed)))),
@@ -528,6 +595,7 @@ func (e *Engine) Counters() Counters {
 		NacksSuppressed:   e.met.nacksSuppressed.Value(),
 		RepairsSuppressed: e.met.repairsSuppressed.Value(),
 		LocalRepairs:      e.met.localRepairs.Value(),
+		FlowRejected:      e.met.flowRejected.Value(),
 	}
 }
 
@@ -566,6 +634,30 @@ func (e *Engine) SetView(v member.View) {
 	e.orderNackBackoff = 0
 	e.orderNackMark = 0
 
+	// The per-view history is gone, so the flow window is empty again;
+	// unblock any sender waiting on it. Slow flags for members the new
+	// view dropped are cleared (they are no longer anyone's problem);
+	// flags for retained members persist so an eviction grace period does
+	// not restart across unrelated view changes.
+	e.flowBytes = 0
+	e.maybeReopenFlow()
+	if len(e.slowPeers) > 0 {
+		departed := make([]id.Node, 0, len(e.slowPeers))
+		for n := range e.slowPeers {
+			if !v.Contains(n) {
+				departed = append(departed, n)
+			}
+		}
+		sort.Slice(departed, func(i, j int) bool { return departed[i] < departed[j] })
+		for _, n := range departed {
+			delete(e.slowPeers, n)
+			e.rec(flightrec.EvSlowClear, uint64(n), 0)
+			if e.cfg.OnSlow != nil {
+				e.cfg.OnSlow(n, 0, false)
+			}
+		}
+	}
+
 	// Replay buffered messages that were sent in this view.
 	pending := e.futureBuf
 	e.futureBuf = nil
@@ -578,12 +670,14 @@ func (e *Engine) SetView(v member.View) {
 	}
 
 	// Multicasts deferred by the freeze go out in the new view; a node
-	// the new view excludes drops them (it was evicted mid-send).
+	// the new view excludes drops them (it was evicted mid-send). Replay
+	// bypasses the flow window: these sends were already accepted (the
+	// freeze path returned nil) and must not be silently dropped now.
 	queued := e.sendQueue
 	e.sendQueue = nil
 	if e.rank >= 0 {
 		for _, q := range queued {
-			e.MulticastStream(q.stream, q.payload)
+			e.multicast(q.stream, q.payload, false)
 		}
 	}
 }
@@ -648,6 +742,99 @@ func (e *Engine) StabilityVector() ([]wire.AckEntry, uint64) {
 // which the chaos harness uses to check stability garbage collection.
 func (e *Engine) HistoryLen() int { return len(e.history) }
 
+// FlowOccupancy returns how many of this node's own multicasts are still
+// unstable — the flow-window occupancy. O(1): own history entries form a
+// contiguous [histMin, histMax] bracket.
+func (e *Engine) FlowOccupancy() int {
+	self := e.env.Self()
+	lo, ok := e.histMin[self]
+	if !ok {
+		return 0
+	}
+	return int(e.histMax[self] - lo + 1)
+}
+
+// FlowBlocked reports whether the last enforced multicast hit a full flow
+// window that has not reopened yet.
+func (e *Engine) FlowBlocked() bool { return e.flowBlocked }
+
+// flowFull reports whether sending one more payload of extra bytes would
+// exceed a configured flow bound.
+func (e *Engine) flowFull(extra int) bool {
+	if e.cfg.FlowWindow > 0 && e.FlowOccupancy() >= e.cfg.FlowWindow {
+		return true
+	}
+	return e.cfg.FlowWindowBytes > 0 && e.flowBytes+extra > e.cfg.FlowWindowBytes
+}
+
+// maybeReopenFlow clears the blocked latch — and signals OnFlowOpen — once
+// the window is back under its bounds. Called wherever own history can
+// shrink: stability collection and view installation.
+func (e *Engine) maybeReopenFlow() {
+	if !e.flowBlocked || e.flowFull(0) {
+		return
+	}
+	e.flowBlocked = false
+	e.rec(flightrec.EvFlowOpen, uint64(e.FlowOccupancy()), 0)
+	if e.cfg.OnFlowOpen != nil {
+		e.cfg.OnFlowOpen()
+	}
+}
+
+// SlowPeers returns the members currently flagged slow, sorted, for tests
+// and experiments.
+func (e *Engine) SlowPeers() []id.Node {
+	if len(e.slowPeers) == 0 {
+		return nil
+	}
+	out := make([]id.Node, 0, len(e.slowPeers))
+	for n := range e.slowPeers {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// evalSlow re-derives each view member's ack lag from the stability
+// matrix: the maximum, over senders, of how far the member's acknowledged
+// prefix trails this node's own contiguously delivered prefix. Crossing
+// SlowAfter flags the member slow; falling back under half the threshold
+// (hysteresis, so a member hovering at the boundary does not flap its
+// grace period) clears it. Runs once per stability period.
+func (e *Engine) evalSlow() {
+	if e.cfg.OnSlow == nil {
+		return
+	}
+	thr := uint64(e.cfg.SlowAfter)
+	self := e.env.Self()
+	for _, m := range e.view.Members {
+		if m == self {
+			continue
+		}
+		var lag uint64
+		row := e.ackMatrix[m]
+		for snd, st := range e.peers {
+			ref := st.next - 1
+			if snd == e.env.Self() {
+				ref = e.nextSend
+			}
+			if got := row[snd]; ref > got && ref-got > lag {
+				lag = ref - got
+			}
+		}
+		switch flagged := e.slowPeers[m]; {
+		case !flagged && lag >= thr:
+			e.slowPeers[m] = true
+			e.rec(flightrec.EvSlowFlag, uint64(m), lag)
+			e.cfg.OnSlow(m, lag, true)
+		case flagged && lag < (thr+1)/2:
+			delete(e.slowPeers, m)
+			e.rec(flightrec.EvSlowClear, uint64(m), lag)
+			e.cfg.OnSlow(m, lag, false)
+		}
+	}
+}
+
 // Flush retransmits every unstable message in the local history to the
 // members of the proposed view. The membership layer calls it between
 // ViewPropose and FlushOK; receivers discard duplicates, so over-sending
@@ -702,6 +889,13 @@ func (e *Engine) Multicast(payload []byte) error {
 // one global order across streams. Other orderings carry the label
 // through to Delivery untouched.
 func (e *Engine) MulticastStream(stream id.Stream, payload []byte) error {
+	return e.multicast(stream, payload, true)
+}
+
+// multicast is the send path behind Multicast/MulticastStream. enforceFlow
+// applies the stability-window bound; the freeze-queue replay at SetView
+// passes false because those sends were already accepted.
+func (e *Engine) multicast(stream id.Stream, payload []byte, enforceFlow bool) error {
 	if e.view.ID == 0 || e.rank < 0 {
 		return ErrNoView
 	}
@@ -717,6 +911,17 @@ func (e *Engine) MulticastStream(stream id.Stream, payload []byte) error {
 			})
 		}
 		return nil
+	}
+	if enforceFlow && e.flowFull(len(payload)) {
+		if !e.flowBlocked {
+			e.flowBlocked = true
+			e.rec(flightrec.EvFlowBlock, e.nextSend+1, uint64(e.FlowOccupancy()))
+		}
+		e.met.flowRejected.Inc()
+		return ErrBackpressure
+	}
+	if e.cfg.FlowWindowBytes > 0 {
+		e.flowBytes += len(payload)
 	}
 	e.nextSend++
 	msg := &wire.Message{
@@ -1516,7 +1721,10 @@ func (e *Engine) mergeAckRow(from id.Node, acks []wire.AckEntry) {
 	// traffic. Pruning every few merges (plus every stability tick and
 	// before each flush) keeps the history bounded at a fraction of the
 	// cost.
-	if e.ackMerges++; e.ackMerges >= 8 {
+	// A blocked flow window overrides the throttle: the sender is stalled
+	// waiting for exactly this collection, so run it on every merge until
+	// the window reopens.
+	if e.ackMerges++; e.ackMerges >= 8 || e.flowBlocked {
 		e.ackMerges = 0
 		e.collectStable()
 	}
@@ -1578,8 +1786,15 @@ func (e *Engine) collectStable() {
 		if floor > hi {
 			floor = hi
 		}
+		trackBytes := sender == self && e.cfg.FlowWindowBytes > 0
 		for seq := lo; seq <= floor; seq++ {
-			delete(e.history, msgKey{sender: sender, seq: seq})
+			k := msgKey{sender: sender, seq: seq}
+			if trackBytes {
+				if m, ok := e.history[k]; ok {
+					e.flowBytes -= len(m.Body)
+				}
+			}
+			delete(e.history, k)
 		}
 		if floor < lo {
 			continue
@@ -1591,6 +1806,7 @@ func (e *Engine) collectStable() {
 			e.histMin[sender] = floor + 1
 		}
 	}
+	e.maybeReopenFlow()
 }
 
 // OnTick flushes aggregated sequencer orders, sends coalesced NACKs and
@@ -1628,8 +1844,12 @@ func (e *Engine) OnTick(now time.Time) {
 		// for every member's acknowledgment, sampled once per stability
 		// period (after collection, so it measures the residue).
 		e.met.stabilityLag.Observe(float64(len(e.history)))
+		// Slow-receiver evaluation rides the same cadence: the matrix it
+		// reads only changes meaningfully between stability rounds.
+		e.evalSlow()
 	}
 	e.met.historyLen.Set(int64(len(e.history)))
+	e.met.flowOcc.Set(int64(e.FlowOccupancy()))
 }
 
 // flushOrders is the pipelined range flush: the sequencer numbers the

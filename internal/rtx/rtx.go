@@ -217,6 +217,9 @@ type Stats struct {
 	// FramesIncomplete counts fragmented frames dropped for missing
 	// fragments (reassembly mode).
 	FramesIncomplete uint64
+	// QueueDropped counts frames evicted from a bounded playout buffer
+	// (Config.MaxBuffered) to make room for newer arrivals.
+	QueueDropped uint64
 	// DelayEstimate and JitterEstimate are the current exponential
 	// averages in milliseconds.
 	DelayEstimate  float64
@@ -247,6 +250,12 @@ type Config struct {
 	// sender uses SetMaxFragment. Implies video-style marker semantics
 	// (marker = end of frame).
 	Reassemble bool
+	// MaxBuffered bounds the playout buffer in frames. When an arrival
+	// would exceed the bound, the oldest buffered frame is dropped
+	// (drop-oldest: a late-ish frame is worth less than a fresh one) and
+	// accounted in Stats.QueueDropped / media.queue_dropped. Zero means
+	// unbounded, the historical behaviour.
+	MaxBuffered int
 	// OnPlay receives frames at their playout points, in timestamp
 	// order. Called from the event loop.
 	OnPlay func(f media.Frame, playedAt time.Time)
@@ -304,11 +313,12 @@ type Receiver struct {
 
 	// Live metric counters, resolved once in NewReceiver; mirrors of the
 	// Stats fields for the runtime registry (nil registry = standalone).
-	mRecv      *stats.Counter
-	mPlayed    *stats.Counter
-	mLate      *stats.Counter
-	mLost      *stats.Counter
-	mRecovered *stats.Counter
+	mRecv       *stats.Counter
+	mPlayed     *stats.Counter
+	mLate       *stats.Counter
+	mLost       *stats.Counter
+	mRecovered  *stats.Counter
+	mQueueDrops *stats.Counter
 }
 
 var _ proto.Handler = (*Receiver)(nil)
@@ -330,11 +340,12 @@ func NewReceiver(env proto.Env, cfg Config) *Receiver {
 		spurtDelay: cfg.PlayoutDelay,
 		nextSeq:    1,
 		seen:       make(map[uint64]bool),
-		mRecv:      &stats.Counter{},
-		mPlayed:    &stats.Counter{},
-		mLate:      &stats.Counter{},
-		mLost:      &stats.Counter{},
-		mRecovered: &stats.Counter{},
+		mRecv:       &stats.Counter{},
+		mPlayed:     &stats.Counter{},
+		mLate:       &stats.Counter{},
+		mLost:       &stats.Counter{},
+		mRecovered:  &stats.Counter{},
+		mQueueDrops: &stats.Counter{},
 	}
 	if cfg.Metrics != nil {
 		r.mRecv = cfg.Metrics.Counter("media.frames_recv")
@@ -342,6 +353,7 @@ func NewReceiver(env proto.Env, cfg Config) *Receiver {
 		r.mLate = cfg.Metrics.Counter("media.late_frames")
 		r.mLost = cfg.Metrics.Counter("media.frames_lost")
 		r.mRecovered = cfg.Metrics.Counter("media.fec_recovered")
+		r.mQueueDrops = cfg.Metrics.Counter("media.queue_dropped")
 	}
 	if cfg.FECBlock > 0 {
 		// An invalid block size disables FEC rather than failing the
@@ -550,8 +562,21 @@ func (r *Receiver) processMedia(msg *wire.Message) {
 	r.enqueue(pending{frame: f, playAt: playAt})
 }
 
-// enqueue inserts in playAt order.
+// enqueue inserts in playAt order, evicting the oldest buffered frame
+// when a bound is configured and full (drop-oldest: under overload a
+// fresh frame is worth more than the one that has waited longest).
 func (r *Receiver) enqueue(p pending) {
+	if r.cfg.MaxBuffered > 0 && len(r.queue) >= r.cfg.MaxBuffered {
+		r.stats.QueueDropped++
+		r.mQueueDrops.Inc()
+		if r.cfg.Flight != nil {
+			old := &r.queue[0].frame
+			r.cfg.Flight.Record(uint64(r.env.Self()), r.env.Now().UnixMilli(),
+				flightrec.EvPlayoutDrop, uint64(old.Stream), old.Seq)
+		}
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+	}
 	i := sort.Search(len(r.queue), func(i int) bool {
 		return r.queue[i].playAt.After(p.playAt)
 	})

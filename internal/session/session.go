@@ -61,6 +61,12 @@ const (
 	// ObjectProgress reports bulk-transfer advancement: Event.Done of
 	// Event.Total generations decoded.
 	ObjectProgress
+	// MemberSlow reports a participant whose multicast ack lag crossed
+	// the slow threshold (Event.Slow true) or that caught back up
+	// (Event.Slow false). Event.Lag carries the lag in messages. Only
+	// emitted when the session's overload knobs enable slow tracking
+	// (FlowWindow, SlowAfter or an EvictSlow policy).
+	MemberSlow
 )
 
 // String returns the event kind name.
@@ -84,6 +90,8 @@ func (k EventKind) String() string {
 		return "object-received"
 	case ObjectProgress:
 		return "object-progress"
+	case MemberSlow:
+		return "member-slow"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -109,6 +117,11 @@ type Event struct {
 	// Bulk-object fields (ObjectReceived / ObjectProgress).
 	Object      uint64 // object ID
 	Done, Total int    // generations decoded so far / overall
+	// Slow-receiver fields (MemberSlow): Lag is the peer's multicast ack
+	// lag in messages; Slow reports whether it is now flagged (false
+	// means it caught back up).
+	Lag  uint64
+	Slow bool
 }
 
 // Config parameterizes a session engine.
@@ -157,6 +170,18 @@ type Config struct {
 	// PrimaryPartition forwards the membership majority rule; see
 	// member.Config.PrimaryPartition.
 	PrimaryPartition bool
+
+	// Overload robustness knobs, forwarded to the core stack (see
+	// core.Config). Setting any of FlowWindow, SlowAfter or an EvictSlow
+	// policy enables slow tracking, surfaced as MemberSlow events.
+	FlowWindow      int
+	FlowWindowBytes int
+	SlowAfter       int
+	SlowPolicy      member.SlowPolicy
+	SlowGrace       time.Duration
+	// OnFlowOpen fires when a previously full flow window drains below
+	// its bound; see rmcast.Config.OnFlowOpen.
+	OnFlowOpen func()
 
 	// AutoHier routes the session's multicasts (application data and
 	// directory control) through the self-organizing hierarchical overlay;
@@ -258,6 +283,15 @@ func New(env proto.Env, cfg Config) *Engine {
 		e.mWithdraws = cfg.Metrics.Counter("session.streams_withdrawn")
 		e.mMessages = cfg.Metrics.Counter("session.messages_recv")
 	}
+	// Slow tracking is opt-in (see Config); when enabled, flag
+	// transitions surface as MemberSlow session events.
+	var onSlow func(id.Node, uint64, bool)
+	if cfg.FlowWindow > 0 || cfg.SlowAfter > 0 || cfg.SlowPolicy == member.EvictSlow {
+		onSlow = func(peer id.Node, lag uint64, slow bool) {
+			e.emit(Event{Kind: MemberSlow, Node: peer, Lag: lag, Slow: slow,
+				View: e.stack.View()})
+		}
+	}
 	e.stack = core.NewStack(env, core.Config{
 		Group:              cfg.Group,
 		Contact:            cfg.Contact,
@@ -277,6 +311,13 @@ func New(env proto.Env, cfg Config) *Engine {
 		AdvertiseAddr:      cfg.AdvertiseAddr,
 		OnPeerAddr:         cfg.OnPeerAddr,
 		PrimaryPartition:   cfg.PrimaryPartition,
+		FlowWindow:         cfg.FlowWindow,
+		FlowWindowBytes:    cfg.FlowWindowBytes,
+		SlowAfter:          cfg.SlowAfter,
+		SlowPolicy:         cfg.SlowPolicy,
+		SlowGrace:          cfg.SlowGrace,
+		OnFlowOpen:         cfg.OnFlowOpen,
+		OnSlow:             onSlow,
 		AutoHier:           cfg.AutoHier,
 		HierFanOut:         cfg.HierFanOut,
 		HierForm:           cfg.HierForm,

@@ -2,10 +2,13 @@ package scalamedia
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"testing"
 	"time"
+
+	"scalamedia/internal/transport"
 )
 
 // TestSnapshotCoversLayers checks Node.Snapshot returns live counters
@@ -41,6 +44,87 @@ func TestSnapshotCoversLayers(t *testing.T) {
 	}
 	if len(a.Timeline()) == 0 {
 		t.Error("flight recorder empty after group traffic")
+	}
+}
+
+// TestOverloadMetricsSurface checks the overload-robustness telemetry is
+// reachable through Node.Snapshot: the flow-control counters move when a
+// send hits backpressure, and every slow-member and degradation metric is
+// registered so dashboards can rely on the names before the first
+// increment.
+func TestOverloadMetricsSurface(t *testing.T) {
+	fab := transport.NewFabric(transport.WithSeed(7))
+	t.Cleanup(fab.Close)
+	epA, err := fab.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := fab.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Start(Config{
+		Self: 1, Endpoint: epA, Group: 1,
+		Tick:           5 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		SuspectAfter:   400 * time.Millisecond,
+		FlowWindow:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := Start(Config{
+		Self: 2, Endpoint: epB, Group: 1, Contact: 1,
+		Tick:           5 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		SuspectAfter:   400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	waitFor(t, "view of size 2", func() bool {
+		return a.View().Size() == 2 && b.View().Size() == 2
+	})
+
+	// A one-message window cannot hold two un-stabilized sends, so a
+	// burst of TrySend must hit ErrBackpressure (stability needs a
+	// gossip round trip the burst outruns).
+	waitFor(t, "a TrySend rejection", func() bool {
+		for i := 0; i < 8; i++ {
+			if errors.Is(a.TrySend([]byte("burst")), ErrBackpressure) {
+				return true
+			}
+		}
+		return false
+	})
+
+	snap := a.Snapshot()
+	if snap.Counters["rmcast.flow_rejected"] == 0 {
+		t.Error("rmcast.flow_rejected did not move after a backpressure rejection")
+	}
+	for _, name := range []string{"member.slow_flagged", "member.slow_evicted", "media.frames_shed"} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %q not registered; counters: %v", name, snap.Counters)
+		}
+	}
+	if _, ok := snap.Gauges["rmcast.flow_occupancy"]; !ok {
+		t.Error("gauge rmcast.flow_occupancy not registered")
+	}
+	if _, ok := snap.Histograms["rmcast.flow_blocked_ms"]; !ok {
+		t.Error("histogram rmcast.flow_blocked_ms not registered")
+	}
+
+	// The per-receiver queue-drop counter registers when a bounded
+	// receiver opens.
+	if _, err := a.OpenReceiver(ReceiverConfig{
+		Spec: StreamSpec{ID: 4, Name: "spk"}, MaxBuffered: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Snapshot().Counters["media.queue_dropped"]; !ok {
+		t.Error("counter media.queue_dropped not registered after OpenReceiver")
 	}
 }
 

@@ -37,6 +37,7 @@
 package scalamedia
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,6 +96,10 @@ type (
 	Advice = rtx.Advice
 	// QualityReport is one receiver's quality feedback.
 	QualityReport = rtx.Report
+	// SlowPolicy selects how the session treats a member that is alive
+	// but not draining multicast traffic (see ThrottleToSlowest and
+	// EvictSlow).
+	SlowPolicy = member.SlowPolicy
 )
 
 // Re-exported constants.
@@ -135,12 +140,33 @@ const (
 	// ObjectProgress reports bulk-transfer advancement: Event.Done of
 	// Event.Total generations decoded.
 	ObjectProgress = session.ObjectProgress
+	// MemberSlow reports a participant crossing the slow threshold
+	// (Event.Slow, Event.Lag); emitted only when Config.FlowWindow,
+	// Config.SlowAfter or an EvictSlow policy enables slow tracking.
+	MemberSlow = session.MemberSlow
+
+	// ThrottleToSlowest (the default slow policy) never evicts for
+	// slowness: the flow window backpressures senders to the laggard's
+	// drain rate instead.
+	ThrottleToSlowest = member.ThrottleToSlowest
+	// EvictSlow removes a member still flagged slow after the
+	// Config.SlowGrace budget, trading its membership for restored
+	// group throughput.
+	EvictSlow = member.EvictSlow
 )
 
 // Errors.
 var (
 	// ErrClosed reports an operation on a closed node.
 	ErrClosed = errors.New("scalamedia: node closed")
+	// ErrNotMember reports a session operation on a node the membership
+	// service has evicted; the node must be closed and replaced with a
+	// fresh one to rejoin.
+	ErrNotMember = errors.New("scalamedia: node evicted from session")
+	// ErrBackpressure reports a non-blocking send rejected because the
+	// flow window (Config.FlowWindow) is full; returned by TrySend.
+	// Send and SendContext block instead. Test with errors.Is.
+	ErrBackpressure = rmcast.ErrBackpressure
 	// ErrNoCapacity reports a media stream rejected by QoS admission.
 	ErrNoCapacity = qos.ErrOverCommitted
 	// ErrJoinUnreachable is the join-failure cause surfaced when
@@ -223,6 +249,34 @@ type Config struct {
 	// MediaCapacity is the QoS budget for outgoing media in bytes per
 	// second; zero disables admission control.
 	MediaCapacity float64
+
+	// FlowWindow bounds this node's unstable multicast history in
+	// messages — the sender-side stability window. With the window full,
+	// Send and SendContext block until stability frees slots and TrySend
+	// returns ErrBackpressure. Zero disables flow control (unbounded
+	// history, the historical behaviour). Flow control applies to the
+	// flat multicast path; the AutoHier overlay bypasses it.
+	FlowWindow int
+	// FlowWindowBytes additionally bounds the window in payload bytes;
+	// zero means no byte bound.
+	FlowWindowBytes int
+	// SlowAfter is the multicast ack lag (messages) past which a member
+	// is flagged slow and a MemberSlow event fires; zero derives a
+	// default from FlowWindow (equal to it, or 64 without one).
+	SlowAfter int
+	// SlowPolicy selects what happens to flagged members:
+	// ThrottleToSlowest (default) paces senders via the flow window and
+	// never evicts for slowness; EvictSlow removes a member still slow
+	// after SlowGrace.
+	SlowPolicy SlowPolicy
+	// SlowGrace is the catch-up budget a slow member gets before
+	// EvictSlow slates it; zero takes the default (2s).
+	SlowGrace time.Duration
+	// OnDegrade, when set, observes graceful media degradation: it is
+	// called with the stream and shed byte count each time a media
+	// sender sheds a droppable frame under overload. Called from the
+	// event loop; must not block.
+	OnDegrade func(StreamID, int)
 	// OnEvent receives session notifications. It is called from the
 	// node's event loop: do not block in it, and do not call Node
 	// methods from it directly (hand work to another goroutine
@@ -268,6 +322,14 @@ type Node struct {
 	reg    *stats.Registry
 	flight *flightrec.Recorder
 
+	// Flow-control wait plumbing: the event loop signals flowCh (cap 1,
+	// non-blocking send) when a full flow window drains, waking one
+	// blocked SendContext; hFlowBlocked accounts the time senders spent
+	// blocked and mFramesShed the media frames shed under overload.
+	flowCh       chan struct{}
+	hFlowBlocked *stats.Histogram
+	mFramesShed  *stats.Counter
+
 	mu      sync.Mutex
 	closed  bool
 	msrv    *metricsServer
@@ -290,7 +352,10 @@ func Start(cfg Config) (*Node, error) {
 		cfg:    cfg,
 		reg:    stats.NewRegistry(),
 		flight: flightrec.New(cfg.FlightRecorderSize),
+		flowCh: make(chan struct{}, 1),
 	}
+	n.hFlowBlocked = n.reg.Histogram("rmcast.flow_blocked_ms")
+	n.mFramesShed = n.reg.Counter("media.frames_shed")
 	if cfg.Endpoint != nil {
 		n.ep = cfg.Endpoint
 	} else {
@@ -320,6 +385,9 @@ func Start(cfg Config) (*Node, error) {
 	}
 	if cfg.MediaCapacity > 0 {
 		n.admit = qos.NewController(cfg.MediaCapacity)
+		if cfg.OnDegrade != nil {
+			n.admit.SetOnDegrade(cfg.OnDegrade)
+		}
 	}
 	if inst, ok := n.ep.(transport.Instrumented); ok {
 		inst.SetMetrics(n.reg)
@@ -364,6 +432,12 @@ func Start(cfg Config) (*Node, error) {
 			JoinBackoffMax:     cfg.JoinBackoffMax,
 			AdvertiseAddr:      advertise,
 			OnPeerAddr:         onPeerAddr,
+			FlowWindow:         cfg.FlowWindow,
+			FlowWindowBytes:    cfg.FlowWindowBytes,
+			SlowAfter:          cfg.SlowAfter,
+			SlowPolicy:         cfg.SlowPolicy,
+			SlowGrace:          cfg.SlowGrace,
+			OnFlowOpen:         n.flowOpened,
 			Metrics:            n.reg,
 			Flight:             n.flight,
 			OnEvent:            n.onEvent,
@@ -510,11 +584,75 @@ func (n *Node) Directory() []Announcement {
 	return d
 }
 
-// Send multicasts an application message to the session.
-func (n *Node) Send(payload []byte) error {
+// flowOpened is the rmcast layer's signal that a full flow window has
+// drained below its bound; it wakes one blocked SendContext. Called from
+// the event loop; the cap-1 channel send never blocks.
+func (n *Node) flowOpened() {
+	select {
+	case n.flowCh <- struct{}{}:
+	default:
+	}
+}
+
+// trySend attempts one multicast on the event loop, mapping the node's
+// terminal states to their typed errors.
+func (n *Node) trySend(payload []byte) error {
 	err := ErrClosed
-	n.runner.Do(func() { err = n.sess.Send(payload) })
+	n.runner.Do(func() {
+		if n.sess.Evicted() {
+			err = ErrNotMember
+			return
+		}
+		err = n.sess.Send(payload)
+	})
 	return err
+}
+
+// Send multicasts an application message to the session. With a flow
+// window configured (Config.FlowWindow) and full, Send blocks until
+// stability frees window slots; use SendContext to bound the wait or
+// TrySend to fail fast with ErrBackpressure. On a closed node Send
+// returns ErrClosed; on an evicted node, ErrNotMember.
+func (n *Node) Send(payload []byte) error {
+	return n.SendContext(context.Background(), payload)
+}
+
+// TrySend is the non-blocking Send: a full flow window returns an error
+// satisfying errors.Is(err, ErrBackpressure) instead of waiting.
+func (n *Node) TrySend(payload []byte) error {
+	return n.trySend(payload)
+}
+
+// SendContext is Send bounded by a context: a full flow window blocks
+// until stability frees slots, the node closes, or ctx is done (whose
+// error is then returned). Time spent blocked is recorded in the
+// rmcast.flow_blocked_ms histogram.
+func (n *Node) SendContext(ctx context.Context, payload []byte) error {
+	err := n.trySend(payload)
+	if err == nil || !errors.Is(err, ErrBackpressure) {
+		return err
+	}
+	start := time.Now()
+	defer func() {
+		n.hFlowBlocked.Observe(float64(time.Since(start).Milliseconds()))
+	}()
+	// Poll as a fallback alongside the flow-open signal: the signal wakes
+	// only one waiter per drain, and stability can also free slots
+	// without crossing the reopen edge that fires it.
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.flowCh:
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		err = n.trySend(payload)
+		if err == nil || !errors.Is(err, ErrBackpressure) {
+			return err
+		}
+	}
 }
 
 // Publish disseminates a bulk object (a media file, a codebook, a
@@ -524,9 +662,16 @@ func (n *Node) Send(payload []byte) error {
 // while symbols arrive and one ObjectReceived event with the object
 // bytes when their copy reconstructs. Object IDs at or above 1<<63 are
 // reserved for the session's internal state transfer.
+// Returns ErrClosed on a closed node and ErrNotMember on an evicted one.
 func (n *Node) Publish(objID uint64, data []byte) error {
 	err := ErrClosed
-	n.runner.Do(func() { err = n.sess.Publish(objID, data) })
+	n.runner.Do(func() {
+		if n.sess.Evicted() {
+			err = ErrNotMember
+			return
+		}
+		err = n.sess.Publish(objID, data)
+	})
 	return err
 }
 
@@ -621,11 +766,43 @@ func (n *Node) announce(spec StreamSpec, meanRate float64) error {
 }
 
 // Send transmits one frame to every current participant. It reports
-// whether the frame conformed to the stream's QoS contract.
+// whether the frame conformed to the stream's QoS contract and was sent.
+//
+// Frames marked Droppable participate in graceful degradation: under
+// multicast flow-control pushback (the group is pacing to a slow
+// receiver) or when the QoS policer rejects them, they are shed —
+// counted in media.frames_shed, recorded in the flight ring and
+// reported through Config.OnDegrade — and Send returns false. Unmarked
+// frames are treated as essential: they are never shed proactively and
+// fail only by the policer's own verdict. Reliable control traffic
+// (Node.Send multicasts) is never shed, only backpressured.
 func (ms *MediaSender) Send(f Frame) bool {
 	admitted := false
-	ms.node.runner.Do(func() { admitted = ms.sender.Send(f) })
+	ms.node.runner.Do(func() {
+		if f.Droppable && ms.node.sess.Stack().FlowBlocked() {
+			ms.shed(f)
+			return
+		}
+		admitted = ms.sender.Send(f)
+		if !admitted && f.Droppable {
+			ms.shed(f)
+		}
+	})
 	return admitted
+}
+
+// shed accounts one frame dropped by graceful degradation. Runs on the
+// event loop.
+func (ms *MediaSender) shed(f Frame) {
+	n := ms.node
+	n.mFramesShed.Inc()
+	n.flight.Record(uint64(n.cfg.Self), time.Now().UnixMilli(),
+		flightrec.EvFrameShed, uint64(f.Stream), f.Seq)
+	if n.admit != nil {
+		n.admit.NotifyDegrade(f.Stream, len(f.Data))
+	} else if n.cfg.OnDegrade != nil {
+		n.cfg.OnDegrade(f.Stream, len(f.Data))
+	}
 }
 
 // Stats returns frames and bytes sent.
@@ -686,6 +863,10 @@ type ReceiverConfig struct {
 	// ReportEvery enables periodic quality reports back to the stream's
 	// sender; zero disables them.
 	ReportEvery time.Duration
+	// MaxBuffered bounds the playout buffer in frames with a drop-oldest
+	// policy, accounted in MediaStats.QueueDropped and the
+	// media.queue_dropped counter. Zero means unbounded.
+	MaxBuffered int
 	// OnPlay receives frames at their playout points, from the node's
 	// event loop.
 	OnPlay func(f Frame, playedAt time.Time)
@@ -704,6 +885,7 @@ func (n *Node) OpenReceiver(cfg ReceiverConfig) (*MediaReceiver, error) {
 			PlayoutDelay: cfg.PlayoutDelay,
 			FECBlock:     cfg.FECBlock,
 			Reassemble:   cfg.Reassemble,
+			MaxBuffered:  cfg.MaxBuffered,
 			Metrics:      n.reg,
 			Flight:       n.flight,
 			OnPlay: func(f Frame, at time.Time) {

@@ -3,8 +3,9 @@
 # (including the UDP batch/fallback throughput pair, the netsim
 # node-step cost and the sharded total-order multicast path) plus the
 # table benchmarks (T2b adds the sustained sharded total-order
-# throughput metric, gated higher-is-better), writes the results to
-# BENCH_9.json, and fails on a regression against the checked-in
+# throughput metric, gated higher-is-better; T10 adds the
+# sender-history-peak bounded-memory metric), writes the results to
+# BENCH_10.json, and fails on a regression against the checked-in
 # bench_baseline.json (time and allocations for the microbenchmarks,
 # deterministic domain metrics for the tables).
 #
@@ -13,5 +14,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_OUT="${BENCH_OUT:-BENCH_9.json}" \
+BENCH_OUT="${BENCH_OUT:-BENCH_10.json}" \
 	go test -run 'TestBenchGate$' -count=1 -v . "$@"

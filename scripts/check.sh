@@ -47,6 +47,13 @@ go test -count=1 -run 'TestT7Smoke256' ./internal/experiments
 echo "==> T9 bulk dissemination smoke (n=64, relay crash)"
 go test -count=1 -run 'TestT9Smoke64' ./internal/experiments
 
+# Overload-robustness smoke: 32 members with one receiver stalled 2.5s
+# under a 16-message stability window; sender occupancy must stay at the
+# window, sends must hit backpressure, and the laggard must not be
+# evicted under ThrottleToSlowest.
+echo "==> T10 overload smoke (n=32, one receiver stalled)"
+go test -count=1 -run 'TestT10Smoke32' ./internal/experiments
+
 # Total-order safety smoke: a 16-member group with four sequencer shards
 # must deliver every message in one identical global sequence at every
 # member (the pipelined range + merge-stream path under light loss).
